@@ -1,0 +1,1 @@
+bench/ablation.ml: Bench_util Dependencies List Printf Relational Sat Support

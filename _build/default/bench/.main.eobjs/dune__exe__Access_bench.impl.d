@@ -1,0 +1,1 @@
+bench/access_bench.ml: Access Array Bench_util List Nested Relational Support

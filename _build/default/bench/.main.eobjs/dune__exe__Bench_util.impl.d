@@ -1,0 +1,1 @@
+bench/bench_util.ml: Float Int64 List Monotonic_clock Printf String

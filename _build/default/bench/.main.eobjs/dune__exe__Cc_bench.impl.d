@@ -1,0 +1,1 @@
+bench/cc_bench.ml: Array Bench_util Float List Printf Support Transactions

@@ -1,0 +1,1 @@
+bench/chase_bench.ml: Array Bench_util Char Dependencies List Printf Relational String Support

@@ -1,0 +1,1 @@
+bench/codd_bench.ml: Bench_util Calculus Float List Printf Relational Support

@@ -1,0 +1,1 @@
+bench/datalog_bench.ml: Bench_util Datalog Float List Printf Relational Support

@@ -1,0 +1,1 @@
+bench/fig1.ml: Bench_util List Metatheory Support

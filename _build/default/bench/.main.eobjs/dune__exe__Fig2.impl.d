@@ -1,0 +1,1 @@
+bench/fig2.ml: Array Bench_util List Metatheory Printf Support

@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Bench_util List Metatheory Support

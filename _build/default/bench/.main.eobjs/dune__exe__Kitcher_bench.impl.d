@@ -1,0 +1,1 @@
+bench/kitcher_bench.ml: Bench_util List Metatheory Printf Support

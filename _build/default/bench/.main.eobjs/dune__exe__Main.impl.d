@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Access_bench Array Cc_bench Chase_bench Codd_bench Datalog_bench Fig1 Fig2 Fig3 Kitcher_bench List Micro Printf Sat_bench Sys Volterra_bench

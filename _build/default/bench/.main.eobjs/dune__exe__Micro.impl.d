@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_util Benchmark Calculus Datalog Dependencies Float Hashtbl List Measure Printf Relational Sat Staged String Support Test Time Toolkit Transactions

@@ -1,0 +1,1 @@
+bench/sat_bench.ml: Bench_util Datalog Fun List Printf Relational Sat Support

@@ -1,0 +1,1 @@
+bench/volterra_bench.ml: Array Bench_util List Metatheory Support

@@ -1,0 +1,117 @@
+(* The fifth curve of Figure 3: "data structures and access methods
+   already had the modest presence they would maintain throughout the
+   fourteen years."  The access methods themselves: B+tree and extendible
+   hashing against the sequential scan, across data sizes. *)
+
+module R = Relational
+module B = Access.Btree
+module H = Access.Hash_index
+open R.Value
+
+let make_relation rng size =
+  let schema = R.Schema.make [ ("k", TInt); ("payload", TInt) ] in
+  R.Relation.of_list schema
+    (List.init size (fun i ->
+         [ Int i; Int (Support.Rng.int rng 1000) ]))
+
+let run () =
+  Bench_util.header "Access methods: B+tree and extendible hashing vs the scan";
+  let rows =
+    List.map
+      (fun size ->
+        let rng = Support.Rng.create size in
+        let rel = make_relation rng size in
+        let btree, build_btree_ms =
+          Bench_util.time_ms (fun () -> B.index_relation rel "k")
+        in
+        let hash, build_hash_ms =
+          Bench_util.time_ms (fun () ->
+              let h = H.create ~bucket_capacity:8 () in
+              R.Relation.iter (fun tup -> H.insert h tup.(0) tup) rel;
+              h)
+        in
+        (* 200 point lookups *)
+        let keys = List.init 200 (fun _ -> Int (Support.Rng.int rng size)) in
+        let scan_ms =
+          Bench_util.timed (fun () ->
+              List.iter
+                (fun k ->
+                  ignore
+                    (R.Relation.select (fun tup -> R.Value.equal tup.(0) k) rel))
+                keys)
+        in
+        let btree_ms =
+          Bench_util.timed (fun () -> List.iter (fun k -> ignore (B.find btree k)) keys)
+        in
+        let hash_ms =
+          Bench_util.timed (fun () -> List.iter (fun k -> ignore (H.find hash k)) keys)
+        in
+        (* a 5% range query *)
+        let lo = Int (size / 2) and hi = Int ((size / 2) + (size / 20)) in
+        let range_scan_ms =
+          Bench_util.timed (fun () ->
+              ignore
+                (R.Relation.select
+                   (fun tup ->
+                     R.Value.compare tup.(0) lo >= 0 && R.Value.compare tup.(0) hi <= 0)
+                   rel))
+        in
+        let range_btree_ms =
+          Bench_util.timed (fun () -> ignore (B.range btree ~lo ~hi))
+        in
+        [
+          Bench_util.i size;
+          Bench_util.ms build_btree_ms;
+          Bench_util.ms build_hash_ms;
+          Bench_util.ms scan_ms;
+          Bench_util.ms btree_ms;
+          Bench_util.ms hash_ms;
+          Bench_util.ms range_scan_ms;
+          Bench_util.ms range_btree_ms;
+        ])
+      [ 1_000; 4_000; 16_000 ]
+  in
+  Support.Table.print
+    ~header:
+      [
+        "rows";
+        "build btree";
+        "build hash";
+        "200 lookups: scan";
+        "btree";
+        "hash";
+        "5% range: scan";
+        "btree";
+      ]
+    rows;
+  print_newline ();
+  let rng = Support.Rng.create 4 in
+  let rel = make_relation rng 16_000 in
+  let btree = B.index_relation rel "k" in
+  Bench_util.note "B+tree height at 16k keys: %d (order 8); invariants: %s"
+    (B.height btree)
+    (match B.check_invariants btree with Ok () -> "ok" | Error e -> e);
+  let h = H.create ~bucket_capacity:8 () in
+  R.Relation.iter (fun tup -> H.insert h tup.(0) tup) rel;
+  Bench_util.note
+    "extendible hash at 16k keys: global depth %d, %d buckets over %d slots"
+    (H.global_depth h) (H.bucket_count h) (H.directory_size h);
+  print_newline ();
+  (* nested relations: the complex-objects curve, structurally *)
+  Bench_util.note "Complex objects (nested relations): nest/unnest laws at size 4k:";
+  let module N = Nested in
+  let schema = R.Schema.make [ ("a", TInt); ("b", TInt); ("c", TInt) ] in
+  let rel = R.Generator.random_relation rng schema ~size:4000 ~domain:40 in
+  let flat = N.of_flat rel in
+  let nested, nest_ms =
+    Bench_util.time_ms (fun () -> N.nest flat ~into:"g" [ "c" ])
+  in
+  let back, unnest_ms = Bench_util.time_ms (fun () -> N.unnest nested "g") in
+  Bench_util.note
+    "nest: %s ms (%d rows -> %d groups), unnest: %s ms, roundtrip exact: %b, PNF: %b"
+    (Bench_util.ms nest_ms) (N.cardinality flat) (N.cardinality nested)
+    (Bench_util.ms unnest_ms)
+    (N.equal back flat) (N.is_pnf nested)
+
+(* quiet unused-open warnings on some compilers *)
+let _ = ignore

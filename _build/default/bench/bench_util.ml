@@ -1,0 +1,27 @@
+(* Shared helpers for the benchmark targets: wall-clock timing, headers,
+   and number formatting. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let time_ms f =
+  let t0 = now_ns () in
+  let result = f () in
+  let t1 = now_ns () in
+  (result, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+
+(* median-of-three timing to tame scheduler noise on fast functions *)
+let timed f =
+  let samples = List.init 3 (fun _ -> snd (time_ms f)) in
+  List.nth (List.sort Float.compare samples) 1
+
+let ms x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let i = string_of_int
+
+let header title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n\n" bar title bar
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt

@@ -1,0 +1,143 @@
+(* §6: "Concurrency control is of course inevitable, but most database
+   products seem to have adopted the simplest solutions [GR] (two-phase
+   locking, and occasionally optimistic methods or tree-based locking)."
+   The contention sweep shows why: strict 2PL is robust everywhere, the
+   alternatives trade blocking for restarts (timestamp/optimistic) or for
+   concurrency (tree locking). *)
+
+module T = Transactions
+
+let protocols : (string * (unit -> T.Protocol.t)) list =
+  [
+    ("strict 2PL", T.Two_phase.create);
+    ("2PL wait-die", T.Two_phase.create_wait_die);
+    ("timestamp", fun () -> T.Timestamp.create ());
+    ("timestamp+thomas", fun () -> T.Timestamp.create ~thomas:true ());
+    ("optimistic", T.Optimistic.create);
+    ("tree locking", T.Tree_lock.create);
+  ]
+
+let workloads =
+  [
+    ("low (64 items, 20% writes)", { T.Workload.default with txns = 12; ops_per_txn = 8; items = 64; write_ratio = 0.2 });
+    ("medium (16 items, 50% writes)", { T.Workload.default with txns = 12; ops_per_txn = 8; items = 16; write_ratio = 0.5 });
+    ("high (6 items, 80% writes)", { T.Workload.default with txns = 12; ops_per_txn = 8; items = 6; write_ratio = 0.8 });
+    ("hotspot (32 items, zipf 1.2)", { T.Workload.txns = 12; ops_per_txn = 8; items = 32; skew = 1.2; write_ratio = 0.5 });
+  ]
+
+let run_one make params =
+  (* average over several seeds *)
+  let seeds = List.init 10 (fun k -> 42 + k) in
+  let acc = Array.make 5 0. in
+  let serializable = ref true in
+  List.iter
+    (fun seed ->
+      let rng = Support.Rng.create seed in
+      let specs = T.Workload.generate rng params in
+      let stats = T.Simulation.run (make ()) specs in
+      acc.(0) <- acc.(0) +. float_of_int stats.T.Simulation.committed;
+      acc.(1) <- acc.(1) +. float_of_int stats.T.Simulation.restarts;
+      acc.(2) <- acc.(2) +. float_of_int stats.T.Simulation.deadlocks;
+      acc.(3) <- acc.(3) +. float_of_int stats.T.Simulation.steps;
+      acc.(4) <- acc.(4) +. float_of_int stats.T.Simulation.wasted_ops;
+      serializable :=
+        !serializable
+        && T.Serializability.is_conflict_serializable stats.T.Simulation.history)
+    seeds;
+  let n = float_of_int (List.length seeds) in
+  (Array.map (fun total -> total /. n) acc, !serializable)
+
+let run () =
+  Bench_util.header "Concurrency control: the simple solutions under contention";
+  List.iter
+    (fun (wl_label, params) ->
+      Bench_util.note "workload: %s — %d txns x %d ops" wl_label
+        params.T.Workload.txns params.T.Workload.ops_per_txn;
+      let rows =
+        List.map
+          (fun (name, make) ->
+            let a, serializable = run_one make params in
+            [
+              name;
+              Bench_util.f1 a.(0);
+              Bench_util.f1 a.(1);
+              Bench_util.f1 a.(2);
+              Bench_util.f1 a.(3);
+              Bench_util.f1 a.(4);
+              Printf.sprintf "%.1f" (1000. *. a.(0) /. Float.max 1. a.(3));
+              string_of_bool serializable;
+            ])
+          protocols
+      in
+      Support.Table.print
+        ~header:
+          [
+            "protocol";
+            "committed";
+            "restarts";
+            "deadlocks";
+            "steps";
+            "wasted ops";
+            "commits/kstep";
+            "serializable";
+          ]
+        rows;
+      print_newline ())
+    workloads;
+  Bench_util.note
+    "Shape check: 2PL deadlocks but needs few restarts; timestamp and optimistic";
+  Bench_util.note
+    "never deadlock but restart under contention; tree locking never deadlocks";
+  Bench_util.note
+    "and never restarts, paying instead with long blocking (more steps).";
+  print_newline ();
+  (* the recoverability story: 2PL output is strict, timestamp output is
+     merely serializable *)
+  let rng = Support.Rng.create 9 in
+  let params = { T.Workload.default with txns = 6; items = 6; write_ratio = 0.5 } in
+  let specs = T.Workload.generate rng params in
+  Bench_util.note "Recoverability classes of one run per protocol:";
+  let rows =
+    List.map
+      (fun (name, make) ->
+        let stats = T.Simulation.run (make ()) specs in
+        let h = stats.T.Simulation.history in
+        [
+          name;
+          string_of_bool (T.Serializability.is_recoverable h);
+          string_of_bool (T.Serializability.avoids_cascading_aborts h);
+          string_of_bool (T.Serializability.is_strict h);
+        ])
+      protocols
+  in
+  Support.Table.print ~header:[ "protocol"; "RC"; "ACA"; "ST" ] rows;
+  print_newline ();
+  (* reliability and recovery: crash the WAL store at every prefix *)
+  Bench_util.note
+    "Reliability & recovery: undo recovery vs the committed prefix, crashing";
+  Bench_util.note "at every log position (5 transactions x 4 writes):";
+  let rng = Support.Rng.create 77 in
+  let specs =
+    List.init 5 (fun t ->
+        ( t + 1,
+          List.init 4 (fun _ ->
+              ( Printf.sprintf "x%d" (Support.Rng.int rng 6),
+                1 + Support.Rng.int rng 90 )) ))
+  in
+  let max_log = 5 * (4 + 2) in
+  let correct = ref 0 and dirty_crashes = ref 0 in
+  let total_ms = ref 0. in
+  for crash_at = 0 to max_log do
+    let replay_rng = Support.Rng.create 99 in
+    let disk, log = T.Recovery.run_and_crash replay_rng ~specs ~crash_at in
+    let recovered, elapsed =
+      Bench_util.time_ms (fun () -> T.Recovery.recover disk log)
+    in
+    total_ms := !total_ms +. elapsed;
+    let norm s = List.sort compare (List.filter (fun (_, v) -> v <> 0) s) in
+    if norm recovered = norm (T.Recovery.committed_state log) then incr correct;
+    if T.Recovery.losers log <> [] then incr dirty_crashes
+  done;
+  Bench_util.note
+    "recovered correctly at %d/%d crash points (%d with in-flight losers); %.2f ms total"
+    !correct (max_log + 1) !dirty_crashes !total_ms

@@ -1,0 +1,152 @@
+(* §6: "Normalization and dependency theory, for all its innumerable
+   tangents, has reached practice in the form of database design tools."
+   The design-tool pipeline, timed: closures, candidate keys, minimal
+   covers, BCNF decomposition, 3NF synthesis, and the chase. *)
+
+module Dep = Dependencies
+module Fd = Dep.Fd
+module Attrs = Dep.Attrs
+
+let random_scheme rng ~width ~fds =
+  let letters = Array.init width (fun k -> String.make 1 (Char.chr (65 + k))) in
+  let random_attrs n =
+    let out = ref Attrs.empty in
+    for _ = 1 to n do
+      out := Attrs.add (Support.Rng.pick rng letters) !out
+    done;
+    !out
+  in
+  let fd_list =
+    List.init fds (fun _ ->
+        Fd.make
+          (random_attrs (1 + Support.Rng.int rng 2))
+          (random_attrs (1 + Support.Rng.int rng 2)))
+    |> List.filter (fun fd -> not (Fd.is_trivial fd))
+  in
+  {
+    Dep.Normal_forms.name = "r";
+    attrs = Attrs.of_list (Array.to_list letters);
+    fds = fd_list;
+  }
+
+let run () =
+  Bench_util.header "Dependency theory: the design-tool pipeline";
+  let widths = [ (5, 4); (7, 6); (9, 8) ] in
+  let rows =
+    List.map
+      (fun (width, fd_count) ->
+        let trials = 30 in
+        let acc = Array.make 6 0. in
+        let bcnf_preserves = ref 0 and threenf_bcnf = ref 0 in
+        for t = 1 to trials do
+          let rng = Support.Rng.create (t * 97) in
+          let scheme = random_scheme rng ~width ~fds:fd_count in
+          let keys_ms =
+            Bench_util.timed (fun () ->
+                Fd.candidate_keys ~universe:scheme.Dep.Normal_forms.attrs
+                  scheme.Dep.Normal_forms.fds)
+          in
+          let cover_ms =
+            Bench_util.timed (fun () -> Fd.minimal_cover scheme.Dep.Normal_forms.fds)
+          in
+          let bcnf, bcnf_ms =
+            Bench_util.time_ms (fun () -> Dep.Normal_forms.bcnf_decompose scheme)
+          in
+          let threenf, threenf_ms =
+            Bench_util.time_ms (fun () -> Dep.Normal_forms.synthesize_3nf scheme)
+          in
+          let chase_ms =
+            Bench_util.timed (fun () -> Dep.Normal_forms.lossless scheme bcnf)
+          in
+          acc.(0) <- acc.(0) +. keys_ms;
+          acc.(1) <- acc.(1) +. cover_ms;
+          acc.(2) <- acc.(2) +. bcnf_ms;
+          acc.(3) <- acc.(3) +. threenf_ms;
+          acc.(4) <- acc.(4) +. chase_ms;
+          acc.(5) <- acc.(5) +. float_of_int (List.length bcnf);
+          if Dep.Normal_forms.dependency_preserving scheme bcnf then
+            incr bcnf_preserves;
+          if List.for_all Dep.Normal_forms.is_bcnf threenf then incr threenf_bcnf
+        done;
+        let avg k = acc.(k) /. float_of_int trials in
+        [
+          Printf.sprintf "%d attrs, %d FDs" width fd_count;
+          Bench_util.ms (avg 0);
+          Bench_util.ms (avg 1);
+          Bench_util.ms (avg 2);
+          Bench_util.ms (avg 3);
+          Bench_util.ms (avg 4);
+          Bench_util.f1 (avg 5);
+          Printf.sprintf "%d/%d" !bcnf_preserves trials;
+          Printf.sprintf "%d/%d" !threenf_bcnf trials;
+        ])
+      widths
+  in
+  Support.Table.print
+    ~header:
+      [
+        "scheme";
+        "keys ms";
+        "cover ms";
+        "BCNF ms";
+        "3NF ms";
+        "chase ms";
+        "BCNF components";
+        "BCNF dep-preserving";
+        "3NF already BCNF";
+      ]
+    rows;
+  print_newline ();
+  Bench_util.note
+    "Both decompositions are always lossless (chase-verified in the test";
+  Bench_util.note
+    "suite); BCNF sometimes drops dependencies — the CSZ effect — while 3NF";
+  Bench_util.note "synthesis always preserves them at the cost of weaker normal form.";
+  print_newline ();
+  (* the classic CSZ example, end to end *)
+  let csz =
+    {
+      Dep.Normal_forms.name = "addr";
+      attrs = Attrs.of_string "CSZ";
+      fds = Fd.set_of_string "CS -> Z; Z -> C";
+    }
+  in
+  Bench_util.note "city-street-zip: %s" (Dep.Normal_forms.scheme_to_string csz);
+  let bcnf = Dep.Normal_forms.bcnf_decompose csz in
+  List.iter
+    (fun s -> Bench_util.note "  BCNF component: %s" (Dep.Normal_forms.scheme_to_string s))
+    bcnf;
+  Bench_util.note "  lossless: %b, dependency-preserving: %b"
+    (Dep.Normal_forms.lossless csz bcnf)
+    (Dep.Normal_forms.dependency_preserving csz bcnf);
+  print_newline ();
+  (* the universal relation interface over an acyclic scheme *)
+  Bench_util.note
+    "Universal relation window over students-enrolled-courses (attributes";
+  Bench_util.note "only; the system picks the qualification):";
+  let module R = Relational in
+  let open R.Value in
+  let students =
+    R.Relation.of_list
+      (R.Schema.make [ ("sid", TInt); ("sname", TString) ])
+      [ [ Int 1; String "ada" ]; [ Int 2; String "bob" ] ]
+  in
+  let enrolled =
+    R.Relation.of_list
+      (R.Schema.make [ ("sid", TInt); ("cid", TInt) ])
+      [ [ Int 1; Int 10 ]; [ Int 2; Int 11 ] ]
+  in
+  let courses =
+    R.Relation.of_list
+      (R.Schema.make [ ("cid", TInt); ("dept", TString) ])
+      [ [ Int 10; String "cs" ]; [ Int 11; String "math" ] ]
+  in
+  let db = [ students; enrolled; courses ] in
+  List.iter
+    (fun attrs ->
+      let window = Dep.Universal.window db (Attrs.of_list attrs) in
+      Bench_util.note "  window(%s): %d rows via %d-relation qualification"
+        (String.concat "," attrs)
+        (R.Relation.cardinality window)
+        (List.length (Dep.Universal.qualification db (Attrs.of_list attrs))))
+    [ [ "sname" ]; [ "sname"; "cid" ]; [ "sname"; "dept" ] ]

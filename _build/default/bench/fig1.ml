@@ -1,0 +1,51 @@
+(* Figure 1: the stages of the scientific process according to Thomas
+   Kuhn.  The figure is a process diagram; we print the diagram, list its
+   arrows, and animate it with the anomaly-accumulation simulation at
+   three environmental regimes. *)
+
+module M = Metatheory
+
+let run () =
+  Bench_util.header "Figure 1: Kuhn's stages of the scientific process";
+  print_string (M.Kuhn.diagram ());
+  print_newline ();
+  Support.Table.print ~header:[ "from"; "to" ]
+    (List.filter_map
+       (fun (a, b) ->
+         if a = b then None
+         else Some [ M.Kuhn.stage_to_string a; M.Kuhn.stage_to_string b ])
+       M.Kuhn.transitions);
+  print_newline ();
+  Bench_util.note
+    "Simulated trajectories (20,000 steps each); a calm field stays in";
+  Bench_util.note
+    "normal science, a turbulent one cycles through crises and revolutions:";
+  print_newline ();
+  let regimes =
+    [
+      ("calm (anomaly rate 0.05)", { M.Kuhn.default_params with anomaly_rate = 0.05 });
+      ("default (0.25)", M.Kuhn.default_params);
+      ("turbulent (0.60)", { M.Kuhn.default_params with anomaly_rate = 0.6 });
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, params) ->
+        let rng = Support.Rng.create 1995 in
+        let traj = M.Kuhn.simulate rng params ~steps:20_000 in
+        let s = M.Kuhn.summarize traj in
+        let share stage = List.assoc stage s.M.Kuhn.share in
+        [
+          label;
+          Bench_util.f3 (share M.Kuhn.Normal);
+          Bench_util.f3 (share M.Kuhn.Crisis);
+          Bench_util.f3 (share M.Kuhn.Revolution);
+          Bench_util.i s.M.Kuhn.revolution_count;
+          Bench_util.f1 s.M.Kuhn.mean_crisis_length;
+        ])
+      regimes
+  in
+  Support.Table.print
+    ~header:
+      [ "regime"; "normal"; "crisis"; "revolution"; "revolutions"; "mean crisis len" ]
+    rows

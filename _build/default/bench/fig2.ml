@@ -1,0 +1,137 @@
+(* Figure 2: normal applied science (top) vs applied science in crisis
+   (bottom).  Both snapshots have the same average degree; they differ in
+   global connectivity.  We generate 200 graphs per regime and report the
+   connectivity diagnostics that tell them apart. *)
+
+module M = Metatheory
+
+type agg = {
+  mutable deg : float;
+  mutable giant : float;
+  mutable diameter : float;
+  mutable mean_path : float;
+  mutable tp_sum : float;  (* over graphs where all theory reaches practice *)
+  mutable tp_count : int;
+  mutable stranded : float;
+  mutable introverted : float;
+  mutable score : float;
+}
+
+let aggregate params seeds =
+  let a =
+    {
+      deg = 0.; giant = 0.; diameter = 0.; mean_path = 0.; tp_sum = 0.;
+      tp_count = 0; stranded = 0.; introverted = 0.; score = 0.;
+    }
+  in
+  List.iter
+    (fun seed ->
+      let rng = Support.Rng.create seed in
+      let g = M.Research_graph.generate rng params in
+      let r = M.Graph_metrics.report g in
+      a.deg <- a.deg +. r.M.Graph_metrics.mean_degree;
+      a.giant <- a.giant +. r.M.Graph_metrics.giant;
+      a.diameter <- a.diameter +. float_of_int r.M.Graph_metrics.diameter;
+      a.mean_path <- a.mean_path +. r.M.Graph_metrics.mean_path;
+      (match r.M.Graph_metrics.theory_practice with
+      | Some d ->
+          a.tp_sum <- a.tp_sum +. d;
+          a.tp_count <- a.tp_count + 1
+      | None -> ());
+      a.stranded <- a.stranded +. r.M.Graph_metrics.unreachable_theory;
+      a.introverted <- a.introverted +. float_of_int r.M.Graph_metrics.introverted;
+      a.score <- a.score +. r.M.Graph_metrics.crisis_score)
+    seeds;
+  let n = float_of_int (List.length seeds) in
+  [
+    Bench_util.f2 (a.deg /. n);
+    Bench_util.f2 (a.giant /. n);
+    Bench_util.f1 (a.diameter /. n);
+    Bench_util.f2 (a.mean_path /. n);
+    (if a.tp_count = 0 then "-"
+     else Bench_util.f2 (a.tp_sum /. float_of_int a.tp_count));
+    Printf.sprintf "%.0f%%" (100. *. a.stranded /. n);
+    Bench_util.f2 (a.introverted /. n);
+    Bench_util.f2 (a.score /. n);
+  ]
+
+let run () =
+  Bench_util.header "Figure 2: normal applied science vs applied science in crisis";
+  let seeds = List.init 200 (fun k -> 100 + k) in
+  let base = { M.Research_graph.units = 60; mean_degree = 4.0; crisis = 0. } in
+  let regimes =
+    [
+      ("healthy (crisis=0)", { base with M.Research_graph.crisis = 0. });
+      ("strained (crisis=20)", { base with M.Research_graph.crisis = 20. });
+      ("in crisis (crisis=40)", { base with M.Research_graph.crisis = 40. });
+    ]
+  in
+  let rows =
+    List.map (fun (label, params) -> label :: aggregate params seeds) regimes
+  in
+  Support.Table.print
+    ~header:
+      [
+        "regime";
+        "mean deg";
+        "giant frac";
+        "diameter";
+        "mean path";
+        "theory->practice";
+        "stranded theory";
+        "introverted";
+        "crisis score";
+      ]
+    rows;
+  print_newline ();
+  Bench_util.note
+    "The paper's claim holds: local structure (mean degree) is unchanged while";
+  Bench_util.note
+    "global connectivity degrades — a smaller giant component, longer and";
+  Bench_util.note
+    "sometimes broken paths from theory to practice, and introverted";
+  Bench_util.note "(single-band) components: \"autistic theories and introverted products\".";
+  print_newline ();
+  (* crisis-score distribution overlap: how often would a single snapshot
+     mislead?  ("the differences can escape detection for a long time") *)
+  let scores params =
+    List.map
+      (fun seed ->
+        let rng = Support.Rng.create seed in
+        let g = M.Research_graph.generate rng params in
+        (M.Graph_metrics.report g).M.Graph_metrics.crisis_score)
+      seeds
+  in
+  let healthy = Array.of_list (scores (List.assoc "healthy (crisis=0)" regimes)) in
+  let crisis = Array.of_list (scores (List.assoc "in crisis (crisis=40)" regimes)) in
+  let threshold = Support.Stats.median (Array.append healthy crisis) in
+  let misclassified =
+    Array.fold_left (fun acc s -> if s >= threshold then acc + 1 else acc) 0 healthy
+    + Array.fold_left (fun acc s -> if s < threshold then acc + 1 else acc) 0 crisis
+  in
+  Bench_util.note
+    "single-snapshot diagnosis at the median threshold misclassifies %d/400 —"
+    misclassified;
+  Bench_util.note
+    "global decay is visible statistically yet \"can escape detection\" case by case.";
+  print_newline ();
+  (* Figures 1 + 2 combined: the field's connectivity driven by the Kuhn
+     stage machine *)
+  Bench_util.note
+    "Evolution: homophily driven by the Kuhn stages (crisis builds it,";
+  Bench_util.note "revolution resets it) — crisis score over 400 steps:";
+  let rng = Support.Rng.create 1995 in
+  let snaps = M.Evolution.simulate rng M.Evolution.default_params ~steps:400 in
+  let scores =
+    Array.of_list (List.map (fun s -> s.M.Evolution.crisis_score) snaps)
+  in
+  print_endline (Support.Table.sparkline scores);
+  let share stage =
+    float_of_int
+      (List.length (List.filter (fun s -> s.M.Evolution.stage = stage) snaps))
+    /. 400.
+  in
+  Bench_util.note
+    "time shares: normal %.2f, crisis %.2f, revolution %.2f; corr(stage, score) = %.2f"
+    (share M.Kuhn.Normal) (share M.Kuhn.Crisis) (share M.Kuhn.Revolution)
+    (M.Evolution.correlation_stage_score snaps)

@@ -1,0 +1,53 @@
+(* Footnote 11: Kitcher's population-genetics argument that cognitive
+   diversity is beneficial and inevitable.  We sweep the relative promise
+   of two research programs and compare the credit-chasing equilibrium
+   against the community optimum and against monoculture. *)
+
+module M = Metatheory
+
+let run () =
+  Bench_util.header "Kitcher's diversity model (footnote 11)";
+  let mainstream potential =
+    { M.Kitcher.name = "mainstream"; potential; difficulty = 8. }
+  in
+  let maverick = { M.Kitcher.name = "maverick"; potential = 0.5; difficulty = 3. } in
+  let rows =
+    List.map
+      (fun potential ->
+        let p1 = mainstream potential in
+        let eq = M.Kitcher.equilibrium p1 maverick ~total:100. in
+        let opt = M.Kitcher.optimal_allocation p1 maverick ~total:100. in
+        let v_eq = M.Kitcher.community_success p1 maverick eq in
+        let v_opt = M.Kitcher.community_success p1 maverick opt in
+        let v_mono =
+          M.Kitcher.community_success p1 maverick
+            { M.Kitcher.allocation = 100.; total = 100. }
+        in
+        [
+          Bench_util.f2 potential;
+          Bench_util.f1 eq.M.Kitcher.allocation;
+          Bench_util.f1 opt.M.Kitcher.allocation;
+          Bench_util.f3 v_eq;
+          Bench_util.f3 v_opt;
+          Bench_util.f3 v_mono;
+          Printf.sprintf "%.0f%%" (100. *. v_eq /. v_opt);
+        ])
+      [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+  in
+  Support.Table.print
+    ~header:
+      [
+        "mainstream potential";
+        "equilibrium n1";
+        "optimal n1";
+        "success @eq";
+        "success @opt";
+        "success @monoculture";
+        "efficiency";
+      ]
+    rows;
+  print_newline ();
+  Bench_util.note
+    "Diversity is inevitable (credit-chasing never empties the maverick program)";
+  Bench_util.note
+    "and beneficial (the mixed optimum always beats the monoculture)."

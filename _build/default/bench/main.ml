@@ -1,0 +1,42 @@
+(* The benchmark harness: one target per figure of the paper plus one per
+   section-level experimental claim, and a Bechamel micro-benchmark pass.
+   With no argument, everything runs (figures first). *)
+
+let targets =
+  [
+    ("fig1", "Figure 1: Kuhn's stages", Fig1.run);
+    ("fig2", "Figure 2: research graph, healthy vs crisis", Fig2.run);
+    ("fig3", "Figure 3: PODS papers per area, two-year averages", Fig3.run);
+    ("volterra", "Volterra ecosystem fit to the PODS series", Volterra_bench.run);
+    ("kitcher", "Kitcher's diversity model (footnote 11)", Kitcher_bench.run);
+    ("codd", "Codd's theorem: compilation vs interpretation", Codd_bench.run);
+    ("datalog", "recursive queries: naive / semi-naive / magic", Datalog_bench.run);
+    ("cc", "concurrency control under contention", Cc_bench.run);
+    ("chase", "dependency theory and normalization pipeline", Chase_bench.run);
+    ("sat", "Cook & Fagin: SAT as common currency", Sat_bench.run);
+    ("access", "access methods (B+tree, extendible hashing) + complex objects", Access_bench.run);
+    ("ablation", "design-choice ablations (optimizer, Yannakakis, DPLL)", Ablation.run);
+    ("micro", "Bechamel micro-benchmarks", Micro.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [target ...]";
+  print_endline "targets:";
+  List.iter (fun (name, descr, _) -> Printf.printf "  %-10s %s\n" name descr) targets;
+  print_endline "  all        everything (default)"
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] | [ "all" ] -> List.iter (fun (_, _, run) -> run ()) targets
+  | [ "help" ] | [ "--help" ] | [ "-h" ] -> usage ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) targets with
+          | Some (_, _, run) -> run ()
+          | None ->
+              Printf.eprintf "unknown target %S\n" name;
+              usage ();
+              exit 1)
+        names

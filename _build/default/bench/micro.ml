@@ -1,0 +1,141 @@
+(* Bechamel micro-benchmarks of the hot paths: one Test.make per measured
+   kernel, OLS-estimated ns/run printed as a table. *)
+
+open Bechamel
+
+module R = Relational
+module D = Datalog
+module Dep = Dependencies
+
+let join_bench =
+  let rng = Support.Rng.create 17 in
+  let left_schema = R.Schema.make [ ("a", R.Value.TInt); ("k", R.Value.TInt) ] in
+  let right_schema = R.Schema.make [ ("k", R.Value.TInt); ("b", R.Value.TInt) ] in
+  let left = R.Generator.random_relation rng left_schema ~size:60 ~domain:20 in
+  let right = R.Generator.random_relation rng right_schema ~size:60 ~domain:20 in
+  Test.make ~name:"relation-hash-join-60x60"
+    (Staged.stage (fun () -> ignore (R.Relation.join left right)))
+
+let seminaive_bench =
+  let edb = D.Workloads.chain ~n:24 in
+  Test.make ~name:"seminaive-tc-chain24"
+    (Staged.stage (fun () ->
+         ignore (D.Seminaive.eval D.Workloads.transitive_closure edb)))
+
+let magic_bench =
+  let edb = D.Workloads.chain ~n:24 in
+  let q = D.Parser.parse_query "path(0, X)" in
+  Test.make ~name:"magic-tc-point-chain24"
+    (Staged.stage (fun () ->
+         ignore (D.Magic.query D.Workloads.transitive_closure_left edb q)))
+
+let closure_bench =
+  let fds = Dep.Fd.set_of_string "A -> BC; B -> E; CD -> EF; E -> A; F -> D" in
+  Test.make ~name:"fd-closure"
+    (Staged.stage (fun () ->
+         ignore (Dep.Fd.closure (Dep.Attrs.of_string "AD") fds)))
+
+let chase_bench =
+  let universe = Dep.Attrs.of_string "ABCDE" in
+  let fds = Dep.Fd.set_of_string "A -> B; BC -> D; D -> E" in
+  let components =
+    [ Dep.Attrs.of_string "AB"; Dep.Attrs.of_string "BCD"; Dep.Attrs.of_string "DE";
+      Dep.Attrs.of_string "AC" ]
+  in
+  Test.make ~name:"chase-lossless-4-components"
+    (Staged.stage (fun () ->
+         ignore (Dep.Chase.lossless_join ~universe fds components)))
+
+let dpll_bench =
+  let rng = Support.Rng.create 5 in
+  let cnf =
+    List.init 120 (fun _ ->
+        List.init 3 (fun _ ->
+            let v = 1 + Support.Rng.int rng 30 in
+            if Support.Rng.bool rng then v else -v))
+  in
+  Test.make ~name:"dpll-3cnf-30v-120c"
+    (Staged.stage (fun () -> ignore (Sat.Dpll.solve cnf)))
+
+let codd_bench =
+  let rng = Support.Rng.create 23 in
+  let schema = R.Schema.make [ ("src", R.Value.TInt); ("dst", R.Value.TInt) ] in
+  let rows =
+    List.init 50 (fun _ ->
+        [ R.Value.Int (Support.Rng.int rng 25); R.Value.Int (Support.Rng.int rng 25) ])
+  in
+  let db = R.Database.of_list [ ("edge", R.Relation.of_list schema rows) ] in
+  let query =
+    {
+      Calculus.Formula.head = [ "x"; "y" ];
+      body =
+        Calculus.Formula.Exists
+          ( "z",
+            Calculus.Formula.And
+              ( Calculus.Formula.Atom
+                  ("edge", [ Calculus.Formula.Var "x"; Calculus.Formula.Var "z" ]),
+                Calculus.Formula.Atom
+                  ("edge", [ Calculus.Formula.Var "z"; Calculus.Formula.Var "y" ])
+              ) );
+    }
+  in
+  Test.make ~name:"codd-translate-and-eval"
+    (Staged.stage (fun () ->
+         ignore (R.Eval.eval db (Calculus.To_algebra.translate_query db query))))
+
+let two_pl_bench =
+  let rng = Support.Rng.create 31 in
+  let specs =
+    Transactions.Workload.generate rng
+      { Transactions.Workload.default with txns = 8; items = 16 }
+  in
+  Test.make ~name:"strict-2pl-8txns"
+    (Staged.stage (fun () ->
+         ignore (Transactions.Simulation.run (Transactions.Two_phase.create ()) specs)))
+
+let tests =
+  Test.make_grouped ~name:"dbmeta"
+    [
+      join_bench;
+      seminaive_bench;
+      magic_bench;
+      closure_bench;
+      chase_bench;
+      dpll_bench;
+      codd_bench;
+      two_pl_bench;
+    ]
+
+let run () =
+  Bench_util.header "Bechamel micro-benchmarks (OLS ns/run)";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | _ -> Float.nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan
+        in
+        (name, estimate, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+    |> List.map (fun (name, estimate, r2) ->
+           [
+             name;
+             Printf.sprintf "%.0f" estimate;
+             Printf.sprintf "%.3f" r2;
+           ])
+  in
+  Support.Table.print ~header:[ "benchmark"; "ns/run"; "r²" ] rows

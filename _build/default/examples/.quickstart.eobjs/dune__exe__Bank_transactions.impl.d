@@ -1,0 +1,1 @@
+examples/bank_transactions.ml: List Printf String Transactions

@@ -1,0 +1,1 @@
+examples/complex_objects.ml: Access List Nested Printf Relational

@@ -1,0 +1,1 @@
+examples/field_history.ml: Array List Metatheory Printf Support

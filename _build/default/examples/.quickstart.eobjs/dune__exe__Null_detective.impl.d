@@ -1,0 +1,1 @@
+examples/null_detective.ml: Incomplete Printf Relational

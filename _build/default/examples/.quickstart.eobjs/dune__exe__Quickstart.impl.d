@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Calculus Datalog Format Printf Relational

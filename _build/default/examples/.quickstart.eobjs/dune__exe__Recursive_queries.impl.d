@@ -1,0 +1,1 @@
+examples/recursive_queries.ml: Array Datalog List Printf Relational String

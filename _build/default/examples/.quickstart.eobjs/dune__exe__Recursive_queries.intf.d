@@ -1,0 +1,1 @@
+examples/recursive_queries.mli:

@@ -1,0 +1,1 @@
+examples/schema_design.ml: Dependencies List Printf String

@@ -1,0 +1,70 @@
+(* Complex objects: the nested relational model on a project staffing
+   database — nest, unnest, the PNF caveat, and indexes on the flat side.
+
+   Run with: dune exec examples/complex_objects.exe *)
+
+module R = Relational
+module N = Nested
+open R.Value
+
+let () =
+  let assignments =
+    R.Relation.of_list
+      (R.Schema.make
+         [ ("project", TString); ("person", TString); ("role", TString) ])
+      [
+        [ String "athena"; String "ada"; String "lead" ];
+        [ String "athena"; String "bob"; String "dev" ];
+        [ String "athena"; String "cyn"; String "dev" ];
+        [ String "hermes"; String "ada"; String "advisor" ];
+        [ String "hermes"; String "dan"; String "lead" ];
+      ]
+  in
+  print_endline "== flat assignments (1NF) ==";
+  print_string (R.Relation.to_string assignments);
+
+  (* nest people-with-roles under each project: a complex object *)
+  let flat = N.of_flat assignments in
+  let by_project = N.nest flat ~into:"team" [ "person"; "role" ] in
+  print_endline "\n== nested by project (NF²) ==";
+  print_string (N.to_string by_project);
+  Printf.printf "nesting depth: %d, PNF: %b\n"
+    (N.depth (N.schema by_project))
+    (N.is_pnf by_project);
+
+  (* deeper: group the projects themselves *)
+  let portfolio = N.nest by_project ~into:"projects" [ "project"; "team" ] in
+  Printf.printf "\nportfolio depth: %d\n" (N.depth (N.schema portfolio));
+
+  (* the laws *)
+  let back = N.unnest by_project "team" in
+  Printf.printf "unnest . nest = id: %b\n" (N.equal back flat);
+  Printf.printf "flatten recovers 1NF from any depth: %b\n"
+    (N.equal (N.flatten portfolio) flat);
+
+  (* the PNF trap: two rows with the same atomic key *)
+  let inner_schema = [ ("person", N.Atom TString) ] in
+  let inner people =
+    N.create inner_schema (List.map (fun p -> [| N.V (String p) |]) people)
+  in
+  let non_pnf =
+    N.create
+      [ ("project", N.Atom TString); ("team", N.Set inner_schema) ]
+      [
+        [| N.V (String "athena"); N.R (inner [ "ada" ]) |];
+        [| N.V (String "athena"); N.R (inner [ "bob" ]) |];
+      ]
+  in
+  print_endline "\n== the PNF trap ==";
+  print_string (N.to_string non_pnf);
+  Printf.printf "PNF: %b — unnesting and re-nesting merges the two rows:\n"
+    (N.is_pnf non_pnf);
+  print_string
+    (N.to_string (N.nest (N.unnest non_pnf "team") ~into:"team" [ "person" ]));
+
+  (* and on the flat side, a secondary index *)
+  let index = Access.Btree.index_relation assignments "person" in
+  print_endline "\n== who is ada? (via a B+tree secondary index) ==";
+  List.iter
+    (fun tup -> Printf.printf "  %s\n" (R.Tuple.to_string tup))
+    (Access.Btree.find index (String "ada"))

@@ -1,0 +1,69 @@
+(* The metatheory itself, end to end: a synthetic scientific field lives
+   through Kuhn's stages while its research graph fragments and heals,
+   program committees overcorrect, and two research programs split the
+   community à la Kitcher.
+
+   Run with: dune exec examples/field_history.exe *)
+
+module M = Metatheory
+
+let () =
+  print_endline "== Kuhn's stages (Figure 1) ==";
+  print_string (M.Kuhn.diagram ());
+
+  let rng = Support.Rng.create 1995 in
+  let snaps = M.Evolution.simulate rng M.Evolution.default_params ~steps:300 in
+  print_endline "\n== three centuries of a synthetic field ==";
+  Printf.printf "crisis score trajectory: %s\n"
+    (Support.Table.sparkline
+       (Array.of_list (List.map (fun s -> s.M.Evolution.crisis_score) snaps)));
+  let revolutions =
+    List.length
+      (List.filter (fun s -> s.M.Evolution.stage = M.Kuhn.Revolution) snaps)
+  in
+  Printf.printf "revolutions lived through: %d\n" revolutions;
+  Printf.printf "stage/score correlation: %.2f\n"
+    (M.Evolution.correlation_stage_score snaps);
+
+  print_endline "\n== the PODS retrospective (Figure 3) ==";
+  let years = M.Pods_data.years in
+  List.iter
+    (fun (area, series) ->
+      Printf.printf "%-22s %s  (peak %d)\n"
+        (M.Pods_data.area_to_string area)
+        (Support.Table.sparkline (M.Timeseries.two_year_average series))
+        (M.Timeseries.peak_year ~years series))
+    M.Pods_data.all_series;
+  Printf.printf "two-year harmonic of the raw logic-db series: %.3f\n"
+    (M.Timeseries.committee_harmonic M.Pods_data.printed_logic_series);
+
+  print_endline "\n== why the harmonic? committees with one-year memory ==";
+  let interest = M.Committee.hump ~years:14 ~peak:16. in
+  List.iter
+    (fun gamma ->
+      let series =
+        M.Committee.simulate
+          { M.Committee.overcorrection = gamma; noise = 0. }
+          ~interest
+      in
+      Printf.printf "gamma %.1f: %s  harmonic %.3f\n" gamma
+        (Support.Table.sparkline series)
+        (Support.Stats.harmonic_strength series 2))
+    [ 0.0; 1.0; 1.8 ];
+
+  print_endline "\n== Kitcher: why mavericks persist (footnote 11) ==";
+  let mainstream = { M.Kitcher.name = "mainstream"; potential = 0.9; difficulty = 8. } in
+  let maverick = { M.Kitcher.name = "maverick"; potential = 0.5; difficulty = 3. } in
+  let eq = M.Kitcher.equilibrium mainstream maverick ~total:100. in
+  let opt = M.Kitcher.optimal_allocation mainstream maverick ~total:100. in
+  Printf.printf
+    "credit-chasing equilibrium: %.0f researchers on the mainstream, %.0f on \
+     the maverick\n"
+    eq.M.Kitcher.allocation
+    (100. -. eq.M.Kitcher.allocation);
+  Printf.printf "community optimum: %.0f / %.0f — the invisible hand is %.0f%% efficient\n"
+    opt.M.Kitcher.allocation
+    (100. -. opt.M.Kitcher.allocation)
+    (100.
+    *. M.Kitcher.community_success mainstream maverick eq
+    /. M.Kitcher.community_success mainstream maverick opt)

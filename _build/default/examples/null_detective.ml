@@ -1,0 +1,69 @@
+(* Incomplete information: what can be answered with certainty when the
+   database has nulls?  The Imieliński–Lipski machinery on a small
+   whodunit.
+
+   Run with: dune exec examples/null_detective.exe *)
+
+module I = Incomplete
+module R = Relational
+module A = R.Algebra
+open R.Value
+
+let cc v = I.Table.Const v
+let nn i = I.Table.Null i
+
+let () =
+  (* sightings: who was seen where; one witness couldn't tell the place,
+     another couldn't tell the person — labelled nulls *)
+  let sight_schema = R.Schema.make [ ("who", TString); ("place", TString) ] in
+  let sightings =
+    I.Table.create sight_schema
+      [
+        [| cc (String "mallory"); cc (String "library") |];
+        [| cc (String "ada"); nn 1 |];  (* ada seen somewhere unknown *)
+        [| nn 2; cc (String "garden") |];  (* someone seen in the garden *)
+      ]
+  in
+  (* the crime scene *)
+  let scene_schema = R.Schema.make [ ("place", TString) ] in
+  let scene = I.Table.create scene_schema [ [| cc (String "library") |] ] in
+  let db = [ ("sightings", sightings); ("scene", scene) ] in
+  Printf.printf "sightings (with labelled nulls):\n%s\n" (I.Table.to_string sightings);
+  Printf.printf "crime scene:\n%s\n" (I.Table.to_string scene);
+
+  let suspects =
+    A.Project ([ "who" ], A.Join (A.Rel "sightings", A.Rel "scene"))
+  in
+  Printf.printf "who was certainly at the scene?\n";
+  let certain = I.Naive_eval.certain_answers db suspects in
+  print_string (R.Relation.to_string certain);
+
+  let domain =
+    [ String "library"; String "garden"; String "kitchen";
+      String "ada"; String "bob"; String "mallory"; String "u1"; String "u2" ]
+  in
+  Printf.printf "\nwho was possibly at the scene?\n";
+  let possible = I.Naive_eval.possible_answers_bruteforce db suspects ~domain in
+  print_string (R.Relation.to_string possible);
+
+  Printf.printf "\n(naive evaluation = certain answers for positive queries: %b)\n"
+    (R.Relation.equal certain
+       (I.Naive_eval.certain_answers_bruteforce db suspects ~domain));
+
+  (* why negation is dangerous with nulls *)
+  let innocent =
+    A.Diff
+      ( A.Project ([ "who" ], A.Rel "sightings"),
+        A.Project ([ "who" ], A.Join (A.Rel "sightings", A.Rel "scene")) )
+  in
+  Printf.printf "\nwho is 'certainly NOT placeable at the scene'? (negation!)\n";
+  let truly =
+    I.Naive_eval.certain_answers_bruteforce db innocent ~domain
+  in
+  print_string (R.Relation.to_string truly);
+  Printf.printf
+    "\nada is not certainly innocent: her unknown place might be the library.\n";
+  Printf.printf "naive evaluation refuses the non-positive query: %b\n"
+    (match I.Naive_eval.eval db innocent with
+    | _ -> false
+    | exception I.Naive_eval.Not_positive _ -> true)

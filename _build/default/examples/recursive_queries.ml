@@ -1,0 +1,84 @@
+(* The logic-databases tradition at work: a flight-routes program with
+   stratified negation, evaluated three ways, plus conjunctive-query
+   containment and minimization.
+
+   Run with: dune exec examples/recursive_queries.exe *)
+
+module D = Datalog
+module Ts = D.Facts.Tuple_set
+
+let program_text =
+  {|
+    % direct flights
+    flight(sfo, jfk). flight(jfk, lhr). flight(lhr, ath).
+    flight(sfo, ord). flight(ord, jfk). flight(ath, cai).
+    flight(syd, sfo).
+
+    % reachable with any number of hops
+    reach(X, Y) :- flight(X, Y).
+    reach(X, Y) :- flight(X, Z), reach(Z, Y).
+
+    % airports
+    airport(X) :- flight(X, Y).
+    airport(Y) :- flight(X, Y).
+
+    % city pairs with no route at all (stratified negation)
+    noroute(X, Y) :- airport(X), airport(Y), not reach(X, Y).
+  |}
+
+let () =
+  let program = D.Parser.parse_program program_text in
+  Printf.printf "program:\n%s\n\n" (D.Ast.program_to_string program);
+  D.Checks.check_safety program;
+  let strata = D.Checks.stratify program in
+  Printf.printf "stratification: %d strata; stratum of each predicate: %s\n\n"
+    (List.length strata)
+    (String.concat ", "
+       (List.map
+          (fun (p, s) -> Printf.sprintf "%s:%d" p s)
+          (D.Checks.strata_of_predicates program)));
+
+  let result, stats = D.Seminaive.eval_with_stats program D.Facts.empty in
+  Printf.printf "semi-naive evaluation: %d iterations, %d derivations\n"
+    stats.D.Naive.iterations stats.D.Naive.derivations;
+  Printf.printf "reach facts: %d, noroute facts: %d\n\n"
+    (D.Facts.cardinality result "reach")
+    (D.Facts.cardinality result "noroute");
+
+  let q = D.Parser.parse_query "reach(sfo, X)" in
+  Printf.printf "where can you get from SFO?  ?- %s\n" (D.Ast.atom_to_string q);
+  Ts.iter
+    (fun tup ->
+      Printf.printf "  %s\n" (Relational.Value.to_string tup.(1)))
+    (D.Naive.filter_by_query (D.Facts.get result "reach") q);
+  print_newline ();
+
+  (* magic sets on the positive fragment: strip the negation stratum *)
+  let positive =
+    List.filter
+      (fun r -> D.Ast.head_pred r <> "noroute" && D.Ast.head_pred r <> "airport")
+      program
+  in
+  let _, semi_stats = D.Seminaive.eval_with_stats positive D.Facts.empty in
+  let answers, magic_stats = D.Magic.query_with_stats positive D.Facts.empty q in
+  Printf.printf
+    "magic sets on ?- reach(sfo, X): %d answers with %d derivations\n"
+    (Ts.cardinal answers) magic_stats.D.Naive.derivations;
+  Printf.printf "(full semi-naive evaluation needed %d derivations)\n\n"
+    semi_stats.D.Naive.derivations;
+
+  (* containment & minimization *)
+  let q1 = D.Containment.of_rule (D.Parser.parse_rule "q(X, Y) :- flight(X, Z), flight(Z, Y).") in
+  let q2 = D.Containment.of_rule (D.Parser.parse_rule "q(X, Y) :- flight(X, Z2), flight(Z3, Y).") in
+  Printf.printf "CQ containment (Chandra-Merlin):\n";
+  Printf.printf "  two-hop ⊆ loose-pair: %b\n" (D.Containment.contained q1 q2);
+  Printf.printf "  loose-pair ⊆ two-hop: %b\n" (D.Containment.contained q2 q1);
+  let redundant =
+    D.Containment.of_rule
+      (D.Parser.parse_rule "q(X) :- flight(X, Y), flight(X, Z), flight(X, W).")
+  in
+  let core = D.Containment.minimize redundant in
+  Printf.printf "  minimization: %d atoms -> %d atoms (equivalent: %b)\n"
+    (List.length redundant.D.Containment.body)
+    (List.length core.D.Containment.body)
+    (D.Containment.equivalent redundant core)

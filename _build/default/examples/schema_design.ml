@@ -1,0 +1,79 @@
+(* A session with the normalization workbench — what the "more than
+   twenty database design tools that do some form of normalization" do,
+   on the classic course-registration schema.
+
+   Run with: dune exec examples/schema_design.exe *)
+
+module NF = Dependencies.Normal_forms
+module Fd = Dependencies.Fd
+module Attrs = Dependencies.Attrs
+module Chase = Dependencies.Chase
+
+let show_scheme s = Printf.printf "  %s\n" (NF.scheme_to_string s)
+
+let () =
+  (* One big registration table:
+     S = student, C = course, T = teacher, H = hour, R = room, G = grade.
+     C -> T      each course has one teacher
+     HR -> C     a room at an hour hosts one course
+     HT -> R     a teacher at an hour is in one room
+     CS -> G     a student's grade in a course is unique
+     HS -> R     a student at an hour is in one room *)
+  let registration =
+    {
+      NF.name = "reg";
+      attrs = Attrs.of_string "SCTHRG";
+      fds = Fd.set_of_string "C -> T; HR -> C; HT -> R; CS -> G; HS -> R";
+    }
+  in
+  Printf.printf "schema under design:\n  %s\n\n" (NF.scheme_to_string registration);
+
+  let keys = Fd.candidate_keys ~universe:registration.NF.attrs registration.NF.fds in
+  Printf.printf "candidate keys: %s\n"
+    (String.concat ", " (List.map Attrs.to_string keys));
+  Printf.printf "prime attributes: %s\n\n"
+    (Attrs.to_string
+       (Fd.prime_attributes ~universe:registration.NF.attrs registration.NF.fds));
+
+  Printf.printf "normal-form report: 2NF=%b 3NF=%b BCNF=%b\n" (NF.is_2nf registration)
+    (NF.is_3nf registration) (NF.is_bcnf registration);
+  List.iter
+    (fun v -> Printf.printf "  violation: %s — %s\n" (Fd.to_string v.NF.fd) v.NF.reason)
+    (NF.violations_bcnf registration);
+  print_newline ();
+
+  Printf.printf "BCNF decomposition (lossless, may lose dependencies):\n";
+  let bcnf = NF.bcnf_decompose registration in
+  List.iter show_scheme bcnf;
+  Printf.printf "  lossless: %b  dependency-preserving: %b\n\n"
+    (NF.lossless registration bcnf)
+    (NF.dependency_preserving registration bcnf);
+
+  Printf.printf "3NF synthesis (lossless AND dependency-preserving):\n";
+  let threenf = NF.synthesize_3nf registration in
+  List.iter show_scheme threenf;
+  Printf.printf "  lossless: %b  dependency-preserving: %b\n\n"
+    (NF.lossless registration threenf)
+    (NF.dependency_preserving registration threenf);
+
+  (* the chase, visibly *)
+  Printf.printf "the chase that certifies the 3NF decomposition:\n";
+  let tableau =
+    Chase.initial_tableau ~universe:registration.NF.attrs
+      (List.map (fun s -> s.NF.attrs) threenf)
+  in
+  print_string (Chase.to_string tableau);
+  Printf.printf "  ... chases to ...\n";
+  let chased =
+    Chase.chase tableau
+      (List.map (fun fd -> Chase.Fd_dep fd) registration.NF.fds)
+  in
+  print_string (Chase.to_string chased);
+  Printf.printf "  all-distinguished row present: %b\n\n"
+    (Chase.has_distinguished_row chased);
+
+  (* is the decomposed scheme acyclic? *)
+  let hypergraph = List.map (fun s -> s.NF.attrs) threenf in
+  Printf.printf "decomposed scheme %s is acyclic: %b\n"
+    (Dependencies.Hypergraph.to_string hypergraph)
+    (Dependencies.Hypergraph.is_acyclic hypergraph)

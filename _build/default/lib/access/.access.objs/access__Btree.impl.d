@@ -1,0 +1,1 @@
+lib/access/btree.ml: Array List Printf Relational

@@ -1,0 +1,1 @@
+lib/access/btree.mli: Relational

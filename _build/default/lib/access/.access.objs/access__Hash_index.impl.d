@@ -1,0 +1,1 @@
+lib/access/hash_index.ml: Array List Printf Relational

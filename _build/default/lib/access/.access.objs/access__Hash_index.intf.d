@@ -1,0 +1,1 @@
+lib/access/hash_index.mli: Relational

@@ -1,0 +1,136 @@
+module V = Relational.Value
+
+type 'p bucket = {
+  mutable local_depth : int;
+  mutable entries : (V.t * 'p list) list;
+}
+
+type 'p t = {
+  capacity : int;
+  mutable global_depth : int;
+  mutable directory : 'p bucket array;  (* length = 2^global_depth *)
+}
+
+let create ?(bucket_capacity = 4) () =
+  let bucket = { local_depth = 0; entries = [] } in
+  { capacity = max 1 bucket_capacity; global_depth = 0; directory = [| bucket |] }
+
+let hash key = V.hash key land max_int
+
+let slot t key = hash key land ((1 lsl t.global_depth) - 1)
+
+let double_directory t =
+  let n = Array.length t.directory in
+  let dir = Array.make (2 * n) t.directory.(0) in
+  for i = 0 to n - 1 do
+    dir.(i) <- t.directory.(i);
+    dir.(i + n) <- t.directory.(i)
+  done;
+  t.directory <- dir;
+  t.global_depth <- t.global_depth + 1
+
+let rec insert t key payload =
+  let i = slot t key in
+  let bucket = t.directory.(i) in
+  let existing =
+    List.find_opt (fun (k, _) -> V.compare_poly k key = 0) bucket.entries
+  in
+  match existing with
+  | Some _ ->
+      bucket.entries <-
+        List.map
+          (fun (k', ps') ->
+            if V.compare_poly k' key = 0 then (k', ps' @ [ payload ])
+            else (k', ps'))
+          bucket.entries
+  | None ->
+      if
+        List.length bucket.entries < t.capacity
+        (* full-hash collisions could force unbounded doubling; past depth
+           24 the bucket simply overflows *)
+        || t.global_depth >= 24
+      then bucket.entries <- (key, [ payload ]) :: bucket.entries
+      else begin
+        (* split the bucket (doubling the directory first if needed) *)
+        if bucket.local_depth = t.global_depth then double_directory t;
+        let new_depth = bucket.local_depth + 1 in
+        let bit = 1 lsl bucket.local_depth in
+        let zero = { local_depth = new_depth; entries = [] } in
+        let one = { local_depth = new_depth; entries = [] } in
+        List.iter
+          (fun (k, ps) ->
+            let target = if hash k land bit = 0 then zero else one in
+            target.entries <- (k, ps) :: target.entries)
+          bucket.entries;
+        Array.iteri
+          (fun j b ->
+            if b == bucket then
+              t.directory.(j) <- (if j land bit = 0 then zero else one))
+          t.directory;
+        insert t key payload
+      end
+
+let find t key =
+  let bucket = t.directory.(slot t key) in
+  match List.find_opt (fun (k, _) -> V.compare_poly k key = 0) bucket.entries with
+  | Some (_, ps) -> ps
+  | None -> []
+
+let mem t key = find t key <> []
+
+let delete t key =
+  let bucket = t.directory.(slot t key) in
+  let before = List.length bucket.entries in
+  bucket.entries <-
+    List.filter (fun (k, _) -> V.compare_poly k key <> 0) bucket.entries;
+  List.length bucket.entries < before
+
+let global_depth t = t.global_depth
+let directory_size t = Array.length t.directory
+
+let distinct_buckets t =
+  Array.fold_left
+    (fun acc b -> if List.memq b acc then acc else b :: acc)
+    [] t.directory
+
+let bucket_count t = List.length (distinct_buckets t)
+
+let cardinality t =
+  List.fold_left
+    (fun acc b -> acc + List.length b.entries)
+    0 (distinct_buckets t)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if Array.length t.directory <> 1 lsl t.global_depth then
+    fail "directory size %d is not 2^%d" (Array.length t.directory) t.global_depth
+  else begin
+    let problems =
+      List.filter_map
+        (fun bucket ->
+          if bucket.local_depth > t.global_depth then
+            Some "local depth exceeds global depth"
+          else begin
+            let slots =
+              Array.to_list t.directory
+              |> List.mapi (fun i b -> (i, b))
+              |> List.filter (fun (_, b) -> b == bucket)
+              |> List.map fst
+            in
+            let expected = 1 lsl (t.global_depth - bucket.local_depth) in
+            if List.length slots <> expected then
+              Some
+                (Printf.sprintf "bucket with local depth %d owned by %d slots, expected %d"
+                   bucket.local_depth (List.length slots) expected)
+            else if
+              List.exists
+                (fun (k, _) ->
+                  not (List.mem (hash k land ((1 lsl t.global_depth) - 1)) slots))
+                bucket.entries
+            then Some "key stored in a bucket its hash does not address"
+            else None
+          end)
+        (distinct_buckets t)
+    in
+    match problems with [] -> Ok () | p :: _ -> fail "%s" p
+  end

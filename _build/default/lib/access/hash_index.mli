@@ -1,0 +1,27 @@
+(** Extendible hashing — the other classic access method: a directory of
+    bucket pointers that doubles on demand, with buckets splitting by one
+    more hash bit at a time.  No overflow chains, at most one split per
+    insertion burst, O(1) lookups. *)
+
+type 'p t
+
+val create : ?bucket_capacity:int -> unit -> 'p t
+(** [bucket_capacity] = entries per bucket before a split (default 4). *)
+
+val insert : 'p t -> Relational.Value.t -> 'p -> unit
+(** Duplicate keys accumulate payloads, like the B+tree. *)
+
+val find : 'p t -> Relational.Value.t -> 'p list
+val mem : 'p t -> Relational.Value.t -> bool
+val delete : 'p t -> Relational.Value.t -> bool
+(** Removes the key from its bucket (directories never shrink). *)
+
+val global_depth : 'p t -> int
+val directory_size : 'p t -> int
+val bucket_count : 'p t -> int
+val cardinality : 'p t -> int
+
+val check_invariants : 'p t -> (unit, string) result
+(** Directory size = 2^global depth; every key sits in the bucket its
+    hash prefix addresses; bucket local depths ≤ global depth; buckets
+    shared by exactly 2^(global−local) directory slots. *)

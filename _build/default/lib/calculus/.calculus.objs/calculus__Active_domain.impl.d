@@ -1,0 +1,1 @@
+lib/calculus/active_domain.ml: Array Formula Hashtbl List Printf Relational Set Typing

@@ -1,0 +1,1 @@
+lib/calculus/active_domain.mli: Formula Relational

@@ -1,0 +1,1 @@
+lib/calculus/formula.ml: Format Hashtbl List Printf Relational Set String

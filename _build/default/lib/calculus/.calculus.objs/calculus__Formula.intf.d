@@ -1,0 +1,1 @@
+lib/calculus/formula.mli: Format Relational

@@ -1,0 +1,1 @@
+lib/calculus/from_algebra.ml: Formula List Relational

@@ -1,0 +1,1 @@
+lib/calculus/from_algebra.mli: Formula Relational

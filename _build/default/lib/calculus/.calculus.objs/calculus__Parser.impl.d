@@ -1,0 +1,1 @@
+lib/calculus/parser.ml: Buffer Formula List Printf Relational String

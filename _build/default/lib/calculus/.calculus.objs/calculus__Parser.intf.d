@@ -1,0 +1,1 @@
+lib/calculus/parser.mli: Formula

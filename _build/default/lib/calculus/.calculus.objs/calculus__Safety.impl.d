@@ -1,0 +1,1 @@
+lib/calculus/safety.ml: Formula List Printf Relational Set String

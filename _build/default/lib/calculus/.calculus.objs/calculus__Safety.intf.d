@@ -1,0 +1,1 @@
+lib/calculus/safety.mli: Formula

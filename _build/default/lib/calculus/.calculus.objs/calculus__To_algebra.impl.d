@@ -1,0 +1,1 @@
+lib/calculus/to_algebra.ml: Formula Hashtbl List Printf Relational Set String Typing

@@ -1,0 +1,1 @@
+lib/calculus/typing.ml: Formula Hashtbl List Printexc Printf Relational String

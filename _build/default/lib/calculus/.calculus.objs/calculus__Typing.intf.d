@@ -1,0 +1,1 @@
+lib/calculus/typing.mli: Formula Relational

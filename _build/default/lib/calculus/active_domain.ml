@@ -1,0 +1,109 @@
+module R = Relational
+
+let constants f =
+  let rec go acc = function
+    | Formula.Atom (_, ts) ->
+        List.fold_left
+          (fun acc t ->
+            match t with Formula.Const c -> c :: acc | Formula.Var _ -> acc)
+          acc ts
+    | Formula.Cmp (_, a, b) ->
+        let add acc = function
+          | Formula.Const c -> c :: acc
+          | Formula.Var _ -> acc
+        in
+        add (add acc a) b
+    | Formula.And (p, q) | Formula.Or (p, q) -> go (go acc p) q
+    | Formula.Not p -> go acc p
+    | Formula.Exists (_, p) | Formula.Forall (_, p) -> go acc p
+  in
+  go [] f
+
+let relevant_domain db f ty =
+  let module Vs = Set.Make (struct
+    type t = R.Value.t
+
+    let compare = R.Value.compare_poly
+  end) in
+  let vs = Vs.of_list (R.Database.active_domain db) in
+  let vs = List.fold_left (fun acc c -> Vs.add c acc) vs (constants f) in
+  List.filter (fun v -> R.Value.type_of v = ty) (Vs.elements vs)
+
+let eval_formula db domain_of env f =
+  let rec go env = function
+    | Formula.Atom (r, ts) ->
+        let rel = R.Database.find db r in
+        let tup =
+          Array.of_list
+            (List.map
+               (function
+                 | Formula.Const c -> c
+                 | Formula.Var v -> (
+                     match List.assoc_opt v env with
+                     | Some value -> value
+                     | None ->
+                         raise
+                           (Formula.Ill_formed
+                              (Printf.sprintf "unbound variable %S" v))))
+               ts)
+        in
+        R.Relation.mem rel tup
+    | Formula.Cmp (c, a, b) ->
+        let value = function
+          | Formula.Const v -> v
+          | Formula.Var x -> (
+              match List.assoc_opt x env with
+              | Some v -> v
+              | None ->
+                  raise
+                    (Formula.Ill_formed (Printf.sprintf "unbound variable %S" x)))
+        in
+        let cmp = R.Value.compare (value a) (value b) in
+        (match c with
+        | R.Algebra.Eq -> cmp = 0
+        | R.Algebra.Ne -> cmp <> 0
+        | R.Algebra.Lt -> cmp < 0
+        | R.Algebra.Le -> cmp <= 0
+        | R.Algebra.Gt -> cmp > 0
+        | R.Algebra.Ge -> cmp >= 0)
+    | Formula.And (p, q) -> go env p && go env q
+    | Formula.Or (p, q) -> go env p || go env q
+    | Formula.Not p -> not (go env p)
+    | Formula.Exists (x, p) ->
+        List.exists (fun v -> go ((x, v) :: env) p) (domain_of x)
+    | Formula.Forall (x, p) ->
+        List.for_all (fun v -> go ((x, v) :: env) p) (domain_of x)
+  in
+  go env f
+
+let eval db query =
+  Formula.check_query query;
+  let body = Formula.drop_vacuous (Formula.rectify query.Formula.body) in
+  let catalog = R.Algebra.catalog_of_database db in
+  let types = Typing.infer catalog body in
+  let domain_cache = Hashtbl.create 8 in
+  let domain_of_ty ty =
+    match Hashtbl.find_opt domain_cache ty with
+    | Some d -> d
+    | None ->
+        let d = relevant_domain db body ty in
+        Hashtbl.add domain_cache ty d;
+        d
+  in
+  let domain_of v = domain_of_ty (Typing.type_of_var types v) in
+  let head = query.Formula.head in
+  let schema =
+    R.Schema.make (List.map (fun v -> (v, Typing.type_of_var types v)) head)
+  in
+  (* enumerate assignments of the head variables; the body decides *)
+  let rec enumerate env = function
+    | [] ->
+        if eval_formula db domain_of env body then
+          [ Array.of_list (List.map (fun v -> List.assoc v env) head) ]
+        else []
+    | v :: rest ->
+        List.concat_map
+          (fun value -> enumerate ((v, value) :: env) rest)
+          (domain_of v)
+  in
+  R.Relation.of_tuples schema (enumerate [] head)

@@ -1,0 +1,27 @@
+(** Direct (interpretive) evaluation of calculus queries under active-domain
+    semantics.
+
+    Quantifiers range over the active domain of the instance extended with
+    the constants of the query, restricted to each variable's inferred
+    type.  This evaluator is deliberately naive — it is the specification
+    against which the Codd translation ({!To_algebra}) is property-tested,
+    and the baseline the translation beats in the benchmark. *)
+
+val relevant_domain :
+  Relational.Database.t -> Formula.t -> Relational.Value.ty -> Relational.Value.t list
+(** Active domain of the instance plus the formula's constants, filtered to
+    the given type. *)
+
+val eval_formula :
+  Relational.Database.t ->
+  (string -> Relational.Value.t list) ->
+  (string * Relational.Value.t) list ->
+  Formula.t ->
+  bool
+(** [eval_formula db domain_of env f] decides [f] under assignment [env],
+    with quantified variables ranging over [domain_of var]. *)
+
+val eval : Relational.Database.t -> Formula.query -> Relational.Relation.t
+(** Evaluates a query; the result schema assigns each head variable its
+    inferred type, in head order.  Raises {!Typing.Type_error} on
+    untypeable queries and {!Formula.Ill_formed} on malformed heads. *)

@@ -1,0 +1,165 @@
+type term = Var of string | Const of Relational.Value.t
+
+type t =
+  | Atom of string * term list
+  | Cmp of Relational.Algebra.comparison * term * term
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Exists of string * t
+  | Forall of string * t
+
+type query = { head : string list; body : t }
+
+exception Ill_formed of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+module Ss = Set.Make (String)
+
+let term_vars = function Var v -> Ss.singleton v | Const _ -> Ss.empty
+
+let rec fv = function
+  | Atom (_, ts) ->
+      List.fold_left (fun acc t -> Ss.union acc (term_vars t)) Ss.empty ts
+  | Cmp (_, a, b) -> Ss.union (term_vars a) (term_vars b)
+  | And (p, q) | Or (p, q) -> Ss.union (fv p) (fv q)
+  | Not p -> fv p
+  | Exists (x, p) | Forall (x, p) -> Ss.remove x (fv p)
+
+let free_vars f = Ss.elements (fv f)
+
+let rec av = function
+  | Atom (_, ts) ->
+      List.fold_left (fun acc t -> Ss.union acc (term_vars t)) Ss.empty ts
+  | Cmp (_, a, b) -> Ss.union (term_vars a) (term_vars b)
+  | And (p, q) | Or (p, q) -> Ss.union (av p) (av q)
+  | Not p -> av p
+  | Exists (x, p) | Forall (x, p) -> Ss.add x (av p)
+
+let all_vars f = Ss.elements (av f)
+
+let exists_many xs f = List.fold_right (fun x acc -> Exists (x, acc)) xs f
+let forall_many xs f = List.fold_right (fun x acc -> Forall (x, acc)) xs f
+
+let conj = function
+  | [] -> invalid_arg "Formula.conj: empty list"
+  | f :: rest -> List.fold_left (fun acc g -> And (acc, g)) f rest
+
+let fresh_counter = ref 0
+
+let fresh base =
+  incr fresh_counter;
+  Printf.sprintf "%s_%d" base !fresh_counter
+
+let subst_term mapping = function
+  | Var v -> (
+      match List.assoc_opt v mapping with Some w -> Var w | None -> Var v)
+  | Const c -> Const c
+
+let rec rename_free mapping f =
+  match f with
+  | Atom (r, ts) -> Atom (r, List.map (subst_term mapping) ts)
+  | Cmp (c, a, b) -> Cmp (c, subst_term mapping a, subst_term mapping b)
+  | And (p, q) -> And (rename_free mapping p, rename_free mapping q)
+  | Or (p, q) -> Or (rename_free mapping p, rename_free mapping q)
+  | Not p -> Not (rename_free mapping p)
+  | Exists (x, p) -> quantify mapping x p (fun x p -> Exists (x, p))
+  | Forall (x, p) -> quantify mapping x p (fun x p -> Forall (x, p))
+
+and quantify mapping x p rebuild =
+  let mapping = List.filter (fun (src, _) -> src <> x) mapping in
+  let targets = List.map snd mapping in
+  if List.mem x targets then begin
+    (* the bound variable would capture a renamed free variable *)
+    let x' = fresh x in
+    let p' = rename_free [ (x, x') ] p in
+    rebuild x' (rename_free mapping p')
+  end
+  else rebuild x (rename_free mapping p)
+
+let rectify f =
+  let used = ref (fv f) in
+  let pick base =
+    if Ss.mem base !used then begin
+      let rec loop () =
+        let cand = fresh base in
+        if Ss.mem cand !used then loop () else cand
+      in
+      loop ()
+    end
+    else base
+  in
+  let rec go env f =
+    match f with
+    | Atom (r, ts) -> Atom (r, List.map (subst_term env) ts)
+    | Cmp (c, a, b) -> Cmp (c, subst_term env a, subst_term env b)
+    | And (p, q) -> And (go env p, go env q)
+    | Or (p, q) -> Or (go env p, go env q)
+    | Not p -> Not (go env p)
+    | Exists (x, p) ->
+        let x' = pick x in
+        used := Ss.add x' !used;
+        Exists (x', go ((x, x') :: env) p)
+    | Forall (x, p) ->
+        let x' = pick x in
+        used := Ss.add x' !used;
+        Forall (x', go ((x, x') :: env) p)
+  in
+  go [] f
+
+let rec remove_forall = function
+  | Atom _ as a -> a
+  | Cmp _ as c -> c
+  | And (p, q) -> And (remove_forall p, remove_forall q)
+  | Or (p, q) -> Or (remove_forall p, remove_forall q)
+  | Not p -> Not (remove_forall p)
+  | Exists (x, p) -> Exists (x, remove_forall p)
+  | Forall (x, p) -> Not (Exists (x, Not (remove_forall p)))
+
+let rec drop_vacuous f =
+  match f with
+  | Exists (x, p) when not (Ss.mem x (fv p)) -> drop_vacuous p
+  | Forall (x, p) when not (Ss.mem x (fv p)) -> drop_vacuous p
+  | Exists (x, p) -> Exists (x, drop_vacuous p)
+  | Forall (x, p) -> Forall (x, drop_vacuous p)
+  | And (p, q) -> And (drop_vacuous p, drop_vacuous q)
+  | Or (p, q) -> Or (drop_vacuous p, drop_vacuous q)
+  | Not p -> Not (drop_vacuous p)
+  | Atom _ | Cmp _ -> f
+
+let check_query { head; body } =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem seen v then err "head variable %S repeats" v
+      else Hashtbl.add seen v ())
+    head;
+  let free = fv body in
+  List.iter
+    (fun v ->
+      if not (Ss.mem v free) then
+        err "head variable %S is not free in the body" v)
+    head
+
+let term_to_string = function
+  | Var v -> v
+  | Const c -> Relational.Value.to_literal c
+
+let rec to_string = function
+  | Atom (r, ts) ->
+      Printf.sprintf "%s(%s)" r (String.concat ", " (List.map term_to_string ts))
+  | Cmp (c, a, b) ->
+      Printf.sprintf "%s %s %s" (term_to_string a)
+        (Relational.Algebra.comparison_to_string c)
+        (term_to_string b)
+  | And (p, q) -> Printf.sprintf "(%s & %s)" (to_string p) (to_string q)
+  | Or (p, q) -> Printf.sprintf "(%s | %s)" (to_string p) (to_string q)
+  | Not p -> Printf.sprintf "!%s" (to_string p)
+  | Exists (x, p) -> Printf.sprintf "exists %s. %s" x (to_string p)
+  | Forall (x, p) -> Printf.sprintf "forall %s. %s" x (to_string p)
+
+let query_to_string { head; body } =
+  Printf.sprintf "{%s | %s}" (String.concat ", " head) (to_string body)
+
+let pp fmt f = Format.pp_print_string fmt (to_string f)

@@ -1,0 +1,59 @@
+(** Domain relational calculus: abstract syntax and syntactic operations.
+
+    A query is [{ head; body }], denoting the set of assignments to the
+    head variables that satisfy the body.  Codd's Theorem — "the calculus
+    is implementable and the algebra expressive", the paper's exemplar of a
+    solidly positive result — is realized by {!To_algebra} and
+    {!From_algebra}. *)
+
+type term = Var of string | Const of Relational.Value.t
+
+type t =
+  | Atom of string * term list  (** R(t1, …, tk) *)
+  | Cmp of Relational.Algebra.comparison * term * term
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Exists of string * t
+  | Forall of string * t
+
+type query = { head : string list; body : t }
+(** Head variables must be distinct and free in the body. *)
+
+exception Ill_formed of string
+
+val free_vars : t -> string list
+(** Sorted, without duplicates. *)
+
+val all_vars : t -> string list
+(** Free and bound, sorted, without duplicates. *)
+
+val exists_many : string list -> t -> t
+val forall_many : string list -> t -> t
+val conj : t list -> t
+(** Conjunction of a non-empty list. *)
+
+val rename_free : (string * string) list -> t -> t
+(** Capture-avoiding renaming of free variables (bound variables that would
+    capture are freshened). *)
+
+val rectify : t -> t
+(** Renames bound variables so that no variable is bound twice and no bound
+    variable shares a name with a free one.  Translations require rectified
+    input; evaluation does not. *)
+
+val remove_forall : t -> t
+(** Rewrites ∀x.φ to ¬∃x.¬φ. *)
+
+val drop_vacuous : t -> t
+(** Removes quantifiers whose variable does not occur in their scope
+    (sound under the standard non-empty-domain convention; such variables
+    are untypeable and would block translation). *)
+
+val check_query : query -> unit
+(** Raises {!Ill_formed} when head variables repeat or are not free in the
+    body. *)
+
+val to_string : t -> string
+val query_to_string : query -> string
+val pp : Format.formatter -> t -> unit

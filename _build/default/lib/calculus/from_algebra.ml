@@ -1,0 +1,69 @@
+module R = Relational
+module A = R.Algebra
+
+let tautology =
+  Formula.Cmp (A.Eq, Formula.Const (R.Value.Int 0), Formula.Const (R.Value.Int 0))
+
+let contradiction =
+  Formula.Cmp (A.Ne, Formula.Const (R.Value.Int 0), Formula.Const (R.Value.Int 0))
+
+let predicate_formula p =
+  let term = function
+    | A.Attr a -> Formula.Var a
+    | A.Const v -> Formula.Const v
+  in
+  let rec go = function
+    | A.True -> tautology
+    | A.False -> contradiction
+    | A.Cmp (c, l, r) -> Formula.Cmp (c, term l, term r)
+    | A.And (p, q) -> Formula.And (go p, go q)
+    | A.Or (p, q) -> Formula.Or (go p, go q)
+    | A.Not p -> Formula.Not (go p)
+  in
+  go p
+
+let rec formula_of catalog expr =
+  match expr with
+  | A.Rel name ->
+      let attrs = R.Schema.attributes (catalog name) in
+      Formula.Atom (name, List.map (fun a -> Formula.Var a) attrs)
+  | A.Singleton [] -> tautology
+  | A.Singleton bindings ->
+      Formula.conj
+        (List.map
+           (fun (a, v) -> Formula.Cmp (A.Eq, Formula.Var a, Formula.Const v))
+           bindings)
+  | A.Select (p, e) -> Formula.And (formula_of catalog e, predicate_formula p)
+  | A.Project (attrs, e) ->
+      let inner_attrs = R.Schema.attributes (A.schema_of catalog e) in
+      let removed = List.filter (fun a -> not (List.mem a attrs)) inner_attrs in
+      Formula.exists_many removed (formula_of catalog e)
+  | A.Rename (mapping, e) ->
+      Formula.rename_free mapping (formula_of catalog e)
+  | A.Product (a, b) | A.Join (a, b) ->
+      Formula.And (formula_of catalog a, formula_of catalog b)
+  | A.Union (a, b) ->
+      Formula.Or (formula_of catalog a, align catalog a b)
+  | A.Inter (a, b) ->
+      Formula.And (formula_of catalog a, align catalog a b)
+  | A.Diff (a, b) ->
+      Formula.And (formula_of catalog a, Formula.Not (align catalog a b))
+  | A.Divide (r, s) ->
+      (* { t over keep | (∃ div: r(t,div)) ∧ (∀ div: s(div) → r(t,div)) } *)
+      let div_attrs = R.Schema.attributes (A.schema_of catalog s) in
+      let fr = formula_of catalog r and fs = formula_of catalog s in
+      let some_pairing = Formula.exists_many div_attrs fr in
+      let all_pairings =
+        Formula.forall_many div_attrs
+          (Formula.Or (Formula.Not fs, fr))
+      in
+      Formula.And (some_pairing, all_pairings)
+
+(* Set operations align columns by name, so the two bodies already share
+   free variables; nothing to do beyond recursing.  (Kept as a function to
+   make the intent explicit at call sites.) *)
+and align catalog _left right = formula_of catalog right
+
+let query_of catalog expr =
+  let head = R.Schema.attributes (A.schema_of catalog expr) in
+  { Formula.head; body = formula_of catalog expr }

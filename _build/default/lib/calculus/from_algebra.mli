@@ -1,0 +1,15 @@
+(** Codd's theorem, direction two: algebra → calculus ("the algebra is
+    expressive" — every algebra expression is definable in the calculus).
+
+    Each algebra operator maps to its logical counterpart: selection to
+    conjunction with the predicate, projection to existential
+    quantification, difference to conjunction with negation, division to a
+    guarded universal.  Free variables of the resulting body are named
+    after the expression's output attributes. *)
+
+val formula_of : Relational.Algebra.catalog -> Relational.Algebra.t -> Formula.t
+(** Body formula whose free variables are exactly the output attributes. *)
+
+val query_of : Relational.Algebra.catalog -> Relational.Algebra.t -> Formula.query
+(** Full query, head in the expression's column order.  The result is
+    always safe-range. *)

@@ -1,0 +1,271 @@
+exception Parse_error of string
+
+module A = Relational.Algebra
+module V = Relational.Value
+
+type token =
+  | Tname of string
+  | Tint of int
+  | Tfloat of float
+  | Tstring of string
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tcomma
+  | Tdot
+  | Tbar
+  | Top of A.comparison
+  | Teof
+
+let err pos fmt =
+  Printf.ksprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "at offset %d: %s" pos s)))
+    fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t pos = tokens := (t, pos) :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '(' -> emit Tlparen i; go (i + 1)
+      | ')' -> emit Trparen i; go (i + 1)
+      | '{' -> emit Tlbrace i; go (i + 1)
+      | '}' -> emit Trbrace i; go (i + 1)
+      | ',' -> emit Tcomma i; go (i + 1)
+      | '.' -> emit Tdot i; go (i + 1)
+      | '|' -> emit Tbar i; go (i + 1)
+      | '=' -> emit (Top A.Eq) i; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit (Top A.Ne) i; go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '>' -> emit (Top A.Ne) i; go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit (Top A.Le) i; go (i + 2)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit (Top A.Ge) i; go (i + 2)
+      | '<' -> emit (Top A.Lt) i; go (i + 1)
+      | '>' -> emit (Top A.Gt) i; go (i + 1)
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then err i "unterminated string literal"
+            else if src.[j] = '"' then j + 1
+            else begin
+              Buffer.add_char buf src.[j];
+              str (j + 1)
+            end
+          in
+          let j = str (i + 1) in
+          emit (Tstring (Buffer.contents buf)) i;
+          go j
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit src.[i + 1]) ->
+          let start = i in
+          let j = ref (i + 1) in
+          while !j < n && is_digit src.[!j] do incr j done;
+          let is_float =
+            !j + 1 < n && src.[!j] = '.' && is_digit src.[!j + 1]
+          in
+          if is_float then begin
+            incr j;
+            while !j < n && is_digit src.[!j] do incr j done
+          end;
+          let text = String.sub src start (!j - start) in
+          (if is_float then emit (Tfloat (float_of_string text)) start
+           else emit (Tint (int_of_string text)) start);
+          go !j
+      | c when is_name_char c ->
+          let start = i in
+          let j = ref i in
+          while !j < n && is_name_char src.[!j] do incr j done;
+          emit (Tname (String.sub src start (!j - start))) start;
+          go !j
+      | c -> err i "unexpected character %C" c
+  in
+  go 0;
+  List.rev ((Teof, n) :: !tokens)
+
+type state = { mutable rest : (token * int) list }
+
+let peek st = match st.rest with [] -> (Teof, 0) | t :: _ -> t
+let peek2 st = match st.rest with _ :: t :: _ -> t | _ -> (Teof, 0)
+let advance st = match st.rest with [] -> () | _ :: r -> st.rest <- r
+
+let expect st tok what =
+  let t, pos = peek st in
+  if t = tok then advance st else err pos "expected %s" what
+
+let parse_term st =
+  match peek st with
+  | Tint k, _ ->
+      advance st;
+      Formula.Const (V.Int k)
+  | Tfloat f, _ ->
+      advance st;
+      Formula.Const (V.Float f)
+  | Tstring s, _ ->
+      advance st;
+      Formula.Const (V.String s)
+  | Tname "true", _ ->
+      advance st;
+      Formula.Const (V.Bool true)
+  | Tname "false", _ ->
+      advance st;
+      Formula.Const (V.Bool false)
+  | Tname v, pos ->
+      if List.mem v [ "and"; "or"; "not"; "exists"; "forall" ] then
+        err pos "keyword %S cannot be a term" v
+      else begin
+        advance st;
+        Formula.Var v
+      end
+  | _, pos -> err pos "expected a term"
+
+let parse_var st =
+  match peek st with
+  | Tname v, pos ->
+      if List.mem v [ "and"; "or"; "not"; "exists"; "forall"; "true"; "false" ]
+      then err pos "keyword %S cannot be a variable" v
+      else begin
+        advance st;
+        v
+      end
+  | _, pos -> err pos "expected a variable"
+
+let rec parse_formula st =
+  match peek st with
+  | Tname ("exists" | "forall"), _ -> parse_quantified st
+  | _ -> parse_or st
+
+and parse_quantified st =
+  let quantifier =
+    match peek st with
+    | Tname "exists", _ ->
+        advance st;
+        `Exists
+    | Tname "forall", _ ->
+        advance st;
+        `Forall
+    | _, pos -> err pos "expected a quantifier"
+  in
+  let rec vars acc =
+    let v = parse_var st in
+    match peek st with
+    | Tcomma, _ ->
+        advance st;
+        vars (v :: acc)
+    | _ -> List.rev (v :: acc)
+  in
+  let bound = vars [] in
+  expect st Tdot "'.' after quantified variables";
+  let body = parse_formula st in
+  match quantifier with
+  | `Exists -> Formula.exists_many bound body
+  | `Forall -> Formula.forall_many bound body
+
+and parse_or st =
+  let left = parse_and st in
+  match peek st with
+  | Tname "or", _ ->
+      advance st;
+      Formula.Or (left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_not st in
+  match peek st with
+  | Tname "and", _ ->
+      advance st;
+      Formula.And (left, parse_and st)
+  | _ -> left
+
+and parse_not st =
+  match peek st with
+  | Tname "not", _ ->
+      advance st;
+      Formula.Not (parse_not st)
+  | Tname ("exists" | "forall"), _ -> parse_quantified st
+  | _ -> parse_atom_level st
+
+and parse_atom_level st =
+  match (peek st, peek2 st) with
+  | (Tlparen, _), _ ->
+      advance st;
+      let f = parse_formula st in
+      expect st Trparen "')'";
+      f
+  | (Tname name, _), (Tlparen, _)
+    when not (List.mem name [ "and"; "or"; "not"; "exists"; "forall" ]) ->
+      advance st;
+      advance st;
+      let rec args acc =
+        let t = parse_term st in
+        match peek st with
+        | Tcomma, _ ->
+            advance st;
+            args (t :: acc)
+        | Trparen, _ ->
+            advance st;
+            List.rev (t :: acc)
+        | _, pos -> err pos "expected ',' or ')'"
+      in
+      let ts = match peek st with
+        | Trparen, _ ->
+            advance st;
+            []
+        | _ -> args []
+      in
+      Formula.Atom (name, ts)
+  | _ ->
+      let left = parse_term st in
+      (match peek st with
+      | Top op, _ ->
+          advance st;
+          Formula.Cmp (op, left, parse_term st)
+      | _, pos -> err pos "expected a comparison operator")
+
+let parse_formula_string src =
+  let st = { rest = tokenize src } in
+  let f = parse_formula st in
+  (match peek st with
+  | Teof, _ -> ()
+  | _, pos -> err pos "trailing input");
+  f
+
+let parse_query src =
+  let st = { rest = tokenize src } in
+  match peek st with
+  | Tlbrace, _ ->
+      advance st;
+      let head =
+        match peek st with
+        | Tbar, _ -> []
+        | _ ->
+            let rec vars acc =
+              let v = parse_var st in
+              match peek st with
+              | Tcomma, _ ->
+                  advance st;
+                  vars (v :: acc)
+              | _ -> List.rev (v :: acc)
+            in
+            vars []
+      in
+      expect st Tbar "'|'";
+      let body = parse_formula st in
+      expect st Trbrace "'}'";
+      (match peek st with
+      | Teof, _ -> ()
+      | _, pos -> err pos "trailing input");
+      let q = { Formula.head; body } in
+      Formula.check_query q;
+      q
+  | _ ->
+      let body = parse_formula_string src in
+      { Formula.head = []; body }
+
+let parse_formula = parse_formula_string

@@ -1,0 +1,21 @@
+(** A concrete syntax for relational calculus queries.
+
+    {v
+    query   := "{" var, var, ... "|" formula "}"     (boolean: just a formula)
+    formula := quantified | or
+    quantified := ("exists" | "forall") var (, var)* "." formula
+    or      := and ("or" and)*
+    and     := not ("and" not)*
+    not     := "not" not | atom-level
+    atom-level := NAME "(" term, ... ")"             relation atom
+                | term OP term                        comparison (= != <> < <= > >=)
+                | "(" formula ")"
+    term    := variable | 42 | 3.14 | "text" | true | false
+    v}
+
+    Example: [{x | exists y. edge(x, y) and not edge(x, x)}]. *)
+
+exception Parse_error of string
+
+val parse_query : string -> Formula.query
+val parse_formula : string -> Formula.t

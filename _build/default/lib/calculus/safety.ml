@@ -1,0 +1,105 @@
+type verdict = Safe | Unsafe of string
+
+module Ss = Set.Make (String)
+
+(* Push negations as SRNF requires: eliminate double negation and apply
+   De Morgan over ∨ (negation is NOT pushed through ∧ — safe-range keeps
+   negated conjunctions as guarded negations). *)
+let rec push_not f =
+  match f with
+  | Formula.Not (Formula.Not p) -> push_not p
+  | Formula.Not (Formula.Or (p, q)) ->
+      Formula.And (push_not (Formula.Not p), push_not (Formula.Not q))
+  | Formula.Not p -> Formula.Not (push_not p)
+  | Formula.And (p, q) -> Formula.And (push_not p, push_not q)
+  | Formula.Or (p, q) -> Formula.Or (push_not p, push_not q)
+  | Formula.Exists (x, p) -> Formula.Exists (x, push_not p)
+  | Formula.Forall (x, p) -> Formula.Forall (x, push_not p)
+  | Formula.Atom _ | Formula.Cmp _ -> f
+
+let srnf f = push_not (Formula.remove_forall (Formula.rectify f))
+
+(* Range restriction per the Alice book, with equality propagation inside
+   conjunctions: conjuncts x = y extend the restricted set of the whole
+   conjunction by closure. *)
+let rec flatten_and = function
+  | Formula.And (p, q) -> flatten_and p @ flatten_and q
+  | f -> [ f ]
+
+exception Bottom of string
+
+let rec rr f =
+  match f with
+  | Formula.Atom (_, ts) ->
+      List.fold_left
+        (fun acc t ->
+          match t with Formula.Var v -> Ss.add v acc | Formula.Const _ -> acc)
+        Ss.empty ts
+  | Formula.Cmp (Relational.Algebra.Eq, Formula.Var x, Formula.Const _)
+  | Formula.Cmp (Relational.Algebra.Eq, Formula.Const _, Formula.Var x) ->
+      Ss.singleton x
+  | Formula.Cmp _ -> Ss.empty
+  | Formula.And _ ->
+      let conjuncts = flatten_and f in
+      let base =
+        List.fold_left (fun acc c -> Ss.union acc (rr c)) Ss.empty conjuncts
+      in
+      (* propagate x = y equalities to a fixpoint *)
+      let equalities =
+        List.filter_map
+          (function
+            | Formula.Cmp (Relational.Algebra.Eq, Formula.Var x, Formula.Var y)
+              ->
+                Some (x, y)
+            | _ -> None)
+          conjuncts
+      in
+      let rec close acc =
+        let acc' =
+          List.fold_left
+            (fun acc (x, y) ->
+              if Ss.mem x acc then Ss.add y acc
+              else if Ss.mem y acc then Ss.add x acc
+              else acc)
+            acc equalities
+        in
+        if Ss.equal acc acc' then acc else close acc'
+      in
+      close base
+  | Formula.Or (p, q) -> Ss.inter (rr p) (rr q)
+  | Formula.Not p ->
+      (* a negated subformula contributes nothing, but its own quantifiers
+         must still be safe *)
+      let (_ : Ss.t) = rr p in
+      Ss.empty
+  | Formula.Exists (x, p) ->
+      let rp = rr p in
+      if Ss.mem x rp then Ss.remove x rp
+      else raise (Bottom (Printf.sprintf "quantified variable %S is not range-restricted" x))
+  | Formula.Forall (x, _) ->
+      raise
+        (Bottom
+           (Printf.sprintf
+              "formula is not in SRNF: universal quantifier over %S remains" x))
+
+let range_restricted f =
+  match rr f with s -> Some (Ss.elements s) | exception Bottom _ -> None
+
+let is_safe_range q =
+  Formula.check_query q;
+  let body = srnf q.Formula.body in
+  match rr body with
+  | restricted ->
+      let free = Ss.of_list (Formula.free_vars body) in
+      if Ss.subset free restricted then Safe
+      else begin
+        let missing = Ss.elements (Ss.diff free restricted) in
+        Unsafe
+          (Printf.sprintf "free variable(s) %s are not range-restricted"
+             (String.concat ", " missing))
+      end
+  | exception Bottom msg -> Unsafe msg
+
+let explain = function
+  | Safe -> "safe-range (domain-independent)"
+  | Unsafe msg -> "unsafe: " ^ msg

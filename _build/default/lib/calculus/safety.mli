@@ -1,0 +1,26 @@
+(** Safe-range analysis: the syntactic guarantee of domain independence.
+
+    An unrestricted calculus query such as [{x | ¬R(x)}] depends on the
+    underlying domain, not just the database; safe-range queries do not,
+    and are exactly as expressive as the algebra (Codd's theorem, in the
+    form of the Alice book ch. 5).  [range_restricted] computes the set of
+    range-restricted variables of a formula in safe-range normal form;
+    [is_safe_range] checks the full criterion. *)
+
+type verdict = Safe | Unsafe of string
+
+val srnf : Formula.t -> Formula.t
+(** Safe-range normal form: variables renamed apart, ∀ eliminated, double
+    negations removed. *)
+
+val range_restricted : Formula.t -> string list option
+(** [range_restricted f] for [f] in SRNF: [Some vars] gives the
+    range-restricted free variables; [None] means the ⊥ ("unsafe")
+    verdict propagated from a quantified variable that is not restricted
+    in its scope. *)
+
+val is_safe_range : Formula.query -> verdict
+(** A query is safe-range iff (after SRNF) every free variable of the body
+    is range-restricted. *)
+
+val explain : verdict -> string

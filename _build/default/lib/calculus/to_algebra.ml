@@ -1,0 +1,173 @@
+module R = Relational
+module A = R.Algebra
+
+module Ss = Set.Make (String)
+
+let adom_expr catalog ~names ~constants ~ty ~var =
+  let column_pieces =
+    List.concat_map
+      (fun name ->
+        let schema = catalog name in
+        List.filter_map
+          (fun (attr, ty') ->
+            if ty' = ty then begin
+              let projected = A.Project ([ attr ], A.Rel name) in
+              if String.equal attr var then Some projected
+              else Some (A.Rename ([ (attr, var) ], projected))
+            end
+            else None)
+          (R.Schema.pairs schema))
+      names
+  in
+  let const_pieces =
+    List.filter_map
+      (fun c ->
+        if R.Value.type_of c = ty then Some (A.Singleton [ (var, c) ]) else None)
+      constants
+  in
+  match column_pieces @ const_pieces with
+  | [] ->
+      raise
+        (Typing.Type_error
+           (Printf.sprintf
+              "no source for the active domain of type %s (variable %S)"
+              (R.Value.ty_to_string ty) var))
+  | first :: rest -> List.fold_left (fun acc e -> A.Union (acc, e)) first rest
+
+let constants_of body =
+  let rec go acc = function
+    | Formula.Atom (_, ts) ->
+        List.fold_left
+          (fun acc t ->
+            match t with Formula.Const c -> c :: acc | Formula.Var _ -> acc)
+          acc ts
+    | Formula.Cmp (_, a, b) ->
+        let add acc = function
+          | Formula.Const c -> c :: acc
+          | Formula.Var _ -> acc
+        in
+        add (add acc a) b
+    | Formula.And (p, q) | Formula.Or (p, q) -> go (go acc p) q
+    | Formula.Not p -> go acc p
+    | Formula.Exists (_, p) | Formula.Forall (_, p) -> go acc p
+  in
+  go [] body
+
+let cmp_holds c v w =
+  let n = R.Value.compare v w in
+  match c with
+  | A.Eq -> n = 0
+  | A.Ne -> n <> 0
+  | A.Lt -> n < 0
+  | A.Le -> n <= 0
+  | A.Gt -> n > 0
+  | A.Ge -> n >= 0
+
+let truth = A.Singleton []
+let falsity = A.Diff (A.Singleton [], A.Singleton [])
+
+let translate catalog ~names query =
+  Formula.check_query query;
+  let body =
+    Formula.drop_vacuous (Formula.remove_forall (Formula.rectify query.Formula.body))
+  in
+  let types = Typing.infer catalog body in
+  let constants = constants_of body in
+  let adom var =
+    adom_expr catalog ~names ~constants
+      ~ty:(Typing.type_of_var types var)
+      ~var
+  in
+  (* E(f) denotes a relation whose columns are exactly the sorted free
+     variables of f *)
+  let canon fvs e = A.Project (Ss.elements fvs, e) in
+  let rec trans f =
+    let fvs = Ss.of_list (Formula.free_vars f) in
+    let expr =
+      match f with
+      | Formula.Atom (r, ts) ->
+          let attrs = R.Schema.attributes (catalog r) in
+          if List.length attrs <> List.length ts then
+            raise
+              (Typing.Type_error
+                 (Printf.sprintf "atom %s: arity mismatch" r));
+          let bound = List.combine attrs ts in
+          let first_occ = Hashtbl.create 8 in
+          let selects =
+            List.filter_map
+              (fun (attr, t) ->
+                match t with
+                | Formula.Const c -> Some (A.Cmp (A.Eq, A.Attr attr, A.Const c))
+                | Formula.Var v -> (
+                    match Hashtbl.find_opt first_occ v with
+                    | Some attr0 ->
+                        Some (A.Cmp (A.Eq, A.Attr attr, A.Attr attr0))
+                    | None ->
+                        Hashtbl.add first_occ v attr;
+                        None))
+              bound
+          in
+          let base =
+            match selects with
+            | [] -> A.Rel r
+            | _ -> A.Select (A.conjoin selects, A.Rel r)
+          in
+          let keep =
+            List.filter_map
+              (fun (attr, t) ->
+                match t with
+                | Formula.Var v when Hashtbl.find_opt first_occ v = Some attr ->
+                    Some (attr, v)
+                | _ -> None)
+              bound
+          in
+          let projected = A.Project (List.map fst keep, base) in
+          let mapping = List.filter (fun (a, v) -> a <> v) keep in
+          if mapping = [] then projected else A.Rename (mapping, projected)
+      | Formula.Cmp (c, Formula.Const a, Formula.Const b) ->
+          if cmp_holds c a b then truth else falsity
+      | Formula.Cmp (c, Formula.Var x, Formula.Const k)
+        ->
+          A.Select (A.Cmp (c, A.Attr x, A.Const k), adom x)
+      | Formula.Cmp (c, Formula.Const k, Formula.Var x) ->
+          A.Select (A.Cmp (c, A.Const k, A.Attr x), adom x)
+      | Formula.Cmp (c, Formula.Var x, Formula.Var y) when String.equal x y ->
+          A.Select (A.Cmp (c, A.Attr x, A.Attr y), adom x)
+      | Formula.Cmp (c, Formula.Var x, Formula.Var y) ->
+          A.Select (A.Cmp (c, A.Attr x, A.Attr y), A.Product (adom x, adom y))
+      | Formula.And (p, q) -> A.Join (trans p, trans q)
+      | Formula.Or (p, q) ->
+          let fp = Ss.of_list (Formula.free_vars p)
+          and fq = Ss.of_list (Formula.free_vars q) in
+          let pad e present =
+            Ss.fold
+              (fun v acc -> A.Product (acc, adom v))
+              (Ss.diff fvs present) e
+          in
+          A.Union (pad (trans p) fp, pad (trans q) fq)
+      | Formula.Not p ->
+          let full =
+            match Ss.elements fvs with
+            | [] -> truth
+            | v :: rest ->
+                List.fold_left
+                  (fun acc w -> A.Product (acc, adom w))
+                  (adom v) rest
+          in
+          A.Diff (full, trans p)
+      | Formula.Exists (x, p) ->
+          let fp = Formula.free_vars p in
+          A.Project (List.filter (fun v -> v <> x) fp, trans p)
+      | Formula.Forall _ ->
+          (* removed by remove_forall *)
+          assert false
+    in
+    canon fvs expr
+  in
+  A.Project (query.Formula.head, trans body)
+
+let translate_query db query =
+  translate
+    (A.catalog_of_database db)
+    ~names:(R.Database.names db)
+    query

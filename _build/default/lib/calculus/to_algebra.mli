@@ -1,0 +1,32 @@
+(** Codd's theorem, direction one: calculus → algebra.
+
+    [translate_query db q] compiles a calculus query into a relational
+    algebra expression over the catalog of [db] (plus singleton constant
+    relations), equivalent to [q] under active-domain semantics.  For
+    safe-range queries ({!Safety.is_safe_range}) active-domain and natural
+    semantics coincide, so the translation witnesses that "the calculus is
+    implementable" [Co2].
+
+    The active domain of each variable is itself expressed in the algebra,
+    as the union of projections of base-relation columns of the variable's
+    type together with the query's constants — the output needs nothing
+    beyond the algebra. *)
+
+val adom_expr :
+  Relational.Algebra.catalog ->
+  names:string list ->
+  constants:Relational.Value.t list ->
+  ty:Relational.Value.ty ->
+  var:string ->
+  Relational.Algebra.t
+(** Unary algebra expression, column named [var], denoting every value of
+    type [ty] in the named relations or in [constants]. *)
+
+val translate :
+  Relational.Algebra.catalog -> names:string list -> Formula.query -> Relational.Algebra.t
+(** Raises {!Typing.Type_error} on untypeable queries, {!Formula.Ill_formed}
+    on malformed heads.  Vacuous quantifiers (over variables that do not
+    occur in their scope) are simplified away. *)
+
+val translate_query : Relational.Database.t -> Formula.query -> Relational.Algebra.t
+(** [translate] against the catalog and names of a concrete instance. *)

@@ -1,0 +1,113 @@
+exception Type_error of string
+
+type env = (string * Relational.Value.ty) list
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+(* Union-find over variable names, with an optional concrete type per
+   class root. *)
+type uf = {
+  parent : (string, string) Hashtbl.t;
+  ty : (string, Relational.Value.ty) Hashtbl.t;
+}
+
+let uf_create () = { parent = Hashtbl.create 16; ty = Hashtbl.create 16 }
+
+let rec find uf x =
+  match Hashtbl.find_opt uf.parent x with
+  | None -> x
+  | Some p ->
+      let root = find uf p in
+      if root <> p then Hashtbl.replace uf.parent x root;
+      root
+
+let assign uf x ty =
+  let root = find uf x in
+  match Hashtbl.find_opt uf.ty root with
+  | None -> Hashtbl.replace uf.ty root ty
+  | Some ty' ->
+      if ty <> ty' then
+        err "variable %S is used both as %s and as %s" x
+          (Relational.Value.ty_to_string ty')
+          (Relational.Value.ty_to_string ty)
+
+let union uf x y =
+  let rx = find uf x and ry = find uf y in
+  if rx <> ry then begin
+    let tx = Hashtbl.find_opt uf.ty rx and ty_ = Hashtbl.find_opt uf.ty ry in
+    Hashtbl.replace uf.parent rx ry;
+    match (tx, ty_) with
+    | Some t, None -> Hashtbl.replace uf.ty ry t
+    | Some t, Some t' when t <> t' ->
+        err "variables %S (%s) and %S (%s) are compared but differ in type" x
+          (Relational.Value.ty_to_string t)
+          y
+          (Relational.Value.ty_to_string t')
+    | _ -> ()
+  end
+
+let infer catalog formula =
+  let uf = uf_create () in
+  let touch = Hashtbl.create 16 in
+  let see v = Hashtbl.replace touch v () in
+  let rec walk f =
+    match f with
+    | Formula.Atom (r, ts) ->
+        let schema =
+          try catalog r
+          with e ->
+            err "unknown relation %S (%s)" r (Printexc.to_string e)
+        in
+        let types = Relational.Schema.types schema in
+        if List.length ts <> List.length types then
+          err "atom %s has %d arguments, relation has arity %d" r
+            (List.length ts) (List.length types);
+        List.iter2
+          (fun t ty ->
+            match t with
+            | Formula.Var v ->
+                see v;
+                assign uf v ty
+            | Formula.Const c ->
+                if Relational.Value.type_of c <> ty then
+                  err "constant %s has type %s where %s expects %s"
+                    (Relational.Value.to_literal c)
+                    (Relational.Value.ty_to_string (Relational.Value.type_of c))
+                    r
+                    (Relational.Value.ty_to_string ty))
+          ts types
+    | Formula.Cmp (_, a, b) -> (
+        match (a, b) with
+        | Formula.Var x, Formula.Var y ->
+            see x;
+            see y;
+            union uf x y
+        | Formula.Var x, Formula.Const c | Formula.Const c, Formula.Var x ->
+            see x;
+            assign uf x (Relational.Value.type_of c)
+        | Formula.Const c, Formula.Const c' ->
+            if Relational.Value.type_of c <> Relational.Value.type_of c' then
+              err "comparison between constants of different types %s and %s"
+                (Relational.Value.to_literal c)
+                (Relational.Value.to_literal c'))
+    | Formula.And (p, q) | Formula.Or (p, q) ->
+        walk p;
+        walk q
+    | Formula.Not p -> walk p
+    | Formula.Exists (x, p) | Formula.Forall (x, p) ->
+        see x;
+        walk p
+  in
+  walk formula;
+  Hashtbl.fold
+    (fun v () acc ->
+      match Hashtbl.find_opt uf.ty (find uf v) with
+      | Some ty -> (v, ty) :: acc
+      | None -> err "variable %S cannot be assigned a type" v)
+    touch []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let type_of_var env v =
+  match List.assoc_opt v env with
+  | Some ty -> ty
+  | None -> err "variable %S has no inferred type" v

@@ -1,0 +1,20 @@
+(** Type inference for calculus formulas.
+
+    Every variable of a well-typed formula acquires a base type from the
+    positions where it occurs: relation columns, or comparisons with
+    constants or with already-typed variables (propagated by unification).
+    A variable that never meets a concrete type is reported untypeable —
+    such a query is not domain-independent anyway. *)
+
+exception Type_error of string
+
+type env = (string * Relational.Value.ty) list
+(** Variable name to inferred type. *)
+
+val infer : Relational.Algebra.catalog -> Formula.t -> env
+(** Types for {e all} variables (free and bound) of a {e rectified}
+    formula.  Raises {!Type_error} on arity mismatch, conflicting
+    constraints, unknown relations, or untypeable variables. *)
+
+val type_of_var : env -> string -> Relational.Value.ty
+(** Raises {!Type_error} if absent. *)

@@ -1,0 +1,1 @@
+lib/core/evolution.ml: Array Float Graph_metrics Kuhn List Research_graph Support

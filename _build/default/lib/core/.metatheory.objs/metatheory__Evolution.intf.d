@@ -1,0 +1,1 @@
+lib/core/evolution.mli: Kuhn Support

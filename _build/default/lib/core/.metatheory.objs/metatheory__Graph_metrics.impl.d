@@ -1,0 +1,1 @@
+lib/core/graph_metrics.ml: Array Float Fun Int List Option Queue Research_graph

@@ -1,0 +1,1 @@
+lib/core/graph_metrics.mli: Research_graph

@@ -1,0 +1,1 @@
+lib/core/kitcher.ml: Float

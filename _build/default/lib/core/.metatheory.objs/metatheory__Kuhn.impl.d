@@ -1,0 +1,1 @@
+lib/core/kuhn.ml: List String Support

@@ -1,0 +1,1 @@
+lib/core/pods_data.ml: Array List

@@ -1,0 +1,1 @@
+lib/core/research_graph.ml: Array Float List Support

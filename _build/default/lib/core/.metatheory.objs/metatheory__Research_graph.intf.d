@@ -1,0 +1,1 @@
+lib/core/research_graph.mli: Support

@@ -1,0 +1,1 @@
+lib/core/volterra.ml: Array Float List Support

@@ -1,0 +1,1 @@
+lib/core/volterra.mli: Support

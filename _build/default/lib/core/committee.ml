@@ -1,0 +1,36 @@
+type params = { overcorrection : float; noise : float }
+
+let simulate ?rng params ~interest =
+  let n = Array.length interest in
+  let out = Array.make n 0. in
+  let noise_at _i =
+    match rng with
+    | Some rng when params.noise > 0. ->
+        1. +. ((Support.Rng.float rng 2. -. 1.) *. params.noise)
+    | _ -> 1.
+  in
+  for t = 0 to n - 1 do
+    let target = Float.max 1e-6 interest.(t) in
+    let propensity =
+      if t = 0 then 1.
+      else begin
+        let excess = (out.(t - 1) -. target) /. target in
+        Float.max 0. (Float.min 2. (1. -. (params.overcorrection *. excess)))
+      end
+    in
+    out.(t) <- Float.max 0. (propensity *. interest.(t) *. noise_at t)
+  done;
+  out
+
+let hump ~years ~peak =
+  Array.init years (fun t ->
+      let x = float_of_int t /. float_of_int (years - 1) in
+      (* smooth rise and fall, maximum [peak] in the middle *)
+      peak *. 4. *. x *. (1. -. x))
+
+let harmonic_response ~gammas ~interest =
+  List.map
+    (fun gamma ->
+      let series = simulate { overcorrection = gamma; noise = 0. } ~interest in
+      (gamma, Support.Stats.harmonic_strength series 2))
+    gammas

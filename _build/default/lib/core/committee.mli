@@ -1,0 +1,33 @@
+(** A generative model for the two-year harmonic of Figure 3.
+
+    Footnote 10: "What has a one-year memory in science?  Program
+    committees!  I think we are seeing here the work of committees trying
+    to correct 'excesses' (in one direction or the other) of the previous
+    committee."
+
+    Model: an area has a slowly varying underlying interest [I(t)]; each
+    year's committee accepts [a(t) = p(t) · I(t)] papers, where the
+    acceptance propensity over-corrects against last year's outcome:
+    [p(t) = clamp(1 − γ·(a(t−1) − I(t))/I(t))].  With γ = 0 the counts
+    track the interest; past γ ≈ 1 the correction overshoots and a stable
+    period-2 oscillation appears — exactly the harmonic the paper reads
+    off the raw PODS counts. *)
+
+type params = {
+  overcorrection : float;  (** γ ≥ 0 *)
+  noise : float;  (** i.i.d. multiplicative noise amplitude (0 = none) *)
+}
+
+val simulate :
+  ?rng:Support.Rng.t -> params -> interest:float array -> float array
+(** Accepted-paper counts, one per year; [interest] supplies the slowly
+    varying true interest level (e.g. a hump like the logic-database
+    boom). *)
+
+val hump : years:int -> peak:float -> float array
+(** A smooth rise-and-fall interest profile, for demos. *)
+
+val harmonic_response : gammas:float list -> interest:float array -> (float * float) list
+(** For each γ, the measured period-2 harmonic strength of the simulated
+    counts — the dose-response curve linking committee overcorrection to
+    the Figure-3 wobble. *)

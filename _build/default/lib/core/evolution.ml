@@ -1,0 +1,66 @@
+type snapshot = {
+  step : int;
+  stage : Kuhn.stage;
+  homophily : float;
+  crisis_score : float;
+  giant : float;
+}
+
+type params = {
+  units : int;
+  mean_degree : float;
+  kuhn : Kuhn.params;
+  drift : float;
+  relaxation : float;
+  max_homophily : float;
+}
+
+let default_params =
+  {
+    units = 50;
+    mean_degree = 4.0;
+    kuhn = Kuhn.default_params;
+    drift = 4.0;
+    relaxation = 1.5;
+    max_homophily = 45.0;
+  }
+
+let simulate rng params ~steps =
+  let state = ref Kuhn.initial in
+  let homophily = ref 0. in
+  List.init steps (fun step ->
+      state := Kuhn.step rng params.kuhn !state;
+      (match !state.Kuhn.stage with
+      | Kuhn.Crisis ->
+          homophily := Float.min params.max_homophily (!homophily +. params.drift)
+      | Kuhn.Revolution ->
+          (* the new paradigm reconnects the field at a stroke *)
+          homophily := 0.
+      | Kuhn.Normal | Kuhn.Immature ->
+          homophily := Float.max 0. (!homophily -. params.relaxation));
+      let graph =
+        Research_graph.generate rng
+          {
+            Research_graph.units = params.units;
+            mean_degree = params.mean_degree;
+            crisis = !homophily;
+          }
+      in
+      let report = Graph_metrics.report graph in
+      {
+        step;
+        stage = !state.Kuhn.stage;
+        homophily = !homophily;
+        crisis_score = report.Graph_metrics.crisis_score;
+        giant = report.Graph_metrics.giant;
+      })
+
+let correlation_stage_score snapshots =
+  let in_crisis =
+    Array.of_list
+      (List.map
+         (fun s -> if s.stage = Kuhn.Crisis then 1. else 0.)
+         snapshots)
+  in
+  let scores = Array.of_list (List.map (fun s -> s.crisis_score) snapshots) in
+  Support.Stats.pearson in_crisis scores

@@ -1,0 +1,165 @@
+module G = Research_graph
+
+let bfs_distances g source =
+  let n = G.size g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      g.G.adjacency.(u)
+  done;
+  dist
+
+let components g =
+  let n = G.size g in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for i = 0 to n - 1 do
+    if not seen.(i) then begin
+      let dist = bfs_distances g i in
+      let comp = ref [] in
+      Array.iteri
+        (fun j d ->
+          if d >= 0 && not seen.(j) then begin
+            seen.(j) <- true;
+            comp := j :: !comp
+          end)
+        dist;
+      comps := List.rev !comp :: !comps
+    end
+  done;
+  List.sort
+    (fun a b -> Int.compare (List.length b) (List.length a))
+    !comps
+
+let giant g = match components g with [] -> [] | c :: _ -> c
+
+let giant_fraction g =
+  if G.size g = 0 then 0.
+  else float_of_int (List.length (giant g)) /. float_of_int (G.size g)
+
+let diameter_of_giant g =
+  let comp = giant g in
+  List.fold_left
+    (fun acc u ->
+      let dist = bfs_distances g u in
+      List.fold_left (fun acc v -> max acc dist.(v)) acc comp)
+    0 comp
+
+let mean_path_length_of_giant g =
+  let comp = giant g in
+  let total = ref 0 and pairs = ref 0 in
+  List.iter
+    (fun u ->
+      let dist = bfs_distances g u in
+      List.iter
+        (fun v ->
+          if v <> u then begin
+            total := !total + dist.(v);
+            incr pairs
+          end)
+        comp)
+    comp;
+  if !pairs = 0 then 0. else float_of_int !total /. float_of_int !pairs
+
+let band_indices g kind =
+  let out = ref [] in
+  Array.iteri
+    (fun i x -> if G.kind_of x = kind then out := i :: !out)
+    g.G.theoreticity;
+  List.rev !out
+
+let theory_practice_distances g =
+  let theory = band_indices g G.Theory in
+  let practice = band_indices g G.Practice in
+  List.map
+    (fun t ->
+      let dist = bfs_distances g t in
+      let reachable =
+        List.filter_map
+          (fun p -> if dist.(p) >= 0 then Some dist.(p) else None)
+          practice
+      in
+      match reachable with
+      | [] -> None
+      | ds -> Some (List.fold_left min max_int ds))
+    theory
+
+let theory_practice_distance g =
+  let ds = theory_practice_distances g in
+  if ds = [] || List.exists Option.is_none ds then None
+  else begin
+    let values = List.filter_map Fun.id ds in
+    Some
+      (float_of_int (List.fold_left ( + ) 0 values)
+      /. float_of_int (List.length values))
+  end
+
+let unreachable_theory_fraction g =
+  let ds = theory_practice_distances g in
+  if ds = [] then 0.
+  else
+    float_of_int (List.length (List.filter Option.is_none ds))
+    /. float_of_int (List.length ds)
+
+let introverted_components g =
+  components g
+  |> List.filter (fun comp ->
+         List.length comp >= 2
+         &&
+         let kinds =
+           List.sort_uniq compare
+             (List.map (fun i -> G.kind_of g.G.theoreticity.(i)) comp)
+         in
+         List.length kinds = 1)
+  |> List.length
+
+type report = {
+  units : int;
+  mean_degree : float;
+  giant : float;
+  diameter : int;
+  mean_path : float;
+  theory_practice : float option;
+  unreachable_theory : float;
+  introverted : int;
+  crisis_score : float;
+}
+
+let crisis_score r =
+  let fragmentation = 1. -. r.giant in
+  let distance =
+    match r.theory_practice with
+    | None -> 1.
+    | Some d -> Float.min 1. (d /. 10.)
+  in
+  let introversion =
+    Float.min 1. (float_of_int r.introverted /. 5.)
+  in
+  (2. *. fragmentation)
+  +. distance +. introversion
+  +. (2. *. r.unreachable_theory)
+
+let report g =
+  let base =
+    {
+      units = G.size g;
+      mean_degree = G.mean_degree g;
+      giant = giant_fraction g;
+      diameter = diameter_of_giant g;
+      mean_path = mean_path_length_of_giant g;
+      theory_practice = theory_practice_distance g;
+      unreachable_theory = unreachable_theory_fraction g;
+      introverted = introverted_components g;
+      crisis_score = 0.;
+    }
+  in
+  { base with crisis_score = crisis_score base }

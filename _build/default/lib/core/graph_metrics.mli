@@ -1,0 +1,46 @@
+(** Connectivity diagnostics for research graphs — the measurements that
+    distinguish Figure 2's healthy snapshot from its crisis snapshot. *)
+
+val components : Research_graph.t -> int list list
+(** Connected components, largest first. *)
+
+val giant_fraction : Research_graph.t -> float
+(** Size of the largest component over the number of units. *)
+
+val bfs_distances : Research_graph.t -> int -> int array
+(** Hop distances from a source; unreachable = -1. *)
+
+val diameter_of_giant : Research_graph.t -> int
+(** Longest shortest path inside the largest component. *)
+
+val mean_path_length_of_giant : Research_graph.t -> float
+
+val theory_practice_distance : Research_graph.t -> float option
+(** Average, over theory units, of the hop distance to the nearest
+    practice unit; [None] when some theory unit cannot reach practice at
+    all (or when a band is empty) — the crisis signature. *)
+
+val unreachable_theory_fraction : Research_graph.t -> float
+(** Fraction of theory units with no path to any practice unit. *)
+
+val introverted_components : Research_graph.t -> int
+(** Components (of size ≥ 2) whose units all sit in one band of the
+    spectrum — "autistic theories and introverted products". *)
+
+type report = {
+  units : int;
+  mean_degree : float;
+  giant : float;
+  diameter : int;
+  mean_path : float;
+  theory_practice : float option;
+  unreachable_theory : float;
+  introverted : int;
+  crisis_score : float;
+}
+
+val report : Research_graph.t -> report
+
+val crisis_score : report -> float
+(** A scalar in [0, ∞): 0 looks healthy; grows with fragmentation, long
+    theory→practice paths, and introversion. *)

@@ -1,0 +1,45 @@
+type program = { name : string; potential : float; difficulty : float }
+
+let success_probability p n =
+  if n <= 0. then 0. else p.potential *. n /. (n +. p.difficulty)
+
+let expected_credit p n =
+  if n <= 0. then
+    (* the first researcher to defect claims the marginal credit *)
+    p.potential /. (1. +. p.difficulty)
+  else success_probability p n /. n
+
+type state = { allocation : float; total : float }
+
+let credit_dynamics_step p1 p2 ~dt state =
+  let n1 = state.allocation in
+  let n2 = state.total -. n1 in
+  let c1 = expected_credit p1 n1 and c2 = expected_credit p2 n2 in
+  (* flow proportional to the credit differential, clamped to the box *)
+  let flow = dt *. state.total *. (c1 -. c2) in
+  let n1' = Float.max 0. (Float.min state.total (n1 +. flow)) in
+  { state with allocation = n1' }
+
+let equilibrium ?(steps = 10_000) p1 p2 ~total =
+  let rec go state n =
+    if n = 0 then state
+    else go (credit_dynamics_step p1 p2 ~dt:0.05 state) (n - 1)
+  in
+  go { allocation = total /. 2.; total } steps
+
+let community_success p1 p2 state =
+  success_probability p1 state.allocation
+  +. success_probability p2 (state.total -. state.allocation)
+
+let optimal_allocation ?(grid = 1000) p1 p2 ~total =
+  let best = ref { allocation = 0.; total } in
+  let best_value = ref (community_success p1 p2 !best) in
+  for i = 1 to grid do
+    let state = { allocation = total *. float_of_int i /. float_of_int grid; total } in
+    let value = community_success p1 p2 state in
+    if value > !best_value then begin
+      best := state;
+      best_value := value
+    end
+  done;
+  !best

@@ -1,0 +1,43 @@
+(** Kitcher's population model of cognitive diversity (footnote 11):
+    "Philip Kitcher [Ki] uses a simple population genetics model to argue
+    that such diversity is beneficial and inevitable."
+
+    A community of researchers splits effort between two research
+    programs.  The community's chance of success on each program is a
+    concave function of the workers assigned to it, and individual
+    researchers chase expected {e credit} — the program's success
+    probability divided by the number of people they would share it with.
+    Credit-chasing drives the population to a mixed allocation (diversity
+    is individually rational), and for concave returns the mixed
+    allocation also maximizes the {e community's} total success —
+    diversity is beneficial.  Both claims are property-tested. *)
+
+type program = {
+  name : string;
+  potential : float;  (** asymptotic success probability, in (0,1] *)
+  difficulty : float;  (** workers needed to reach half potential *)
+}
+
+val success_probability : program -> float -> float
+(** [p(n) = potential · n / (n + difficulty)]: concave, increasing,
+    0 at 0. *)
+
+val expected_credit : program -> float -> float
+(** Per-worker credit [p(n)/n] when [n] workers join. *)
+
+type state = { allocation : float; total : float }
+(** [allocation] = workers on the first program; the rest work on the
+    second. *)
+
+val credit_dynamics_step : program -> program -> dt:float -> state -> state
+(** Replicator-style step: workers flow toward the program whose marginal
+    credit is higher. *)
+
+val equilibrium : ?steps:int -> program -> program -> total:float -> state
+(** Iterate the dynamics from an even split until it settles. *)
+
+val community_success : program -> program -> state -> float
+(** p₁(n₁) + p₂(n₂): expected number of solved problems. *)
+
+val optimal_allocation : ?grid:int -> program -> program -> total:float -> state
+(** Best allocation for the community, by grid search. *)

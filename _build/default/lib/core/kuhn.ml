@@ -1,0 +1,143 @@
+type stage = Immature | Normal | Crisis | Revolution
+
+let stages = [ Immature; Normal; Crisis; Revolution ]
+
+let stage_to_string = function
+  | Immature -> "immature science"
+  | Normal -> "normal science"
+  | Crisis -> "crisis"
+  | Revolution -> "revolution"
+
+let transitions =
+  [
+    (Immature, Immature);
+    (Immature, Normal);
+    (Normal, Normal);
+    (Normal, Crisis);
+    (Crisis, Crisis);
+    (Crisis, Normal);  (* anomalies absorbed, no revolution *)
+    (Crisis, Revolution);
+    (Revolution, Normal);  (* the new paradigm settles *)
+  ]
+
+let can_transition a b = List.mem (a, b) transitions
+
+type params = {
+  anomaly_rate : float;
+  resolution_rate : float;
+  crisis_threshold : int;
+  revolution_rate : float;
+  remission_rate : float;
+  maturation_rate : float;
+}
+
+let default_params =
+  {
+    anomaly_rate = 0.25;
+    resolution_rate = 0.18;
+    crisis_threshold = 5;
+    revolution_rate = 0.15;
+    remission_rate = 0.05;
+    maturation_rate = 0.3;
+  }
+
+type state = { stage : stage; anomalies : int; revolutions : int }
+
+let initial = { stage = Immature; anomalies = 0; revolutions = 0 }
+
+let chance rng p = Support.Rng.float rng 1.0 < p
+
+let step rng params state =
+  match state.stage with
+  | Immature ->
+      if chance rng params.maturation_rate then { state with stage = Normal }
+      else state
+  | Normal ->
+      let anomalies =
+        let gained = if chance rng params.anomaly_rate then 1 else 0 in
+        let lost =
+          if state.anomalies > 0 && chance rng params.resolution_rate then 1
+          else 0
+        in
+        state.anomalies + gained - lost
+      in
+      if anomalies >= params.crisis_threshold then
+        { state with stage = Crisis; anomalies }
+      else { state with anomalies }
+  | Crisis ->
+      if chance rng params.revolution_rate then
+        { state with stage = Revolution }
+      else if chance rng params.remission_rate then
+        (* the community sweeps the anomalies under the rug *)
+        { state with stage = Normal; anomalies = 0 }
+      else
+        { state with anomalies = state.anomalies + (if chance rng params.anomaly_rate then 1 else 0) }
+  | Revolution ->
+      (* the victorious paradigm resets the anomaly count *)
+      { stage = Normal; anomalies = 0; revolutions = state.revolutions + 1 }
+
+let simulate rng params ~steps =
+  let rec go acc state n =
+    if n = 0 then List.rev acc
+    else begin
+      let state' = step rng params state in
+      go (state' :: acc) state' (n - 1)
+    end
+  in
+  go [] initial steps
+
+type summary = {
+  share : (stage * float) list;
+  revolution_count : int;
+  mean_crisis_length : float;
+}
+
+let summarize trajectory =
+  let n = max 1 (List.length trajectory) in
+  let count stage =
+    List.length (List.filter (fun s -> s.stage = stage) trajectory)
+  in
+  let share =
+    List.map
+      (fun stage -> (stage, float_of_int (count stage) /. float_of_int n))
+      stages
+  in
+  let revolution_count =
+    match List.rev trajectory with [] -> 0 | last :: _ -> last.revolutions
+  in
+  (* average length of maximal crisis runs *)
+  let runs, current =
+    List.fold_left
+      (fun (runs, current) s ->
+        if s.stage = Crisis then (runs, current + 1)
+        else if current > 0 then (current :: runs, 0)
+        else (runs, 0))
+      ([], 0) trajectory
+  in
+  let runs = if current > 0 then current :: runs else runs in
+  let mean_crisis_length =
+    match runs with
+    | [] -> 0.
+    | _ ->
+        float_of_int (List.fold_left ( + ) 0 runs)
+        /. float_of_int (List.length runs)
+  in
+  { share; revolution_count; mean_crisis_length }
+
+let diagram () =
+  String.concat "\n"
+    [
+      "  [immature science]";
+      "          |";
+      "          v";
+      "  [normal science] <-------------.";
+      "          |                      |";
+      "    anomalies accumulate         |";
+      "          v                      |";
+      "      [crisis] --(absorbed)------|";
+      "          |                      |";
+      "    new ingenuity competes       |";
+      "          v                      |";
+      "    [revolution] ----------------'";
+      "";
+    ]

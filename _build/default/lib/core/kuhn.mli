@@ -1,0 +1,49 @@
+(** Kuhn's stages of the scientific process (Figure 1), as an explicit
+    state machine plus an anomaly-accumulation simulation.
+
+    The figure's cycle: immature science → normal science → crisis →
+    revolution → normal science, with crises occasionally resolved back
+    into normal science without a revolution. *)
+
+type stage = Immature | Normal | Crisis | Revolution
+
+val stages : stage list
+val stage_to_string : stage -> string
+
+val transitions : (stage * stage) list
+(** The arrows of Figure 1. *)
+
+val can_transition : stage -> stage -> bool
+
+type params = {
+  anomaly_rate : float;  (** probability an anomaly accrues per step *)
+  resolution_rate : float;  (** probability normal science absorbs one *)
+  crisis_threshold : int;  (** anomalies that trigger a crisis *)
+  revolution_rate : float;  (** per-step chance a crisis turns revolution *)
+  remission_rate : float;  (** per-step chance a crisis resolves quietly *)
+  maturation_rate : float;  (** immature science → first paradigm *)
+}
+
+val default_params : params
+
+type state = { stage : stage; anomalies : int; revolutions : int }
+
+val initial : state
+
+val step : Support.Rng.t -> params -> state -> state
+(** One simulation step; every stage change follows {!transitions}
+    (property-tested). *)
+
+val simulate : Support.Rng.t -> params -> steps:int -> state list
+(** Trajectory of [steps] states after {!initial}. *)
+
+type summary = {
+  share : (stage * float) list;  (** fraction of time in each stage *)
+  revolution_count : int;
+  mean_crisis_length : float;
+}
+
+val summarize : state list -> summary
+
+val diagram : unit -> string
+(** ASCII rendering of Figure 1. *)

@@ -1,0 +1,30 @@
+(** The PODS retrospective dataset behind Figure 3: papers per area,
+    1982–1995.
+
+    The paper prints one raw series verbatim — Logic Databases 1986–1992:
+    10, 14, 9, 18, 13, 16, 14 — and describes the others qualitatively
+    (Section 6).  The remaining series are synthesized to match that
+    narrative; DESIGN.md documents the substitution.  The figure itself
+    plots {e two-year averages} ("single-year data would be too jerky to
+    display, mostly because of a strong two-year harmonic"). *)
+
+type area =
+  | Relational_theory
+  | Transaction_processing
+  | Logic_databases
+  | Complex_objects
+  | Data_structures
+
+val areas : area list
+val area_to_string : area -> string
+
+val years : int array
+(** 1982 … 1995. *)
+
+val raw_series : area -> float array
+(** Papers per year, aligned with {!years}. *)
+
+val printed_logic_series : float array
+(** The seven values the paper prints for 1986–1992, verbatim. *)
+
+val all_series : (area * float array) list

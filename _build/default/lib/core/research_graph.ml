@@ -1,0 +1,55 @@
+type unit_kind = Theory | Middle | Practice
+
+type t = { theoreticity : float array; adjacency : int list array }
+
+let size g = Array.length g.theoreticity
+
+let kind_of x =
+  if x > 2. /. 3. then Theory else if x < 1. /. 3. then Practice else Middle
+
+type params = { units : int; mean_degree : float; crisis : float }
+
+let generate rng params =
+  let n = params.units in
+  assert (n >= 2);
+  let theoreticity =
+    (* deterministic spread plus a small jitter: guarantees both ends of
+       the spectrum are populated at any size *)
+    Array.init n (fun i ->
+        let base = float_of_int i /. float_of_int (n - 1) in
+        let jitter = (Support.Rng.float rng 0.06) -. 0.03 in
+        Float.max 0. (Float.min 1. (base +. jitter)))
+  in
+  (* raw affinity of a pair: 1 when healthy, exponentially damped by
+     spectrum distance under crisis *)
+  let affinity i j =
+    Float.exp (-.params.crisis *. Float.abs (theoreticity.(i) -. theoreticity.(j)))
+  in
+  (* normalize so the expected number of edges yields the requested mean
+     degree: sum over pairs of p * affinity = n * mean_degree / 2 *)
+  let total_affinity = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      total_affinity := !total_affinity +. affinity i j
+    done
+  done;
+  let target_edges = float_of_int n *. params.mean_degree /. 2. in
+  let scale = if !total_affinity = 0. then 0. else target_edges /. !total_affinity in
+  let adjacency = Array.make n [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let p = Float.min 1.0 (scale *. affinity i j) in
+      if Support.Rng.float rng 1.0 < p then begin
+        adjacency.(i) <- j :: adjacency.(i);
+        adjacency.(j) <- i :: adjacency.(j)
+      end
+    done
+  done;
+  { theoreticity; adjacency }
+
+let edge_count g =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 g.adjacency / 2
+
+let mean_degree g =
+  if size g = 0 then 0.
+  else 2. *. float_of_int (edge_count g) /. float_of_int (size g)

@@ -1,0 +1,38 @@
+(** The research-graph model of Figure 2: applied science as a graph of
+    "research units" spread along the theoretical–practical spectrum.
+
+    A healthy field has a giant component of small diameter spanning the
+    whole spectrum ("most of theory is within a few hops from practice");
+    a field in crisis has the {e same average degree} but low global
+    connectivity — introverted components and long theory→practice
+    paths.  The generator reproduces exactly this contrast with a single
+    [crisis] homophily knob that suppresses edges between units far apart
+    on the spectrum while boosting edges between similar units to keep
+    the expected degree constant. *)
+
+type unit_kind = Theory | Middle | Practice
+
+type t = {
+  theoreticity : float array;  (** position of each unit in [0,1]; 1 = most theoretical *)
+  adjacency : int list array;
+}
+
+val size : t -> int
+val kind_of : float -> unit_kind
+(** > 2/3 is Theory, < 1/3 is Practice. *)
+
+type params = {
+  units : int;
+  mean_degree : float;
+  crisis : float;
+      (** 0 = healthy (edges ignore the spectrum); larger = homophily:
+          cross-spectrum edges become rare *)
+}
+
+val generate : Support.Rng.t -> params -> t
+(** Units' theoreticities are spread uniformly over [0,1]; edges are
+    sampled independently with probabilities scaled so the expected mean
+    degree matches [mean_degree] at any [crisis] level. *)
+
+val edge_count : t -> int
+val mean_degree : t -> float

@@ -1,0 +1,40 @@
+module Stats = Support.Stats
+
+let two_year_average xs = Stats.moving_average xs 2
+
+let committee_harmonic xs = Stats.harmonic_strength xs 2
+
+let lag1_autocorrelation xs = Stats.autocorrelation xs 1
+
+let peak_year ~years xs =
+  assert (Array.length years = Array.length xs);
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > xs.(!best) then best := i) xs;
+  years.(!best)
+
+let crossovers ~years first second =
+  assert (Array.length first = Array.length second);
+  let n = Array.length first in
+  let flips = ref [] in
+  for i = 1 to n - 1 do
+    let before = first.(i - 1) -. second.(i - 1) in
+    let after = first.(i) -. second.(i) in
+    if before <= 0. && after > 0. then
+      flips := (years.(i), `First_overtakes) :: !flips
+    else if before >= 0. && after < 0. then
+      flips := (years.(i), `Second_overtakes) :: !flips
+  done;
+  List.rev !flips
+
+let succession_order ~years named_series =
+  List.map (fun (name, xs) -> (name, peak_year ~years xs)) named_series
+  |> List.sort (fun (_, a) (_, b) -> Int.compare a b)
+
+let trend xs =
+  let n = Array.length xs in
+  if n < 2 then `Flat
+  else begin
+    let times = Array.init n float_of_int in
+    let slope, _ = Stats.linear_fit times xs in
+    if slope > 0.15 then `Rising else if slope < -0.15 then `Falling else `Flat
+  end

@@ -1,0 +1,28 @@
+(** Time-series analysis of the PODS retrospective: the two-year
+    smoothing of Figure 3, the two-year harmonic ("program committees
+    have a one-year memory"), peaks, and succession ("the decline of the
+    prey brings about the decline of the predator"). *)
+
+val two_year_average : float array -> float array
+(** Exactly the smoothing the figure applies (trailing window of 2). *)
+
+val committee_harmonic : float array -> float
+(** Spectral strength of the period-2 oscillation relative to variance
+    (see {!Support.Stats.harmonic_strength}). *)
+
+val lag1_autocorrelation : float array -> float
+(** Strongly negative for a committee-driven alternation. *)
+
+val peak_year : years:int array -> float array -> int
+(** Year of the maximum (first one on ties). *)
+
+val crossovers :
+  years:int array -> float array -> float array -> (int * [ `First_overtakes | `Second_overtakes ]) list
+(** Years where the sign of (first − second) flips. *)
+
+val succession_order : years:int array -> (string * float array) list -> (string * int) list
+(** Areas sorted by peak year — the ecological succession of research
+    traditions. *)
+
+val trend : float array -> [ `Rising | `Falling | `Flat ]
+(** Sign of the least-squares slope with a deadband of ±0.15/yr. *)

@@ -1,0 +1,92 @@
+module Ode = Support.Ode
+
+type predator_prey = {
+  prey_growth : float;
+  predation : float;
+  conversion : float;
+  predator_death : float;
+}
+
+let predator_prey_system p _t y =
+  let x = y.(0) and pred = y.(1) in
+  [|
+    x *. (p.prey_growth -. (p.predation *. pred));
+    pred *. ((p.conversion *. x) -. p.predator_death);
+  |]
+
+let integrate_predator_prey p ~x0 ~y0 ~t1 ~steps =
+  Ode.integrate (predator_prey_system p) ~y0:[| x0; y0 |] ~t0:0. ~t1 ~steps
+
+type competition = {
+  growth : float array;
+  capacity : float array;
+  pressure : float array array;
+}
+
+let competition_system c _t y =
+  Array.mapi
+    (fun i ni ->
+      let crowding = ref 0. in
+      Array.iteri (fun j nj -> crowding := !crowding +. (c.pressure.(i).(j) *. nj)) y;
+      c.growth.(i) *. ni *. (1. -. (!crowding /. c.capacity.(i))))
+    y
+
+type fit = {
+  params : predator_prey;
+  x0 : float;
+  y0 : float;
+  sse : float;
+  prey_fit : float array;
+  predator_fit : float array;
+}
+
+let sample_model p ~x0 ~y0 ~n =
+  let t1 = float_of_int (n - 1) in
+  let trajectory = integrate_predator_prey p ~x0 ~y0 ~t1 ~steps:(n * 8) in
+  let times = Array.init n float_of_int in
+  let samples = Ode.sample_at trajectory ~times in
+  (Array.map (fun s -> s.(0)) samples, Array.map (fun s -> s.(1)) samples)
+
+let fit_predator_prey ~prey ~predator =
+  let n = Array.length prey in
+  assert (n = Array.length predator && n >= 2);
+  let best = ref None in
+  let consider params ~x0 ~y0 =
+    let prey_fit, predator_fit = sample_model params ~x0 ~y0 ~n in
+    if Array.for_all Float.is_finite prey_fit
+       && Array.for_all Float.is_finite predator_fit
+    then begin
+      let sse =
+        Support.Stats.sum_squared_error prey prey_fit
+        +. Support.Stats.sum_squared_error predator predator_fit
+      in
+      match !best with
+      | Some b when b.sse <= sse -> ()
+      | _ -> best := Some { params; x0; y0; sse; prey_fit; predator_fit }
+    end
+  in
+  let grid = [ 0.05; 0.1; 0.2; 0.4 ] in
+  let scaled = [ 0.005; 0.01; 0.02; 0.04 ] in
+  List.iter
+    (fun prey_growth ->
+      List.iter
+        (fun predation ->
+          List.iter
+            (fun conversion ->
+              List.iter
+                (fun predator_death ->
+                  let params =
+                    { prey_growth; predation; conversion; predator_death }
+                  in
+                  consider params ~x0:prey.(0)
+                    ~y0:(Float.max 0.5 predator.(0)))
+                grid)
+            scaled)
+        scaled)
+    grid;
+  match !best with
+  | Some fit -> fit
+  | None ->
+      (* cannot happen: the grids are non-empty and finite trajectories
+         exist for small rates *)
+      assert false

@@ -1,0 +1,51 @@
+(** Lotka–Volterra dynamics for research traditions.
+
+    "Actually the graphs very much recall solutions to Volterra equations
+    for an isolated ecosystem with very aggressive predators [Sig].  The
+    decline of the prey brings about the decline of the predator" (§6) —
+    relational theory as the prey, logic databases as the predator.  The
+    module integrates the classic predator–prey system, the competition
+    variant the paper prefers on reflection ("species competing for space
+    but depending on different food sources"), and fits the predator–prey
+    model to the PODS series by grid search. *)
+
+type predator_prey = {
+  prey_growth : float;  (** α *)
+  predation : float;  (** β *)
+  conversion : float;  (** δ *)
+  predator_death : float;  (** γ *)
+}
+
+val predator_prey_system : predator_prey -> Support.Ode.system
+(** dx/dt = x(α − βy);  dy/dt = y(δx − γ). *)
+
+val integrate_predator_prey :
+  predator_prey ->
+  x0:float ->
+  y0:float ->
+  t1:float ->
+  steps:int ->
+  (float * float array) array
+
+type competition = {
+  growth : float array;  (** rᵢ *)
+  capacity : float array;  (** Kᵢ *)
+  pressure : float array array;  (** aᵢⱼ *)
+}
+
+val competition_system : competition -> Support.Ode.system
+(** dNᵢ/dt = rᵢNᵢ(1 − Σⱼ aᵢⱼNⱼ / Kᵢ). *)
+
+type fit = {
+  params : predator_prey;
+  x0 : float;
+  y0 : float;
+  sse : float;  (** against the two data series *)
+  prey_fit : float array;  (** model sampled at the data years *)
+  predator_fit : float array;
+}
+
+val fit_predator_prey :
+  prey:float array -> predator:float array -> fit
+(** Coarse grid search over the four rates and the initial densities;
+    deterministic. *)

@@ -1,0 +1,1 @@
+lib/datalog/checks.ml: Ast Hashtbl List Printf Set String

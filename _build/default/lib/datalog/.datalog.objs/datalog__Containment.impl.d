@@ -1,0 +1,1 @@
+lib/datalog/containment.ml: Ast List Option Printf Relational String

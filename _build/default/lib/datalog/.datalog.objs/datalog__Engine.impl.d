@@ -1,0 +1,1 @@
+lib/datalog/engine.ml: Array Ast List Printf Relational String

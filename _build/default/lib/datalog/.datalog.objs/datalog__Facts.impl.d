@@ -1,0 +1,1 @@
+lib/datalog/facts.ml: Array Ast Buffer List Map Printf Relational String

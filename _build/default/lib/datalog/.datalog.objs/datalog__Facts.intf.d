@@ -1,0 +1,1 @@
+lib/datalog/facts.mli: Ast Relational

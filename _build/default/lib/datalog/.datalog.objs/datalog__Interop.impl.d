@@ -1,0 +1,1 @@
+lib/datalog/interop.ml: Array Ast Containment Facts Hashtbl List Option Printf Relational

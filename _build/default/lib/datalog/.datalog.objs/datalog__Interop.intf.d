@@ -1,0 +1,1 @@
+lib/datalog/interop.mli: Containment Facts Relational

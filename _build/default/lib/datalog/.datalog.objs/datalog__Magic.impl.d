@@ -1,0 +1,1 @@
+lib/datalog/magic.ml: Ast Facts Hashtbl List Naive Printf Queue Relational Seminaive Set String

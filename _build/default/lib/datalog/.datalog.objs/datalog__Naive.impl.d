@@ -1,0 +1,1 @@
+lib/datalog/naive.ml: Ast Checks Engine Facts List Relational

@@ -1,0 +1,1 @@
+lib/datalog/provenance.ml: Array Ast Buffer Checks Engine Facts Hashtbl List Printf Relational String

@@ -1,0 +1,1 @@
+lib/datalog/provenance.mli: Ast Facts Relational

@@ -1,0 +1,1 @@
+lib/datalog/seminaive.ml: Ast Checks Engine Facts List Naive Relational

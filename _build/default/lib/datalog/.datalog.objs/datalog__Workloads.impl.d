@@ -1,0 +1,1 @@
+lib/datalog/workloads.ml: Facts Fun List Parser Relational Support

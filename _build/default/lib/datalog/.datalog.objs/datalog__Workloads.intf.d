@@ -1,0 +1,1 @@
+lib/datalog/workloads.mli: Ast Facts Support

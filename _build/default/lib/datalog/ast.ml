@@ -1,0 +1,120 @@
+type term = Var of string | Const of Relational.Value.t
+
+type atom = { pred : string; args : term list }
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of Relational.Algebra.comparison * term * term
+
+type rule = { head : atom; body : literal list }
+
+type program = rule list
+
+type query = atom
+
+let atom pred args = { pred; args }
+
+let fact pred values =
+  { head = { pred; args = List.map (fun v -> Const v) values }; body = [] }
+
+let atom_of = function Pos a | Neg a -> Some a | Cmp _ -> None
+let is_positive = function Pos _ -> true | Neg _ | Cmp _ -> false
+let is_comparison = function Cmp _ -> true | Pos _ | Neg _ -> false
+
+let term_vars = function Var v -> [ v ] | Const _ -> []
+
+let atom_vars a =
+  List.sort_uniq String.compare (List.concat_map term_vars a.args)
+
+let literal_vars = function
+  | Pos a | Neg a -> atom_vars a
+  | Cmp (_, a, b) ->
+      List.sort_uniq String.compare (term_vars a @ term_vars b)
+
+let rule_vars r =
+  List.sort_uniq String.compare
+    (atom_vars r.head @ List.concat_map literal_vars r.body)
+
+let head_pred r = r.head.pred
+
+let body_preds r =
+  List.sort_uniq String.compare
+    (List.filter_map (fun l -> Option.map (fun a -> a.pred) (atom_of l)) r.body)
+
+let idb_predicates prog =
+  List.sort_uniq String.compare (List.map head_pred prog)
+
+let edb_predicates prog =
+  let idb = idb_predicates prog in
+  List.sort_uniq String.compare
+    (List.concat_map body_preds prog)
+  |> List.filter (fun p -> not (List.mem p idb))
+
+let arity_map prog =
+  let table = Hashtbl.create 16 in
+  let note where a =
+    let n = List.length a.args in
+    match Hashtbl.find_opt table a.pred with
+    | None -> Hashtbl.add table a.pred n
+    | Some n' ->
+        if n <> n' then
+          invalid_arg
+            (Printf.sprintf
+               "predicate %s used with arities %d and %d (%s)" a.pred n' n
+               where)
+  in
+  List.iter
+    (fun r ->
+      note "head" r.head;
+      List.iter
+        (fun l ->
+          match atom_of l with Some a -> note "body" a | None -> ())
+        r.body)
+    prog;
+  Hashtbl.fold (fun p n acc -> (p, n) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let rename_rule_apart r ~suffix =
+  let fix = function Var v -> Var (v ^ suffix) | Const c -> Const c in
+  let fix_atom a = { a with args = List.map fix a.args } in
+  {
+    head = fix_atom r.head;
+    body =
+      List.map
+        (function
+          | Pos a -> Pos (fix_atom a)
+          | Neg a -> Neg (fix_atom a)
+          | Cmp (c, a, b) -> Cmp (c, fix a, fix b))
+        r.body;
+  }
+
+let term_to_string = function
+  | Var v -> v
+  | Const c -> Relational.Value.to_literal c
+
+let atom_to_string a =
+  Printf.sprintf "%s(%s)" a.pred
+    (String.concat ", " (List.map term_to_string a.args))
+
+let literal_to_string = function
+  | Pos a -> atom_to_string a
+  | Neg a -> "not " ^ atom_to_string a
+  | Cmp (c, a, b) ->
+      Printf.sprintf "%s %s %s" (term_to_string a)
+        (Relational.Algebra.comparison_to_string c)
+        (term_to_string b)
+
+let rule_to_string r =
+  match r.body with
+  | [] -> atom_to_string r.head ^ "."
+  | body ->
+      Printf.sprintf "%s :- %s." (atom_to_string r.head)
+        (String.concat ", " (List.map literal_to_string body))
+
+let program_to_string prog =
+  String.concat "\n" (List.map rule_to_string prog)
+
+let pp_rule fmt r = Format.pp_print_string fmt (rule_to_string r)
+
+let pp_program fmt p = Format.pp_print_string fmt (program_to_string p)

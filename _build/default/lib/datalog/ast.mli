@@ -1,0 +1,65 @@
+(** Datalog abstract syntax: terms, atoms, literals, rules, programs.
+
+    Predicates are untyped here (a predicate is a set of value tuples);
+    the {!Interop} module bridges to the typed relational model. *)
+
+type term = Var of string | Const of Relational.Value.t
+
+type atom = { pred : string; args : term list }
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of Relational.Algebra.comparison * term * term
+      (** built-in comparison, e.g. [X < Y]; both sides must be bound by
+          positive atoms (enforced by {!Checks.check_safety}) *)
+
+type rule = { head : atom; body : literal list }
+
+type program = rule list
+
+type query = atom
+(** A query is an atom, e.g. [path(1, X)]: constants restrict, variables
+    are outputs. *)
+
+val atom : string -> term list -> atom
+val fact : string -> Relational.Value.t list -> rule
+(** A rule with an empty body and constant head. *)
+
+val atom_of : literal -> atom option
+(** [None] for comparison literals. *)
+
+val is_positive : literal -> bool
+(** True only for [Pos]. *)
+
+val is_comparison : literal -> bool
+
+val term_vars : term -> string list
+val atom_vars : atom -> string list
+val literal_vars : literal -> string list
+val rule_vars : rule -> string list
+(** Each sorted, without duplicates. *)
+
+val head_pred : rule -> string
+val body_preds : rule -> string list
+
+val idb_predicates : program -> string list
+(** Predicates occurring in some head, sorted. *)
+
+val edb_predicates : program -> string list
+(** Predicates occurring only in bodies, sorted. *)
+
+val arity_map : program -> (string * int) list
+(** Arity of every predicate; raises [Invalid_argument] on inconsistent
+    use. *)
+
+val rename_rule_apart : rule -> suffix:string -> rule
+(** Renames every variable of the rule by appending [suffix]. *)
+
+val term_to_string : term -> string
+val atom_to_string : atom -> string
+val literal_to_string : literal -> string
+val rule_to_string : rule -> string
+val program_to_string : program -> string
+val pp_rule : Format.formatter -> rule -> unit
+val pp_program : Format.formatter -> program -> unit

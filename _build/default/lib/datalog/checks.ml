@@ -1,0 +1,178 @@
+exception Unsafe_rule of string
+exception Not_stratifiable of string
+
+module Ss = Set.Make (String)
+
+let check_rule_safety rule =
+  let positive_vars =
+    List.fold_left
+      (fun acc lit ->
+        match lit with
+        | Ast.Pos a -> Ss.union acc (Ss.of_list (Ast.atom_vars a))
+        | Ast.Neg _ | Ast.Cmp _ -> acc)
+      Ss.empty rule.Ast.body
+  in
+  let require where vars =
+    List.iter
+      (fun v ->
+        if not (Ss.mem v positive_vars) then
+          raise
+            (Unsafe_rule
+               (Printf.sprintf
+                  "variable %S in %s of %S does not occur in a positive body \
+                   atom"
+                  v where (Ast.rule_to_string rule))))
+      vars
+  in
+  require "the head" (Ast.atom_vars rule.Ast.head);
+  List.iter
+    (function
+      | Ast.Neg a -> require "a negated atom" (Ast.atom_vars a)
+      | Ast.Cmp (_, a, b) ->
+          require "a comparison"
+            (List.sort_uniq String.compare
+               (Ast.term_vars a @ Ast.term_vars b))
+      | Ast.Pos _ -> ())
+    rule.Ast.body
+
+let check_safety prog =
+  let (_ : (string * int) list) = Ast.arity_map prog in
+  List.iter check_rule_safety prog
+
+let is_safe prog =
+  match check_safety prog with
+  | () -> true
+  | exception Unsafe_rule _ -> false
+  | exception Invalid_argument _ -> false
+
+type dependency = { from_pred : string; to_pred : string; negated : bool }
+
+let dependencies prog =
+  List.concat_map
+    (fun rule ->
+      List.filter_map
+        (fun lit ->
+          match Ast.atom_of lit with
+          | Some a ->
+              Some
+                {
+                  from_pred = Ast.head_pred rule;
+                  to_pred = a.Ast.pred;
+                  negated = not (Ast.is_positive lit);
+                }
+          | None -> None)
+        rule.Ast.body)
+    prog
+  |> List.sort_uniq compare
+
+(* Tarjan's strongly-connected components, emitted in reverse topological
+   order (which for head -> body edges means callees first). *)
+let tarjan nodes successors =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  (* Tarjan emits components in reverse topological order of the condensed
+     graph when edges point from caller to callee; accumulate order *)
+  List.rev !components
+
+let all_preds prog =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun r -> Ast.head_pred r :: Ast.body_preds r)
+       prog)
+
+let sccs prog =
+  let deps = dependencies prog in
+  let succ v =
+    List.filter_map
+      (fun d -> if String.equal d.from_pred v then Some d.to_pred else None)
+      deps
+  in
+  tarjan (all_preds prog) succ
+
+let is_recursive prog =
+  let deps = dependencies prog in
+  List.exists
+    (fun comp ->
+      match comp with
+      | [ p ] ->
+          List.exists
+            (fun d -> String.equal d.from_pred p && String.equal d.to_pred p)
+            deps
+      | _ :: _ :: _ -> true
+      | [] -> false)
+    (sccs prog)
+
+let strata_of_predicates prog =
+  let idb = Ast.idb_predicates prog in
+  let deps = dependencies prog in
+  let stratum = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace stratum p 0) idb;
+  let n = List.length idb in
+  let get p = match Hashtbl.find_opt stratum p with Some s -> s | None -> 0 in
+  (* Bellman-Ford style relaxation: stratum(head) >= stratum(body),
+     strictly greater across negation.  More than n*|deps| relaxations
+     means a negative cycle. *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > n + 1 then
+      raise
+        (Not_stratifiable
+           "negation through recursion: no stratification exists");
+    List.iter
+      (fun d ->
+        if List.mem d.to_pred idb then begin
+          let need = get d.to_pred + if d.negated then 1 else 0 in
+          if get d.from_pred < need then begin
+            Hashtbl.replace stratum d.from_pred need;
+            changed := true
+          end
+        end)
+      deps
+  done;
+  List.map (fun p -> (p, get p)) idb
+
+let stratify prog =
+  let strata = strata_of_predicates prog in
+  let max_stratum = List.fold_left (fun acc (_, s) -> max acc s) 0 strata in
+  List.init (max_stratum + 1) (fun i ->
+      List.filter
+        (fun r -> List.assoc (Ast.head_pred r) strata = i)
+        prog)
+  |> List.filter (fun rules -> rules <> [])

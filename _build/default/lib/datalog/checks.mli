@@ -1,0 +1,35 @@
+(** Static checks on Datalog programs: range restriction (safety) and
+    stratifiability, plus the predicate dependency graph they share. *)
+
+exception Unsafe_rule of string
+exception Not_stratifiable of string
+
+val check_safety : Ast.program -> unit
+(** Every rule must be range-restricted: each head variable and each
+    variable of a negated atom occurs in some positive body atom.
+    Raises {!Unsafe_rule} otherwise. *)
+
+val is_safe : Ast.program -> bool
+
+type dependency = { from_pred : string; to_pred : string; negated : bool }
+
+val dependencies : Ast.program -> dependency list
+(** Edges head-pred → body-pred of the predicate dependency graph. *)
+
+val sccs : Ast.program -> string list list
+(** Strongly connected components of the dependency graph over all
+    predicates of the program, in reverse topological order (callees
+    before callers) — i.e. valid evaluation order. *)
+
+val is_recursive : Ast.program -> bool
+
+val stratify : Ast.program -> Ast.program list
+(** Partitions the rules into strata such that negation never crosses
+    within a stratum and each stratum only reads IDB predicates defined in
+    itself or earlier strata.  Raises {!Not_stratifiable} when a negative
+    edge lies on a cycle (e.g. win(X) :- move(X,Y), not win(Y) over a
+    cyclic graph of moves is still stratifiable — the classic failure is
+    p :- not p). *)
+
+val strata_of_predicates : Ast.program -> (string * int) list
+(** The stratum index assigned to each IDB predicate. *)

@@ -1,0 +1,102 @@
+type cq = { head : Ast.term list; body : Ast.atom list }
+
+exception Not_conjunctive of string
+
+let of_rule rule =
+  let body =
+    List.map
+      (function
+        | Ast.Pos a -> a
+        | Ast.Neg a ->
+            raise
+              (Not_conjunctive
+                 (Printf.sprintf "negated atom %s" (Ast.atom_to_string a)))
+        | Ast.Cmp _ as l ->
+            raise
+              (Not_conjunctive
+                 (Printf.sprintf "comparison %s" (Ast.literal_to_string l))))
+      rule.Ast.body
+  in
+  { head = rule.Ast.head.Ast.args; body }
+
+let to_rule pred cq =
+  {
+    Ast.head = Ast.atom pred cq.head;
+    body = List.map (fun a -> Ast.Pos a) cq.body;
+  }
+
+(* Substitutions map source-query variables to target-query terms; the
+   target's variables are "frozen" (treated as constants) and never bound. *)
+let unify_term subst source target =
+  match source with
+  | Ast.Const c -> (
+      match target with
+      | Ast.Const c' when Relational.Value.equal c c' -> Some subst
+      | _ -> None)
+  | Ast.Var v -> (
+      match List.assoc_opt v subst with
+      | Some t -> if t = target then Some subst else None
+      | None -> Some ((v, target) :: subst))
+
+let unify_atoms subst (source : Ast.atom) (target : Ast.atom) =
+  if not (String.equal source.Ast.pred target.Ast.pred) then None
+  else if List.length source.Ast.args <> List.length target.Ast.args then None
+  else
+    List.fold_left2
+      (fun acc s t ->
+        match acc with None -> None | Some subst -> unify_term subst s t)
+      (Some subst) source.Ast.args target.Ast.args
+
+(* Find a homomorphism mapping [source]'s atoms into [target]'s atoms and
+   source head to target head. *)
+let homomorphism source target =
+  let rec assign subst = function
+    | [] -> Some subst
+    | atom :: rest ->
+        List.find_map
+          (fun candidate ->
+            match unify_atoms subst atom candidate with
+            | Some subst' -> assign subst' rest
+            | None -> None)
+          target.body
+  in
+  (* head compatibility first: source head term i must map to target head
+     term i *)
+  let head_subst =
+    if List.length source.head <> List.length target.head then None
+    else
+      List.fold_left2
+        (fun acc s t ->
+          match acc with
+          | None -> None
+          | Some subst -> unify_term subst s t)
+        (Some []) source.head target.head
+  in
+  match head_subst with
+  | None -> None
+  | Some subst -> assign subst source.body
+
+let contained q1 q2 =
+  (* Q1 ⊆ Q2 iff Q2 maps homomorphically onto Q1 *)
+  Option.is_some (homomorphism q2 q1)
+
+let equivalent q1 q2 = contained q1 q2 && contained q2 q1
+
+let minimize cq =
+  (* repeatedly try to drop an atom while staying equivalent; the result
+     is the core (unique up to isomorphism) *)
+  let rec shrink body =
+    let try_drop i =
+      let smaller = { cq with body = List.filteri (fun j _ -> j <> i) body } in
+      if equivalent { cq with body } smaller then Some smaller.body else None
+    in
+    let rec attempt i =
+      if i >= List.length body then body
+      else
+        match try_drop i with
+        | Some smaller -> shrink smaller
+        | None -> attempt (i + 1)
+    in
+    attempt 0
+  in
+  { cq with body = shrink cq.body }

@@ -1,0 +1,33 @@
+(** Conjunctive-query containment, equivalence, and minimization.
+
+    The Chandra–Merlin theorem: Q1 ⊆ Q2 iff there is a homomorphism from
+    Q2 to (the frozen) Q1.  Deciding this is NP-complete — one of the
+    "negative methodology" results (§3) that computer science exports; we
+    solve it with backtracking, which also powers CQ minimization (the
+    core of a query). *)
+
+type cq = { head : Ast.term list; body : Ast.atom list }
+(** A conjunctive query: head terms over the body's variables, positive
+    body atoms only. *)
+
+exception Not_conjunctive of string
+
+val of_rule : Ast.rule -> cq
+(** Raises {!Not_conjunctive} if the rule has a negated literal. *)
+
+val to_rule : string -> cq -> Ast.rule
+
+val homomorphism :
+  cq -> cq -> (string * Ast.term) list option
+(** [homomorphism q2 q1] finds a mapping of q2's variables to q1's terms
+    that maps every atom of q2's body into q1's body and q2's head to
+    q1's head — the witness that q1 ⊆ q2. *)
+
+val contained : cq -> cq -> bool
+(** [contained q1 q2] decides Q1 ⊆ Q2. *)
+
+val equivalent : cq -> cq -> bool
+
+val minimize : cq -> cq
+(** The core: a minimal equivalent subquery, computed by repeatedly
+    dropping redundant atoms (folding the query onto itself). *)

@@ -1,0 +1,82 @@
+module Tuple_set = Relational.Relation.Tuple_set
+
+type env = (string * Relational.Value.t) list
+
+let match_tuple args tup env =
+  let rec go i args env =
+    match args with
+    | [] -> Some env
+    | Ast.Const c :: rest ->
+        if Relational.Value.equal tup.(i) c then go (i + 1) rest env else None
+    | Ast.Var v :: rest -> (
+        match List.assoc_opt v env with
+        | Some bound ->
+            if Relational.Value.equal tup.(i) bound then go (i + 1) rest env
+            else None
+        | None -> go (i + 1) rest ((v, tup.(i)) :: env))
+  in
+  go 0 args env
+
+let match_atom tuples atom env =
+  Tuple_set.fold
+    (fun tup acc ->
+      match match_tuple atom.Ast.args tup env with
+      | Some env' -> env' :: acc
+      | None -> acc)
+    tuples []
+
+let instantiate atom env =
+  Array.of_list
+    (List.map
+       (function
+         | Ast.Const c -> c
+         | Ast.Var v -> (
+             match List.assoc_opt v env with
+             | Some value -> value
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf "unbound variable %S in %s" v
+                      (Ast.atom_to_string atom))))
+       atom.Ast.args)
+
+let ground_term env = function
+  | Ast.Const c -> c
+  | Ast.Var v -> (
+      match List.assoc_opt v env with
+      | Some value -> value
+      | None -> invalid_arg (Printf.sprintf "unbound variable %S in comparison" v))
+
+let comparison_holds c a b env =
+  let n =
+    Relational.Value.compare (ground_term env a) (ground_term env b)
+  in
+  match c with
+  | Relational.Algebra.Eq -> n = 0
+  | Relational.Algebra.Ne -> n <> 0
+  | Relational.Algebra.Lt -> n < 0
+  | Relational.Algebra.Le -> n <= 0
+  | Relational.Algebra.Gt -> n > 0
+  | Relational.Algebra.Ge -> n >= 0
+
+let eval_rule ~pos_source ~neg_source rule =
+  let step envs (i, lit) =
+    match lit with
+    | Ast.Pos a ->
+        let tuples = pos_source i a.Ast.pred in
+        List.concat_map (fun env -> match_atom tuples a env) envs
+    | Ast.Neg a ->
+        let tuples = neg_source a.Ast.pred in
+        List.filter
+          (fun env -> not (Tuple_set.mem (instantiate a env) tuples))
+          envs
+    | Ast.Cmp (c, a, b) ->
+        List.filter (fun env -> comparison_holds c a b env) envs
+  in
+  let indexed = List.mapi (fun i l -> (i, l)) rule.Ast.body in
+  let envs = List.fold_left step [ [] ] indexed in
+  List.fold_left
+    (fun acc env -> Tuple_set.add (instantiate rule.Ast.head env) acc)
+    Tuple_set.empty envs
+
+let stratum_preds rules =
+  List.sort_uniq String.compare (List.map Ast.head_pred rules)

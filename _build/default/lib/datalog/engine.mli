@@ -1,0 +1,41 @@
+(** Shared rule-application machinery for the evaluation strategies.
+
+    A rule is evaluated by folding its body left-to-right, maintaining a
+    list of partial variable assignments; positive atoms extend
+    assignments by matching tuples, negative atoms filter (safety
+    guarantees they are ground by match time).  The sources of tuples are
+    abstracted so naive, semi-naive, and magic evaluation can plug in
+    full relations or deltas per body position. *)
+
+module Tuple_set = Relational.Relation.Tuple_set
+
+type env = (string * Relational.Value.t) list
+
+val match_tuple : Ast.term list -> Relational.Tuple.t -> env -> env option
+(** Unify an argument pattern against one tuple under an environment. *)
+
+val match_atom : Tuple_set.t -> Ast.atom -> env -> env list
+(** All extensions of the environment by tuples of the set matching the
+    atom's pattern. *)
+
+val comparison_holds :
+  Relational.Algebra.comparison -> Ast.term -> Ast.term -> env -> bool
+(** Decide a ground comparison under the environment; raises
+    [Invalid_argument] on an unbound variable (a safety violation). *)
+
+val instantiate : Ast.atom -> env -> Relational.Tuple.t
+(** Ground the atom under the environment; raises [Invalid_argument] on an
+    unbound variable (a safety violation). *)
+
+val eval_rule :
+  pos_source:(int -> string -> Tuple_set.t) ->
+  neg_source:(string -> Tuple_set.t) ->
+  Ast.rule ->
+  Tuple_set.t
+(** Head tuples derivable in one application of the rule.  [pos_source i
+    p] supplies the tuples for the positive literal at body position [i]
+    (0-based over the whole body); [neg_source p] supplies the relation a
+    negated atom is tested against. *)
+
+val stratum_preds : Ast.program -> string list
+(** Head predicates of a rule list. *)

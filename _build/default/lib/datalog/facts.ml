@@ -1,0 +1,77 @@
+module Tuple_set = Relational.Relation.Tuple_set
+module Smap = Map.Make (String)
+
+type t = Tuple_set.t Smap.t
+
+let empty = Smap.empty
+
+let is_empty t = Smap.for_all (fun _ s -> Tuple_set.is_empty s) t
+
+let get t pred =
+  match Smap.find_opt pred t with Some s -> s | None -> Tuple_set.empty
+
+let add t pred tup = Smap.add pred (Tuple_set.add tup (get t pred)) t
+
+let add_list t pred rows =
+  List.fold_left (fun t row -> add t pred (Array.of_list row)) t rows
+
+let mem t pred tup = Tuple_set.mem tup (get t pred)
+
+let set t pred tuples = Smap.add pred tuples t
+
+let preds t = List.map fst (Smap.bindings t)
+
+let cardinality t pred = Tuple_set.cardinal (get t pred)
+
+let total t = Smap.fold (fun _ s acc -> acc + Tuple_set.cardinal s) t 0
+
+let union a b =
+  Smap.union (fun _ s1 s2 -> Some (Tuple_set.union s1 s2)) a b
+
+let diff_new candidate old =
+  Smap.filter_map
+    (fun pred s ->
+      let d = Tuple_set.diff s (get old pred) in
+      if Tuple_set.is_empty d then None else Some d)
+    candidate
+
+let equal a b =
+  let non_empty t =
+    Smap.filter (fun _ s -> not (Tuple_set.is_empty s)) t
+  in
+  Smap.equal Tuple_set.equal (non_empty a) (non_empty b)
+
+let fold f t init = Smap.fold f t init
+
+let of_program_facts prog =
+  List.fold_left
+    (fun acc rule ->
+      match rule.Ast.body with
+      | [] ->
+          let values =
+            List.map
+              (function
+                | Ast.Const c -> c
+                | Ast.Var v ->
+                    invalid_arg
+                      (Printf.sprintf "non-ground fact: variable %S in %s" v
+                         (Ast.rule_to_string rule)))
+              rule.Ast.head.Ast.args
+          in
+          add acc rule.Ast.head.Ast.pred (Array.of_list values)
+      | _ :: _ -> acc)
+    empty prog
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Smap.iter
+    (fun pred s ->
+      Tuple_set.iter
+        (fun tup ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s(%s).\n" pred
+               (String.concat ", "
+                  (Array.to_list (Array.map Relational.Value.to_literal tup)))))
+        s)
+    t;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Fact stores: immutable maps from predicate names to sets of value
+    tuples.  Used for EDB inputs, IDB results, and the per-iteration
+    deltas of semi-naive evaluation. *)
+
+module Tuple_set = Relational.Relation.Tuple_set
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val add : t -> string -> Relational.Tuple.t -> t
+val add_list : t -> string -> Relational.Value.t list list -> t
+val get : t -> string -> Tuple_set.t
+(** Empty set for unknown predicates. *)
+
+val mem : t -> string -> Relational.Tuple.t -> bool
+val set : t -> string -> Tuple_set.t -> t
+val preds : t -> string list
+val cardinality : t -> string -> int
+val total : t -> int
+(** Total number of facts across all predicates. *)
+
+val union : t -> t -> t
+val diff_new : t -> t -> t
+(** [diff_new candidate old] keeps only tuples of [candidate] absent from
+    [old] — the semi-naive delta step. *)
+
+val equal : t -> t -> bool
+val fold : (string -> Tuple_set.t -> 'a -> 'a) -> t -> 'a -> 'a
+val of_program_facts : Ast.program -> t
+(** Extracts the ground facts (empty-body, constant-head rules) of a
+    program.  Raises [Invalid_argument] on a non-ground fact. *)
+
+val to_string : t -> string

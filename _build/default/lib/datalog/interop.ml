@@ -1,0 +1,169 @@
+module R = Relational
+
+let facts_of_database db =
+  R.Database.fold
+    (fun name rel acc ->
+      Facts.set acc name (R.Relation.tuples rel))
+    db Facts.empty
+
+let relation_of_tuples tuples ~columns =
+  match Facts.Tuple_set.choose_opt tuples with
+  | None ->
+      invalid_arg
+        "relation_of_tuples: cannot infer column types from an empty set"
+  | Some witness ->
+      if Array.length witness <> List.length columns then
+        invalid_arg "relation_of_tuples: column count mismatch";
+      let schema =
+        R.Schema.make
+          (List.mapi
+             (fun i name -> (name, R.Value.type_of witness.(i)))
+             columns)
+      in
+      R.Relation.of_tuples schema (Facts.Tuple_set.elements tuples)
+
+(* Select-project-join expressions with equality-only predicates map to
+   conjunctive queries; we translate by threading a variable environment
+   per attribute. *)
+let cq_of_algebra catalog expr =
+  let module A = R.Algebra in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "V%d" !counter
+  in
+  (* returns (atoms, binding of output attribute -> term) *)
+  let rec go expr =
+    match expr with
+    | A.Rel name ->
+        let attrs = R.Schema.attributes (catalog name) in
+        let binding = List.map (fun a -> (a, Ast.Var (fresh ()))) attrs in
+        Some ([ Ast.atom name (List.map snd binding) ], binding)
+    | A.Project (attrs, e) ->
+        Option.map
+          (fun (atoms, binding) ->
+            (atoms, List.filter (fun (a, _) -> List.mem a attrs) binding))
+          (go e)
+    | A.Rename (mapping, e) ->
+        Option.map
+          (fun (atoms, binding) ->
+            ( atoms,
+              List.map
+                (fun (a, t) ->
+                  match List.assoc_opt a mapping with
+                  | Some b -> (b, t)
+                  | None -> (a, t))
+                binding ))
+          (go e)
+    | A.Select (p, e) -> (
+        match go e with
+        | None -> None
+        | Some (atoms, binding) ->
+            (* only conjunctions of equalities stay conjunctive *)
+            let rec conj = function
+              | A.True -> Some []
+              | A.And (a, b) -> (
+                  match (conj a, conj b) with
+                  | Some xs, Some ys -> Some (xs @ ys)
+                  | _ -> None)
+              | A.Cmp (A.Eq, l, r) -> Some [ (l, r) ]
+              | A.Cmp _ | A.Or _ | A.Not _ | A.False -> None
+            in
+            (match conj p with
+            | None -> None
+            | Some eqs ->
+                (* each equality merges terms: substitute one side by the
+                   other throughout atoms and binding *)
+                let term_of = function
+                  | A.Attr a -> List.assoc_opt a binding
+                  | A.Const c -> Some (Ast.Const c)
+                in
+                let substitute from_ to_ (atoms, binding) =
+                  let fix t = if t = from_ then to_ else t in
+                  ( List.map
+                      (fun at -> { at with Ast.args = List.map fix at.Ast.args })
+                      atoms,
+                    List.map (fun (a, t) -> (a, fix t)) binding )
+                in
+                let rec apply eqs acc =
+                  match (eqs, acc) with
+                  | [], _ -> Some acc
+                  | (l, r) :: rest, (atoms, binding) -> (
+                      match (term_of l, term_of r) with
+                      | Some tl, Some tr -> (
+                          match (tl, tr) with
+                          | Ast.Const a, Ast.Const b ->
+                              if R.Value.equal a b then apply rest acc else None
+                          | Ast.Var _, _ ->
+                              apply rest (substitute tl tr (atoms, binding))
+                          | _, Ast.Var _ ->
+                              apply rest (substitute tr tl (atoms, binding))
+                          )
+                      | _ -> None)
+                in
+                (* re-resolve term_of after each substitution by rebuilding
+                   bindings: handled by substitute over binding *)
+                apply eqs (atoms, binding)))
+    | A.Product (a, b) | A.Join (a, b) -> (
+        match (go a, go b) with
+        | Some (atoms_a, bind_a), Some (atoms_b, bind_b) ->
+            (* natural join: shared attributes are equated *)
+            let shared =
+              List.filter (fun (attr, _) -> List.mem_assoc attr bind_a) bind_b
+            in
+            let merged = ref (atoms_a @ atoms_b, bind_a @ bind_b) in
+            let ok =
+              List.for_all
+                (fun (attr, tb) ->
+                  let ta = List.assoc attr bind_a in
+                  match (ta, tb) with
+                  | Ast.Const a, Ast.Const b -> R.Value.equal a b
+                  | Ast.Var _, t ->
+                      let atoms, binding = !merged in
+                      let fix x = if x = ta then t else x in
+                      merged :=
+                        ( List.map
+                            (fun at ->
+                              { at with Ast.args = List.map fix at.Ast.args })
+                            atoms,
+                          List.map (fun (a, x) -> (a, fix x)) binding );
+                      true
+                  | t, Ast.Var _ ->
+                      let atoms, binding = !merged in
+                      let fix x = if x = tb then t else x in
+                      merged :=
+                        ( List.map
+                            (fun at ->
+                              { at with Ast.args = List.map fix at.Ast.args })
+                            atoms,
+                          List.map (fun (a, x) -> (a, fix x)) binding );
+                      true)
+                shared
+            in
+            if ok then begin
+              let atoms, binding = !merged in
+              (* deduplicate binding entries by attribute (shared attrs
+                 appear twice with now-equal terms) *)
+              let seen = Hashtbl.create 8 in
+              let binding =
+                List.filter
+                  (fun (a, _) ->
+                    if Hashtbl.mem seen a then false
+                    else begin
+                      Hashtbl.add seen a ();
+                      true
+                    end)
+                  binding
+              in
+              Some (atoms, binding)
+            end
+            else None
+        | _ -> None)
+    | A.Singleton _ | A.Union _ | A.Inter _ | A.Diff _ | A.Divide _ -> None
+  in
+  match go expr with
+  | None -> None
+  | Some (atoms, binding) ->
+      let attrs = R.Schema.attributes (R.Algebra.schema_of catalog expr) in
+      let head = List.map (fun a -> List.assoc a binding) attrs in
+      Some { Containment.head; body = atoms }

@@ -1,0 +1,20 @@
+(** Bridge between the untyped Datalog fact stores and the typed
+    relational model, so Datalog programs can run over relational
+    instances and their answers flow back into the algebra. *)
+
+val facts_of_database : Relational.Database.t -> Facts.t
+(** Every relation becomes a predicate of the same name. *)
+
+val relation_of_tuples :
+  Facts.Tuple_set.t -> columns:string list -> Relational.Relation.t
+(** Builds a typed relation from a tuple set, inferring each column's type
+    from the first tuple.  Raises [Invalid_argument] on an empty set with
+    no way to infer types, or on heterogeneous columns. *)
+
+val cq_of_algebra :
+  Relational.Algebra.catalog ->
+  Relational.Algebra.t ->
+  Containment.cq option
+(** Conjunctive queries correspond to select-project-join algebra; returns
+    [None] for expressions outside that fragment (union, difference,
+    negation, division, non-equality selections). *)

@@ -1,0 +1,153 @@
+module Tuple_set = Relational.Relation.Tuple_set
+
+exception Unsupported of string
+
+type adornment = bool list
+
+let adornment_to_string a =
+  String.concat "" (List.map (fun b -> if b then "b" else "f") a)
+
+let adorned_name p a = p ^ "#" ^ adornment_to_string a
+
+let magic_name p a = "m#" ^ adorned_name p a
+
+(* Only constants count as bound in the seed query: a bound argument must
+   supply a ground value for the magic seed fact. *)
+let adornment_of_query q =
+  List.map (function Ast.Const _ -> true | Ast.Var _ -> false) q.Ast.args
+
+module Ss = Set.Make (String)
+
+let bound_args adornment args =
+  List.filteri (fun i _ -> List.nth adornment i) args
+
+let atom_adornment bound a =
+  List.map
+    (function
+      | Ast.Const _ -> true
+      | Ast.Var v -> Ss.mem v bound)
+    a.Ast.args
+
+let rewrite prog query =
+  List.iter
+    (fun r ->
+      List.iter
+        (function
+          | Ast.Neg a ->
+              raise
+                (Unsupported
+                   (Printf.sprintf
+                      "magic-sets rewriting requires a positive program; \
+                       found 'not %s'"
+                      (Ast.atom_to_string a)))
+          | Ast.Pos _ | Ast.Cmp _ -> ())
+        r.Ast.body)
+    prog;
+  let idb = Ast.idb_predicates prog in
+  let is_idb p = List.mem p idb in
+  if not (is_idb query.Ast.pred) then
+    raise
+      (Unsupported
+         (Printf.sprintf "query predicate %S is not an IDB predicate"
+            query.Ast.pred));
+  let seen = Hashtbl.create 16 in
+  let out_rules = ref [] in
+  let emit r = out_rules := r :: !out_rules in
+  let worklist = Queue.create () in
+  let demand p a =
+    if is_idb p && not (Hashtbl.mem seen (p, a)) then begin
+      Hashtbl.add seen (p, a) ();
+      Queue.add (p, a) worklist
+    end
+  in
+  let q_adornment = adornment_of_query query in
+  demand query.Ast.pred q_adornment;
+  while not (Queue.is_empty worklist) do
+    let p, a = Queue.pop worklist in
+    let rules = List.filter (fun r -> String.equal (Ast.head_pred r) p) prog in
+    List.iter
+      (fun rule ->
+        (* variables bound on entry: head vars in bound positions *)
+        let head_bound_vars =
+          List.concat_map Ast.term_vars (bound_args a rule.Ast.head.Ast.args)
+        in
+        let magic_head_atom =
+          Ast.atom (magic_name p a) (bound_args a rule.Ast.head.Ast.args)
+        in
+        (* walk the body left-to-right, adorning IDB atoms and emitting a
+           magic rule for each *)
+        let bound = ref (Ss.of_list head_bound_vars) in
+        let prefix = ref [ Ast.Pos magic_head_atom ] in
+        let new_body =
+          List.map
+            (fun lit ->
+              match (lit : Ast.literal) with
+              | Ast.Cmp _ ->
+                  (* comparisons pass through; their variables are already
+                     bound, so they tighten the magic prefixes too *)
+                  prefix := lit :: !prefix;
+                  lit
+              | Ast.Neg _ -> assert false (* rejected above *)
+              | Ast.Pos atom ->
+              let lit' =
+                if is_idb atom.Ast.pred then begin
+                  let sub_a = atom_adornment !bound atom in
+                  demand atom.Ast.pred sub_a;
+                  (* magic rule: demand for this subgoal *)
+                  emit
+                    {
+                      Ast.head =
+                        Ast.atom
+                          (magic_name atom.Ast.pred sub_a)
+                          (bound_args sub_a atom.Ast.args);
+                      body = List.rev !prefix;
+                    };
+                  Ast.Pos
+                    (Ast.atom (adorned_name atom.Ast.pred sub_a) atom.Ast.args)
+                end
+                else Ast.Pos atom
+              in
+              bound := Ss.union !bound (Ss.of_list (Ast.atom_vars atom));
+              prefix := lit' :: !prefix;
+              lit')
+            rule.Ast.body
+        in
+        (* transformed rule, guarded by its magic predicate *)
+        emit
+          {
+            Ast.head = Ast.atom (adorned_name p a) rule.Ast.head.Ast.args;
+            body = Ast.Pos magic_head_atom :: new_body;
+          })
+      rules
+  done;
+  (* seed: the query's demand *)
+  let seed_values =
+    List.filter_map
+      (function Ast.Const c -> Some (Ast.Const c) | Ast.Var _ -> None)
+      query.Ast.args
+  in
+  emit
+    {
+      Ast.head =
+        Ast.atom (magic_name query.Ast.pred q_adornment) seed_values;
+      body = [];
+    };
+  let query' =
+    Ast.atom (adorned_name query.Ast.pred q_adornment) query.Ast.args
+  in
+  (List.rev !out_rules, query')
+
+let query_with_stats prog edb q =
+  let idb = Ast.idb_predicates prog in
+  if not (List.mem q.Ast.pred idb) then
+    (* querying a base relation needs no rewriting *)
+    (Naive.filter_by_query (Facts.get edb q.Ast.pred) q,
+     { Naive.iterations = 0; derivations = 0 })
+  else begin
+    let magic_prog, magic_query = rewrite prog q in
+    let result, stats = Seminaive.eval_with_stats magic_prog edb in
+    (Naive.filter_by_query (Facts.get result magic_query.Ast.pred) magic_query,
+     stats)
+  end
+
+let query prog edb q = fst (query_with_stats prog edb q)

@@ -1,0 +1,40 @@
+(** Generalized magic-sets rewriting (left-to-right sideways information
+    passing), for positive Datalog programs and point queries.
+
+    Given [path(1, X)?], evaluating the whole transitive closure wastes
+    work on sources other than 1; the magic transformation specializes
+    the program so bottom-up evaluation only derives facts relevant to
+    the query's bound arguments — recovering the efficiency of top-down
+    evaluation while keeping set-at-a-time semantics.  This is the
+    centerpiece of the "beautiful ideas … for the implementation of
+    recursive queries" (§6). *)
+
+exception Unsupported of string
+(** Raised on programs with negation (the rewriting implemented here is
+    for positive programs). *)
+
+type adornment = bool list
+(** Per-argument binding pattern, [true] = bound. *)
+
+val adornment_to_string : adornment -> string
+(** e.g. "bf". *)
+
+val adorned_name : string -> adornment -> string
+val magic_name : string -> adornment -> string
+
+val adornment_of_query : Ast.query -> adornment
+(** Constants are bound; repeated variables after their first occurrence
+    are also bound. *)
+
+val rewrite : Ast.program -> Ast.query -> Ast.program * Ast.query
+(** [rewrite program query] returns the magic program (transformed rules,
+    magic rules, and the magic seed fact) and the query re-aimed at the
+    adorned answer predicate. *)
+
+val query : Ast.program -> Facts.t -> Ast.query -> Facts.Tuple_set.t
+(** Rewrite, evaluate semi-naively, and read the answers off the adorned
+    predicate.  Agrees with {!Seminaive.query} on positive programs
+    (property-tested). *)
+
+val query_with_stats :
+  Ast.program -> Facts.t -> Ast.query -> Facts.Tuple_set.t * Naive.stats

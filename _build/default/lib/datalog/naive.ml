@@ -1,0 +1,45 @@
+module Tuple_set = Relational.Relation.Tuple_set
+
+type stats = { iterations : int; derivations : int }
+
+let filter_by_query tuples query =
+  Tuple_set.filter
+    (fun tup ->
+      match Engine.match_tuple query.Ast.args tup [] with
+      | Some _ -> true
+      | None -> false)
+    tuples
+
+let eval_with_stats prog edb =
+  Checks.check_safety prog;
+  let strata = Checks.stratify prog in
+  let edb = Facts.union edb (Facts.of_program_facts prog) in
+  let iterations = ref 0 and derivations = ref 0 in
+  let eval_stratum all rules =
+    let rules = List.filter (fun r -> r.Ast.body <> []) rules in
+    let rec fixpoint all =
+      incr iterations;
+      let derived =
+        List.fold_left
+          (fun acc rule ->
+            let source _ p = Facts.get all p in
+            let out =
+              Engine.eval_rule ~pos_source:source ~neg_source:(Facts.get all)
+                rule
+            in
+            derivations := !derivations + Tuple_set.cardinal out;
+            Facts.set acc rule.Ast.head.Ast.pred
+              (Tuple_set.union (Facts.get acc rule.Ast.head.Ast.pred) out))
+          Facts.empty rules
+      in
+      let grown = Facts.union all derived in
+      if Facts.equal grown all then all else fixpoint grown
+    in
+    fixpoint all
+  in
+  let result = List.fold_left eval_stratum edb strata in
+  (result, { iterations = !iterations; derivations = !derivations })
+
+let eval prog edb = fst (eval_with_stats prog edb)
+
+let query prog edb q = filter_by_query (Facts.get (eval prog edb) q.Ast.pred) q

@@ -1,0 +1,25 @@
+(** Naive (Gauss–Seidel-free, recompute-everything) bottom-up evaluation.
+
+    Each iteration re-applies every rule of the current stratum to the
+    full relations and stops when nothing new appears.  Kept as the
+    baseline that semi-naive evaluation beats — the "beautiful ideas …
+    for the implementation of recursive queries" the paper laments never
+    reached products start here. *)
+
+type stats = { iterations : int; derivations : int }
+(** [derivations] counts head tuples produced across all rule
+    applications, including re-derivations of known facts — the work a
+    smarter strategy avoids. *)
+
+val eval : Ast.program -> Facts.t -> Facts.t
+(** [eval program edb] returns EDB ∪ IDB.  Checks safety and
+    stratifiability first (ground facts in the program join the EDB). *)
+
+val eval_with_stats : Ast.program -> Facts.t -> Facts.t * stats
+
+val query : Ast.program -> Facts.t -> Ast.query -> Facts.Tuple_set.t
+(** Evaluates the program, then filters the queried predicate by the
+    query's constant pattern. *)
+
+val filter_by_query : Facts.Tuple_set.t -> Ast.query -> Facts.Tuple_set.t
+(** Tuples of a relation matching the query's constant pattern. *)

@@ -1,0 +1,349 @@
+exception Parse_error of string
+
+type token =
+  | Tident of string
+  | Tvar of string
+  | Tint of int
+  | Tfloat of float
+  | Tstring of string
+  | Tbool of bool
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tdot
+  | Tturnstile  (* :- *)
+  | Tquery      (* ?- *)
+  | Tnot
+  | Tcmp of Relational.Algebra.comparison
+  | Teof
+
+let err line col fmt =
+  Printf.ksprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "line %d, col %d: %s" line col s)))
+    fmt
+
+(* --- lexer ---------------------------------------------------------------- *)
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make_lexer src = { src; pos = 0; line = 1; col = 1 }
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '_'
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some ('%' | '#') ->
+      let rec to_eol () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | _ -> ()
+
+let lex_while lx pred =
+  let start = lx.pos in
+  let rec go () =
+    match peek_char lx with
+    | Some c when pred c ->
+        advance lx;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub lx.src start (lx.pos - start)
+
+let next_token lx =
+  skip_ws lx;
+  let line = lx.line and col = lx.col in
+  match peek_char lx with
+  | None -> (Teof, line, col)
+  | Some '(' ->
+      advance lx;
+      (Tlparen, line, col)
+  | Some ')' ->
+      advance lx;
+      (Trparen, line, col)
+  | Some ',' ->
+      advance lx;
+      (Tcomma, line, col)
+  | Some '.' ->
+      advance lx;
+      (Tdot, line, col)
+  | Some ':' ->
+      advance lx;
+      (match peek_char lx with
+      | Some '-' ->
+          advance lx;
+          (Tturnstile, line, col)
+      | _ -> err line col "expected '-' after ':'")
+  | Some '?' ->
+      advance lx;
+      (match peek_char lx with
+      | Some '-' ->
+          advance lx;
+          (Tquery, line, col)
+      | _ -> err line col "expected '-' after '?'")
+  | Some '=' ->
+      advance lx;
+      (Tcmp Relational.Algebra.Eq, line, col)
+  | Some '!' ->
+      advance lx;
+      (match peek_char lx with
+      | Some '=' ->
+          advance lx;
+          (Tcmp Relational.Algebra.Ne, line, col)
+      | _ -> err line col "expected '=' after '!'")
+  | Some '<' ->
+      advance lx;
+      (match peek_char lx with
+      | Some '=' ->
+          advance lx;
+          (Tcmp Relational.Algebra.Le, line, col)
+      | Some '>' ->
+          advance lx;
+          (Tcmp Relational.Algebra.Ne, line, col)
+      | _ -> (Tcmp Relational.Algebra.Lt, line, col))
+  | Some '>' ->
+      advance lx;
+      (match peek_char lx with
+      | Some '=' ->
+          advance lx;
+          (Tcmp Relational.Algebra.Ge, line, col)
+      | _ -> (Tcmp Relational.Algebra.Gt, line, col))
+  | Some '"' ->
+      advance lx;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek_char lx with
+        | None -> err line col "unterminated string literal"
+        | Some '"' -> advance lx
+        | Some '\\' ->
+            advance lx;
+            (match peek_char lx with
+            | Some 'n' -> Buffer.add_char buf '\n'
+            | Some 't' -> Buffer.add_char buf '\t'
+            | Some c -> Buffer.add_char buf c
+            | None -> err line col "unterminated escape");
+            advance lx;
+            go ()
+        | Some c ->
+            Buffer.add_char buf c;
+            advance lx;
+            go ()
+      in
+      go ();
+      (Tstring (Buffer.contents buf), line, col)
+  | Some ('-' | '0' .. '9') ->
+      let start = lx.pos in
+      if peek_char lx = Some '-' then advance lx;
+      let (_ : string) = lex_while lx is_digit in
+      let is_float =
+        match peek_char lx with
+        | Some '.' when lx.pos + 1 < String.length lx.src && is_digit lx.src.[lx.pos + 1] ->
+            advance lx;
+            let (_ : string) = lex_while lx is_digit in
+            true
+        | _ -> false
+      in
+      let text = String.sub lx.src start (lx.pos - start) in
+      if is_float then
+        (match float_of_string_opt text with
+        | Some f -> (Tfloat f, line, col)
+        | None -> err line col "bad float literal %S" text)
+      else (
+        match int_of_string_opt text with
+        | Some i -> (Tint i, line, col)
+        | None -> err line col "bad integer literal %S" text)
+  | Some c when is_lower c ->
+      let word = lex_while lx is_ident_char in
+      (match word with
+      | "not" -> (Tnot, line, col)
+      | "true" -> (Tbool true, line, col)
+      | "false" -> (Tbool false, line, col)
+      | _ -> (Tident word, line, col))
+  | Some c when is_upper c || c = '_' ->
+      let word = lex_while lx is_ident_char in
+      (Tvar word, line, col)
+  | Some c -> err line col "unexpected character %C" c
+
+(* --- parser --------------------------------------------------------------- *)
+
+type parser_state = {
+  lx : lexer;
+  mutable tok : token;
+  mutable tline : int;
+  mutable tcol : int;
+}
+
+let make_parser src =
+  let lx = make_lexer src in
+  let tok, l, c = next_token lx in
+  { lx; tok; tline = l; tcol = c }
+
+let advance_tok ps =
+  let tok, l, c = next_token ps.lx in
+  ps.tok <- tok;
+  ps.tline <- l;
+  ps.tcol <- c
+
+let expect ps tok what =
+  if ps.tok = tok then advance_tok ps
+  else err ps.tline ps.tcol "expected %s" what
+
+let parse_term ps =
+  match ps.tok with
+  | Tvar v ->
+      advance_tok ps;
+      if String.equal v "_" then err ps.tline ps.tcol "anonymous variables are not supported"
+      else Ast.Var v
+  | Tident s ->
+      advance_tok ps;
+      Ast.Const (Relational.Value.String s)
+  | Tstring s ->
+      advance_tok ps;
+      Ast.Const (Relational.Value.String s)
+  | Tint i ->
+      advance_tok ps;
+      Ast.Const (Relational.Value.Int i)
+  | Tfloat f ->
+      advance_tok ps;
+      Ast.Const (Relational.Value.Float f)
+  | Tbool b ->
+      advance_tok ps;
+      Ast.Const (Relational.Value.Bool b)
+  | _ -> err ps.tline ps.tcol "expected a term"
+
+let parse_atom ps =
+  match ps.tok with
+  | Tident pred ->
+      advance_tok ps;
+      expect ps Tlparen "'('";
+      let rec args acc =
+        let t = parse_term ps in
+        match ps.tok with
+        | Tcomma ->
+            advance_tok ps;
+            args (t :: acc)
+        | Trparen ->
+            advance_tok ps;
+            List.rev (t :: acc)
+        | _ -> err ps.tline ps.tcol "expected ',' or ')' in argument list"
+      in
+      let args = if ps.tok = Trparen then (advance_tok ps; []) else args [] in
+      Ast.atom pred args
+  | _ -> err ps.tline ps.tcol "expected a predicate name"
+
+(* peek whether the upcoming tokens form "term CMP term" rather than an
+   atom: an atom is an identifier followed by '(' *)
+let starts_comparison ps =
+  match ps.tok with
+  | Tvar _ | Tint _ | Tfloat _ | Tstring _ | Tbool _ -> true
+  | Tident _ -> (
+      (* look ahead one token without consuming: save and restore *)
+      let saved_lx_pos = ps.lx.pos and saved_line = ps.lx.line and saved_col = ps.lx.col in
+      let saved = (ps.tok, ps.tline, ps.tcol) in
+      advance_tok ps;
+      let next_is_lparen = ps.tok = Tlparen in
+      (* restore *)
+      ps.lx.pos <- saved_lx_pos;
+      ps.lx.line <- saved_line;
+      ps.lx.col <- saved_col;
+      let tok, l, c = saved in
+      ps.tok <- tok;
+      ps.tline <- l;
+      ps.tcol <- c;
+      not next_is_lparen)
+  | _ -> false
+
+let parse_literal ps =
+  match ps.tok with
+  | Tnot ->
+      advance_tok ps;
+      Ast.Neg (parse_atom ps)
+  | _ when starts_comparison ps ->
+      let left = parse_term ps in
+      (match ps.tok with
+      | Tcmp c ->
+          advance_tok ps;
+          let right = parse_term ps in
+          Ast.Cmp (c, left, right)
+      | _ -> err ps.tline ps.tcol "expected a comparison operator")
+  | _ -> Ast.Pos (parse_atom ps)
+
+let parse_rule_body ps head =
+  match ps.tok with
+  | Tdot ->
+      advance_tok ps;
+      { Ast.head; body = [] }
+  | Tturnstile ->
+      advance_tok ps;
+      let rec literals acc =
+        let l = parse_literal ps in
+        match ps.tok with
+        | Tcomma ->
+            advance_tok ps;
+            literals (l :: acc)
+        | Tdot ->
+            advance_tok ps;
+            List.rev (l :: acc)
+        | _ -> err ps.tline ps.tcol "expected ',' or '.' after a literal"
+      in
+      { Ast.head; body = literals [] }
+  | _ -> err ps.tline ps.tcol "expected ':-' or '.' after the head"
+
+let parse_program src =
+  let ps = make_parser src in
+  let rec rules acc =
+    match ps.tok with
+    | Teof -> List.rev acc
+    | _ ->
+        let head = parse_atom ps in
+        let rule = parse_rule_body ps head in
+        rules (rule :: acc)
+  in
+  rules []
+
+let parse_rule src =
+  match parse_program src with
+  | [ r ] -> r
+  | rules ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected exactly one rule, got %d" (List.length rules)))
+
+let parse_query src =
+  let ps = make_parser src in
+  if ps.tok = Tquery then advance_tok ps;
+  let a = parse_atom ps in
+  if ps.tok = Tdot then advance_tok ps;
+  (match ps.tok with
+  | Teof -> ()
+  | _ -> err ps.tline ps.tcol "trailing input after query");
+  a

@@ -1,0 +1,23 @@
+(** Hand-written Datalog parser.
+
+    Syntax (Prolog-like):
+    {v
+    % transitive closure
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    answer(X) :- path(1, X), not blocked(X).
+    short(X, Y) :- path(X, Y), X < Y, Y <= 10.
+    v}
+
+    Variables start with an uppercase letter or [_]; lowercase identifiers
+    in argument position are string constants; integer, float, and quoted
+    string literals are constants of the corresponding type; [true]/[false]
+    are booleans.  Comments run from [%] or [#] to end of line. *)
+
+exception Parse_error of string
+(** Carries a message with line and column. *)
+
+val parse_program : string -> Ast.program
+val parse_rule : string -> Ast.rule
+val parse_query : string -> Ast.query
+(** Accepts ["p(1, X)"], with an optional ["?-"] prefix and ["."] suffix. *)

@@ -1,0 +1,156 @@
+type justification = {
+  rule : Ast.rule;
+  body : (string * Relational.Tuple.t) list;
+  negated : (string * Relational.Tuple.t) list;
+}
+
+module Key = struct
+  type t = string * Relational.Tuple.t
+
+  let equal (p1, t1) (p2, t2) = String.equal p1 p2 && Relational.Tuple.equal t1 t2
+  let hash (p, t) = Hashtbl.hash (p, Relational.Tuple.hash t)
+end
+
+module Store = Hashtbl.Make (Key)
+
+type t = { table : justification Store.t; edb : Facts.t }
+
+(* Evaluate one rule and return each new head fact with its
+   justification.  The environments are threaded with the instantiated
+   body facts, rather than reconstructed afterwards. *)
+let eval_rule_with_proofs all rule =
+  let step states (lit : Ast.literal) =
+    match lit with
+    | Ast.Pos a ->
+        List.concat_map
+          (fun (env, body_facts) ->
+            Engine.match_atom (Facts.get all a.Ast.pred) a env
+            |> List.map (fun env' ->
+                   (env', (a.Ast.pred, Engine.instantiate a env') :: body_facts)))
+          states
+    | Ast.Neg a ->
+        List.filter_map
+          (fun (env, body_facts) ->
+            let tup = Engine.instantiate a env in
+            if Facts.mem all a.Ast.pred tup then None else Some (env, body_facts))
+          states
+    | Ast.Cmp (c, a, b) ->
+        List.filter
+          (fun (env, _) -> Engine.comparison_holds c a b env)
+          states
+  in
+  let states = List.fold_left step [ ([], []) ] rule.Ast.body in
+  List.map
+    (fun (env, body_facts_rev) ->
+      let head_fact = Engine.instantiate rule.Ast.head env in
+      let body = List.rev body_facts_rev in
+      let negated =
+        List.filter_map
+          (function
+            | Ast.Neg a -> Some (a.Ast.pred, Engine.instantiate a env)
+            | Ast.Pos _ | Ast.Cmp _ -> None)
+          rule.Ast.body
+      in
+      (head_fact, { rule; body; negated }))
+    states
+
+let eval prog edb =
+  Checks.check_safety prog;
+  let strata = Checks.stratify prog in
+  let edb = Facts.union edb (Facts.of_program_facts prog) in
+  let store = Store.create 256 in
+  let eval_stratum all rules =
+    let rules = List.filter (fun r -> r.Ast.body <> []) rules in
+    let rec fixpoint all =
+      let additions = ref [] in
+      List.iter
+        (fun rule ->
+          List.iter
+            (fun (fact, just) ->
+              let pred = rule.Ast.head.Ast.pred in
+              if not (Facts.mem all pred fact) then
+                additions := (pred, fact, just) :: !additions)
+            (eval_rule_with_proofs all rule))
+        rules;
+      match !additions with
+      | [] -> all
+      | adds ->
+          let all =
+            List.fold_left
+              (fun all (pred, fact, just) ->
+                if not (Store.mem store (pred, fact)) then
+                  Store.replace store (pred, fact) just;
+                Facts.add all pred fact)
+              all adds
+          in
+          fixpoint all
+    in
+    fixpoint all
+  in
+  let result = List.fold_left eval_stratum edb strata in
+  (result, { table = store; edb })
+
+let justification_of t pred tup = Store.find_opt t.table (pred, tup)
+
+type proof =
+  | Edb_fact of string * Relational.Tuple.t
+  | Derived of
+      string
+      * Relational.Tuple.t
+      * Ast.rule
+      * proof list
+      * (string * Relational.Tuple.t) list
+
+let rec proof_of t pred tup =
+  match Store.find_opt t.table (pred, tup) with
+  | Some just ->
+      let subs =
+        List.map
+          (fun (p, f) ->
+            match proof_of t p f with
+            | Some proof -> proof
+            | None -> Edb_fact (p, f))
+          just.body
+      in
+      Some (Derived (pred, tup, just.rule, subs, just.negated))
+  | None ->
+      if Facts.mem t.edb pred tup then Some (Edb_fact (pred, tup)) else None
+
+let rec proof_depth = function
+  | Edb_fact _ -> 1
+  | Derived (_, _, _, subs, _) ->
+      1 + List.fold_left (fun acc p -> max acc (proof_depth p)) 0 subs
+
+let rec proof_size = function
+  | Edb_fact _ -> 1
+  | Derived (_, _, _, subs, _) ->
+      1 + List.fold_left (fun acc p -> acc + proof_size p) 0 subs
+
+let fact_to_string pred tup =
+  Printf.sprintf "%s(%s)" pred
+    (String.concat ", "
+       (Array.to_list (Array.map Relational.Value.to_literal tup)))
+
+let explain t pred tup =
+  match proof_of t pred tup with
+  | None -> Printf.sprintf "%s is not derivable" (fact_to_string pred tup)
+  | Some proof ->
+      let buf = Buffer.create 256 in
+      let rec render indent = function
+        | Edb_fact (p, f) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s   [edb]\n" indent (fact_to_string p f))
+        | Derived (p, f, rule, subs, negated) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s   [%s]\n" indent (fact_to_string p f)
+                 (Ast.rule_to_string rule));
+            List.iter (render (indent ^ "  ")) subs;
+            List.iter
+              (fun (np, nf) ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s  not %s   [checked absent]\n" indent
+                     (fact_to_string np nf)))
+              negated
+      in
+      render "" proof;
+      Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Why-provenance for Datalog: every derived fact carries one
+    justification — the rule that produced it and the body facts it
+    consumed — from which a full proof tree can be unfolded.
+
+    Deductive databases' answer to "why is this tuple in the answer?";
+    also the machinery behind the {!explain} output of the CLI. *)
+
+type justification = {
+  rule : Ast.rule;
+  body : (string * Relational.Tuple.t) list;
+      (** positive body facts, in rule order *)
+  negated : (string * Relational.Tuple.t) list;
+      (** negated atoms verified absent *)
+}
+
+type t
+(** A provenance store for one evaluation. *)
+
+val eval : Ast.program -> Facts.t -> Facts.t * t
+(** Stratified semi-naive-flavoured evaluation that records the first
+    justification of each derived fact.  Same answers as {!Seminaive.eval}
+    (property-tested). *)
+
+val justification_of :
+  t -> string -> Relational.Tuple.t -> justification option
+(** [None] for EDB facts and unknown facts. *)
+
+type proof =
+  | Edb_fact of string * Relational.Tuple.t
+  | Derived of string * Relational.Tuple.t * Ast.rule * proof list * (string * Relational.Tuple.t) list
+      (** predicate, tuple, rule, sub-proofs of the positive body, the
+          negated atoms checked absent *)
+
+val proof_of : t -> string -> Relational.Tuple.t -> proof option
+(** Unfolds justifications into a full proof tree. *)
+
+val proof_depth : proof -> int
+val proof_size : proof -> int
+
+val explain : t -> string -> Relational.Tuple.t -> string
+(** Pretty proof tree, or a note that the fact is EDB / underivable. *)

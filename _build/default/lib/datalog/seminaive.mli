@@ -1,0 +1,16 @@
+(** Semi-naive bottom-up evaluation with differential (delta) relations.
+
+    Within each stratum, iteration [i+1] only joins derivations that use
+    at least one tuple first derived at iteration [i]: for a rule with
+    recursive body atoms at positions [k], one delta-rule per [k] reads
+    Δᵢ at [k], the post-iteration-[i] relation before [k], and the
+    pre-iteration-[i] relation after [k].  This is the optimization whose
+    effect the recursive-query benchmark measures against {!Naive}. *)
+
+val eval : Ast.program -> Facts.t -> Facts.t
+(** Same contract as {!Naive.eval}; the two agree on every safe
+    stratifiable program (property-tested). *)
+
+val eval_with_stats : Ast.program -> Facts.t -> Facts.t * Naive.stats
+
+val query : Ast.program -> Facts.t -> Ast.query -> Facts.Tuple_set.t

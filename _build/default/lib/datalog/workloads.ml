@@ -1,0 +1,94 @@
+let parse = Parser.parse_program
+
+let transitive_closure =
+  parse {|
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  |}
+
+let transitive_closure_left =
+  parse {|
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+  |}
+
+let same_generation =
+  parse {|
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+  |}
+
+let reachable_negation =
+  parse {|
+    node(X) :- edge(X, Y).
+    node(Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    unreach(X, Y) :- node(X), node(Y), not path(X, Y).
+  |}
+
+let win_move =
+  parse {|
+    win(X) :- move(X, Y), not win(Y).
+  |}
+
+let int_ i = Relational.Value.Int i
+
+let edge_facts pairs =
+  Facts.add_list Facts.empty "edge"
+    (List.map (fun (a, b) -> [ int_ a; int_ b ]) pairs)
+
+let chain ~n = edge_facts (List.init n (fun i -> (i, i + 1)))
+
+let cycle ~n =
+  edge_facts (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let binary_tree ~depth =
+  (* nodes 1 .. 2^(depth+1)-1, children of i are 2i and 2i+1 *)
+  let max_node = (1 lsl (depth + 1)) - 1 in
+  let internal = List.init ((1 lsl depth) - 1) (fun i -> i + 1) in
+  let up =
+    List.concat_map
+      (fun parent -> [ (2 * parent, parent); ((2 * parent) + 1, parent) ])
+      internal
+  in
+  let down = List.map (fun (c, p) -> (p, c)) up in
+  let leaves =
+    List.init (1 lsl depth) (fun i -> (1 lsl depth) + i)
+    |> List.filter (fun v -> v <= max_node)
+  in
+  let flat =
+    (* adjacent leaves are "flat" neighbours *)
+    List.concat_map
+      (fun v -> if v + 1 <= max_node then [ (v, v + 1); (v + 1, v) ] else [])
+      leaves
+  in
+  let add name pairs facts =
+    Facts.add_list facts name
+      (List.map (fun (a, b) -> [ int_ a; int_ b ]) pairs)
+  in
+  Facts.empty |> add "up" up |> add "down" down |> add "flat" flat
+
+let random_graph rng ~nodes ~edges =
+  let rec distinct acc k =
+    if k = 0 then acc
+    else begin
+      let a = Support.Rng.int rng nodes and b = Support.Rng.int rng nodes in
+      distinct ((a, b) :: acc) (k - 1)
+    end
+  in
+  edge_facts (List.sort_uniq compare (distinct [] edges))
+
+let grid ~width ~height =
+  let id x y = (y * width) + x in
+  let horizontal =
+    List.concat_map
+      (fun y -> List.init (width - 1) (fun x -> (id x y, id (x + 1) y)))
+      (List.init height Fun.id)
+  in
+  let vertical =
+    List.concat_map
+      (fun y -> List.init width (fun x -> (id x y, id x (y + 1))))
+      (List.init (height - 1) Fun.id)
+  in
+  edge_facts (horizontal @ vertical)

@@ -1,0 +1,36 @@
+(** Standard recursive-query workloads: the programs and graph instances
+    used in the logic-database literature (and by the Figure-3-era
+    benchmarks): transitive closure and same-generation on chains, trees,
+    cycles, grids, and random graphs. *)
+
+val transitive_closure : Ast.program
+(** path(X,Y) :- edge(X,Y).  path(X,Y) :- edge(X,Z), path(Z,Y). *)
+
+val transitive_closure_left : Ast.program
+(** The left-linear variant: path(X,Y) :- path(X,Z), edge(Z,Y). *)
+
+val same_generation : Ast.program
+(** sg(X,Y) :- flat(X,Y).  sg(X,Y) :- up(X,U), sg(U,V), down(V,Y). *)
+
+val reachable_negation : Ast.program
+(** unreachable pairs via stratified negation:
+    node(X) :- edge(X,Y).  node(Y) :- edge(X,Y).
+    path as usual; unreach(X,Y) :- node(X), node(Y), not path(X,Y). *)
+
+val win_move : Ast.program
+(** win(X) :- move(X,Y), not win(Y) — stratifiable only on acyclic move
+    graphs; used by the stratification tests. *)
+
+val chain : n:int -> Facts.t
+(** edge facts 0→1→…→n. *)
+
+val cycle : n:int -> Facts.t
+
+val binary_tree : depth:int -> Facts.t
+(** up/down/flat facts for same-generation on a complete binary tree:
+    up(child, parent), down(parent, child), flat(leaf, leaf'). *)
+
+val random_graph : Support.Rng.t -> nodes:int -> edges:int -> Facts.t
+
+val grid : width:int -> height:int -> Facts.t
+(** Directed grid edges (right and down). *)

@@ -1,0 +1,1 @@
+lib/dependencies/armstrong.ml: Attrs Fd List Relational

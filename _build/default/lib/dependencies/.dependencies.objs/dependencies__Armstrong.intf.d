@@ -1,0 +1,1 @@
+lib/dependencies/armstrong.mli: Attrs Fd Relational

@@ -1,0 +1,1 @@
+lib/dependencies/attrs.ml: Format List Set String

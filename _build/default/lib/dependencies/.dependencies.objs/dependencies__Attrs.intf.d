@@ -1,0 +1,1 @@
+lib/dependencies/attrs.mli: Format Set

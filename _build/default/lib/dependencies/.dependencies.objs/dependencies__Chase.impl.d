@@ -1,0 +1,1 @@
+lib/dependencies/chase.ml: Array Attrs Fd Hashtbl List Mvd Printf String Support

@@ -1,0 +1,1 @@
+lib/dependencies/chase.mli: Attrs Fd Mvd

@@ -1,0 +1,1 @@
+lib/dependencies/fd.ml: Attrs Int List Printf String

@@ -1,0 +1,1 @@
+lib/dependencies/fd.mli: Attrs

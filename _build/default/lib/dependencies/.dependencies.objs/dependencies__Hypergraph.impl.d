@@ -1,0 +1,1 @@
+lib/dependencies/hypergraph.ml: Attrs Hashtbl List Option String

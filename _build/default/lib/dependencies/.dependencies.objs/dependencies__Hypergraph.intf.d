@@ -1,0 +1,1 @@
+lib/dependencies/hypergraph.mli: Attrs

@@ -1,0 +1,1 @@
+lib/dependencies/mvd.ml: Array Attrs Fd Hashtbl List Printf Relational String

@@ -1,0 +1,1 @@
+lib/dependencies/mvd.mli: Attrs Fd Relational

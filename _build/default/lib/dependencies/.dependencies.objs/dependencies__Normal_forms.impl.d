@@ -1,0 +1,1 @@
+lib/dependencies/normal_forms.ml: Attrs Chase Fd Hashtbl List Mvd Printf

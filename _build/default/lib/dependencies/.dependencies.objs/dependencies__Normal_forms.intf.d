@@ -1,0 +1,1 @@
+lib/dependencies/normal_forms.mli: Attrs Fd Mvd

@@ -1,0 +1,1 @@
+lib/dependencies/universal.ml: Array Attrs Fun Int List Printf Queue Relational Yannakakis

@@ -1,0 +1,1 @@
+lib/dependencies/universal.mli: Attrs Relational

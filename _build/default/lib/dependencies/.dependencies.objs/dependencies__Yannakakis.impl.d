@@ -1,0 +1,1 @@
+lib/dependencies/yannakakis.ml: Array Attrs Fun Hashtbl List Option Relational

@@ -1,0 +1,1 @@
+lib/dependencies/yannakakis.mli: Relational

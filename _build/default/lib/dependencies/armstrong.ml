@@ -1,0 +1,32 @@
+let closed_sets ~universe fds =
+  let attrs = Attrs.elements universe in
+  let rec subsets = function
+    | [] -> [ Attrs.empty ]
+    | x :: rest ->
+        let smaller = subsets rest in
+        smaller @ List.map (Attrs.add x) smaller
+  in
+  List.map (fun s -> Fd.closure s fds) (subsets attrs)
+  |> List.sort_uniq Attrs.compare
+
+let relation ~universe fds =
+  let attrs = Attrs.elements universe in
+  let schema =
+    Relational.Schema.make (List.map (fun a -> (a, Relational.Value.TInt)) attrs)
+  in
+  let closed = closed_sets ~universe fds in
+  (* row 0 is all zeros; row i agrees with row 0 exactly on the i-th
+     closed set, using values unique to the row elsewhere *)
+  let base = List.map (fun _ -> Relational.Value.Int 0) attrs in
+  let rows =
+    base
+    :: List.mapi
+         (fun i c ->
+           List.mapi
+             (fun j a ->
+               if Attrs.mem a c then Relational.Value.Int 0
+               else Relational.Value.Int (((i + 1) * 100) + j + 1))
+             attrs)
+         (List.filter (fun c -> not (Attrs.equal c universe)) closed)
+  in
+  Relational.Relation.of_list schema rows

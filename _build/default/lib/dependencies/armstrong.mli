@@ -1,0 +1,17 @@
+(** Armstrong relations: for a set F of functional dependencies, a
+    concrete instance that satisfies exactly the dependencies implied by
+    F — the "hard facts" a design tool can show a user to demonstrate
+    that a dependency does {e not} follow from the others.
+
+    Construction: one base row, plus one row per closed attribute set
+    (sets C with C⁺ = C), agreeing with the base row exactly on C.  Two
+    rows agree exactly on closed sets, so X → A holds iff A ∈ X⁺. *)
+
+val closed_sets : universe:Attrs.t -> Fd.t list -> Attrs.t list
+(** All closed sets, by closing every subset (exponential in the number
+    of attributes — design-tool scale). *)
+
+val relation : universe:Attrs.t -> Fd.t list -> Relational.Relation.t
+(** The Armstrong relation, with integer columns named by the
+    attributes.  Satisfies an FD over [universe] iff F implies it
+    (property-tested via {!Mvd.fd_holds_in} and {!Fd.implies}). *)

@@ -1,0 +1,21 @@
+include Set.Make (String)
+
+let of_string s =
+  let seps = [ ' '; ','; ';' ] in
+  let has_sep = String.exists (fun c -> List.mem c seps) s in
+  if has_sep then begin
+    String.split_on_char ' ' (String.map (fun c -> if List.mem c seps then ' ' else c) s)
+    |> List.filter (fun x -> x <> "")
+    |> of_list
+  end
+  else
+    (* run-together single letters *)
+    List.init (String.length s) (fun i -> String.make 1 s.[i]) |> of_list
+
+let to_string t =
+  let names = elements t in
+  if List.for_all (fun n -> String.length n = 1) names then
+    String.concat "" names
+  else String.concat "," names
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,14 @@
+(** Attribute sets — the coin of dependency theory. *)
+
+include Set.S with type elt = string
+
+val of_string : string -> t
+(** ["ABC"] or ["A B C"] or ["A,B,C"]: single-letter attributes may be run
+    together; multi-character names must be separated by spaces or
+    commas. *)
+
+val to_string : t -> string
+(** Single-letter sets render run together ("ABC"), others
+    comma-separated. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,199 @@
+type symbol = Dist of string | Sub of int
+
+type tableau = { universe : string list; rows : symbol array list }
+
+type dependency = Fd_dep of Fd.t | Mvd_dep of Mvd.t
+
+let initial_tableau ~universe components =
+  let attrs = Attrs.elements universe in
+  let counter = ref 0 in
+  let rows =
+    List.map
+      (fun component ->
+        Array.of_list
+          (List.map
+             (fun a ->
+               if Attrs.mem a component then Dist a
+               else begin
+                 incr counter;
+                 Sub !counter
+               end)
+             attrs))
+      components
+  in
+  { universe = attrs; rows }
+
+let index_of tableau a =
+  let rec loop i = function
+    | [] -> invalid_arg (Printf.sprintf "chase: unknown attribute %S" a)
+    | x :: rest -> if String.equal x a then i else loop (i + 1) rest
+  in
+  loop 0 tableau.universe
+
+let positions tableau attrs =
+  List.map (index_of tableau) (Attrs.elements attrs)
+
+(* preference order for the surviving symbol of an equate step *)
+let prefer a b =
+  match (a, b) with
+  | Dist _, _ -> (a, b)
+  | _, Dist _ -> (b, a)
+  | Sub i, Sub j -> if i <= j then (a, b) else (b, a)
+
+let substitute rows ~survivor ~victim =
+  List.map (Array.map (fun s -> if s = victim then survivor else s)) rows
+
+let dedup_rows rows = List.sort_uniq compare rows
+
+let agree row1 row2 positions =
+  List.for_all (fun i -> row1.(i) = row2.(i)) positions
+
+(* One FD application; returns the merged pair so callers can track the
+   substitution the chase performs. *)
+let fd_step tableau (fd : Fd.t) =
+  let px = positions tableau fd.Fd.lhs and py = positions tableau fd.Fd.rhs in
+  let rec pairs = function
+    | [] -> None
+    | r1 :: rest -> (
+        match
+          List.find_map
+            (fun r2 ->
+              if agree r1 r2 px then
+                List.find_map
+                  (fun i ->
+                    if r1.(i) <> r2.(i) then Some (r1.(i), r2.(i)) else None)
+                  py
+              else None)
+            rest
+        with
+        | Some (a, b) -> Some (a, b)
+        | None -> pairs rest)
+  in
+  match pairs tableau.rows with
+  | None -> None
+  | Some (a, b) ->
+      let survivor, victim = prefer a b in
+      Some
+        ( { tableau with
+            rows = dedup_rows (substitute tableau.rows ~survivor ~victim) },
+          Some (survivor, victim) )
+
+(* One MVD application: for rows t1 t2 agreeing on X, the swapped row
+   (Y from t1, rest from t2) must exist. *)
+let mvd_step tableau (mvd : Mvd.t) =
+  let x = mvd.Mvd.lhs in
+  let y = Attrs.diff mvd.Mvd.rhs x in
+  let px = positions tableau x in
+  let py = positions tableau y in
+  let swap t1 t2 =
+    let row = Array.copy t2 in
+    List.iter (fun i -> row.(i) <- t1.(i)) py;
+    row
+  in
+  let existing = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace existing r ()) tableau.rows;
+  let missing =
+    List.concat_map
+      (fun t1 ->
+        List.filter_map
+          (fun t2 ->
+            if t1 != t2 && agree t1 t2 px then begin
+              let r = swap t1 t2 in
+              if Hashtbl.mem existing r then None else Some r
+            end
+            else None)
+          tableau.rows)
+      tableau.rows
+  in
+  match missing with
+  | [] -> None
+  | rows -> Some ({ tableau with rows = dedup_rows (rows @ tableau.rows) }, None)
+
+let chase_with_subst tableau deps =
+  let merges = Hashtbl.create 16 in
+  let step t = function
+    | Fd_dep fd -> fd_step t fd
+    | Mvd_dep mvd -> mvd_step t mvd
+  in
+  let rec loop t =
+    match List.find_map (step t) deps with
+    | Some (t', merged) ->
+        (match merged with
+        | Some (survivor, victim) -> Hashtbl.replace merges victim survivor
+        | None -> ());
+        loop t'
+    | None -> t
+  in
+  let final = loop tableau in
+  let rec resolve s =
+    match Hashtbl.find_opt merges s with
+    | Some s' -> resolve s'
+    | None -> s
+  in
+  (final, resolve)
+
+let chase tableau deps = fst (chase_with_subst tableau deps)
+
+let has_distinguished_row tableau =
+  List.exists
+    (Array.for_all (function Dist _ -> true | Sub _ -> false))
+    tableau.rows
+
+let lossless_join_mixed ~universe deps components =
+  let t = initial_tableau ~universe components in
+  has_distinguished_row (chase t deps)
+
+let lossless_join ~universe fds components =
+  lossless_join_mixed ~universe (List.map (fun fd -> Fd_dep fd) fds) components
+
+(* Two-row tableau for implication tests: rows agree exactly on [x]. *)
+let implication_tableau ~universe x =
+  let attrs = Attrs.elements universe in
+  let counter = ref 0 in
+  let row1 = Array.of_list (List.map (fun a -> Dist a) attrs) in
+  let row2 =
+    Array.of_list
+      (List.map
+         (fun a ->
+           if Attrs.mem a x then Dist a
+           else begin
+             incr counter;
+             Sub !counter
+           end)
+         attrs)
+  in
+  { universe = attrs; rows = [ row1; row2 ] }
+
+let implies_fd ~universe deps (fd : Fd.t) =
+  let t = chase (implication_tableau ~universe fd.Fd.lhs) deps in
+  let px = positions t fd.Fd.lhs and py = positions t fd.Fd.rhs in
+  List.for_all
+    (fun r1 ->
+      List.for_all (fun r2 -> (not (agree r1 r2 px)) || agree r1 r2 py) t.rows)
+    t.rows
+
+let implies_mvd ~universe deps (mvd : Mvd.t) =
+  let t0 = implication_tableau ~universe mvd.Mvd.lhs in
+  let t, resolve = chase_with_subst t0 deps in
+  match t0.rows with
+  | [ row1; row2 ] ->
+      (* the witness row: Y-part from row1, remainder from row2 — mapped
+         through the substitution the chase performed *)
+      let y = Attrs.diff mvd.Mvd.rhs mvd.Mvd.lhs in
+      let py = positions t0 y in
+      let target = Array.copy row2 in
+      List.iter (fun i -> target.(i) <- row1.(i)) py;
+      let target = Array.map resolve target in
+      List.exists (fun row -> row = target) t.rows
+  | _ -> assert false
+
+let symbol_to_string = function
+  | Dist a -> "a_" ^ a
+  | Sub i -> "b" ^ string_of_int i
+
+let to_string t =
+  let header = t.universe in
+  let rows =
+    List.map (fun r -> Array.to_list (Array.map symbol_to_string r)) t.rows
+  in
+  Support.Table.render ~header rows

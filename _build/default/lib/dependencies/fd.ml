@@ -1,0 +1,167 @@
+type t = { lhs : Attrs.t; rhs : Attrs.t }
+
+let make lhs rhs = { lhs; rhs }
+
+let of_string s =
+  match String.index_opt s '-' with
+  | Some i when i + 1 < String.length s && s.[i + 1] = '>' ->
+      let left = String.trim (String.sub s 0 i) in
+      let right = String.trim (String.sub s (i + 2) (String.length s - i - 2)) in
+      { lhs = Attrs.of_string left; rhs = Attrs.of_string right }
+  | _ -> invalid_arg (Printf.sprintf "Fd.of_string: no '->' in %S" s)
+
+let set_of_string s =
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char ';')
+  |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+  |> List.map of_string
+
+let to_string { lhs; rhs } =
+  Printf.sprintf "%s -> %s" (Attrs.to_string lhs) (Attrs.to_string rhs)
+
+let set_to_string fds = String.concat "; " (List.map to_string fds)
+
+let equal a b = Attrs.equal a.lhs b.lhs && Attrs.equal a.rhs b.rhs
+
+let is_trivial { lhs; rhs } = Attrs.subset rhs lhs
+
+let reflexivity x y = if Attrs.subset y x then Some { lhs = x; rhs = y } else None
+
+let augmentation { lhs; rhs } z =
+  { lhs = Attrs.union lhs z; rhs = Attrs.union rhs z }
+
+let transitivity a b =
+  if Attrs.equal a.rhs b.lhs then Some { lhs = a.lhs; rhs = b.rhs } else None
+
+let closure x fds =
+  let rec grow acc =
+    let acc' =
+      List.fold_left
+        (fun acc fd ->
+          if Attrs.subset fd.lhs acc then Attrs.union acc fd.rhs else acc)
+        acc fds
+    in
+    if Attrs.equal acc acc' then acc else grow acc'
+  in
+  grow x
+
+let implies fds fd = Attrs.subset fd.rhs (closure fd.lhs fds)
+
+let equivalent_sets f g =
+  List.for_all (implies f) g && List.for_all (implies g) f
+
+let is_superkey x ~universe fds = Attrs.subset universe (closure x fds)
+
+let is_candidate_key x ~universe fds =
+  is_superkey x ~universe fds
+  && Attrs.for_all
+       (fun a -> not (is_superkey (Attrs.remove a x) ~universe fds))
+       x
+
+let candidate_keys ~universe fds =
+  (* attributes that appear in no RHS (w.r.t. nontrivial FDs) must belong
+     to every key; attributes in no LHS and some RHS belong to none *)
+  let rhs_attrs =
+    List.fold_left
+      (fun acc fd -> Attrs.union acc (Attrs.diff fd.rhs fd.lhs))
+      Attrs.empty fds
+  in
+  let core = Attrs.diff universe rhs_attrs in
+  let optional = Attrs.elements (Attrs.diff universe core) in
+  let keys = ref [] in
+  let is_superset_of_found x =
+    List.exists (fun k -> Attrs.subset k x) !keys
+  in
+  (* enumerate extensions of the core by subsets of the optional
+     attributes, in increasing size, pruning supersets of found keys *)
+  let n = List.length optional in
+  let subsets_of_size k =
+    let rec choose k rest =
+      if k = 0 then [ [] ]
+      else
+        match rest with
+        | [] -> []
+        | x :: tail ->
+            List.map (fun s -> x :: s) (choose (k - 1) tail) @ choose k tail
+    in
+    choose k optional
+  in
+  for size = 0 to n do
+    List.iter
+      (fun subset ->
+        let cand = Attrs.union core (Attrs.of_list subset) in
+        if (not (is_superset_of_found cand)) && is_superkey cand ~universe fds
+        then keys := cand :: !keys)
+      (subsets_of_size size)
+  done;
+  List.sort
+    (fun a b ->
+      let c = Int.compare (Attrs.cardinal a) (Attrs.cardinal b) in
+      if c <> 0 then c else String.compare (Attrs.to_string a) (Attrs.to_string b))
+    !keys
+
+let prime_attributes ~universe fds =
+  List.fold_left Attrs.union Attrs.empty (candidate_keys ~universe fds)
+
+let minimal_cover fds =
+  (* 1: singleton right-hand sides *)
+  let split =
+    List.concat_map
+      (fun fd ->
+        List.map
+          (fun a -> { lhs = fd.lhs; rhs = Attrs.singleton a })
+          (Attrs.elements fd.rhs))
+      fds
+    |> List.filter (fun fd -> not (is_trivial fd))
+  in
+  (* 2: remove extraneous LHS attributes *)
+  let reduce_lhs all fd =
+    let rec shrink lhs =
+      let removable =
+        Attrs.elements lhs
+        |> List.find_opt (fun a ->
+               let smaller = Attrs.remove a lhs in
+               (not (Attrs.is_empty smaller))
+               && Attrs.subset fd.rhs (closure smaller all))
+      in
+      match removable with
+      | Some a -> shrink (Attrs.remove a lhs)
+      | None -> lhs
+    in
+    { fd with lhs = shrink fd.lhs }
+  in
+  let reduced = List.map (reduce_lhs split) split in
+  (* 3: drop redundant FDs *)
+  let rec drop kept = function
+    | [] -> List.rev kept
+    | fd :: rest ->
+        let others = List.rev_append kept rest in
+        if implies others fd then drop kept rest else drop (fd :: kept) rest
+  in
+  let result = drop [] reduced in
+  (* dedupe *)
+  List.fold_left
+    (fun acc fd -> if List.exists (equal fd) acc then acc else acc @ [ fd ])
+    [] result
+
+let project fds ~onto =
+  let attrs = Attrs.elements onto in
+  let rec subsets = function
+    | [] -> [ Attrs.empty ]
+    | x :: rest ->
+        let smaller = subsets rest in
+        smaller @ List.map (Attrs.add x) smaller
+  in
+  let projected =
+    List.filter_map
+      (fun x ->
+        if Attrs.is_empty x then None
+        else begin
+          let image = Attrs.inter (closure x fds) onto in
+          let fd = { lhs = x; rhs = Attrs.diff image x } in
+          if Attrs.is_empty fd.rhs then None else Some fd
+        end)
+      (subsets attrs)
+  in
+  minimal_cover projected

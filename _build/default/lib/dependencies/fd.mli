@@ -1,0 +1,60 @@
+(** Functional dependencies: Armstrong's axioms, attribute closure, keys,
+    and minimal covers.
+
+    The essay singles out normalization as a success of relational theory
+    that "reached practice in the form of database design tools"; this
+    module is the inference engine those tools are built on. *)
+
+type t = { lhs : Attrs.t; rhs : Attrs.t }
+
+val make : Attrs.t -> Attrs.t -> t
+val of_string : string -> t
+(** ["AB -> C"] (also accepts ["AB->C"]). *)
+
+val set_of_string : string -> t list
+(** Semicolon- or newline-separated FDs. *)
+
+val to_string : t -> string
+val set_to_string : t list -> string
+val equal : t -> t -> bool
+val is_trivial : t -> bool
+(** rhs ⊆ lhs (Armstrong reflexivity gives exactly these). *)
+
+(** Armstrong's axioms as explicit constructors — sound by construction,
+    complete via {!implies} (property-tested against each other). *)
+
+val reflexivity : Attrs.t -> Attrs.t -> t option
+(** [reflexivity x y] is X → Y when Y ⊆ X. *)
+
+val augmentation : t -> Attrs.t -> t
+(** X → Y gives XZ → YZ. *)
+
+val transitivity : t -> t -> t option
+(** X → Y and Y → Z give X → Z (requires exact match of the middle). *)
+
+val closure : Attrs.t -> t list -> Attrs.t
+(** [closure x fds] is X⁺, the set of attributes determined by X. *)
+
+val implies : t list -> t -> bool
+(** [implies fds fd] decides F ⊨ X → Y via X⁺. *)
+
+val equivalent_sets : t list -> t list -> bool
+
+val is_superkey : Attrs.t -> universe:Attrs.t -> t list -> bool
+val is_candidate_key : Attrs.t -> universe:Attrs.t -> t list -> bool
+
+val candidate_keys : universe:Attrs.t -> t list -> Attrs.t list
+(** All candidate keys, smallest first.  Exponential in the number of
+    attributes outside every key's mandatory core; fine for design-tool
+    sized schemas. *)
+
+val prime_attributes : universe:Attrs.t -> t list -> Attrs.t
+
+val minimal_cover : t list -> t list
+(** Canonical cover: singleton right-hand sides, no extraneous left-hand
+    attributes, no redundant FDs.  Equivalent to the input
+    (property-tested). *)
+
+val project : t list -> onto:Attrs.t -> t list
+(** Projection of F onto a sub-schema S: all X → X⁺∩S for X ⊆ S, returned
+    as a minimal cover.  Exponential in |S| (inherently so). *)

@@ -1,0 +1,56 @@
+type t = Attrs.t list
+
+type join_tree = (Attrs.t * Attrs.t) list
+
+(* One GYO pass: (1) drop vertices that occur in exactly one edge,
+   (2) drop edges contained in another edge.  Returns the reduced
+   hypergraph and the list of (removed ear, witness) pairs. *)
+let gyo_step edges =
+  (* vertex occurrence counts *)
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      Attrs.iter
+        (fun v ->
+          Hashtbl.replace counts v
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+        e)
+    edges;
+  let stripped =
+    List.map
+      (fun e -> Attrs.filter (fun v -> Hashtbl.find counts v > 1) e)
+      edges
+  in
+  (* remove one edge contained in another (an ear) *)
+  let rec remove_ear acc = function
+    | [] -> None
+    | e :: rest -> (
+        let others = List.rev_append acc rest in
+        match List.find_opt (fun e' -> Attrs.subset e e') others with
+        | Some witness -> Some (e, witness, others)
+        | None -> remove_ear (e :: acc) rest)
+  in
+  (* also: empty edges vanish silently *)
+  let stripped = List.filter (fun e -> not (Attrs.is_empty e)) stripped in
+  (stripped, remove_ear [] stripped)
+
+let rec reduce_full edges ears =
+  let stripped, ear = gyo_step edges in
+  match ear with
+  | Some (e, witness, rest) -> reduce_full rest ((e, witness) :: ears)
+  | None ->
+      if not (List.equal Attrs.equal stripped edges) then
+        (* vertex stripping made progress; go around again *)
+        reduce_full stripped ears
+      else (stripped, List.rev ears)
+
+let gyo_reduce edges = fst (reduce_full edges [])
+
+let is_acyclic edges = gyo_reduce edges = []
+
+let join_tree edges =
+  let residue, ears = reduce_full edges [] in
+  if residue = [] then Some ears else None
+
+let to_string edges =
+  "{" ^ String.concat ", " (List.map Attrs.to_string edges) ^ "}"

@@ -1,0 +1,28 @@
+(** Hypergraph acyclicity via GYO reduction — the "acyclicity" thread of
+    early PODS relational theory.
+
+    A database scheme is a hypergraph whose hyperedges are the relation
+    schemes.  Acyclic schemes admit join trees and make many otherwise
+    NP-hard problems easy (Yannakakis); the GYO (Graham / Yu–Özsoyoğlu)
+    reduction decides acyclicity: repeatedly remove "ear" edges and
+    vertices unique to one edge until nothing changes — the scheme is
+    acyclic iff everything disappears. *)
+
+type t = Attrs.t list
+(** Hyperedges. *)
+
+type join_tree = (Attrs.t * Attrs.t) list
+(** Parent relation between hyperedges of an acyclic scheme: (ear,
+    witness) pairs in removal order. *)
+
+val gyo_reduce : t -> t
+(** The irreducible residue; [] (or a single empty edge) iff acyclic. *)
+
+val is_acyclic : t -> bool
+
+val join_tree : t -> join_tree option
+(** A join tree when acyclic, [None] otherwise.  Edges whose vertices all
+    became private during the reduction vanish without a witness and do
+    not appear as children. *)
+
+val to_string : t -> string

@@ -1,0 +1,88 @@
+type t = { lhs : Attrs.t; rhs : Attrs.t }
+
+let make lhs rhs = { lhs; rhs }
+
+let of_string s =
+  let marker = "->>" in
+  let rec find i =
+    if i + String.length marker > String.length s then None
+    else if String.equal (String.sub s i (String.length marker)) marker then
+      Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+      let left = String.trim (String.sub s 0 i) in
+      let right =
+        String.trim (String.sub s (i + 3) (String.length s - i - 3))
+      in
+      { lhs = Attrs.of_string left; rhs = Attrs.of_string right }
+  | None -> invalid_arg (Printf.sprintf "Mvd.of_string: no '->>' in %S" s)
+
+let to_string { lhs; rhs } =
+  Printf.sprintf "%s ->> %s" (Attrs.to_string lhs) (Attrs.to_string rhs)
+
+let equal a b = Attrs.equal a.lhs b.lhs && Attrs.equal a.rhs b.rhs
+
+let is_trivial { lhs; rhs } ~universe =
+  Attrs.subset rhs lhs || Attrs.equal (Attrs.union lhs rhs) universe
+
+let complement { lhs; rhs } ~universe =
+  { lhs; rhs = Attrs.diff (Attrs.diff universe lhs) rhs }
+
+let of_fd (fd : Fd.t) = { lhs = fd.Fd.lhs; rhs = fd.Fd.rhs }
+
+module R = Relational
+
+let positions rel attrs =
+  let schema = R.Relation.schema rel in
+  Array.of_list (List.map (R.Schema.index_of schema) (Attrs.elements attrs))
+
+let fd_holds_in rel (fd : Fd.t) =
+  let px = positions rel fd.Fd.lhs and py = positions rel fd.Fd.rhs in
+  let table = Hashtbl.create 64 in
+  try
+    R.Relation.iter
+      (fun tup ->
+        let key = R.Tuple.project tup px in
+        let image = R.Tuple.project tup py in
+        match Hashtbl.find_opt table key with
+        | None -> Hashtbl.add table key image
+        | Some image' ->
+            if not (R.Tuple.equal image image') then raise Exit)
+      rel;
+    true
+  with Exit -> false
+
+let holds_in rel mvd =
+  let schema = R.Relation.schema rel in
+  let universe = Attrs.of_list (R.Schema.attributes schema) in
+  let x = mvd.lhs in
+  let y = Attrs.diff mvd.rhs x in
+  let z = Attrs.diff (Attrs.diff universe x) y in
+  let px = positions rel x and py = positions rel y and pz = positions rel z in
+  (* group tuples by X; within a group, every Y-slice must pair with every
+     Z-slice *)
+  let groups = Hashtbl.create 64 in
+  R.Relation.iter
+    (fun tup ->
+      let key = R.Tuple.project tup px in
+      let y_part = R.Tuple.project tup py in
+      let z_part = R.Tuple.project tup pz in
+      let ys, zs, pairs =
+        match Hashtbl.find_opt groups key with
+        | Some entry -> entry
+        | None ->
+            let entry = (Hashtbl.create 8, Hashtbl.create 8, Hashtbl.create 8) in
+            Hashtbl.add groups key entry;
+            entry
+      in
+      Hashtbl.replace ys y_part ();
+      Hashtbl.replace zs z_part ();
+      Hashtbl.replace pairs (y_part, z_part) ())
+    rel;
+  Hashtbl.fold
+    (fun _ (ys, zs, pairs) ok ->
+      ok
+      && Hashtbl.length pairs = Hashtbl.length ys * Hashtbl.length zs)
+    groups true

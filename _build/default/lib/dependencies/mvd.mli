@@ -1,0 +1,26 @@
+(** Multivalued dependencies X →→ Y, the dependencies behind fourth normal
+    form and the precursor of the join dependency. *)
+
+type t = { lhs : Attrs.t; rhs : Attrs.t }
+
+val make : Attrs.t -> Attrs.t -> t
+val of_string : string -> t
+(** ["A ->> BC"]. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val is_trivial : t -> universe:Attrs.t -> bool
+(** X →→ Y is trivial when Y ⊆ X or X ∪ Y = U. *)
+
+val complement : t -> universe:Attrs.t -> t
+(** X →→ Y entails X →→ U − X − Y. *)
+
+val of_fd : Fd.t -> t
+(** Every FD is an MVD. *)
+
+val holds_in : Relational.Relation.t -> t -> bool
+(** Direct check of the exchange property on an instance. *)
+
+val fd_holds_in : Relational.Relation.t -> Fd.t -> bool
+(** Instance-level FD check (two tuples agreeing on X agree on Y). *)

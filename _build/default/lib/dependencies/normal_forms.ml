@@ -1,0 +1,173 @@
+type scheme = { name : string; attrs : Attrs.t; fds : Fd.t list }
+
+type violation = { fd : Fd.t; reason : string }
+
+let nontrivial_fds scheme =
+  List.filter (fun fd -> not (Fd.is_trivial fd)) scheme.fds
+
+let violations_2nf scheme =
+  let keys = Fd.candidate_keys ~universe:scheme.attrs scheme.fds in
+  let prime = List.fold_left Attrs.union Attrs.empty keys in
+  List.filter_map
+    (fun (fd : Fd.t) ->
+      let nonprime_rhs = Attrs.diff (Attrs.diff fd.Fd.rhs fd.Fd.lhs) prime in
+      let partial =
+        List.exists
+          (fun key -> Attrs.subset fd.Fd.lhs key && not (Attrs.equal fd.Fd.lhs key))
+          keys
+      in
+      if partial && not (Attrs.is_empty nonprime_rhs) then
+        Some
+          {
+            fd;
+            reason =
+              Printf.sprintf
+                "nonprime %s depends on %s, a proper subset of a key"
+                (Attrs.to_string nonprime_rhs)
+                (Attrs.to_string fd.Fd.lhs);
+          }
+      else None)
+    (nontrivial_fds scheme)
+
+let is_2nf scheme = violations_2nf scheme = []
+
+let violations_3nf scheme =
+  let prime = Fd.prime_attributes ~universe:scheme.attrs scheme.fds in
+  List.filter_map
+    (fun (fd : Fd.t) ->
+      if Fd.is_superkey fd.Fd.lhs ~universe:scheme.attrs scheme.fds then None
+      else begin
+        let bad = Attrs.diff (Attrs.diff fd.Fd.rhs fd.Fd.lhs) prime in
+        if Attrs.is_empty bad then None
+        else
+          Some
+            {
+              fd;
+              reason =
+                Printf.sprintf "%s is not a superkey and %s is nonprime"
+                  (Attrs.to_string fd.Fd.lhs) (Attrs.to_string bad);
+            }
+      end)
+    (nontrivial_fds scheme)
+
+let is_3nf scheme = violations_3nf scheme = []
+
+let violations_bcnf scheme =
+  List.filter_map
+    (fun (fd : Fd.t) ->
+      if Fd.is_superkey fd.Fd.lhs ~universe:scheme.attrs scheme.fds then None
+      else
+        Some
+          {
+            fd;
+            reason =
+              Printf.sprintf "%s is not a superkey" (Attrs.to_string fd.Fd.lhs);
+          })
+    (nontrivial_fds scheme)
+
+let is_bcnf scheme = violations_bcnf scheme = []
+
+let is_4nf scheme mvds =
+  let all_mvds = mvds @ List.map Mvd.of_fd scheme.fds in
+  List.for_all
+    (fun (mvd : Mvd.t) ->
+      Mvd.is_trivial mvd ~universe:scheme.attrs
+      || Fd.is_superkey mvd.Mvd.lhs ~universe:scheme.attrs scheme.fds)
+    all_mvds
+
+let bcnf_decompose scheme =
+  let counter = ref 0 in
+  let rec go scheme =
+    match violations_bcnf scheme with
+    | [] -> [ scheme ]
+    | { fd; _ } :: _ ->
+        (* split into (X+ ∩ attrs) and (X ∪ (attrs − X+)) *)
+        let xplus = Attrs.inter (Fd.closure fd.Fd.lhs scheme.fds) scheme.attrs in
+        let left_attrs = xplus in
+        let right_attrs =
+          Attrs.union fd.Fd.lhs (Attrs.diff scheme.attrs xplus)
+        in
+        let sub attrs =
+          incr counter;
+          {
+            name = Printf.sprintf "%s_%d" scheme.name !counter;
+            attrs;
+            fds = Fd.project scheme.fds ~onto:attrs;
+          }
+        in
+        go (sub left_attrs) @ go (sub right_attrs)
+  in
+  go scheme
+
+let synthesize_3nf scheme =
+  let cover = Fd.minimal_cover scheme.fds in
+  (* group FDs by left-hand side *)
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (fd : Fd.t) ->
+      let key = Attrs.to_string fd.Fd.lhs in
+      let existing =
+        match Hashtbl.find_opt groups key with
+        | Some (lhs, rhs) -> (lhs, Attrs.union rhs fd.Fd.rhs)
+        | None -> (fd.Fd.lhs, fd.Fd.rhs)
+      in
+      Hashtbl.replace groups key existing)
+    cover;
+  let components =
+    Hashtbl.fold
+      (fun _ (lhs, rhs) acc -> Attrs.union lhs rhs :: acc)
+      groups []
+  in
+  (* ensure some component contains a candidate key *)
+  let keys = Fd.candidate_keys ~universe:scheme.attrs scheme.fds in
+  let has_key =
+    List.exists
+      (fun comp -> List.exists (fun k -> Attrs.subset k comp) keys)
+      components
+  in
+  let components =
+    if has_key then components
+    else
+      match keys with
+      | key :: _ -> key :: components
+      | [] -> scheme.attrs :: components
+  in
+  (* attributes in no FD still need a home: put leftovers in their own
+     component (they are part of every key, so [keys] covers them when
+     has_key holds; this is the defensive path) *)
+  let covered = List.fold_left Attrs.union Attrs.empty components in
+  let leftovers = Attrs.diff scheme.attrs covered in
+  let components =
+    if Attrs.is_empty leftovers then components else leftovers :: components
+  in
+  (* drop components subsumed by others *)
+  let components =
+    List.filter
+      (fun c ->
+        not
+          (List.exists
+             (fun c' -> (not (Attrs.equal c c')) && Attrs.subset c c')
+             components))
+      components
+    |> List.sort_uniq Attrs.compare
+  in
+  List.mapi
+    (fun i attrs ->
+      {
+        name = Printf.sprintf "%s_%d" scheme.name (i + 1);
+        attrs;
+        fds = Fd.project scheme.fds ~onto:attrs;
+      })
+    components
+
+let dependency_preserving scheme decomposition =
+  let projected = List.concat_map (fun s -> s.fds) decomposition in
+  List.for_all (Fd.implies projected) scheme.fds
+
+let lossless scheme decomposition =
+  Chase.lossless_join ~universe:scheme.attrs scheme.fds
+    (List.map (fun s -> s.attrs) decomposition)
+
+let scheme_to_string s =
+  Printf.sprintf "%s(%s) with {%s}" s.name (Attrs.to_string s.attrs)
+    (Fd.set_to_string s.fds)

@@ -1,0 +1,50 @@
+(** Normal forms and decomposition: the algorithms inside the "more than
+    twenty database design tools that do some form of normalization"
+    ([BCN], quoted in §6).
+
+    A relation scheme is a universe of attributes with a set of FDs; the
+    checks report violations, and the two classical decompositions are
+    provided: lossless BCNF decomposition and dependency-preserving 3NF
+    synthesis. *)
+
+type scheme = { name : string; attrs : Attrs.t; fds : Fd.t list }
+
+type violation = {
+  fd : Fd.t;
+  reason : string;  (** human-readable explanation *)
+}
+
+val is_2nf : scheme -> bool
+val violations_2nf : scheme -> violation list
+(** Partial dependencies: a nonprime attribute depending on a proper
+    subset of a candidate key. *)
+
+val is_3nf : scheme -> bool
+val violations_3nf : scheme -> violation list
+(** Nontrivial X → A with X not a superkey and A nonprime. *)
+
+val is_bcnf : scheme -> bool
+val violations_bcnf : scheme -> violation list
+(** Nontrivial X → Y with X not a superkey. *)
+
+val is_4nf : scheme -> Mvd.t list -> bool
+(** Nontrivial MVDs (given explicitly plus those arising from the FDs)
+    must have superkey left-hand sides. *)
+
+val bcnf_decompose : scheme -> scheme list
+(** Recursive split on BCNF violations.  Always lossless (by
+    construction, property-tested via the chase); may lose
+    dependencies. *)
+
+val synthesize_3nf : scheme -> scheme list
+(** Bernstein-style 3NF synthesis from a minimal cover.  Lossless and
+    dependency-preserving (property-tested). *)
+
+val dependency_preserving : scheme -> scheme list -> bool
+(** Do the projections of the FDs onto the components imply all original
+    FDs? *)
+
+val lossless : scheme -> scheme list -> bool
+(** Chase-based lossless-join test of a decomposition. *)
+
+val scheme_to_string : scheme -> string

@@ -1,0 +1,114 @@
+module R = Relational
+
+exception Not_acyclic
+exception Not_connected of string
+exception Unknown_attribute of string
+
+(* Tree structure over relation indices, from the Yannakakis plan: ears
+   connect to witnesses; independent relations are isolated nodes. *)
+let tree_adjacency relations =
+  let n = List.length relations in
+  match Yannakakis.plan (List.map R.Relation.schema relations) with
+  | None -> raise Not_acyclic
+  | Some p ->
+      let adj = Array.make n [] in
+      List.iter
+        (fun (ear, witness) ->
+          adj.(ear) <- witness :: adj.(ear);
+          adj.(witness) <- ear :: adj.(witness))
+        p.Yannakakis.ears;
+      adj
+
+(* the subtree spanning a set of required nodes, as the union of tree
+   paths back to the first of them; None when they are disconnected *)
+let spanning_subtree adj n required =
+  match required with
+  | [] -> Some []
+  | first :: _ ->
+      let parent = Array.make n (-1) in
+      let seen = Array.make n false in
+      let queue = Queue.create () in
+      seen.(first) <- true;
+      Queue.add first queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        List.iter
+          (fun v ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              parent.(v) <- u;
+              Queue.add v queue
+            end)
+          adj.(u)
+      done;
+      if List.exists (fun node -> not seen.(node)) required then None
+      else begin
+        let in_subtree = Array.make n false in
+        List.iter
+          (fun node ->
+            let rec mark v =
+              if not in_subtree.(v) then begin
+                in_subtree.(v) <- true;
+                if parent.(v) >= 0 then mark parent.(v)
+              end
+            in
+            mark node)
+          required;
+        Some
+          (List.filter (fun i -> in_subtree.(i)) (List.init n Fun.id))
+      end
+
+let qualification relations attrs =
+  let schemas = Array.of_list (List.map R.Relation.schema relations) in
+  let n = Array.length schemas in
+  let adj = tree_adjacency relations in
+  (* each attribute can be served by any relation containing it; search
+     the (small) space of choices for the smallest spanning subtree *)
+  let holders =
+    List.map
+      (fun a ->
+        let hs =
+          List.filter (fun i -> R.Schema.mem schemas.(i) a) (List.init n Fun.id)
+        in
+        if hs = [] then raise (Unknown_attribute a);
+        hs)
+      (Attrs.elements attrs)
+  in
+  let rec combos = function
+    | [] -> [ [] ]
+    | hs :: rest ->
+        let tails = combos rest in
+        List.concat_map (fun h -> List.map (fun t -> h :: t) tails) hs
+  in
+  let all_combos =
+    let total = List.fold_left (fun acc hs -> acc * List.length hs) 1 holders in
+    if total <= 4096 then combos holders
+    else [ List.map List.hd holders ] (* too many choices: fix one *)
+  in
+  let best = ref None in
+  List.iter
+    (fun combo ->
+      let required = List.sort_uniq Int.compare combo in
+      match spanning_subtree adj n required with
+      | None -> ()
+      | Some subtree -> (
+          match !best with
+          | Some b when List.length b <= List.length subtree -> ()
+          | _ -> best := Some subtree))
+    all_combos;
+  match !best with
+  | Some subtree ->
+      List.filteri (fun i _ -> List.mem i subtree) relations
+  | None ->
+      raise
+        (Not_connected
+           (Printf.sprintf "attributes %s span disconnected relations"
+              (Attrs.to_string attrs)))
+
+let window relations attrs =
+  let qual = qualification relations attrs in
+  match qual with
+  | [] -> invalid_arg "Universal.window: no attributes requested"
+  | _ ->
+      let joined = Yannakakis.join qual in
+      R.Relation.project joined (Attrs.elements attrs)

@@ -1,0 +1,24 @@
+(** The universal relation interface — "universal relation assumptions"
+    were one of relational theory's core PODS topics.
+
+    Under the pure universal-relation assumption, a user queries
+    attributes without naming relations; the system answers from the
+    {e window} of the attribute set: the projection of the join of a
+    minimal connected qualification — here the smallest subtree of the
+    join tree covering the requested attributes, evaluated with
+    Yannakakis' reducer. *)
+
+exception Not_acyclic
+exception Not_connected of string
+(** The requested attributes span disconnected parts of the scheme (their
+    window would be a cross product; the interface refuses, as classical
+    URA systems did). *)
+
+exception Unknown_attribute of string
+
+val qualification :
+  Relational.Relation.t list -> Attrs.t -> Relational.Relation.t list
+(** The relations of the minimal subtree covering the attributes. *)
+
+val window : Relational.Relation.t list -> Attrs.t -> Relational.Relation.t
+(** [window db attrs] = π_attrs(⋈ qualification), fully reduced. *)

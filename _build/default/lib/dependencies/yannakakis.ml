@@ -1,0 +1,130 @@
+module R = Relational
+
+exception Cyclic
+
+type plan = { ears : (int * int) list; independent : int list }
+
+(* GYO over indexed hyperedges: repeatedly strip attributes private to one
+   edge and remove ears (edges whose remaining attributes are covered by
+   another edge), recording the witness. *)
+let plan schemas =
+  let edges =
+    Array.of_list (List.map (fun s -> Attrs.of_list (R.Schema.attributes s)) schemas)
+  in
+  let alive = Array.make (Array.length edges) true in
+  let ears = ref [] in
+  let independent = ref [] in
+  let strip () =
+    let counts = Hashtbl.create 32 in
+    Array.iteri
+      (fun i e ->
+        if alive.(i) then
+          Attrs.iter
+            (fun v ->
+              Hashtbl.replace counts v
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+            e)
+      edges;
+    let changed = ref false in
+    Array.iteri
+      (fun i e ->
+        if alive.(i) then begin
+          let stripped = Attrs.filter (fun v -> Hashtbl.find counts v > 1) e in
+          if not (Attrs.equal stripped e) then begin
+            edges.(i) <- stripped;
+            changed := true
+          end;
+          if Attrs.is_empty edges.(i) then begin
+            alive.(i) <- false;
+            independent := i :: !independent;
+            changed := true
+          end
+        end)
+      edges;
+    !changed
+  in
+  let remove_ear () =
+    let found = ref None in
+    Array.iteri
+      (fun i e ->
+        if alive.(i) && !found = None then begin
+          let witness = ref None in
+          Array.iteri
+            (fun j e' ->
+              if j <> i && alive.(j) && !witness = None && Attrs.subset e e'
+              then witness := Some j)
+            edges;
+          match !witness with
+          | Some j -> found := Some (i, j)
+          | None -> ()
+        end)
+      edges;
+    match !found with
+    | Some (i, j) ->
+        alive.(i) <- false;
+        ears := (i, j) :: !ears;
+        true
+    | None -> false
+  in
+  let rec loop () =
+    let s = strip () in
+    let e = remove_ear () in
+    if s || e then loop ()
+  in
+  loop ();
+  let remaining = Array.exists Fun.id alive in
+  if remaining then None
+  else Some { ears = List.rev !ears; independent = List.rev !independent }
+
+let plan_of_relations relations =
+  match plan (List.map R.Relation.schema relations) with
+  | Some p -> p
+  | None -> raise Cyclic
+
+let full_reduce relations =
+  let p = plan_of_relations relations in
+  let rels = Array.of_list relations in
+  (* bottom-up: the witness keeps only tuples that join with the ear *)
+  List.iter
+    (fun (ear, witness) ->
+      rels.(witness) <- R.Relation.semijoin rels.(witness) rels.(ear))
+    p.ears;
+  (* top-down: the ear keeps only tuples that join with the reduced
+     witness *)
+  List.iter
+    (fun (ear, witness) ->
+      rels.(ear) <- R.Relation.semijoin rels.(ear) rels.(witness))
+    (List.rev p.ears);
+  Array.to_list rels
+
+let join relations =
+  match relations with
+  | [] -> invalid_arg "Yannakakis.join: no relations"
+  | _ ->
+      let p = plan_of_relations relations in
+      let reduced = Array.of_list (full_reduce relations) in
+      (* root(s): relations never removed as ears *)
+      let eared = List.map fst p.ears in
+      let root_indices =
+        List.filteri
+          (fun i _ -> not (List.mem i eared))
+          (List.mapi (fun i _ -> i) relations)
+      in
+      let acc =
+        match root_indices with
+        | [] -> assert false (* at least the last ear's witness survives *)
+        | first :: rest ->
+            List.fold_left
+              (fun acc i -> R.Relation.join acc reduced.(i))
+              reduced.(first) rest
+      in
+      (* attach ears in reverse removal order: each ear's witness is
+         already in the accumulated join, so intermediates stay within the
+         final result's size *)
+      List.fold_left
+        (fun acc (ear, _) -> R.Relation.join acc reduced.(ear))
+        acc (List.rev p.ears)
+
+let semijoin_count relations =
+  let p = plan_of_relations relations in
+  2 * List.length p.ears

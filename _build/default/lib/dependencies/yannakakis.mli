@@ -1,0 +1,42 @@
+(** Yannakakis' algorithm: evaluating acyclic natural-join queries with a
+    semijoin full reducer.
+
+    This is the payoff of the acyclicity tradition (§6's early PODS
+    themes): for an acyclic database scheme, a GYO ear decomposition
+    yields a join tree; one bottom-up and one top-down semijoin sweep
+    fully reduce every relation (no dangling tuples), after which the
+    join's intermediate results never exceed the final output — total
+    time polynomial in input + output, versus the exponential
+    intermediate blowup an unlucky join order suffers on cyclic plans.
+    The ablation benchmark measures exactly that contrast. *)
+
+exception Cyclic
+(** Raised when the relations' schemas do not form an acyclic
+    hypergraph. *)
+
+type plan = {
+  ears : (int * int) list;
+      (** (ear index, witness index) in GYO removal order *)
+  independent : int list;
+      (** relations whose edges vanished by vertex stripping (attribute-
+          disjoint from everything remaining); they contribute a cross
+          product *)
+}
+
+val plan : Relational.Schema.t list -> plan option
+(** [None] when the scheme is cyclic. *)
+
+val full_reduce : Relational.Relation.t list -> Relational.Relation.t list
+(** Semijoin program: one pass up the ear order, one pass down.  For a
+    connected acyclic query the result has no dangling tuples: every
+    surviving tuple participates in some answer (property-tested).
+    Raises {!Cyclic}. *)
+
+val join : Relational.Relation.t list -> Relational.Relation.t
+(** Full reduction followed by joins in reverse ear order.  Equals the
+    natural join of all inputs, in any order (property-tested).  Raises
+    {!Cyclic} on cyclic schemes — use plain {!Relational.Relation.join}
+    folds there. *)
+
+val semijoin_count : Relational.Relation.t list -> int
+(** Number of semijoins the reducer performs (2·|ears|), for reporting. *)

@@ -1,0 +1,1 @@
+lib/incomplete/naive_eval.ml: Array Int List Printf Relational Table

@@ -1,0 +1,1 @@
+lib/incomplete/naive_eval.mli: Relational Table

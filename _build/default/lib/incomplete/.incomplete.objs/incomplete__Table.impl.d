@@ -1,0 +1,1 @@
+lib/incomplete/table.ml: Array Hashtbl Int List Printf Relational Support

@@ -1,0 +1,1 @@
+lib/incomplete/table.mli: Relational

@@ -1,0 +1,198 @@
+module R = Relational
+module A = R.Algebra
+
+type db = (string * Table.t) list
+
+exception Not_positive of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Not_positive s)) fmt
+
+let rec positive_predicate = function
+  | A.True | A.False -> true
+  | A.Cmp (A.Eq, _, _) -> true
+  | A.Cmp ((A.Ne | A.Lt | A.Le | A.Gt | A.Ge), _, _) -> false
+  | A.And (p, q) | A.Or (p, q) -> positive_predicate p && positive_predicate q
+  | A.Not _ -> false
+
+let rec is_positive = function
+  | A.Rel _ | A.Singleton _ -> true
+  | A.Select (p, e) -> positive_predicate p && is_positive e
+  | A.Project (_, e) | A.Rename (_, e) -> is_positive e
+  | A.Product (a, b) | A.Join (a, b) | A.Union (a, b) ->
+      is_positive a && is_positive b
+  | A.Inter _ | A.Diff _ | A.Divide _ -> false
+
+let catalog_of_db db name =
+  match List.assoc_opt name db with
+  | Some table -> Table.schema table
+  | None -> raise (A.Type_error (Printf.sprintf "unknown table %S" name))
+
+let dedup rows = List.sort_uniq compare rows
+
+let eval db expr =
+  let catalog = catalog_of_db db in
+  let rec go expr : Table.t =
+    match expr with
+    | A.Rel name -> (
+        match List.assoc_opt name db with
+        | Some table -> table
+        | None -> raise (A.Type_error (Printf.sprintf "unknown table %S" name)))
+    | A.Singleton bindings ->
+        let schema =
+          R.Schema.make
+            (List.map (fun (a, v) -> (a, R.Value.type_of v)) bindings)
+        in
+        Table.create schema
+          [ Array.of_list (List.map (fun (_, v) -> Table.Const v) bindings) ]
+    | A.Select (p, e) ->
+        if not (positive_predicate p) then
+          err "selection predicate %s is outside the positive fragment"
+            (A.predicate_to_string p);
+        let t = go e in
+        let schema = Table.schema t in
+        let cell_of row = function
+          | A.Attr a -> row.(R.Schema.index_of schema a)
+          | A.Const v -> Table.Const v
+        in
+        let rec holds row = function
+          | A.True -> true
+          | A.False -> false
+          | A.Cmp (A.Eq, l, r) -> Table.cell_equal (cell_of row l) (cell_of row r)
+          | A.And (p, q) -> holds row p && holds row q
+          | A.Or (p, q) -> holds row p || holds row q
+          | A.Cmp _ | A.Not _ -> assert false
+        in
+        Table.create schema (List.filter (fun row -> holds row p) (Table.rows t))
+    | A.Project (attrs, e) ->
+        let t = go e in
+        let schema = Table.schema t in
+        let positions =
+          Array.of_list (List.map (R.Schema.index_of schema) attrs)
+        in
+        Table.create
+          (R.Schema.project schema attrs)
+          (dedup
+             (List.map
+                (fun row -> Array.map (fun i -> row.(i)) positions)
+                (Table.rows t)))
+    | A.Rename (mapping, e) ->
+        let t = go e in
+        Table.create (R.Schema.rename (Table.schema t) mapping) (Table.rows t)
+    | A.Product (a, b) ->
+        let ta = go a and tb = go b in
+        let schema = R.Schema.product (Table.schema ta) (Table.schema tb) in
+        Table.create schema
+          (List.concat_map
+             (fun ra -> List.map (fun rb -> Array.append ra rb) (Table.rows tb))
+             (Table.rows ta))
+    | A.Join (a, b) ->
+        let ta = go a and tb = go b in
+        let sa = Table.schema ta and sb = Table.schema tb in
+        let shared = R.Schema.common sa sb in
+        let schema = R.Schema.join sa sb in
+        let pos_a = List.map (R.Schema.index_of sa) shared in
+        let pos_b = List.map (R.Schema.index_of sb) shared in
+        let rest_b =
+          List.filter (fun n -> not (List.mem n shared)) (R.Schema.attributes sb)
+        in
+        let rest_pos_b = List.map (R.Schema.index_of sb) rest_b in
+        let rows =
+          List.concat_map
+            (fun ra ->
+              List.filter_map
+                (fun rb ->
+                  let matches =
+                    List.for_all2
+                      (fun i j -> Table.cell_equal ra.(i) rb.(j))
+                      pos_a pos_b
+                  in
+                  if matches then
+                    Some
+                      (Array.append ra
+                         (Array.of_list (List.map (fun j -> rb.(j)) rest_pos_b)))
+                  else None)
+                (Table.rows tb))
+            (Table.rows ta)
+        in
+        Table.create schema (dedup rows)
+    | A.Union (a, b) ->
+        let ta = go a and tb = go b in
+        let sa = Table.schema ta and sb = Table.schema tb in
+        if not (R.Schema.union_compatible sa sb) then
+          raise
+            (A.Type_error
+               (Printf.sprintf "union of incompatible schemas %s and %s"
+                  (R.Schema.to_string sa) (R.Schema.to_string sb)));
+        let positions = R.Schema.positions_of sa sb in
+        let aligned =
+          List.map
+            (fun row -> Array.map (fun i -> row.(i)) positions)
+            (Table.rows tb)
+        in
+        Table.create sa (dedup (Table.rows ta @ aligned))
+    | A.Inter _ | A.Diff _ | A.Divide _ ->
+        err "operator outside the positive fragment: %s" (A.to_string expr)
+  in
+  (* type-check against the table catalog first for uniform errors *)
+  let (_ : R.Schema.t) = A.schema_of catalog expr in
+  go expr
+
+let certain_answers db expr =
+  let t = eval db expr in
+  let null_free =
+    List.filter
+      (Array.for_all (function Table.Const _ -> true | Table.Null _ -> false))
+      (Table.rows t)
+  in
+  R.Relation.of_tuples (Table.schema t)
+    (List.map
+       (Array.map (function Table.Const v -> v | Table.Null _ -> assert false))
+       null_free)
+
+(* --- brute force over possible worlds ------------------------------------- *)
+
+let worlds db ~domain =
+  (* collect null labels across the whole database *)
+  let all_labels =
+    List.concat_map (fun (_, t) -> Table.nulls t) db
+    |> List.sort_uniq Int.compare
+  in
+  let rec assignments = function
+    | [] -> [ [] ]
+    | n :: rest ->
+        let tails = assignments rest in
+        List.concat_map
+          (fun v -> List.map (fun tail -> (n, v) :: tail) tails)
+          domain
+  in
+  List.filter_map
+    (fun assignment ->
+      let valuation n = List.assoc n assignment in
+      match
+        List.map (fun (name, t) -> (name, Table.valuate t valuation)) db
+      with
+      | bindings -> Some (R.Database.of_list bindings)
+      | exception Table.Table_error _ -> None (* ill-typed valuation *))
+    (assignments all_labels)
+
+let certain_answers_bruteforce db expr ~domain =
+  match worlds db ~domain with
+  | [] ->
+      raise
+        (Table.Table_error
+           "no valid possible world: domain cannot valuate the nulls")
+  | first :: rest ->
+      List.fold_left
+        (fun acc world -> R.Relation.inter acc (R.Eval.eval world expr))
+        (R.Eval.eval first expr) rest
+
+let possible_answers_bruteforce db expr ~domain =
+  match worlds db ~domain with
+  | [] ->
+      raise
+        (Table.Table_error
+           "no valid possible world: domain cannot valuate the nulls")
+  | first :: rest ->
+      List.fold_left
+        (fun acc world -> R.Relation.union acc (R.Eval.eval world expr))
+        (R.Eval.eval first expr) rest

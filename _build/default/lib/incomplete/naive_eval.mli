@@ -1,0 +1,43 @@
+(** Naive evaluation over tables with nulls, and certain answers.
+
+    The Imieliński–Lipski theorem: for positive queries (select-project-
+    join-union with equality conditions), evaluating the query naively —
+    treating each labelled null as a fresh distinct constant — and then
+    discarding result rows that still contain nulls computes exactly the
+    certain answers.  For queries with negation this fails, which
+    {!certain_answers_bruteforce} demonstrates (and the tests check). *)
+
+type db = (string * Table.t) list
+
+exception Not_positive of string
+
+val is_positive : Relational.Algebra.t -> bool
+(** Rel, Singleton, Select (with Eq-only comparisons, And/Or), Project,
+    Rename, Product, Join, Union. *)
+
+val eval : db -> Relational.Algebra.t -> Table.t
+(** Naive evaluation; raises {!Not_positive} outside the positive
+    fragment and {!Relational.Algebra.Type_error} on schema errors. *)
+
+val certain_answers : db -> Relational.Algebra.t -> Relational.Relation.t
+(** Naive evaluation, keeping only null-free rows. *)
+
+val certain_answers_bruteforce :
+  db ->
+  Relational.Algebra.t ->
+  domain:Relational.Value.t list ->
+  Relational.Relation.t
+(** Ground truth by enumerating all valuations (CWA possible worlds) and
+    intersecting the answers.  Any algebra operator allowed.  Exponential;
+    testing/demo only.  To match the open-domain semantics of the
+    Imieliński–Lipski theorem the supplied domain must contain at least
+    one fresh constant per null label — with a saturated closed domain,
+    tuples can be certain "by exhaustion" and the brute force will exceed
+    the naive answers. *)
+
+val possible_answers_bruteforce :
+  db ->
+  Relational.Algebra.t ->
+  domain:Relational.Value.t list ->
+  Relational.Relation.t
+(** Union over the possible worlds. *)

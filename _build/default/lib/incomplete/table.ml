@@ -1,0 +1,125 @@
+type cell = Const of Relational.Value.t | Null of int
+
+type row = cell array
+
+type t = { schema : Relational.Schema.t; table_rows : row list }
+
+exception Table_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Table_error s)) fmt
+
+module R = Relational
+
+let check_row schema row =
+  if Array.length row <> R.Schema.arity schema then
+    err "row has arity %d, schema %s has arity %d" (Array.length row)
+      (R.Schema.to_string schema) (R.Schema.arity schema);
+  List.iteri
+    (fun i ty ->
+      match row.(i) with
+      | Const v ->
+          if R.Value.type_of v <> ty then
+            err "cell %d: constant %s does not match column type %s" i
+              (R.Value.to_literal v) (R.Value.ty_to_string ty)
+      | Null _ -> ())
+    (R.Schema.types schema)
+
+let create schema rows =
+  List.iter (check_row schema) rows;
+  { schema; table_rows = rows }
+
+let schema t = t.schema
+let rows t = t.table_rows
+
+let nulls t =
+  List.concat_map
+    (fun row ->
+      Array.to_list row
+      |> List.filter_map (function Null i -> Some i | Const _ -> None))
+    t.table_rows
+  |> List.sort_uniq Int.compare
+
+let is_codd_table t =
+  let seen = Hashtbl.create 16 in
+  let duplicate = ref false in
+  List.iter
+    (Array.iter (function
+      | Null i ->
+          if Hashtbl.mem seen i then duplicate := true
+          else Hashtbl.add seen i ()
+      | Const _ -> ()))
+    t.table_rows;
+  not !duplicate
+
+let of_relation rel =
+  {
+    schema = R.Relation.schema rel;
+    table_rows =
+      List.map (Array.map (fun v -> Const v)) (R.Relation.to_list rel);
+  }
+
+let to_relation t =
+  if nulls t = [] then
+    Some
+      (R.Relation.of_tuples t.schema
+         (List.map
+            (Array.map (function Const v -> v | Null _ -> assert false))
+            t.table_rows))
+  else None
+
+let valuate t valuation =
+  let types = Array.of_list (R.Schema.types t.schema) in
+  let tuples =
+    List.map
+      (fun row ->
+        Array.mapi
+          (fun i cell ->
+            match cell with
+            | Const v -> v
+            | Null n ->
+                let v = valuation n in
+                if R.Value.type_of v <> types.(i) then
+                  err "valuation maps null %d to %s, column %d expects %s" n
+                    (R.Value.to_literal v) i
+                    (R.Value.ty_to_string types.(i));
+                v)
+          row)
+      t.table_rows
+  in
+  R.Relation.of_tuples t.schema tuples
+
+let valuations t ~domain =
+  let labels = nulls t in
+  let rec assignments = function
+    | [] -> [ [] ]
+    | n :: rest ->
+        let tails = assignments rest in
+        List.concat_map
+          (fun v -> List.map (fun tail -> (n, v) :: tail) tails)
+          domain
+    in
+  List.map
+    (fun assignment n ->
+      match List.assoc_opt n assignment with
+      | Some v -> v
+      | None -> err "valuation: unknown null %d" n)
+    (assignments labels)
+
+let cell_equal a b =
+  match (a, b) with
+  | Const v, Const w -> R.Value.equal v w
+  | Null i, Null j -> i = j
+  | Const _, Null _ | Null _, Const _ -> false
+
+let cell_to_string = function
+  | Const v -> R.Value.to_string v
+  | Null i -> Printf.sprintf "_%d" i
+
+let to_string t =
+  let header = R.Schema.attributes t.schema in
+  let body =
+    List.map
+      (fun row -> Array.to_list (Array.map cell_to_string row))
+      t.table_rows
+  in
+  Support.Table.render ~header body

@@ -1,0 +1,50 @@
+(** Tables with labelled nulls (naive tables / v-tables) — the
+    "incomplete information (basically null values …)" precursor tradition
+    of §6 that "later developed into deductive databases".
+
+    A cell is either a constant or a labelled null ⊥ᵢ; a table denotes the
+    set of relations obtained by valuations of its nulls (open-world: any
+    superset also qualifies under OWA — we implement the standard CWA
+    semantics where the instance is exactly the valuated table). A Codd
+    table is the special case where every null occurrence is distinct. *)
+
+type cell = Const of Relational.Value.t | Null of int
+
+type row = cell array
+
+type t
+(** A typed table: schema plus rows.  Nulls are untyped until valuated;
+    the schema constrains the type a valuation may choose. *)
+
+exception Table_error of string
+
+val create : Relational.Schema.t -> row list -> t
+(** Checks arity and that constant cells match the schema's types. *)
+
+val schema : t -> Relational.Schema.t
+val rows : t -> row list
+val nulls : t -> int list
+(** Distinct null labels, sorted. *)
+
+val is_codd_table : t -> bool
+(** No null label occurs twice. *)
+
+val of_relation : Relational.Relation.t -> t
+
+val to_relation : t -> Relational.Relation.t option
+(** [Some] when the table is null-free. *)
+
+val valuate : t -> (int -> Relational.Value.t) -> Relational.Relation.t
+(** Applies a valuation to every null.  Raises {!Table_error} when the
+    valuation assigns a value of the wrong type for a column. *)
+
+val valuations :
+  t -> domain:Relational.Value.t list -> (int -> Relational.Value.t) list
+(** All valuations of the table's nulls into the finite domain (for
+    brute-force possible-world semantics in tests and demos).
+    Exponential, obviously. *)
+
+val cell_equal : cell -> cell -> bool
+(** Syntactic: constants by value, nulls by label. *)
+
+val to_string : t -> string

@@ -1,0 +1,257 @@
+module RV = Relational.Value
+
+type ty = Atom of RV.ty | Set of schema
+and schema = (string * ty) list
+
+type value = V of RV.t | R of t
+and tuple = value array
+and t = { nschema : schema; rows : tuple list }
+
+exception Nested_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Nested_error s)) fmt
+
+let rec compare_value a b =
+  match (a, b) with
+  | V x, V y -> RV.compare_poly x y
+  | R x, R y -> compare_rel x y
+  | V _, R _ -> -1
+  | R _, V _ -> 1
+
+and compare_tuple a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i = la && i = lb then 0
+    else if i = la then -1
+    else if i = lb then 1
+    else
+      let c = compare_value a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+and compare_rel a b =
+  let rec loop xs ys =
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | x :: xs, y :: ys ->
+        let c = compare_tuple x y in
+        if c <> 0 then c else loop xs ys
+  in
+  loop a.rows b.rows
+
+let compare = compare_rel
+let equal a b = compare a b = 0
+
+let rec check_schema schema =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, ty) ->
+      if Hashtbl.mem seen name then err "duplicate attribute %S" name;
+      Hashtbl.add seen name ();
+      match ty with Set inner -> check_schema inner | Atom _ -> ())
+    schema
+
+let rec check_tuple schema tup =
+  if Array.length tup <> List.length schema then
+    err "tuple arity %d does not match schema arity %d" (Array.length tup)
+      (List.length schema);
+  List.iteri
+    (fun i (name, ty) ->
+      match (ty, tup.(i)) with
+      | Atom expected, V v ->
+          if RV.type_of v <> expected then
+            err "attribute %S expects %s, got %s" name
+              (RV.ty_to_string expected)
+              (RV.ty_to_string (RV.type_of v))
+      | Set inner, R rel ->
+          if rel.nschema <> inner then
+            err "attribute %S holds a relation of the wrong schema" name;
+          List.iter (check_tuple inner) rel.rows
+      | Atom _, R _ -> err "attribute %S expects an atom, got a relation" name
+      | Set _, V _ -> err "attribute %S expects a relation, got an atom" name)
+    schema
+
+let dedup rows = List.sort_uniq compare_tuple rows
+
+let create schema rows =
+  check_schema schema;
+  List.iter (check_tuple schema) rows;
+  { nschema = schema; rows = dedup rows }
+
+let schema t = t.nschema
+let tuples t = t.rows
+let cardinality t = List.length t.rows
+
+let of_flat rel =
+  let schema =
+    List.map
+      (fun (a, ty) -> (a, Atom ty))
+      (Relational.Schema.pairs (Relational.Relation.schema rel))
+  in
+  {
+    nschema = schema;
+    rows =
+      dedup
+        (List.map
+           (fun tup -> Array.map (fun v -> V v) tup)
+           (Relational.Relation.to_list rel));
+  }
+
+let to_flat t =
+  let atomic =
+    List.filter_map
+      (fun (a, ty) -> match ty with Atom ty -> Some (a, ty) | Set _ -> None)
+      t.nschema
+  in
+  if List.length atomic <> List.length t.nschema then None
+  else begin
+    let schema = Relational.Schema.make atomic in
+    Some
+      (Relational.Relation.of_tuples schema
+         (List.map
+            (Array.map (function V v -> v | R _ -> assert false))
+            t.rows))
+  end
+
+let index_of schema name =
+  let rec loop i = function
+    | [] -> err "unknown attribute %S" name
+    | (a, _) :: rest -> if String.equal a name then i else loop (i + 1) rest
+  in
+  loop 0 schema
+
+let nest t ~into attrs =
+  if attrs = [] then err "nest: no attributes to fold";
+  let positions = List.map (index_of t.nschema) attrs in
+  List.iter
+    (fun (a, _) ->
+      if String.equal a into && not (List.mem a attrs) then
+        err "nest: target name %S already exists" into)
+    t.nschema;
+  let folded_schema =
+    List.map (fun a -> (a, List.assoc a t.nschema)) attrs
+  in
+  let keep =
+    List.filter (fun (a, _) -> not (List.mem a attrs)) t.nschema
+  in
+  let keep_positions =
+    List.map (fun (a, _) -> index_of t.nschema a) keep
+  in
+  let out_schema = keep @ [ (into, Set folded_schema) ] in
+  (* group by the kept attributes *)
+  let groups : (tuple, tuple list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun tup ->
+      let key = Array.of_list (List.map (fun i -> tup.(i)) keep_positions) in
+      let sub = Array.of_list (List.map (fun i -> tup.(i)) positions) in
+      match Hashtbl.find_opt groups key with
+      | Some bucket -> bucket := sub :: !bucket
+      | None ->
+          Hashtbl.add groups key (ref [ sub ]);
+          order := key :: !order)
+    t.rows;
+  let rows =
+    List.rev_map
+      (fun key ->
+        let subs = !(Hashtbl.find groups key) in
+        let inner = { nschema = folded_schema; rows = dedup subs } in
+        Array.append key [| R inner |])
+      !order
+  in
+  { nschema = out_schema; rows = dedup rows }
+
+let unnest t name =
+  let pos = index_of t.nschema name in
+  let inner_schema =
+    match List.assoc name t.nschema with
+    | Set s -> s
+    | Atom _ -> err "unnest: attribute %S is atomic" name
+  in
+  let out_schema =
+    List.filter (fun (a, _) -> not (String.equal a name)) t.nschema
+    @ inner_schema
+  in
+  check_schema out_schema;
+  let rows =
+    List.concat_map
+      (fun tup ->
+        let rest =
+          Array.of_list
+            (List.filteri (fun i _ -> i <> pos) (Array.to_list tup))
+        in
+        match tup.(pos) with
+        | R inner -> List.map (fun sub -> Array.append rest sub) inner.rows
+        | V _ -> assert false)
+      t.rows
+  in
+  { nschema = out_schema; rows = dedup rows }
+
+let rec flatten t =
+  match
+    List.find_opt (fun (_, ty) -> match ty with Set _ -> true | Atom _ -> false) t.nschema
+  with
+  | Some (name, _) -> flatten (unnest t name)
+  | None -> t
+
+let rec is_pnf t =
+  let atomic_positions =
+    List.filteri
+      (fun i _ ->
+        match snd (List.nth t.nschema i) with Atom _ -> true | Set _ -> false)
+      (List.mapi (fun i x -> (i, x)) t.nschema)
+    |> List.map fst
+  in
+  let keys = Hashtbl.create 16 in
+  let rec unique = function
+    | [] -> true
+    | tup :: rest ->
+        let key = List.map (fun i -> tup.(i)) atomic_positions in
+        if Hashtbl.mem keys key then false
+        else begin
+          Hashtbl.add keys key ();
+          unique rest
+        end
+  in
+  unique t.rows
+  && List.for_all
+       (fun tup ->
+         Array.for_all
+           (function R inner -> is_pnf inner | V _ -> true)
+           tup)
+       t.rows
+
+let rec depth schema =
+  let deepest_nested =
+    List.fold_left
+      (fun acc (_, ty) ->
+        match ty with Set inner -> max acc (depth inner) | Atom _ -> acc)
+      0 schema
+  in
+  1 + deepest_nested
+
+let rec value_to_string = function
+  | V v -> RV.to_string v
+  | R rel ->
+      "{"
+      ^ String.concat "; "
+          (List.map
+             (fun tup ->
+               "("
+               ^ String.concat ", "
+                   (Array.to_list (Array.map value_to_string tup))
+               ^ ")")
+             rel.rows)
+      ^ "}"
+
+let to_string t =
+  let header = List.map fst t.nschema in
+  let rows =
+    List.map
+      (fun tup -> Array.to_list (Array.map value_to_string tup))
+      t.rows
+  in
+  Support.Table.render ~header rows

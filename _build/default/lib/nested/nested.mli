@@ -1,0 +1,56 @@
+(** The nested relational model (NF²) — the "non-flat data models" that
+    "evolved into the currently important 'complex objects' category"
+    (§6).
+
+    Attributes are either atomic or relation-valued; [nest] groups rows
+    and folds chosen columns into a set-valued column, [unnest] undoes
+    it.  The classical laws hold and are property-tested:
+    unnest_B(nest_B(r)) = r for every flat r, while nest after unnest is
+    the identity only on relations in partitioned normal form (PNF). *)
+
+type ty = Atom of Relational.Value.ty | Set of schema
+and schema = (string * ty) list
+
+type value = V of Relational.Value.t | R of t
+and tuple = value array
+
+and t
+(** A nested relation: schema + set of tuples (canonical order, no
+    duplicates). *)
+
+exception Nested_error of string
+
+val create : schema -> tuple list -> t
+(** Checks arity and types recursively; deduplicates. *)
+
+val schema : t -> schema
+val tuples : t -> tuple list
+val cardinality : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_flat : Relational.Relation.t -> t
+val to_flat : t -> Relational.Relation.t option
+(** [Some] when every attribute is atomic. *)
+
+val nest : t -> into:string -> string list -> t
+(** [nest r ~into:"c" attrs] groups tuples by the remaining attributes
+    and folds [attrs] into a set-valued column [into].  Raises
+    {!Nested_error} on unknown/duplicate names or empty groupings. *)
+
+val unnest : t -> string -> t
+(** Expands a set-valued column; a tuple whose set is empty disappears
+    (the textbook semantics, and the reason unnest loses information on
+    non-PNF relations). *)
+
+val flatten : t -> t
+(** Recursively unnests every set-valued column (the 1NF image). *)
+
+val is_pnf : t -> bool
+(** Partitioned normal form: the atomic attributes form a key, recursively
+    inside every nested relation. *)
+
+val depth : schema -> int
+(** Nesting depth: 1 for flat schemas. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Database Format List Printf Relation Schema String Value

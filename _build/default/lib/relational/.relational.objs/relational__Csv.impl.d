@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array Buffer Fun In_channel List Printf Relation Schema String Value

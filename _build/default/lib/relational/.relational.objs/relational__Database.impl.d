@@ -1,0 +1,1 @@
+lib/relational/database.ml: Format List Map Relation Schema Set String Value

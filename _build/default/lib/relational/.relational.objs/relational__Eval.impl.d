@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Algebra Array Database List Relation Schema Value

@@ -1,0 +1,1 @@
+lib/relational/generator.ml: Algebra Array Database List Printf Relation Schema Support Value

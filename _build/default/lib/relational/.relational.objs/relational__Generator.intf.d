@@ -1,0 +1,1 @@
+lib/relational/generator.mli: Algebra Database Relation Schema Support Value

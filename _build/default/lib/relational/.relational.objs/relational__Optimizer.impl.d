@@ -1,0 +1,1 @@
+lib/relational/optimizer.ml: Algebra Database Float List Relation Schema

@@ -1,0 +1,1 @@
+lib/relational/query_parser.ml: Algebra Buffer List Printf String Value

@@ -1,0 +1,1 @@
+lib/relational/query_parser.mli: Algebra

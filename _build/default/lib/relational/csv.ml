@@ -1,0 +1,130 @@
+exception Parse_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+(* Split one logical CSV record into fields, honouring quotes. *)
+let split_record line =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let rec plain i =
+    if i >= n then finish ()
+    else
+      match line.[i] with
+      | ',' ->
+          fields := Buffer.contents buf :: !fields;
+          Buffer.clear buf;
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then err "unterminated quoted field in %S" line
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  and finish () =
+    fields := Buffer.contents buf :: !fields;
+    List.rev !fields
+  in
+  plain 0
+
+let header_of_schema schema =
+  String.concat ","
+    (List.map
+       (fun (a, ty) -> quote (a ^ ":" ^ Value.ty_to_string ty))
+       (Schema.pairs schema))
+
+let schema_of_header line =
+  let fields = split_record line in
+  let parse_field f =
+    match String.rindex_opt f ':' with
+    | None -> err "header field %S lacks a :type suffix" f
+    | Some i -> (
+        let name = String.sub f 0 i in
+        let ty = String.sub f (i + 1) (String.length f - i - 1) in
+        match Value.ty_of_string ty with
+        | Some ty -> (name, ty)
+        | None -> err "unknown type %S in header field %S" ty f)
+  in
+  Schema.make (List.map parse_field fields)
+
+let relation_to_string rel =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header_of_schema (Relation.schema rel));
+  Buffer.add_char buf '\n';
+  Relation.iter
+    (fun tup ->
+      Buffer.add_string buf
+        (String.concat ","
+           (Array.to_list (Array.map (fun v -> quote (Value.to_string v)) tup)));
+      Buffer.add_char buf '\n')
+    rel;
+  Buffer.contents buf
+
+let relation_of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           (* tolerate \r\n input *)
+           if String.length l > 0 && l.[String.length l - 1] = '\r' then
+             String.sub l 0 (String.length l - 1)
+           else l)
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> err "empty CSV document"
+  | header :: rows ->
+      let schema = schema_of_header header in
+      let types = Array.of_list (Schema.types schema) in
+      let parse_row row =
+        let fields = split_record row in
+        if List.length fields <> Array.length types then
+          err "row %S has %d fields, schema has %d" row (List.length fields)
+            (Array.length types);
+        Array.of_list
+          (List.mapi
+             (fun i f ->
+               match Value.parse types.(i) f with
+               | Some v -> v
+               | None ->
+                   err "cannot parse %S as %s" f
+                     (Value.ty_to_string types.(i)))
+             fields)
+      in
+      Relation.of_tuples schema (List.map parse_row rows)
+
+let save path rel =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (relation_to_string rel))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> relation_of_string (In_channel.input_all ic))

@@ -1,0 +1,17 @@
+(** Typed CSV persistence for relations.
+
+    The header line carries the schema as [name:type] pairs; fields
+    containing commas, quotes, or newlines are double-quoted with quote
+    doubling (RFC-4180 style). *)
+
+exception Parse_error of string
+
+val relation_to_string : Relation.t -> string
+val relation_of_string : string -> Relation.t
+(** Raises {!Parse_error} on malformed input. *)
+
+val save : string -> Relation.t -> unit
+(** [save path rel] writes the relation to a file. *)
+
+val load : string -> Relation.t
+(** Raises {!Parse_error} or [Sys_error]. *)

@@ -1,0 +1,44 @@
+module Smap = Map.Make (String)
+
+type t = Relation.t Smap.t
+
+exception Unknown_relation of string
+
+let empty = Smap.empty
+let add db name rel = Smap.add name rel db
+
+let find db name =
+  match Smap.find_opt name db with
+  | Some r -> r
+  | None -> raise (Unknown_relation name)
+
+let find_opt db name = Smap.find_opt name db
+let mem db name = Smap.mem name db
+let names db = List.map fst (Smap.bindings db)
+let schema_of db name = Relation.schema (find db name)
+let fold f db init = Smap.fold f db init
+
+let active_domain db =
+  let module Vs = Set.Make (struct
+    type t = Value.t
+
+    let compare = Value.compare_poly
+  end) in
+  let vs =
+    fold
+      (fun _ rel acc ->
+        List.fold_left (fun acc v -> Vs.add v acc) acc (Relation.active_domain rel))
+      db Vs.empty
+  in
+  Vs.elements vs
+
+let of_list bindings =
+  List.fold_left (fun db (name, rel) -> add db name rel) empty bindings
+
+let pp fmt db =
+  fold
+    (fun name rel () ->
+      Format.fprintf fmt "%s %s@.%a@." name
+        (Schema.to_string (Relation.schema rel))
+        Relation.pp rel)
+    db ()

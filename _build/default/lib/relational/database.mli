@@ -1,0 +1,25 @@
+(** A database instance: a finite map from relation names to relations. *)
+
+type t
+
+exception Unknown_relation of string
+
+val empty : t
+val add : t -> string -> Relation.t -> t
+(** Replaces any previous binding of the name. *)
+
+val find : t -> string -> Relation.t
+(** Raises {!Unknown_relation}. *)
+
+val find_opt : t -> string -> Relation.t option
+val mem : t -> string -> bool
+val names : t -> string list
+val schema_of : t -> string -> Schema.t
+(** Raises {!Unknown_relation}. *)
+
+val fold : (string -> Relation.t -> 'a -> 'a) -> t -> 'a -> 'a
+val active_domain : t -> Value.t list
+(** Distinct values occurring in any relation of the instance. *)
+
+val of_list : (string * Relation.t) list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+let rec eval_unchecked db expr =
+  match expr with
+  | Algebra.Rel name -> Database.find db name
+  | Algebra.Singleton bindings ->
+      let schema =
+        Schema.make (List.map (fun (a, v) -> (a, Value.type_of v)) bindings)
+      in
+      Relation.of_tuples schema [ Array.of_list (List.map snd bindings) ]
+  | Algebra.Select (p, e) ->
+      let r = eval_unchecked db e in
+      Relation.select (Algebra.eval_predicate (Relation.schema r) p) r
+  | Algebra.Project (attrs, e) -> Relation.project (eval_unchecked db e) attrs
+  | Algebra.Rename (mapping, e) -> Relation.rename (eval_unchecked db e) mapping
+  | Algebra.Product (a, b) ->
+      Relation.product (eval_unchecked db a) (eval_unchecked db b)
+  | Algebra.Join (a, b) -> Relation.join (eval_unchecked db a) (eval_unchecked db b)
+  | Algebra.Union (a, b) ->
+      Relation.union (eval_unchecked db a) (eval_unchecked db b)
+  | Algebra.Inter (a, b) ->
+      Relation.inter (eval_unchecked db a) (eval_unchecked db b)
+  | Algebra.Diff (a, b) -> Relation.diff (eval_unchecked db a) (eval_unchecked db b)
+  | Algebra.Divide (a, b) ->
+      Relation.divide (eval_unchecked db a) (eval_unchecked db b)
+
+let eval db expr =
+  let (_ : Schema.t) =
+    Algebra.schema_of (Algebra.catalog_of_database db) expr
+  in
+  eval_unchecked db expr

@@ -1,0 +1,13 @@
+(** Relational algebra evaluator.
+
+    [eval db expr] computes the relation denoted by [expr] over the
+    database instance [db].  The expression is type-checked first, so
+    evaluation itself never fails on well-formed catalogs. *)
+
+val eval : Database.t -> Algebra.t -> Relation.t
+(** Raises {!Algebra.Type_error} on ill-typed expressions and
+    {!Database.Unknown_relation} on dangling relation names. *)
+
+val eval_unchecked : Database.t -> Algebra.t -> Relation.t
+(** Skips the up-front type check (the optimizer benchmarks use this to
+    time evaluation alone). *)

@@ -1,0 +1,170 @@
+module Rng = Support.Rng
+
+let random_ty rng =
+  match Rng.int rng 4 with
+  | 0 -> Value.TInt
+  | 1 -> Value.TString
+  | 2 -> Value.TFloat
+  | _ -> Value.TBool
+
+let random_schema rng ~prefix ~arity =
+  Schema.make
+    (List.init arity (fun i -> (Printf.sprintf "%s%d" prefix i, random_ty rng)))
+
+let random_value rng ty ~domain =
+  let domain = max 1 domain in
+  match ty with
+  | Value.TInt -> Value.Int (Rng.int rng domain)
+  | Value.TString -> Value.String (Printf.sprintf "s%d" (Rng.int rng domain))
+  | Value.TFloat -> Value.Float (float_of_int (Rng.int rng domain) /. 2.)
+  | Value.TBool -> Value.Bool (Rng.bool rng)
+
+let random_tuple rng schema ~domain =
+  Array.of_list
+    (List.map (fun ty -> random_value rng ty ~domain) (Schema.types schema))
+
+let random_relation rng schema ~size ~domain =
+  let tuples = List.init size (fun _ -> random_tuple rng schema ~domain) in
+  Relation.of_tuples schema tuples
+
+let random_database rng ~relations ~arity ~size ~domain =
+  List.init relations (fun i ->
+      let name = Printf.sprintf "r%d" i in
+      let schema =
+        random_schema rng ~prefix:(Printf.sprintf "%s_a" name) ~arity
+      in
+      (name, random_relation rng schema ~size ~domain))
+  |> Database.of_list
+
+let random_comparison rng =
+  match Rng.int rng 6 with
+  | 0 -> Algebra.Eq
+  | 1 -> Algebra.Ne
+  | 2 -> Algebra.Lt
+  | 3 -> Algebra.Le
+  | 4 -> Algebra.Gt
+  | _ -> Algebra.Ge
+
+let random_atom rng schema ~domain =
+  let pairs = Schema.pairs schema in
+  if pairs = [] then Algebra.True
+  else begin
+    let a, ty = Rng.pick_list rng pairs in
+    (* attribute vs constant, or attribute vs same-typed attribute *)
+    let same_ty = List.filter (fun (_, ty') -> ty' = ty) pairs in
+    let rhs =
+      if Rng.int rng 3 = 0 && List.length same_ty > 1 then
+        Algebra.Attr (fst (Rng.pick_list rng same_ty))
+      else Algebra.Const (random_value rng ty ~domain)
+    in
+    Algebra.Cmp (random_comparison rng, Algebra.Attr a, rhs)
+  end
+
+let rec random_predicate_sized rng schema ~domain fuel =
+  if fuel <= 0 then random_atom rng schema ~domain
+  else
+    match Rng.int rng 5 with
+    | 0 ->
+        Algebra.And
+          ( random_predicate_sized rng schema ~domain (fuel - 1),
+            random_predicate_sized rng schema ~domain (fuel - 1) )
+    | 1 ->
+        Algebra.Or
+          ( random_predicate_sized rng schema ~domain (fuel - 1),
+            random_predicate_sized rng schema ~domain (fuel - 1) )
+    | 2 -> Algebra.Not (random_predicate_sized rng schema ~domain (fuel - 1))
+    | _ -> random_atom rng schema ~domain
+
+let random_predicate rng schema ~domain =
+  random_predicate_sized rng schema ~domain 2
+
+(* Generate a well-typed expression together with its schema. *)
+let random_query rng db ~depth ~domain =
+  let catalog = Algebra.catalog_of_database db in
+  let names = Array.of_list (Database.names db) in
+  let counter = ref 0 in
+  let fresh_attr () =
+    incr counter;
+    Printf.sprintf "g%d" !counter
+  in
+  let rec gen depth =
+    if depth <= 0 || Array.length names = 0 then begin
+      let name = Rng.pick rng names in
+      (Algebra.Rel name, catalog name)
+    end
+    else
+      match Rng.int rng 8 with
+      | 0 ->
+          let e, s = gen (depth - 1) in
+          (Algebra.Select (random_predicate rng s ~domain, e), s)
+      | 1 ->
+          let e, s = gen (depth - 1) in
+          let attrs = Schema.attributes s in
+          let keep = List.filter (fun _ -> Rng.bool rng) attrs in
+          let keep = if keep = [] then [ List.hd attrs ] else keep in
+          (Algebra.Project (keep, e), Schema.project s keep)
+      | 2 ->
+          let e, s = gen (depth - 1) in
+          let attrs = Schema.attributes s in
+          let victim = Rng.pick_list rng attrs in
+          let mapping = [ (victim, fresh_attr ()) ] in
+          (Algebra.Rename (mapping, e), Schema.rename s mapping)
+      | 3 ->
+          (* product of two subqueries, renamed apart *)
+          let a, sa = gen (depth - 1) in
+          let b, sb = gen (depth - 1) in
+          let clashes =
+            List.filter (Schema.mem sa) (Schema.attributes sb)
+          in
+          let mapping = List.map (fun c -> (c, fresh_attr ())) clashes in
+          let b, sb =
+            if mapping = [] then (b, sb)
+            else (Algebra.Rename (mapping, b), Schema.rename sb mapping)
+          in
+          (Algebra.Product (a, b), Schema.product sa sb)
+      | 4 ->
+          let a, sa = gen (depth - 1) in
+          let b, sb = gen (depth - 1) in
+          (* natural join requires shared attributes to agree on type;
+             rename apart the shared attributes whose types clash *)
+          let clashes =
+            List.filter
+              (fun (n, ty) ->
+                Schema.mem sa n && Schema.type_of_attr sa n <> ty)
+              (Schema.pairs sb)
+          in
+          let mapping = List.map (fun (n, _) -> (n, fresh_attr ())) clashes in
+          let b, sb =
+            if mapping = [] then (b, sb)
+            else (Algebra.Rename (mapping, b), Schema.rename sb mapping)
+          in
+          (Algebra.Join (a, b), Schema.join sa sb)
+      | 5 | 6 ->
+          (* set operation: derive the second operand from the first so the
+             schemas agree by construction *)
+          let a, sa = gen (depth - 1) in
+          let b = Algebra.Select (random_predicate rng sa ~domain, a) in
+          let op =
+            match Rng.int rng 3 with
+            | 0 -> Algebra.Union (a, b)
+            | 1 -> Algebra.Inter (a, b)
+            | _ -> Algebra.Diff (a, b)
+          in
+          (op, sa)
+      | _ ->
+          let e, s = gen (depth - 1) in
+          let attrs = Schema.attributes s in
+          if List.length attrs < 2 then (e, s)
+          else begin
+            (* divide by a projection of a selection of the same expression *)
+            let divisor_attr = Rng.pick_list rng attrs in
+            let b =
+              Algebra.Project
+                ([ divisor_attr ],
+                 Algebra.Select (random_predicate rng s ~domain, e))
+            in
+            let keep = List.filter (fun x -> x <> divisor_attr) attrs in
+            (Algebra.Divide (e, b), Schema.project s keep)
+          end
+  in
+  fst (gen depth)

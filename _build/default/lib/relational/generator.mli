@@ -1,0 +1,36 @@
+(** Random schemas, instances, and well-typed algebra queries.
+
+    Used by the property-test suites (round-trip laws, optimizer
+    equivalence) and by the benchmark workload sweeps.  All randomness
+    flows through {!Support.Rng}, so every workload is reproducible from
+    its seed. *)
+
+val random_schema : Support.Rng.t -> prefix:string -> arity:int -> Schema.t
+(** Attributes named [prefix ^ "0"], …; types drawn uniformly. *)
+
+val random_value : Support.Rng.t -> Value.ty -> domain:int -> Value.t
+(** A value from a domain of the given size (ints in [\[0,domain)],
+    strings ["s0"…], floats, booleans). *)
+
+val random_relation :
+  Support.Rng.t -> Schema.t -> size:int -> domain:int -> Relation.t
+(** Up to [size] random tuples (duplicates collapse). *)
+
+val random_database :
+  Support.Rng.t ->
+  relations:int ->
+  arity:int ->
+  size:int ->
+  domain:int ->
+  Database.t
+(** Relations named ["r0"], ["r1"], … with fresh attribute names per
+    relation ("r0_a0", …), so products never clash. *)
+
+val random_predicate : Support.Rng.t -> Schema.t -> domain:int -> Algebra.predicate
+(** A small boolean combination of comparisons that type-checks against the
+    schema. *)
+
+val random_query :
+  Support.Rng.t -> Database.t -> depth:int -> domain:int -> Algebra.t
+(** A well-typed algebra expression of at most the given operator depth
+    over the database's catalog.  Well-typedness holds by construction. *)

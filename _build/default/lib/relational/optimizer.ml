@@ -1,0 +1,189 @@
+open Algebra
+
+type stats = string -> int
+
+(* --- selection push-down ----------------------------------------------- *)
+
+let attrs_subset attrs schema = List.for_all (Schema.mem schema) attrs
+
+(* Rewrite a predicate through the inverse of a rename mapping, so it can be
+   pushed below the Rename node. *)
+let unrename_predicate mapping p =
+  let inverse = List.map (fun (a, b) -> (b, a)) mapping in
+  let fix = function
+    | Attr a -> Attr (match List.assoc_opt a inverse with Some b -> b | None -> a)
+    | Const v -> Const v
+  in
+  let rec go = function
+    | True -> True
+    | False -> False
+    | Cmp (c, l, r) -> Cmp (c, fix l, fix r)
+    | And (p, q) -> And (go p, go q)
+    | Or (p, q) -> Or (go p, go q)
+    | Not p -> Not (go p)
+  in
+  go p
+
+let rec push_one catalog p expr =
+  let attrs = attributes_of_predicate p in
+  match expr with
+  | Select (q, e) -> Select (q, push_one catalog p e)
+  | Product (a, b) ->
+      let sa = schema_of catalog a and sb = schema_of catalog b in
+      if attrs_subset attrs sa then Product (push_one catalog p a, b)
+      else if attrs_subset attrs sb then Product (a, push_one catalog p b)
+      else Select (p, expr)
+  | Join (a, b) ->
+      let sa = schema_of catalog a and sb = schema_of catalog b in
+      if attrs_subset attrs sa then Join (push_one catalog p a, b)
+      else if attrs_subset attrs sb then Join (a, push_one catalog p b)
+      else Select (p, expr)
+  | Union (a, b) -> Union (push_one catalog p a, push_one catalog p b)
+  | Inter (a, b) -> Inter (push_one catalog p a, push_one catalog p b)
+  | Diff (a, b) -> Diff (push_one catalog p a, push_one catalog p b)
+  | Rename (mapping, e) ->
+      (* legal only if every source of the mapping is an attribute of e,
+         which Rename's typing already guarantees *)
+      Rename (mapping, push_one catalog (unrename_predicate mapping p) e)
+  | Project (attrs', e) ->
+      if attrs_subset attrs (schema_of catalog (Project (attrs', e))) then
+        Project (attrs', push_one catalog p e)
+      else Select (p, expr)
+  | Rel _ | Singleton _ | Divide _ -> Select (p, expr)
+
+let rec push_selections catalog expr =
+  match expr with
+  | Rel name -> Rel name
+  | Singleton b -> Singleton b
+  | Select (p, e) ->
+      let e = push_selections catalog e in
+      List.fold_left
+        (fun acc conj -> push_one catalog conj acc)
+        e (conjuncts p)
+  | Project (attrs, e) -> Project (attrs, push_selections catalog e)
+  | Rename (m, e) -> Rename (m, push_selections catalog e)
+  | Product (a, b) -> Product (push_selections catalog a, push_selections catalog b)
+  | Join (a, b) -> Join (push_selections catalog a, push_selections catalog b)
+  | Union (a, b) -> Union (push_selections catalog a, push_selections catalog b)
+  | Inter (a, b) -> Inter (push_selections catalog a, push_selections catalog b)
+  | Diff (a, b) -> Diff (push_selections catalog a, push_selections catalog b)
+  | Divide (a, b) -> Divide (push_selections catalog a, push_selections catalog b)
+
+(* --- projection pruning ------------------------------------------------- *)
+
+let rec prune_projections catalog expr =
+  match expr with
+  | Project (attrs, Project (_, e)) ->
+      prune_projections catalog (Project (attrs, e))
+  | Project (attrs, Join (a, b)) ->
+      let sa = schema_of catalog a and sb = schema_of catalog b in
+      let shared = Schema.common sa sb in
+      let needed schema =
+        List.filter
+          (fun n -> List.mem n attrs || List.mem n shared)
+          (Schema.attributes schema)
+      in
+      let na = needed sa and nb = needed sb in
+      let wrap side n schema =
+        if List.length n = Schema.arity schema then prune_projections catalog side
+        else Project (n, prune_projections catalog side)
+      in
+      Project (attrs, Join (wrap a na sa, wrap b nb sb))
+  | Project (attrs, e) ->
+      let s = schema_of catalog e in
+      let e' = prune_projections catalog e in
+      if attrs = Schema.attributes s then e' else Project (attrs, e')
+  | Rel name -> Rel name
+  | Singleton b -> Singleton b
+  | Select (p, e) -> Select (p, prune_projections catalog e)
+  | Rename (m, e) -> Rename (m, prune_projections catalog e)
+  | Product (a, b) ->
+      Product (prune_projections catalog a, prune_projections catalog b)
+  | Join (a, b) -> Join (prune_projections catalog a, prune_projections catalog b)
+  | Union (a, b) -> Union (prune_projections catalog a, prune_projections catalog b)
+  | Inter (a, b) -> Inter (prune_projections catalog a, prune_projections catalog b)
+  | Diff (a, b) -> Diff (prune_projections catalog a, prune_projections catalog b)
+  | Divide (a, b) -> Divide (prune_projections catalog a, prune_projections catalog b)
+
+(* --- cardinality estimation and join ordering --------------------------- *)
+
+let selection_selectivity = 0.3
+let join_key_domain = 10.0
+
+let rec estimate catalog stats expr =
+  match expr with
+  | Rel name -> float_of_int (stats name)
+  | Singleton _ -> 1.0
+  | Select (p, e) ->
+      let conj = max 1 (List.length (conjuncts p)) in
+      estimate catalog stats e *. Float.pow selection_selectivity (float_of_int conj)
+  | Project (_, e) | Rename (_, e) -> estimate catalog stats e
+  | Product (a, b) -> estimate catalog stats a *. estimate catalog stats b
+  | Join (a, b) ->
+      let sa = schema_of catalog a and sb = schema_of catalog b in
+      let shared = List.length (Schema.common sa sb) in
+      estimate catalog stats a *. estimate catalog stats b
+      /. Float.pow join_key_domain (float_of_int shared)
+  | Union (a, b) -> estimate catalog stats a +. estimate catalog stats b
+  | Inter (a, b) -> Float.min (estimate catalog stats a) (estimate catalog stats b)
+  | Diff (a, _) -> estimate catalog stats a
+  | Divide (a, b) ->
+      let eb = Float.max 1.0 (estimate catalog stats b) in
+      estimate catalog stats a /. eb
+
+(* Collect the leaves of a maximal natural-join tree. *)
+let rec join_factors = function
+  | Join (a, b) -> join_factors a @ join_factors b
+  | e -> [ e ]
+
+let rec order_joins catalog stats expr =
+  match expr with
+  | Join _ ->
+      let factors =
+        List.map (order_joins catalog stats) (join_factors expr)
+      in
+      (* greedy: repeatedly join the pair with smallest estimated result *)
+      let rec reduce = function
+        | [] -> assert false
+        | [ e ] -> e
+        | factors ->
+            let best = ref None in
+            List.iteri
+              (fun i a ->
+                List.iteri
+                  (fun j b ->
+                    if i < j then begin
+                      let cost = estimate catalog stats (Join (a, b)) in
+                      match !best with
+                      | Some (_, _, _, c) when c <= cost -> ()
+                      | _ -> best := Some (i, j, Join (a, b), cost)
+                    end)
+                  factors)
+              factors;
+            (match !best with
+            | None -> assert false
+            | Some (i, j, joined, _) ->
+                let rest =
+                  List.filteri (fun k _ -> k <> i && k <> j) factors
+                in
+                reduce (joined :: rest))
+      in
+      reduce factors
+  | Rel name -> Rel name
+  | Singleton b -> Singleton b
+  | Select (p, e) -> Select (p, order_joins catalog stats e)
+  | Project (a, e) -> Project (a, order_joins catalog stats e)
+  | Rename (m, e) -> Rename (m, order_joins catalog stats e)
+  | Product (a, b) -> Product (order_joins catalog stats a, order_joins catalog stats b)
+  | Union (a, b) -> Union (order_joins catalog stats a, order_joins catalog stats b)
+  | Inter (a, b) -> Inter (order_joins catalog stats a, order_joins catalog stats b)
+  | Diff (a, b) -> Diff (order_joins catalog stats a, order_joins catalog stats b)
+  | Divide (a, b) -> Divide (order_joins catalog stats a, order_joins catalog stats b)
+
+let optimize catalog stats expr =
+  expr
+  |> push_selections catalog
+  |> order_joins catalog stats
+  |> prune_projections catalog
+
+let stats_of_database db name = Relation.cardinality (Database.find db name)

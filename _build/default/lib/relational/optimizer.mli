@@ -1,0 +1,34 @@
+(** Algebraic query optimizer.
+
+    The essay recalls that "the difficulty of query optimization … came as
+    a surprise, and necessitated new model development, synthesis, analysis,
+    and experiments."  This module implements the classical heuristic
+    pipeline that the relational-theory tradition produced: selection
+    cascading and push-down, projection pruning, and greedy join ordering
+    driven by cardinality estimates.  Every rewrite preserves the denoted
+    relation (property-tested against the evaluator). *)
+
+type stats = string -> int
+(** Cardinality of a base relation, by name. *)
+
+val push_selections : Algebra.catalog -> Algebra.t -> Algebra.t
+(** Splits conjunctive selections and pushes each conjunct as far towards
+    the leaves as typing allows. *)
+
+val prune_projections : Algebra.catalog -> Algebra.t -> Algebra.t
+(** Collapses stacked projections and introduces early projections under
+    joins so intermediate results carry only needed columns. *)
+
+val order_joins : Algebra.catalog -> stats -> Algebra.t -> Algebra.t
+(** Reassociates natural-join trees greedily, joining the
+    smallest-estimate pair first. *)
+
+val estimate : Algebra.catalog -> stats -> Algebra.t -> float
+(** Textbook cardinality estimate: selections filter by a fixed
+    selectivity per conjunct, joins divide the product by the shared-key
+    domain estimate. *)
+
+val optimize : Algebra.catalog -> stats -> Algebra.t -> Algebra.t
+(** Full pipeline: push selections, order joins, prune projections. *)
+
+val stats_of_database : Database.t -> stats

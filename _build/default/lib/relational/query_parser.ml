@@ -1,0 +1,364 @@
+exception Parse_error of string
+
+type token =
+  | Tname of string
+  | Tint of int
+  | Tfloat of float
+  | Tstring of string
+  | Tlparen
+  | Trparen
+  | Tlbracket
+  | Trbracket
+  | Tlangle
+  | Trangle
+  | Tcomma
+  | Tarrow
+  | Top of Algebra.comparison
+  | Teq  (* '=' doubles as comparison and singleton binding *)
+  | Teof
+
+let err pos fmt =
+  Printf.ksprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "at offset %d: %s" pos s)))
+    fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t pos = tokens := (t, pos) :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '(' -> emit Tlparen i; go (i + 1)
+      | ')' -> emit Trparen i; go (i + 1)
+      | '[' -> emit Tlbracket i; go (i + 1)
+      | ']' -> emit Trbracket i; go (i + 1)
+      | ',' -> emit Tcomma i; go (i + 1)
+      | '=' -> emit Teq i; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' ->
+          emit (Top Algebra.Ne) i;
+          go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '>' ->
+          emit (Top Algebra.Ne) i;
+          go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' ->
+          emit (Top Algebra.Le) i;
+          go (i + 2)
+      | '>' when i + 1 < n && src.[i + 1] = '=' ->
+          emit (Top Algebra.Ge) i;
+          go (i + 2)
+      | '<' -> emit Tlangle i; go (i + 1)
+      | '>' -> emit Trangle i; go (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '>' ->
+          emit Tarrow i;
+          go (i + 2)
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then err i "unterminated string literal"
+            else if src.[j] = '"' then j + 1
+            else begin
+              Buffer.add_char buf src.[j];
+              str (j + 1)
+            end
+          in
+          let j = str (i + 1) in
+          emit (Tstring (Buffer.contents buf)) i;
+          go j
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit src.[i + 1]) ->
+          let start = i in
+          let j = ref (i + 1) in
+          while !j < n && is_digit src.[!j] do incr j done;
+          let is_float =
+            !j + 1 < n && src.[!j] = '.' && is_digit src.[!j + 1]
+          in
+          if is_float then begin
+            incr j;
+            while !j < n && is_digit src.[!j] do incr j done
+          end;
+          let text = String.sub src start (!j - start) in
+          (if is_float then
+             match float_of_string_opt text with
+             | Some f -> emit (Tfloat f) start
+             | None -> err start "bad float %S" text
+           else
+             match int_of_string_opt text with
+             | Some k -> emit (Tint k) start
+             | None -> err start "bad integer %S" text);
+          go !j
+      | c when is_name_char c ->
+          let start = i in
+          let j = ref i in
+          while !j < n && is_name_char src.[!j] do incr j done;
+          emit (Tname (String.sub src start (!j - start))) start;
+          go !j
+      | c -> err i "unexpected character %C" c
+  in
+  go 0;
+  List.rev ((Teof, n) :: !tokens)
+
+type state = { mutable rest : (token * int) list }
+
+let peek st = match st.rest with [] -> (Teof, 0) | t :: _ -> t
+let peek2 st = match st.rest with _ :: t :: _ -> t | _ -> (Teof, 0)
+
+let advance st =
+  match st.rest with [] -> () | _ :: rest -> st.rest <- rest
+
+let expect st tok what =
+  let t, pos = peek st in
+  if t = tok then advance st else err pos "expected %s" what
+
+let parse_literal st =
+  match peek st with
+  | Tint k, _ ->
+      advance st;
+      Value.Int k
+  | Tfloat f, _ ->
+      advance st;
+      Value.Float f
+  | Tstring s, _ ->
+      advance st;
+      Value.String s
+  | Tname "true", _ ->
+      advance st;
+      Value.Bool true
+  | Tname "false", _ ->
+      advance st;
+      Value.Bool false
+  | _, pos -> err pos "expected a literal"
+
+let comparison_op st =
+  match peek st with
+  | Top op, _ ->
+      advance st;
+      Some op
+  | Teq, _ ->
+      advance st;
+      Some Algebra.Eq
+  | Tlangle, _ ->
+      advance st;
+      Some Algebra.Lt
+  | Trangle, _ ->
+      advance st;
+      Some Algebra.Gt
+  | _ -> None
+
+let parse_operand st =
+  match peek st with
+  | Tname name, pos -> (
+      match name with
+      | "true" | "false" ->
+          advance st;
+          Algebra.Const (Value.Bool (name = "true"))
+      | "and" | "or" | "not" -> err pos "keyword %S cannot be an operand" name
+      | _ ->
+          advance st;
+          Algebra.Attr name)
+  | (Tint _ | Tfloat _ | Tstring _), _ -> Algebra.Const (parse_literal st)
+  | _, pos -> err pos "expected an attribute or literal"
+
+let rec parse_or_pred st =
+  let left = parse_and_pred st in
+  match peek st with
+  | Tname "or", _ ->
+      advance st;
+      Algebra.Or (left, parse_or_pred st)
+  | _ -> left
+
+and parse_and_pred st =
+  let left = parse_not_pred st in
+  match peek st with
+  | Tname "and", _ ->
+      advance st;
+      Algebra.And (left, parse_and_pred st)
+  | _ -> left
+
+and parse_not_pred st =
+  match peek st with
+  | Tname "not", _ ->
+      advance st;
+      Algebra.Not (parse_not_pred st)
+  | Tlparen, _ ->
+      advance st;
+      let p = parse_or_pred st in
+      expect st Trparen "')'";
+      p
+  | Tname "true", _ when not (is_comparison_next st) ->
+      advance st;
+      Algebra.True
+  | Tname "false", _ when not (is_comparison_next st) ->
+      advance st;
+      Algebra.False
+  | _, pos -> (
+      let left = parse_operand st in
+      match comparison_op st with
+      | Some op -> Algebra.Cmp (op, left, parse_operand st)
+      | None -> err pos "expected a comparison operator")
+
+and is_comparison_next st =
+  match peek2 st with
+  | (Top _ | Teq | Tlangle | Trangle), _ -> true
+  | _ -> false
+
+let parse_name_list st =
+  let rec go acc =
+    match peek st with
+    | Tname name, _ ->
+        advance st;
+        (match peek st with
+        | Tcomma, _ ->
+            advance st;
+            go (name :: acc)
+        | _ -> List.rev (name :: acc))
+    | _, pos -> err pos "expected an attribute name"
+  in
+  go []
+
+let parse_rename_list st =
+  let rec go acc =
+    match peek st with
+    | Tname src_name, _ ->
+        advance st;
+        expect st Tarrow "'->'";
+        (match peek st with
+        | Tname dst, _ ->
+            advance st;
+            let acc = (src_name, dst) :: acc in
+            (match peek st with
+            | Tcomma, _ ->
+                advance st;
+                go acc
+            | _ -> List.rev acc)
+        | _, pos -> err pos "expected a new attribute name")
+    | _, pos -> err pos "expected an attribute name"
+  in
+  go []
+
+let rec parse_expr st =
+  let left = parse_term st in
+  match peek st with
+  | Tname "union", _ ->
+      advance st;
+      parse_expr_rest st (Algebra.Union (left, parse_term st))
+  | Tname "minus", _ ->
+      advance st;
+      parse_expr_rest st (Algebra.Diff (left, parse_term st))
+  | Tname "intersect", _ ->
+      advance st;
+      parse_expr_rest st (Algebra.Inter (left, parse_term st))
+  | _ -> left
+
+and parse_expr_rest st left =
+  match peek st with
+  | Tname "union", _ ->
+      advance st;
+      parse_expr_rest st (Algebra.Union (left, parse_term st))
+  | Tname "minus", _ ->
+      advance st;
+      parse_expr_rest st (Algebra.Diff (left, parse_term st))
+  | Tname "intersect", _ ->
+      advance st;
+      parse_expr_rest st (Algebra.Inter (left, parse_term st))
+  | _ -> left
+
+and parse_term st =
+  let left = parse_factor st in
+  parse_term_rest st left
+
+and parse_term_rest st left =
+  match peek st with
+  | Tname "join", _ ->
+      advance st;
+      parse_term_rest st (Algebra.Join (left, parse_factor st))
+  | Tname "times", _ ->
+      advance st;
+      parse_term_rest st (Algebra.Product (left, parse_factor st))
+  | Tname "divide", _ ->
+      advance st;
+      parse_term_rest st (Algebra.Divide (left, parse_factor st))
+  | _ -> left
+
+and parse_factor st =
+  match peek st with
+  | Tlparen, _ ->
+      advance st;
+      let e = parse_expr st in
+      expect st Trparen "')'";
+      e
+  | Tlangle, _ ->
+      advance st;
+      (* singleton: <a = 1, b = "x"> *)
+      let rec bindings acc =
+        match peek st with
+        | Tname a, _ ->
+            advance st;
+            expect st Teq "'='";
+            let v = parse_literal st in
+            let acc = (a, v) :: acc in
+            (match peek st with
+            | Tcomma, _ ->
+                advance st;
+                bindings acc
+            | _ -> List.rev acc)
+        | _, pos -> err pos "expected an attribute binding"
+      in
+      let bs = match peek st with
+        | Trangle, _ -> []
+        | _ -> bindings []
+      in
+      expect st Trangle "'>'";
+      Algebra.Singleton bs
+  | Tname "project", _ ->
+      advance st;
+      expect st Tlbracket "'['";
+      let attrs = parse_name_list st in
+      expect st Trbracket "']'";
+      expect st Tlparen "'('";
+      let e = parse_expr st in
+      expect st Trparen "')'";
+      Algebra.Project (attrs, e)
+  | Tname "select", _ ->
+      advance st;
+      expect st Tlbracket "'['";
+      let p = parse_or_pred st in
+      expect st Trbracket "']'";
+      expect st Tlparen "'('";
+      let e = parse_expr st in
+      expect st Trparen "')'";
+      Algebra.Select (p, e)
+  | Tname "rename", _ ->
+      advance st;
+      expect st Tlbracket "'['";
+      let mapping = parse_rename_list st in
+      expect st Trbracket "']'";
+      expect st Tlparen "'('";
+      let e = parse_expr st in
+      expect st Trparen "')'";
+      Algebra.Rename (mapping, e)
+  | Tname name, _ ->
+      advance st;
+      Algebra.Rel name
+  | _, pos -> err pos "expected an expression"
+
+let parse src =
+  let st = { rest = tokenize src } in
+  let e = parse_expr st in
+  (match peek st with
+  | Teof, _ -> ()
+  | _, pos -> err pos "trailing input");
+  e
+
+let parse_predicate src =
+  let st = { rest = tokenize src } in
+  let p = parse_or_pred st in
+  (match peek st with
+  | Teof, _ -> ()
+  | _, pos -> err pos "trailing input");
+  p

@@ -1,0 +1,30 @@
+(** A concrete syntax for relational algebra expressions, so queries can
+    come from strings (the CLI's [query] subcommand and the examples).
+
+    Grammar (keywords are lowercase; set/join operators are left
+    associative, [join]/[times]/[divide] bind tighter than
+    [union]/[minus]/[intersect]):
+
+    {v
+    expr    := term (("union" | "minus" | "intersect") term)*
+    term    := factor (("join" | "times" | "divide") factor)*
+    factor  := NAME                         base relation
+             | "project" "[" a, b, ... "]" "(" expr ")"
+             | "select"  "[" predicate  "]" "(" expr ")"
+             | "rename"  "[" a -> b, ... "]" "(" expr ")"
+             | "<" a = literal, ... ">"     singleton constant relation
+             | "(" expr ")"
+    predicate := comparisons over attributes and literals with
+                 and / or / not / ( ), operators = != <> < <= > >=
+    literal := 42 | 3.14 | "text" | true | false
+    v}
+
+    Example:
+    [project[sname](select[grade >= 85](students join enrolled))]. *)
+
+exception Parse_error of string
+
+val parse : string -> Algebra.t
+(** Raises {!Parse_error} with position information. *)
+
+val parse_predicate : string -> Algebra.predicate

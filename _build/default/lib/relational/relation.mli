@@ -1,0 +1,66 @@
+(** Relation instances: a schema plus a set of tuples of matching arity.
+
+    Relations are immutable values; all operators return new relations.
+    The natural join is hash-based; set operations realign columns when the
+    operand schemas agree as sets but differ in order. *)
+
+module Tuple_set : Set.S with type elt = Tuple.t
+
+type t
+
+exception Arity_error of string
+
+val create : Schema.t -> t
+(** Empty relation over the given schema. *)
+
+val of_list : Schema.t -> Value.t list list -> t
+(** Builds a relation, checking each row's arity and column types; raises
+    {!Arity_error} on mismatch. *)
+
+val of_tuples : Schema.t -> Tuple.t list -> t
+val schema : t -> Schema.t
+val tuples : t -> Tuple_set.t
+val to_list : t -> Tuple.t list
+val cardinality : t -> int
+val is_empty : t -> bool
+val mem : t -> Tuple.t -> bool
+val add : t -> Tuple.t -> t
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val filter : (Tuple.t -> bool) -> t -> t
+val equal : t -> t -> bool
+(** Same schema (up to column order) and same tuple set. *)
+
+val subset : t -> t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+(** Set operations; raise {!Schema.Schema_error} unless union-compatible.
+    The result uses the left operand's schema/column order. *)
+
+val project : t -> Schema.attribute list -> t
+val select : (Tuple.t -> bool) -> t -> t
+val rename : t -> (Schema.attribute * Schema.attribute) list -> t
+val product : t -> t -> t
+val join : t -> t -> t
+(** Natural join (hash join on the shared attributes; degenerates to the
+    cartesian product when no attribute is shared). *)
+
+val semijoin : t -> t -> t
+(** Tuples of the first relation that join with at least one tuple of the
+    second. *)
+
+val antijoin : t -> t -> t
+(** Tuples of the first relation that join with no tuple of the second. *)
+
+val divide : t -> t -> t
+(** Relational division: [divide r s] with schema(s) ⊆ schema(r) returns
+    the tuples over schema(r) \ schema(s) that pair with {e every} tuple
+    of [s] in [r].  The classic "suppliers who supply all parts" query. *)
+
+val active_domain : t -> Value.t list
+(** Distinct values occurring anywhere in the relation, sorted. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+type attribute = string
+
+type t = (attribute * Value.ty) list
+
+exception Schema_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Schema_error s)) fmt
+
+let make pairs =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (a, _) ->
+      if Hashtbl.mem seen a then err "duplicate attribute %S in schema" a
+      else Hashtbl.add seen a ())
+    pairs;
+  pairs
+
+let pairs t = t
+let attributes t = List.map fst t
+let types t = List.map snd t
+let arity = List.length
+let mem t a = List.mem_assoc a t
+
+let type_of_attr t a =
+  match List.assoc_opt a t with
+  | Some ty -> ty
+  | None -> err "unknown attribute %S" a
+
+let index_of t a =
+  let rec loop i = function
+    | [] -> err "unknown attribute %S" a
+    | (b, _) :: _ when String.equal a b -> i
+    | _ :: rest -> loop (i + 1) rest
+  in
+  loop 0 t
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && t1 = t2)
+       a b
+
+let union_compatible a b =
+  List.length a = List.length b
+  && List.for_all
+       (fun (n, ty) ->
+         match List.assoc_opt n b with Some ty' -> ty = ty' | None -> false)
+       a
+
+let positions_of target source =
+  if not (union_compatible target source) then
+    err "schemas %s and %s are not union-compatible"
+      (String.concat "," (attributes target))
+      (String.concat "," (attributes source));
+  Array.of_list (List.map (fun (a, _) -> index_of source a) target)
+
+let project t attrs =
+  let sub = List.map (fun a -> (a, type_of_attr t a)) attrs in
+  make sub
+
+let rename t mapping =
+  List.iter
+    (fun (src, _) ->
+      if not (mem t src) then err "rename: unknown attribute %S" src)
+    mapping;
+  let renamed =
+    List.map
+      (fun (a, ty) ->
+        match List.assoc_opt a mapping with
+        | Some b -> (b, ty)
+        | None -> (a, ty))
+      t
+  in
+  make renamed
+
+let product a b =
+  List.iter
+    (fun (n, _) ->
+      if mem a n then err "product: attribute %S occurs on both sides" n)
+    b;
+  a @ b
+
+let common a b =
+  List.filter_map
+    (fun (n, ty) ->
+      match List.assoc_opt n b with
+      | Some ty' ->
+          if ty = ty' then Some n
+          else
+            err "shared attribute %S has type %s on one side and %s on the other"
+              n (Value.ty_to_string ty) (Value.ty_to_string ty')
+      | None -> None)
+    a
+
+let join a b =
+  let shared = common a b in
+  a @ List.filter (fun (n, _) -> not (List.mem n shared)) b
+
+let to_string t =
+  "("
+  ^ String.concat ", "
+      (List.map (fun (a, ty) -> a ^ ":" ^ Value.ty_to_string ty) t)
+  ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,60 @@
+(** Relation schemas: ordered lists of distinct, typed attribute names.
+
+    Attribute order is significant for tuple layout, but two schemas over
+    the same attribute set are union-compatible regardless of order — set
+    operations realign columns via {!positions_of}. *)
+
+type attribute = string
+
+type t
+(** Abstract; construction enforces attribute-name uniqueness. *)
+
+exception Schema_error of string
+
+val make : (attribute * Value.ty) list -> t
+(** Raises {!Schema_error} on duplicate attribute names. *)
+
+val attributes : t -> attribute list
+val types : t -> Value.ty list
+val pairs : t -> (attribute * Value.ty) list
+val arity : t -> int
+val mem : t -> attribute -> bool
+val type_of_attr : t -> attribute -> Value.ty
+(** Raises {!Schema_error} if the attribute is absent. *)
+
+val index_of : t -> attribute -> int
+(** Position of the attribute; raises {!Schema_error} if absent. *)
+
+val equal : t -> t -> bool
+(** Same attributes, same types, same order. *)
+
+val union_compatible : t -> t -> bool
+(** Same attribute set with identical types (order may differ). *)
+
+val positions_of : t -> t -> int array
+(** [positions_of target source] maps each attribute position of [target]
+    to its position in [source]; raises {!Schema_error} unless the schemas
+    are union-compatible.  Used to realign tuples before set operations. *)
+
+val project : t -> attribute list -> t
+(** Sub-schema in the order given; raises {!Schema_error} on unknown or
+    duplicate attributes. *)
+
+val rename : t -> (attribute * attribute) list -> t
+(** [rename s mapping] renames attributes per [mapping] (missing entries
+    are kept); raises {!Schema_error} if the result has duplicates or a
+    source attribute is absent. *)
+
+val product : t -> t -> t
+(** Concatenation; raises {!Schema_error} on shared attribute names. *)
+
+val common : t -> t -> attribute list
+(** Attributes present in both schemas (in the order of the first); raises
+    {!Schema_error} if a shared attribute has different types. *)
+
+val join : t -> t -> t
+(** Natural-join schema: first schema followed by the non-shared attributes
+    of the second. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type t = Value.t array
+
+let make = Array.of_list
+let arity = Array.length
+let get t i = t.(i)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i = la && i = lb then 0
+    else if i = la then -1
+    else if i = lb then 1
+    else
+      let c = Value.compare_poly a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let equal a b = compare a b = 0
+
+let project t positions = Array.map (fun i -> t.(i)) positions
+
+let concat = Array.append
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let to_string t =
+  "<" ^ String.concat ", " (Array.to_list (Array.map Value.to_string t)) ^ ">"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,21 @@
+(** Tuples: fixed-width arrays of {!Value.t}, positionally aligned with a
+    {!Schema.t}.  Tuples carry no schema themselves; the owning relation
+    does. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val arity : t -> int
+val get : t -> int -> Value.t
+val compare : t -> t -> int
+(** Lexicographic, using {!Value.compare_poly} so heterogeneous columns
+    still order totally. *)
+
+val equal : t -> t -> bool
+val project : t -> int array -> t
+(** [project tup positions] builds a new tuple from the given positions. *)
+
+val concat : t -> t -> t
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Atomic values of the relational model.
+
+    The model is typed with four base domains; every tuple component is one
+    of these.  Comparison is defined within a type only — comparing values
+    of different types raises, which surfaces schema bugs early instead of
+    silently ordering [Int] before [String]. *)
+
+type ty = TInt | TString | TFloat | TBool
+
+type t = Int of int | String of string | Float of float | Bool of bool
+
+exception Type_clash of string
+(** Raised when two values of different dynamic types are compared. *)
+
+val type_of : t -> ty
+
+val compare : t -> t -> int
+(** Total order within a type; raises {!Type_clash} across types. *)
+
+val compare_poly : t -> t -> int
+(** Total order across all values (type tag first); never raises.  Used by
+    containers that may mix types, e.g. the active domain. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [false] across types (never raises). *)
+
+val ty_to_string : ty -> string
+val ty_of_string : string -> ty option
+
+val to_string : t -> string
+(** Human-readable rendering; strings are printed bare (no quotes). *)
+
+val to_literal : t -> string
+(** Parseable rendering; strings are quoted. *)
+
+val pp : Format.formatter -> t -> unit
+
+val parse : ty -> string -> t option
+(** [parse ty s] reads [s] as a value of type [ty]. *)
+
+val hash : t -> int

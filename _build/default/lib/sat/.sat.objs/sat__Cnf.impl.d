@@ -1,0 +1,1 @@
+lib/sat/cnf.ml: Buffer Int List Printf String

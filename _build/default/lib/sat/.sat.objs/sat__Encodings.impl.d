@@ -1,0 +1,1 @@
+lib/sat/encodings.ml: Array Datalog Dpll Fun Hashtbl List Printf Relational Set String

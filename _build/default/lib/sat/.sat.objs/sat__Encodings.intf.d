@@ -1,0 +1,1 @@
+lib/sat/encodings.mli: Cnf Datalog

@@ -1,0 +1,1 @@
+lib/sat/fagin.ml: Dpll Hashtbl List Printf String

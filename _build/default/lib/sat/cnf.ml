@@ -1,0 +1,68 @@
+type literal = int
+type clause = literal list
+type t = clause list
+
+type assignment = (int * bool) list
+
+let variables cnf =
+  List.concat_map (List.map abs) cnf |> List.sort_uniq Int.compare
+
+let literal_holds assignment lit =
+  match List.assoc_opt (abs lit) assignment with
+  | Some value -> if lit > 0 then value else not value
+  | None -> false
+
+let eval_clause assignment clause = List.exists (literal_holds assignment) clause
+
+let eval assignment cnf = List.for_all (eval_clause assignment) cnf
+
+let is_satisfied_by = eval
+
+let to_dimacs cnf =
+  let nvars = match variables cnf with [] -> 0 | vs -> List.fold_left max 0 vs in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length cnf));
+  List.iter
+    (fun clause ->
+      List.iter (fun lit -> Buffer.add_string buf (string_of_int lit ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    cnf;
+  Buffer.contents buf
+
+let of_dimacs text =
+  let lines = String.split_on_char '\n' text in
+  let clauses = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' || line.[0] = 'p' then ()
+      else begin
+        let lits =
+          String.split_on_char ' ' line
+          |> List.filter (fun t -> t <> "")
+          |> List.map (fun t ->
+                 match int_of_string_opt t with
+                 | Some i -> i
+                 | None ->
+                     invalid_arg
+                       (Printf.sprintf "of_dimacs: bad literal %S" t))
+        in
+        match List.rev lits with
+        | 0 :: rest -> clauses := List.rev rest :: !clauses
+        | _ -> invalid_arg "of_dimacs: clause line does not end with 0"
+      end)
+    lines;
+  List.rev !clauses
+
+let to_string cnf =
+  let clause_str clause =
+    "("
+    ^ String.concat " | "
+        (List.map
+           (fun lit ->
+             if lit > 0 then string_of_int lit else "~" ^ string_of_int (-lit))
+           clause)
+    ^ ")"
+  in
+  String.concat " & " (List.map clause_str cnf)

@@ -1,0 +1,30 @@
+(** Propositional formulas in conjunctive normal form.
+
+    Literals are non-zero integers (DIMACS convention): [v] is the
+    positive literal of variable [v > 0], [-v] its negation. *)
+
+type literal = int
+type clause = literal list
+type t = clause list
+
+type assignment = (int * bool) list
+(** Variable to truth value. *)
+
+val variables : t -> int list
+(** Sorted, without duplicates. *)
+
+val eval_clause : assignment -> clause -> bool
+(** An unassigned variable counts as false (total evaluation is the
+    caller's responsibility). *)
+
+val eval : assignment -> t -> bool
+
+val is_satisfied_by : assignment -> t -> bool
+(** Alias of {!eval}. *)
+
+val to_dimacs : t -> string
+val of_dimacs : string -> t
+(** Raises [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+(** Human-readable: [(1 ∨ ¬2) ∧ (3)]. *)

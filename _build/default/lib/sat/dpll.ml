@@ -1,0 +1,109 @@
+type result = Sat of Cnf.assignment | Unsat
+
+type stats = { decisions : int; propagations : int }
+
+(* Simplify a CNF under the decision lit: drop satisfied clauses, remove
+   the falsified literal elsewhere.  Returns None when an empty clause
+   appears. *)
+let assign cnf lit =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | clause :: rest ->
+        if List.mem lit clause then go acc rest
+        else begin
+          let clause' = List.filter (fun l -> l <> -lit) clause in
+          if clause' = [] then None else go (clause' :: acc) rest
+        end
+  in
+  go [] cnf
+
+let find_unit cnf =
+  List.find_map (function [ lit ] -> Some lit | _ -> None) cnf
+
+let find_pure cnf =
+  let polarity = Hashtbl.create 32 in
+  List.iter
+    (List.iter (fun lit ->
+         let v = abs lit in
+         match Hashtbl.find_opt polarity v with
+         | None -> Hashtbl.replace polarity v (Some (lit > 0))
+         | Some (Some p) when p <> (lit > 0) -> Hashtbl.replace polarity v None
+         | Some _ -> ()))
+    cnf;
+  Hashtbl.fold
+    (fun v pol acc ->
+      match (acc, pol) with
+      | Some _, _ -> acc
+      | None, Some p -> Some (if p then v else -v)
+      | None, None -> None)
+    polarity None
+
+let solve_with ?(unit_propagation = true) ?(pure_literal = true) cnf =
+  let decisions = ref 0 and propagations = ref 0 in
+  let all_vars = Cnf.variables cnf in
+  let rec go cnf trail =
+    match cnf with
+    | [] -> Some trail
+    | _ -> (
+        match (if unit_propagation then find_unit cnf else None) with
+        | Some lit -> (
+            incr propagations;
+            match assign cnf lit with
+            | None -> None
+            | Some cnf' -> go cnf' (lit :: trail))
+        | None -> (
+            match (if pure_literal then find_pure cnf else None) with
+            | Some lit -> (
+                incr propagations;
+                match assign cnf lit with
+                | None -> None
+                | Some cnf' -> go cnf' (lit :: trail))
+            | None -> (
+                (* branch on the first literal of the first clause *)
+                match cnf with
+                | [] -> Some trail
+                | [] :: _ -> None
+                | (lit :: _) :: _ -> (
+                    incr decisions;
+                    let try_branch l =
+                      match assign cnf l with
+                      | None -> None
+                      | Some cnf' -> go cnf' (l :: trail)
+                    in
+                    match try_branch lit with
+                    | Some trail -> Some trail
+                    | None -> try_branch (-lit)))))
+  in
+  let result =
+    match go cnf [] with
+    | None -> Unsat
+    | Some trail ->
+        let forced = List.map (fun lit -> (abs lit, lit > 0)) trail in
+        let full =
+          List.map
+            (fun v ->
+              match List.assoc_opt v forced with
+              | Some b -> (v, b)
+              | None -> (v, false))
+            all_vars
+        in
+        Sat full
+  in
+  (result, { decisions = !decisions; propagations = !propagations })
+
+let solve_with_stats cnf = solve_with cnf
+
+let solve cnf = fst (solve_with_stats cnf)
+
+let is_satisfiable cnf = match solve cnf with Sat _ -> true | Unsat -> false
+
+let brute_force cnf =
+  let vars = Cnf.variables cnf in
+  let rec go assignment = function
+    | [] -> if Cnf.eval assignment cnf then Some assignment else None
+    | v :: rest -> (
+        match go ((v, true) :: assignment) rest with
+        | Some a -> Some a
+        | None -> go ((v, false) :: assignment) rest)
+  in
+  match go [] vars with Some a -> Sat a | None -> Unsat

@@ -1,0 +1,29 @@
+(** A DPLL satisfiability solver with unit propagation and the
+    pure-literal rule.
+
+    "Is Cook's Theorem a negative result? … seen as a result in the study
+    of algorithms for satisfiability, it is a definite setback, although
+    still valuable as a warning against futile research directions" (§3).
+    This solver is the executable side of that discussion: complete, and
+    exponential in the worst case. *)
+
+type result = Sat of Cnf.assignment | Unsat
+
+type stats = { decisions : int; propagations : int }
+
+val solve_with :
+  ?unit_propagation:bool -> ?pure_literal:bool -> Cnf.t -> result * stats
+(** The solver with its two inference rules individually switchable — the
+    ablation benchmark measures what each contributes. *)
+
+val solve : Cnf.t -> result
+(** The returned assignment covers every variable of the formula (unforced
+    variables default to false) and satisfies it ([Sat] results are
+    checked by the tests against {!Cnf.eval}). *)
+
+val solve_with_stats : Cnf.t -> result * stats
+
+val is_satisfiable : Cnf.t -> bool
+
+val brute_force : Cnf.t -> result
+(** Exhaustive reference oracle for the tests (2^n). *)

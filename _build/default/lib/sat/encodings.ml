@@ -1,0 +1,176 @@
+type var_map = (string * int) list
+
+(* A tiny variable allocator keyed by name. *)
+let allocator () =
+  let table = Hashtbl.create 64 in
+  let next = ref 0 in
+  let var name =
+    match Hashtbl.find_opt table name with
+    | Some v -> v
+    | None ->
+        incr next;
+        Hashtbl.add table name !next;
+        !next
+  in
+  let mapping () = Hashtbl.fold (fun name v acc -> (name, v) :: acc) table [] in
+  (var, mapping)
+
+let three_coloring ~edges ~nodes =
+  let var, mapping = allocator () in
+  let colour v k = var (Printf.sprintf "c%d_%d" v k) in
+  let at_least_one = List.map (fun v -> [ colour v 0; colour v 1; colour v 2 ]) nodes in
+  let at_most_one =
+    List.concat_map
+      (fun v ->
+        [ [ -colour v 0; -colour v 1 ];
+          [ -colour v 0; -colour v 2 ];
+          [ -colour v 1; -colour v 2 ] ])
+      nodes
+  in
+  let edge_clauses =
+    List.concat_map
+      (fun (u, w) ->
+        if u = w then [ [] ] (* a self-loop is uncolourable *)
+        else
+          List.map (fun k -> [ -colour u k; -colour w k ]) [ 0; 1; 2 ])
+      edges
+  in
+  ((at_least_one @ at_most_one @ edge_clauses), mapping ())
+
+let decode_coloring var_map assignment =
+  List.filter_map
+    (fun (name, v) ->
+      if List.assoc_opt v assignment = Some true then
+        (* names look like "c<node>_<colour>"; Scanf's %d would swallow
+           the underscore (numeric separator), so split by hand *)
+        match String.split_on_char '_' name with
+        | [ head; colour ]
+          when String.length head > 1 && head.[0] = 'c' -> (
+            match
+              ( int_of_string_opt (String.sub head 1 (String.length head - 1)),
+                int_of_string_opt colour )
+            with
+            | Some node, Some colour -> Some (node, colour)
+            | _ -> None)
+        | _ -> None
+      else None)
+    var_map
+
+module D = Datalog
+module Ts = D.Facts.Tuple_set
+
+let active_domain facts =
+  let module Vs = Set.Make (struct
+    type t = Relational.Value.t
+
+    let compare = Relational.Value.compare_poly
+  end) in
+  let vs =
+    List.fold_left
+      (fun acc pred ->
+        Ts.fold
+          (fun tup acc -> Array.fold_left (fun acc v -> Vs.add v acc) acc tup)
+          (D.Facts.get facts pred) acc)
+      Vs.empty (D.Facts.preds facts)
+  in
+  Vs.elements vs
+
+let cq_vars (cq : D.Containment.cq) =
+  List.concat_map D.Ast.atom_vars cq.D.Containment.body
+  |> List.sort_uniq String.compare
+
+let boolean_cq (cq : D.Containment.cq) facts =
+  let var, mapping = allocator () in
+  let domain = Array.of_list (active_domain facts) in
+  let n = Array.length domain in
+  let qvars = cq_vars cq in
+  let assign_var qv k = var (Printf.sprintf "h_%s_%d" qv k) in
+  (* each query variable maps to exactly one domain element *)
+  let at_least_one =
+    List.map (fun qv -> List.init n (fun k -> assign_var qv k)) qvars
+  in
+  let at_most_one =
+    List.concat_map
+      (fun qv ->
+        List.concat
+          (List.init n (fun k ->
+               List.filteri (fun k' _ -> k' > k) (List.init n Fun.id)
+               |> List.map (fun k' -> [ -assign_var qv k; -assign_var qv k' ]))))
+      qvars
+  in
+  (* per atom: some matching tuple is selected, and selecting it forces the
+     variables' images *)
+  let atom_clauses =
+    List.concat (List.mapi
+      (fun ai (atom : D.Ast.atom) ->
+        let tuples = Ts.elements (D.Facts.get facts atom.D.Ast.pred) in
+        let candidates =
+          (* tuples consistent with the atom's constants *)
+          List.filteri
+            (fun _ tup ->
+              List.length atom.D.Ast.args = Array.length tup
+              && List.for_all2
+                   (fun arg v ->
+                     match arg with
+                     | D.Ast.Const c -> Relational.Value.equal c v
+                     | D.Ast.Var _ -> true)
+                   atom.D.Ast.args (Array.to_list tup))
+            tuples
+        in
+        let pick_vars =
+          List.mapi
+            (fun ti _ -> var (Printf.sprintf "pick_%d_%d" ai ti))
+            candidates
+        in
+        let index_of v =
+          let rec loop k =
+            if k >= n then
+              invalid_arg "boolean_cq: fact value outside active domain"
+            else if Relational.Value.equal domain.(k) v then k
+            else loop (k + 1)
+          in
+          loop 0
+        in
+        let implications =
+          List.concat
+            (List.mapi
+               (fun ti tup ->
+                 let pick = List.nth pick_vars ti in
+                 List.concat
+                   (List.mapi
+                      (fun pos arg ->
+                        match arg with
+                        | D.Ast.Var qv ->
+                            [ [ -pick; assign_var qv (index_of tup.(pos)) ] ]
+                        | D.Ast.Const _ -> [])
+                      atom.D.Ast.args))
+               (List.map
+                  (fun tup -> tup)
+                  candidates))
+        in
+        (match pick_vars with [] -> [ [] ] | _ -> [ pick_vars ]) @ implications)
+      cq.D.Containment.body)
+  in
+  ((at_least_one @ at_most_one @ atom_clauses), mapping ())
+
+let cq_holds_via_sat cq facts =
+  let vars = cq_vars cq in
+  if vars <> [] && active_domain facts = [] then false
+  else begin
+    let cnf, _ = boolean_cq cq facts in
+    Dpll.is_satisfiable cnf
+  end
+
+let cq_holds_directly (cq : D.Containment.cq) facts =
+  let rec search env = function
+    | [] -> true
+    | (atom : D.Ast.atom) :: rest ->
+        let tuples = D.Facts.get facts atom.D.Ast.pred in
+        Ts.exists
+          (fun tup ->
+            match D.Engine.match_tuple atom.D.Ast.args tup env with
+            | Some env' -> search env' rest
+            | None -> false)
+          tuples
+  in
+  search [] cq.D.Containment.body

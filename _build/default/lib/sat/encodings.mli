@@ -1,0 +1,30 @@
+(** Cook-style reductions into SAT.
+
+    Two database-flavoured NP-complete problems are reduced to CNF:
+    graph 3-colorability, and Boolean conjunctive-query evaluation
+    (equivalently, homomorphism existence — the database side of the
+    Cook/Fagin connection the essay highlights in §3). *)
+
+type var_map = (string * int) list
+(** Names the encoder gave to CNF variables, for decoding models. *)
+
+val three_coloring : edges:(int * int) list -> nodes:int list -> Cnf.t * var_map
+(** Variable ["c<v>_<k>"] means node [v] gets colour [k ∈ {0,1,2}]. *)
+
+val decode_coloring : var_map -> Cnf.assignment -> (int * int) list
+(** Node → colour pairs from a satisfying assignment. *)
+
+val boolean_cq :
+  Datalog.Containment.cq ->
+  Datalog.Facts.t ->
+  Cnf.t * var_map
+(** Satisfiable iff the Boolean CQ (head ignored) has a homomorphism into
+    the facts.  Variable ["h_<qvar>_<k>"] means query variable [qvar]
+    maps to the [k]-th value of the active domain; per-atom auxiliary
+    variables pick a supporting tuple. *)
+
+val cq_holds_via_sat : Datalog.Containment.cq -> Datalog.Facts.t -> bool
+
+val cq_holds_directly : Datalog.Containment.cq -> Datalog.Facts.t -> bool
+(** Backtracking homomorphism search, the baseline the SAT route is
+    compared against. *)

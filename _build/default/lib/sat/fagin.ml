@@ -1,0 +1,197 @@
+type term = V of string | C of int
+
+type fo =
+  | Guess of string * term list
+  | Base of string * term list
+  | Eq of term * term
+  | Not of fo
+  | And of fo * fo
+  | Or of fo * fo
+  | Implies of fo * fo
+  | Forall of string * fo
+  | Exists of string * fo
+
+type sentence = { guesses : (string * int) list; matrix : fo }
+
+type structure = { domain : int list; base : (string * int list list) list }
+
+exception Ill_formed of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+(* Propositional circuits produced by grounding. *)
+type circuit =
+  | Ctrue
+  | Cfalse
+  | Cvar of int
+  | Cnot of circuit
+  | Cand of circuit list
+  | Cor of circuit list
+
+let value env = function
+  | C k -> k
+  | V x -> (
+      match List.assoc_opt x env with
+      | Some k -> k
+      | None -> err "free first-order variable %S" x)
+
+let ground structure sentence =
+  let var_table = Hashtbl.create 64 in
+  let next_var = ref 0 in
+  let guess_var rel tuple =
+    let key = (rel, tuple) in
+    match Hashtbl.find_opt var_table key with
+    | Some v -> v
+    | None ->
+        incr next_var;
+        Hashtbl.add var_table key !next_var;
+        !next_var
+  in
+  let base_holds rel tuple =
+    match List.assoc_opt rel structure.base with
+    | Some rows -> List.mem tuple rows
+    | None -> err "unknown base relation %S" rel
+  in
+  let guess_arity rel =
+    match List.assoc_opt rel sentence.guesses with
+    | Some a -> a
+    | None -> err "unknown guessed relation %S" rel
+  in
+  let rec go env = function
+    | Guess (rel, ts) ->
+        let tuple = List.map (value env) ts in
+        if List.length tuple <> guess_arity rel then
+          err "guessed relation %S arity mismatch" rel;
+        Cvar (guess_var rel tuple)
+    | Base (rel, ts) ->
+        if base_holds rel (List.map (value env) ts) then Ctrue else Cfalse
+    | Eq (a, b) -> if value env a = value env b then Ctrue else Cfalse
+    | Not f -> Cnot (go env f)
+    | And (f, g) -> Cand [ go env f; go env g ]
+    | Or (f, g) -> Cor [ go env f; go env g ]
+    | Implies (f, g) -> Cor [ Cnot (go env f); go env g ]
+    | Forall (x, f) ->
+        Cand (List.map (fun k -> go ((x, k) :: env) f) structure.domain)
+    | Exists (x, f) ->
+        Cor (List.map (fun k -> go ((x, k) :: env) f) structure.domain)
+  in
+  let circuit = go [] sentence.matrix in
+  let decode assignment =
+    List.map
+      (fun (rel, _) ->
+        let rows =
+          Hashtbl.fold
+            (fun (r, tuple) v acc ->
+              if String.equal r rel && List.assoc_opt v assignment = Some true
+              then tuple :: acc
+              else acc)
+            var_table []
+        in
+        (rel, List.sort compare rows))
+      sentence.guesses
+  in
+  (circuit, next_var, decode)
+
+(* Tseitin transformation: each internal gate gets a fresh variable. *)
+let tseitin circuit next_var =
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  let fresh () =
+    incr next_var;
+    !next_var
+  in
+  (* returns a literal equivalent to the subcircuit, or a constant *)
+  let rec enc = function
+    | Ctrue -> `Const true
+    | Cfalse -> `Const false
+    | Cvar v -> `Lit v
+    | Cnot f -> (
+        match enc f with
+        | `Const b -> `Const (not b)
+        | `Lit l -> `Lit (-l))
+    | Cand fs -> (
+        let parts = List.map enc fs in
+        if List.exists (fun p -> p = `Const false) parts then `Const false
+        else begin
+          let lits =
+            List.filter_map (function `Lit l -> Some l | `Const _ -> None) parts
+          in
+          match lits with
+          | [] -> `Const true
+          | [ l ] -> `Lit l
+          | _ ->
+              let g = fresh () in
+              List.iter (fun l -> emit [ -g; l ]) lits;
+              emit (g :: List.map (fun l -> -l) lits);
+              `Lit g
+        end)
+    | Cor fs -> (
+        let parts = List.map enc fs in
+        if List.exists (fun p -> p = `Const true) parts then `Const true
+        else begin
+          let lits =
+            List.filter_map (function `Lit l -> Some l | `Const _ -> None) parts
+          in
+          match lits with
+          | [] -> `Const false
+          | [ l ] -> `Lit l
+          | _ ->
+              let g = fresh () in
+              List.iter (fun l -> emit [ g; -l ]) lits;
+              emit (-g :: lits);
+              `Lit g
+        end)
+  in
+  match enc circuit with
+  | `Const true -> Some []
+  | `Const false -> None
+  | `Lit root ->
+      emit [ root ];
+      Some !clauses
+
+let solve structure sentence =
+  let circuit, next_var, decode = ground structure sentence in
+  match tseitin circuit next_var with
+  | None -> None
+  | Some cnf -> (
+      match Dpll.solve cnf with
+      | Dpll.Unsat -> None
+      | Dpll.Sat assignment -> Some (decode assignment))
+
+let decide structure sentence = solve structure sentence <> None
+
+let model = solve
+
+let three_colorability =
+  let x = V "x" and y = V "y" in
+  let one_of =
+    Or (Guess ("r", [ x ]), Or (Guess ("g", [ x ]), Guess ("b", [ x ])))
+  in
+  let at_most =
+    And
+      ( Not (And (Guess ("r", [ x ]), Guess ("g", [ x ]))),
+        And
+          ( Not (And (Guess ("r", [ x ]), Guess ("b", [ x ]))),
+            Not (And (Guess ("g", [ x ]), Guess ("b", [ x ]))) ) )
+  in
+  let edge_ok colour =
+    Implies
+      ( Base ("edge", [ x; y ]),
+        Not (And (Guess (colour, [ x ]), Guess (colour, [ y ]))) )
+  in
+  {
+    guesses = [ ("r", 1); ("g", 1); ("b", 1) ];
+    matrix =
+      And
+        ( Forall ("x", And (one_of, at_most)),
+          Forall
+            ( "x",
+              Forall
+                ("y", And (edge_ok "r", And (edge_ok "g", edge_ok "b"))) ) );
+  }
+
+let structure_of_graph ~edges ~nodes =
+  {
+    domain = nodes;
+    base = [ ("edge", List.map (fun (a, b) -> [ a; b ]) edges) ];
+  }

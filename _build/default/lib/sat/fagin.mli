@@ -1,0 +1,49 @@
+(** A miniature of Fagin's theorem: deciding existential second-order
+    sentences on finite structures by reduction to SAT.
+
+    Fagin's theorem [Fa] "makes such a connection between computation and
+    logic even more directly" (§3): NP = properties definable by
+    ∃SO sentences.  Here the model checker grounds the first-order part
+    over the structure's domain, turns the guessed relations' atoms into
+    propositional variables, and hands the result to the DPLL solver —
+    NP-ness made operational. *)
+
+type term = V of string | C of int
+
+type fo =
+  | Guess of string * term list  (** atom over a guessed relation *)
+  | Base of string * term list  (** atom over an input relation *)
+  | Eq of term * term
+  | Not of fo
+  | And of fo * fo
+  | Or of fo * fo
+  | Implies of fo * fo
+  | Forall of string * fo
+  | Exists of string * fo
+
+type sentence = {
+  guesses : (string * int) list;  (** guessed relation names with arities *)
+  matrix : fo;  (** must be a sentence: no free first-order variables *)
+}
+
+type structure = {
+  domain : int list;
+  base : (string * int list list) list;  (** input relations *)
+}
+
+exception Ill_formed of string
+
+val decide : structure -> sentence -> bool
+(** Raises {!Ill_formed} on free variables, unknown relations, or arity
+    mismatches. *)
+
+val model : structure -> sentence -> (string * int list list) list option
+(** The guessed relations of some satisfying assignment, when one
+    exists. *)
+
+val three_colorability : sentence
+(** The classic ∃SO sentence over a base relation [edge/2]: ∃ R G B,
+    every vertex has exactly one colour and no edge is monochromatic.
+    (Vertices are the domain.) *)
+
+val structure_of_graph : edges:(int * int) list -> nodes:int list -> structure

@@ -1,0 +1,55 @@
+type system = float -> float array -> float array
+
+let axpy a x y = Array.mapi (fun i yi -> yi +. (a *. x.(i))) y
+
+let euler_step f ~t ~dt y = axpy dt (f t y) y
+
+let rk4_step f ~t ~dt y =
+  let k1 = f t y in
+  let k2 = f (t +. (dt /. 2.)) (axpy (dt /. 2.) k1 y) in
+  let k3 = f (t +. (dt /. 2.)) (axpy (dt /. 2.) k2 y) in
+  let k4 = f (t +. dt) (axpy dt k3 y) in
+  Array.mapi
+    (fun i yi ->
+      yi +. (dt /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+    y
+
+let integrate ?(method_ = `Rk4) f ~y0 ~t0 ~t1 ~steps =
+  assert (steps > 0 && t1 > t0);
+  let dt = (t1 -. t0) /. float_of_int steps in
+  let step =
+    match method_ with `Rk4 -> rk4_step f | `Euler -> euler_step f
+  in
+  let out = Array.make (steps + 1) (t0, y0) in
+  let y = ref y0 in
+  for i = 1 to steps do
+    let t = t0 +. (dt *. float_of_int (i - 1)) in
+    y := step ~t ~dt !y;
+    out.(i) <- (t +. dt, !y)
+  done;
+  out
+
+let sample_at trajectory ~times =
+  let n = Array.length trajectory in
+  assert (n > 0);
+  let interp time =
+    let t0, y0 = trajectory.(0) in
+    let tn, yn = trajectory.(n - 1) in
+    if time <= t0 then y0
+    else if time >= tn then yn
+    else begin
+      (* binary search for the bracketing interval *)
+      let rec search lo hi =
+        if hi - lo <= 1 then (lo, hi)
+        else
+          let mid = (lo + hi) / 2 in
+          let tm, _ = trajectory.(mid) in
+          if tm <= time then search mid hi else search lo mid
+      in
+      let lo, hi = search 0 (n - 1) in
+      let tl, yl = trajectory.(lo) and th, yh = trajectory.(hi) in
+      let frac = if th = tl then 0. else (time -. tl) /. (th -. tl) in
+      Array.mapi (fun i v -> v +. (frac *. (yh.(i) -. v))) yl
+    end
+  in
+  Array.map interp times

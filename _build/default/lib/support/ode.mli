@@ -1,0 +1,29 @@
+(** Fixed-step numerical integration of ordinary differential equations.
+
+    Used by the Lotka–Volterra competition model that the paper invokes to
+    describe the succession of research traditions in Figure 3. *)
+
+type system = float -> float array -> float array
+(** [f t y] returns dy/dt at time [t] and state [y]. *)
+
+val rk4_step : system -> t:float -> dt:float -> float array -> float array
+(** One classical Runge–Kutta (RK4) step. *)
+
+val euler_step : system -> t:float -> dt:float -> float array -> float array
+(** One forward-Euler step (kept as a baseline for accuracy tests). *)
+
+val integrate :
+  ?method_:[ `Rk4 | `Euler ] ->
+  system ->
+  y0:float array ->
+  t0:float ->
+  t1:float ->
+  steps:int ->
+  (float * float array) array
+(** [integrate f ~y0 ~t0 ~t1 ~steps] returns the trajectory sampled at each
+    of the [steps + 1] grid points, including the initial condition. *)
+
+val sample_at :
+  (float * float array) array -> times:float array -> float array array
+(** [sample_at trajectory ~times] linearly interpolates the trajectory at
+    the requested times; result is indexed \[time\]\[component\]. *)

@@ -1,0 +1,94 @@
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* mix used when deriving the gamma of a split stream; must yield odd values. *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  let z = Int64.logor z 1L in
+  let n = Int64.logxor z (Int64.shift_right_logical z 1) in
+  (* force enough bit transitions, as in the reference splitmix64 *)
+  let popcount x =
+    let rec loop x acc = if Int64.equal x 0L then acc else loop (Int64.shift_right_logical x 1) (acc + Int64.to_int (Int64.logand x 1L)) in
+    loop x 0
+  in
+  if popcount n < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let create seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let next_seed t =
+  t.state <- Int64.add t.state t.gamma;
+  t.state
+
+let bits64 t = mix64 (next_seed t)
+
+let split t =
+  let s = next_seed t in
+  let g = next_seed t in
+  { state = mix64 s; gamma = mix_gamma g }
+
+let copy t = { state = t.state; gamma = t.gamma }
+
+let int t bound =
+  assert (bound > 0);
+  (* land with max_int keeps the value non-negative after the 64->63 bit
+     truncation of Int64.to_int *)
+  let r = Int64.to_int (bits64 t) land max_int in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let pick_list t l = pick t (Array.of_list l)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let zipf t ~n ~s =
+  assert (n > 0);
+  if s = 0. then int t n
+  else begin
+    (* inverse-CDF sampling over the (small) support; n is bounded by the
+       database size in our workloads so the O(n) scan is acceptable. *)
+    let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+    let total = Array.fold_left ( +. ) 0. weights in
+    let u = float t total in
+    let rec loop i acc =
+      if i = n - 1 then i
+      else
+        let acc = acc +. weights.(i) in
+        if u < acc then i else loop (i + 1) acc
+    in
+    loop 0 0.
+  end
+
+let gaussian t =
+  let u1 = Float.max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+let exponential t lambda =
+  let u = Float.max 1e-12 (float t 1.0) in
+  -.Float.log u /. lambda

@@ -1,0 +1,133 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int n
+  end
+
+let stddev xs = Float.sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort Float.compare ys;
+  ys
+
+let median xs =
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n = 0 then 0.
+  else if n mod 2 = 1 then ys.(n / 2)
+  else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.
+
+let percentile xs p =
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n = 0 then 0.
+  else if n = 1 then ys.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+  end
+
+let autocorrelation xs lag =
+  let n = Array.length xs in
+  if lag <= 0 || lag >= n then 0.
+  else begin
+    let m = mean xs in
+    let denom = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    if denom = 0. then 0.
+    else begin
+      let num = ref 0. in
+      for i = 0 to n - 1 - lag do
+        num := !num +. ((xs.(i) -. m) *. (xs.(i + lag) -. m))
+      done;
+      !num /. denom
+    end
+  end
+
+let moving_average xs w =
+  assert (w > 0);
+  let n = Array.length xs in
+  Array.init n (fun i ->
+      let lo = max 0 (i - w + 1) in
+      let count = i - lo + 1 in
+      let sum = ref 0. in
+      for j = lo to i do
+        sum := !sum +. xs.(j)
+      done;
+      !sum /. float_of_int count)
+
+let diff xs =
+  let n = Array.length xs in
+  if n <= 1 then [||] else Array.init (n - 1) (fun i -> xs.(i + 1) -. xs.(i))
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys || n < 2 then 0.
+  else begin
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0. || !syy = 0. then 0. else !sxy /. Float.sqrt (!sxx *. !syy)
+  end
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n >= 2);
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx in
+    sxy := !sxy +. (dx *. (ys.(i) -. my));
+    sxx := !sxx +. (dx *. dx)
+  done;
+  let slope = if !sxx = 0. then 0. else !sxy /. !sxx in
+  (slope, my -. (slope *. mx))
+
+let sum_squared_error xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys);
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let d = xs.(i) -. ys.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let harmonic_strength xs period =
+  let n = Array.length xs in
+  if n < period || period < 2 then 0.
+  else begin
+    let m = mean xs in
+    (* DFT coefficient at the frequency whose period is [period] samples *)
+    let re = ref 0. and im = ref 0. in
+    for i = 0 to n - 1 do
+      let angle = 2. *. Float.pi *. float_of_int i /. float_of_int period in
+      let x = xs.(i) -. m in
+      re := !re +. (x *. Float.cos angle);
+      im := !im +. (x *. Float.sin angle)
+    done;
+    let power = ((!re *. !re) +. (!im *. !im)) /. float_of_int (n * n) in
+    let var = variance xs in
+    if var = 0. then 0. else power /. var
+  end

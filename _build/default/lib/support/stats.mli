@@ -1,0 +1,49 @@
+(** Small descriptive-statistics toolkit used by the time-series analysis of
+    the PODS retrospective (Figure 3) and by the benchmark harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0. on arrays shorter than 2. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on the empty array. *)
+
+val median : float array -> float
+(** Median (average of middle two for even length); input not modified. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank with linear
+    interpolation; input not modified. *)
+
+val autocorrelation : float array -> int -> float
+(** [autocorrelation xs lag] is the sample autocorrelation at [lag];
+    0. when undefined (constant or too-short series). *)
+
+val moving_average : float array -> int -> float array
+(** [moving_average xs w] is the trailing window average: output index [i]
+    averages inputs [max 0 (i-w+1) .. i].  With [w = 2] this is exactly the
+    "two-year average" smoothing the paper applies in Figure 3. *)
+
+val diff : float array -> float array
+(** First differences; length [n-1]. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation of two equal-length series; 0. when undefined. *)
+
+val linear_fit : float array -> float array -> float * float
+(** [linear_fit xs ys] returns [(slope, intercept)] of the least-squares
+    line. *)
+
+val sum_squared_error : float array -> float array -> float
+(** Sum of squared pointwise differences of two equal-length series. *)
+
+val harmonic_strength : float array -> int -> float
+(** [harmonic_strength xs period] measures the spectral power of the given
+    period relative to total variance, via the discrete Fourier coefficient
+    at frequency [n/period].  The paper observes "a strong two-year
+    harmonic" in the raw PODS series; this is the statistic that detects
+    it. *)

@@ -1,0 +1,104 @@
+let render ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render_row r =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ')
+         r)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  (match all with
+  | h :: rest ->
+      Buffer.add_string buf (render_row h);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf sep;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun r ->
+          Buffer.add_string buf (render_row r);
+          Buffer.add_char buf '\n')
+        rest
+  | [] -> ());
+  Buffer.contents buf
+
+let print ~header rows = print_string (render ~header rows)
+
+let blocks = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline xs =
+  if Array.length xs = 0 then ""
+  else begin
+    let lo, hi = Stats.min_max xs in
+    let span = if hi = lo then 1. else hi -. lo in
+    let buf = Buffer.create (Array.length xs * 3) in
+    Array.iter
+      (fun x ->
+        let level = int_of_float ((x -. lo) /. span *. 8.) in
+        Buffer.add_string buf blocks.(max 0 (min 8 level)))
+      xs;
+    Buffer.contents buf
+  end
+
+let ascii_plot ?(height = 12) ?labels series =
+  match series with
+  | [] -> ""
+  | first :: _ ->
+      let n = Array.length first in
+      let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |] in
+      let lo, hi =
+        List.fold_left
+          (fun (lo, hi) s ->
+            if Array.length s = 0 then (lo, hi)
+            else
+              let l, h = Stats.min_max s in
+              (Float.min lo l, Float.max hi h))
+          (Float.infinity, Float.neg_infinity)
+          series
+      in
+      let span = if hi <= lo then 1. else hi -. lo in
+      let grid = Array.make_matrix height n ' ' in
+      List.iteri
+        (fun si s ->
+          let g = glyphs.(si mod Array.length glyphs) in
+          Array.iteri
+            (fun i x ->
+              if i < n then begin
+                let row =
+                  height - 1
+                  - int_of_float ((x -. lo) /. span *. float_of_int (height - 1))
+                in
+                let row = max 0 (min (height - 1) row) in
+                grid.(row).(i) <- g
+              end)
+            s)
+        series;
+      let buf = Buffer.create (height * (n + 8)) in
+      Array.iteri
+        (fun r row ->
+          let axis_val = hi -. (float_of_int r /. float_of_int (height - 1) *. span) in
+          Buffer.add_string buf (Printf.sprintf "%7.1f |" axis_val);
+          Array.iter (fun c -> Buffer.add_char buf c; Buffer.add_char buf ' ') row;
+          Buffer.add_char buf '\n')
+        grid;
+      (match labels with
+      | Some ls ->
+          Buffer.add_string buf "         legend: ";
+          List.iteri
+            (fun i l ->
+              Buffer.add_string buf
+                (Printf.sprintf "%c=%s  " glyphs.(i mod Array.length glyphs) l))
+            ls;
+          Buffer.add_char buf '\n'
+      | None -> ());
+      Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/transactions/locks.ml: Hashtbl List Schedule String

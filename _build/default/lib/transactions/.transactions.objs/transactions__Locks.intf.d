@@ -1,0 +1,1 @@
+lib/transactions/locks.mli: Schedule

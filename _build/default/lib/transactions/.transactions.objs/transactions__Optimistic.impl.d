@@ -1,0 +1,1 @@
+lib/transactions/optimistic.ml: Hashtbl List Printf Protocol Schedule Set String

@@ -1,0 +1,1 @@
+lib/transactions/optimistic.mli: Protocol

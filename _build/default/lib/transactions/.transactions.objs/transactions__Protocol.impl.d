@@ -1,0 +1,1 @@
+lib/transactions/protocol.ml: List Schedule

@@ -1,0 +1,1 @@
+lib/transactions/protocol.mli: Schedule

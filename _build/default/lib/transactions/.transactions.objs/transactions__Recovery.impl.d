@@ -1,0 +1,1 @@
+lib/transactions/recovery.ml: Hashtbl Int List Schedule String Support

@@ -1,0 +1,1 @@
+lib/transactions/recovery.mli: Schedule Support

@@ -1,0 +1,1 @@
+lib/transactions/schedule.ml: Int List Printf String

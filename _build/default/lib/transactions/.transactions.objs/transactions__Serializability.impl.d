@@ -1,0 +1,1 @@
+lib/transactions/serializability.ml: Hashtbl List Schedule String

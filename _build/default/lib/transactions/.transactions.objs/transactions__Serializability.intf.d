@@ -1,0 +1,1 @@
+lib/transactions/serializability.mli: Schedule

@@ -1,0 +1,1 @@
+lib/transactions/simulation.ml: Array Hashtbl List Protocol Schedule String

@@ -1,0 +1,1 @@
+lib/transactions/simulation.mli: Protocol Schedule

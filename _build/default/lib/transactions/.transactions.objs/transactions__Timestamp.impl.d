@@ -1,0 +1,1 @@
+lib/transactions/timestamp.ml: Hashtbl Printf Protocol Schedule

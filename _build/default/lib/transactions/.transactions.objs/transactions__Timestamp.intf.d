@@ -1,0 +1,1 @@
+lib/transactions/timestamp.mli: Protocol

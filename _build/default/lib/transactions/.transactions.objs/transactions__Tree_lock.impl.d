@@ -1,0 +1,1 @@
+lib/transactions/tree_lock.ml: Hashtbl List Locks Printf Protocol Schedule String

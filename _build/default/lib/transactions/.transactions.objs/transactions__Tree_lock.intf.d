@@ -1,0 +1,1 @@
+lib/transactions/tree_lock.mli: Protocol

@@ -1,0 +1,1 @@
+lib/transactions/two_phase.ml: Hashtbl List Locks Printf Protocol Schedule

@@ -1,0 +1,1 @@
+lib/transactions/two_phase.mli: Protocol

@@ -1,0 +1,1 @@
+lib/transactions/workload.ml: Array List Printf Schedule Support

@@ -1,0 +1,1 @@
+lib/transactions/workload.mli: Simulation Support

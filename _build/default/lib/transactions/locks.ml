@@ -1,0 +1,48 @@
+type mode = Shared | Exclusive
+
+type t = (Schedule.item, (Schedule.txn * mode) list) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let holders t ~item =
+  match Hashtbl.find_opt t item with Some hs -> hs | None -> []
+
+let acquire t ~txn ~item mode =
+  let hs = holders t ~item in
+  let mine = List.assoc_opt txn hs in
+  let others = List.filter (fun (t', _) -> t' <> txn) hs in
+  match (mine, mode) with
+  | Some Exclusive, _ -> true
+  | Some Shared, Shared -> true
+  | Some Shared, Exclusive ->
+      (* upgrade allowed only as the sole holder *)
+      if others = [] then begin
+        Hashtbl.replace t item [ (txn, Exclusive) ];
+        true
+      end
+      else false
+  | None, Shared ->
+      if List.for_all (fun (_, m) -> m = Shared) others then begin
+        Hashtbl.replace t item ((txn, Shared) :: others);
+        true
+      end
+      else false
+  | None, Exclusive ->
+      if others = [] then begin
+        Hashtbl.replace t item [ (txn, Exclusive) ];
+        true
+      end
+      else false
+
+let release_all t ~txn =
+  Hashtbl.iter
+    (fun item hs ->
+      let hs' = List.filter (fun (t', _) -> t' <> txn) hs in
+      if List.length hs' <> List.length hs then Hashtbl.replace t item hs')
+    (Hashtbl.copy t)
+
+let held_items t ~txn =
+  Hashtbl.fold
+    (fun item hs acc -> if List.mem_assoc txn hs then item :: acc else acc)
+    t []
+  |> List.sort String.compare

@@ -1,0 +1,18 @@
+(** A shared/exclusive lock table. *)
+
+type mode = Shared | Exclusive
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> txn:Schedule.txn -> item:Schedule.item -> mode -> bool
+(** [true] when granted (including re-grants and S→X upgrades by a sole
+    holder); [false] when the request must wait.  Polling model: a denied
+    request leaves no queue entry — callers simply retry. *)
+
+val release_all : t -> txn:Schedule.txn -> unit
+
+val holders : t -> item:Schedule.item -> (Schedule.txn * mode) list
+
+val held_items : t -> txn:Schedule.txn -> Schedule.item list

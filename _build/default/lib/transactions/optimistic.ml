@@ -1,0 +1,71 @@
+module Sset = Set.Make (String)
+
+type txn_state = {
+  mutable start_tn : int;  (** commit counter at start *)
+  mutable read_set : Sset.t;
+  mutable write_set : Sset.t;
+  mutable write_order : Schedule.item list;  (** buffered, oldest first *)
+}
+
+let create () =
+  let commit_counter = ref 0 in
+  (* committed write sets, newest first: (commit number, write set) *)
+  let committed : (int * Sset.t) list ref = ref [] in
+  let states : (Schedule.txn, txn_state) Hashtbl.t = Hashtbl.create 16 in
+  let append, history = Protocol.recorder () in
+  let state txn =
+    match Hashtbl.find_opt states txn with
+    | Some s -> s
+    | None ->
+        invalid_arg (Printf.sprintf "optimistic: unknown transaction %d" txn)
+  in
+  let request txn action =
+    let s = state txn in
+    match action with
+    | Schedule.Read item ->
+        s.read_set <- Sset.add item s.read_set;
+        append (Schedule.r txn item);
+        Protocol.Granted
+    | Schedule.Write item ->
+        if not (Sset.mem item s.write_set) then begin
+          s.write_set <- Sset.add item s.write_set;
+          s.write_order <- s.write_order @ [ item ]
+        end;
+        Protocol.Granted
+    | Schedule.Commit | Schedule.Abort ->
+        invalid_arg "optimistic: commit/abort must go through try_commit/rollback"
+  in
+  {
+    Protocol.name = "optimistic";
+    declare = (fun _ _ -> ());
+    begin_txn =
+      (fun txn ->
+        Hashtbl.replace states txn
+          {
+            start_tn = !commit_counter;
+            read_set = Sset.empty;
+            write_set = Sset.empty;
+            write_order = [];
+          });
+    request;
+    try_commit =
+      (fun txn ->
+        let s = state txn in
+        let conflicts =
+          List.exists
+            (fun (tn, writes) ->
+              tn > s.start_tn && not (Sset.is_empty (Sset.inter writes s.read_set)))
+            !committed
+        in
+        if conflicts then Protocol.Rejected
+        else begin
+          (* install buffered writes, then commit *)
+          List.iter (fun item -> append (Schedule.w txn item)) s.write_order;
+          incr commit_counter;
+          committed := (!commit_counter, s.write_set) :: !committed;
+          append (Schedule.c txn);
+          Protocol.Granted
+        end);
+    rollback = (fun txn -> append (Schedule.a txn));
+    history;
+  }

@@ -1,0 +1,17 @@
+type verdict = Granted | Blocked | Rejected
+
+type t = {
+  name : string;
+  declare : Schedule.txn -> Schedule.item list -> unit;
+  begin_txn : Schedule.txn -> unit;
+  request : Schedule.txn -> Schedule.action -> verdict;
+  try_commit : Schedule.txn -> verdict;
+  rollback : Schedule.txn -> unit;
+  history : unit -> Schedule.t;
+}
+
+let recorder () =
+  let ops = ref [] in
+  let append op = ops := op :: !ops in
+  let snapshot () = List.rev !ops in
+  (append, snapshot)

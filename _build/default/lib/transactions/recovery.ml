@@ -1,0 +1,124 @@
+type value = int
+
+type record =
+  | Begin of Schedule.txn
+  | Write of Schedule.txn * Schedule.item * value * value
+  | Commit of Schedule.txn
+  | Abort of Schedule.txn
+
+type log = record list
+
+type store = (Schedule.item * value) list
+
+let read store item =
+  match List.assoc_opt item store with Some v -> v | None -> 0
+
+let write store item value = (item, value) :: List.remove_assoc item store
+
+let apply_log store log =
+  List.fold_left
+    (fun store record ->
+      match record with
+      | Write (_, item, _, after) -> write store item after
+      | Begin _ | Commit _ | Abort _ -> store)
+    store log
+
+let winners log =
+  List.filter_map (function Commit t -> Some t | _ -> None) log
+  |> List.sort_uniq Int.compare
+
+let losers log =
+  let begun =
+    List.filter_map (function Begin t -> Some t | _ -> None) log
+    |> List.sort_uniq Int.compare
+  in
+  let won = winners log in
+  List.filter (fun t -> not (List.mem t won)) begun
+
+let recover store log =
+  let lost = losers log in
+  (* undo losers' writes, newest first, restoring before-images *)
+  List.fold_left
+    (fun store record ->
+      match record with
+      | Write (t, item, before, _) when List.mem t lost ->
+          write store item before
+      | _ -> store)
+    store (List.rev log)
+
+let committed_state log =
+  let won = winners log in
+  List.fold_left
+    (fun store record ->
+      match record with
+      | Write (t, item, _, after) when List.mem t won -> write store item after
+      | _ -> store)
+    [] log
+
+(* Undo recovery needs strict execution: once a transaction writes an
+   item, no other writes it until the first commits — otherwise a loser's
+   before-image can resurrect a pre-winner value.  The simulator enforces
+   this with per-item write locks held to commit; each transaction's
+   writes are pre-sorted by item so lock acquisition follows a canonical
+   order and can never deadlock. *)
+let run_and_crash rng ~specs ~crash_at =
+  let specs =
+    List.map
+      (fun (t, writes) ->
+        (t, List.sort (fun (a, _) (b, _) -> String.compare a b) writes))
+      specs
+  in
+  let store = ref [] in
+  let log = ref [] in
+  let emitted = ref 0 in
+  let crashed () = !emitted >= crash_at in
+  let emit r =
+    log := r :: !log;
+    incr emitted;
+    match r with
+    | Write (_, item, _, after) -> store := write !store item after
+    | Begin _ | Commit _ | Abort _ -> ()
+  in
+  let locks : (Schedule.item, Schedule.txn) Hashtbl.t = Hashtbl.create 16 in
+  let states = Hashtbl.create 16 in
+  List.iter (fun (t, writes) -> Hashtbl.replace states t (`Not_started, writes)) specs;
+  let txns = List.map fst specs in
+  let can_progress t =
+    match Hashtbl.find states t with
+    | `Done, _ -> false
+    | `Not_started, _ -> true
+    | `Running, [] -> true
+    | `Running, (item, _) :: _ -> (
+        match Hashtbl.find_opt locks item with
+        | Some holder -> holder = t
+        | None -> true)
+  in
+  let step t =
+    match Hashtbl.find states t with
+    | `Not_started, writes ->
+        emit (Begin t);
+        Hashtbl.replace states t (`Running, writes)
+    | `Running, [] ->
+        emit (Commit t);
+        Hashtbl.iter
+          (fun item holder -> if holder = t then Hashtbl.remove locks item)
+          (Hashtbl.copy locks);
+        Hashtbl.replace states t (`Done, [])
+    | `Running, (item, v) :: rest ->
+        Hashtbl.replace locks item t;
+        emit (Write (t, item, read !store item, v));
+        Hashtbl.replace states t (`Running, rest)
+    | `Done, _ -> ()
+  in
+  let rec loop () =
+    if not (crashed ()) then begin
+      let runnable = List.filter can_progress txns in
+      match runnable with
+      | [] -> ()
+      | _ ->
+          step (List.nth runnable (Support.Rng.int rng (List.length runnable)));
+          loop ()
+    end
+  in
+  loop ();
+  (!store, List.rev !log)

@@ -1,0 +1,117 @@
+type txn = int
+type item = string
+
+type action = Read of item | Write of item | Commit | Abort
+
+type op = { txn : txn; action : action }
+
+type t = op list
+
+let r txn item = { txn; action = Read item }
+let w txn item = { txn; action = Write item }
+let c txn = { txn; action = Commit }
+let a txn = { txn; action = Abort }
+
+let of_string s =
+  let tokens =
+    String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+  in
+  let parse_op tok =
+    let fail () = invalid_arg (Printf.sprintf "Schedule.of_string: bad token %S" tok) in
+    if String.length tok < 2 then fail ();
+    let kind = tok.[0] in
+    match kind with
+    | 'c' | 'a' -> (
+        match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+        | Some n -> if kind = 'c' then c n else a n
+        | None -> fail ())
+    | 'r' | 'w' -> (
+        match String.index_opt tok '(' with
+        | Some i when String.length tok > i + 1 && tok.[String.length tok - 1] = ')'
+          -> (
+            let n = String.sub tok 1 (i - 1) in
+            let item = String.sub tok (i + 1) (String.length tok - i - 2) in
+            match int_of_string_opt n with
+            | Some n when item <> "" -> if kind = 'r' then r n item else w n item
+            | _ -> fail ())
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  List.map parse_op tokens
+
+let op_to_string { txn; action } =
+  match action with
+  | Read item -> Printf.sprintf "r%d(%s)" txn item
+  | Write item -> Printf.sprintf "w%d(%s)" txn item
+  | Commit -> Printf.sprintf "c%d" txn
+  | Abort -> Printf.sprintf "a%d" txn
+
+let to_string sched = String.concat " " (List.map op_to_string sched)
+
+let txns sched = List.sort_uniq Int.compare (List.map (fun o -> o.txn) sched)
+
+let committed sched =
+  List.filter_map
+    (fun o -> match o.action with Commit -> Some o.txn | _ -> None)
+    sched
+  |> List.sort_uniq Int.compare
+
+let aborted sched =
+  List.filter_map
+    (fun o -> match o.action with Abort -> Some o.txn | _ -> None)
+    sched
+  |> List.sort_uniq Int.compare
+
+let items sched =
+  List.filter_map
+    (fun o ->
+      match o.action with Read i | Write i -> Some i | Commit | Abort -> None)
+    sched
+  |> List.sort_uniq String.compare
+
+let project sched txn = List.filter (fun o -> o.txn = txn) sched
+
+let well_formed sched =
+  List.for_all
+    (fun t ->
+      let ops = project sched t in
+      let rec check seen_end = function
+        | [] -> true
+        | o :: rest -> (
+            if seen_end then false
+            else
+              match o.action with
+              | Commit | Abort -> check true rest
+              | Read _ | Write _ -> check false rest)
+      in
+      check false ops)
+    (txns sched)
+
+let committed_projection sched =
+  let ok = committed sched in
+  List.filter (fun o -> List.mem o.txn ok) sched
+
+let serial programs = List.concat programs
+
+let is_serial sched =
+  (* the sequence of transaction ids, with consecutive duplicates
+     collapsed, must not repeat any id *)
+  let rec collapse = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | x :: (y :: _ as rest) when x = y -> collapse rest
+    | x :: rest -> x :: collapse rest
+  in
+  let sequence = collapse (List.map (fun o -> o.txn) sched) in
+  List.length sequence = List.length (List.sort_uniq Int.compare sequence)
+
+let conflicting o1 o2 =
+  o1.txn <> o2.txn
+  &&
+  match (o1.action, o2.action) with
+  | Write x, Write y | Write x, Read y | Read x, Write y -> String.equal x y
+  | Read _, Read _ | _, (Commit | Abort) | (Commit | Abort), _ -> false
+
+let permutations_are_interleavings s1 s2 =
+  let t1 = txns s1 and t2 = txns s2 in
+  t1 = t2 && List.for_all (fun t -> project s1 t = project s2 t) t1

@@ -1,0 +1,201 @@
+open Schedule
+
+let precedence_graph sched =
+  let sched = committed_projection sched in
+  let rec edges acc = function
+    | [] -> acc
+    | o :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc o' ->
+              if conflicting o o' then (o.txn, o'.txn) :: acc else acc)
+            acc rest
+        in
+        edges acc rest
+  in
+  List.sort_uniq compare (edges [] sched)
+
+let topological_sort nodes edges =
+  let in_degree = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace in_degree n 0) nodes;
+  List.iter
+    (fun (_, dst) ->
+      Hashtbl.replace in_degree dst (1 + Hashtbl.find in_degree dst))
+    edges;
+  let rec loop acc remaining =
+    if remaining = [] then Some (List.rev acc)
+    else begin
+      match
+        List.find_opt (fun n -> Hashtbl.find in_degree n = 0) remaining
+      with
+      | None -> None (* cycle *)
+      | Some n ->
+          List.iter
+            (fun (src, dst) ->
+              if src = n then
+                Hashtbl.replace in_degree dst (Hashtbl.find in_degree dst - 1))
+            edges;
+          loop (n :: acc) (List.filter (fun m -> m <> n) remaining)
+    end
+  in
+  loop [] nodes
+
+let conflict_equivalent_serial_order sched =
+  let nodes = committed sched in
+  topological_sort nodes (precedence_graph sched)
+
+let is_conflict_serializable sched =
+  conflict_equivalent_serial_order sched <> None
+
+let conflict_pairs sched =
+  let rec pairs acc = function
+    | [] -> acc
+    | o :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc o' -> if conflicting o o' then (o, o') :: acc else acc)
+            acc rest
+        in
+        pairs acc rest
+  in
+  List.sort_uniq compare (pairs [] sched)
+
+let conflict_equivalent s1 s2 =
+  permutations_are_interleavings s1 s2 && conflict_pairs s1 = conflict_pairs s2
+
+let reads_from sched =
+  let rec go last_writer acc = function
+    | [] -> List.rev acc
+    | o :: rest -> (
+        match o.action with
+        | Read item ->
+            let writer = List.assoc_opt item last_writer in
+            go last_writer ((o.txn, item, writer) :: acc) rest
+        | Write item ->
+            go ((item, o.txn) :: List.remove_assoc item last_writer) acc rest
+        | Commit | Abort -> go last_writer acc rest)
+  in
+  go [] [] sched
+
+let final_writers sched =
+  let rec go acc = function
+    | [] -> acc
+    | o :: rest -> (
+        match o.action with
+        | Write item -> go ((item, o.txn) :: List.remove_assoc item acc) rest
+        | Read _ | Commit | Abort -> go acc rest)
+  in
+  List.sort compare (go [] sched)
+
+let view_equivalent s1 s2 =
+  permutations_are_interleavings s1 s2
+  && reads_from s1 = reads_from s2
+  && final_writers s1 = final_writers s2
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun p -> x :: p)
+            (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+let is_view_serializable sched =
+  let sched = committed_projection sched in
+  let ts = txns sched in
+  List.exists
+    (fun order ->
+      let serial = List.concat_map (project sched) order in
+      view_equivalent sched serial)
+    (permutations ts)
+
+(* --- recoverability ------------------------------------------------------- *)
+
+(* positions of operations, for temporal comparisons *)
+let indexed sched = List.mapi (fun i o -> (i, o)) sched
+
+let termination_index sched t =
+  List.find_map
+    (fun (i, o) ->
+      if o.txn = t then
+        match o.action with
+        | Commit -> Some (i, `Commit)
+        | Abort -> Some (i, `Abort)
+        | Read _ | Write _ -> None
+      else None)
+    (indexed sched)
+
+(* reads-from pairs with positions: (reader, read position, writer) where
+   the writer is a transaction (not the initial state) and the write is
+   the last one on that item before the read, by a different txn *)
+let read_from_pairs sched =
+  let ops = indexed sched in
+  List.filter_map
+    (fun (i, o) ->
+      match o.action with
+      | Read item ->
+          let writer =
+            List.fold_left
+              (fun acc (j, o') ->
+                match o'.action with
+                | Write item' when j < i && String.equal item item' && o'.txn <> o.txn
+                  -> (
+                    (* the write must not be from an already-aborted txn at
+                       read time *)
+                    match termination_index sched o'.txn with
+                    | Some (k, `Abort) when k < i -> acc
+                    | _ -> Some (j, o'.txn))
+                | _ -> acc)
+              None ops
+          in
+          (match writer with Some (j, wt) -> Some (o.txn, i, wt, j) | None -> None)
+      | _ -> None)
+    ops
+
+let is_recoverable sched =
+  List.for_all
+    (fun (reader, _, writer, _) ->
+      match (termination_index sched reader, termination_index sched writer) with
+      | Some (ci, `Commit), Some (cj, `Commit) -> cj < ci
+      | Some (_, `Commit), (Some (_, `Abort) | None) ->
+          (* reader committed although its source did not commit first *)
+          false
+      | (Some (_, `Abort) | None), _ -> true)
+    (read_from_pairs sched)
+
+let avoids_cascading_aborts sched =
+  List.for_all
+    (fun (_, read_pos, writer, _) ->
+      match termination_index sched writer with
+      | Some (cj, `Commit) -> cj < read_pos
+      | _ -> false)
+    (read_from_pairs sched)
+
+let is_strict sched =
+  let ops = indexed sched in
+  List.for_all
+    (fun (i, o) ->
+      match o.action with
+      | Read item | Write item ->
+          (* the last write on item before position i by another txn must
+             be terminated before i *)
+          let last_writer =
+            List.fold_left
+              (fun acc (j, o') ->
+                match o'.action with
+                | Write item' when j < i && String.equal item item' && o'.txn <> o.txn
+                  ->
+                    Some (j, o'.txn)
+                | _ -> acc)
+              None ops
+          in
+          (match last_writer with
+          | None -> true
+          | Some (_, wt) -> (
+              match termination_index sched wt with
+              | Some (k, _) -> k < i
+              | None -> false))
+      | Commit | Abort -> true)
+    ops

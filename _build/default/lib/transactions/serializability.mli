@@ -1,0 +1,45 @@
+(** Serializability and recoverability analysis.
+
+    Conflict serializability is decided by acyclicity of the precedence
+    graph (polynomial); view serializability by exhaustive search over
+    serial orders (the problem is NP-complete [Pai] — one of the negative
+    results that, per §3, "severely delimit the feasibly implementable
+    solutions" and justify why products settled on conflict-based
+    protocols). *)
+
+val precedence_graph : Schedule.t -> (Schedule.txn * Schedule.txn) list
+(** Edges t → t' between committed transactions with conflicting
+    operations, first operation first.  Deduplicated. *)
+
+val is_conflict_serializable : Schedule.t -> bool
+(** Acyclic precedence graph (over the committed projection). *)
+
+val conflict_equivalent_serial_order : Schedule.t -> Schedule.txn list option
+(** A topological order of the precedence graph, when one exists. *)
+
+val conflict_equivalent : Schedule.t -> Schedule.t -> bool
+(** Same operations and same ordering of conflicting pairs. *)
+
+val reads_from : Schedule.t -> (Schedule.txn * Schedule.item * Schedule.txn option) list
+(** [(reader, item, writer)] triples; [None] = reads the initial value.
+    Computed on the given schedule as-is. *)
+
+val view_equivalent : Schedule.t -> Schedule.t -> bool
+(** Same reads-from relation and same final writers. *)
+
+val is_view_serializable : Schedule.t -> bool
+(** Some serial order of the committed transactions is view-equivalent.
+    Exponential search — keep transaction counts small. *)
+
+(** Recoverability hierarchy: ST ⊂ ACA ⊂ RC (checked on the full
+    schedule, aborted transactions included). *)
+
+val is_recoverable : Schedule.t -> bool
+(** Every reader commits only after the writers it read from. *)
+
+val avoids_cascading_aborts : Schedule.t -> bool
+(** Transactions only read values written by already-terminated-committed
+    transactions. *)
+
+val is_strict : Schedule.t -> bool
+(** No read or overwrite of an item with an uncommitted last writer. *)

@@ -1,0 +1,171 @@
+type spec = Schedule.action list
+
+type stats = {
+  protocol : string;
+  committed : int;
+  restarts : int;
+  deadlocks : int;
+  steps : int;
+  wasted_ops : int;
+  history : Schedule.t;
+}
+
+let incarnation_stride = 1000
+
+let base_txn t = t mod incarnation_stride
+
+let items_of_spec spec =
+  List.filter_map
+    (function
+      | Schedule.Read i | Schedule.Write i -> Some i
+      | Schedule.Commit | Schedule.Abort -> None)
+    spec
+  |> List.sort_uniq String.compare
+
+type txn_state = {
+  base : int;
+  program : Schedule.action array;
+  mutable incarnation : int;
+  mutable pc : int;
+  mutable finished : bool;
+  mutable blocked : bool;
+  mutable delay : int;  (* rounds to sit out after a restart (backoff) *)
+}
+
+let run ?(max_steps = 200_000) (protocol : Protocol.t) specs =
+  let states =
+    Array.mapi
+      (fun i spec ->
+        {
+          base = i;
+          program = Array.of_list spec;
+          incarnation = 0;
+          pc = 0;
+          finished = false;
+          blocked = false;
+          delay = 0;
+        })
+      specs
+  in
+  let runtime_id st = st.base + (incarnation_stride * st.incarnation) in
+  let start st =
+    let id = runtime_id st in
+    protocol.Protocol.declare id (items_of_spec (Array.to_list st.program));
+    protocol.Protocol.begin_txn id
+  in
+  Array.iter start states;
+  let steps = ref 0 in
+  let restarts = ref 0 in
+  let deadlocks = ref 0 in
+  let wasted = ref 0 in
+  let committed = ref 0 in
+  let restart st =
+    protocol.Protocol.rollback (runtime_id st);
+    incr restarts;
+    wasted := !wasted + st.pc;
+    st.incarnation <- st.incarnation + 1;
+    st.pc <- 0;
+    st.blocked <- false;
+    (* jittered exponential backoff: symmetric deterministic backoffs can
+       recreate the same deadlock cycle forever, so the jitter (a hash of
+       the transaction and its incarnation) breaks the symmetry *)
+    let window = min 64 (1 lsl min 6 st.incarnation) in
+    let jitter = Hashtbl.hash (st.base, st.incarnation) mod window in
+    st.delay <- 1 + jitter;
+    start st
+  in
+  let attempt st =
+    incr steps;
+    let id = runtime_id st in
+    if st.pc >= Array.length st.program then begin
+      match protocol.Protocol.try_commit id with
+      | Protocol.Granted ->
+          st.finished <- true;
+          incr committed
+      | Protocol.Rejected -> restart st
+      | Protocol.Blocked -> st.blocked <- true
+    end
+    else begin
+      match protocol.Protocol.request id st.program.(st.pc) with
+      | Protocol.Granted ->
+          st.pc <- st.pc + 1;
+          st.blocked <- false
+      | Protocol.Blocked -> st.blocked <- true
+      | Protocol.Rejected -> restart st
+    end
+  in
+  let all_done () = Array.for_all (fun st -> st.finished) states in
+  (* The driver cannot see which lock a protocol is blocked on, so it
+     cannot trace the wait-for graph.  Instead, on a no-progress round it
+     picks the most-starved blocked transaction as the survivor and aborts
+     every other blocked transaction with a backoff long enough for the
+     survivor to finish alone — guaranteeing the cycle breaks and someone
+     makes progress (starvation-free: the survivor choice prefers the
+     highest incarnation). *)
+  let break_deadlock () =
+    let blocked =
+      Array.to_list states
+      |> List.filter (fun st -> (not st.finished) && st.blocked)
+    in
+    match blocked with
+    | [] -> ()
+    | first :: _ ->
+        let survivor =
+          List.fold_left
+            (fun best st ->
+              if
+                st.incarnation > best.incarnation
+                || (st.incarnation = best.incarnation && st.base < best.base)
+              then st
+              else best)
+            first blocked
+        in
+        let grace = Array.length survivor.program + 3 in
+        List.iter
+          (fun st ->
+            if st.base <> survivor.base then begin
+              incr deadlocks;
+              restart st;
+              st.delay <- st.delay + grace
+            end)
+          blocked
+  in
+  let rec loop () =
+    if (not (all_done ())) && !steps < max_steps then begin
+      let progressed = ref false in
+      Array.iter
+        (fun st ->
+          if not st.finished then
+            if st.delay > 0 then begin
+              st.delay <- st.delay - 1;
+              progressed := true
+            end
+            else begin
+              let pc_before = st.pc
+              and fin_before = st.finished
+              and inc_before = st.incarnation in
+              attempt st;
+              if
+                st.pc <> pc_before || st.finished <> fin_before
+                || st.incarnation <> inc_before
+              then progressed := true
+            end)
+        states;
+      if not !progressed then break_deadlock ();
+      loop ()
+    end
+  in
+  loop ();
+  {
+    protocol = protocol.Protocol.name;
+    committed = !committed;
+    restarts = !restarts;
+    deadlocks = !deadlocks;
+    steps = !steps;
+    wasted_ops = !wasted;
+    history = protocol.Protocol.history ();
+  }
+
+let throughput stats =
+  if stats.steps = 0 then 0.
+  else float_of_int stats.committed /. float_of_int stats.steps

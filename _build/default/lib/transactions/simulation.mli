@@ -1,0 +1,31 @@
+(** The execution driver: feeds transaction programs to a protocol,
+    handles blocking, restarts, and deadlock resolution, and reports the
+    outcome statistics the concurrency-control benchmark tabulates.
+
+    Restarted transactions run under a fresh incarnation id
+    (base + 1000·k), so the recorded history stays well-formed and its
+    committed projection is analyzable with {!Serializability}. *)
+
+type spec = Schedule.action list
+(** Read/Write steps only; the driver issues the commit. *)
+
+type stats = {
+  protocol : string;
+  committed : int;  (** transactions that eventually committed *)
+  restarts : int;  (** aborts due to rejection or deadlock *)
+  deadlocks : int;  (** restarts caused by deadlock resolution *)
+  steps : int;  (** total operation attempts, a proxy for time *)
+  wasted_ops : int;  (** operations re-executed because of restarts *)
+  history : Schedule.t;  (** as recorded by the protocol *)
+}
+
+val run : ?max_steps:int -> Protocol.t -> spec array -> stats
+(** Round-robin driver.  When every live transaction is blocked, the
+    youngest blocked one is aborted and restarted (deadlock victim).
+    [max_steps] (default 1_000_000) bounds livelock. *)
+
+val throughput : stats -> float
+(** committed / steps. *)
+
+val base_txn : Schedule.txn -> Schedule.txn
+(** Incarnation id → original transaction index. *)

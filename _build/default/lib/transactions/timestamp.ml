@@ -1,0 +1,54 @@
+let create ?(thomas = false) () =
+  let clock = ref 0 in
+  let ts = Hashtbl.create 16 in
+  let read_ts = Hashtbl.create 64 in
+  let write_ts = Hashtbl.create 64 in
+  (* uncommitted writes per item, to emulate commit-time visibility would
+     complicate the model; basic TO applies operations immediately *)
+  let append, history = Protocol.recorder () in
+  let stamp txn =
+    match Hashtbl.find_opt ts txn with
+    | Some t -> t
+    | None -> invalid_arg (Printf.sprintf "timestamp: unknown transaction %d" txn)
+  in
+  let get table item =
+    match Hashtbl.find_opt table item with Some t -> t | None -> -1
+  in
+  let request txn action =
+    let t = stamp txn in
+    match action with
+    | Schedule.Read item ->
+        if t < get write_ts item then Protocol.Rejected
+        else begin
+          Hashtbl.replace read_ts item (max t (get read_ts item));
+          append (Schedule.r txn item);
+          Protocol.Granted
+        end
+    | Schedule.Write item ->
+        if t < get read_ts item then Protocol.Rejected
+        else if t < get write_ts item then
+          if thomas then Protocol.Granted (* obsolete write skipped *)
+          else Protocol.Rejected
+        else begin
+          Hashtbl.replace write_ts item t;
+          append (Schedule.w txn item);
+          Protocol.Granted
+        end
+    | Schedule.Commit | Schedule.Abort ->
+        invalid_arg "timestamp: commit/abort must go through try_commit/rollback"
+  in
+  {
+    Protocol.name = (if thomas then "timestamp+thomas" else "timestamp");
+    declare = (fun _ _ -> ());
+    begin_txn =
+      (fun txn ->
+        incr clock;
+        Hashtbl.replace ts txn !clock);
+    request;
+    try_commit =
+      (fun txn ->
+        append (Schedule.c txn);
+        Protocol.Granted);
+    rollback = (fun txn -> append (Schedule.a txn));
+    history;
+  }

@@ -1,0 +1,11 @@
+(** Basic timestamp ordering, with the Thomas write rule as an option.
+
+    Each (incarnation of a) transaction receives a monotone timestamp;
+    operations arriving "too late" relative to an item's read/write
+    timestamps reject the transaction, which restarts with a fresh
+    timestamp.  Never blocks, hence never deadlocks — it trades waiting
+    for restarts. *)
+
+val create : ?thomas:bool -> unit -> Protocol.t
+(** With [thomas] (default false), an outdated write is silently skipped
+    instead of rejecting the transaction. *)

@@ -1,0 +1,104 @@
+exception Bad_item of string
+
+let index_of_item item =
+  if String.length item >= 2 && item.[0] = 'x' then
+    match int_of_string_opt (String.sub item 1 (String.length item - 1)) with
+    | Some i when i >= 0 -> i
+    | _ -> raise (Bad_item item)
+  else raise (Bad_item item)
+
+let item_of_index i = Printf.sprintf "x%d" i
+
+let parent i = if i = 0 then None else Some ((i - 1) / 2)
+
+let rec depth i = match parent i with None -> 0 | Some p -> 1 + depth p
+
+let rec ancestor_at i target_depth =
+  if depth i = target_depth then i
+  else
+    match parent i with
+    | Some p -> ancestor_at p target_depth
+    | None -> i
+
+let rec lca a b =
+  let da = depth a and db = depth b in
+  if da > db then lca (ancestor_at a db) b
+  else if db > da then lca a (ancestor_at b da)
+  else if a = b then a
+  else
+    match (parent a, parent b) with
+    | Some pa, Some pb -> lca pa pb
+    | _ -> 0
+
+(* path from [top] (inclusive) down to [i] (inclusive) *)
+let path_down ~top i =
+  let rec up acc j =
+    if j = top then top :: acc
+    else
+      match parent j with
+      | Some p -> up (j :: acc) p
+      | None -> j :: acc
+  in
+  up [] i
+
+let create () =
+  let table = Locks.create () in
+  let entry : (Schedule.txn, int) Hashtbl.t = Hashtbl.create 16 in
+  let append, history = Protocol.recorder () in
+  let request txn action =
+    let item, record =
+      match action with
+      | Schedule.Read item -> (item, fun () -> append (Schedule.r txn item))
+      | Schedule.Write item -> (item, fun () -> append (Schedule.w txn item))
+      | Schedule.Commit | Schedule.Abort ->
+          invalid_arg "tree_lock: commit/abort must go through try_commit/rollback"
+    in
+    let i = index_of_item item in
+    let top =
+      match Hashtbl.find_opt entry txn with
+      | Some top -> top
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "tree_lock: transaction %d made a request before declare" txn)
+    in
+    (* the access set's LCA dominates every access, so the path exists *)
+    let path = path_down ~top:(lca top i) i in
+    let rec acquire = function
+      | [] ->
+          record ();
+          Protocol.Granted
+      | node :: rest ->
+          if
+            Locks.acquire table ~txn ~item:(item_of_index node) Locks.Exclusive
+          then acquire rest
+          else Protocol.Blocked
+    in
+    acquire path
+  in
+  {
+    Protocol.name = "tree-lock";
+    declare =
+      (fun txn items ->
+        match items with
+        | [] -> Hashtbl.replace entry txn 0
+        | first :: rest ->
+            let top =
+              List.fold_left
+                (fun acc it -> lca acc (index_of_item it))
+                (index_of_item first) rest
+            in
+            Hashtbl.replace entry txn top);
+    begin_txn = (fun _ -> ());
+    request;
+    try_commit =
+      (fun txn ->
+        append (Schedule.c txn);
+        Locks.release_all table ~txn;
+        Protocol.Granted);
+    rollback =
+      (fun txn ->
+        append (Schedule.a txn);
+        Locks.release_all table ~txn);
+    history;
+  }

@@ -1,0 +1,22 @@
+(** The tree (hierarchical) locking protocol — §6's "tree-based locking".
+
+    Data items are arranged in an implicit binary tree by integer suffix
+    (item ["x5"] is the child of ["x2"], etc.).  A transaction's first
+    lock is the lowest common ancestor of its declared access set; every
+    further lock requires the parent to be held.  All locks are exclusive
+    and held to the end (a legal, conservative instance of the protocol).
+    Deadlock-free by construction — the property the benchmark
+    demonstrates against 2PL. *)
+
+exception Bad_item of string
+(** Items must be named [x<int>]. *)
+
+val create : unit -> Protocol.t
+(** Requires {!Protocol.t.declare} to be called with the transaction's
+    full access set before its first request. *)
+
+val parent : int -> int option
+(** Tree structure on item indexes: parent of i is (i-1)/2; the root 0 has
+    none. *)
+
+val lca : int -> int -> int

@@ -1,0 +1,103 @@
+let create () =
+  let table = Locks.create () in
+  let append, history = Protocol.recorder () in
+  let request txn action =
+    match action with
+    | Schedule.Read item ->
+        if Locks.acquire table ~txn ~item Locks.Shared then begin
+          append (Schedule.r txn item);
+          Protocol.Granted
+        end
+        else Protocol.Blocked
+    | Schedule.Write item ->
+        if Locks.acquire table ~txn ~item Locks.Exclusive then begin
+          append (Schedule.w txn item);
+          Protocol.Granted
+        end
+        else Protocol.Blocked
+    | Schedule.Commit | Schedule.Abort ->
+        invalid_arg "two_phase: commit/abort must go through try_commit/rollback"
+  in
+  {
+    Protocol.name = "strict-2pl";
+    declare = (fun _ _ -> ());
+    begin_txn = (fun _ -> ());
+    request;
+    try_commit =
+      (fun txn ->
+        append (Schedule.c txn);
+        Locks.release_all table ~txn;
+        Protocol.Granted);
+    rollback =
+      (fun txn ->
+        append (Schedule.a txn);
+        Locks.release_all table ~txn);
+    history;
+  }
+
+let create_wait_die () =
+  let table = Locks.create () in
+  let append, history = Protocol.recorder () in
+  (* wait-die priorities: the timestamp of a transaction's FIRST
+     incarnation, so a restarted transaction keeps its seniority and
+     cannot starve *)
+  let clock = ref 0 in
+  let priority : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let base txn = txn mod 1000 in
+  let prio txn =
+    match Hashtbl.find_opt priority (base txn) with
+    | Some p -> p
+    | None ->
+        invalid_arg (Printf.sprintf "wait-die: unknown transaction %d" txn)
+  in
+  let try_lock txn item mode =
+    if Locks.acquire table ~txn ~item mode then Protocol.Granted
+    else begin
+      (* conflict: wait if older than every conflicting holder, die
+         otherwise *)
+      let holders = Locks.holders table ~item in
+      let conflicting =
+        List.filter
+          (fun (holder, hmode) ->
+            holder <> txn && (mode = Locks.Exclusive || hmode = Locks.Exclusive))
+          holders
+      in
+      if List.for_all (fun (holder, _) -> prio txn < prio holder) conflicting
+      then Protocol.Blocked
+      else Protocol.Rejected
+    end
+  in
+  let request txn action =
+    match action with
+    | Schedule.Read item ->
+        let verdict = try_lock txn item Locks.Shared in
+        if verdict = Protocol.Granted then append (Schedule.r txn item);
+        verdict
+    | Schedule.Write item ->
+        let verdict = try_lock txn item Locks.Exclusive in
+        if verdict = Protocol.Granted then append (Schedule.w txn item);
+        verdict
+    | Schedule.Commit | Schedule.Abort ->
+        invalid_arg "wait-die: commit/abort must go through try_commit/rollback"
+  in
+  {
+    Protocol.name = "2pl-wait-die";
+    declare = (fun _ _ -> ());
+    begin_txn =
+      (fun txn ->
+        if not (Hashtbl.mem priority (base txn)) then begin
+          incr clock;
+          Hashtbl.replace priority (base txn) !clock
+        end);
+    request;
+    try_commit =
+      (fun txn ->
+        append (Schedule.c txn);
+        Locks.release_all table ~txn;
+        Protocol.Granted);
+    rollback =
+      (fun txn ->
+        append (Schedule.a txn);
+        Locks.release_all table ~txn);
+    history;
+  }

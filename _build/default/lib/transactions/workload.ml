@@ -1,0 +1,24 @@
+type params = {
+  txns : int;
+  ops_per_txn : int;
+  items : int;
+  skew : float;
+  write_ratio : float;
+}
+
+let default =
+  { txns = 8; ops_per_txn = 6; items = 32; skew = 0.; write_ratio = 0.3 }
+
+let generate rng params =
+  Array.init params.txns (fun _ ->
+      List.init params.ops_per_txn (fun _ ->
+          let idx = Support.Rng.zipf rng ~n:params.items ~s:params.skew in
+          let item = Printf.sprintf "x%d" idx in
+          if Support.Rng.float rng 1.0 < params.write_ratio then
+            Schedule.Write item
+          else Schedule.Read item))
+
+let contention_level params =
+  float_of_int (params.txns * params.ops_per_txn)
+  /. float_of_int params.items
+  *. (1. +. params.skew)

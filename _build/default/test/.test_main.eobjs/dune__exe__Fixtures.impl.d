@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Array Format List Relational

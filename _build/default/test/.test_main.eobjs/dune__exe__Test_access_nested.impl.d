@@ -1,0 +1,1 @@
+test/test_access_nested.ml: Access Alcotest Array Fixtures Fun Hashtbl List Nested Printf QCheck2 QCheck_alcotest Relational Support

@@ -1,0 +1,1 @@
+test/test_calculus.ml: Alcotest Calculus Fixtures List QCheck2 QCheck_alcotest Relational String Support

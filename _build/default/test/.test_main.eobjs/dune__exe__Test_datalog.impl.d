@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Datalog Fixtures List Printf QCheck2 QCheck_alcotest Relational String Support

@@ -1,0 +1,1 @@
+test/test_dependencies.ml: Alcotest Array Char Dependencies Fixtures Fun List QCheck2 QCheck_alcotest Relational String Support

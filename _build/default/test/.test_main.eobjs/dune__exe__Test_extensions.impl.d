@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Datalog Dependencies Fixtures Float List Metatheory QCheck2 QCheck_alcotest Relational Sat Str_contains Support Transactions

@@ -1,0 +1,1 @@
+test/test_extensions2.ml: Alcotest Array Calculus Dependencies Fixtures Format List Metatheory Printf QCheck2 QCheck_alcotest Relational Stdlib String Support Transactions

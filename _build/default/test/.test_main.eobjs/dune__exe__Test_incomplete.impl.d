@@ -1,0 +1,1 @@
+test/test_incomplete.ml: Alcotest Array Fixtures Incomplete List QCheck2 QCheck_alcotest Relational Support

@@ -1,0 +1,1 @@
+test/test_integration.ml: Access Alcotest Array Calculus Datalog Dependencies Fixtures Incomplete List Nested QCheck2 QCheck_alcotest Relational Stdlib Support

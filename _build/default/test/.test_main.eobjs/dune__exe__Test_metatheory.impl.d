@@ -1,0 +1,1 @@
+test/test_metatheory.ml: Alcotest Array Float Fun List Metatheory Printf QCheck2 QCheck_alcotest Str_contains Support

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Fixtures Int List QCheck2 QCheck_alcotest Relational Support

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Datalog List QCheck2 QCheck_alcotest Relational Sat Stdlib Support

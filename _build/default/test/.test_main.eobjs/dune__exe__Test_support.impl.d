@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Float Fun Int64 List String Support

@@ -1,0 +1,1 @@
+test/test_transactions.ml: Alcotest Array List QCheck2 QCheck_alcotest Support Transactions

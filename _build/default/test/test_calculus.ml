@@ -1,0 +1,460 @@
+(* Tests for the calculus library: formula syntax, typing, safe-range
+   analysis, active-domain evaluation, and Codd's theorem in both
+   directions (including the round-trip property test). *)
+
+module R = Relational
+module A = R.Algebra
+module F = Calculus.Formula
+open R.Value
+open Fixtures
+
+let check_rel = Alcotest.check relation_testable
+let catalog = A.catalog_of_database university
+
+let v x = F.Var x
+let c k = F.Const k
+
+(* --- formula syntax ------------------------------------------------------ *)
+
+let test_free_vars () =
+  let f =
+    F.Exists ("y", F.And (F.Atom ("edge", [ v "x"; v "y" ]), F.Atom ("edge", [ v "y"; v "z" ])))
+  in
+  Alcotest.(check (list string)) "free vars" [ "x"; "z" ] (F.free_vars f)
+
+let test_rectify_no_rebinding () =
+  let f =
+    F.And
+      ( F.Exists ("x", F.Atom ("edge", [ v "x"; v "x" ])),
+        F.Exists ("x", F.Atom ("edge", [ v "x"; v "y" ])) )
+  in
+  let r = F.rectify f in
+  let bound_twice =
+    match r with
+    | F.And (F.Exists (a, _), F.Exists (b, _)) -> String.equal a b
+    | _ -> true
+  in
+  Alcotest.(check bool) "bound variables distinct" false bound_twice
+
+let test_rectify_preserves_semantics () =
+  let f =
+    F.And
+      ( F.Exists ("y", F.Atom ("edge", [ v "x"; v "y" ])),
+        F.Exists ("y", F.Atom ("edge", [ v "y"; v "x" ])) )
+  in
+  let q = { F.head = [ "x" ]; body = f } in
+  let q' = { F.head = [ "x" ]; body = F.rectify f } in
+  check_rel "same answers"
+    (Calculus.Active_domain.eval graph_db q)
+    (Calculus.Active_domain.eval graph_db q')
+
+let test_rename_free_capture_avoiding () =
+  (* renaming x->y must not let the bound y capture it *)
+  let f = F.Exists ("y", F.Atom ("edge", [ v "x"; v "y" ])) in
+  let g = F.rename_free [ ("x", "y") ] f in
+  (* the renamed formula must have y free *)
+  Alcotest.(check (list string)) "y now free" [ "y" ] (F.free_vars g)
+
+let test_remove_forall () =
+  let f = F.Forall ("x", F.Atom ("edge", [ v "x"; v "x" ])) in
+  match F.remove_forall f with
+  | F.Not (F.Exists ("x", F.Not _)) -> ()
+  | _ -> Alcotest.fail "expected double-negation encoding"
+
+let test_check_query_rejects () =
+  Alcotest.(check bool) "repeated head" true
+    (match F.check_query { F.head = [ "x"; "x" ]; body = F.Atom ("edge", [ v "x"; v "x" ]) } with
+    | () -> false
+    | exception F.Ill_formed _ -> true);
+  Alcotest.(check bool) "head not free" true
+    (match F.check_query { F.head = [ "z" ]; body = F.Atom ("edge", [ v "x"; v "y" ]) } with
+    | () -> false
+    | exception F.Ill_formed _ -> true)
+
+(* --- typing ---------------------------------------------------------------- *)
+
+let test_typing_from_atom () =
+  let env = Calculus.Typing.infer catalog (F.Atom ("students", [ v "s"; v "n"; v "y" ])) in
+  Alcotest.(check bool) "sid is int" true
+    (Calculus.Typing.type_of_var env "s" = TInt);
+  Alcotest.(check bool) "name is string" true
+    (Calculus.Typing.type_of_var env "n" = TString)
+
+let test_typing_unification () =
+  (* x compared with a typed variable inherits its type *)
+  let f =
+    F.And
+      ( F.Atom ("students", [ v "s"; v "n"; v "y" ]),
+        F.Cmp (A.Eq, v "x", v "s") )
+  in
+  let env = Calculus.Typing.infer catalog f in
+  Alcotest.(check bool) "x unified to int" true
+    (Calculus.Typing.type_of_var env "x" = TInt)
+
+let test_typing_conflict () =
+  let f =
+    F.And
+      ( F.Atom ("students", [ v "s"; v "n"; v "y" ]),
+        F.Cmp (A.Eq, v "s", c (String "oops")) )
+  in
+  Alcotest.(check bool) "conflict detected" true
+    (match Calculus.Typing.infer catalog f with
+    | _ -> false
+    | exception Calculus.Typing.Type_error _ -> true)
+
+let test_typing_untypeable () =
+  let f = F.Cmp (A.Eq, v "x", v "y") in
+  Alcotest.(check bool) "no concrete type" true
+    (match Calculus.Typing.infer catalog f with
+    | _ -> false
+    | exception Calculus.Typing.Type_error _ -> true)
+
+let test_typing_arity_mismatch () =
+  Alcotest.(check bool) "arity checked" true
+    (match Calculus.Typing.infer catalog (F.Atom ("students", [ v "x" ])) with
+    | _ -> false
+    | exception Calculus.Typing.Type_error _ -> true)
+
+(* --- safety ----------------------------------------------------------------- *)
+
+let safe q = Calculus.Safety.is_safe_range q = Calculus.Safety.Safe
+
+let test_safe_atom () =
+  Alcotest.(check bool) "atom is safe" true
+    (safe { F.head = [ "x"; "y" ]; body = F.Atom ("edge", [ v "x"; v "y" ]) })
+
+let test_unsafe_negation () =
+  Alcotest.(check bool) "bare negation unsafe" false
+    (safe { F.head = [ "x" ]; body = F.Not (F.Atom ("edge", [ v "x"; v "x" ])) })
+
+let test_safe_guarded_negation () =
+  let body =
+    F.And
+      ( F.Exists ("y", F.Atom ("edge", [ v "x"; v "y" ])),
+        F.Not (F.Atom ("edge", [ v "x"; v "x" ])) )
+  in
+  Alcotest.(check bool) "guarded negation safe" true (safe { F.head = [ "x" ]; body })
+
+let test_unsafe_disjunction () =
+  (* x restricted in only one disjunct *)
+  let body =
+    F.Or (F.Atom ("edge", [ v "x"; v "x" ]), F.Cmp (A.Ne, v "x", c (Int 0)))
+  in
+  Alcotest.(check bool) "half-restricted or" false (safe { F.head = [ "x" ]; body })
+
+let test_safe_disjunction () =
+  let body =
+    F.Or
+      ( F.Exists ("y", F.Atom ("edge", [ v "x"; v "y" ])),
+        F.Exists ("y", F.Atom ("edge", [ v "y"; v "x" ])) )
+  in
+  Alcotest.(check bool) "both disjuncts restrict x" true (safe { F.head = [ "x" ]; body })
+
+let test_safety_equality_propagation () =
+  let body =
+    F.And (F.Atom ("edge", [ v "x"; v "x" ]), F.Cmp (A.Eq, v "x", v "y"))
+  in
+  Alcotest.(check bool) "y restricted through x = y" true
+    (safe { F.head = [ "x"; "y" ]; body })
+
+let test_safety_constant_equality () =
+  Alcotest.(check bool) "x = 5 is safe" true
+    (safe { F.head = [ "x" ]; body = F.Cmp (A.Eq, v "x", c (Int 5)) })
+
+let test_unsafe_inequality_only () =
+  Alcotest.(check bool) "x < 5 alone is unsafe" false
+    (safe { F.head = [ "x" ]; body = F.Cmp (A.Lt, v "x", c (Int 5)) })
+
+let test_safe_forall_guarded () =
+  (* students enrolled in every cs course — the classic safe ∀ *)
+  let body =
+    F.And
+      ( F.Exists ("n", F.Exists ("yr", F.Atom ("students", [ v "s"; v "n"; v "yr" ]))),
+        F.Forall
+          ( "cid",
+            F.Or
+              ( F.Not
+                  (F.Exists
+                     ("t", F.Atom ("courses", [ v "cid"; v "t"; c (String "cs") ]))),
+                F.Exists ("g", F.Atom ("enrolled", [ v "s"; v "cid"; v "g" ])) ) ) )
+  in
+  Alcotest.(check bool) "relational division is safe" true (safe { F.head = [ "s" ]; body })
+
+(* --- active-domain evaluation ------------------------------------------------- *)
+
+let test_adom_eval_atom () =
+  let q = { F.head = [ "x"; "y" ]; body = F.Atom ("edge", [ v "x"; v "y" ]) } in
+  check_rel "atom query returns the relation"
+    (R.Relation.rename edges [ ("src", "x"); ("dst", "y") ])
+    (Calculus.Active_domain.eval graph_db q)
+
+let test_adom_eval_two_hop () =
+  let body =
+    F.Exists ("z", F.And (F.Atom ("edge", [ v "x"; v "z" ]), F.Atom ("edge", [ v "z"; v "y" ])))
+  in
+  let q = { F.head = [ "x"; "y" ]; body } in
+  let result = Calculus.Active_domain.eval graph_db q in
+  (* 1->3, 1->5, 2->4, 6->6, 7->7 *)
+  Alcotest.(check int) "two-hop pairs" 5 (R.Relation.cardinality result)
+
+let test_adom_eval_negation () =
+  (* vertices with an out-edge but no self-2-cycle *)
+  let body =
+    F.And
+      ( F.Exists ("y", F.Atom ("edge", [ v "x"; v "y" ])),
+        F.Not
+          (F.Exists
+             ( "y",
+               F.And
+                 (F.Atom ("edge", [ v "x"; v "y" ]), F.Atom ("edge", [ v "y"; v "x" ])) )) )
+  in
+  let q = { F.head = [ "x" ]; body } in
+  let result = Calculus.Active_domain.eval graph_db q in
+  (* sources are {1,2,3,6,7}; 6 and 7 lie on the 2-cycle *)
+  Alcotest.(check int) "non-cycle sources" 3 (R.Relation.cardinality result)
+
+let test_adom_eval_constant_in_query () =
+  (* {x | x = 99}: 99 is not in the database but is a query constant *)
+  let q = { F.head = [ "x" ]; body = F.Cmp (A.Eq, v "x", c (Int 99)) } in
+  let result = Calculus.Active_domain.eval graph_db q in
+  Alcotest.(check (list (list string))) "constant included" [ [ "99" ] ]
+    (List.map (List.map R.Value.to_string) (rows result))
+
+let test_adom_eval_forall () =
+  (* students enrolled in every cs course, via ∀ *)
+  let body =
+    F.And
+      ( F.Exists ("n", F.Exists ("yr", F.Atom ("students", [ v "s"; v "n"; v "yr" ]))),
+        F.Forall
+          ( "cid",
+            F.Or
+              ( F.Not
+                  (F.Exists
+                     ("t", F.Atom ("courses", [ v "cid"; v "t"; c (String "cs") ]))),
+                F.Exists ("g", F.Atom ("enrolled", [ v "s"; v "cid"; v "g" ])) ) ) )
+  in
+  let q = { F.head = [ "s" ]; body } in
+  let result = Calculus.Active_domain.eval university q in
+  Alcotest.(check (list (list string))) "ada" [ [ "1" ] ]
+    (List.map (List.map R.Value.to_string) (rows result))
+
+let test_adom_boolean_query () =
+  let q = { F.head = []; body = F.Exists ("x", F.Atom ("edge", [ v "x"; c (Int 4) ])) } in
+  Alcotest.(check int) "true" 1
+    (R.Relation.cardinality (Calculus.Active_domain.eval graph_db q));
+  let q2 = { F.head = []; body = F.Exists ("x", F.Atom ("edge", [ v "x"; c (Int 99) ])) } in
+  Alcotest.(check int) "false" 0
+    (R.Relation.cardinality (Calculus.Active_domain.eval graph_db q2))
+
+(* --- Codd: calculus -> algebra -------------------------------------------------- *)
+
+let translate_and_eval db q =
+  R.Eval.eval db (Calculus.To_algebra.translate_query db q)
+
+let codd_cases_graph =
+  [
+    ("atom", { F.head = [ "x"; "y" ]; body = F.Atom ("edge", [ v "x"; v "y" ]) });
+    ( "two-hop",
+      {
+        F.head = [ "x"; "y" ];
+        body =
+          F.Exists
+            ("z", F.And (F.Atom ("edge", [ v "x"; v "z" ]), F.Atom ("edge", [ v "z"; v "y" ])));
+      } );
+    ( "negation",
+      {
+        F.head = [ "x" ];
+        body =
+          F.And
+            ( F.Exists ("y", F.Atom ("edge", [ v "x"; v "y" ])),
+              F.Not (F.Atom ("edge", [ v "x"; v "x" ])) );
+      } );
+    ( "disjunction",
+      {
+        F.head = [ "x" ];
+        body =
+          F.Or
+            ( F.Exists ("y", F.Atom ("edge", [ v "x"; v "y" ])),
+              F.Exists ("y", F.Atom ("edge", [ v "y"; v "x" ])) );
+      } );
+    ( "constant",
+      { F.head = [ "x" ]; body = F.Cmp (A.Eq, v "x", c (Int 99)) } );
+    ( "comparison",
+      {
+        F.head = [ "x"; "y" ];
+        body = F.And (F.Atom ("edge", [ v "x"; v "y" ]), F.Cmp (A.Lt, v "x", v "y"));
+      } );
+    ( "repeated variable",
+      { F.head = [ "x" ]; body = F.Atom ("edge", [ v "x"; v "x" ]) } );
+    ( "forall (2-cycles)",
+      {
+        F.head = [ "x" ];
+        body =
+          F.And
+            ( F.Exists ("y", F.Atom ("edge", [ v "x"; v "y" ])),
+              F.Forall
+                ( "y",
+                  F.Or
+                    ( F.Not (F.Atom ("edge", [ v "x"; v "y" ])),
+                      F.Atom ("edge", [ v "y"; v "x" ]) ) ) );
+      } );
+    ( "boolean",
+      { F.head = []; body = F.Exists ("x", F.Atom ("edge", [ v "x"; c (Int 4) ])) } );
+  ]
+
+let test_codd_translation_graph () =
+  List.iter
+    (fun (name, q) ->
+      check_rel name
+        (Calculus.Active_domain.eval graph_db q)
+        (translate_and_eval graph_db q))
+    codd_cases_graph
+
+let test_codd_translation_university () =
+  let division =
+    {
+      F.head = [ "s" ];
+      body =
+        F.And
+          ( F.Exists ("n", F.Exists ("yr", F.Atom ("students", [ v "s"; v "n"; v "yr" ]))),
+            F.Forall
+              ( "cid",
+                F.Or
+                  ( F.Not
+                      (F.Exists
+                         ("t", F.Atom ("courses", [ v "cid"; v "t"; c (String "cs") ]))),
+                    F.Exists ("g", F.Atom ("enrolled", [ v "s"; v "cid"; v "g" ])) ) ) );
+    }
+  in
+  check_rel "division via calculus"
+    (Calculus.Active_domain.eval university division)
+    (translate_and_eval university division)
+
+let test_codd_output_well_typed () =
+  List.iter
+    (fun (name, q) ->
+      let e = Calculus.To_algebra.translate_query graph_db q in
+      Alcotest.(check bool) name true
+        (A.well_typed (A.catalog_of_database graph_db) e))
+    codd_cases_graph
+
+(* --- Codd: algebra -> calculus --------------------------------------------------- *)
+
+let test_from_algebra_cases () =
+  let cases =
+    [
+      ("base", A.Rel "students");
+      ("select", A.Select (A.Cmp (A.Ge, A.Attr "grade", A.Const (Int 85)), A.Rel "enrolled"));
+      ("project", A.Project ([ "sname" ], A.Rel "students"));
+      ("join", A.Join (A.Rel "students", A.Rel "enrolled"));
+      ( "diff",
+        A.Diff
+          ( A.Project ([ "sid" ], A.Rel "students"),
+            A.Project ([ "sid" ], A.Rel "enrolled") ) );
+      ( "union",
+        A.Union
+          ( A.Project ([ "sid" ], A.Rel "students"),
+            A.Project ([ "sid" ], A.Rel "enrolled") ) );
+      ( "rename",
+        A.Rename ([ ("sid", "id") ], A.Project ([ "sid" ], A.Rel "students")) );
+      ( "divide",
+        A.Divide
+          ( A.Project ([ "sid"; "cid" ], A.Rel "enrolled"),
+            A.Project
+              ( [ "cid" ],
+                A.Select (A.Cmp (A.Eq, A.Attr "dept", A.Const (String "cs")), A.Rel "courses") ) ) );
+      ("singleton", A.Singleton [ ("k", Int 5) ]);
+      ( "product",
+        A.Product
+          ( A.Project ([ "sid" ], A.Rel "students"),
+            A.Rename ([ ("cid", "cid2") ], A.Project ([ "cid" ], A.Rel "courses")) ) );
+    ]
+  in
+  List.iter
+    (fun (name, e) ->
+      let q = Calculus.From_algebra.query_of catalog e in
+      check_rel name (R.Eval.eval university e)
+        (Calculus.Active_domain.eval university q))
+    cases
+
+let test_from_algebra_safe_range () =
+  let e =
+    A.Diff
+      ( A.Project ([ "sid" ], A.Rel "students"),
+        A.Project ([ "sid" ], A.Rel "enrolled") )
+  in
+  let q = Calculus.From_algebra.query_of catalog e in
+  Alcotest.(check bool) "difference translates to safe query" true
+    (Calculus.Safety.is_safe_range q = Calculus.Safety.Safe)
+
+(* --- the round-trip property ------------------------------------------------------ *)
+
+let property count name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let prop_codd_roundtrip =
+  property 60 "algebra -> calculus -> algebra round trip" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let db =
+        R.Generator.random_database rng ~relations:2 ~arity:2 ~size:5 ~domain:4
+      in
+      let q = R.Generator.random_query rng db ~depth:2 ~domain:4 in
+      let catalog = A.catalog_of_database db in
+      let direct = R.Eval.eval db q in
+      let calc = Calculus.From_algebra.query_of catalog q in
+      let back = Calculus.To_algebra.translate_query db calc in
+      R.Relation.equal direct (R.Eval.eval db back))
+
+let prop_from_algebra_matches_adom_eval =
+  property 60 "algebra -> calculus matches active-domain eval" seed_gen
+    (fun seed ->
+      let rng = Support.Rng.create seed in
+      let db =
+        R.Generator.random_database rng ~relations:2 ~arity:2 ~size:5 ~domain:4
+      in
+      let q = R.Generator.random_query rng db ~depth:2 ~domain:4 in
+      let catalog = A.catalog_of_database db in
+      let direct = R.Eval.eval db q in
+      let calc = Calculus.From_algebra.query_of catalog q in
+      R.Relation.equal direct (Calculus.Active_domain.eval db calc))
+
+let suite =
+  [
+    Alcotest.test_case "free vars" `Quick test_free_vars;
+    Alcotest.test_case "rectify distinct binders" `Quick test_rectify_no_rebinding;
+    Alcotest.test_case "rectify preserves semantics" `Quick test_rectify_preserves_semantics;
+    Alcotest.test_case "rename_free capture avoiding" `Quick
+      test_rename_free_capture_avoiding;
+    Alcotest.test_case "remove forall" `Quick test_remove_forall;
+    Alcotest.test_case "check_query rejects" `Quick test_check_query_rejects;
+    Alcotest.test_case "typing from atom" `Quick test_typing_from_atom;
+    Alcotest.test_case "typing unification" `Quick test_typing_unification;
+    Alcotest.test_case "typing conflict" `Quick test_typing_conflict;
+    Alcotest.test_case "typing untypeable" `Quick test_typing_untypeable;
+    Alcotest.test_case "typing arity mismatch" `Quick test_typing_arity_mismatch;
+    Alcotest.test_case "safe atom" `Quick test_safe_atom;
+    Alcotest.test_case "unsafe bare negation" `Quick test_unsafe_negation;
+    Alcotest.test_case "safe guarded negation" `Quick test_safe_guarded_negation;
+    Alcotest.test_case "unsafe half-restricted or" `Quick test_unsafe_disjunction;
+    Alcotest.test_case "safe disjunction" `Quick test_safe_disjunction;
+    Alcotest.test_case "equality propagation" `Quick test_safety_equality_propagation;
+    Alcotest.test_case "x = const is safe" `Quick test_safety_constant_equality;
+    Alcotest.test_case "x < const alone unsafe" `Quick test_unsafe_inequality_only;
+    Alcotest.test_case "guarded forall safe" `Quick test_safe_forall_guarded;
+    Alcotest.test_case "adom eval atom" `Quick test_adom_eval_atom;
+    Alcotest.test_case "adom eval two-hop" `Quick test_adom_eval_two_hop;
+    Alcotest.test_case "adom eval negation" `Quick test_adom_eval_negation;
+    Alcotest.test_case "adom eval query constant" `Quick test_adom_eval_constant_in_query;
+    Alcotest.test_case "adom eval forall (division)" `Quick test_adom_eval_forall;
+    Alcotest.test_case "adom boolean query" `Quick test_adom_boolean_query;
+    Alcotest.test_case "codd translation (graph)" `Quick test_codd_translation_graph;
+    Alcotest.test_case "codd translation (university)" `Quick
+      test_codd_translation_university;
+    Alcotest.test_case "codd output well-typed" `Quick test_codd_output_well_typed;
+    Alcotest.test_case "from_algebra cases" `Quick test_from_algebra_cases;
+    Alcotest.test_case "from_algebra safe-range" `Quick test_from_algebra_safe_range;
+    prop_codd_roundtrip;
+    prop_from_algebra_matches_adom_eval;
+  ]

@@ -1,0 +1,585 @@
+(* Tests for the Datalog engine: parser, safety, stratification, the three
+   evaluation strategies and their agreement, magic sets, and CQ
+   containment/minimization. *)
+
+module D = Datalog
+module Ts = D.Facts.Tuple_set
+open Relational.Value
+
+let parse = D.Parser.parse_program
+let pquery = D.Parser.parse_query
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i =
+    if i + nn > nh then false
+    else if String.equal (String.sub haystack i nn) needle then true
+    else loop (i + 1)
+  in
+  loop 0
+
+let tuples_of_pairs pairs =
+  List.fold_left
+    (fun acc (a, b) -> Ts.add [| Int a; Int b |] acc)
+    Ts.empty pairs
+
+let check_tuples msg expected actual =
+  Alcotest.(check bool)
+    (msg ^ " (got " ^ string_of_int (Ts.cardinal actual) ^ ")")
+    true
+    (Ts.equal expected actual)
+
+(* --- parser ---------------------------------------------------------------- *)
+
+let test_parse_basic () =
+  let prog = parse "path(X, Y) :- edge(X, Y).\npath(X,Y) :- edge(X,Z), path(Z,Y)." in
+  Alcotest.(check int) "two rules" 2 (List.length prog);
+  Alcotest.(check string) "roundtrip"
+    "path(X, Y) :- edge(X, Y)."
+    (D.Ast.rule_to_string (List.hd prog))
+
+let test_parse_constants () =
+  let r = D.Parser.parse_rule {|p(X) :- q(X, 42, -7, 3.5, "hello world", abc, true).|} in
+  match r.D.Ast.body with
+  | [ D.Ast.Pos a ] ->
+      Alcotest.(check int) "seven args" 7 (List.length a.D.Ast.args);
+      Alcotest.(check bool) "int" true (List.nth a.D.Ast.args 1 = D.Ast.Const (Int 42));
+      Alcotest.(check bool) "negative int" true
+        (List.nth a.D.Ast.args 2 = D.Ast.Const (Int (-7)));
+      Alcotest.(check bool) "float" true (List.nth a.D.Ast.args 3 = D.Ast.Const (Float 3.5));
+      Alcotest.(check bool) "string" true
+        (List.nth a.D.Ast.args 4 = D.Ast.Const (String "hello world"));
+      Alcotest.(check bool) "bare ident is string const" true
+        (List.nth a.D.Ast.args 5 = D.Ast.Const (String "abc"));
+      Alcotest.(check bool) "bool" true (List.nth a.D.Ast.args 6 = D.Ast.Const (Bool true))
+  | _ -> Alcotest.fail "expected one positive literal"
+
+let test_parse_negation () =
+  let r = D.Parser.parse_rule "p(X) :- q(X), not r(X)." in
+  Alcotest.(check int) "two literals" 2 (List.length r.D.Ast.body);
+  Alcotest.(check bool) "second is negative" true
+    (match List.nth r.D.Ast.body 1 with
+    | D.Ast.Neg _ -> true
+    | D.Ast.Pos _ | D.Ast.Cmp _ -> false)
+
+let test_parse_comments () =
+  let prog = parse "% a comment\np(X) :- q(X). # another\n" in
+  Alcotest.(check int) "one rule" 1 (List.length prog)
+
+let test_parse_facts () =
+  let prog = parse "edge(1, 2). edge(2, 3)." in
+  let facts = D.Facts.of_program_facts prog in
+  Alcotest.(check int) "two facts" 2 (D.Facts.cardinality facts "edge")
+
+let test_parse_query () =
+  let q = pquery "?- path(1, X)." in
+  Alcotest.(check string) "query" "path(1, X)" (D.Ast.atom_to_string q);
+  let q2 = pquery "path(1, X)" in
+  Alcotest.(check string) "bare query" "path(1, X)" (D.Ast.atom_to_string q2)
+
+let test_parse_errors () =
+  let bad input =
+    match parse input with
+    | _ -> false
+    | exception D.Parser.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "missing dot" true (bad "p(X) :- q(X)");
+  Alcotest.(check bool) "unterminated string" true (bad {|p("x|});
+  Alcotest.(check bool) "bad token" true (bad "p(X) & q(X).");
+  Alcotest.(check bool) "missing paren" true (bad "p(X :- q(X).")
+
+let test_parse_error_position () =
+  match parse "p(X) :- q(X).\np(Y) :- ." with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception D.Parser.Parse_error msg ->
+      Alcotest.(check bool) "mentions line 2" true (contains msg "line 2")
+
+(* --- safety and stratification ------------------------------------------------ *)
+
+let test_safety_ok () =
+  D.Checks.check_safety D.Workloads.transitive_closure;
+  Alcotest.(check bool) "safe" true (D.Checks.is_safe D.Workloads.transitive_closure)
+
+let test_safety_head_var () =
+  let prog = parse "p(X, Y) :- q(X)." in
+  Alcotest.(check bool) "unsafe head" false (D.Checks.is_safe prog)
+
+let test_safety_negated_var () =
+  let prog = parse "p(X) :- q(X), not r(X, Y)." in
+  Alcotest.(check bool) "unsafe negation" false (D.Checks.is_safe prog)
+
+let test_safety_arity () =
+  let prog = parse "p(X) :- q(X). p(X, Y) :- q(X), q(Y)." in
+  Alcotest.(check bool) "inconsistent arity" false (D.Checks.is_safe prog)
+
+let test_stratify_positive_single () =
+  let strata = D.Checks.stratify D.Workloads.transitive_closure in
+  Alcotest.(check int) "one stratum" 1 (List.length strata)
+
+let test_stratify_negation () =
+  let strata = D.Checks.stratify D.Workloads.reachable_negation in
+  Alcotest.(check int) "two strata" 2 (List.length strata);
+  (* unreach must be in the later stratum *)
+  let last = List.nth strata (List.length strata - 1) in
+  Alcotest.(check (list string)) "unreach last" [ "unreach" ]
+    (List.sort_uniq String.compare (List.map D.Ast.head_pred last))
+
+let test_not_stratifiable () =
+  let prog = parse "p(X) :- q(X), not p(X)." in
+  Alcotest.(check bool) "p through not p" true
+    (match D.Checks.stratify prog with
+    | _ -> false
+    | exception D.Checks.Not_stratifiable _ -> true)
+
+let test_win_move_not_stratifiable () =
+  Alcotest.(check bool) "win/move negation in recursion" true
+    (match D.Checks.stratify D.Workloads.win_move with
+    | _ -> false
+    | exception D.Checks.Not_stratifiable _ -> true)
+
+let test_sccs_order () =
+  let prog = parse "a(X) :- b(X). b(X) :- c(X). c(X) :- base(X)." in
+  let sccs = D.Checks.sccs prog in
+  let pos p =
+    let rec find i = function
+      | [] -> -1
+      | comp :: rest -> if List.mem p comp then i else find (i + 1) rest
+    in
+    find 0 sccs
+  in
+  Alcotest.(check bool) "callees before callers" true
+    (pos "base" < pos "c" && pos "c" < pos "b" && pos "b" < pos "a")
+
+let test_is_recursive () =
+  Alcotest.(check bool) "tc recursive" true
+    (D.Checks.is_recursive D.Workloads.transitive_closure);
+  Alcotest.(check bool) "nonrecursive" false
+    (D.Checks.is_recursive (parse "p(X) :- q(X)."))
+
+(* --- evaluation ------------------------------------------------------------------ *)
+
+let tc_expected_chain n =
+  (* path(i,j) for all i < j in a 0..n chain *)
+  let pairs = ref [] in
+  for i = 0 to n do
+    for j = i + 1 to n do
+      pairs := (i, j) :: !pairs
+    done
+  done;
+  tuples_of_pairs !pairs
+
+let test_naive_tc_chain () =
+  let edb = D.Workloads.chain ~n:6 in
+  let result = D.Naive.eval D.Workloads.transitive_closure edb in
+  check_tuples "naive tc" (tc_expected_chain 6) (D.Facts.get result "path")
+
+let test_seminaive_tc_chain () =
+  let edb = D.Workloads.chain ~n:6 in
+  let result = D.Seminaive.eval D.Workloads.transitive_closure edb in
+  check_tuples "seminaive tc" (tc_expected_chain 6) (D.Facts.get result "path")
+
+let test_tc_cycle () =
+  let edb = D.Workloads.cycle ~n:5 in
+  let result = D.Seminaive.eval D.Workloads.transitive_closure edb in
+  (* every pair reachable: 5 * 5 *)
+  Alcotest.(check int) "all pairs on a cycle" 25
+    (D.Facts.cardinality result "path")
+
+let test_seminaive_fewer_derivations () =
+  let edb = D.Workloads.chain ~n:20 in
+  let _, naive = D.Naive.eval_with_stats D.Workloads.transitive_closure edb in
+  let _, semi = D.Seminaive.eval_with_stats D.Workloads.transitive_closure edb in
+  Alcotest.(check bool)
+    (Printf.sprintf "seminaive derives less (naive %d vs semi %d)"
+       naive.D.Naive.derivations semi.D.Naive.derivations)
+    true
+    (semi.D.Naive.derivations < naive.D.Naive.derivations)
+
+let test_same_generation () =
+  let edb = D.Workloads.binary_tree ~depth:3 in
+  let result = D.Seminaive.eval D.Workloads.same_generation edb in
+  let sg = D.Facts.get result "sg" in
+  (* siblings are same-generation *)
+  Alcotest.(check bool) "siblings" true (Ts.mem [| Int 8; Int 9 |] sg);
+  (* nodes at different depths are not *)
+  Alcotest.(check bool) "different depth" false (Ts.mem [| Int 2; Int 8 |] sg)
+
+let test_stratified_negation_eval () =
+  let edb = D.Workloads.chain ~n:3 in
+  let result = D.Seminaive.eval D.Workloads.reachable_negation edb in
+  let unreach = D.Facts.get result "unreach" in
+  (* 0 cannot be reached from 3 *)
+  Alcotest.(check bool) "3 cannot reach 0" true (Ts.mem [| Int 3; Int 0 |] unreach);
+  Alcotest.(check bool) "0 reaches 3" false (Ts.mem [| Int 0; Int 3 |] unreach);
+  (* no vertex reaches itself on a chain *)
+  Alcotest.(check bool) "self unreachable" true (Ts.mem [| Int 1; Int 1 |] unreach)
+
+let test_facts_in_program () =
+  let prog = parse {|
+    edge(1, 2). edge(2, 3).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  |} in
+  let result = D.Seminaive.eval prog D.Facts.empty in
+  Alcotest.(check int) "three paths" 3 (D.Facts.cardinality result "path")
+
+let test_nonground_fact_rejected () =
+  (* the safety check already rejects a rule whose head variable has no
+     positive body occurrence, which covers non-ground facts *)
+  Alcotest.(check bool) "variable in fact" true
+    (match D.Naive.eval (parse "p(X).") D.Facts.empty with
+    | _ -> false
+    | exception (Invalid_argument _ | D.Checks.Unsafe_rule _) -> true)
+
+let test_query_filtering () =
+  let edb = D.Workloads.chain ~n:5 in
+  let answers =
+    D.Seminaive.query D.Workloads.transitive_closure edb (pquery "path(0, X)")
+  in
+  Alcotest.(check int) "five targets" 5 (Ts.cardinal answers)
+
+(* --- comparison built-ins ----------------------------------------------------- *)
+
+let test_comparison_parse_roundtrip () =
+  let r = D.Parser.parse_rule "up(X, Y) :- edge(X, Y), X < Y, Y != 5." in
+  Alcotest.(check string) "roundtrip"
+    "up(X, Y) :- edge(X, Y), X < Y, Y <> 5."
+    (D.Ast.rule_to_string r);
+  Alcotest.(check int) "three literals" 3 (List.length r.D.Ast.body)
+
+let test_comparison_eval () =
+  let prog = parse "edge(1,2). edge(2,1). edge(3,3).\nup(X, Y) :- edge(X, Y), X < Y." in
+  let result = D.Seminaive.eval prog D.Facts.empty in
+  check_tuples "only ascending edge" (tuples_of_pairs [ (1, 2) ])
+    (D.Facts.get result "up")
+
+let test_comparison_with_constant () =
+  let prog = parse "n(1). n(2). n(3).\nbig(X) :- n(X), X >= 2." in
+  let result = D.Naive.eval prog D.Facts.empty in
+  Alcotest.(check int) "two bigs" 2 (D.Facts.cardinality result "big")
+
+let test_comparison_safety () =
+  (* a comparison variable must be bound by a positive atom *)
+  let prog = parse "p(X) :- q(X), X < Y." in
+  Alcotest.(check bool) "unbound comparison var" false (D.Checks.is_safe prog)
+
+let test_comparison_in_recursion () =
+  (* bounded transitive closure: only walk ascending edges *)
+  let prog = parse {|
+    edge(1,2). edge(2,3). edge(3,2). edge(3,4).
+    up(X, Y) :- edge(X, Y), X < Y.
+    upchain(X, Y) :- up(X, Y).
+    upchain(X, Y) :- up(X, Z), upchain(Z, Y).
+  |} in
+  let naive = D.Naive.eval prog D.Facts.empty in
+  let semi = D.Seminaive.eval prog D.Facts.empty in
+  Alcotest.(check bool) "naive = seminaive with comparisons" true
+    (D.Facts.equal naive semi);
+  check_tuples "ascending closure"
+    (tuples_of_pairs [ (1, 2); (2, 3); (3, 4); (1, 3); (1, 4); (2, 4) ])
+    (D.Facts.get semi "upchain")
+
+let test_comparison_in_magic () =
+  let prog = parse {|
+    edge(1,2). edge(2,3). edge(3,2). edge(3,4).
+    upchain(X, Y) :- edge(X, Y), X < Y.
+    upchain(X, Y) :- edge(X, Z), X < Z, upchain(Z, Y).
+  |} in
+  let q = pquery "upchain(1, X)" in
+  let semi = D.Seminaive.query prog D.Facts.empty q in
+  let magic = D.Magic.query prog D.Facts.empty q in
+  Alcotest.(check bool) "magic handles comparisons" true
+    (Ts.equal semi magic)
+
+let test_comparison_provenance () =
+  let prog = parse "n(1). n(5).\nbig(X) :- n(X), X > 3." in
+  let result, store = D.Provenance.eval prog D.Facts.empty in
+  Alcotest.(check int) "one big" 1 (D.Facts.cardinality result "big");
+  Alcotest.(check bool) "proof exists" true
+    (D.Provenance.proof_of store "big" [| Int 5 |] <> None)
+
+(* --- magic sets ------------------------------------------------------------------- *)
+
+let test_magic_rewrite_shape () =
+  let magic_prog, magic_query =
+    D.Magic.rewrite D.Workloads.transitive_closure (pquery "path(0, X)")
+  in
+  Alcotest.(check string) "query renamed" "path#bf(0, X)"
+    (D.Ast.atom_to_string magic_query);
+  (* the rewritten program must contain a magic seed fact *)
+  Alcotest.(check bool) "has seed" true
+    (List.exists
+       (fun r -> r.D.Ast.body = [] && D.Ast.head_pred r = "m#path#bf")
+       magic_prog)
+
+let test_magic_tc_point_query () =
+  let edb = D.Workloads.chain ~n:10 in
+  let q = pquery "path(0, X)" in
+  let expected = D.Seminaive.query D.Workloads.transitive_closure edb q in
+  let got = D.Magic.query D.Workloads.transitive_closure edb q in
+  check_tuples "magic agrees with seminaive" expected got
+
+let test_magic_restricts_work () =
+  (* on two disconnected chains, magic only explores the queried one *)
+  let edb1 = D.Workloads.chain ~n:30 in
+  let shifted =
+    D.Facts.add_list edb1 "edge"
+      (List.init 30 (fun i -> [ Int (100 + i); Int (101 + i) ]))
+  in
+  let q = pquery "path(0, 5)" in
+  let _, semi =
+    D.Seminaive.eval_with_stats D.Workloads.transitive_closure_left shifted
+  in
+  let _, magic =
+    D.Magic.query_with_stats D.Workloads.transitive_closure_left shifted q
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "magic derives less (semi %d vs magic %d)"
+       semi.D.Naive.derivations magic.D.Naive.derivations)
+    true
+    (magic.D.Naive.derivations < semi.D.Naive.derivations)
+
+let test_magic_same_generation () =
+  let edb = D.Workloads.binary_tree ~depth:3 in
+  let q = pquery "sg(8, X)" in
+  let expected = D.Seminaive.query D.Workloads.same_generation edb q in
+  let got = D.Magic.query D.Workloads.same_generation edb q in
+  check_tuples "magic sg" expected got
+
+let test_magic_all_free_query () =
+  let edb = D.Workloads.chain ~n:5 in
+  let q = pquery "path(X, Y)" in
+  let expected = D.Seminaive.query D.Workloads.transitive_closure edb q in
+  let got = D.Magic.query D.Workloads.transitive_closure edb q in
+  check_tuples "all-free magic" expected got
+
+let test_magic_rejects_negation () =
+  Alcotest.(check bool) "negation unsupported" true
+    (match D.Magic.rewrite D.Workloads.reachable_negation (pquery "unreach(0, X)") with
+    | _ -> false
+    | exception D.Magic.Unsupported _ -> true)
+
+let test_magic_edb_query () =
+  let edb = D.Workloads.chain ~n:5 in
+  let got = D.Magic.query D.Workloads.transitive_closure edb (pquery "edge(0, X)") in
+  Alcotest.(check int) "edb point query" 1 (Ts.cardinal got)
+
+(* --- containment -------------------------------------------------------------------- *)
+
+let cq_of s = D.Containment.of_rule (D.Parser.parse_rule s)
+
+let test_containment_basic () =
+  (* q1: paths of length 2; q2: edges-with-any-pair — q1 ⊆ q2? *)
+  let q1 = cq_of "q(X, Y) :- e(X, Z), e(Z, Y)." in
+  let q2 = cq_of "q(X, Y) :- e(X, Z2), e(Z3, Y)." in
+  Alcotest.(check bool) "q1 in q2" true (D.Containment.contained q1 q2);
+  Alcotest.(check bool) "q2 not in q1" false (D.Containment.contained q2 q1)
+
+let test_containment_reflexive () =
+  let q = cq_of "q(X, Y) :- e(X, Z), e(Z, Y)." in
+  Alcotest.(check bool) "q in q" true (D.Containment.contained q q)
+
+let test_containment_constants () =
+  let q1 = cq_of "q(X) :- e(X, 5)." in
+  let q2 = cq_of "q(X) :- e(X, Y)." in
+  Alcotest.(check bool) "specific in general" true (D.Containment.contained q1 q2);
+  Alcotest.(check bool) "general not in specific" false (D.Containment.contained q2 q1)
+
+let test_minimize_redundant_atom () =
+  (* e(X,Y), e(X,Z) minimizes to e(X,Y) modulo head use *)
+  let q = cq_of "q(X) :- e(X, Y), e(X, Z)." in
+  let m = D.Containment.minimize q in
+  Alcotest.(check int) "one atom" 1 (List.length m.D.Containment.body);
+  Alcotest.(check bool) "still equivalent" true (D.Containment.equivalent q m)
+
+let test_minimize_core_stays () =
+  let q = cq_of "q(X, Y) :- e(X, Z), e(Z, Y)." in
+  let m = D.Containment.minimize q in
+  Alcotest.(check int) "nothing to drop" 2 (List.length m.D.Containment.body)
+
+let test_of_rule_rejects_negation () =
+  Alcotest.(check bool) "negation rejected" true
+    (match cq_of "q(X) :- e(X, Y), not f(Y)." with
+    | _ -> false
+    | exception D.Containment.Not_conjunctive _ -> true)
+
+(* --- interop ---------------------------------------------------------------------- *)
+
+let test_facts_of_database () =
+  let facts = D.Interop.facts_of_database Fixtures.university in
+  Alcotest.(check int) "students" 5 (D.Facts.cardinality facts "students");
+  Alcotest.(check int) "enrolled" 9 (D.Facts.cardinality facts "enrolled")
+
+let test_datalog_over_relational () =
+  (* run TC over the relational graph fixture *)
+  let facts = D.Interop.facts_of_database Fixtures.graph_db in
+  let result = D.Seminaive.eval D.Workloads.transitive_closure facts in
+  Alcotest.(check bool) "1 reaches 4" true
+    (Ts.mem [| Int 1; Int 4 |] (D.Facts.get result "path"))
+
+let test_relation_of_tuples () =
+  let tuples = tuples_of_pairs [ (1, 2); (3, 4) ] in
+  let rel = D.Interop.relation_of_tuples tuples ~columns:[ "a"; "b" ] in
+  Alcotest.(check int) "two rows" 2 (Relational.Relation.cardinality rel)
+
+let test_cq_of_algebra () =
+  let module A = Relational.Algebra in
+  let catalog = A.catalog_of_database Fixtures.university in
+  let e =
+    A.Project ([ "sname" ], A.Join (A.Rel "students", A.Rel "enrolled"))
+  in
+  match D.Interop.cq_of_algebra catalog e with
+  | Some cq ->
+      Alcotest.(check int) "two atoms" 2 (List.length cq.D.Containment.body);
+      Alcotest.(check int) "one head term" 1 (List.length cq.D.Containment.head)
+  | None -> Alcotest.fail "SPJ expression should convert"
+
+let test_cq_of_algebra_rejects_union () =
+  let module A = Relational.Algebra in
+  let catalog = A.catalog_of_database Fixtures.university in
+  let e = A.Union (A.Rel "students", A.Rel "students") in
+  Alcotest.(check bool) "union not conjunctive" true
+    (D.Interop.cq_of_algebra catalog e = None)
+
+(* --- property tests ------------------------------------------------------------------ *)
+
+let property count name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let prop_naive_equals_seminaive_tc =
+  property 40 "naive = seminaive on random graphs (tc)" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let edb = D.Workloads.random_graph rng ~nodes:8 ~edges:14 in
+      let a = D.Naive.eval D.Workloads.transitive_closure edb in
+      let b = D.Seminaive.eval D.Workloads.transitive_closure edb in
+      D.Facts.equal a b)
+
+let prop_naive_equals_seminaive_negation =
+  property 30 "naive = seminaive with stratified negation" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let edb = D.Workloads.random_graph rng ~nodes:6 ~edges:9 in
+      let a = D.Naive.eval D.Workloads.reachable_negation edb in
+      let b = D.Seminaive.eval D.Workloads.reachable_negation edb in
+      D.Facts.equal a b)
+
+let prop_magic_equals_seminaive =
+  property 40 "magic = seminaive on point queries" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let edb = D.Workloads.random_graph rng ~nodes:8 ~edges:14 in
+      let src = Support.Rng.int rng 8 in
+      let q = pquery (Printf.sprintf "path(%d, X)" src) in
+      let a = D.Seminaive.query D.Workloads.transitive_closure edb q in
+      let b = D.Magic.query D.Workloads.transitive_closure edb q in
+      Ts.equal a b)
+
+let prop_tc_variants_agree =
+  property 30 "right- and left-linear tc agree" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let edb = D.Workloads.random_graph rng ~nodes:8 ~edges:14 in
+      let a = D.Seminaive.eval D.Workloads.transitive_closure edb in
+      let b = D.Seminaive.eval D.Workloads.transitive_closure_left edb in
+      Ts.equal (D.Facts.get a "path") (D.Facts.get b "path"))
+
+let prop_parser_roundtrip =
+  property 30 "print/parse roundtrip on workload programs" seed_gen
+    (fun seed ->
+      let progs =
+        [
+          D.Workloads.transitive_closure;
+          D.Workloads.same_generation;
+          D.Workloads.reachable_negation;
+        ]
+      in
+      let prog = List.nth progs (seed mod List.length progs) in
+      let printed = D.Ast.program_to_string prog in
+      D.Parser.parse_program printed = prog)
+
+let ( ==> ) a b = (not a) || b
+
+let prop_containment_minimize_sound =
+  property 30 "minimization preserves equivalence" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      (* random CQ over binary predicate e with up to 4 atoms *)
+      let vars = [| "X"; "Y"; "Z"; "W" |] in
+      let n_atoms = 1 + Support.Rng.int rng 4 in
+      let body =
+        List.init n_atoms (fun _ ->
+            D.Ast.atom "e"
+              [
+                D.Ast.Var (Support.Rng.pick rng vars);
+                D.Ast.Var (Support.Rng.pick rng vars);
+              ])
+      in
+      let head = [ D.Ast.Var "X" ] in
+      let q = { D.Containment.head; body } in
+      (* only test queries whose head variable occurs in the body *)
+      List.exists (fun a -> List.mem (D.Ast.Var "X") a.D.Ast.args) body
+      ==> (let m = D.Containment.minimize q in
+           D.Containment.equivalent q m
+           && List.length m.D.Containment.body <= List.length body))
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "parse constants" `Quick test_parse_constants;
+    Alcotest.test_case "parse negation" `Quick test_parse_negation;
+    Alcotest.test_case "parse comments" `Quick test_parse_comments;
+    Alcotest.test_case "parse facts" `Quick test_parse_facts;
+    Alcotest.test_case "parse query" `Quick test_parse_query;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse error position" `Quick test_parse_error_position;
+    Alcotest.test_case "safety ok" `Quick test_safety_ok;
+    Alcotest.test_case "unsafe head var" `Quick test_safety_head_var;
+    Alcotest.test_case "unsafe negated var" `Quick test_safety_negated_var;
+    Alcotest.test_case "inconsistent arity" `Quick test_safety_arity;
+    Alcotest.test_case "stratify positive" `Quick test_stratify_positive_single;
+    Alcotest.test_case "stratify negation" `Quick test_stratify_negation;
+    Alcotest.test_case "not stratifiable" `Quick test_not_stratifiable;
+    Alcotest.test_case "win/move not stratifiable" `Quick test_win_move_not_stratifiable;
+    Alcotest.test_case "scc order" `Quick test_sccs_order;
+    Alcotest.test_case "is_recursive" `Quick test_is_recursive;
+    Alcotest.test_case "naive tc chain" `Quick test_naive_tc_chain;
+    Alcotest.test_case "seminaive tc chain" `Quick test_seminaive_tc_chain;
+    Alcotest.test_case "tc on cycle" `Quick test_tc_cycle;
+    Alcotest.test_case "seminaive fewer derivations" `Quick
+      test_seminaive_fewer_derivations;
+    Alcotest.test_case "same generation" `Quick test_same_generation;
+    Alcotest.test_case "stratified negation eval" `Quick test_stratified_negation_eval;
+    Alcotest.test_case "facts in program" `Quick test_facts_in_program;
+    Alcotest.test_case "non-ground fact rejected" `Quick test_nonground_fact_rejected;
+    Alcotest.test_case "query filtering" `Quick test_query_filtering;
+    Alcotest.test_case "comparison parse roundtrip" `Quick test_comparison_parse_roundtrip;
+    Alcotest.test_case "comparison eval" `Quick test_comparison_eval;
+    Alcotest.test_case "comparison with constant" `Quick test_comparison_with_constant;
+    Alcotest.test_case "comparison safety" `Quick test_comparison_safety;
+    Alcotest.test_case "comparison in recursion" `Quick test_comparison_in_recursion;
+    Alcotest.test_case "comparison in magic" `Quick test_comparison_in_magic;
+    Alcotest.test_case "comparison provenance" `Quick test_comparison_provenance;
+    Alcotest.test_case "magic rewrite shape" `Quick test_magic_rewrite_shape;
+    Alcotest.test_case "magic tc point query" `Quick test_magic_tc_point_query;
+    Alcotest.test_case "magic restricts work" `Quick test_magic_restricts_work;
+    Alcotest.test_case "magic same generation" `Quick test_magic_same_generation;
+    Alcotest.test_case "magic all-free query" `Quick test_magic_all_free_query;
+    Alcotest.test_case "magic rejects negation" `Quick test_magic_rejects_negation;
+    Alcotest.test_case "magic edb query" `Quick test_magic_edb_query;
+    Alcotest.test_case "containment basic" `Quick test_containment_basic;
+    Alcotest.test_case "containment reflexive" `Quick test_containment_reflexive;
+    Alcotest.test_case "containment constants" `Quick test_containment_constants;
+    Alcotest.test_case "minimize redundant atom" `Quick test_minimize_redundant_atom;
+    Alcotest.test_case "minimize core stays" `Quick test_minimize_core_stays;
+    Alcotest.test_case "of_rule rejects negation" `Quick test_of_rule_rejects_negation;
+    Alcotest.test_case "facts of database" `Quick test_facts_of_database;
+    Alcotest.test_case "datalog over relational" `Quick test_datalog_over_relational;
+    Alcotest.test_case "relation of tuples" `Quick test_relation_of_tuples;
+    Alcotest.test_case "cq of algebra" `Quick test_cq_of_algebra;
+    Alcotest.test_case "cq of algebra rejects union" `Quick
+      test_cq_of_algebra_rejects_union;
+    prop_naive_equals_seminaive_tc;
+    prop_naive_equals_seminaive_negation;
+    prop_magic_equals_seminaive;
+    prop_tc_variants_agree;
+    prop_parser_roundtrip;
+    prop_containment_minimize_sound;
+  ]

@@ -1,0 +1,436 @@
+(* Tests for dependency theory: Armstrong's axioms, closures, keys,
+   covers, normal forms, decompositions, the chase, MVDs, and GYO
+   acyclicity. *)
+
+module Dep = Dependencies
+module Attrs = Dep.Attrs
+module Fd = Dep.Fd
+open Fixtures
+
+let attrs = Attrs.of_string
+let fd = Fd.of_string
+let fds = Fd.set_of_string
+
+let check_attrs msg expected actual =
+  Alcotest.(check string) msg (Attrs.to_string expected) (Attrs.to_string actual)
+
+(* --- attrs ------------------------------------------------------------------ *)
+
+let test_attrs_parsing () =
+  check_attrs "run together" (Attrs.of_list [ "A"; "B"; "C" ]) (attrs "ABC");
+  check_attrs "comma separated"
+    (Attrs.of_list [ "sid"; "cid" ])
+    (attrs "sid,cid");
+  check_attrs "space separated"
+    (Attrs.of_list [ "sid"; "cid" ])
+    (attrs "sid cid")
+
+(* --- armstrong axioms ---------------------------------------------------------- *)
+
+let test_reflexivity () =
+  Alcotest.(check bool) "AB -> B" true
+    (Fd.reflexivity (attrs "AB") (attrs "B") <> None);
+  Alcotest.(check bool) "A -> B invalid" true
+    (Fd.reflexivity (attrs "A") (attrs "B") = None)
+
+let test_augmentation () =
+  let out = Fd.augmentation (fd "A -> B") (attrs "C") in
+  Alcotest.(check string) "AC -> BC" "AC -> BC" (Fd.to_string out)
+
+let test_transitivity () =
+  match Fd.transitivity (fd "A -> B") (fd "B -> C") with
+  | Some out -> Alcotest.(check string) "A -> C" "A -> C" (Fd.to_string out)
+  | None -> Alcotest.fail "transitivity should apply"
+
+let test_axioms_sound () =
+  (* everything derivable by one axiom application is implied *)
+  let base = fds "A -> B; B -> C" in
+  let derived =
+    List.filter_map Fun.id
+      [
+        Fd.reflexivity (attrs "ABC") (attrs "AB");
+        Some (Fd.augmentation (fd "A -> B") (attrs "D"));
+        Fd.transitivity (fd "A -> B") (fd "B -> C");
+      ]
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) (Fd.to_string d) true
+        (Fd.implies (fds "A -> B; B -> C; D -> D" @ base) d))
+    derived
+
+(* --- closure / keys -------------------------------------------------------------- *)
+
+let test_closure_textbook () =
+  (* classic: R(ABCDEF), A->BC, B->E, CD->EF *)
+  let f = fds "A -> BC; B -> E; CD -> EF" in
+  check_attrs "A+ = ABCE" (attrs "ABCE") (Fd.closure (attrs "A") f);
+  check_attrs "AD+ = all" (attrs "ABCDEF") (Fd.closure (attrs "AD") f);
+  check_attrs "D+ = D" (attrs "D") (Fd.closure (attrs "D") f)
+
+let test_implies () =
+  let f = fds "A -> BC; B -> E; CD -> EF" in
+  Alcotest.(check bool) "AD -> F" true (Fd.implies f (fd "AD -> F"));
+  Alcotest.(check bool) "A -> D fails" false (Fd.implies f (fd "A -> D"))
+
+let test_candidate_keys_simple () =
+  let universe = attrs "ABC" in
+  let keys = Fd.candidate_keys ~universe (fds "A -> B; B -> C") in
+  Alcotest.(check (list string)) "only A" [ "A" ]
+    (List.map Attrs.to_string keys)
+
+let test_candidate_keys_multiple () =
+  (* R(AB) with A->B and B->A: both singletons are keys *)
+  let keys = Fd.candidate_keys ~universe:(attrs "AB") (fds "A -> B; B -> A") in
+  Alcotest.(check (list string)) "A and B" [ "A"; "B" ]
+    (List.map Attrs.to_string keys)
+
+let test_candidate_keys_no_fds () =
+  let keys = Fd.candidate_keys ~universe:(attrs "AB") [] in
+  Alcotest.(check (list string)) "whole universe" [ "AB" ]
+    (List.map Attrs.to_string keys)
+
+let test_candidate_keys_minimality () =
+  let universe = attrs "ABCD" in
+  let keys = Fd.candidate_keys ~universe (fds "AB -> CD; C -> A") in
+  (* AB and CB are keys *)
+  Alcotest.(check (list string)) "AB and BC" [ "AB"; "BC" ]
+    (List.map Attrs.to_string keys);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "is candidate key" true
+        (Fd.is_candidate_key k ~universe (fds "AB -> CD; C -> A")))
+    keys
+
+(* --- minimal cover ----------------------------------------------------------------- *)
+
+let test_minimal_cover_redundant_fd () =
+  let f = fds "A -> B; B -> C; A -> C" in
+  let cover = Fd.minimal_cover f in
+  Alcotest.(check int) "two FDs" 2 (List.length cover);
+  Alcotest.(check bool) "equivalent" true (Fd.equivalent_sets f cover)
+
+let test_minimal_cover_extraneous_lhs () =
+  let f = fds "AB -> C; A -> B" in
+  let cover = Fd.minimal_cover f in
+  Alcotest.(check bool) "equivalent" true (Fd.equivalent_sets f cover);
+  (* AB -> C reduces to A -> C since A -> B *)
+  Alcotest.(check bool) "A -> C in cover" true
+    (List.exists (fun g -> Fd.equal g (fd "A -> C")) cover)
+
+let test_minimal_cover_singleton_rhs () =
+  let cover = Fd.minimal_cover (fds "A -> BC") in
+  Alcotest.(check bool) "all singleton" true
+    (List.for_all (fun (g : Fd.t) -> Attrs.cardinal g.Fd.rhs = 1) cover)
+
+(* --- projection ----------------------------------------------------------------------- *)
+
+let test_project_transitive () =
+  (* R(ABC), A->B, B->C projected onto AC gives A->C *)
+  let f = fds "A -> B; B -> C" in
+  let p = Fd.project f ~onto:(attrs "AC") in
+  Alcotest.(check bool) "A -> C survives" true (Fd.implies p (fd "A -> C"));
+  Alcotest.(check bool) "nothing about B" true
+    (List.for_all (fun (g : Fd.t) -> not (Attrs.mem "B" (Attrs.union g.Fd.lhs g.Fd.rhs))) p)
+
+(* --- normal forms --------------------------------------------------------------------- *)
+
+let scheme name a f = { Dep.Normal_forms.name; attrs = attrs a; fds = fds f }
+
+let test_bcnf_check () =
+  Alcotest.(check bool) "key FD is BCNF" true
+    (Dep.Normal_forms.is_bcnf (scheme "r" "ABC" "A -> BC"));
+  Alcotest.(check bool) "non-key lhs violates" false
+    (Dep.Normal_forms.is_bcnf (scheme "r" "ABC" "A -> B; B -> C"))
+
+let test_3nf_check () =
+  (* B -> C with C nonprime violates 3NF; but in R(ABC) with A->B, B->A:
+     lodging C... classic: city,street,zip *)
+  let csz = scheme "addr" "CSZ" "CS -> Z; Z -> C" in
+  Alcotest.(check bool) "CSZ is 3NF" true (Dep.Normal_forms.is_3nf csz);
+  Alcotest.(check bool) "CSZ is not BCNF" false (Dep.Normal_forms.is_bcnf csz)
+
+let test_2nf_check () =
+  (* R(ABCD), key AB, A -> C is a partial dependency *)
+  let s = scheme "r" "ABCD" "AB -> D; A -> C" in
+  Alcotest.(check bool) "partial dependency" false (Dep.Normal_forms.is_2nf s);
+  Alcotest.(check int) "one violation" 1
+    (List.length (Dep.Normal_forms.violations_2nf s))
+
+let test_bcnf_decompose_lossless () =
+  let s = scheme "r" "ABC" "A -> B; B -> C" in
+  let decomposition = Dep.Normal_forms.bcnf_decompose s in
+  Alcotest.(check bool) "all BCNF" true
+    (List.for_all Dep.Normal_forms.is_bcnf decomposition);
+  Alcotest.(check bool) "lossless" true (Dep.Normal_forms.lossless s decomposition)
+
+let test_bcnf_decompose_csz_loses_dependency () =
+  let s = scheme "addr" "CSZ" "CS -> Z; Z -> C" in
+  let decomposition = Dep.Normal_forms.bcnf_decompose s in
+  Alcotest.(check bool) "all BCNF" true
+    (List.for_all Dep.Normal_forms.is_bcnf decomposition);
+  Alcotest.(check bool) "lossless" true (Dep.Normal_forms.lossless s decomposition);
+  Alcotest.(check bool) "CS -> Z lost" false
+    (Dep.Normal_forms.dependency_preserving s decomposition)
+
+let test_3nf_synthesis () =
+  let s = scheme "r" "ABCDE" "A -> B; BC -> D; D -> E" in
+  let decomposition = Dep.Normal_forms.synthesize_3nf s in
+  Alcotest.(check bool) "all 3NF" true
+    (List.for_all Dep.Normal_forms.is_3nf decomposition);
+  Alcotest.(check bool) "dependency preserving" true
+    (Dep.Normal_forms.dependency_preserving s decomposition);
+  Alcotest.(check bool) "lossless" true (Dep.Normal_forms.lossless s decomposition)
+
+let test_3nf_synthesis_csz () =
+  let s = scheme "addr" "CSZ" "CS -> Z; Z -> C" in
+  let decomposition = Dep.Normal_forms.synthesize_3nf s in
+  Alcotest.(check bool) "dependency preserving" true
+    (Dep.Normal_forms.dependency_preserving s decomposition);
+  Alcotest.(check bool) "lossless" true (Dep.Normal_forms.lossless s decomposition)
+
+let test_4nf () =
+  let s = scheme "r" "ABC" "" in
+  let mvd = Dep.Mvd.of_string "A ->> B" in
+  Alcotest.(check bool) "nontrivial MVD, A not key" false
+    (Dep.Normal_forms.is_4nf s [ mvd ]);
+  let s' = scheme "r" "ABC" "A -> BC" in
+  Alcotest.(check bool) "A is key: fine" true (Dep.Normal_forms.is_4nf s' [ mvd ])
+
+(* --- chase --------------------------------------------------------------------------- *)
+
+let test_chase_lossless_textbook () =
+  (* R(ABC), A->B: split into AB, AC is lossless *)
+  Alcotest.(check bool) "AB/AC lossless" true
+    (Dep.Chase.lossless_join ~universe:(attrs "ABC") (fds "A -> B")
+       [ attrs "AB"; attrs "AC" ]);
+  (* but AB, BC is lossy without B->C or B->A *)
+  Alcotest.(check bool) "AB/BC lossy" false
+    (Dep.Chase.lossless_join ~universe:(attrs "ABC") (fds "A -> B")
+       [ attrs "AB"; attrs "BC" ])
+
+let test_chase_implies_fd_agrees_with_closure () =
+  let f = fds "A -> BC; B -> E; CD -> EF" in
+  let deps = List.map (fun x -> Dep.Chase.Fd_dep x) f in
+  let universe = attrs "ABCDEF" in
+  List.iter
+    (fun target ->
+      Alcotest.(check bool) (Fd.to_string target)
+        (Fd.implies f target)
+        (Dep.Chase.implies_fd ~universe deps target))
+    [ fd "AD -> F"; fd "A -> D"; fd "A -> E"; fd "CD -> F"; fd "B -> A" ]
+
+let test_chase_mvd_implication () =
+  let universe = attrs "ABC" in
+  (* an FD implies the corresponding MVD *)
+  let deps = [ Dep.Chase.Fd_dep (fd "A -> B") ] in
+  Alcotest.(check bool) "A->B gives A->>B" true
+    (Dep.Chase.implies_mvd ~universe deps (Dep.Mvd.of_string "A ->> B"));
+  (* complementation: A->>B gives A->>C *)
+  let deps2 = [ Dep.Chase.Mvd_dep (Dep.Mvd.of_string "A ->> B") ] in
+  Alcotest.(check bool) "complement" true
+    (Dep.Chase.implies_mvd ~universe deps2 (Dep.Mvd.of_string "A ->> C"));
+  (* but not an arbitrary MVD *)
+  Alcotest.(check bool) "B ->> A not implied" false
+    (Dep.Chase.implies_mvd ~universe deps2 (Dep.Mvd.of_string "B ->> A"))
+
+let test_chase_mvd_lossless () =
+  (* MVD A->>B makes AB/AC lossless even without FDs *)
+  Alcotest.(check bool) "mvd lossless" true
+    (Dep.Chase.lossless_join_mixed ~universe:(attrs "ABC")
+       [ Dep.Chase.Mvd_dep (Dep.Mvd.of_string "A ->> B") ]
+       [ attrs "AB"; attrs "AC" ])
+
+let test_chase_three_way () =
+  (* R(ABCD), decomposition AB, BC, CD with B->C, C->D *)
+  Alcotest.(check bool) "chain decomposition lossless" true
+    (Dep.Chase.lossless_join ~universe:(attrs "ABCD") (fds "B -> C; C -> D")
+       [ attrs "AB"; attrs "BC"; attrs "CD" ])
+
+(* --- instance-level checks -------------------------------------------------------------- *)
+
+let test_fd_holds_in_instance () =
+  Alcotest.(check bool) "sid -> sname" true
+    (Dep.Mvd.fd_holds_in students
+       (Fd.make
+          (Attrs.singleton "sid")
+          (Attrs.singleton "sname")));
+  Alcotest.(check bool) "year -> sname fails" false
+    (Dep.Mvd.fd_holds_in students
+       (Fd.make (Attrs.singleton "year") (Attrs.singleton "sname")))
+
+let test_mvd_holds_in_instance () =
+  (* build the canonical MVD example: course ->> teacher | book *)
+  let open Relational.Value in
+  let schema =
+    Relational.Schema.make
+      [ ("course", TString); ("teacher", TString); ("book", TString) ]
+  in
+  let rel ok =
+    Relational.Relation.of_list schema
+      ([
+         [ String "db"; String "ann"; String "alice-book" ];
+         [ String "db"; String "ann"; String "ullman" ];
+         [ String "db"; String "bob"; String "alice-book" ];
+       ]
+      @ if ok then [ [ String "db"; String "bob"; String "ullman" ] ] else [])
+  in
+  let mvd =
+    Dep.Mvd.make (Attrs.singleton "course") (Attrs.singleton "teacher")
+  in
+  Alcotest.(check bool) "complete cross product" true
+    (Dep.Mvd.holds_in (rel true) mvd);
+  Alcotest.(check bool) "missing combination" false
+    (Dep.Mvd.holds_in (rel false) mvd)
+
+(* --- hypergraph ---------------------------------------------------------------------------- *)
+
+let test_gyo_acyclic () =
+  (* a path of overlapping edges is acyclic *)
+  Alcotest.(check bool) "path acyclic" true
+    (Dep.Hypergraph.is_acyclic [ attrs "AB"; attrs "BC"; attrs "CD" ])
+
+let test_gyo_cyclic () =
+  (* the triangle: AB, BC, CA *)
+  Alcotest.(check bool) "triangle cyclic" false
+    (Dep.Hypergraph.is_acyclic [ attrs "AB"; attrs "BC"; attrs "CA" ])
+
+let test_gyo_covered_triangle () =
+  (* adding ABC covers the triangle and restores acyclicity *)
+  Alcotest.(check bool) "covered triangle acyclic" true
+    (Dep.Hypergraph.is_acyclic [ attrs "AB"; attrs "BC"; attrs "CA"; attrs "ABC" ])
+
+let test_join_tree () =
+  Alcotest.(check bool) "acyclic scheme has a join tree" true
+    (Dep.Hypergraph.join_tree [ attrs "AB"; attrs "BC"; attrs "CD" ] <> None);
+  Alcotest.(check bool) "cyclic has none" true
+    (Dep.Hypergraph.join_tree [ attrs "AB"; attrs "BC"; attrs "CA" ] = None)
+
+(* --- property tests --------------------------------------------------------------------------- *)
+
+let property count name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let random_fds rng universe_size n_fds =
+  let letters = Array.init universe_size (fun i -> String.make 1 (Char.chr (65 + i))) in
+  let random_attrs k =
+    let out = ref Attrs.empty in
+    for _ = 1 to k do
+      out := Attrs.add (Support.Rng.pick rng letters) !out
+    done;
+    !out
+  in
+  let universe = Attrs.of_list (Array.to_list letters) in
+  let fds =
+    List.init n_fds (fun _ ->
+        let lhs = random_attrs (1 + Support.Rng.int rng 2) in
+        let rhs = random_attrs (1 + Support.Rng.int rng 2) in
+        Fd.make lhs rhs)
+    |> List.filter (fun f -> not (Fd.is_trivial f))
+  in
+  (universe, fds)
+
+let prop_minimal_cover_equivalent =
+  property 80 "minimal cover is equivalent" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let _, f = random_fds rng 5 4 in
+      Fd.equivalent_sets f (Fd.minimal_cover f))
+
+let prop_chase_fd_matches_closure =
+  property 60 "chase implication = closure implication" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let universe, f = random_fds rng 5 3 in
+      let deps = List.map (fun x -> Dep.Chase.Fd_dep x) f in
+      let _, targets = random_fds rng 5 2 in
+      List.for_all
+        (fun t -> Fd.implies f t = Dep.Chase.implies_fd ~universe deps t)
+        targets)
+
+let prop_bcnf_decomposition_sound =
+  property 50 "bcnf decomposition: all BCNF and lossless" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let universe, f = random_fds rng 5 3 in
+      let s = { Dep.Normal_forms.name = "r"; attrs = universe; fds = f } in
+      let d = Dep.Normal_forms.bcnf_decompose s in
+      List.for_all Dep.Normal_forms.is_bcnf d && Dep.Normal_forms.lossless s d)
+
+let prop_3nf_synthesis_sound =
+  property 50 "3nf synthesis: 3NF, lossless, dependency-preserving" seed_gen
+    (fun seed ->
+      let rng = Support.Rng.create seed in
+      let universe, f = random_fds rng 5 3 in
+      let s = { Dep.Normal_forms.name = "r"; attrs = universe; fds = f } in
+      let d = Dep.Normal_forms.synthesize_3nf s in
+      List.for_all Dep.Normal_forms.is_3nf d
+      && Dep.Normal_forms.lossless s d
+      && Dep.Normal_forms.dependency_preserving s d)
+
+let prop_keys_are_candidate_keys =
+  property 50 "candidate_keys returns exactly the candidate keys" seed_gen
+    (fun seed ->
+      let rng = Support.Rng.create seed in
+      let universe, f = random_fds rng 5 3 in
+      let keys = Fd.candidate_keys ~universe f in
+      keys <> []
+      && List.for_all (fun k -> Fd.is_candidate_key k ~universe f) keys)
+
+let prop_fd_implies_mvd =
+  property 40 "every implied FD gives an implied MVD" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let universe, f = random_fds rng 4 2 in
+      let deps = List.map (fun x -> Dep.Chase.Fd_dep x) f in
+      List.for_all
+        (fun (g : Fd.t) ->
+          Dep.Chase.implies_mvd ~universe deps (Dep.Mvd.of_fd g))
+        f)
+
+let suite =
+  [
+    Alcotest.test_case "attrs parsing" `Quick test_attrs_parsing;
+    Alcotest.test_case "reflexivity" `Quick test_reflexivity;
+    Alcotest.test_case "augmentation" `Quick test_augmentation;
+    Alcotest.test_case "transitivity" `Quick test_transitivity;
+    Alcotest.test_case "axioms sound" `Quick test_axioms_sound;
+    Alcotest.test_case "closure textbook" `Quick test_closure_textbook;
+    Alcotest.test_case "implies" `Quick test_implies;
+    Alcotest.test_case "candidate keys simple" `Quick test_candidate_keys_simple;
+    Alcotest.test_case "candidate keys multiple" `Quick test_candidate_keys_multiple;
+    Alcotest.test_case "candidate keys no fds" `Quick test_candidate_keys_no_fds;
+    Alcotest.test_case "candidate keys minimality" `Quick test_candidate_keys_minimality;
+    Alcotest.test_case "minimal cover drops redundant" `Quick
+      test_minimal_cover_redundant_fd;
+    Alcotest.test_case "minimal cover extraneous lhs" `Quick
+      test_minimal_cover_extraneous_lhs;
+    Alcotest.test_case "minimal cover singleton rhs" `Quick
+      test_minimal_cover_singleton_rhs;
+    Alcotest.test_case "project transitive" `Quick test_project_transitive;
+    Alcotest.test_case "bcnf check" `Quick test_bcnf_check;
+    Alcotest.test_case "3nf check (CSZ)" `Quick test_3nf_check;
+    Alcotest.test_case "2nf check" `Quick test_2nf_check;
+    Alcotest.test_case "bcnf decompose lossless" `Quick test_bcnf_decompose_lossless;
+    Alcotest.test_case "bcnf loses CS -> Z" `Quick
+      test_bcnf_decompose_csz_loses_dependency;
+    Alcotest.test_case "3nf synthesis" `Quick test_3nf_synthesis;
+    Alcotest.test_case "3nf synthesis CSZ" `Quick test_3nf_synthesis_csz;
+    Alcotest.test_case "4nf" `Quick test_4nf;
+    Alcotest.test_case "chase lossless textbook" `Quick test_chase_lossless_textbook;
+    Alcotest.test_case "chase implies_fd = closure" `Quick
+      test_chase_implies_fd_agrees_with_closure;
+    Alcotest.test_case "chase mvd implication" `Quick test_chase_mvd_implication;
+    Alcotest.test_case "chase mvd lossless" `Quick test_chase_mvd_lossless;
+    Alcotest.test_case "chase three-way" `Quick test_chase_three_way;
+    Alcotest.test_case "fd holds in instance" `Quick test_fd_holds_in_instance;
+    Alcotest.test_case "mvd holds in instance" `Quick test_mvd_holds_in_instance;
+    Alcotest.test_case "gyo acyclic path" `Quick test_gyo_acyclic;
+    Alcotest.test_case "gyo triangle cyclic" `Quick test_gyo_cyclic;
+    Alcotest.test_case "gyo covered triangle" `Quick test_gyo_covered_triangle;
+    Alcotest.test_case "join tree" `Quick test_join_tree;
+    prop_minimal_cover_equivalent;
+    prop_chase_fd_matches_closure;
+    prop_bcnf_decomposition_sound;
+    prop_3nf_synthesis_sound;
+    prop_keys_are_candidate_keys;
+    prop_fd_implies_mvd;
+  ]

@@ -1,0 +1,471 @@
+(* Tests for the extension modules: Yannakakis acyclic-join evaluation,
+   Armstrong relations, the algebra query parser, Datalog provenance,
+   wait-die locking, the committee-overcorrection model, and the DPLL
+   ablation switches. *)
+
+module R = Relational
+module A = R.Algebra
+module D = Datalog
+module Dep = Dependencies
+module T = Transactions
+module M = Metatheory
+open R.Value
+open Fixtures
+
+let check_rel = Alcotest.check relation_testable
+
+(* --- yannakakis -------------------------------------------------------------- *)
+
+let chain_relations rng sizes =
+  (* R1(a,b) - R2(b,c) - R3(c,d): an acyclic (path) join *)
+  let s1 = R.Schema.make [ ("a", TInt); ("b", TInt) ] in
+  let s2 = R.Schema.make [ ("b", TInt); ("c", TInt) ] in
+  let s3 = R.Schema.make [ ("c", TInt); ("d", TInt) ] in
+  List.map2
+    (fun schema size -> R.Generator.random_relation rng schema ~size ~domain:6)
+    [ s1; s2; s3 ] sizes
+
+let test_yannakakis_plan_acyclic () =
+  let schemas =
+    [
+      R.Schema.make [ ("a", TInt); ("b", TInt) ];
+      R.Schema.make [ ("b", TInt); ("c", TInt) ];
+      R.Schema.make [ ("c", TInt); ("d", TInt) ];
+    ]
+  in
+  Alcotest.(check bool) "path query planar" true
+    (Dep.Yannakakis.plan schemas <> None)
+
+let test_yannakakis_plan_cyclic () =
+  let triangle =
+    [
+      R.Schema.make [ ("a", TInt); ("b", TInt) ];
+      R.Schema.make [ ("b", TInt); ("c", TInt) ];
+      R.Schema.make [ ("c", TInt); ("a", TInt) ];
+    ]
+  in
+  Alcotest.(check bool) "triangle has no plan" true
+    (Dep.Yannakakis.plan triangle = None);
+  Alcotest.(check bool) "join raises Cyclic" true
+    (match
+       Dep.Yannakakis.join
+         (List.map (fun s -> R.Relation.create s) triangle)
+     with
+    | _ -> false
+    | exception Dep.Yannakakis.Cyclic -> true)
+
+let test_yannakakis_join_equals_fold_join () =
+  let rng = Support.Rng.create 3 in
+  let rels = chain_relations rng [ 12; 12; 12 ] in
+  let expected =
+    match rels with
+    | [ r1; r2; r3 ] -> R.Relation.join (R.Relation.join r1 r2) r3
+    | _ -> assert false
+  in
+  check_rel "same join" expected (Dep.Yannakakis.join rels)
+
+let test_full_reducer_removes_dangling () =
+  let s1 = R.Schema.make [ ("a", TInt); ("b", TInt) ] in
+  let s2 = R.Schema.make [ ("b", TInt); ("c", TInt) ] in
+  let r1 = R.Relation.of_list s1 [ [ Int 1; Int 2 ]; [ Int 5; Int 9 ] ] in
+  let r2 = R.Relation.of_list s2 [ [ Int 2; Int 3 ] ] in
+  match Dep.Yannakakis.full_reduce [ r1; r2 ] with
+  | [ r1'; r2' ] ->
+      (* (5, 9) dangles: no matching b in r2 *)
+      Alcotest.(check int) "dangling tuple dropped" 1 (R.Relation.cardinality r1');
+      Alcotest.(check int) "r2 untouched" 1 (R.Relation.cardinality r2')
+  | _ -> Alcotest.fail "two relations in, two out"
+
+let test_yannakakis_star_query () =
+  (* star: center(a,b,c) with satellites on a, b, c *)
+  let center =
+    R.Relation.of_list
+      (R.Schema.make [ ("a", TInt); ("b", TInt); ("c", TInt) ])
+      [ [ Int 1; Int 2; Int 3 ]; [ Int 4; Int 5; Int 6 ] ]
+  in
+  let sat attr v =
+    R.Relation.of_list (R.Schema.make [ (attr, TInt) ]) [ [ Int v ] ]
+  in
+  let result = Dep.Yannakakis.join [ center; sat "a" 1; sat "b" 2; sat "c" 3 ] in
+  Alcotest.(check int) "one surviving center row" 1 (R.Relation.cardinality result)
+
+let prop_yannakakis_equals_fold =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:50 ~name:"yannakakis = fold join on random chains"
+       (QCheck2.Gen.int_range 0 1_000_000)
+       (fun seed ->
+         let rng = Support.Rng.create seed in
+         let rels = chain_relations rng [ 8; 8; 8 ] in
+         let expected =
+           match rels with
+           | [ r1; r2; r3 ] -> R.Relation.join (R.Relation.join r1 r2) r3
+           | _ -> assert false
+         in
+         R.Relation.equal expected (Dep.Yannakakis.join rels)))
+
+let prop_full_reducer_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:50
+       ~name:"full reduction preserves the join and leaves no dangling tuples"
+       (QCheck2.Gen.int_range 0 1_000_000)
+       (fun seed ->
+         let rng = Support.Rng.create seed in
+         let rels = chain_relations rng [ 8; 8; 8 ] in
+         let reduced = Dep.Yannakakis.full_reduce rels in
+         let expected =
+           match rels with
+           | [ r1; r2; r3 ] -> R.Relation.join (R.Relation.join r1 r2) r3
+           | _ -> assert false
+         in
+         let joined =
+           match reduced with
+           | [ r1; r2; r3 ] -> R.Relation.join (R.Relation.join r1 r2) r3
+           | _ -> assert false
+         in
+         (* join preserved, and every surviving tuple participates *)
+         R.Relation.equal expected joined
+         && List.for_all2
+              (fun reduced_rel original ->
+                R.Relation.subset reduced_rel original
+                && R.Relation.fold
+                     (fun tup ok ->
+                       ok
+                       && not
+                            (R.Relation.is_empty
+                               (R.Relation.semijoin
+                                  (R.Relation.of_tuples
+                                     (R.Relation.schema reduced_rel) [ tup ])
+                                  expected)))
+                     reduced_rel true)
+              reduced rels))
+
+(* --- armstrong relations -------------------------------------------------------- *)
+
+let test_armstrong_simple () =
+  let universe = Dep.Attrs.of_string "ABC" in
+  let fds = Dep.Fd.set_of_string "A -> B" in
+  let rel = Dep.Armstrong.relation ~universe fds in
+  Alcotest.(check bool) "A -> B holds" true
+    (Dep.Mvd.fd_holds_in rel (Dep.Fd.of_string "A -> B"));
+  Alcotest.(check bool) "B -> A fails" false
+    (Dep.Mvd.fd_holds_in rel (Dep.Fd.of_string "B -> A"));
+  Alcotest.(check bool) "A -> C fails" false
+    (Dep.Mvd.fd_holds_in rel (Dep.Fd.of_string "A -> C"))
+
+let prop_armstrong_exact =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40
+       ~name:"armstrong relation satisfies exactly the implied FDs"
+       (QCheck2.Gen.int_range 0 1_000_000)
+       (fun seed ->
+         let rng = Support.Rng.create seed in
+         let letters = [| "A"; "B"; "C"; "D" |] in
+         let universe = Dep.Attrs.of_list (Array.to_list letters) in
+         let random_attrs k =
+           let out = ref Dep.Attrs.empty in
+           for _ = 1 to k do
+             out := Dep.Attrs.add (Support.Rng.pick rng letters) !out
+           done;
+           !out
+         in
+         let fds =
+           List.init 3 (fun _ ->
+               Dep.Fd.make (random_attrs 1) (random_attrs 2))
+           |> List.filter (fun fd -> not (Dep.Fd.is_trivial fd))
+         in
+         let rel = Dep.Armstrong.relation ~universe fds in
+         (* check agreement on a panel of candidate FDs *)
+         let candidates =
+           List.concat_map
+             (fun l ->
+               List.map
+                 (fun r -> Dep.Fd.make (Dep.Attrs.of_string l) (Dep.Attrs.of_string r))
+                 [ "A"; "B"; "C"; "D" ])
+             [ "A"; "B"; "C"; "D"; "AB"; "CD"; "AC" ]
+         in
+         List.for_all
+           (fun fd ->
+             Dep.Fd.implies fds fd = Dep.Mvd.fd_holds_in rel fd)
+           candidates))
+
+(* --- query parser ------------------------------------------------------------------ *)
+
+let test_parser_basic_query () =
+  let e =
+    R.Query_parser.parse
+      "project[sname](select[grade >= 85](students join enrolled))"
+  in
+  let result = R.Eval.eval university e in
+  Alcotest.(check int) "ada and dan" 2 (R.Relation.cardinality result)
+
+let test_parser_set_ops () =
+  let e =
+    R.Query_parser.parse
+      "project[sid](students) minus project[sid](enrolled)"
+  in
+  Alcotest.(check int) "one non-enrolled student" 1
+    (R.Relation.cardinality (R.Eval.eval university e))
+
+let test_parser_singleton_and_product () =
+  let e = R.Query_parser.parse "<tag = \"x\", k = 7> times courses" in
+  Alcotest.(check int) "tagged courses" 4
+    (R.Relation.cardinality (R.Eval.eval university e))
+
+let test_parser_rename_divide () =
+  let e =
+    R.Query_parser.parse
+      "project[sid, cid](enrolled) divide project[cid](select[dept = \
+       \"cs\"](courses))"
+  in
+  Alcotest.(check (list (list string))) "ada takes all cs" [ [ "1" ] ]
+    (List.map (List.map R.Value.to_string) (rows (R.Eval.eval university e)))
+
+let test_parser_precedence () =
+  (* join binds tighter than union *)
+  let e = R.Query_parser.parse "students join enrolled union students join enrolled" in
+  Alcotest.(check int) "parsed as (sJe) u (sJe)" 9
+    (R.Relation.cardinality (R.Eval.eval university e))
+
+let test_parser_predicates () =
+  let p = R.Query_parser.parse_predicate "not (a = 1 or b != 2) and c < 3" in
+  Alcotest.(check string) "structure"
+    "((not (a = 1 or b <> 2)) and c < 3)"
+    (A.predicate_to_string p)
+
+let test_parser_errors () =
+  let bad input =
+    match R.Query_parser.parse input with
+    | _ -> false
+    | exception R.Query_parser.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "unbalanced" true (bad "project[a](r");
+  Alcotest.(check bool) "missing pred" true (bad "select[](r)");
+  Alcotest.(check bool) "trailing" true (bad "r extra");
+  Alcotest.(check bool) "bad char" true (bad "r ? s")
+
+let test_parser_roundtrip_well_typed () =
+  (* parse (print e) where print uses a compatible syntax subset *)
+  let queries =
+    [
+      "students";
+      "project[sname](students)";
+      "select[year = 1 and sid > 0](students)";
+      "rename[sid -> id](students)";
+      "(students join enrolled) join courses";
+    ]
+  in
+  List.iter
+    (fun q ->
+      let e = R.Query_parser.parse q in
+      Alcotest.(check bool) q true
+        (A.well_typed (A.catalog_of_database university) e))
+    queries
+
+(* --- provenance ---------------------------------------------------------------------- *)
+
+let test_provenance_matches_seminaive () =
+  let edb = D.Workloads.chain ~n:8 in
+  let expected = D.Seminaive.eval D.Workloads.transitive_closure edb in
+  let got, _ = D.Provenance.eval D.Workloads.transitive_closure edb in
+  Alcotest.(check bool) "same facts" true (D.Facts.equal expected got)
+
+let test_provenance_proof_tree () =
+  let edb = D.Workloads.chain ~n:5 in
+  let _, store = D.Provenance.eval D.Workloads.transitive_closure edb in
+  match D.Provenance.proof_of store "path" [| Int 0; Int 5 |] with
+  | None -> Alcotest.fail "path(0,5) should be derivable"
+  | Some proof ->
+      (* the right-linear TC derives path(0,5) through 5 path nodes and
+         5 edge leaves: 10 proof nodes, depth 6 *)
+      Alcotest.(check int) "proof size" 10 (D.Provenance.proof_size proof);
+      Alcotest.(check int) "proof depth" 6 (D.Provenance.proof_depth proof)
+
+let test_provenance_edb_and_missing () =
+  let edb = D.Workloads.chain ~n:3 in
+  let _, store = D.Provenance.eval D.Workloads.transitive_closure edb in
+  Alcotest.(check bool) "edb fact has edb proof" true
+    (match D.Provenance.proof_of store "edge" [| Int 0; Int 1 |] with
+    | Some (D.Provenance.Edb_fact _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "missing fact has no proof" true
+    (D.Provenance.proof_of store "path" [| Int 2; Int 0 |] = None);
+  Alcotest.(check bool) "explain mentions underivable" true
+    (Str_contains.contains
+       (D.Provenance.explain store "path" [| Int 2; Int 0 |])
+       "not derivable")
+
+let test_provenance_negation () =
+  let edb = D.Workloads.chain ~n:3 in
+  let _, store = D.Provenance.eval D.Workloads.reachable_negation edb in
+  match D.Provenance.justification_of store "unreach" [| Int 3; Int 0 |] with
+  | Some just ->
+      Alcotest.(check int) "one negated check" 1
+        (List.length just.D.Provenance.negated)
+  | None -> Alcotest.fail "unreach(3,0) should be derived"
+
+let prop_provenance_equals_seminaive =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30 ~name:"provenance eval = seminaive eval"
+       (QCheck2.Gen.int_range 0 1_000_000)
+       (fun seed ->
+         let rng = Support.Rng.create seed in
+         let edb = D.Workloads.random_graph rng ~nodes:7 ~edges:12 in
+         let a = D.Seminaive.eval D.Workloads.reachable_negation edb in
+         let b, _ = D.Provenance.eval D.Workloads.reachable_negation edb in
+         D.Facts.equal a b))
+
+let prop_proofs_are_well_founded =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30 ~name:"every derived fact has a finite proof"
+       (QCheck2.Gen.int_range 0 1_000_000)
+       (fun seed ->
+         let rng = Support.Rng.create seed in
+         let edb = D.Workloads.random_graph rng ~nodes:6 ~edges:10 in
+         let result, store = D.Provenance.eval D.Workloads.transitive_closure edb in
+         D.Facts.Tuple_set.for_all
+           (fun tup ->
+             match D.Provenance.proof_of store "path" tup with
+             | Some proof -> D.Provenance.proof_depth proof <= 20
+             | None -> false)
+           (D.Facts.get result "path")))
+
+(* --- wait-die ---------------------------------------------------------------------------- *)
+
+let test_wait_die_no_deadlocks () =
+  let rng = Support.Rng.create 12 in
+  let params = { T.Workload.default with txns = 8; items = 6; write_ratio = 0.8 } in
+  let specs = T.Workload.generate rng params in
+  let stats = T.Simulation.run (T.Two_phase.create_wait_die ()) specs in
+  Alcotest.(check int) "all commit" 8 stats.T.Simulation.committed;
+  Alcotest.(check int) "prevention: no deadlock breaks" 0
+    stats.T.Simulation.deadlocks
+
+let prop_wait_die_serializable =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25
+       ~name:"wait-die: serializable, strict, deadlock-free"
+       (QCheck2.Gen.int_range 0 1_000_000)
+       (fun seed ->
+         let rng = Support.Rng.create seed in
+         let params =
+           {
+             T.Workload.txns = 2 + Support.Rng.int rng 5;
+             ops_per_txn = 1 + Support.Rng.int rng 6;
+             items = 2 + Support.Rng.int rng 8;
+             skew = Support.Rng.float rng 1.5;
+             write_ratio = Support.Rng.float rng 1.0;
+           }
+         in
+         let specs = T.Workload.generate rng params in
+         let stats = T.Simulation.run (T.Two_phase.create_wait_die ()) specs in
+         stats.T.Simulation.committed = params.T.Workload.txns
+         && stats.T.Simulation.deadlocks = 0
+         && T.Serializability.is_conflict_serializable stats.T.Simulation.history
+         && T.Serializability.is_strict stats.T.Simulation.history))
+
+(* --- committee model ---------------------------------------------------------------------- *)
+
+let test_committee_tracks_without_overcorrection () =
+  let interest = M.Committee.hump ~years:14 ~peak:16. in
+  let out = M.Committee.simulate { M.Committee.overcorrection = 0.; noise = 0. } ~interest in
+  Alcotest.(check bool) "tracks interest exactly" true
+    (Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) out interest)
+
+let test_committee_overcorrection_oscillates () =
+  let interest = M.Committee.hump ~years:14 ~peak:16. in
+  let calm =
+    M.Committee.simulate { M.Committee.overcorrection = 0.2; noise = 0. } ~interest
+  in
+  let jerky =
+    M.Committee.simulate { M.Committee.overcorrection = 1.6; noise = 0. } ~interest
+  in
+  Alcotest.(check bool) "overcorrection raises the 2-year harmonic" true
+    (Support.Stats.harmonic_strength jerky 2
+    > (2. *. Support.Stats.harmonic_strength calm 2));
+  Alcotest.(check bool) "negative lag-1 autocorrelation of diffs" true
+    (Support.Stats.autocorrelation (Support.Stats.diff jerky) 1 < -0.3)
+
+let test_committee_dose_response_monotone_at_ends () =
+  let interest = M.Committee.hump ~years:20 ~peak:12. in
+  match M.Committee.harmonic_response ~gammas:[ 0.0; 0.8; 1.6 ] ~interest with
+  | [ (_, h0); (_, h1); (_, h2) ] ->
+      Alcotest.(check bool) "more overcorrection, more harmonic" true
+        (h0 < h1 && h1 < h2)
+  | _ -> Alcotest.fail "three gammas in, three responses out"
+
+(* --- dpll ablation ---------------------------------------------------------------------------- *)
+
+let test_dpll_ablations_agree () =
+  let rng = Support.Rng.create 5 in
+  for _ = 1 to 30 do
+    let cnf =
+      List.init 12 (fun _ ->
+          List.init (1 + Support.Rng.int rng 3) (fun _ ->
+              let v = 1 + Support.Rng.int rng 6 in
+              if Support.Rng.bool rng then v else -v))
+    in
+    let verdict ?unit_propagation ?pure_literal () =
+      match fst (Sat.Dpll.solve_with ?unit_propagation ?pure_literal cnf) with
+      | Sat.Dpll.Sat _ -> true
+      | Sat.Dpll.Unsat -> false
+    in
+    let full = verdict () in
+    Alcotest.(check bool) "no unit prop" full (verdict ~unit_propagation:false ());
+    Alcotest.(check bool) "no pure literal" full (verdict ~pure_literal:false ());
+    Alcotest.(check bool) "bare backtracking" full
+      (verdict ~unit_propagation:false ~pure_literal:false ())
+  done
+
+let test_dpll_unit_prop_reduces_decisions () =
+  (* a long implication chain: unit propagation solves it without any
+     branching, bare backtracking needs decisions *)
+  let chain = List.init 19 (fun i -> [ -(i + 1); i + 2 ]) @ [ [ 1 ] ] in
+  let _, with_up = Sat.Dpll.solve_with chain in
+  let _, without =
+    Sat.Dpll.solve_with ~unit_propagation:false ~pure_literal:false chain
+  in
+  Alcotest.(check int) "no decisions with unit propagation" 0
+    with_up.Sat.Dpll.decisions;
+  Alcotest.(check bool) "decisions without" true (without.Sat.Dpll.decisions > 0)
+
+let suite =
+  [
+    Alcotest.test_case "yannakakis plan acyclic" `Quick test_yannakakis_plan_acyclic;
+    Alcotest.test_case "yannakakis plan cyclic" `Quick test_yannakakis_plan_cyclic;
+    Alcotest.test_case "yannakakis join = fold join" `Quick
+      test_yannakakis_join_equals_fold_join;
+    Alcotest.test_case "full reducer drops dangling" `Quick
+      test_full_reducer_removes_dangling;
+    Alcotest.test_case "yannakakis star query" `Quick test_yannakakis_star_query;
+    prop_yannakakis_equals_fold;
+    prop_full_reducer_sound;
+    Alcotest.test_case "armstrong simple" `Quick test_armstrong_simple;
+    prop_armstrong_exact;
+    Alcotest.test_case "parser basic query" `Quick test_parser_basic_query;
+    Alcotest.test_case "parser set ops" `Quick test_parser_set_ops;
+    Alcotest.test_case "parser singleton/product" `Quick
+      test_parser_singleton_and_product;
+    Alcotest.test_case "parser divide" `Quick test_parser_rename_divide;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser predicates" `Quick test_parser_predicates;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "parser output well-typed" `Quick
+      test_parser_roundtrip_well_typed;
+    Alcotest.test_case "provenance = seminaive (fixed)" `Quick
+      test_provenance_matches_seminaive;
+    Alcotest.test_case "provenance proof tree" `Quick test_provenance_proof_tree;
+    Alcotest.test_case "provenance edb/missing" `Quick test_provenance_edb_and_missing;
+    Alcotest.test_case "provenance negation" `Quick test_provenance_negation;
+    prop_provenance_equals_seminaive;
+    prop_proofs_are_well_founded;
+    Alcotest.test_case "wait-die no deadlocks" `Quick test_wait_die_no_deadlocks;
+    prop_wait_die_serializable;
+    Alcotest.test_case "committee tracks" `Quick test_committee_tracks_without_overcorrection;
+    Alcotest.test_case "committee oscillates" `Quick
+      test_committee_overcorrection_oscillates;
+    Alcotest.test_case "committee dose-response" `Quick
+      test_committee_dose_response_monotone_at_ends;
+    Alcotest.test_case "dpll ablations agree" `Quick test_dpll_ablations_agree;
+    Alcotest.test_case "unit prop removes decisions" `Quick
+      test_dpll_unit_prop_reduces_decisions;
+  ]

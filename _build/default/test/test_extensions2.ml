@@ -1,0 +1,355 @@
+(* Tests for the second extension batch: WAL/undo recovery, the
+   universal-relation window, the calculus parser, and the evolving
+   research graph. *)
+
+module R = Relational
+module T = Transactions
+module Dep = Dependencies
+module M = Metatheory
+module F = Calculus.Formula
+open R.Value
+open Fixtures
+
+(* --- recovery ------------------------------------------------------------- *)
+
+let store_testable =
+  Alcotest.testable
+    (fun fmt store ->
+      Format.pp_print_string fmt
+        (String.concat ", "
+           (List.map (fun (i, v) -> Printf.sprintf "%s=%d" i v)
+              (List.sort Stdlib.compare store))))
+    (fun a b ->
+      let norm s = List.sort Stdlib.compare (List.filter (fun (_, v) -> v <> 0) s) in
+      norm a = norm b)
+
+let test_recovery_simple_undo () =
+  let log =
+    [
+      T.Recovery.Begin 1;
+      T.Recovery.Write (1, "x", 0, 5);
+      T.Recovery.Commit 1;
+      T.Recovery.Begin 2;
+      T.Recovery.Write (2, "x", 5, 9);
+      (* crash: t2 in flight *)
+    ]
+  in
+  let disk = T.Recovery.apply_log [] log in
+  Alcotest.(check int) "dirty value on disk" 9 (T.Recovery.read disk "x");
+  let recovered = T.Recovery.recover disk log in
+  Alcotest.(check int) "undo restores committed value" 5
+    (T.Recovery.read recovered "x");
+  Alcotest.check store_testable "matches committed state"
+    (T.Recovery.committed_state log)
+    recovered
+
+let test_recovery_winners_losers () =
+  let log =
+    [
+      T.Recovery.Begin 1;
+      T.Recovery.Begin 2;
+      T.Recovery.Write (1, "a", 0, 1);
+      T.Recovery.Commit 1;
+      T.Recovery.Begin 3;
+      T.Recovery.Write (3, "b", 0, 7);
+    ]
+  in
+  Alcotest.(check (list int)) "winners" [ 1 ] (T.Recovery.winners log);
+  Alcotest.(check (list int)) "losers" [ 2; 3 ] (T.Recovery.losers log)
+
+let test_recovery_multiple_writes_reverse_undo () =
+  (* the loser writes x twice; undo must restore the ORIGINAL value *)
+  let log =
+    [
+      T.Recovery.Begin 1;
+      T.Recovery.Write (1, "x", 0, 3);
+      T.Recovery.Write (1, "x", 3, 8);
+    ]
+  in
+  let disk = T.Recovery.apply_log [] log in
+  Alcotest.(check int) "before recovery" 8 (T.Recovery.read disk "x");
+  Alcotest.(check int) "after recovery" 0
+    (T.Recovery.read (T.Recovery.recover disk log) "x")
+
+let prop_recovery_correct =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:120
+       ~name:"crash anywhere: recovery = committed prefix"
+       (QCheck2.Gen.int_range 0 1_000_000)
+       (fun seed ->
+         let rng = Support.Rng.create seed in
+         let specs =
+           List.init (2 + Support.Rng.int rng 3) (fun t ->
+               ( t + 1,
+                 List.init (1 + Support.Rng.int rng 4) (fun _ ->
+                     ( Printf.sprintf "x%d" (Support.Rng.int rng 4),
+                       1 + Support.Rng.int rng 90 )) ))
+         in
+         let crash_at = Support.Rng.int rng 25 in
+         let disk, log = T.Recovery.run_and_crash rng ~specs ~crash_at in
+         let recovered = T.Recovery.recover disk log in
+         let expected = T.Recovery.committed_state log in
+         let norm s = List.sort Stdlib.compare (List.filter (fun (_, v) -> v <> 0) s) in
+         norm recovered = norm expected))
+
+let prop_recovery_idempotent =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60
+       ~name:"recovery is idempotent (crash during recovery is safe)"
+       (QCheck2.Gen.int_range 0 1_000_000)
+       (fun seed ->
+         let rng = Support.Rng.create seed in
+         let specs =
+           List.init 3 (fun t ->
+               ( t + 1,
+                 List.init 3 (fun _ ->
+                     ( Printf.sprintf "x%d" (Support.Rng.int rng 3),
+                       1 + Support.Rng.int rng 90 )) ))
+         in
+         let crash_at = Support.Rng.int rng 16 in
+         let disk, log = T.Recovery.run_and_crash rng ~specs ~crash_at in
+         let once = T.Recovery.recover disk log in
+         let twice = T.Recovery.recover once log in
+         once = twice))
+
+(* --- universal relation ------------------------------------------------------ *)
+
+(* an acyclic scheme: students(sid, sname, year) - enrolled(sid, cid, grade)
+   - courses(cid, title, dept) *)
+let university_relations = [ students; enrolled; courses ]
+
+let test_window_single_relation () =
+  let w =
+    Dep.Universal.window university_relations (Dep.Attrs.singleton "sname")
+  in
+  Alcotest.(check int) "all names" 5 (R.Relation.cardinality w)
+
+let test_window_crosses_two_relations () =
+  let w =
+    Dep.Universal.window university_relations
+      (Dep.Attrs.of_list [ "sname"; "grade" ])
+  in
+  (* one row per enrollment *)
+  Alcotest.(check int) "name-grade pairs" 9 (R.Relation.cardinality w)
+
+let test_window_spans_whole_tree () =
+  let w =
+    Dep.Universal.window university_relations
+      (Dep.Attrs.of_list [ "sname"; "dept" ])
+  in
+  (* students' departments through their enrollments, deduplicated; the
+     window's columns come out in sorted attribute order (dept, sname) *)
+  Alcotest.(check bool) "ada took a cs course" true
+    (R.Relation.mem w [| String "cs"; String "ada" |]);
+  Alcotest.(check bool) "eve took nothing" false
+    (R.Relation.fold
+       (fun tup acc -> acc || R.Value.equal tup.(1) (String "eve"))
+       w false)
+
+let test_window_matches_direct_join () =
+  let w =
+    Dep.Universal.window university_relations
+      (Dep.Attrs.of_list [ "sname"; "title" ])
+  in
+  let direct =
+    R.Relation.project
+      (R.Relation.join (R.Relation.join students enrolled) courses)
+      [ "sname"; "title" ]
+  in
+  Alcotest.check relation_testable "window = projected join" direct w
+
+let test_window_unknown_attribute () =
+  Alcotest.(check bool) "unknown attr" true
+    (match Dep.Universal.window university_relations (Dep.Attrs.singleton "zzz") with
+    | _ -> false
+    | exception Dep.Universal.Unknown_attribute _ -> true)
+
+let test_window_disconnected () =
+  let island =
+    R.Relation.of_list (R.Schema.make [ ("k", TInt) ]) [ [ Int 1 ] ]
+  in
+  Alcotest.(check bool) "disconnected refused" true
+    (match
+       Dep.Universal.window (island :: university_relations)
+         (Dep.Attrs.of_list [ "k"; "sname" ])
+     with
+    | _ -> false
+    | exception Dep.Universal.Not_connected _ -> true)
+
+let test_window_qualification_minimal () =
+  (* asking for sid+cid needs only enrolled *)
+  let qual =
+    Dep.Universal.qualification university_relations
+      (Dep.Attrs.of_list [ "sid"; "cid" ])
+  in
+  Alcotest.(check int) "single relation suffices" 1 (List.length qual)
+
+(* --- calculus parser ------------------------------------------------------------ *)
+
+let test_calc_parse_and_eval () =
+  let q =
+    Calculus.Parser.parse_query
+      "{x | exists y. edge(x, y) and not edge(x, x)}"
+  in
+  let result = Calculus.Active_domain.eval graph_db q in
+  (* sources without self-loop; the fixture graph has none, so all
+     sources: 1,2,3,6,7 *)
+  Alcotest.(check int) "sources" 5 (R.Relation.cardinality result)
+
+let test_calc_parse_matches_ast () =
+  let parsed = Calculus.Parser.parse_formula "exists z. edge(x, z) and edge(z, y)" in
+  let expected =
+    F.Exists
+      ( "z",
+        F.And (F.Atom ("edge", [ F.Var "x"; F.Var "z" ]),
+               F.Atom ("edge", [ F.Var "z"; F.Var "y" ])) )
+  in
+  Alcotest.(check string) "same formula" (F.to_string expected) (F.to_string parsed)
+
+let test_calc_parse_boolean () =
+  let q = Calculus.Parser.parse_query "exists x. edge(x, 4)" in
+  Alcotest.(check (list string)) "empty head" [] q.F.head;
+  Alcotest.(check int) "true" 1
+    (R.Relation.cardinality (Calculus.Active_domain.eval graph_db q))
+
+let test_calc_parse_constants_and_comparisons () =
+  let q = Calculus.Parser.parse_query "{x, y | edge(x, y) and x < y}" in
+  let viaparse = Calculus.Active_domain.eval graph_db q in
+  let manual =
+    Calculus.Active_domain.eval graph_db
+      {
+        F.head = [ "x"; "y" ];
+        body =
+          F.And
+            (F.Atom ("edge", [ F.Var "x"; F.Var "y" ]),
+             F.Cmp (Relational.Algebra.Lt, F.Var "x", F.Var "y"));
+      }
+  in
+  Alcotest.check relation_testable "same" manual viaparse
+
+let test_calc_parse_forall () =
+  let q =
+    Calculus.Parser.parse_query
+      "{x | (exists y. edge(x, y)) and (forall y. not edge(x, y) or edge(y, x))}"
+  in
+  (* vertices whose every out-edge is reciprocated: 6 and 7 *)
+  Alcotest.(check int) "reciprocated" 2
+    (R.Relation.cardinality (Calculus.Active_domain.eval graph_db q))
+
+let test_calc_parse_errors () =
+  let bad input =
+    match Calculus.Parser.parse_query input with
+    | _ -> false
+    | exception (Calculus.Parser.Parse_error _ | F.Ill_formed _) -> true
+  in
+  Alcotest.(check bool) "missing brace" true (bad "{x | edge(x, x)");
+  Alcotest.(check bool) "head not free" true (bad "{z | edge(x, x)}");
+  Alcotest.(check bool) "keyword as var" true (bad "{x | exists and. edge(x, and)}");
+  Alcotest.(check bool) "bare term" true (bad "{x | x}")
+
+let test_calc_parse_translate_roundtrip () =
+  let q =
+    Calculus.Parser.parse_query "{x, y | exists z. edge(x, z) and edge(z, y)}"
+  in
+  let compiled = Calculus.To_algebra.translate_query graph_db q in
+  Alcotest.check relation_testable "compiled = interpreted"
+    (Calculus.Active_domain.eval graph_db q)
+    (R.Eval.eval graph_db compiled)
+
+(* --- evolution -------------------------------------------------------------------- *)
+
+let test_evolution_runs () =
+  let rng = Support.Rng.create 5 in
+  let snaps = M.Evolution.simulate rng M.Evolution.default_params ~steps:120 in
+  Alcotest.(check int) "one snapshot per step" 120 (List.length snaps);
+  Alcotest.(check bool) "homophily stays in range" true
+    (List.for_all
+       (fun s ->
+         s.M.Evolution.homophily >= 0.
+         && s.M.Evolution.homophily
+            <= M.Evolution.default_params.M.Evolution.max_homophily)
+       snaps)
+
+let test_evolution_crisis_raises_score () =
+  let rng = Support.Rng.create 11 in
+  (* force long crises *)
+  let params =
+    {
+      M.Evolution.default_params with
+      kuhn =
+        {
+          M.Kuhn.default_params with
+          anomaly_rate = 0.8;
+          revolution_rate = 0.02;
+          remission_rate = 0.;
+        };
+    }
+  in
+  let snaps = M.Evolution.simulate rng params ~steps:250 in
+  let mean sel =
+    let xs = List.filter_map sel snaps in
+    List.fold_left ( +. ) 0. xs /. float_of_int (max 1 (List.length xs))
+  in
+  let crisis_scores =
+    mean (fun s ->
+        if s.M.Evolution.stage = M.Kuhn.Crisis && s.M.Evolution.homophily > 20.
+        then Some s.M.Evolution.crisis_score
+        else None)
+  in
+  let calm_scores =
+    mean (fun s ->
+        if s.M.Evolution.homophily = 0. then Some s.M.Evolution.crisis_score
+        else None)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "deep crisis scores higher (%.2f vs %.2f)" calm_scores
+       crisis_scores)
+    true
+    (crisis_scores > calm_scores)
+
+let test_evolution_revolution_resets () =
+  let rng = Support.Rng.create 23 in
+  let snaps = M.Evolution.simulate rng M.Evolution.default_params ~steps:2000 in
+  (* wherever a revolution happened, the next snapshot has homophily 0 or
+     freshly decaying *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        (if a.M.Evolution.stage = M.Kuhn.Revolution then
+           Alcotest.(check bool) "reset after revolution" true
+             (b.M.Evolution.homophily <= 4.0));
+        check rest
+    | _ -> ()
+  in
+  check snaps
+
+let suite =
+  [
+    Alcotest.test_case "recovery simple undo" `Quick test_recovery_simple_undo;
+    Alcotest.test_case "recovery winners/losers" `Quick test_recovery_winners_losers;
+    Alcotest.test_case "recovery reverse undo" `Quick
+      test_recovery_multiple_writes_reverse_undo;
+    prop_recovery_correct;
+    prop_recovery_idempotent;
+    Alcotest.test_case "window single relation" `Quick test_window_single_relation;
+    Alcotest.test_case "window two relations" `Quick test_window_crosses_two_relations;
+    Alcotest.test_case "window whole tree" `Quick test_window_spans_whole_tree;
+    Alcotest.test_case "window = direct join" `Quick test_window_matches_direct_join;
+    Alcotest.test_case "window unknown attribute" `Quick test_window_unknown_attribute;
+    Alcotest.test_case "window disconnected" `Quick test_window_disconnected;
+    Alcotest.test_case "window qualification minimal" `Quick
+      test_window_qualification_minimal;
+    Alcotest.test_case "calculus parse+eval" `Quick test_calc_parse_and_eval;
+    Alcotest.test_case "calculus parse = ast" `Quick test_calc_parse_matches_ast;
+    Alcotest.test_case "calculus boolean query" `Quick test_calc_parse_boolean;
+    Alcotest.test_case "calculus comparisons" `Quick
+      test_calc_parse_constants_and_comparisons;
+    Alcotest.test_case "calculus forall" `Quick test_calc_parse_forall;
+    Alcotest.test_case "calculus parse errors" `Quick test_calc_parse_errors;
+    Alcotest.test_case "calculus parse/translate roundtrip" `Quick
+      test_calc_parse_translate_roundtrip;
+    Alcotest.test_case "evolution runs" `Quick test_evolution_runs;
+    Alcotest.test_case "evolution crisis raises score" `Quick
+      test_evolution_crisis_raises_score;
+    Alcotest.test_case "evolution revolution resets" `Quick
+      test_evolution_revolution_resets;
+  ]

@@ -1,0 +1,232 @@
+(* Tests for incomplete information: tables with labelled nulls, naive
+   evaluation, and the Imieliński–Lipski certain-answer theorem (positive
+   queries: naive = brute force; negation: naive would be wrong). *)
+
+module I = Incomplete
+module R = Relational
+module A = R.Algebra
+open R.Value
+
+let schema = R.Schema.make
+let cc v = I.Table.Const v
+let nn i = I.Table.Null i
+
+let emp_schema = schema [ ("name", TString); ("dept", TString) ]
+
+(* classic: two employees, one with unknown department *)
+let emp =
+  I.Table.create emp_schema
+    [
+      [| cc (String "ada"); cc (String "cs") |];
+      [| cc (String "bob"); nn 1 |];
+    ]
+
+let dept_schema = schema [ ("dept", TString); ("floor", TInt) ]
+
+let dept =
+  I.Table.create dept_schema
+    [
+      [| cc (String "cs"); cc (Int 3) |];
+      [| cc (String "math"); cc (Int 2) |];
+    ]
+
+let db = [ ("emp", emp); ("dept", dept) ]
+
+let domain = [ String "cs"; String "math"; String "phil" ]
+
+let relation_testable = Fixtures.relation_testable
+
+(* --- tables -------------------------------------------------------------- *)
+
+let test_table_checks () =
+  Alcotest.(check bool) "wrong arity" true
+    (match I.Table.create emp_schema [ [| cc (String "x") |] ] with
+    | _ -> false
+    | exception I.Table.Table_error _ -> true);
+  Alcotest.(check bool) "wrong type" true
+    (match I.Table.create emp_schema [ [| cc (Int 3); cc (String "y") |] ] with
+    | _ -> false
+    | exception I.Table.Table_error _ -> true)
+
+let test_nulls_and_codd () =
+  Alcotest.(check (list int)) "labels" [ 1 ] (I.Table.nulls emp);
+  Alcotest.(check bool) "codd table" true (I.Table.is_codd_table emp);
+  let repeated =
+    I.Table.create emp_schema
+      [ [| nn 1; nn 1 |]; [| cc (String "x"); cc (String "y") |] ]
+  in
+  Alcotest.(check bool) "repeated label" false (I.Table.is_codd_table repeated)
+
+let test_valuate () =
+  let rel = I.Table.valuate emp (fun _ -> String "math") in
+  Alcotest.(check int) "two tuples" 2 (R.Relation.cardinality rel);
+  Alcotest.(check bool) "bad type rejected" true
+    (match I.Table.valuate emp (fun _ -> Int 7) with
+    | _ -> false
+    | exception I.Table.Table_error _ -> true)
+
+let test_valuations_count () =
+  Alcotest.(check int) "3 valuations of one null" 3
+    (List.length (I.Table.valuations emp ~domain))
+
+let test_roundtrip_relation () =
+  let t = I.Table.of_relation Fixtures.students in
+  Alcotest.(check bool) "no nulls" true (I.Table.nulls t = []);
+  match I.Table.to_relation t with
+  | Some rel -> Alcotest.check relation_testable "roundtrip" Fixtures.students rel
+  | None -> Alcotest.fail "null-free table should convert"
+
+(* --- naive evaluation ------------------------------------------------------ *)
+
+let test_positive_fragment () =
+  Alcotest.(check bool) "join positive" true
+    (I.Naive_eval.is_positive (A.Join (A.Rel "emp", A.Rel "dept")));
+  Alcotest.(check bool) "difference not positive" false
+    (I.Naive_eval.is_positive (A.Diff (A.Rel "emp", A.Rel "emp")));
+  Alcotest.(check bool) "inequality not positive" false
+    (I.Naive_eval.is_positive
+       (A.Select (A.Cmp (A.Ne, A.Attr "name", A.Const (String "x")), A.Rel "emp")))
+
+let test_naive_join () =
+  let t = I.Naive_eval.eval db (A.Join (A.Rel "emp", A.Rel "dept")) in
+  (* ada joins with cs; bob's null does not syntactically match any dept *)
+  Alcotest.(check int) "one row" 1 (List.length (I.Table.rows t))
+
+let test_certain_answers_positive () =
+  let q = A.Project ([ "name" ], A.Join (A.Rel "emp", A.Rel "dept")) in
+  let naive = I.Naive_eval.certain_answers db q in
+  let brute = I.Naive_eval.certain_answers_bruteforce db q ~domain in
+  Alcotest.check relation_testable "IL theorem" brute naive;
+  Alcotest.(check int) "only ada is certain" 1 (R.Relation.cardinality naive)
+
+let test_certain_answers_projection_with_null () =
+  (* asking for names is certain even for bob *)
+  let q = A.Project ([ "name" ], A.Rel "emp") in
+  let naive = I.Naive_eval.certain_answers db q in
+  let brute = I.Naive_eval.certain_answers_bruteforce db q ~domain in
+  Alcotest.check relation_testable "certain names" brute naive;
+  Alcotest.(check int) "both names" 2 (R.Relation.cardinality naive)
+
+let test_naive_fails_for_negation () =
+  (* employees in no known department: naive evaluation over-answers,
+     the brute force shows bob is NOT a certain answer (his null could be
+     cs) *)
+  let q =
+    A.Diff
+      ( A.Project ([ "dept" ], A.Rel "emp"),
+        A.Project ([ "dept" ], A.Rel "dept") )
+  in
+  Alcotest.(check bool) "naive refuses negation" true
+    (match I.Naive_eval.eval db q with
+    | _ -> false
+    | exception I.Naive_eval.Not_positive _ -> true);
+  (* ground truth exists anyway *)
+  let brute = I.Naive_eval.certain_answers_bruteforce db q ~domain in
+  Alcotest.(check int) "no certain answer" 0 (R.Relation.cardinality brute)
+
+let test_possible_answers () =
+  let q = A.Project ([ "name" ], A.Join (A.Rel "emp", A.Rel "dept")) in
+  let possible = I.Naive_eval.possible_answers_bruteforce db q ~domain in
+  (* bob possibly works in cs or math, so he appears *)
+  Alcotest.(check int) "both possible" 2 (R.Relation.cardinality possible)
+
+let test_certain_subset_possible () =
+  let q = A.Project ([ "name" ], A.Join (A.Rel "emp", A.Rel "dept")) in
+  let certain = I.Naive_eval.certain_answers_bruteforce db q ~domain in
+  let possible = I.Naive_eval.possible_answers_bruteforce db q ~domain in
+  Alcotest.(check bool) "certain ⊆ possible" true
+    (R.Relation.subset certain possible)
+
+let test_union_with_nulls () =
+  let q =
+    A.Union
+      ( A.Project ([ "dept" ], A.Rel "emp"),
+        A.Project ([ "dept" ], A.Rel "dept") )
+  in
+  let naive = I.Naive_eval.certain_answers db q in
+  let brute = I.Naive_eval.certain_answers_bruteforce db q ~domain in
+  Alcotest.check relation_testable "union certain" brute naive
+
+(* --- joining nulls ---------------------------------------------------------- *)
+
+let test_naive_tables_join_on_shared_null () =
+  (* the same labelled null joins with itself — naive tables are stronger
+     than Codd tables exactly here *)
+  let r = I.Table.create (schema [ ("a", TString); ("b", TString) ])
+      [ [| cc (String "k"); nn 7 |] ] in
+  let s = I.Table.create (schema [ ("b", TString); ("c", TString) ])
+      [ [| nn 7; cc (String "v") |] ] in
+  let db = [ ("r", r); ("s", s) ] in
+  let q = A.Project ([ "a"; "c" ], A.Join (A.Rel "r", A.Rel "s")) in
+  let naive = I.Naive_eval.certain_answers db q in
+  let brute = I.Naive_eval.certain_answers_bruteforce db q ~domain in
+  Alcotest.check relation_testable "shared null certain join" brute naive;
+  Alcotest.(check int) "joins" 1 (R.Relation.cardinality naive)
+
+(* --- property test ------------------------------------------------------------ *)
+
+let property count name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let prop_il_theorem =
+  property 40 "naive certain answers = brute force (positive queries)"
+    seed_gen
+    (fun seed ->
+      let rng = Support.Rng.create seed in
+      (* small random tables over a 3-value string domain with 2 nulls *)
+      let dom = [ String "a"; String "b"; String "c" ] in
+      let random_table sch =
+        let rows =
+          List.init 3 (fun _ ->
+              Array.of_list
+                (List.map
+                   (fun _ ->
+                     if Support.Rng.int rng 4 = 0 then nn (Support.Rng.int rng 2)
+                     else cc (Support.Rng.pick_list rng dom))
+                   (R.Schema.attributes sch)))
+        in
+        I.Table.create sch rows
+      in
+      let s1 = schema [ ("a", TString); ("b", TString) ] in
+      let s2 = schema [ ("b", TString); ("c", TString) ] in
+      let db = [ ("r", random_table s1); ("s", random_table s2) ] in
+      (* the brute-force domain needs a fresh constant per null, or the
+         closed domain saturates and over-approximates certainty *)
+      let dom = dom @ [ String "u0"; String "u1" ] in
+      let queries =
+        [
+          A.Project ([ "a" ], A.Rel "r");
+          A.Join (A.Rel "r", A.Rel "s");
+          A.Project ([ "a"; "c" ], A.Join (A.Rel "r", A.Rel "s"));
+          A.Union (A.Project ([ "b" ], A.Rel "r"), A.Project ([ "b" ], A.Rel "s"));
+          A.Select (A.Cmp (A.Eq, A.Attr "a", A.Const (String "a")), A.Rel "r");
+        ]
+      in
+      List.for_all
+        (fun q ->
+          R.Relation.equal
+            (I.Naive_eval.certain_answers db q)
+            (I.Naive_eval.certain_answers_bruteforce db q ~domain:dom))
+        queries)
+
+let suite =
+  [
+    Alcotest.test_case "table checks" `Quick test_table_checks;
+    Alcotest.test_case "nulls and codd" `Quick test_nulls_and_codd;
+    Alcotest.test_case "valuate" `Quick test_valuate;
+    Alcotest.test_case "valuations count" `Quick test_valuations_count;
+    Alcotest.test_case "relation roundtrip" `Quick test_roundtrip_relation;
+    Alcotest.test_case "positive fragment" `Quick test_positive_fragment;
+    Alcotest.test_case "naive join" `Quick test_naive_join;
+    Alcotest.test_case "certain answers (IL)" `Quick test_certain_answers_positive;
+    Alcotest.test_case "certain projection with null" `Quick
+      test_certain_answers_projection_with_null;
+    Alcotest.test_case "negation breaks naive" `Quick test_naive_fails_for_negation;
+    Alcotest.test_case "possible answers" `Quick test_possible_answers;
+    Alcotest.test_case "certain subset possible" `Quick test_certain_subset_possible;
+    Alcotest.test_case "union with nulls" `Quick test_union_with_nulls;
+    Alcotest.test_case "shared null joins" `Quick test_naive_tables_join_on_shared_null;
+    prop_il_theorem;
+  ]

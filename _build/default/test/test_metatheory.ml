@@ -1,0 +1,448 @@
+(* Tests for the metatheory core: the Kuhn stage machine (Fig. 1), the
+   research-graph model and its crisis diagnostics (Fig. 2), the PODS
+   dataset and its time-series signatures (Fig. 3), the Volterra fit, and
+   Kitcher's diversity model. *)
+
+module M = Metatheory
+module Rng = Support.Rng
+
+(* --- kuhn ------------------------------------------------------------------ *)
+
+let test_kuhn_transitions_shape () =
+  Alcotest.(check bool) "immature -> normal" true
+    (M.Kuhn.can_transition M.Kuhn.Immature M.Kuhn.Normal);
+  Alcotest.(check bool) "revolution -> normal" true
+    (M.Kuhn.can_transition M.Kuhn.Revolution M.Kuhn.Normal);
+  Alcotest.(check bool) "no normal -> revolution shortcut" false
+    (M.Kuhn.can_transition M.Kuhn.Normal M.Kuhn.Revolution);
+  Alcotest.(check bool) "no revolution -> crisis" false
+    (M.Kuhn.can_transition M.Kuhn.Revolution M.Kuhn.Crisis)
+
+let test_kuhn_simulation_reaches_normal () =
+  let rng = Rng.create 1 in
+  let traj = M.Kuhn.simulate rng M.Kuhn.default_params ~steps:500 in
+  Alcotest.(check int) "500 states" 500 (List.length traj);
+  Alcotest.(check bool) "normal science happens" true
+    (List.exists (fun s -> s.M.Kuhn.stage = M.Kuhn.Normal) traj)
+
+let test_kuhn_revolutions_occur () =
+  let rng = Rng.create 2 in
+  let traj = M.Kuhn.simulate rng M.Kuhn.default_params ~steps:3000 in
+  let summary = M.Kuhn.summarize traj in
+  Alcotest.(check bool) "at least one revolution" true
+    (summary.M.Kuhn.revolution_count >= 1);
+  Alcotest.(check bool) "crises have positive length" true
+    (summary.M.Kuhn.mean_crisis_length > 0.)
+
+let test_kuhn_shares_sum_to_one () =
+  let rng = Rng.create 3 in
+  let traj = M.Kuhn.simulate rng M.Kuhn.default_params ~steps:1000 in
+  let summary = M.Kuhn.summarize traj in
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0. summary.M.Kuhn.share in
+  Alcotest.(check (float 1e-9)) "shares" 1.0 total
+
+let test_kuhn_no_anomalies_no_crisis () =
+  let rng = Rng.create 4 in
+  let params = { M.Kuhn.default_params with anomaly_rate = 0. } in
+  let traj = M.Kuhn.simulate rng params ~steps:1000 in
+  Alcotest.(check bool) "eternal normal science" true
+    (List.for_all (fun s -> s.M.Kuhn.stage <> M.Kuhn.Crisis) traj)
+
+let test_kuhn_diagram_mentions_stages () =
+  let d = M.Kuhn.diagram () in
+  List.iter
+    (fun word ->
+      Alcotest.(check bool) word true
+        (Str_contains.contains d word))
+    [ "normal science"; "crisis"; "revolution" ]
+
+(* --- research graph ------------------------------------------------------------ *)
+
+let healthy_params = { M.Research_graph.units = 60; mean_degree = 4.0; crisis = 0.0 }
+let crisis_params = { healthy_params with M.Research_graph.crisis = 40.0 }
+
+let test_graph_generation_degree () =
+  let rng = Rng.create 5 in
+  let degs =
+    List.init 30 (fun _ ->
+        M.Research_graph.mean_degree (M.Research_graph.generate rng healthy_params))
+  in
+  let avg = List.fold_left ( +. ) 0. degs /. 30. in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean degree near target (got %.2f)" avg)
+    true
+    (avg > 3.2 && avg < 4.8)
+
+let test_graph_crisis_preserves_degree () =
+  let rng = Rng.create 6 in
+  let degs =
+    List.init 30 (fun _ ->
+        M.Research_graph.mean_degree (M.Research_graph.generate rng crisis_params))
+  in
+  let avg = List.fold_left ( +. ) 0. degs /. 30. in
+  (* "the differences can escape detection for a long time ... the average
+     degree is the same as before" *)
+  Alcotest.(check bool)
+    (Printf.sprintf "crisis keeps mean degree (got %.2f)" avg)
+    true
+    (avg > 3.2 && avg < 4.8)
+
+let test_graph_kinds () =
+  Alcotest.(check bool) "theory" true (M.Research_graph.kind_of 0.9 = M.Research_graph.Theory);
+  Alcotest.(check bool) "practice" true
+    (M.Research_graph.kind_of 0.1 = M.Research_graph.Practice);
+  Alcotest.(check bool) "middle" true (M.Research_graph.kind_of 0.5 = M.Research_graph.Middle)
+
+let test_metrics_on_known_graph () =
+  (* a path 0-1-2 plus an isolated vertex *)
+  let g =
+    {
+      M.Research_graph.theoreticity = [| 0.0; 0.5; 1.0; 1.0 |];
+      adjacency = [| [ 1 ]; [ 0; 2 ]; [ 1 ]; [] |];
+    }
+  in
+  Alcotest.(check int) "two components" 2 (List.length (M.Graph_metrics.components g));
+  Alcotest.(check (float 1e-9)) "giant fraction" 0.75 (M.Graph_metrics.giant_fraction g);
+  Alcotest.(check int) "diameter" 2 (M.Graph_metrics.diameter_of_giant g);
+  (* theory nodes: 2 (connected, distance 2 to practice node 0) and 3
+     (isolated): unreachable *)
+  Alcotest.(check bool) "unreachable theory" true
+    (M.Graph_metrics.theory_practice_distance g = None);
+  Alcotest.(check (float 1e-9)) "half of theory stranded" 0.5
+    (M.Graph_metrics.unreachable_theory_fraction g)
+
+let test_crisis_score_separates () =
+  (* the headline claim of Figure 2: same local degree, different global
+     connectivity; the crisis score must separate the two regimes *)
+  let rng = Rng.create 7 in
+  let avg_score params =
+    let scores =
+      List.init 25 (fun _ ->
+          let g = M.Research_graph.generate rng params in
+          (M.Graph_metrics.report g).M.Graph_metrics.crisis_score)
+    in
+    List.fold_left ( +. ) 0. scores /. 25.
+  in
+  let healthy = avg_score healthy_params in
+  let crisis = avg_score crisis_params in
+  Alcotest.(check bool)
+    (Printf.sprintf "crisis scores higher (%.2f vs %.2f)" healthy crisis)
+    true
+    (crisis > healthy +. 0.5)
+
+let test_theory_practice_distance_grows () =
+  let rng = Rng.create 8 in
+  let avg_distance params =
+    let ds =
+      List.init 25 (fun _ ->
+          let g = M.Research_graph.generate rng params in
+          match M.Graph_metrics.theory_practice_distance g with
+          | Some d -> d
+          | None -> 12. (* stranded counts as very far *))
+    in
+    List.fold_left ( +. ) 0. ds /. 25.
+  in
+  Alcotest.(check bool) "crisis lengthens theory->practice paths" true
+    (avg_distance crisis_params > avg_distance healthy_params +. 0.5)
+
+(* --- pods data ------------------------------------------------------------------- *)
+
+let test_years_shape () =
+  Alcotest.(check int) "fourteen years" 14 (Array.length M.Pods_data.years);
+  Alcotest.(check int) "1982 start" 1982 M.Pods_data.years.(0);
+  Alcotest.(check int) "1995 end" 1995 M.Pods_data.years.(13)
+
+let test_printed_series_verbatim () =
+  (* the one series the paper prints: 1986..1992 *)
+  Alcotest.(check (array (float 1e-9)))
+    "10,14,9,18,13,16,14"
+    [| 10.; 14.; 9.; 18.; 13.; 16.; 14. |]
+    M.Pods_data.printed_logic_series;
+  let logic = M.Pods_data.raw_series M.Pods_data.Logic_databases in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-9)) "embedded verbatim" v logic.(i + 4))
+    M.Pods_data.printed_logic_series
+
+let test_series_lengths () =
+  List.iter
+    (fun (area, series) ->
+      Alcotest.(check int)
+        (M.Pods_data.area_to_string area)
+        14 (Array.length series))
+    M.Pods_data.all_series
+
+let test_narrative_shapes () =
+  let s = M.Pods_data.raw_series in
+  Alcotest.(check bool) "relational theory falls" true
+    (M.Timeseries.trend (s M.Pods_data.Relational_theory) = `Falling);
+  Alcotest.(check bool) "transaction processing falls" true
+    (M.Timeseries.trend (s M.Pods_data.Transaction_processing) = `Falling);
+  Alcotest.(check bool) "complex objects rise" true
+    (M.Timeseries.trend (s M.Pods_data.Complex_objects) = `Rising);
+  Alcotest.(check bool) "data structures flat" true
+    (M.Timeseries.trend (s M.Pods_data.Data_structures) = `Flat);
+  (* logic databases: explosive entry (1986 block of ten) then waning *)
+  let logic = s M.Pods_data.Logic_databases in
+  Alcotest.(check (float 1e-9)) "block of ten in 1986" 10. logic.(4);
+  Alcotest.(check bool) "wanes at the end" true (logic.(13) < logic.(7))
+
+(* --- timeseries --------------------------------------------------------------------- *)
+
+let test_two_year_average_smooths () =
+  let logic = M.Pods_data.raw_series M.Pods_data.Logic_databases in
+  let smoothed = M.Timeseries.two_year_average logic in
+  (* smoothing must reduce the variance of first differences ("too jerky
+     to display") *)
+  let jerk xs = Support.Stats.stddev (Support.Stats.diff xs) in
+  Alcotest.(check bool) "less jerky" true (jerk smoothed < jerk logic)
+
+let test_committee_harmonic_detected () =
+  (* the two-year harmonic is strong in the raw printed block and weak in
+     its two-year average *)
+  let raw = M.Pods_data.printed_logic_series in
+  let smoothed = M.Timeseries.two_year_average raw in
+  Alcotest.(check bool) "raw harmonic present" true
+    (M.Timeseries.committee_harmonic raw > 0.1);
+  Alcotest.(check bool) "smoothing kills it" true
+    (M.Timeseries.committee_harmonic smoothed
+    < M.Timeseries.committee_harmonic raw /. 2.);
+  Alcotest.(check bool) "negative lag-1 autocorrelation" true
+    (M.Timeseries.lag1_autocorrelation (Support.Stats.diff raw) < 0.)
+
+let test_peak_year_and_succession () =
+  let years = M.Pods_data.years in
+  Alcotest.(check int) "logic peaks 1989" 1989
+    (M.Timeseries.peak_year ~years (M.Pods_data.raw_series M.Pods_data.Logic_databases));
+  let order =
+    M.Timeseries.succession_order ~years
+      (List.map
+         (fun (a, s) -> (M.Pods_data.area_to_string a, s))
+         M.Pods_data.all_series)
+  in
+  let position name =
+    let rec go i = function
+      | [] -> -1
+      | (n, _) :: rest -> if n = name then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "relational before logic" true
+    (position "relational theory" < position "logic databases");
+  Alcotest.(check bool) "logic before complex objects" true
+    (position "logic databases" < position "complex objects")
+
+let test_crossovers () =
+  let years = M.Pods_data.years in
+  let rel = M.Pods_data.raw_series M.Pods_data.Relational_theory in
+  let logic = M.Pods_data.raw_series M.Pods_data.Logic_databases in
+  let flips = M.Timeseries.crossovers ~years logic rel in
+  (* logic databases overtake relational theory in the middle 80s *)
+  Alcotest.(check bool) "logic overtakes relational" true
+    (List.exists
+       (fun (y, dir) -> dir = `First_overtakes && y >= 1985 && y <= 1988)
+       flips)
+
+(* --- volterra ------------------------------------------------------------------------ *)
+
+let test_predator_prey_oscillates () =
+  let p =
+    {
+      M.Volterra.prey_growth = 1.0;
+      predation = 0.5;
+      conversion = 0.3;
+      predator_death = 0.6;
+    }
+  in
+  let traj = M.Volterra.integrate_predator_prey p ~x0:2. ~y0:1. ~t1:40. ~steps:4000 in
+  let prey = Array.map (fun (_, y) -> y.(0)) traj in
+  (* prey population must rise and fall repeatedly *)
+  let rises = ref 0 and falls = ref 0 in
+  Array.iteri
+    (fun i x ->
+      if i > 0 then
+        if x > prey.(i - 1) then incr rises else if x < prey.(i - 1) then incr falls)
+    prey;
+  Alcotest.(check bool) "oscillation" true (!rises > 100 && !falls > 100);
+  Alcotest.(check bool) "populations stay positive" true
+    (Array.for_all (fun (_, y) -> y.(0) > 0. && y.(1) > 0.) traj)
+
+let test_competition_logistic_limit () =
+  (* with no cross pressure each species approaches its capacity *)
+  let c =
+    {
+      M.Volterra.growth = [| 0.8; 0.6 |];
+      capacity = [| 10.; 5. |];
+      pressure = [| [| 1.; 0. |]; [| 0.; 1. |] |];
+    }
+  in
+  let traj =
+    Support.Ode.integrate (M.Volterra.competition_system c) ~y0:[| 0.5; 0.5 |]
+      ~t0:0. ~t1:60. ~steps:2000
+  in
+  let _, final = traj.(Array.length traj - 1) in
+  Alcotest.(check bool) "first near capacity" true (Float.abs (final.(0) -. 10.) < 0.2);
+  Alcotest.(check bool) "second near capacity" true (Float.abs (final.(1) -. 5.) < 0.2)
+
+let test_fit_beats_flat_baseline () =
+  let prey = M.Pods_data.raw_series M.Pods_data.Relational_theory in
+  let predator = M.Pods_data.raw_series M.Pods_data.Logic_databases in
+  let fit = M.Volterra.fit_predator_prey ~prey ~predator in
+  (* the flat baseline predicts each series' mean everywhere *)
+  let flat xs =
+    let m = Support.Stats.mean xs in
+    Support.Stats.sum_squared_error xs (Array.map (fun _ -> m) xs)
+  in
+  let baseline = flat prey +. flat predator in
+  Alcotest.(check bool)
+    (Printf.sprintf "fit sse %.1f < flat sse %.1f" fit.M.Volterra.sse baseline)
+    true
+    (fit.M.Volterra.sse < baseline)
+
+(* --- kitcher ------------------------------------------------------------------------- *)
+
+let mainstream = { M.Kitcher.name = "mainstream"; potential = 0.9; difficulty = 8. }
+let maverick = { M.Kitcher.name = "maverick"; potential = 0.5; difficulty = 3. }
+
+let test_success_probability_shape () =
+  Alcotest.(check (float 1e-9)) "zero workers" 0.
+    (M.Kitcher.success_probability mainstream 0.);
+  Alcotest.(check bool) "monotone" true
+    (M.Kitcher.success_probability mainstream 10.
+    < M.Kitcher.success_probability mainstream 20.);
+  Alcotest.(check bool) "bounded by potential" true
+    (M.Kitcher.success_probability mainstream 1e6 < 0.9)
+
+let test_equilibrium_is_mixed () =
+  let eq = M.Kitcher.equilibrium mainstream maverick ~total:100. in
+  (* diversity is inevitable: both programs keep researchers even though
+     the mainstream is strictly more promising *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mixed equilibrium (n1 = %.1f)" eq.M.Kitcher.allocation)
+    true
+    (eq.M.Kitcher.allocation > 5. && eq.M.Kitcher.allocation < 95.)
+
+let test_equilibrium_near_optimum () =
+  let eq = M.Kitcher.equilibrium mainstream maverick ~total:100. in
+  let opt = M.Kitcher.optimal_allocation mainstream maverick ~total:100. in
+  let v_eq = M.Kitcher.community_success mainstream maverick eq in
+  let v_opt = M.Kitcher.community_success mainstream maverick opt in
+  (* diversity is beneficial: the invisible hand loses little *)
+  Alcotest.(check bool)
+    (Printf.sprintf "within 10%% of optimum (%.3f vs %.3f)" v_eq v_opt)
+    true
+    (v_eq > 0.9 *. v_opt);
+  (* and the optimum itself is mixed *)
+  Alcotest.(check bool) "optimum mixed" true
+    (opt.M.Kitcher.allocation > 1. && opt.M.Kitcher.allocation < 99.)
+
+let test_monoculture_is_suboptimal () =
+  let all_in = { M.Kitcher.allocation = 100.; total = 100. } in
+  let opt = M.Kitcher.optimal_allocation mainstream maverick ~total:100. in
+  Alcotest.(check bool) "spreading beats monoculture" true
+    (M.Kitcher.community_success mainstream maverick opt
+    > M.Kitcher.community_success mainstream maverick all_in)
+
+(* --- property tests --------------------------------------------------------------------- *)
+
+let property count name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let prop_kuhn_transitions_respected =
+  property 50 "every simulated stage change is an arrow of Fig. 1" seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let traj = M.Kuhn.simulate rng M.Kuhn.default_params ~steps:300 in
+      let rec check prev = function
+        | [] -> true
+        | s :: rest ->
+            M.Kuhn.can_transition prev.M.Kuhn.stage s.M.Kuhn.stage
+            && check s rest
+      in
+      check M.Kuhn.initial traj)
+
+let prop_graph_metrics_sane =
+  property 30 "graph metrics stay in range" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let crisis = Support.Rng.float rng 12. in
+      let params = { M.Research_graph.units = 40; mean_degree = 3.5; crisis } in
+      let g = M.Research_graph.generate rng params in
+      let r = M.Graph_metrics.report g in
+      r.M.Graph_metrics.giant >= 0.
+      && r.M.Graph_metrics.giant <= 1.
+      && r.M.Graph_metrics.diameter >= 0
+      && r.M.Graph_metrics.crisis_score >= 0.
+      && r.M.Graph_metrics.unreachable_theory >= 0.
+      && r.M.Graph_metrics.unreachable_theory <= 1.)
+
+let prop_components_partition =
+  property 30 "components partition the units" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let params = { M.Research_graph.units = 30; mean_degree = 2.0; crisis = 5.0 } in
+      let g = M.Research_graph.generate rng params in
+      let comps = M.Graph_metrics.components g in
+      let all = List.concat comps |> List.sort compare in
+      all = List.init 30 Fun.id)
+
+let prop_kitcher_equilibrium_stable =
+  property 30 "credit dynamics settle (no oscillation at the end)" seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p1 =
+        {
+          M.Kitcher.name = "p1";
+          potential = 0.2 +. Support.Rng.float rng 0.8;
+          difficulty = 1. +. Support.Rng.float rng 10.;
+        }
+      in
+      let p2 =
+        {
+          M.Kitcher.name = "p2";
+          potential = 0.2 +. Support.Rng.float rng 0.8;
+          difficulty = 1. +. Support.Rng.float rng 10.;
+        }
+      in
+      let eq = M.Kitcher.equilibrium p1 p2 ~total:50. in
+      let eq' = M.Kitcher.credit_dynamics_step p1 p2 ~dt:0.05 eq in
+      Float.abs (eq'.M.Kitcher.allocation -. eq.M.Kitcher.allocation) < 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "kuhn transitions" `Quick test_kuhn_transitions_shape;
+    Alcotest.test_case "kuhn reaches normal science" `Quick
+      test_kuhn_simulation_reaches_normal;
+    Alcotest.test_case "kuhn revolutions occur" `Quick test_kuhn_revolutions_occur;
+    Alcotest.test_case "kuhn shares sum to one" `Quick test_kuhn_shares_sum_to_one;
+    Alcotest.test_case "kuhn no anomalies no crisis" `Quick
+      test_kuhn_no_anomalies_no_crisis;
+    Alcotest.test_case "kuhn diagram" `Quick test_kuhn_diagram_mentions_stages;
+    Alcotest.test_case "graph degree target" `Quick test_graph_generation_degree;
+    Alcotest.test_case "crisis preserves degree" `Quick test_graph_crisis_preserves_degree;
+    Alcotest.test_case "graph kinds" `Quick test_graph_kinds;
+    Alcotest.test_case "metrics on known graph" `Quick test_metrics_on_known_graph;
+    Alcotest.test_case "crisis score separates" `Quick test_crisis_score_separates;
+    Alcotest.test_case "theory-practice distance grows" `Quick
+      test_theory_practice_distance_grows;
+    Alcotest.test_case "years shape" `Quick test_years_shape;
+    Alcotest.test_case "printed series verbatim" `Quick test_printed_series_verbatim;
+    Alcotest.test_case "series lengths" `Quick test_series_lengths;
+    Alcotest.test_case "narrative shapes" `Quick test_narrative_shapes;
+    Alcotest.test_case "two-year average smooths" `Quick test_two_year_average_smooths;
+    Alcotest.test_case "committee harmonic" `Quick test_committee_harmonic_detected;
+    Alcotest.test_case "peak year and succession" `Quick test_peak_year_and_succession;
+    Alcotest.test_case "crossovers" `Quick test_crossovers;
+    Alcotest.test_case "predator-prey oscillates" `Quick test_predator_prey_oscillates;
+    Alcotest.test_case "competition logistic limit" `Quick test_competition_logistic_limit;
+    Alcotest.test_case "volterra fit beats flat" `Quick test_fit_beats_flat_baseline;
+    Alcotest.test_case "kitcher success shape" `Quick test_success_probability_shape;
+    Alcotest.test_case "kitcher mixed equilibrium" `Quick test_equilibrium_is_mixed;
+    Alcotest.test_case "kitcher near optimum" `Quick test_equilibrium_near_optimum;
+    Alcotest.test_case "kitcher monoculture suboptimal" `Quick
+      test_monoculture_is_suboptimal;
+    prop_kuhn_transitions_respected;
+    prop_graph_metrics_sane;
+    prop_components_partition;
+    prop_kitcher_equilibrium_stable;
+  ]

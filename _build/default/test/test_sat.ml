@@ -1,0 +1,301 @@
+(* Tests for the SAT substrate: CNF, DPLL vs brute force, the Cook-style
+   reductions, and the miniature Fagin evaluator. *)
+
+module S = Sat
+module D = Datalog
+open Relational.Value
+
+(* --- cnf ------------------------------------------------------------------ *)
+
+let test_cnf_eval () =
+  let cnf = [ [ 1; -2 ]; [ 2 ] ] in
+  Alcotest.(check bool) "satisfying" true
+    (S.Cnf.eval [ (1, true); (2, true) ] cnf);
+  Alcotest.(check bool) "falsifying" false
+    (S.Cnf.eval [ (1, false); (2, true) ] cnf)
+
+let test_dimacs_roundtrip () =
+  let cnf = [ [ 1; -2; 3 ]; [ -1 ]; [ 2; -3 ] ] in
+  Alcotest.(check bool) "roundtrip" true
+    (S.Cnf.of_dimacs (S.Cnf.to_dimacs cnf) = cnf)
+
+let test_dimacs_errors () =
+  Alcotest.(check bool) "no terminating zero" true
+    (match S.Cnf.of_dimacs "1 2 3" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- dpll ------------------------------------------------------------------- *)
+
+let test_dpll_simple_sat () =
+  match S.Dpll.solve [ [ 1; 2 ]; [ -1; 2 ]; [ -2; 3 ] ] with
+  | S.Dpll.Sat a ->
+      Alcotest.(check bool) "model checks" true
+        (S.Cnf.eval a [ [ 1; 2 ]; [ -1; 2 ]; [ -2; 3 ] ])
+  | S.Dpll.Unsat -> Alcotest.fail "satisfiable formula"
+
+let test_dpll_unsat () =
+  Alcotest.(check bool) "contradiction" false
+    (S.Dpll.is_satisfiable [ [ 1 ]; [ -1 ] ]);
+  Alcotest.(check bool) "empty clause" false (S.Dpll.is_satisfiable [ [] ])
+
+let test_dpll_empty_formula () =
+  Alcotest.(check bool) "empty cnf is sat" true (S.Dpll.is_satisfiable [])
+
+let test_dpll_unit_propagation () =
+  let _, stats = S.Dpll.solve_with_stats [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ] in
+  Alcotest.(check int) "pure chain needs no decisions" 0 stats.S.Dpll.decisions
+
+let test_pigeonhole_unsat () =
+  (* 3 pigeons, 2 holes: variable p*2+h+1 *)
+  let var p h = (p * 2) + h + 1 in
+  let each_pigeon = List.init 3 (fun p -> [ var p 0; var p 1 ]) in
+  let no_sharing =
+    List.concat_map
+      (fun h ->
+        [
+          [ -var 0 h; -var 1 h ];
+          [ -var 0 h; -var 2 h ];
+          [ -var 1 h; -var 2 h ];
+        ])
+      [ 0; 1 ]
+  in
+  Alcotest.(check bool) "php(3,2) unsat" false
+    (S.Dpll.is_satisfiable (each_pigeon @ no_sharing))
+
+(* --- 3-coloring -------------------------------------------------------------- *)
+
+let triangle = [ (0, 1); (1, 2); (2, 0) ]
+let square = [ (0, 1); (1, 2); (2, 3); (3, 0) ]
+let k4 = [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+
+let test_three_coloring () =
+  let solvable edges nodes =
+    let cnf, _ = S.Encodings.three_coloring ~edges ~nodes in
+    S.Dpll.is_satisfiable cnf
+  in
+  Alcotest.(check bool) "triangle colorable" true (solvable triangle [ 0; 1; 2 ]);
+  Alcotest.(check bool) "square colorable" true (solvable square [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "K4 not 3-colorable" false (solvable k4 [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "self loop impossible" false (solvable [ (0, 0) ] [ 0 ])
+
+let test_decode_coloring () =
+  let cnf, vm = S.Encodings.three_coloring ~edges:triangle ~nodes:[ 0; 1; 2 ] in
+  match S.Dpll.solve cnf with
+  | S.Dpll.Unsat -> Alcotest.fail "triangle is colorable"
+  | S.Dpll.Sat a ->
+      let colors = S.Encodings.decode_coloring vm a in
+      Alcotest.(check int) "three nodes colored" 3 (List.length colors);
+      List.iter
+        (fun (u, v) ->
+          Alcotest.(check bool) "proper coloring" true
+            (List.assoc u colors <> List.assoc v colors))
+        triangle
+
+(* --- boolean CQ via SAT ----------------------------------------------------------- *)
+
+let facts_of_pairs pred pairs =
+  D.Facts.add_list D.Facts.empty pred
+    (List.map (fun (a, b) -> [ Int a; Int b ]) pairs)
+
+let cq body_str =
+  D.Containment.of_rule (D.Parser.parse_rule ("q() :- " ^ body_str ^ "."))
+
+let test_cq_via_sat_basic () =
+  let facts = facts_of_pairs "e" [ (1, 2); (2, 3) ] in
+  let yes = cq "e(X, Y), e(Y, Z)" in
+  let no = cq "e(X, X)" in
+  Alcotest.(check bool) "path of 2 exists" true (S.Encodings.cq_holds_via_sat yes facts);
+  Alcotest.(check bool) "no self loop" false (S.Encodings.cq_holds_via_sat no facts)
+
+let test_cq_with_constants () =
+  let facts = facts_of_pairs "e" [ (1, 2); (2, 3) ] in
+  let q1 = cq "e(1, Y), e(Y, 3)" in
+  let q2 = cq "e(3, Y)" in
+  Alcotest.(check bool) "constants matched" true (S.Encodings.cq_holds_via_sat q1 facts);
+  Alcotest.(check bool) "no edge from 3" false (S.Encodings.cq_holds_via_sat q2 facts)
+
+let test_cq_sat_agrees_with_direct () =
+  let facts = facts_of_pairs "e" [ (1, 2); (2, 3); (3, 1); (2, 2) ] in
+  let queries =
+    [
+      "e(X, Y)";
+      "e(X, X)";
+      "e(X, Y), e(Y, X)";
+      "e(X, Y), e(Y, Z), e(Z, X)";
+      "e(1, X), e(X, 1)";
+      "e(X, Y), e(Y, Z), e(Z, W), e(W, X)";
+    ]
+  in
+  List.iter
+    (fun body ->
+      let q = cq body in
+      Alcotest.(check bool) body
+        (S.Encodings.cq_holds_directly q facts)
+        (S.Encodings.cq_holds_via_sat q facts))
+    queries
+
+(* --- fagin ---------------------------------------------------------------------- *)
+
+let test_fagin_three_colorability () =
+  let decide edges nodes =
+    S.Fagin.decide
+      (S.Fagin.structure_of_graph ~edges ~nodes)
+      S.Fagin.three_colorability
+  in
+  Alcotest.(check bool) "triangle" true (decide triangle [ 0; 1; 2 ]);
+  Alcotest.(check bool) "K4" false (decide k4 [ 0; 1; 2; 3 ])
+
+let test_fagin_model_is_coloring () =
+  match
+    S.Fagin.model
+      (S.Fagin.structure_of_graph ~edges:square ~nodes:[ 0; 1; 2; 3 ])
+      S.Fagin.three_colorability
+  with
+  | None -> Alcotest.fail "square is 3-colorable"
+  | Some relations ->
+      let members rel =
+        match List.assoc_opt rel relations with
+        | Some rows -> List.map (function [ v ] -> v | _ -> -1) rows
+        | None -> []
+      in
+      let all = members "r" @ members "g" @ members "b" in
+      Alcotest.(check int) "every node colored" 4
+        (List.length (List.sort_uniq Stdlib.compare all));
+      List.iter
+        (fun (u, v) ->
+          List.iter
+            (fun c ->
+              let m = members c in
+              Alcotest.(check bool) "no monochrome edge" false
+                (List.mem u m && List.mem v m))
+            [ "r"; "g"; "b" ])
+        square
+
+let test_fagin_agrees_with_direct_encoding () =
+  let graphs =
+    [
+      (triangle, [ 0; 1; 2 ]);
+      (square, [ 0; 1; 2; 3 ]);
+      (k4, [ 0; 1; 2; 3 ]);
+      ([ (0, 1) ], [ 0; 1 ]);
+      ([], [ 0 ]);
+    ]
+  in
+  List.iter
+    (fun (edges, nodes) ->
+      let via_fagin =
+        S.Fagin.decide (S.Fagin.structure_of_graph ~edges ~nodes)
+          S.Fagin.three_colorability
+      in
+      let cnf, _ = S.Encodings.three_coloring ~edges ~nodes in
+      Alcotest.(check bool) "fagin = direct" (S.Dpll.is_satisfiable cnf) via_fagin)
+    graphs
+
+let test_fagin_simple_sentences () =
+  (* ∃S ∀x S(x): always satisfiable (take S = domain) *)
+  let all =
+    {
+      S.Fagin.guesses = [ ("s", 1) ];
+      matrix = S.Fagin.Forall ("x", S.Fagin.Guess ("s", [ S.Fagin.V "x" ]));
+    }
+  in
+  let structure = { S.Fagin.domain = [ 1; 2 ]; base = [] } in
+  Alcotest.(check bool) "exists full set" true (S.Fagin.decide structure all);
+  (* ∃S ∀x (S(x) ∧ ¬S(x)): unsatisfiable *)
+  let contradiction =
+    {
+      S.Fagin.guesses = [ ("s", 1) ];
+      matrix =
+        S.Fagin.Forall
+          ( "x",
+            S.Fagin.And
+              ( S.Fagin.Guess ("s", [ S.Fagin.V "x" ]),
+                S.Fagin.Not (S.Fagin.Guess ("s", [ S.Fagin.V "x" ])) ) );
+    }
+  in
+  Alcotest.(check bool) "contradiction" false (S.Fagin.decide structure contradiction)
+
+let test_fagin_free_variable_rejected () =
+  let bad =
+    { S.Fagin.guesses = [ ("s", 1) ]; matrix = S.Fagin.Guess ("s", [ S.Fagin.V "x" ]) }
+  in
+  Alcotest.(check bool) "free var" true
+    (match S.Fagin.decide { S.Fagin.domain = [ 1 ]; base = [] } bad with
+    | _ -> false
+    | exception S.Fagin.Ill_formed _ -> true)
+
+(* --- property tests ------------------------------------------------------------- *)
+
+let property count name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let random_cnf rng ~vars ~clauses ~width =
+  List.init clauses (fun _ ->
+      List.init (1 + Support.Rng.int rng width) (fun _ ->
+          let v = 1 + Support.Rng.int rng vars in
+          if Support.Rng.bool rng then v else -v))
+
+let prop_dpll_equals_bruteforce =
+  property 100 "dpll agrees with brute force" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let cnf = random_cnf rng ~vars:6 ~clauses:10 ~width:3 in
+      let a = S.Dpll.is_satisfiable cnf in
+      let b = match S.Dpll.brute_force cnf with S.Dpll.Sat _ -> true | S.Dpll.Unsat -> false in
+      a = b)
+
+let prop_dpll_models_check =
+  property 100 "dpll models satisfy the formula" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let cnf = random_cnf rng ~vars:7 ~clauses:12 ~width:3 in
+      match S.Dpll.solve cnf with
+      | S.Dpll.Unsat -> true
+      | S.Dpll.Sat a -> S.Cnf.eval a cnf)
+
+let prop_cq_sat_equals_direct =
+  property 60 "cq via SAT = direct homomorphism search" seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let pairs =
+        List.init (3 + Support.Rng.int rng 6) (fun _ ->
+            (Support.Rng.int rng 4, Support.Rng.int rng 4))
+      in
+      let facts = facts_of_pairs "e" pairs in
+      let vars = [| "X"; "Y"; "Z" |] in
+      let body =
+        List.init (1 + Support.Rng.int rng 3) (fun _ ->
+            D.Ast.atom "e"
+              [
+                D.Ast.Var (Support.Rng.pick rng vars);
+                D.Ast.Var (Support.Rng.pick rng vars);
+              ])
+      in
+      let q = { D.Containment.head = []; body } in
+      S.Encodings.cq_holds_via_sat q facts = S.Encodings.cq_holds_directly q facts)
+
+let suite =
+  [
+    Alcotest.test_case "cnf eval" `Quick test_cnf_eval;
+    Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+    Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
+    Alcotest.test_case "dpll simple sat" `Quick test_dpll_simple_sat;
+    Alcotest.test_case "dpll unsat" `Quick test_dpll_unsat;
+    Alcotest.test_case "dpll empty formula" `Quick test_dpll_empty_formula;
+    Alcotest.test_case "dpll unit propagation" `Quick test_dpll_unit_propagation;
+    Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+    Alcotest.test_case "three coloring" `Quick test_three_coloring;
+    Alcotest.test_case "decode coloring" `Quick test_decode_coloring;
+    Alcotest.test_case "cq via sat basic" `Quick test_cq_via_sat_basic;
+    Alcotest.test_case "cq with constants" `Quick test_cq_with_constants;
+    Alcotest.test_case "cq sat = direct (fixed)" `Quick test_cq_sat_agrees_with_direct;
+    Alcotest.test_case "fagin 3-colorability" `Quick test_fagin_three_colorability;
+    Alcotest.test_case "fagin model is coloring" `Quick test_fagin_model_is_coloring;
+    Alcotest.test_case "fagin = direct encoding" `Quick
+      test_fagin_agrees_with_direct_encoding;
+    Alcotest.test_case "fagin simple sentences" `Quick test_fagin_simple_sentences;
+    Alcotest.test_case "fagin free var rejected" `Quick test_fagin_free_variable_rejected;
+    prop_dpll_equals_bruteforce;
+    prop_dpll_models_check;
+    prop_cq_sat_equals_direct;
+  ]

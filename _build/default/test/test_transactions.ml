@@ -1,0 +1,379 @@
+(* Tests for the transaction-processing substrate: schedules,
+   serializability theory, recoverability classes, the lock table, and
+   the four concurrency-control protocols under simulation. *)
+
+module T = Transactions
+module S = T.Schedule
+
+let sched = S.of_string
+
+(* --- schedule syntax -------------------------------------------------------- *)
+
+let test_schedule_parse_print () =
+  let s = "r1(x) w1(x) r2(y) w2(x) c1 c2" in
+  Alcotest.(check string) "roundtrip" s (S.to_string (sched s))
+
+let test_schedule_parse_errors () =
+  let bad input =
+    match S.of_string input with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "no item" true (bad "r1()");
+  Alcotest.(check bool) "garbage" true (bad "z1(x)");
+  Alcotest.(check bool) "no txn" true (bad "r(x)")
+
+let test_schedule_accessors () =
+  let s = sched "r1(x) w2(y) c1 a2" in
+  Alcotest.(check (list int)) "txns" [ 1; 2 ] (S.txns s);
+  Alcotest.(check (list int)) "committed" [ 1 ] (S.committed s);
+  Alcotest.(check (list int)) "aborted" [ 2 ] (S.aborted s);
+  Alcotest.(check (list string)) "items" [ "x"; "y" ] (S.items s)
+
+let test_well_formed () =
+  Alcotest.(check bool) "fine" true (S.well_formed (sched "r1(x) c1"));
+  Alcotest.(check bool) "op after commit" false
+    (S.well_formed (sched "c1 r1(x)"));
+  Alcotest.(check bool) "double commit" false (S.well_formed (sched "c1 c1"))
+
+let test_is_serial () =
+  Alcotest.(check bool) "serial" true (S.is_serial (sched "r1(x) w1(y) c1 r2(x) c2"));
+  Alcotest.(check bool) "interleaved" false
+    (S.is_serial (sched "r1(x) r2(x) w1(y) c1 c2"))
+
+(* --- serializability ---------------------------------------------------------- *)
+
+let test_conflict_serializable_classic () =
+  (* the classic serializable interleaving *)
+  let ok = sched "r1(x) w1(x) r2(x) w2(x) r1(y) w1(y) c1 c2" in
+  Alcotest.(check bool) "serializable" true
+    (T.Serializability.is_conflict_serializable ok);
+  (* and the classic non-serializable one: T1 and T2 each read-then-write x
+     crosswise *)
+  let bad = sched "r1(x) r2(x) w1(x) w2(x) c1 c2" in
+  Alcotest.(check bool) "not serializable" false
+    (T.Serializability.is_conflict_serializable bad)
+
+let test_precedence_graph_edges () =
+  let s = sched "w1(x) r2(x) c1 c2" in
+  Alcotest.(check (list (pair int int))) "edge 1->2" [ (1, 2) ]
+    (T.Serializability.precedence_graph s)
+
+let test_serial_order_found () =
+  let s = sched "r2(x) w2(x) r1(x) w1(x) c1 c2" in
+  match T.Serializability.conflict_equivalent_serial_order s with
+  | Some order -> Alcotest.(check (list int)) "2 before 1" [ 2; 1 ] order
+  | None -> Alcotest.fail "should be serializable"
+
+let test_aborted_txns_ignored () =
+  (* the cycle involves an aborted transaction: committed projection is fine *)
+  let s = sched "r1(x) r2(x) w1(x) w2(x) a2 c1" in
+  Alcotest.(check bool) "aborted excluded" true
+    (T.Serializability.is_conflict_serializable s)
+
+let test_view_serializable_blind_writes () =
+  (* the canonical view-but-not-conflict-serializable schedule (blind
+     writes): w1(x) w2(x) w2(y) c2 w1(y) c1 w3(x) w3(y) c3 *)
+  let s = sched "w1(x) w2(x) w2(y) c2 w1(y) c1 w3(x) w3(y) c3" in
+  Alcotest.(check bool) "not conflict-serializable" false
+    (T.Serializability.is_conflict_serializable s);
+  Alcotest.(check bool) "view-serializable" true
+    (T.Serializability.is_view_serializable s)
+
+let test_conflict_implies_view () =
+  let schedules =
+    [
+      "r1(x) w1(x) r2(x) w2(x) c1 c2";
+      "r2(x) w2(x) r1(y) w1(y) c1 c2";
+      "w1(x) c1 r2(x) w2(y) c2";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let s = sched s in
+      if T.Serializability.is_conflict_serializable s then
+        Alcotest.(check bool)
+          ("view too: " ^ S.to_string s)
+          true
+          (T.Serializability.is_view_serializable s))
+    schedules
+
+let test_reads_from () =
+  let s = sched "w1(x) r2(x) r3(y) c1 c2 c3" in
+  let rf = T.Serializability.reads_from s in
+  Alcotest.(check bool) "t2 reads x from t1" true
+    (List.mem (2, "x", Some 1) rf);
+  Alcotest.(check bool) "t3 reads y from initial" true
+    (List.mem (3, "y", None) rf)
+
+(* --- recoverability ------------------------------------------------------------- *)
+
+let test_recoverability_hierarchy () =
+  (* strict ⟹ ACA ⟹ RC on examples *)
+  let strict = sched "w1(x) c1 r2(x) w2(x) c2" in
+  Alcotest.(check bool) "strict" true (T.Serializability.is_strict strict);
+  Alcotest.(check bool) "strict is ACA" true
+    (T.Serializability.avoids_cascading_aborts strict);
+  Alcotest.(check bool) "strict is RC" true (T.Serializability.is_recoverable strict);
+  (* ACA but not strict: overwrite before commit *)
+  let aca_not_strict = sched "w1(x) w2(x) c1 c2" in
+  Alcotest.(check bool) "not strict" false
+    (T.Serializability.is_strict aca_not_strict);
+  Alcotest.(check bool) "still ACA" true
+    (T.Serializability.avoids_cascading_aborts aca_not_strict);
+  (* RC but not ACA: dirty read, but commit order ok *)
+  let rc_not_aca = sched "w1(x) r2(x) c1 c2" in
+  Alcotest.(check bool) "not ACA" false
+    (T.Serializability.avoids_cascading_aborts rc_not_aca);
+  Alcotest.(check bool) "still RC" true (T.Serializability.is_recoverable rc_not_aca);
+  (* not even RC: reader commits before writer *)
+  let not_rc = sched "w1(x) r2(x) c2 c1" in
+  Alcotest.(check bool) "not RC" false (T.Serializability.is_recoverable not_rc)
+
+(* --- lock table -------------------------------------------------------------------- *)
+
+let test_lock_compatibility () =
+  let t = T.Locks.create () in
+  Alcotest.(check bool) "s grant" true (T.Locks.acquire t ~txn:1 ~item:"x" T.Locks.Shared);
+  Alcotest.(check bool) "s shares" true (T.Locks.acquire t ~txn:2 ~item:"x" T.Locks.Shared);
+  Alcotest.(check bool) "x blocked by s" false
+    (T.Locks.acquire t ~txn:3 ~item:"x" T.Locks.Exclusive);
+  T.Locks.release_all t ~txn:1;
+  T.Locks.release_all t ~txn:2;
+  Alcotest.(check bool) "x after release" true
+    (T.Locks.acquire t ~txn:3 ~item:"x" T.Locks.Exclusive);
+  Alcotest.(check bool) "s blocked by x" false
+    (T.Locks.acquire t ~txn:4 ~item:"x" T.Locks.Shared)
+
+let test_lock_upgrade () =
+  let t = T.Locks.create () in
+  Alcotest.(check bool) "s" true (T.Locks.acquire t ~txn:1 ~item:"x" T.Locks.Shared);
+  Alcotest.(check bool) "upgrade sole holder" true
+    (T.Locks.acquire t ~txn:1 ~item:"x" T.Locks.Exclusive);
+  let t2 = T.Locks.create () in
+  ignore (T.Locks.acquire t2 ~txn:1 ~item:"x" T.Locks.Shared);
+  ignore (T.Locks.acquire t2 ~txn:2 ~item:"x" T.Locks.Shared);
+  Alcotest.(check bool) "upgrade blocked with co-holder" false
+    (T.Locks.acquire t2 ~txn:1 ~item:"x" T.Locks.Exclusive)
+
+let test_lock_reentrant () =
+  let t = T.Locks.create () in
+  ignore (T.Locks.acquire t ~txn:1 ~item:"x" T.Locks.Exclusive);
+  Alcotest.(check bool) "x reentrant" true
+    (T.Locks.acquire t ~txn:1 ~item:"x" T.Locks.Exclusive);
+  Alcotest.(check bool) "s under own x" true
+    (T.Locks.acquire t ~txn:1 ~item:"x" T.Locks.Shared)
+
+(* --- tree structure ------------------------------------------------------------------ *)
+
+let test_tree_lca () =
+  Alcotest.(check int) "lca(3,4)=1" 1 (T.Tree_lock.lca 3 4);
+  Alcotest.(check int) "lca(3,3)=3" 3 (T.Tree_lock.lca 3 3);
+  Alcotest.(check int) "lca(1,2)=0" 0 (T.Tree_lock.lca 1 2);
+  Alcotest.(check int) "lca(7,8)=3" 3 (T.Tree_lock.lca 7 8);
+  Alcotest.(check (option int)) "parent of root" None (T.Tree_lock.parent 0)
+
+(* --- protocol simulations -------------------------------------------------------------- *)
+
+let specs_of_strings strings =
+  Array.of_list
+    (List.map
+       (fun s ->
+         List.map
+           (fun op ->
+             match (op.S.action : S.action) with
+             | S.Read _ | S.Write _ -> op.S.action
+             | _ -> Alcotest.fail "spec may only contain reads/writes")
+           (sched s))
+       strings)
+
+let run_protocol make specs = T.Simulation.run (make ()) specs
+
+let all_commit stats specs =
+  Alcotest.(check int)
+    (stats.T.Simulation.protocol ^ " commits all")
+    (Array.length specs) stats.T.Simulation.committed
+
+let protocols : (string * (unit -> T.Protocol.t)) list =
+  [
+    ("2pl", T.Two_phase.create);
+    ("timestamp", fun () -> T.Timestamp.create ());
+    ("optimistic", T.Optimistic.create);
+    ("tree", T.Tree_lock.create);
+  ]
+
+let test_protocols_commit_everything () =
+  let specs =
+    specs_of_strings [ "r1(x0) w1(x1)"; "r2(x1) w2(x2)"; "r3(x2) w3(x0)" ]
+  in
+  List.iter
+    (fun (_, make) -> all_commit (run_protocol make specs) specs)
+    protocols
+
+let test_protocol_histories_serializable () =
+  (* on a contended workload, each protocol's committed history must be
+     conflict-serializable *)
+  let rng = Support.Rng.create 7 in
+  let params = { T.Workload.default with txns = 6; items = 4; write_ratio = 0.5 } in
+  let specs = T.Workload.generate rng params in
+  List.iter
+    (fun (name, make) ->
+      let stats = run_protocol make specs in
+      Alcotest.(check bool) (name ^ " history serializable") true
+        (T.Serializability.is_conflict_serializable stats.T.Simulation.history))
+    protocols
+
+let test_2pl_strict_history () =
+  let rng = Support.Rng.create 11 in
+  let specs =
+    T.Workload.generate rng { T.Workload.default with txns = 5; items = 6 }
+  in
+  let stats = run_protocol T.Two_phase.create specs in
+  Alcotest.(check bool) "2pl history strict" true
+    (T.Serializability.is_strict stats.T.Simulation.history)
+
+let test_2pl_deadlock_resolved () =
+  (* classic crossing order: t1 takes x then y, t2 takes y then x *)
+  let specs = specs_of_strings [ "w1(x) w1(y)"; "w2(y) w2(x)" ] in
+  let stats = run_protocol T.Two_phase.create specs in
+  Alcotest.(check int) "both commit" 2 stats.T.Simulation.committed;
+  Alcotest.(check bool) "at least one deadlock" true
+    (stats.T.Simulation.deadlocks >= 1)
+
+let test_tree_lock_no_deadlock () =
+  let rng = Support.Rng.create 3 in
+  let params =
+    { T.Workload.default with txns = 8; items = 15; write_ratio = 1.0 }
+  in
+  let specs = T.Workload.generate rng params in
+  let stats = run_protocol T.Tree_lock.create specs in
+  Alcotest.(check int) "no deadlocks ever" 0 stats.T.Simulation.deadlocks;
+  all_commit stats specs
+
+let test_timestamp_restarts_on_conflict () =
+  (* t2 (younger) writes x after t1 (older) read... build a forced reject:
+     young reads, old writes late *)
+  let specs = specs_of_strings [ "r1(x) w1(y)"; "w2(x) w2(y)" ] in
+  let stats = run_protocol (fun () -> T.Timestamp.create ()) specs in
+  Alcotest.(check int) "both eventually commit" 2 stats.T.Simulation.committed
+
+let test_optimistic_validation_conflict () =
+  (* two transactions read-modify-write the same item: one must restart *)
+  let specs = specs_of_strings [ "r1(x) w1(x)"; "r2(x) w2(x)" ] in
+  let stats = run_protocol T.Optimistic.create specs in
+  Alcotest.(check int) "both commit" 2 stats.T.Simulation.committed;
+  Alcotest.(check bool) "with restarts" true (stats.T.Simulation.restarts >= 1)
+
+let test_thomas_write_rule () =
+  let specs = specs_of_strings [ "w1(x)"; "w2(x) w2(y)" ] in
+  let stats = run_protocol (fun () -> T.Timestamp.create ~thomas:true ()) specs in
+  Alcotest.(check int) "both commit" 2 stats.T.Simulation.committed
+
+(* --- property tests --------------------------------------------------------------------- *)
+
+let property count name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let random_params seed =
+  let rng = Support.Rng.create seed in
+  let params =
+    {
+      T.Workload.txns = 2 + Support.Rng.int rng 5;
+      ops_per_txn = 1 + Support.Rng.int rng 6;
+      items = 2 + Support.Rng.int rng 8;
+      skew = Support.Rng.float rng 1.5;
+      write_ratio = Support.Rng.float rng 1.0;
+    }
+  in
+  (rng, params)
+
+let prop_protocol_serializable name make =
+  property 25
+    (name ^ ": committed history conflict-serializable")
+    seed_gen
+    (fun seed ->
+      let rng, params = random_params seed in
+      let specs = T.Workload.generate rng params in
+      let stats = T.Simulation.run (make ()) specs in
+      stats.T.Simulation.committed = params.T.Workload.txns
+      && T.Serializability.is_conflict_serializable stats.T.Simulation.history)
+
+let prop_2pl = prop_protocol_serializable "2pl" T.Two_phase.create
+let prop_ts = prop_protocol_serializable "timestamp" (fun () -> T.Timestamp.create ())
+let prop_occ = prop_protocol_serializable "optimistic" T.Optimistic.create
+let prop_tree = prop_protocol_serializable "tree" T.Tree_lock.create
+
+let prop_2pl_strict =
+  property 25 "2pl histories are strict (hence ACA and RC)" seed_gen (fun seed ->
+      let rng, params = random_params seed in
+      let specs = T.Workload.generate rng params in
+      let stats = T.Simulation.run (T.Two_phase.create ()) specs in
+      T.Serializability.is_strict stats.T.Simulation.history
+      && T.Serializability.avoids_cascading_aborts stats.T.Simulation.history
+      && T.Serializability.is_recoverable stats.T.Simulation.history)
+
+let prop_serial_schedules_serializable =
+  property 25 "serial schedules are conflict- and view-serializable" seed_gen
+    (fun seed ->
+      let rng, params = random_params seed in
+      let specs = T.Workload.generate rng { params with txns = min 4 params.T.Workload.txns } in
+      let serial =
+        S.serial
+          (Array.to_list
+             (Array.mapi
+                (fun i spec ->
+                  List.map (fun action -> { S.txn = i; action }) spec
+                  @ [ S.c i ])
+                specs))
+      in
+      T.Serializability.is_conflict_serializable serial
+      && T.Serializability.is_view_serializable serial)
+
+let prop_tree_no_deadlocks =
+  property 25 "tree protocol never deadlocks" seed_gen (fun seed ->
+      let rng, params = random_params seed in
+      let specs = T.Workload.generate rng params in
+      let stats = T.Simulation.run (T.Tree_lock.create ()) specs in
+      stats.T.Simulation.deadlocks = 0)
+
+let suite =
+  [
+    Alcotest.test_case "schedule parse/print" `Quick test_schedule_parse_print;
+    Alcotest.test_case "schedule parse errors" `Quick test_schedule_parse_errors;
+    Alcotest.test_case "schedule accessors" `Quick test_schedule_accessors;
+    Alcotest.test_case "well formed" `Quick test_well_formed;
+    Alcotest.test_case "is serial" `Quick test_is_serial;
+    Alcotest.test_case "conflict serializable classic" `Quick
+      test_conflict_serializable_classic;
+    Alcotest.test_case "precedence graph" `Quick test_precedence_graph_edges;
+    Alcotest.test_case "serial order found" `Quick test_serial_order_found;
+    Alcotest.test_case "aborted txns ignored" `Quick test_aborted_txns_ignored;
+    Alcotest.test_case "view-serializable blind writes" `Quick
+      test_view_serializable_blind_writes;
+    Alcotest.test_case "conflict implies view" `Quick test_conflict_implies_view;
+    Alcotest.test_case "reads-from" `Quick test_reads_from;
+    Alcotest.test_case "recoverability hierarchy" `Quick test_recoverability_hierarchy;
+    Alcotest.test_case "lock compatibility" `Quick test_lock_compatibility;
+    Alcotest.test_case "lock upgrade" `Quick test_lock_upgrade;
+    Alcotest.test_case "lock reentrant" `Quick test_lock_reentrant;
+    Alcotest.test_case "tree lca" `Quick test_tree_lca;
+    Alcotest.test_case "protocols commit everything" `Quick
+      test_protocols_commit_everything;
+    Alcotest.test_case "protocol histories serializable" `Quick
+      test_protocol_histories_serializable;
+    Alcotest.test_case "2pl strict history" `Quick test_2pl_strict_history;
+    Alcotest.test_case "2pl deadlock resolved" `Quick test_2pl_deadlock_resolved;
+    Alcotest.test_case "tree lock no deadlock" `Quick test_tree_lock_no_deadlock;
+    Alcotest.test_case "timestamp restarts" `Quick test_timestamp_restarts_on_conflict;
+    Alcotest.test_case "optimistic validation" `Quick test_optimistic_validation_conflict;
+    Alcotest.test_case "thomas write rule" `Quick test_thomas_write_rule;
+    prop_2pl;
+    prop_ts;
+    prop_occ;
+    prop_tree;
+    prop_2pl_strict;
+    prop_serial_schedules_serializable;
+    prop_tree_no_deadlocks;
+  ]
