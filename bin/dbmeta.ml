@@ -3,9 +3,36 @@
 
 open Cmdliner
 
+let version = "1.1.0"
+
 let read_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
+
+(* Bad user input (unparseable files, queries, schedules, ill-typed
+   plans, unsafe programs) is reported on stderr and exits 2; only
+   genuine bugs may escape as a backtrace. *)
+let input_error_to_exit f =
+  let fail msg =
+    Printf.eprintf "dbmeta: %s\n" msg;
+    2
+  in
+  try f () with
+  | Datalog.Parser.Parse_error msg
+  | Calculus.Parser.Parse_error msg
+  | Relational.Query_parser.Parse_error msg
+  | Relational.Csv.Parse_error msg
+  | Datalog.Checks.Unsafe_rule msg
+  | Datalog.Checks.Not_stratifiable msg
+  | Relational.Schema.Schema_error msg
+  | Relational.Algebra.Type_error msg
+  | Relational.Value.Type_clash msg
+  | Invalid_argument msg
+  | Failure msg ->
+      fail msg
+  | Relational.Database.Unknown_relation name ->
+      fail (Printf.sprintf "unknown relation %S" name)
+  | Sys_error msg -> fail msg
 
 let load_tables tables =
   List.fold_left
@@ -24,6 +51,7 @@ let load_tables tables =
 (* --- datalog run ----------------------------------------------------------- *)
 
 let datalog_run file query engine explain =
+  input_error_to_exit @@ fun () ->
   let program = Datalog.Parser.parse_program (read_file file) in
   Datalog.Checks.check_safety program;
   let edb = Datalog.Facts.empty in
@@ -93,12 +121,13 @@ let datalog_cmd =
            ~doc:"Print a proof tree under each answer (why-provenance).")
   in
   Cmd.v
-    (Cmd.info "datalog" ~doc:"Evaluate a Datalog program")
+    (Cmd.info "datalog" ~version ~doc:"Evaluate a Datalog program")
     Term.(const datalog_run $ file $ query $ engine $ explain)
 
 (* --- query ------------------------------------------------------------------- *)
 
 let query_run text tables optimize =
+  input_error_to_exit @@ fun () ->
   let db = load_tables tables in
   let expr = Relational.Query_parser.parse text in
   let catalog = Relational.Algebra.catalog_of_database db in
@@ -130,12 +159,13 @@ let query_cmd =
            ~doc:"Run the optimizer and print the chosen plan.")
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"Evaluate a relational algebra query over CSV tables")
+    (Cmd.info "query" ~version ~doc:"Evaluate a relational algebra query over CSV tables")
     Term.(const query_run $ text $ tables $ optimize)
 
 (* --- calculus ----------------------------------------------------------------- *)
 
 let calculus_run text tables interpret show_plan =
+  input_error_to_exit @@ fun () ->
   let q = Calculus.Parser.parse_query text in
   let db = load_tables tables in
   Printf.printf "query: %s\n" (Calculus.Formula.query_to_string q);
@@ -172,12 +202,13 @@ let calculus_cmd =
     Arg.(value & flag & info [ "plan" ] ~doc:"Print the compiled algebra plan.")
   in
   Cmd.v
-    (Cmd.info "calculus" ~doc:"Evaluate a relational calculus query over CSV tables")
+    (Cmd.info "calculus" ~version ~doc:"Evaluate a relational calculus query over CSV tables")
     Term.(const calculus_run $ text $ tables $ interpret $ show_plan)
 
 (* --- design ------------------------------------------------------------------ *)
 
 let design_run attrs fds =
+  input_error_to_exit @@ fun () ->
   let universe = Dependencies.Attrs.of_string attrs in
   let fds = Dependencies.Fd.set_of_string fds in
   let scheme = { Dependencies.Normal_forms.name = "r"; attrs = universe; fds } in
@@ -226,12 +257,13 @@ let design_cmd =
            ~doc:"Functional dependencies, e.g. 'AB -> C; C -> A'.")
   in
   Cmd.v
-    (Cmd.info "design" ~doc:"Analyze and normalize a relation scheme")
+    (Cmd.info "design" ~version ~doc:"Analyze and normalize a relation scheme")
     Term.(const design_run $ attrs $ fds)
 
 (* --- schedule ------------------------------------------------------------------ *)
 
 let schedule_run text =
+  input_error_to_exit @@ fun () ->
   let s = Transactions.Schedule.of_string text in
   Printf.printf "schedule: %s\n" (Transactions.Schedule.to_string s);
   Printf.printf "well-formed: %b\n" (Transactions.Schedule.well_formed s);
@@ -257,12 +289,13 @@ let schedule_cmd =
            ~doc:"History, e.g. 'r1(x) w2(x) c1 c2'.")
   in
   Cmd.v
-    (Cmd.info "schedule" ~doc:"Analyze a transaction schedule")
+    (Cmd.info "schedule" ~version ~doc:"Analyze a transaction schedule")
     Term.(const schedule_run $ text)
 
 (* --- sat ------------------------------------------------------------------------- *)
 
 let sat_run file =
+  input_error_to_exit @@ fun () ->
   let cnf = Sat.Cnf.of_dimacs (read_file file) in
   (match Sat.Dpll.solve cnf with
   | Sat.Dpll.Sat assignment ->
@@ -280,15 +313,151 @@ let sat_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
            ~doc:"CNF in DIMACS format.")
   in
-  Cmd.v (Cmd.info "sat" ~doc:"Decide a DIMACS CNF with DPLL")
+  Cmd.v (Cmd.info "sat" ~version ~doc:"Decide a DIMACS CNF with DPLL")
     Term.(const sat_run $ file)
+
+(* --- lint ------------------------------------------------------------------------- *)
+
+let format_arg =
+  Arg.(value
+       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FORMAT"
+           ~doc:"Output format: text or json.")
+
+let render_and_exit format diags =
+  (match format with
+  | `Text -> print_string (Analysis.Diagnostic.list_to_text diags)
+  | `Json -> print_string (Analysis.Diagnostic.list_to_json diags));
+  Analysis.Diagnostic.exit_code diags
+
+let lint_datalog_run file query format =
+  input_error_to_exit @@ fun () ->
+  let program = Datalog.Parser.parse_program (read_file file) in
+  let query = Option.map Datalog.Parser.parse_query query in
+  render_and_exit format (Analysis.Datalog_lint.lint ?query program)
+
+let lint_datalog_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Datalog program to analyze.")
+  in
+  let query =
+    Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY"
+           ~doc:"Query atom; enables dead-rule (DL008) analysis and \
+                 sharpens unused-predicate (DL005) reporting.")
+  in
+  Cmd.v
+    (Cmd.info "datalog" ~version
+       ~doc:"Lint a Datalog program (codes DL001-DL008)")
+    Term.(const lint_datalog_run $ file $ query $ format_arg)
+
+(* name=a:int,b:string — a schema for a relation that has no CSV backing *)
+let parse_schema_spec spec =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf
+         "--schema expects name=attr:type,... with types int, string, \
+          float, bool; got %S"
+         spec)
+  in
+  match String.index_opt spec '=' with
+  | None -> fail ()
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let body = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let pairs =
+        List.map
+          (fun field ->
+            match String.index_opt field ':' with
+            | None -> fail ()
+            | Some j -> (
+                let attr = String.sub field 0 j in
+                let ty =
+                  String.sub field (j + 1) (String.length field - j - 1)
+                in
+                match Relational.Value.ty_of_string ty with
+                | Some ty when attr <> "" -> (attr, ty)
+                | _ -> fail ()))
+          (String.split_on_char ',' body |> List.filter (fun f -> f <> ""))
+      in
+      if name = "" || pairs = [] then fail ();
+      (name, Relational.Schema.make pairs)
+
+let lint_query_run text tables schemas format =
+  input_error_to_exit @@ fun () ->
+  let db = load_tables tables in
+  let inline = List.map parse_schema_spec schemas in
+  let catalog name =
+    match List.assoc_opt name inline with
+    | Some s -> Some s
+    | None -> Analysis.Relational_lint.catalog_of_database db name
+  in
+  let plan = Relational.Query_parser.parse text in
+  render_and_exit format (Analysis.Relational_lint.lint ~catalog plan)
+
+let lint_query_cmd =
+  let text =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Algebra expression to analyze.")
+  in
+  let tables =
+    Arg.(value & opt_all string [] & info [ "t"; "table" ] ~docv:"NAME=FILE"
+           ~doc:"Bind a relation name to a CSV file (repeatable).")
+  in
+  let schemas =
+    Arg.(value & opt_all string [] & info [ "s"; "schema" ] ~docv:"NAME=SPEC"
+           ~doc:"Declare a relation schema inline, e.g. \
+                 'edge=src:int,dst:int' (repeatable; no data needed).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~version
+       ~doc:"Lint a relational algebra plan (codes RA001-RA006)")
+    Term.(const lint_query_run $ text $ tables $ schemas $ format_arg)
+
+let lint_schedule_run text format =
+  input_error_to_exit @@ fun () ->
+  render_and_exit format (Analysis.Transaction_lint.lint_string text)
+
+let lint_schedule_cmd =
+  let text =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCHEDULE"
+           ~doc:"History, e.g. 'r1(x) w2(x) c1 c2'; lock-annotated \
+                 histories ('sl1(x) r1(x) u1(x) ...') additionally get \
+                 the lock-discipline passes.")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~version
+       ~doc:"Lint a transaction schedule (codes TX001-TX010)")
+    Term.(const lint_schedule_run $ text $ format_arg)
+
+let lint_cmd =
+  let doc =
+    "Static analysis over Datalog programs, algebra plans, and \
+     transaction schedules"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the relevant pass suite and prints severity-graded \
+         diagnostics (error, warning, info) with stable codes.  Exits 0 \
+         when no errors were found, 1 when at least one error-severity \
+         diagnostic was reported, and 2 when the input does not parse.";
+    ]
+  in
+  Cmd.group
+    (Cmd.info "lint" ~version ~doc ~man)
+    [ lint_datalog_cmd; lint_query_cmd; lint_schedule_cmd ]
 
 (* --- main ------------------------------------------------------------------------- *)
 
 let main_cmd =
   let doc = "database metatheory workbench (PODS '95 reproduction)" in
-  let info = Cmd.info "dbmeta" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "dbmeta" ~version ~doc in
   Cmd.group info
-    [ datalog_cmd; query_cmd; calculus_cmd; design_cmd; schedule_cmd; sat_cmd ]
+    [
+      datalog_cmd; query_cmd; calculus_cmd; design_cmd; schedule_cmd; sat_cmd;
+      lint_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,280 @@
+module Ast = Datalog.Ast
+module Checks = Datalog.Checks
+module Containment = Datalog.Containment
+
+type input = { program : Ast.program; query : Ast.query option }
+
+let rule_subject r = Ast.rule_to_string r
+
+(* DL001 — range-restriction (safety) violations, all of them. *)
+let safety_pass { program; _ } =
+  List.concat
+    (List.mapi
+       (fun i rule ->
+         List.map
+           (fun msg ->
+             Diagnostic.error ~subject:(rule_subject rule) ~loc:i "DL001" msg)
+           (Checks.safety_violations [ rule ]))
+       program)
+
+(* DL002 — negation through recursion: no stratification exists. *)
+let stratification_pass { program; _ } =
+  match Checks.stratification_conflict program with
+  | Some msg -> [ Diagnostic.error "DL002" msg ]
+  | None -> []
+
+(* DL003 — a predicate used with two different arities.  The first use
+   fixes the expected arity; every later disagreeing use is reported. *)
+let arity_pass { program; query } =
+  let expected : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let check loc atom =
+    let n = List.length atom.Ast.args in
+    match Hashtbl.find_opt expected atom.Ast.pred with
+    | None ->
+        Hashtbl.add expected atom.Ast.pred n;
+        []
+    | Some n' when n = n' -> []
+    | Some n' ->
+        [
+          Diagnostic.error ?loc ~subject:(Ast.atom_to_string atom) "DL003"
+            (Printf.sprintf
+               "predicate %s used with arity %d here but arity %d elsewhere"
+               atom.Ast.pred n n');
+        ]
+  in
+  let from_rules =
+    List.concat
+      (List.mapi
+         (fun i rule ->
+           check (Some i) rule.Ast.head
+           @ List.concat_map
+               (fun lit ->
+                 match Ast.atom_of lit with
+                 | Some a -> check (Some i) a
+                 | None -> [])
+               rule.Ast.body)
+         program)
+  in
+  let from_query =
+    match query with Some q -> check None q | None -> []
+  in
+  from_rules @ from_query
+
+(* DL004 — a referenced predicate with no rules and no facts: under
+   in-file evaluation it is always empty, so every rule reading it
+   positively derives nothing. *)
+let undefined_pass { program; query } =
+  let defined = Ast.idb_predicates program in
+  let first_use p =
+    List.find_index
+      (fun r -> List.mem p (Ast.body_preds r))
+      program
+  in
+  let from_bodies =
+    List.filter_map
+      (fun p ->
+        if List.mem p defined then None
+        else
+          Some
+            (Diagnostic.warning ?loc:(first_use p) "DL004"
+               (Printf.sprintf
+                  "predicate %s has no rules and no facts; it is always empty"
+                  p)))
+      (List.sort_uniq String.compare (List.concat_map Ast.body_preds program))
+  in
+  let from_query =
+    match query with
+    | Some q
+      when (not (List.mem q.Ast.pred defined))
+           && not
+                (List.mem q.Ast.pred
+                   (List.concat_map Ast.body_preds program)) ->
+        [
+          Diagnostic.warning ~subject:(Ast.atom_to_string q) "DL004"
+            (Printf.sprintf
+               "queried predicate %s has no rules and no facts; the answer \
+                is always empty"
+               q.Ast.pred);
+        ]
+    | _ -> []
+  in
+  from_bodies @ from_query
+
+(* DL005 — a defined predicate nothing reads.  With a query, anything
+   other than the query target counts; without one every rule-defined
+   predicate is a potential output, so only fact-only predicates are
+   flagged. *)
+let unused_pass { program; query } =
+  let used = List.concat_map Ast.body_preds program in
+  let rule_defined =
+    List.filter_map
+      (fun r -> if r.Ast.body = [] then None else Some (Ast.head_pred r))
+      program
+  in
+  List.filter_map
+    (fun p ->
+      let is_query = match query with Some q -> q.Ast.pred = p | None -> false in
+      let fact_only = not (List.mem p rule_defined) in
+      if List.mem p used || is_query then None
+      else if query = None && not fact_only then None
+      else
+        let loc = List.find_index (fun r -> Ast.head_pred r = p) program in
+        Some
+          (Diagnostic.warning ?loc "DL005"
+             (Printf.sprintf
+                "predicate %s is defined but never used%s" p
+                (match query with
+                | Some _ -> " and is not the query target"
+                | None -> " by any rule"))))
+    (Ast.idb_predicates program)
+
+(* DL006 — a rule body whose positive atoms split into variable-disjoint
+   groups: evaluation forms their cartesian product. *)
+let cartesian_pass { program; _ } =
+  let module Ss = Set.Make (String) in
+  List.concat
+    (List.mapi
+       (fun i rule ->
+         let var_atoms =
+           List.filter_map
+             (fun lit ->
+               match lit with
+               | Ast.Pos a when Ast.atom_vars a <> [] ->
+                   Some (Ss.of_list (Ast.atom_vars a))
+               | _ -> None)
+             rule.Ast.body
+         in
+         (* comparisons can connect two atoms (q(X), r(Y), X < Y) *)
+         let connectors =
+           List.filter_map
+             (fun lit ->
+               match lit with
+               | Ast.Cmp (_, a, b) ->
+                   let vs = Ast.term_vars a @ Ast.term_vars b in
+                   if List.length vs >= 2 then Some (Ss.of_list vs) else None
+               | _ -> None)
+             rule.Ast.body
+         in
+         let rec components groups = function
+           | [] -> groups
+           | vs :: rest ->
+               let overlapping, disjoint =
+                 List.partition (fun g -> not (Ss.is_empty (Ss.inter g vs))) groups
+               in
+               let merged = List.fold_left Ss.union vs overlapping in
+               components (merged :: disjoint) rest
+         in
+         (* seed with the atoms, then let connectors merge groups; a
+            connector can bridge previously-merged groups, so iterate to a
+            fixpoint over the connector list *)
+         let rec fix groups =
+           let groups' = components groups connectors in
+           if List.length groups' = List.length groups then groups'
+           else fix groups'
+         in
+         let groups = fix (components [] var_atoms) in
+         if List.length var_atoms >= 2 && List.length groups >= 2 then
+           [
+             Diagnostic.warning ~subject:(rule_subject rule) ~loc:i "DL006"
+               (Printf.sprintf
+                  "rule body forms a cartesian product: its positive atoms \
+                   split into %d variable-disjoint groups"
+                  (List.length groups));
+           ]
+         else [])
+       program)
+
+(* DL007 — duplicate or subsumed rules, by Chandra–Merlin containment on
+   the rules read as conjunctive queries (sound per derivation step, so
+   also sound under recursion). *)
+let subsumption_pass { program; _ } =
+  let as_cq r = try Some (Containment.of_rule r) with _ -> None in
+  let indexed = List.mapi (fun i r -> (i, r, as_cq r)) program in
+  List.concat_map
+    (fun (i, ri, qi) ->
+      List.concat_map
+        (fun (j, rj, qj) ->
+          if j <= i || Ast.head_pred ri <> Ast.head_pred rj then []
+          else
+            match (qi, qj) with
+            | Some qi, Some qj ->
+                if Containment.equivalent qi qj then
+                  [
+                    Diagnostic.warning ~subject:(rule_subject rj) ~loc:j "DL007"
+                      (Printf.sprintf
+                         "rule #%d duplicates rule #%d (equivalent as \
+                          conjunctive queries)"
+                         j i);
+                  ]
+                else if Containment.contained qi qj then
+                  [
+                    Diagnostic.warning ~subject:(rule_subject ri) ~loc:i "DL007"
+                      (Printf.sprintf
+                         "rule #%d is subsumed by rule #%d: everything it \
+                          derives, #%d derives too"
+                         i j j);
+                  ]
+                else if Containment.contained qj qi then
+                  [
+                    Diagnostic.warning ~subject:(rule_subject rj) ~loc:j "DL007"
+                      (Printf.sprintf
+                         "rule #%d is subsumed by rule #%d: everything it \
+                          derives, #%d derives too"
+                         j i i);
+                  ]
+                else []
+            | _ -> [])
+        indexed)
+    indexed
+
+(* DL008 — rules that cannot contribute to the query: their head
+   predicate is unreachable from the query predicate in the dependency
+   graph. *)
+let dead_rule_pass { program; query } =
+  match query with
+  | None -> []
+  | Some q ->
+      let deps = Checks.dependencies program in
+      let rec reach seen frontier =
+        match frontier with
+        | [] -> seen
+        | p :: rest ->
+            if List.mem p seen then reach seen rest
+            else
+              let next =
+                List.filter_map
+                  (fun d ->
+                    if d.Checks.from_pred = p then Some d.Checks.to_pred
+                    else None)
+                  deps
+              in
+              reach (p :: seen) (next @ rest)
+      in
+      let reachable = reach [] [ q.Ast.pred ] in
+      List.concat
+        (List.mapi
+           (fun i rule ->
+             if List.mem (Ast.head_pred rule) reachable then []
+             else
+               [
+                 Diagnostic.info ~subject:(rule_subject rule) ~loc:i "DL008"
+                   (Printf.sprintf
+                      "dead rule: %s is unreachable from the query %s"
+                      (Ast.head_pred rule)
+                      (Ast.atom_to_string q));
+               ])
+           program)
+
+let passes : input Pass.t list =
+  [
+    Pass.make "safety" safety_pass;
+    Pass.make "stratification" stratification_pass;
+    Pass.make "arity" arity_pass;
+    Pass.make "undefined-predicate" undefined_pass;
+    Pass.make "unused-predicate" unused_pass;
+    Pass.make "cartesian-body" cartesian_pass;
+    Pass.make "rule-subsumption" subsumption_pass;
+    Pass.make "dead-rule" dead_rule_pass;
+  ]
+
+let lint ?query program = Pass.run_all passes { program; query }

@@ -1,0 +1,24 @@
+(** Static analysis of Datalog programs.
+
+    Diagnostic codes:
+    - [DL001] (error) unsafe rule — a head / negated-atom / comparison
+      variable does not occur in a positive body atom
+    - [DL002] (error) not stratifiable — negation on a recursive cycle
+    - [DL003] (error) predicate used with inconsistent arities
+    - [DL004] (warning) referenced predicate with no rules and no facts
+    - [DL005] (warning) defined predicate that nothing reads
+    - [DL006] (warning) cartesian-product rule body (variable-disjoint
+      positive atoms)
+    - [DL007] (warning) duplicate or subsumed rule (CQ containment)
+    - [DL008] (info) dead rule — unreachable from the query (only
+      emitted when a query is supplied) *)
+
+type input = {
+  program : Datalog.Ast.program;
+  query : Datalog.Ast.query option;
+}
+
+val passes : input Pass.t list
+
+val lint : ?query:Datalog.Ast.query -> Datalog.Ast.program -> Diagnostic.t list
+(** Runs every pass and returns the sorted diagnostics. *)

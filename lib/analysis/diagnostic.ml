@@ -1,0 +1,299 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  subject : string option;
+  loc : int option;
+}
+
+let make ?subject ?loc ~code ~severity message =
+  { code; severity; message; subject; loc }
+
+let error ?subject ?loc code message =
+  make ?subject ?loc ~code ~severity:Error message
+
+let warning ?subject ?loc code message =
+  make ?subject ?loc ~code ~severity:Warning message
+
+let info ?subject ?loc code message =
+  make ?subject ?loc ~code ~severity:Info message
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c =
+        Option.compare Int.compare a.loc b.loc
+      in
+      if c <> 0 then c else String.compare a.message b.message
+
+let sort diags = List.stable_sort compare diags
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+(* Exit-code policy: 0 = clean (warnings and infos allowed), 1 = at least
+   one error.  Parse failures exit 2 before any diagnostics exist. *)
+let exit_code diags = if has_errors diags then 1 else 0
+
+(* --- text rendering ------------------------------------------------------ *)
+
+let to_text d =
+  let head =
+    Printf.sprintf "%s[%s]: %s" (severity_to_string d.severity) d.code
+      d.message
+  in
+  let where =
+    match (d.loc, d.subject) with
+    | Some i, Some s -> Printf.sprintf "\n  --> #%d: %s" i s
+    | Some i, None -> Printf.sprintf "\n  --> #%d" i
+    | None, Some s -> Printf.sprintf "\n  --> %s" s
+    | None, None -> ""
+  in
+  head ^ where
+
+let summary diags =
+  let count sev = List.length (List.filter (fun d -> d.severity = sev) diags) in
+  Printf.sprintf "%d error(s), %d warning(s), %d info(s)" (count Error)
+    (count Warning) (count Info)
+
+let list_to_text diags =
+  match diags with
+  | [] -> "no diagnostics\n"
+  | _ ->
+      String.concat "" (List.map (fun d -> to_text d ^ "\n") diags)
+      ^ summary diags ^ "\n"
+
+(* --- JSON rendering and parsing ------------------------------------------ *)
+
+(* A tiny self-contained JSON codec for the fixed diagnostic shape, so the
+   output is machine-readable and round-trippable without external
+   dependencies. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let fields =
+    [
+      Printf.sprintf {|"code":"%s"|} (json_escape d.code);
+      Printf.sprintf {|"severity":"%s"|} (severity_to_string d.severity);
+      Printf.sprintf {|"message":"%s"|} (json_escape d.message);
+    ]
+    @ (match d.subject with
+      | Some s -> [ Printf.sprintf {|"subject":"%s"|} (json_escape s) ]
+      | None -> [])
+    @
+    match d.loc with
+    | Some i -> [ Printf.sprintf {|"loc":%d|} i ]
+    | None -> []
+  in
+  "{" ^ String.concat "," fields ^ "}"
+
+let list_to_json diags =
+  "[" ^ String.concat "," (List.map to_json diags) ^ "]\n"
+
+exception Json_error of string
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jint of int
+  | Jstring of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Json_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); loop ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); loop ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); loop ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); loop ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); loop ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); loop ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "bad \\u escape";
+              let hex = String.sub s !pos 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> Buffer.add_char buf '?'
+              | None -> fail "bad \\u escape");
+              pos := !pos + 4;
+              loop ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstring (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jlist []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Jlist (items [])
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jobj []
+        end
+        else
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Jobj (fields [])
+    | Some ('-' | '0' .. '9') ->
+        let start = !pos in
+        if peek () = Some '-' then advance ();
+        let rec digits () =
+          match peek () with
+          | Some '0' .. '9' ->
+              advance ();
+              digits ()
+          | _ -> ()
+        in
+        digits ();
+        (match int_of_string_opt (String.sub s start (!pos - start)) with
+        | Some i -> Jint i
+        | None -> fail "bad number")
+    | Some 't' when !pos + 4 <= n && String.sub s !pos 4 = "true" ->
+        pos := !pos + 4;
+        Jbool true
+    | Some 'f' when !pos + 5 <= n && String.sub s !pos 5 = "false" ->
+        pos := !pos + 5;
+        Jbool false
+    | Some 'n' when !pos + 4 <= n && String.sub s !pos 4 = "null" ->
+        pos := !pos + 4;
+        Jnull
+    | _ -> fail "unexpected input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let of_json_value = function
+  | Jobj fields ->
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Jstring s) -> Some s
+        | _ -> None
+      in
+      let int k =
+        match List.assoc_opt k fields with Some (Jint i) -> Some i | _ -> None
+      in
+      let code =
+        match str "code" with
+        | Some c -> c
+        | None -> raise (Json_error "diagnostic missing \"code\"")
+      in
+      let severity =
+        match Option.bind (str "severity") severity_of_string with
+        | Some s -> s
+        | None -> raise (Json_error "diagnostic missing or bad \"severity\"")
+      in
+      let message =
+        match str "message" with
+        | Some m -> m
+        | None -> raise (Json_error "diagnostic missing \"message\"")
+      in
+      { code; severity; message; subject = str "subject"; loc = int "loc" }
+  | _ -> raise (Json_error "diagnostic is not an object")
+
+let list_of_json s =
+  match parse_json (String.trim s) with
+  | Jlist items -> List.map of_json_value items
+  | _ -> raise (Json_error "expected a top-level array of diagnostics")

@@ -1,0 +1,59 @@
+(** Severity-graded diagnostics shared by every lint suite.
+
+    A diagnostic carries a stable machine-readable code (["DL001"],
+    ["RA002"], ["TX003"], ...), a severity, a message, and optionally the
+    offending artifact fragment ([subject]) and its position ([loc]: rule
+    index in a program, operation index in a schedule).  Renderers
+    produce both a human text format and a machine JSON format; the JSON
+    round-trips through {!list_of_json}. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  subject : string option;
+  loc : int option;
+}
+
+val make :
+  ?subject:string -> ?loc:int -> code:string -> severity:severity -> string -> t
+
+val error : ?subject:string -> ?loc:int -> string -> string -> t
+(** [error code message]. *)
+
+val warning : ?subject:string -> ?loc:int -> string -> string -> t
+val info : ?subject:string -> ?loc:int -> string -> string -> t
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+
+val compare : t -> t -> int
+(** Errors first, then warnings, then infos; ties broken by code, then
+    location, then message. *)
+
+val sort : t list -> t list
+
+val has_errors : t list -> bool
+
+val exit_code : t list -> int
+(** Exit-code policy: 1 when any [Error] is present, 0 otherwise
+    (warnings and infos do not fail the lint). *)
+
+val to_text : t -> string
+val list_to_text : t list -> string
+(** One line per diagnostic plus a severity-count summary line. *)
+
+val summary : t list -> string
+
+val to_json : t -> string
+val list_to_json : t list -> string
+(** A JSON array of objects with fields [code], [severity], [message],
+    and optional [subject], [loc]. *)
+
+exception Json_error of string
+
+val list_of_json : string -> t list
+(** Inverse of {!list_to_json}.  Raises {!Json_error} on malformed
+    input. *)

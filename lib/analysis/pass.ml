@@ -1,0 +1,19 @@
+type 'a t = { name : string; run : 'a -> Diagnostic.t list }
+
+let make name run = { name; run }
+
+let name p = p.name
+
+(* A crashing pass must not take the whole pipeline down: surface the
+   crash as its own error diagnostic and keep running the other passes. *)
+let run_one pass artifact =
+  try pass.run artifact
+  with exn ->
+    [
+      Diagnostic.error "LINT99"
+        (Printf.sprintf "internal: pass %S failed: %s" pass.name
+           (Printexc.to_string exn));
+    ]
+
+let run_all passes artifact =
+  Diagnostic.sort (List.concat_map (fun p -> run_one p artifact) passes)

@@ -1,0 +1,15 @@
+(** The pass-pipeline driver: a pass is a named analysis from an artifact
+    to diagnostics; a suite is a list of passes run in order over the
+    same artifact, with the results merged and severity-sorted. *)
+
+type 'a t
+
+val make : string -> ('a -> Diagnostic.t list) -> 'a t
+val name : 'a t -> string
+
+val run_one : 'a t -> 'a -> Diagnostic.t list
+(** Runs one pass; a raised exception becomes a single [LINT99] error
+    diagnostic instead of aborting the pipeline. *)
+
+val run_all : 'a t list -> 'a -> Diagnostic.t list
+(** Runs every pass and returns the sorted union of their diagnostics. *)

@@ -1,0 +1,296 @@
+module Algebra = Relational.Algebra
+module Schema = Relational.Schema
+module Value = Relational.Value
+open Algebra
+
+type input = { catalog : string -> Schema.t option; plan : Algebra.t }
+
+let node_subject e = Algebra.to_string e
+
+(* Schema inference with recovery: unlike [Algebra.schema_of], an error
+   does not abort the walk — it becomes a diagnostic, the offending
+   subtree's schema becomes [None], and inference continues so one bad
+   leaf does not hide every other defect in the plan. *)
+let infer catalog plan =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let operand_type schema op ctx =
+    match op with
+    | Const v -> Some (Value.type_of v)
+    | Attr a ->
+        if Schema.mem schema a then Some (Schema.type_of_attr schema a)
+        else begin
+          emit
+            (Diagnostic.error ~subject:ctx "RA002"
+               (Printf.sprintf
+                  "unknown attribute %S: schema here is %s" a
+                  (Schema.to_string schema)));
+          None
+        end
+  in
+  let rec check_predicate schema ctx = function
+    | True | False -> ()
+    | Cmp (_, l, r) -> (
+        match (operand_type schema l ctx, operand_type schema r ctx) with
+        | Some tl, Some tr when tl <> tr ->
+            emit
+              (Diagnostic.error ~subject:ctx "RA003"
+                 (Printf.sprintf "comparison between %s %s and %s %s"
+                    (Value.ty_to_string tl)
+                    (Algebra.operand_to_string l)
+                    (Value.ty_to_string tr)
+                    (Algebra.operand_to_string r)))
+        | _ -> ())
+    | And (p, q) | Or (p, q) ->
+        check_predicate schema ctx p;
+        check_predicate schema ctx q
+    | Not p -> check_predicate schema ctx p
+  in
+  let rec go expr =
+    let ctx = node_subject expr in
+    match expr with
+    | Rel name -> (
+        match catalog name with
+        | Some s -> Some s
+        | None ->
+            emit
+              (Diagnostic.error ~subject:ctx "RA001"
+                 (Printf.sprintf "unknown relation %S" name));
+            None)
+    | Singleton bindings -> (
+        try Some (Schema.make (List.map (fun (a, v) -> (a, Value.type_of v)) bindings))
+        with Schema.Schema_error m ->
+          emit (Diagnostic.error ~subject:ctx "RA002" ("singleton: " ^ m));
+          None)
+    | Select (p, e) ->
+        let s = go e in
+        Option.iter (fun s -> check_predicate s ctx p) s;
+        s
+    | Project (attrs, e) -> (
+        match go e with
+        | None -> None
+        | Some s ->
+            let known =
+              List.filter
+                (fun a ->
+                  if Schema.mem s a then true
+                  else begin
+                    emit
+                      (Diagnostic.error ~subject:ctx "RA002"
+                         (Printf.sprintf
+                            "projection onto unknown attribute %S: schema \
+                             here is %s"
+                            a (Schema.to_string s)));
+                    false
+                  end)
+                attrs
+            in
+            let known =
+              List.fold_left
+                (fun acc a -> if List.mem a acc then acc else acc @ [ a ])
+                [] known
+            in
+            (try Some (Schema.project s known)
+             with Schema.Schema_error m ->
+               emit (Diagnostic.error ~subject:ctx "RA002" ("project: " ^ m));
+               None))
+    | Rename (mapping, e) -> (
+        match go e with
+        | None -> None
+        | Some s -> (
+            try Some (Schema.rename s mapping)
+            with Schema.Schema_error m ->
+              emit (Diagnostic.error ~subject:ctx "RA002" ("rename: " ^ m));
+              None))
+    | Product (a, b) -> (
+        match (go a, go b) with
+        | Some sa, Some sb -> (
+            try Some (Schema.product sa sb)
+            with Schema.Schema_error m ->
+              emit (Diagnostic.error ~subject:ctx "RA002" ("product: " ^ m));
+              None)
+        | _ -> None)
+    | Join (a, b) -> (
+        match (go a, go b) with
+        | Some sa, Some sb -> (
+            try Some (Schema.join sa sb)
+            with Schema.Schema_error m ->
+              emit (Diagnostic.error ~subject:ctx "RA003" ("join: " ^ m));
+              None)
+        | _ -> None)
+    | Union (a, b) | Inter (a, b) | Diff (a, b) -> (
+        match (go a, go b) with
+        | Some sa, Some sb ->
+            if Schema.union_compatible sa sb then Some sa
+            else begin
+              emit
+                (Diagnostic.error ~subject:ctx "RA003"
+                   (Printf.sprintf
+                      "set operation over incompatible schemas %s and %s"
+                      (Schema.to_string sa) (Schema.to_string sb)));
+              None
+            end
+        | _ -> None)
+    | Divide (a, b) -> (
+        match (go a, go b) with
+        | Some sa, Some sb ->
+            let missing =
+              List.filter
+                (fun attr -> not (Schema.mem sa attr))
+                (Schema.attributes sb)
+            in
+            List.iter
+              (fun attr ->
+                emit
+                  (Diagnostic.error ~subject:ctx "RA002"
+                     (Printf.sprintf
+                        "divide: divisor attribute %S absent from dividend %s"
+                        attr (Schema.to_string sa))))
+              missing;
+            if missing <> [] then None
+            else
+              let keep =
+                List.filter
+                  (fun a -> not (List.mem a (Schema.attributes sb)))
+                  (Schema.attributes sa)
+              in
+              Some (Schema.project sa keep)
+        | _ -> None)
+  in
+  let schema = go plan in
+  (schema, List.rev !diags)
+
+let schema_opt catalog e = fst (infer catalog e)
+
+(* RA001/RA002/RA003 — unknown relations and attributes, type mismatches. *)
+let typing_pass { catalog; plan } = snd (infer catalog plan)
+
+(* RA004 — cartesian products: explicit [Product] nodes, and [Join]s whose
+   sides share no attribute (a natural join over disjoint schemas IS the
+   product). *)
+let cross_product_pass { catalog; plan } =
+  let rec go expr =
+    let here =
+      match expr with
+      | Product (_, _) ->
+          [
+            Diagnostic.warning ~subject:(node_subject expr) "RA004"
+              "explicit cartesian product: result size is |L| x |R|";
+          ]
+      | Join (a, b) -> (
+          match (schema_opt catalog a, schema_opt catalog b) with
+          | Some sa, Some sb when (try Schema.common sa sb = [] with _ -> false)
+            ->
+              [
+                Diagnostic.warning ~subject:(node_subject expr) "RA004"
+                  "join sides share no attribute: this natural join \
+                   degenerates to a cartesian product";
+              ]
+          | _ -> [])
+      | _ -> []
+    in
+    here
+    @
+    match expr with
+    | Rel _ | Singleton _ -> []
+    | Select (_, e) | Project (_, e) | Rename (_, e) -> go e
+    | Product (a, b) | Join (a, b) | Union (a, b) | Inter (a, b)
+    | Diff (a, b) | Divide (a, b) ->
+        go a @ go b
+  in
+  go plan
+
+(* Collapse chains of selections into one sorted conjunct set so that
+   plans differing only in how conjuncts are grouped compare equal. *)
+let rec normalize_selects expr =
+  match expr with
+  | Select (p, e) -> (
+      match normalize_selects e with
+      | Select (q, e') ->
+          Select (conjoin (List.sort compare (conjuncts p @ conjuncts q)), e')
+      | e' -> Select (conjoin (List.sort compare (conjuncts p)), e'))
+  | Rel _ | Singleton _ -> expr
+  | Project (a, e) -> Project (a, normalize_selects e)
+  | Rename (m, e) -> Rename (m, normalize_selects e)
+  | Product (a, b) -> Product (normalize_selects a, normalize_selects b)
+  | Join (a, b) -> Join (normalize_selects a, normalize_selects b)
+  | Union (a, b) -> Union (normalize_selects a, normalize_selects b)
+  | Inter (a, b) -> Inter (normalize_selects a, normalize_selects b)
+  | Diff (a, b) -> Diff (normalize_selects a, normalize_selects b)
+  | Divide (a, b) -> Divide (normalize_selects a, normalize_selects b)
+
+(* RA005 — the optimizer's selection push-down would change the plan:
+   some selection sits higher than it needs to.  Only meaningful when the
+   plan types cleanly, since push-down consults schemas. *)
+let pushdown_pass { catalog; plan } =
+  match infer catalog plan with
+  | Some _, [] ->
+      let raising name =
+        match catalog name with
+        | Some s -> s
+        | None -> raise (Algebra.Type_error (Printf.sprintf "unknown relation %S" name))
+      in
+      let pushed = Relational.Optimizer.push_selections raising plan in
+      if normalize_selects pushed = normalize_selects plan then []
+      else
+        [
+          Diagnostic.warning ~subject:(node_subject plan) "RA005"
+            (Printf.sprintf
+               "selection(s) can be pushed toward the leaves; consider %s \
+                (or run with -O)"
+               (Algebra.to_string pushed));
+        ]
+  | _ -> []
+
+(* RA006 — a projection under a join drops attributes the two sides
+   share: the join silently stops matching on them. *)
+let projection_drops_key_pass { catalog; plan } =
+  let dropped_keys side other =
+    match side with
+    | Project (attrs, inner) -> (
+        match (schema_opt catalog inner, schema_opt catalog other) with
+        | Some si, Some so ->
+            let shared = try Schema.common si so with _ -> [] in
+            List.filter (fun a -> not (List.mem a attrs)) shared
+        | _ -> [])
+    | _ -> []
+  in
+  let rec go expr =
+    let here =
+      match expr with
+      | Join (a, b) ->
+          List.map
+            (fun key ->
+              Diagnostic.warning ~subject:(node_subject expr) "RA006"
+                (Printf.sprintf
+                   "projection drops attribute %S that the other join side \
+                    also has: the join no longer matches on it"
+                   key))
+            (dropped_keys a b @ dropped_keys b a)
+      | _ -> []
+    in
+    here
+    @
+    match expr with
+    | Rel _ | Singleton _ -> []
+    | Select (_, e) | Project (_, e) | Rename (_, e) -> go e
+    | Product (a, b) | Join (a, b) | Union (a, b) | Inter (a, b)
+    | Diff (a, b) | Divide (a, b) ->
+        go a @ go b
+  in
+  go plan
+
+let passes : input Pass.t list =
+  [
+    Pass.make "typing" typing_pass;
+    Pass.make "cross-product" cross_product_pass;
+    Pass.make "selection-pushdown" pushdown_pass;
+    Pass.make "projection-drops-join-key" projection_drops_key_pass;
+  ]
+
+let lint ~catalog plan = Pass.run_all passes { catalog; plan }
+
+let catalog_of_database db name =
+  Option.map Relational.Relation.schema (Relational.Database.find_opt db name)
+
+let catalog_of_alist schemas name = List.assoc_opt name schemas

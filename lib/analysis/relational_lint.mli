@@ -1,0 +1,43 @@
+(** Static analysis of relational algebra plans against a catalog.
+
+    Diagnostic codes:
+    - [RA001] (error) unknown relation
+    - [RA002] (error) unknown / duplicate attribute (projection, rename,
+      predicate, product clash, divide)
+    - [RA003] (error) type mismatch — comparison across types, join on a
+      shared attribute with differing types, incompatible set operation
+    - [RA004] (warning) cartesian product — explicit, or a natural join
+      whose sides share no attribute
+    - [RA005] (warning) missed selection push-down — the optimizer's
+      push-down pass would move a selection closer to the leaves
+    - [RA006] (warning) projection drops a join key — an attribute shared
+      with the other join side is projected away before the join
+
+    The schema inference behind the typing pass recovers from errors (an
+    ill-typed subtree gets schema [None]) so a single bad leaf does not
+    mask other defects. *)
+
+type input = {
+  catalog : string -> Relational.Schema.t option;
+  plan : Relational.Algebra.t;
+}
+
+val infer :
+  (string -> Relational.Schema.t option) ->
+  Relational.Algebra.t ->
+  Relational.Schema.t option * Diagnostic.t list
+(** Error-recovering schema inference: the plan's schema when it has one,
+    plus every typing diagnostic found along the way. *)
+
+val passes : input Pass.t list
+
+val lint :
+  catalog:(string -> Relational.Schema.t option) ->
+  Relational.Algebra.t ->
+  Diagnostic.t list
+
+val catalog_of_database :
+  Relational.Database.t -> string -> Relational.Schema.t option
+
+val catalog_of_alist :
+  (string * Relational.Schema.t) list -> string -> Relational.Schema.t option

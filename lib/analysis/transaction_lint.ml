@@ -1,0 +1,385 @@
+module S = Transactions.Schedule
+module Ls = Transactions.Locked_schedule
+module Ser = Transactions.Serializability
+module Locks = Transactions.Locks
+
+type input = Ls.t
+
+let op_subject o = Ls.op_to_string o
+
+(* TX001 — operations of a transaction after it committed or aborted. *)
+let well_formed_pass (sched : input) =
+  let terminated : (S.txn, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.concat
+    (List.mapi
+       (fun i (o : Ls.op) ->
+         let already = Hashtbl.mem terminated o.txn in
+         (match o.action with
+         | Ls.Op (S.Commit | S.Abort) -> Hashtbl.replace terminated o.txn ()
+         | _ -> ());
+         if already then
+           [
+             Diagnostic.error ~subject:(op_subject o) ~loc:i "TX001"
+               (Printf.sprintf
+                  "transaction %d acts after it already terminated" o.txn);
+           ]
+         else [])
+       sched)
+
+(* Strongly connected components of a small int digraph, by pairwise
+   reachability — schedules have a handful of transactions. *)
+let cycles nodes edges =
+  let reaches a b =
+    let rec go seen frontier =
+      match frontier with
+      | [] -> false
+      | x :: rest ->
+          if x = b then true
+          else if List.mem x seen then go seen rest
+          else
+            go (x :: seen)
+              (List.filter_map
+                 (fun (s, d) -> if s = x then Some d else None)
+                 edges
+              @ rest)
+    in
+    go [] (List.filter_map (fun (s, d) -> if s = a then Some d else None) edges)
+  in
+  let comps =
+    List.map
+      (fun v -> List.filter (fun w -> (v = w) || (reaches v w && reaches w v)) nodes)
+      nodes
+  in
+  (* keep one representative per component, only real cycles *)
+  List.sort_uniq compare (List.filter (fun c -> List.length c >= 2) comps)
+
+(* TX002 — conflict-serializability: every cycle of the precedence graph,
+   with a witnessing conflict pair per edge. *)
+let serializability_pass (sched : input) =
+  let s = Ls.to_schedule sched in
+  let graph = Ser.precedence_graph s in
+  let witnesses = Ser.conflict_pairs (S.committed_projection s) in
+  let witness src dst =
+    List.find_opt
+      (fun ((o : S.op), (o' : S.op)) -> o.S.txn = src && o'.S.txn = dst)
+      witnesses
+  in
+  List.map
+    (fun comp ->
+      let in_comp (a, b) = List.mem a comp && List.mem b comp in
+      let edge_desc =
+        List.filter_map
+          (fun (a, b) ->
+            if not (in_comp (a, b)) then None
+            else
+              match witness a b with
+              | Some (o, o') ->
+                  Some
+                    (Printf.sprintf "%s before %s"
+                       (S.to_string [ o ])
+                       (S.to_string [ o' ]))
+              | None -> Some (Printf.sprintf "T%d -> T%d" a b))
+          graph
+      in
+      Diagnostic.error
+        ~subject:(String.concat ", " edge_desc)
+        "TX002"
+        (Printf.sprintf
+           "not conflict-serializable: transactions {%s} form a conflict \
+            cycle"
+           (String.concat ", " (List.map string_of_int comp))))
+    (cycles (S.committed s) graph)
+
+(* reads-from with positions: (reader txn, read position, writer txn,
+   write position), writer by a different transaction and not already
+   aborted at read time. *)
+let read_from_pairs s =
+  let ops = List.mapi (fun i o -> (i, o)) s in
+  let termination t =
+    List.find_map
+      (fun (i, (o : S.op)) ->
+        if o.S.txn = t then
+          match o.S.action with
+          | S.Commit -> Some (i, `Commit)
+          | S.Abort -> Some (i, `Abort)
+          | _ -> None
+        else None)
+      ops
+  in
+  let pairs =
+    List.filter_map
+      (fun (i, (o : S.op)) ->
+        match o.S.action with
+        | S.Read item ->
+            List.fold_left
+              (fun acc (j, (o' : S.op)) ->
+                match o'.S.action with
+                | S.Write item'
+                  when j < i && String.equal item item' && o'.S.txn <> o.S.txn
+                  -> (
+                    match termination o'.S.txn with
+                    | Some (k, `Abort) when k < i -> acc
+                    | _ -> Some (o.S.txn, i, item, o'.S.txn, j))
+                | _ -> acc)
+              None ops
+        | _ -> None)
+      ops
+  in
+  (pairs, termination)
+
+(* TX003 — unrecoverable: a reader commits before the transaction it read
+   from does. *)
+let recoverability_pass (sched : input) =
+  let s = Ls.to_schedule sched in
+  let pairs, termination = read_from_pairs s in
+  List.filter_map
+    (fun (reader, pos, item, writer, _) ->
+      match (termination reader, termination writer) with
+      | Some (ci, `Commit), Some (cj, `Commit) when cj < ci -> None
+      | Some (_, `Commit), _ ->
+          Some
+            (Diagnostic.error ~loc:pos
+               ~subject:(Printf.sprintf "r%d(%s)" reader item)
+               "TX003"
+               (Printf.sprintf
+                  "unrecoverable: transaction %d reads %s from transaction \
+                   %d but commits before %d does"
+                  reader item writer writer))
+      | _ -> None)
+    pairs
+
+(* TX004 — cascading-abort exposure: reading a value whose writer has not
+   committed yet at read time. *)
+let cascading_pass (sched : input) =
+  let s = Ls.to_schedule sched in
+  let pairs, termination = read_from_pairs s in
+  List.filter_map
+    (fun (reader, pos, item, writer, _) ->
+      match termination writer with
+      | Some (cj, `Commit) when cj < pos -> None
+      | _ ->
+          Some
+            (Diagnostic.warning ~loc:pos
+               ~subject:(Printf.sprintf "r%d(%s)" reader item)
+               "TX004"
+               (Printf.sprintf
+                  "cascading-abort risk: transaction %d reads %s from \
+                   transaction %d before %d commits"
+                  reader item writer writer)))
+    pairs
+
+(* TX005 — non-strict: reading or overwriting an item whose last writer
+   has not terminated. *)
+let strictness_pass (sched : input) =
+  let s = Ls.to_schedule sched in
+  let ops = List.mapi (fun i o -> (i, o)) s in
+  let _, termination = read_from_pairs s in
+  List.filter_map
+    (fun (i, (o : S.op)) ->
+      match o.S.action with
+      | S.Read item | S.Write item -> (
+          let last_writer =
+            List.fold_left
+              (fun acc (j, (o' : S.op)) ->
+                match o'.S.action with
+                | S.Write item'
+                  when j < i && String.equal item item' && o'.S.txn <> o.S.txn
+                  ->
+                    Some o'.S.txn
+                | _ -> acc)
+              None ops
+          in
+          match last_writer with
+          | None -> None
+          | Some wt -> (
+              match termination wt with
+              | Some (k, _) when k < i -> None
+              | _ ->
+                  Some
+                    (Diagnostic.info ~loc:i ~subject:(S.to_string [ o ])
+                       "TX005"
+                       (Printf.sprintf
+                          "not strict: %s %s while its last writer \
+                           (transaction %d) has not terminated"
+                          (match o.S.action with
+                          | S.Read _ -> "reads"
+                          | _ -> "overwrites")
+                          item wt))))
+      | _ -> None)
+    ops
+
+(* --- lock-discipline passes (only for lock-annotated schedules) ---------- *)
+
+let conflicting_modes m m' =
+  not (m = Locks.Shared && m' = Locks.Shared)
+
+(* Simulates the lock table over the trace.  Emits:
+   TX006 — read/write without the required lock, unlock of a lock not held
+   TX007 — lock acquired after the transaction already released one (the
+           two-phase rule)
+   TX008 — lock granted while another transaction holds a conflicting one
+   TX009 — locks still held when the schedule ends *)
+let lock_discipline_pass (sched : input) =
+  if not (Ls.has_lock_ops sched) then []
+  else begin
+    let held : (S.txn * S.item, Locks.mode) Hashtbl.t = Hashtbl.create 16 in
+    let shrinking : (S.txn, unit) Hashtbl.t = Hashtbl.create 8 in
+    let diags = ref [] in
+    let emit d = diags := d :: !diags in
+    List.iteri
+      (fun i (o : Ls.op) ->
+        match o.Ls.action with
+        | Ls.Lock (mode, item) ->
+            if Hashtbl.mem shrinking o.Ls.txn then
+              emit
+                (Diagnostic.error ~loc:i ~subject:(op_subject o) "TX007"
+                   (Printf.sprintf
+                      "two-phase violation: transaction %d acquires a lock \
+                       after having released one"
+                      o.Ls.txn));
+            Hashtbl.iter
+              (fun (t, it) m ->
+                if
+                  t <> o.Ls.txn
+                  && String.equal it item
+                  && conflicting_modes m mode
+                then
+                  emit
+                    (Diagnostic.error ~loc:i ~subject:(op_subject o) "TX008"
+                       (Printf.sprintf
+                          "conflicting lock grant: transaction %d takes a%s \
+                           lock on %s while transaction %d holds a%s lock"
+                          o.Ls.txn
+                          (match mode with
+                          | Locks.Shared -> " shared"
+                          | Locks.Exclusive -> "n exclusive")
+                          item t
+                          (match m with
+                          | Locks.Shared -> " shared"
+                          | Locks.Exclusive -> "n exclusive"))))
+              (Hashtbl.copy held);
+            (* an exclusive request upgrades a shared hold *)
+            let current = Hashtbl.find_opt held (o.Ls.txn, item) in
+            let effective =
+              match (current, mode) with
+              | Some Locks.Exclusive, _ -> Locks.Exclusive
+              | _, m -> m
+            in
+            Hashtbl.replace held (o.Ls.txn, item) effective
+        | Ls.Unlock item ->
+            if not (Hashtbl.mem held (o.Ls.txn, item)) then
+              emit
+                (Diagnostic.error ~loc:i ~subject:(op_subject o) "TX006"
+                   (Printf.sprintf
+                      "lock discipline: transaction %d unlocks %s without \
+                       holding a lock on it"
+                      o.Ls.txn item))
+            else Hashtbl.remove held (o.Ls.txn, item);
+            Hashtbl.replace shrinking o.Ls.txn ()
+        | Ls.Op (S.Read item) ->
+            if Hashtbl.find_opt held (o.Ls.txn, item) = None then
+              emit
+                (Diagnostic.error ~loc:i ~subject:(op_subject o) "TX006"
+                   (Printf.sprintf
+                      "unlocked access: transaction %d reads %s without \
+                       holding a lock"
+                      o.Ls.txn item))
+        | Ls.Op (S.Write item) ->
+            if Hashtbl.find_opt held (o.Ls.txn, item) <> Some Locks.Exclusive
+            then
+              emit
+                (Diagnostic.error ~loc:i ~subject:(op_subject o) "TX006"
+                   (Printf.sprintf
+                      "unlocked access: transaction %d writes %s without \
+                       holding an exclusive lock"
+                      o.Ls.txn item))
+        | Ls.Op (S.Commit | S.Abort) ->
+            (* termination releases everything (strict 2PL's release
+               point), so holding locks here is not a defect *)
+            Hashtbl.iter
+              (fun (t, it) _ ->
+                if t = o.Ls.txn then Hashtbl.remove held (t, it))
+              (Hashtbl.copy held))
+      sched;
+    Hashtbl.iter
+      (fun (t, item) _ ->
+        emit
+          (Diagnostic.warning "TX009"
+             (Printf.sprintf
+                "lock leak: transaction %d still holds a lock on %s when \
+                 the schedule ends"
+                t item)))
+      held;
+    List.rev !diags
+  end
+
+(* TX010 — potential deadlock: conflicting claims taken in opposite
+   orders.  With explicit lock operations the claim points are the lock
+   acquisitions; otherwise the data accesses stand in for them (what 2PL
+   would lock).  A cycle among those orderings is a schedule 2PL could
+   drive into deadlock. *)
+let deadlock_pass (sched : input) =
+  let with_locks = Ls.has_lock_ops sched in
+  let acquisitions =
+    List.mapi (fun i o -> (i, o)) sched
+    |> List.filter_map (fun (i, (o : Ls.op)) ->
+           match o.Ls.action with
+           | Ls.Lock (mode, item) when with_locks ->
+               Some (i, o.Ls.txn, item, mode)
+           | Ls.Op (S.Read item) when not with_locks ->
+               Some (i, o.Ls.txn, item, Locks.Shared)
+           | Ls.Op (S.Write item) when not with_locks ->
+               Some (i, o.Ls.txn, item, Locks.Exclusive)
+           | _ -> None)
+  in
+  let edges =
+    List.concat_map
+      (fun (i, t, item, m) ->
+        List.filter_map
+          (fun (j, t', item', m') ->
+            if
+              i < j && t <> t'
+              && String.equal item item'
+              && conflicting_modes m m'
+            then Some ((t, t'), item)
+            else None)
+          acquisitions)
+      acquisitions
+  in
+  let graph = List.sort_uniq compare (List.map fst edges) in
+  let nodes = Ls.txns sched in
+  List.map
+    (fun comp ->
+      let items =
+        List.sort_uniq String.compare
+          (List.filter_map
+             (fun ((a, b), it) ->
+               if List.mem a comp && List.mem b comp then Some it else None)
+             edges)
+      in
+      Diagnostic.warning
+        ~subject:
+          (Printf.sprintf "items involved: %s" (String.concat ", " items))
+        "TX010"
+        (Printf.sprintf
+           "potential deadlock: transactions {%s} claim conflicting locks \
+            on %s in opposite orders; under 2PL this interleaving can \
+            deadlock"
+           (String.concat ", " (List.map string_of_int comp))
+           (String.concat ", " items)))
+    (cycles nodes graph)
+
+let passes : input Pass.t list =
+  [
+    Pass.make "well-formed" well_formed_pass;
+    Pass.make "conflict-serializability" serializability_pass;
+    Pass.make "recoverability" recoverability_pass;
+    Pass.make "cascading-aborts" cascading_pass;
+    Pass.make "strictness" strictness_pass;
+    Pass.make "lock-discipline" lock_discipline_pass;
+    Pass.make "potential-deadlock" deadlock_pass;
+  ]
+
+let lint sched = Pass.run_all passes sched
+
+let lint_string text = lint (Ls.of_string text)

@@ -1,0 +1,34 @@
+(** Static analysis of transaction schedules, optionally annotated with
+    explicit lock operations ({!Transactions.Locked_schedule}).
+
+    Diagnostic codes:
+    - [TX001] (error) malformed schedule — a transaction acts after
+      terminating
+    - [TX002] (error) not conflict-serializable — each precedence-graph
+      cycle is reported with witnessing conflict pairs
+    - [TX003] (error) unrecoverable — a reader commits before the writer
+      it read from
+    - [TX004] (warning) cascading-abort risk — reading from a
+      still-active transaction
+    - [TX005] (info) not strict — reading or overwriting an item whose
+      last writer has not terminated
+    - [TX006] (error) lock discipline — access without the required lock,
+      or unlock of a lock not held (lock-annotated schedules only)
+    - [TX007] (error) two-phase violation — a lock acquired after the
+      transaction released one (lock-annotated schedules only)
+    - [TX008] (error) conflicting lock grant (lock-annotated schedules
+      only)
+    - [TX009] (warning) lock leak — a lock still held when the schedule
+      ends (lock-annotated schedules only)
+    - [TX010] (warning) potential deadlock — conflicting claims taken in
+      opposite orders by a cycle of transactions *)
+
+type input = Transactions.Locked_schedule.t
+
+val passes : input Pass.t list
+
+val lint : input -> Diagnostic.t list
+
+val lint_string : string -> Diagnostic.t list
+(** Parses with {!Transactions.Locked_schedule.of_string}; raises
+    [Invalid_argument] on malformed input. *)

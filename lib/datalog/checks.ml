@@ -39,6 +39,41 @@ let check_safety prog =
   let (_ : (string * int) list) = Ast.arity_map prog in
   List.iter check_rule_safety prog
 
+(* Non-raising variant: collect every range-restriction violation of every
+   rule instead of stopping at the first.  The analysis layer turns each
+   entry into one diagnostic. *)
+let rule_safety_violations rule =
+  let positive_vars =
+    List.fold_left
+      (fun acc lit ->
+        match lit with
+        | Ast.Pos a -> Ss.union acc (Ss.of_list (Ast.atom_vars a))
+        | Ast.Neg _ | Ast.Cmp _ -> acc)
+      Ss.empty rule.Ast.body
+  in
+  let missing where vars =
+    List.filter_map
+      (fun v ->
+        if Ss.mem v positive_vars then None
+        else
+          Some
+            (Printf.sprintf
+               "variable %S in %s of %S does not occur in a positive body atom"
+               v where (Ast.rule_to_string rule)))
+      vars
+  in
+  missing "the head" (Ast.atom_vars rule.Ast.head)
+  @ List.concat_map
+      (function
+        | Ast.Neg a -> missing "a negated atom" (Ast.atom_vars a)
+        | Ast.Cmp (_, a, b) ->
+            missing "a comparison"
+              (List.sort_uniq String.compare (Ast.term_vars a @ Ast.term_vars b))
+        | Ast.Pos _ -> [])
+      rule.Ast.body
+
+let safety_violations prog = List.concat_map rule_safety_violations prog
+
 let is_safe prog =
   match check_safety prog with
   | () -> true
@@ -135,6 +170,29 @@ let is_recursive prog =
       | _ :: _ :: _ -> true
       | [] -> false)
     (sccs prog)
+
+(* Non-raising stratifiability test: a program is stratifiable iff no
+   negated dependency edge has both endpoints in the same strongly
+   connected component.  Returns a message naming the offending edge. *)
+let stratification_conflict prog =
+  let components = sccs prog in
+  let component_of p =
+    List.find_opt (fun comp -> List.mem p comp) components
+  in
+  List.find_map
+    (fun d ->
+      if not d.negated then None
+      else
+        match component_of d.from_pred with
+        | Some comp when List.mem d.to_pred comp ->
+            Some
+              (Printf.sprintf
+                 "predicate %s depends negatively on %s through a recursive \
+                  cycle (%s); no stratification exists"
+                 d.from_pred d.to_pred
+                 (String.concat " -> " comp))
+        | _ -> None)
+    (dependencies prog)
 
 let strata_of_predicates prog =
   let idb = Ast.idb_predicates prog in

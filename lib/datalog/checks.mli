@@ -11,6 +11,16 @@ val check_safety : Ast.program -> unit
 
 val is_safe : Ast.program -> bool
 
+val safety_violations : Ast.program -> string list
+(** Non-raising variant of {!check_safety}: every range-restriction
+    violation of every rule, in program order; [[]] iff the program is
+    safe (arity consistency is not checked here). *)
+
+val stratification_conflict : Ast.program -> string option
+(** Non-raising stratifiability test: [None] iff {!stratify} would
+    succeed, otherwise a message naming a negated dependency edge that
+    lies on a recursive cycle. *)
+
 type dependency = { from_pred : string; to_pred : string; negated : bool }
 
 val dependencies : Ast.program -> dependency list

@@ -66,6 +66,7 @@ val size : t -> int
 (** Number of operator nodes (for generators and optimizer statistics). *)
 
 val comparison_to_string : comparison -> string
+val operand_to_string : operand -> string
 val predicate_to_string : predicate -> string
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

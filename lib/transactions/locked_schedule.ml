@@ -1,0 +1,94 @@
+type action =
+  | Lock of Locks.mode * Schedule.item
+  | Unlock of Schedule.item
+  | Op of Schedule.action
+
+type op = { txn : Schedule.txn; action : action }
+
+type t = op list
+
+let sl txn item = { txn; action = Lock (Locks.Shared, item) }
+let xl txn item = { txn; action = Lock (Locks.Exclusive, item) }
+let u txn item = { txn; action = Unlock item }
+let op { Schedule.txn; action } = { txn; action = Op action }
+
+(* Tokens extend Schedule.of_string's grammar with sl1(x), xl1(x) (shared /
+   exclusive lock), l1(x) (alias for exclusive), and u1(x) (unlock). *)
+let of_string s =
+  let tokens = String.split_on_char ' ' s |> List.filter (fun x -> x <> "") in
+  let parse_lockish tok =
+    let fail () =
+      invalid_arg (Printf.sprintf "Locked_schedule.of_string: bad token %S" tok)
+    in
+    let tail prefix =
+      String.sub tok (String.length prefix)
+        (String.length tok - String.length prefix)
+    in
+    let split_item rest =
+      match String.index_opt rest '(' with
+      | Some i
+        when String.length rest > i + 1 && rest.[String.length rest - 1] = ')'
+        -> (
+          let n = String.sub rest 0 i in
+          let item = String.sub rest (i + 1) (String.length rest - i - 2) in
+          match int_of_string_opt n with
+          | Some n when item <> "" -> (n, item)
+          | _ -> fail ())
+      | _ -> fail ()
+    in
+    let prefixed p =
+      String.length tok > String.length p
+      && String.equal (String.sub tok 0 (String.length p)) p
+    in
+    if prefixed "sl" then
+      let n, item = split_item (tail "sl") in
+      Some (sl n item)
+    else if prefixed "xl" then
+      let n, item = split_item (tail "xl") in
+      Some (xl n item)
+    else if prefixed "u" then
+      let n, item = split_item (tail "u") in
+      Some (u n item)
+    else if prefixed "l" then
+      let n, item = split_item (tail "l") in
+      Some (xl n item)
+    else None
+  in
+  List.map
+    (fun tok ->
+      match parse_lockish tok with
+      | Some o -> o
+      | None -> (
+          match Schedule.of_string tok with
+          | [ o ] -> op o
+          | _ ->
+              invalid_arg
+                (Printf.sprintf "Locked_schedule.of_string: bad token %S" tok)))
+    tokens
+
+let op_to_string { txn; action } =
+  match action with
+  | Lock (Locks.Shared, item) -> Printf.sprintf "sl%d(%s)" txn item
+  | Lock (Locks.Exclusive, item) -> Printf.sprintf "xl%d(%s)" txn item
+  | Unlock item -> Printf.sprintf "u%d(%s)" txn item
+  | Op (Schedule.Read item) -> Printf.sprintf "r%d(%s)" txn item
+  | Op (Schedule.Write item) -> Printf.sprintf "w%d(%s)" txn item
+  | Op Schedule.Commit -> Printf.sprintf "c%d" txn
+  | Op Schedule.Abort -> Printf.sprintf "a%d" txn
+
+let to_string t = String.concat " " (List.map op_to_string t)
+
+let to_schedule t =
+  List.filter_map
+    (fun o ->
+      match o.action with
+      | Op a -> Some { Schedule.txn = o.txn; action = a }
+      | Lock _ | Unlock _ -> None)
+    t
+
+let has_lock_ops t =
+  List.exists
+    (fun o -> match o.action with Lock _ | Unlock _ -> true | Op _ -> false)
+    t
+
+let txns t = List.sort_uniq Int.compare (List.map (fun o -> o.txn) t)

@@ -1,0 +1,33 @@
+(** Schedules annotated with explicit lock and unlock operations, for
+    lock-discipline analysis (2PL phase rule, unlocked access).
+
+    The concrete syntax extends {!Schedule.of_string}: [sl1(x)] /
+    [xl1(x)] acquire a shared / exclusive lock ([l1(x)] is an alias for
+    exclusive), [u1(x)] releases, and the plain [r1(x) w1(x) c1 a1]
+    tokens keep their meaning. *)
+
+type action =
+  | Lock of Locks.mode * Schedule.item
+  | Unlock of Schedule.item
+  | Op of Schedule.action
+
+type op = { txn : Schedule.txn; action : action }
+
+type t = op list
+
+val sl : Schedule.txn -> Schedule.item -> op
+val xl : Schedule.txn -> Schedule.item -> op
+val u : Schedule.txn -> Schedule.item -> op
+val op : Schedule.op -> op
+
+val of_string : string -> t
+(** Raises [Invalid_argument] on malformed tokens. *)
+
+val op_to_string : op -> string
+val to_string : t -> string
+
+val to_schedule : t -> Schedule.t
+(** Erase the lock operations, keeping reads/writes/terminations. *)
+
+val has_lock_ops : t -> bool
+val txns : t -> Schedule.txn list

@@ -20,6 +20,10 @@ val conflict_equivalent_serial_order : Schedule.t -> Schedule.txn list option
 val conflict_equivalent : Schedule.t -> Schedule.t -> bool
 (** Same operations and same ordering of conflicting pairs. *)
 
+val conflict_pairs : Schedule.t -> (Schedule.op * Schedule.op) list
+(** Ordered pairs of conflicting operations, first operation first —
+    the witnesses behind {!precedence_graph} edges. *)
+
 val reads_from : Schedule.t -> (Schedule.txn * Schedule.item * Schedule.txn option) list
 (** [(reader, item, writer)] triples; [None] = reads the initial value.
     Computed on the given schedule as-is. *)

@@ -1,0 +1,334 @@
+(* Tests for the static-analysis framework: each diagnostic code has a
+   positive case (the defect is reported) and a clean negative case, plus
+   stratification edge cases and JSON round-tripping. *)
+
+module A = Analysis
+module D = Analysis.Diagnostic
+
+let parse = Datalog.Parser.parse_program
+let pquery = Datalog.Parser.parse_query
+
+let codes diags = List.map (fun d -> d.D.code) diags
+
+let has_code c diags = List.mem c (codes diags)
+
+let check_code msg c diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s in [%s]" msg c (String.concat "; " (codes diags)))
+    true (has_code c diags)
+
+let check_no_code msg c diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: no %s in [%s]" msg c
+       (String.concat "; " (codes diags)))
+    false (has_code c diags)
+
+let check_clean msg diags =
+  Alcotest.(check int)
+    (Printf.sprintf "%s: expected clean, got [%s]" msg
+       (String.concat "; " (codes diags)))
+    0 (List.length diags)
+
+(* --- datalog passes -------------------------------------------------------- *)
+
+let dl_lint ?query src = A.Datalog_lint.lint ?query (parse src)
+
+let test_dl001_safety () =
+  let diags = dl_lint "p(X, Y) :- q(X)." in
+  check_code "unbound head var" "DL001" diags;
+  check_code "negated unbound var" "DL001"
+    (dl_lint "p(X) :- q(X), not r(Y).");
+  check_code "comparison unbound var" "DL001" (dl_lint "p(X) :- q(X), Y < 3.");
+  check_no_code "safe rule" "DL001" (dl_lint "p(X) :- q(X).")
+
+let test_dl001_collects_all () =
+  (* the non-raising API reports every violation, not just the first *)
+  let prog = parse "p(X, Y) :- q(Z).\nr(W) :- s(V)." in
+  let v = Datalog.Checks.safety_violations prog in
+  Alcotest.(check int) "three unbound variables" 3 (List.length v)
+
+let test_dl002_stratification () =
+  check_code "p() :- not p()" "DL002" (dl_lint "p() :- not p().");
+  (* negation ON a recursive cycle *)
+  check_code "negation on cycle" "DL002"
+    (dl_lint "p(X) :- q(X), not r(X).\nr(X) :- q(X), p(X).");
+  (* negation OFF the cycle: reach is recursive, but the negation reads
+     it from a strictly lower stratum *)
+  check_no_code "negation off cycle" "DL002"
+    (dl_lint
+       "reach(X) :- edge(1, X).\n\
+        reach(Y) :- reach(X), edge(X, Y).\n\
+        dead(X) :- node(X), not reach(X).\n\
+        node(X) :- edge(X, Y).\n\
+        node(Y) :- edge(X, Y).")
+
+let test_stratification_conflict_api () =
+  Alcotest.(check bool)
+    "conflict reported" true
+    (Datalog.Checks.stratification_conflict (parse "p() :- not p().") <> None);
+  Alcotest.(check bool)
+    "no conflict on stratifiable program" true
+    (Datalog.Checks.stratification_conflict
+       (parse "p(X) :- q(X), not r(X).\nr(X) :- q(X).")
+    = None)
+
+let test_dl003_arity () =
+  check_code "head vs body arity" "DL003"
+    (dl_lint "p(X) :- q(X).\np(X, Y) :- q(X), q(Y).");
+  check_no_code "consistent arities" "DL003"
+    (dl_lint "p(X) :- q(X).\np(Y) :- q(Y).")
+
+let test_dl004_undefined () =
+  check_code "undefined body predicate" "DL004" (dl_lint "p(X) :- q(X).");
+  check_no_code "defined by a fact" "DL004" (dl_lint "q(1).\np(X) :- q(X).");
+  check_code "undefined query predicate" "DL004"
+    (dl_lint ~query:(pquery "ghost(X)") "q(1).\np(X) :- q(X).")
+
+let test_dl005_unused () =
+  (* with a query, a defined predicate that nothing reads is flagged *)
+  let diags =
+    dl_lint ~query:(pquery "p(X)")
+      "q(1).\np(X) :- q(X).\nother(X) :- q(X)."
+  in
+  check_code "unused under query" "DL005" diags;
+  check_no_code "query target is used" "DL005"
+    (dl_lint ~query:(pquery "p(X)") "q(1).\np(X) :- q(X).");
+  (* without a query only fact-only predicates are flagged *)
+  check_code "unused fact-only predicate" "DL005"
+    (dl_lint "q(1).\nstray(7).\np(X) :- q(X).");
+  check_no_code "rule-defined outputs are fine without query" "DL005"
+    (dl_lint "q(1).\np(X) :- q(X).")
+
+let test_dl006_cartesian () =
+  check_code "disjoint positive atoms" "DL006"
+    (dl_lint "q(1).\nr(2).\np(X, Y) :- q(X), r(Y).");
+  check_no_code "shared variable" "DL006"
+    (dl_lint "q(1, 2).\np(X, Y) :- q(X, Z), q(Z, Y).");
+  (* a comparison can be the connector *)
+  check_no_code "connected through comparison" "DL006"
+    (dl_lint "q(1).\nr(2).\np(X, Y) :- q(X), r(Y), X < Y.")
+
+let test_dl007_subsumption () =
+  check_code "duplicate rule" "DL007"
+    (dl_lint "q(1).\np(X) :- q(X).\np(Y) :- q(Y).");
+  check_code "subsumed rule" "DL007"
+    (dl_lint "q(1, 2).\np(X) :- q(X, Y).\np(X) :- q(X, X).");
+  check_no_code "genuinely different rules" "DL007"
+    (dl_lint "q(1).\nr(1).\np(X) :- q(X).\np(X) :- r(X).")
+
+let test_dl008_dead_rule () =
+  let src = "q(1).\np(X) :- q(X).\nisland(X) :- q(X)." in
+  check_code "unreachable from query" "DL008"
+    (dl_lint ~query:(pquery "p(X)") src);
+  check_no_code "no query, no dead-rule analysis" "DL008" (dl_lint src);
+  check_no_code "everything reachable" "DL008"
+    (dl_lint ~query:(pquery "p(X)") "q(1).\np(X) :- q(X).")
+
+let test_dl_clean_program () =
+  check_clean "paths program is clean"
+    (dl_lint
+       "edge(1, 2).\nedge(2, 3).\n\
+        path(X, Y) :- edge(X, Y).\n\
+        path(X, Y) :- edge(X, Z), path(Z, Y).")
+
+(* --- relational passes ----------------------------------------------------- *)
+
+let schema = Relational.Schema.make
+
+let catalog =
+  A.Relational_lint.catalog_of_alist
+    [
+      ("r", schema [ ("a", Relational.Value.TInt); ("b", Relational.Value.TInt) ]);
+      ("s", schema [ ("b", Relational.Value.TInt); ("c", Relational.Value.TString) ]);
+      ("t", schema [ ("d", Relational.Value.TInt) ]);
+    ]
+
+let ra_lint text =
+  A.Relational_lint.lint ~catalog (Relational.Query_parser.parse text)
+
+let test_ra001_unknown_relation () =
+  check_code "unknown relation" "RA001" (ra_lint "select[a = 1](nope)");
+  check_no_code "known relation" "RA001" (ra_lint "select[a = 1](r)")
+
+let test_ra002_unknown_attribute () =
+  check_code "unknown attribute in predicate" "RA002"
+    (ra_lint "select[zzz = 1](r)");
+  check_code "unknown attribute in projection" "RA002" (ra_lint "project[zzz](r)");
+  check_no_code "known attributes" "RA002" (ra_lint "project[a](select[b = 1](r))")
+
+let test_ra003_type_mismatch () =
+  check_code "int vs string comparison" "RA003" (ra_lint "select[b = c](s)");
+  check_code "incompatible set operation" "RA003" (ra_lint "r union t");
+  check_no_code "compatible comparison" "RA003" (ra_lint "select[a = b](r)")
+
+let test_ra004_cross_product () =
+  check_code "explicit product" "RA004" (ra_lint "r times t");
+  check_code "join degenerates to product" "RA004" (ra_lint "r join t");
+  check_no_code "real join" "RA004" (ra_lint "r join s")
+
+let test_ra005_pushdown () =
+  check_code "selection above join" "RA005" (ra_lint "select[a = 1](r join s)");
+  check_no_code "selection already at leaf" "RA005"
+    (ra_lint "select[a = 1](r) join s");
+  check_no_code "whole-result selection cannot push" "RA005"
+    (ra_lint "select[a = 1](r)")
+
+let test_ra006_projection_drops_key () =
+  check_code "join key projected away" "RA006" (ra_lint "project[a](r) join s");
+  check_no_code "join key kept" "RA006" (ra_lint "project[a,b](r) join s")
+
+let test_ra_error_recovery () =
+  (* one bad leaf must not hide the other side's defect *)
+  let diags = ra_lint "select[zzz = 1](nope join s)" in
+  check_code "unknown relation still reported" "RA001" diags
+
+let test_ra_clean_plan () =
+  check_clean "clean plan" (ra_lint "project[a](select[b = 1](r) join s)")
+
+(* --- transaction passes ---------------------------------------------------- *)
+
+let tx_lint = A.Transaction_lint.lint_string
+
+let test_tx001_malformed () =
+  check_code "action after commit" "TX001" (tx_lint "r1(x) c1 w1(x)");
+  check_no_code "well-formed" "TX001" (tx_lint "r1(x) w1(x) c1")
+
+let test_tx002_conflict_cycle () =
+  let diags = tx_lint "r1(x) w2(x) r2(y) w1(y) c1 c2" in
+  check_code "conflict cycle" "TX002" diags;
+  (* the diagnostic names the offending transaction pair *)
+  let d = List.find (fun d -> d.D.code = "TX002") diags in
+  Alcotest.(check bool) "names both transactions" true
+    (Str_contains.contains d.D.message "{1, 2}");
+  check_no_code "serializable" "TX002" (tx_lint "r1(x) w1(x) c1 r2(x) c2");
+  (* uncommitted transactions do not poison the committed projection *)
+  check_no_code "aborted txn leaves no cycle" "TX002"
+    (tx_lint "r1(x) w2(x) r2(y) w1(y) c1 a2")
+
+let test_tx003_unrecoverable () =
+  check_code "reader commits first" "TX003" (tx_lint "w1(x) r2(x) c2 c1");
+  check_no_code "writer commits first" "TX003" (tx_lint "w1(x) c1 r2(x) c2")
+
+let test_tx004_cascading () =
+  check_code "dirty read" "TX004" (tx_lint "w1(x) r2(x) c1 c2");
+  check_no_code "read after commit" "TX004" (tx_lint "w1(x) c1 r2(x) c2")
+
+let test_tx005_non_strict () =
+  check_code "overwrite before termination" "TX005"
+    (tx_lint "w1(x) w2(x) c1 c2");
+  check_no_code "strict schedule" "TX005" (tx_lint "w1(x) c1 w2(x) c2")
+
+let test_tx006_unlocked_access () =
+  check_code "write without exclusive lock" "TX006"
+    (tx_lint "sl1(x) w1(x) c1");
+  check_code "read without lock" "TX006" (tx_lint "xl1(y) r1(x) c1");
+  check_code "unlock without hold" "TX006" (tx_lint "u1(x) c1");
+  check_no_code "properly locked" "TX006" (tx_lint "xl1(x) w1(x) c1");
+  (* plain schedules carry no lock information: the pass stays silent *)
+  check_no_code "no lock ops, no lock lint" "TX006" (tx_lint "w1(x) c1")
+
+let test_tx007_two_phase () =
+  check_code "lock after unlock" "TX007"
+    (tx_lint "xl1(x) w1(x) u1(x) xl1(y) w1(y) c1");
+  check_no_code "all locks before first unlock" "TX007"
+    (tx_lint "xl1(x) xl1(y) w1(x) w1(y) u1(x) u1(y) c1")
+
+let test_tx008_conflicting_grant () =
+  check_code "two exclusive holders" "TX008" (tx_lint "xl1(x) xl2(x) w1(x) c1 c2");
+  check_no_code "shared with shared" "TX008" (tx_lint "sl1(x) sl2(x) r1(x) r2(x) c1 c2")
+
+let test_tx009_lock_leak () =
+  check_code "held at end of schedule" "TX009" (tx_lint "xl1(x) w1(x)");
+  check_no_code "released by commit" "TX009" (tx_lint "xl1(x) w1(x) c1")
+
+let test_tx010_potential_deadlock () =
+  check_code "opposite access orders" "TX010"
+    (tx_lint "w1(x) w2(y) w2(x) w1(y) c1 c2");
+  check_code "opposite lock orders" "TX010"
+    (tx_lint "xl1(x) xl2(y) xl2(x) xl1(y) w1(x) w2(y) c1 c2");
+  check_no_code "same lock order" "TX010" (tx_lint "w1(x) w1(y) c1 w2(x) w2(y) c2")
+
+let test_tx_clean_schedule () =
+  check_clean "serial locked schedule"
+    (tx_lint "xl1(x) w1(x) c1 sl2(x) r2(x) c2")
+
+(* --- diagnostics infrastructure -------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let diags =
+    [
+      D.error ~subject:"p(X) :- q(Y)." ~loc:0 "DL001" "unsafe \"rule\"";
+      D.warning "RA004" "cross\nproduct";
+      D.info ~loc:3 "TX005" "not strict\ttabbed";
+    ]
+  in
+  let parsed = D.list_of_json (D.list_to_json diags) in
+  Alcotest.(check bool) "round-trips structurally" true (parsed = diags)
+
+let test_json_roundtrip_real () =
+  let diags = tx_lint "r1(x) w2(x) r2(y) w1(y) c1 c2" in
+  Alcotest.(check bool) "real diagnostics round-trip" true
+    (D.list_of_json (D.list_to_json diags) = diags)
+
+let test_json_rejects_garbage () =
+  Alcotest.check_raises "garbage" (D.Json_error "expected ',' or ']' at offset 3")
+    (fun () -> ignore (D.list_of_json "[1 2]"))
+
+let test_exit_code_policy () =
+  Alcotest.(check int) "errors fail" 1
+    (D.exit_code [ D.error "X1" "boom"; D.info "X2" "meh" ]);
+  Alcotest.(check int) "warnings pass" 0
+    (D.exit_code [ D.warning "X1" "hmm" ]);
+  Alcotest.(check int) "empty passes" 0 (D.exit_code [])
+
+let test_severity_ordering () =
+  let sorted =
+    D.sort [ D.info "C" "c"; D.error "B" "b"; D.warning "A" "a" ]
+  in
+  Alcotest.(check (list string)) "errors first" [ "B"; "A"; "C" ] (codes sorted)
+
+let test_pass_crash_is_diagnosed () =
+  let boom = Analysis.Pass.make "boom" (fun _ -> failwith "kaput") in
+  let diags = Analysis.Pass.run_all [ boom ] () in
+  check_code "crash surfaces as LINT99" "LINT99" diags
+
+let suite =
+  [
+    Alcotest.test_case "DL001 safety" `Quick test_dl001_safety;
+    Alcotest.test_case "DL001 collects all" `Quick test_dl001_collects_all;
+    Alcotest.test_case "DL002 stratification" `Quick test_dl002_stratification;
+    Alcotest.test_case "stratification_conflict api" `Quick
+      test_stratification_conflict_api;
+    Alcotest.test_case "DL003 arity" `Quick test_dl003_arity;
+    Alcotest.test_case "DL004 undefined" `Quick test_dl004_undefined;
+    Alcotest.test_case "DL005 unused" `Quick test_dl005_unused;
+    Alcotest.test_case "DL006 cartesian" `Quick test_dl006_cartesian;
+    Alcotest.test_case "DL007 subsumption" `Quick test_dl007_subsumption;
+    Alcotest.test_case "DL008 dead rule" `Quick test_dl008_dead_rule;
+    Alcotest.test_case "datalog clean" `Quick test_dl_clean_program;
+    Alcotest.test_case "RA001 unknown relation" `Quick test_ra001_unknown_relation;
+    Alcotest.test_case "RA002 unknown attribute" `Quick test_ra002_unknown_attribute;
+    Alcotest.test_case "RA003 type mismatch" `Quick test_ra003_type_mismatch;
+    Alcotest.test_case "RA004 cross product" `Quick test_ra004_cross_product;
+    Alcotest.test_case "RA005 pushdown" `Quick test_ra005_pushdown;
+    Alcotest.test_case "RA006 drops join key" `Quick test_ra006_projection_drops_key;
+    Alcotest.test_case "RA error recovery" `Quick test_ra_error_recovery;
+    Alcotest.test_case "relational clean" `Quick test_ra_clean_plan;
+    Alcotest.test_case "TX001 malformed" `Quick test_tx001_malformed;
+    Alcotest.test_case "TX002 conflict cycle" `Quick test_tx002_conflict_cycle;
+    Alcotest.test_case "TX003 unrecoverable" `Quick test_tx003_unrecoverable;
+    Alcotest.test_case "TX004 cascading" `Quick test_tx004_cascading;
+    Alcotest.test_case "TX005 non-strict" `Quick test_tx005_non_strict;
+    Alcotest.test_case "TX006 unlocked access" `Quick test_tx006_unlocked_access;
+    Alcotest.test_case "TX007 two-phase" `Quick test_tx007_two_phase;
+    Alcotest.test_case "TX008 conflicting grant" `Quick test_tx008_conflicting_grant;
+    Alcotest.test_case "TX009 lock leak" `Quick test_tx009_lock_leak;
+    Alcotest.test_case "TX010 potential deadlock" `Quick test_tx010_potential_deadlock;
+    Alcotest.test_case "transactions clean" `Quick test_tx_clean_schedule;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json roundtrip real" `Quick test_json_roundtrip_real;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "exit code policy" `Quick test_exit_code_policy;
+    Alcotest.test_case "severity ordering" `Quick test_severity_ordering;
+    Alcotest.test_case "pass crash diagnosed" `Quick test_pass_crash_is_diagnosed;
+  ]

@@ -14,4 +14,5 @@ let () =
       ("extensions2", Test_extensions2.suite);
       ("access-nested", Test_access_nested.suite);
       ("integration", Test_integration.suite);
+      ("analysis", Test_analysis.suite);
     ]
