@@ -25,3 +25,33 @@ let header title =
   Printf.printf "\n%s\n=== %s ===\n%s\n\n" bar title bar
 
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+(* --- machine-readable results (--json) ---------------------------------- *)
+
+(* With --json, each target's recorded metrics are written to
+   BENCH_<target>.json after the target runs; without it, [record] is
+   free and nothing is written. *)
+
+let json_mode = ref false
+let recorded : (string * float * string) list ref = ref []
+
+let record ~metric ?(unit = "ms") value =
+  recorded := (metric, value, unit) :: !recorded
+
+let flush_json target =
+  let metrics = List.rev !recorded in
+  recorded := [];
+  if !json_mode then begin
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf "{\n  \"target\": %S,\n  \"metrics\": [" target;
+    List.iteri
+      (fun i (metric, value, unit) ->
+        Printf.bprintf buf "%s\n    {\"metric\": %S, \"value\": %g, \"unit\": %S}"
+          (if i = 0 then "" else ",")
+          metric value unit)
+      metrics;
+    Buffer.add_string buf "\n  ]\n}\n";
+    let file = Printf.sprintf "BENCH_%s.json" target in
+    Support.Io.write_file file (Buffer.contents buf);
+    note "[json] wrote %s (%d metrics)" file (List.length metrics)
+  end

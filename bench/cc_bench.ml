@@ -57,6 +57,11 @@ let run () =
         List.map
           (fun (name, make) ->
             let a, serializable = run_one make params in
+            Bench_util.record
+              ~metric:
+                (Printf.sprintf "commits_per_kstep/%s/%s" wl_label name)
+              ~unit:"commits"
+              (1000. *. a.(0) /. Float.max 1. a.(3));
             [
               name;
               Bench_util.f1 a.(0);

@@ -21,6 +21,8 @@ let run () =
           Bench_util.time_ms (fun () ->
               D.Seminaive.eval_with_stats D.Workloads.transitive_closure edb)
         in
+        Bench_util.record ~metric:(Printf.sprintf "tc_naive_n%d" n) naive_ms;
+        Bench_util.record ~metric:(Printf.sprintf "tc_seminaive_n%d" n) semi_ms;
         [
           Bench_util.i n;
           Bench_util.i naive_stats.D.Naive.derivations;
@@ -70,6 +72,8 @@ let run () =
           Bench_util.time_ms (fun () ->
               D.Magic.query_with_stats D.Workloads.transitive_closure_left edb q)
         in
+        Bench_util.record ~metric:(Printf.sprintf "point_seminaive_n%d" n) semi_ms;
+        Bench_util.record ~metric:(Printf.sprintf "point_magic_n%d" n) magic_ms;
         [
           Bench_util.i n;
           Bench_util.i (D.Facts.Tuple_set.cardinal semi_answers);

@@ -15,26 +15,36 @@ let targets =
     ("chase", "dependency theory and normalization pipeline", Chase_bench.run);
     ("sat", "Cook & Fagin: SAT as common currency", Sat_bench.run);
     ("access", "access methods (B+tree, extendible hashing) + complex objects", Access_bench.run);
+    ("storage", "persistent storage: pager, buffer pool, WAL, recovery", Storage_bench.run);
     ("ablation", "design-choice ablations (optimizer, Yannakakis, DPLL)", Ablation.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 
 let usage () =
-  print_endline "usage: main.exe [target ...]";
+  print_endline "usage: main.exe [--json] [target ...]";
   print_endline "targets:";
   List.iter (fun (name, descr, _) -> Printf.printf "  %-10s %s\n" name descr) targets;
-  print_endline "  all        everything (default)"
+  print_endline "  all        everything (default)";
+  print_endline "options:";
+  print_endline
+    "  --json     also write each target's metrics to BENCH_<target>.json"
+
+let run_target (name, _, run) =
+  run ();
+  Bench_util.flush_json name
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let json, args = List.partition (fun a -> a = "--json") args in
+  if json <> [] then Bench_util.json_mode := true;
   match args with
-  | [] | [ "all" ] -> List.iter (fun (_, _, run) -> run ()) targets
+  | [] | [ "all" ] -> List.iter run_target targets
   | [ "help" ] | [ "--help" ] | [ "-h" ] -> usage ()
   | names ->
       List.iter
         (fun name ->
           match List.find_opt (fun (n, _, _) -> n = name) targets with
-          | Some (_, _, run) -> run ()
+          | Some t -> run_target t
           | None ->
               Printf.eprintf "unknown target %S\n" name;
               usage ();

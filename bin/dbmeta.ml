@@ -3,11 +3,9 @@
 
 open Cmdliner
 
-let version = "1.1.0"
+let version = "1.2.0"
 
-let read_file path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
+let read_file = Support.Io.read_file
 
 (* Bad user input (unparseable files, queries, schedules, ill-typed
    plans, unsafe programs) is reported on stderr and exits 2; only
@@ -32,6 +30,12 @@ let input_error_to_exit f =
       fail msg
   | Relational.Database.Unknown_relation name ->
       fail (Printf.sprintf "unknown relation %S" name)
+  | Relational.Codec.Corrupt msg ->
+      fail (Printf.sprintf "corrupt record: %s" msg)
+  | Storage.Pager.Corrupt msg | Storage.Wal.Corrupt msg ->
+      fail (Printf.sprintf "corrupt database: %s" msg)
+  | Storage.Engine.Unknown_table name ->
+      fail (Printf.sprintf "no table %S in the database" name)
   | Sys_error msg -> fail msg
 
 let load_tables tables =
@@ -316,6 +320,267 @@ let sat_cmd =
   Cmd.v (Cmd.info "sat" ~version ~doc:"Decide a DIMACS CNF with DPLL")
     Term.(const sat_run $ file)
 
+(* --- db: the persistent storage engine --------------------------------------- *)
+
+let with_db ?crash_after path f =
+  let crashed at =
+    Printf.printf "simulated crash at: %s\n" at;
+    Printf.printf
+      "the database was left as the crash left it; run 'dbmeta db recover \
+       %s' (or any other db command) to repair it\n"
+      path;
+    0
+  in
+  match Storage.Engine.open_db ?crash_after path with
+  | exception Storage.Fault.Crash at -> crashed at
+  | eng -> (
+      match
+        let code = f eng in
+        Storage.Engine.close eng;
+        code
+      with
+      | code -> code
+      | exception Storage.Fault.Crash at ->
+          Storage.Engine.crash eng;
+          crashed at)
+
+let report_recovery eng =
+  match Storage.Engine.last_recovery eng with
+  | Some o -> Printf.printf "recovery: %s\n" (Storage.Recovery.outcome_to_string o)
+  | None -> print_endline "recovery: log clean, nothing to do"
+
+let db_init_run path force =
+  input_error_to_exit @@ fun () ->
+  if Sys.file_exists path && not force then
+    invalid_arg
+      (Printf.sprintf "%s already exists (use --force to overwrite)" path);
+  if Sys.file_exists path then Sys.remove path;
+  let wal = Storage.Engine.wal_path path in
+  if Sys.file_exists wal then Sys.remove wal;
+  with_db path (fun eng ->
+      Printf.printf "created %s (%d pages, wal at %s)\n" path
+        (Storage.Pager.page_count (Storage.Engine.pager eng))
+        wal;
+      0)
+
+let db_load_run path tables crash_after =
+  input_error_to_exit @@ fun () ->
+  let db = load_tables tables in
+  with_db ?crash_after path (fun eng ->
+      Relational.Database.fold
+        (fun name rel () ->
+          Storage.Engine.save_table eng name rel;
+          Printf.printf "loaded %s: %d tuples\n" name
+            (Relational.Relation.cardinality rel))
+        db ();
+      0)
+
+let db_query_run path text optimize =
+  input_error_to_exit @@ fun () ->
+  with_db path (fun eng ->
+      let db = Storage.Engine.database eng in
+      let expr = Relational.Query_parser.parse text in
+      let catalog = Relational.Algebra.catalog_of_database db in
+      let expr =
+        if optimize then
+          Relational.Optimizer.optimize catalog
+            (Relational.Optimizer.stats_of_database db)
+            expr
+        else expr
+      in
+      if optimize then
+        Printf.printf "plan: %s\n" (Relational.Algebra.to_string expr);
+      print_string (Relational.Relation.to_string (Relational.Eval.eval db expr));
+      0)
+
+let db_set_run path assignments abort crash_after =
+  input_error_to_exit @@ fun () ->
+  let parsed =
+    List.map
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | Some i -> (
+            let item = String.sub spec 0 i in
+            let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match (item, int_of_string_opt v) with
+            | "", _ | _, None ->
+                invalid_arg
+                  (Printf.sprintf "expected item=int, got %S" spec)
+            | _, Some v -> (item, v))
+        | None -> invalid_arg (Printf.sprintf "expected item=int, got %S" spec))
+      assignments
+  in
+  with_db ?crash_after path (fun eng ->
+      let txn = Storage.Engine.begin_txn eng in
+      List.iter (fun (item, v) -> Storage.Engine.write eng ~txn item v) parsed;
+      if abort then begin
+        Storage.Engine.abort eng ~txn;
+        Printf.printf "txn %d aborted (writes rolled back)\n" txn
+      end
+      else begin
+        Storage.Engine.commit eng ~txn;
+        Printf.printf "txn %d committed: %d write(s)\n" txn (List.length parsed)
+      end;
+      0)
+
+let db_get_run path items =
+  input_error_to_exit @@ fun () ->
+  with_db path (fun eng ->
+      (match items with
+      | [] ->
+          List.iter
+            (fun (item, v) -> Printf.printf "%s = %d\n" item v)
+            (Storage.Engine.items eng)
+      | items ->
+          List.iter
+            (fun item ->
+              Printf.printf "%s = %d\n" item (Storage.Engine.read eng item))
+            items);
+      0)
+
+let db_status_run path =
+  input_error_to_exit @@ fun () ->
+  (* the raw log, inspected before recovery rewrites it *)
+  let raw_entries = Storage.Wal.read_entries (Storage.Engine.wal_path path) in
+  with_db path (fun eng ->
+      let pager = Storage.Engine.pager eng in
+      Printf.printf "file: %s (format v1, %d pages of %d bytes)\n" path
+        (Storage.Pager.page_count pager)
+        Storage.Page.size;
+      report_recovery eng;
+      Printf.printf "wal: %d surviving record(s) before open\n"
+        (List.length raw_entries);
+      Printf.printf "items: %d\n" (Storage.Engine.item_count eng);
+      let tables = Storage.Engine.table_info eng in
+      Printf.printf "tables: %d\n" (List.length tables);
+      List.iter
+        (fun (name, schema, first) ->
+          Printf.printf "  %s(%s) @ page %d: %d tuples\n" name
+            (String.concat ", "
+               (List.map
+                  (fun (a, ty) -> a ^ ":" ^ Relational.Value.ty_to_string ty)
+                  (Relational.Schema.pairs schema)))
+            first
+            (Relational.Relation.cardinality (Storage.Engine.load_table eng name)))
+        tables;
+      let hits, misses =
+        let s = Storage.Buffer_pool.stats (Storage.Engine.pool eng) in
+        (s.Storage.Buffer_pool.hits, s.Storage.Buffer_pool.misses)
+      in
+      Printf.printf "buffer pool: %d/%d resident, %d hits, %d misses\n"
+        (Storage.Buffer_pool.resident (Storage.Engine.pool eng))
+        (Storage.Buffer_pool.capacity (Storage.Engine.pool eng))
+        hits misses;
+      0)
+
+let db_recover_run path =
+  input_error_to_exit @@ fun () ->
+  with_db path (fun eng ->
+      report_recovery eng;
+      Printf.printf "items: %d, tables: %d\n"
+        (Storage.Engine.item_count eng)
+        (List.length (Storage.Engine.table_names eng));
+      0)
+
+let db_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DB"
+         ~doc:"Database file (its WAL lives alongside as DB.wal).")
+
+let crash_after_arg =
+  Arg.(value & opt (some int) None & info [ "crash-after" ] ~docv:"N"
+         ~doc:"Fault injection: let $(docv) durable I/Os succeed, then \
+               crash the engine mid-operation (a WAL flush crash leaves a \
+               torn tail).  For demonstrating recovery.")
+
+let db_init_cmd =
+  let force =
+    Arg.(value & flag & info [ "force" ] ~doc:"Overwrite an existing database.")
+  in
+  Cmd.v
+    (Cmd.info "init" ~version ~doc:"Create an empty database file")
+    Term.(const db_init_run $ db_file_arg $ force)
+
+let db_load_cmd =
+  let tables =
+    Arg.(value & opt_all string [] & info [ "t"; "table" ] ~docv:"NAME=FILE"
+           ~doc:"Load a CSV file as a named table (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "load" ~version ~doc:"Load CSV tables into the database")
+    Term.(const db_load_run $ db_file_arg $ tables $ crash_after_arg)
+
+let db_query_cmd =
+  let text =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Algebra expression over the stored tables.")
+  in
+  let optimize =
+    Arg.(value & flag & info [ "O"; "optimize" ]
+           ~doc:"Run the optimizer and print the chosen plan.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~version
+       ~doc:"Evaluate a relational algebra query over stored tables")
+    Term.(const db_query_run $ db_file_arg $ text $ optimize)
+
+let db_set_cmd =
+  let assignments =
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"ITEM=VALUE"
+           ~doc:"Integer assignments, applied in one transaction.")
+  in
+  let abort =
+    Arg.(value & flag & info [ "abort" ]
+           ~doc:"Roll the transaction back instead of committing \
+                 (demonstrates undo).")
+  in
+  Cmd.v
+    (Cmd.info "set" ~version
+       ~doc:"Write items transactionally (WAL-protected)")
+    Term.(const db_set_run $ db_file_arg $ assignments $ abort $ crash_after_arg)
+
+let db_get_cmd =
+  let items =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"ITEM"
+           ~doc:"Items to read; with none, every nonzero item is listed.")
+  in
+  Cmd.v
+    (Cmd.info "get" ~version ~doc:"Read items from the transactional store")
+    Term.(const db_get_run $ db_file_arg $ items)
+
+let db_status_cmd =
+  Cmd.v
+    (Cmd.info "status" ~version
+       ~doc:"Show pages, tables, items, WAL and buffer-pool state")
+    Term.(const db_status_run $ db_file_arg)
+
+let db_recover_cmd =
+  Cmd.v
+    (Cmd.info "recover" ~version
+       ~doc:"Run restart recovery and report its outcome")
+    Term.(const db_recover_run $ db_file_arg)
+
+let db_cmd =
+  let doc = "persistent storage: pager, buffer pool, WAL, recovery" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "A database file is a sequence of 4096-byte CRC-checked slotted \
+         pages behind a header page; updates to the transactional item \
+         store are protected by a binary write-ahead log, and every open \
+         runs ARIES-lite restart recovery (redo from the last checkpoint, \
+         then undo of uncommitted transactions).  $(b,--crash-after) \
+         injects a crash at the Nth durable I/O so the recovery path can \
+         be watched from the command line.";
+    ]
+  in
+  Cmd.group
+    (Cmd.info "db" ~version ~doc ~man)
+    [
+      db_init_cmd; db_load_cmd; db_query_cmd; db_set_cmd; db_get_cmd;
+      db_status_cmd; db_recover_cmd;
+    ]
+
 (* --- lint ------------------------------------------------------------------------- *)
 
 let format_arg =
@@ -457,7 +722,7 @@ let main_cmd =
   Cmd.group info
     [
       datalog_cmd; query_cmd; calculus_cmd; design_cmd; schedule_cmd; sat_cmd;
-      lint_cmd;
+      db_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,23 @@
+(** Binary serialization of values, tuples, and schemas — the wire format
+    the storage engine writes into slotted pages.
+
+    Little-endian and length-prefixed; every value carries a one-byte type
+    tag, so records decode without consulting the catalog.  Strings are
+    limited to 65535 bytes (they must fit inside a page record). *)
+
+exception Corrupt of string
+(** Raised by every reader on malformed input. *)
+
+val add_value : Buffer.t -> Value.t -> unit
+val read_value : string -> int ref -> Value.t
+
+val add_tuple : Buffer.t -> Tuple.t -> unit
+val read_tuple : string -> int ref -> Tuple.t
+val tuple_to_string : Tuple.t -> string
+val tuple_of_string : string -> Tuple.t
+(** Raises {!Corrupt} on trailing bytes. *)
+
+val add_schema : Buffer.t -> Schema.t -> unit
+val read_schema : string -> int ref -> Schema.t
+val schema_to_string : Schema.t -> string
+val schema_of_string : string -> Schema.t

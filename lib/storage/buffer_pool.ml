@@ -1,0 +1,133 @@
+(* The buffer pool: a bounded cache of pages with pin counts, dirty
+   tracking, and LRU eviction.  Evicting a dirty page flushes it — the
+   "steal" in steal/no-force — but only after the WAL hook has made the
+   log durable up to that page's LSN (write-ahead rule). *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable flushes : int;
+}
+
+type frame = {
+  page : Page.t;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable stamp : int;
+}
+
+type t = {
+  pager : Pager.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  stats : stats;
+  mutable clock : int;
+  mutable wal_barrier : int -> unit;
+}
+
+exception Pool_exhausted
+
+let create ?(capacity = 64) pager =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  {
+    pager;
+    capacity;
+    frames = Hashtbl.create (2 * capacity);
+    stats = { hits = 0; misses = 0; evictions = 0; flushes = 0 };
+    clock = 0;
+    wal_barrier = (fun _ -> ());
+  }
+
+let pager t = t.pager
+let stats t = t.stats
+let capacity t = t.capacity
+let set_wal_barrier t f = t.wal_barrier <- f
+
+let touch t frame =
+  t.clock <- t.clock + 1;
+  frame.stamp <- t.clock
+
+let flush_frame t id frame =
+  if frame.dirty then begin
+    t.wal_barrier (Page.lsn frame.page);
+    Pager.write_page t.pager id frame.page;
+    frame.dirty <- false;
+    t.stats.flushes <- t.stats.flushes + 1
+  end
+
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun id frame best ->
+        if frame.pins > 0 then best
+        else
+          match best with
+          | Some (_, b) when b.stamp <= frame.stamp -> best
+          | _ -> Some (id, frame))
+      t.frames None
+  in
+  match victim with
+  | None -> raise Pool_exhausted
+  | Some (id, frame) ->
+      flush_frame t id frame;
+      Hashtbl.remove t.frames id;
+      t.stats.evictions <- t.stats.evictions + 1
+
+let fetch t id =
+  match Hashtbl.find_opt t.frames id with
+  | Some frame ->
+      t.stats.hits <- t.stats.hits + 1;
+      frame.pins <- frame.pins + 1;
+      touch t frame;
+      frame.page
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      if Hashtbl.length t.frames >= t.capacity then evict_one t;
+      let page = Pager.read_page t.pager id in
+      let frame = { page; dirty = false; pins = 1; stamp = 0 } in
+      touch t frame;
+      Hashtbl.replace t.frames id frame;
+      page
+
+let frame_exn t id what =
+  match Hashtbl.find_opt t.frames id with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Buffer_pool.%s: page %d not resident" what id)
+
+let unpin t id =
+  let f = frame_exn t id "unpin" in
+  if f.pins <= 0 then invalid_arg "Buffer_pool.unpin: not pinned";
+  f.pins <- f.pins - 1
+
+let mark_dirty t id = (frame_exn t id "mark_dirty").dirty <- true
+
+let with_page t id f =
+  let page = fetch t id in
+  Fun.protect ~finally:(fun () -> unpin t id) (fun () -> f page)
+
+let adopt t id page =
+  if Hashtbl.length t.frames >= t.capacity then evict_one t;
+  let frame = { page; dirty = false; pins = 0; stamp = 0 } in
+  touch t frame;
+  Hashtbl.replace t.frames id frame
+
+let flush_page t id =
+  match Hashtbl.find_opt t.frames id with
+  | Some frame -> flush_frame t id frame
+  | None -> ()
+
+let flush_all t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.frames []
+  |> List.sort Int.compare
+  |> List.iter (fun id -> flush_page t id)
+
+let drop_clean t =
+  let victims =
+    Hashtbl.fold
+      (fun id f acc -> if (not f.dirty) && f.pins = 0 then id :: acc else acc)
+      t.frames []
+  in
+  List.iter (Hashtbl.remove t.frames) victims
+
+let resident t = Hashtbl.length t.frames

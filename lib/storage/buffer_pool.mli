@@ -1,0 +1,54 @@
+(** A bounded page cache with pin/unpin, dirty tracking, LRU eviction,
+    and hit/miss/eviction/flush counters.
+
+    Evicting a dirty page writes it back even if the transaction that
+    dirtied it is still running — the {e steal} policy — but only after
+    the WAL barrier has made the log durable up to that page's LSN
+    (the write-ahead rule).  Commit does not force pages ({e no-force});
+    durability comes from the WAL alone. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable flushes : int;
+}
+
+type t
+
+exception Pool_exhausted
+(** Every frame is pinned and a new page was requested. *)
+
+val create : ?capacity:int -> Pager.t -> t
+(** [capacity] frames (default 64). *)
+
+val fetch : t -> int -> Page.t
+(** Pin and return the page, reading (and possibly evicting) on miss. *)
+
+val unpin : t -> int -> unit
+
+val with_page : t -> int -> (Page.t -> 'a) -> 'a
+(** Fetch, apply, unpin (exception-safe). *)
+
+val mark_dirty : t -> int -> unit
+(** The caller mutated the page; it must currently be resident. *)
+
+val adopt : t -> int -> Page.t -> unit
+(** Insert a freshly allocated page into the pool without re-reading it. *)
+
+val flush_page : t -> int -> unit
+val flush_all : t -> unit
+(** Write back dirty frames (in page-id order, for determinism). *)
+
+val drop_clean : t -> unit
+(** Forget clean unpinned frames — used by tests to simulate a cold
+    cache without closing the file. *)
+
+val set_wal_barrier : t -> (int -> unit) -> unit
+(** [f lsn] is called before any dirty page with page-LSN [lsn] is
+    written back; the engine points it at WAL flush. *)
+
+val stats : t -> stats
+val capacity : t -> int
+val resident : t -> int
+val pager : t -> Pager.t

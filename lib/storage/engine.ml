@@ -1,0 +1,238 @@
+(* The storage engine: pager + buffer pool + WAL + ARIES-lite recovery
+   behind one transactional facade.
+
+   Policies, stated once:
+     steal    — the buffer pool may flush a dirty page while its
+                transaction is running (eviction), after the WAL barrier;
+     no-force — commit makes only the WAL durable, never the pages;
+     strict   — per-item write locks are held to commit/abort, so undo by
+                before-image is sound (the discipline Transactions.Recovery
+                assumes and its docs spell out).
+
+   Opening a database always runs restart recovery over the surviving
+   log; a database file abandoned mid-flight (or killed by Fault
+   injection) is repaired to exactly the committed transactions' writes. *)
+
+type t = {
+  pager : Pager.t;
+  pool : Buffer_pool.t;
+  wal : Wal.t;
+  items : Heap.Items.t;
+  fault : Fault.t;
+  locks : (string, int) Hashtbl.t;
+  active : (int, (string * int) list ref) Hashtbl.t;
+      (* txn -> (item, before-image) newest first *)
+  mutable next_txn : int;
+  mutable last_recovery : Recovery.outcome option;
+}
+
+exception Locked of string * int
+exception No_such_transaction of int
+exception Active_transactions
+exception Unknown_table of string
+
+let wal_path path = path ^ ".wal"
+
+let checkpoint_now t =
+  (* order is the whole point: pages first, checkpoint record after, so
+     redo may really start at the checkpoint *)
+  Wal.flush t.wal;
+  Buffer_pool.flush_all t.pool;
+  ignore (Wal.append t.wal Wal.Checkpoint : int);
+  Wal.flush t.wal;
+  Pager.set_flushed_lsn t.pager (Wal.durable_lsn t.wal);
+  Pager.sync t.pager
+
+let checkpoint t =
+  if Hashtbl.length t.active > 0 then raise Active_transactions;
+  checkpoint_now t
+
+let open_db ?(pool_size = 64) ?crash_after path =
+  let fault = Fault.create () in
+  (match crash_after with Some n -> Fault.arm fault n | None -> ());
+  (* a zero-length file is a creation that crashed before its header
+     write — treat it as fresh so such a database is still recoverable *)
+  let fresh =
+    (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size = 0
+  in
+  let pager =
+    if fresh then Pager.create ~fault path else Pager.open_file ~fault path
+  in
+  let wal, entries =
+    try Wal.open_log ~fault (wal_path path)
+    with e ->
+      Pager.abandon pager;
+      raise e
+  in
+  let pool = Buffer_pool.create ~capacity:pool_size pager in
+  Buffer_pool.set_wal_barrier pool (fun lsn -> Wal.flush_to wal lsn);
+  let items =
+    try Heap.Items.load pool
+    with e ->
+      Wal.abandon wal;
+      Pager.abandon pager;
+      raise e
+  in
+  let t =
+    {
+      pager;
+      pool;
+      wal;
+      items;
+      fault;
+      locks = Hashtbl.create 16;
+      active = Hashtbl.create 16;
+      next_txn = 1;
+      last_recovery = None;
+    }
+  in
+  let max_txn =
+    List.fold_left
+      (fun m { Wal.record; _ } ->
+        match record with
+        | Wal.Begin x | Wal.Commit x | Wal.Abort x -> max m x
+        | Wal.Write { txn; _ } -> max m txn
+        | Wal.Checkpoint -> m)
+      0 entries
+  in
+  t.next_txn <- max_txn + 1;
+  (try
+     if entries <> [] then begin
+       let outcome =
+         Recovery.run ~entries
+           ~read:(fun item -> Heap.Items.get items item)
+           ~write:(fun ~lsn item v -> Heap.Items.set items ~lsn item v)
+           ~log:(fun r -> Wal.append wal r)
+       in
+       t.last_recovery <- Some outcome;
+       checkpoint_now t
+     end
+   with e ->
+     (* a crash injected into recovery itself: release the descriptors so
+        the caller can retry the open (the crash-matrix tests do) *)
+     Wal.abandon wal;
+     Pager.abandon pager;
+     raise e);
+  t
+
+let close t =
+  if Hashtbl.length t.active = 0 then checkpoint_now t;
+  Wal.close t.wal;
+  Pager.close t.pager
+
+let crash t =
+  Wal.abandon t.wal;
+  Pager.abandon t.pager
+
+(* --- transactions -------------------------------------------------------- *)
+
+let writes_of t txn =
+  match Hashtbl.find_opt t.active txn with
+  | Some w -> w
+  | None -> raise (No_such_transaction txn)
+
+let begin_txn ?id t =
+  let id =
+    match id with
+    | Some i -> i
+    | None ->
+        let i = t.next_txn in
+        t.next_txn <- i + 1;
+        i
+  in
+  if Hashtbl.mem t.active id then
+    invalid_arg (Printf.sprintf "Engine.begin_txn: txn %d already active" id);
+  t.next_txn <- max t.next_txn (id + 1);
+  ignore (Wal.append t.wal (Wal.Begin id) : int);
+  Hashtbl.replace t.active id (ref []);
+  id
+
+let lock_holder t item = Hashtbl.find_opt t.locks item
+
+let read t item = Heap.Items.get t.items item
+
+let write t ~txn item value =
+  let writes = writes_of t txn in
+  (match Hashtbl.find_opt t.locks item with
+  | Some holder when holder <> txn -> raise (Locked (item, holder))
+  | _ -> Hashtbl.replace t.locks item txn);
+  let before = Heap.Items.get t.items item in
+  let lsn =
+    Wal.append t.wal
+      (Wal.Write { txn; item; before; after = value; compensation = false })
+  in
+  ignore (Heap.Items.set t.items ~lsn item value : bool);
+  writes := (item, before) :: !writes
+
+let release_locks t txn =
+  let mine =
+    Hashtbl.fold
+      (fun item holder acc -> if holder = txn then item :: acc else acc)
+      t.locks []
+  in
+  List.iter (Hashtbl.remove t.locks) mine
+
+let commit t ~txn =
+  ignore (writes_of t txn);
+  ignore (Wal.append t.wal (Wal.Commit txn) : int);
+  (* the commit point: the flush that makes the Commit record durable *)
+  Wal.flush t.wal;
+  release_locks t txn;
+  Hashtbl.remove t.active txn
+
+let abort t ~txn =
+  let writes = writes_of t txn in
+  (* undo newest-first, logging a compensation per undone write — these
+     are ordinary history for any later recovery (never re-undone) *)
+  List.iter
+    (fun (item, before) ->
+      let current = Heap.Items.get t.items item in
+      let lsn =
+        Wal.append t.wal
+          (Wal.Write
+             { txn; item; before = current; after = before; compensation = true })
+      in
+      ignore (Heap.Items.set t.items ~lsn item before : bool))
+    !writes;
+  ignore (Wal.append t.wal (Wal.Abort txn) : int);
+  Wal.flush t.wal;
+  release_locks t txn;
+  Hashtbl.remove t.active txn
+
+let items t = Heap.Items.all t.items
+let item_count t = Heap.Items.count t.items
+let active_txns t = Hashtbl.fold (fun k _ acc -> k :: acc) t.active [] |> List.sort Int.compare
+
+(* --- tables --------------------------------------------------------------- *)
+
+let save_table t name rel =
+  let first = Heap.save_relation t.pool rel in
+  Heap.replace_table t.pool
+    { Heap.name; schema = Relational.Relation.schema rel; first };
+  checkpoint_now t
+
+let table_info t =
+  List.map (fun { Heap.name; schema; first } -> (name, schema, first)) (Heap.catalog t.pool)
+
+let load_table t name =
+  match List.find_opt (fun tb -> tb.Heap.name = name) (Heap.catalog t.pool) with
+  | Some { Heap.schema; first; _ } ->
+      Heap.load_relation t.pool ~schema ~first
+  | None -> raise (Unknown_table name)
+
+let table_names t =
+  List.map (fun tb -> tb.Heap.name) (Heap.catalog t.pool)
+
+let database t =
+  List.fold_left
+    (fun db { Heap.name; schema; first } ->
+      Relational.Database.add db name (Heap.load_relation t.pool ~schema ~first))
+    Relational.Database.empty (Heap.catalog t.pool)
+
+(* --- observability ---------------------------------------------------------- *)
+
+let pool t = t.pool
+let pager t = t.pager
+let wal t = t.wal
+let fault t = t.fault
+let last_recovery t = t.last_recovery

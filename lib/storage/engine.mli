@@ -1,0 +1,87 @@
+(** The storage engine: pager + buffer pool + binary WAL + ARIES-lite
+    recovery behind one transactional facade, plus a persistent
+    heap-table layer for relational instances.
+
+    Policies: {e steal} (eviction may flush uncommitted pages, behind the
+    WAL barrier), {e no-force} (commit makes only the log durable), and
+    {e strict} per-item write locks held to commit/abort — exactly the
+    regime {!Transactions.Recovery} models in memory, now against real
+    bytes.  Opening a database always runs restart recovery; the
+    invariant (crash-matrix-tested) is that after a crash at any I/O the
+    reopened store holds exactly the committed transactions' writes in
+    log order. *)
+
+type t
+
+exception Locked of string * int
+(** The item is write-locked by another transaction (strictness). *)
+
+exception No_such_transaction of int
+exception Active_transactions
+exception Unknown_table of string
+
+val open_db : ?pool_size:int -> ?crash_after:int -> string -> t
+(** Open or create the database at [path] (the WAL lives at
+    [path ^ ".wal"]).  [crash_after] arms fault injection: that many
+    durable I/Os succeed, the next raises {!Fault.Crash} — including
+    I/Os issued by recovery itself. *)
+
+val close : t -> unit
+(** Clean shutdown: checkpoint (when quiescent) and close. *)
+
+val crash : t -> unit
+(** Abandon without flushing anything — simulates the process dying.
+    The on-disk state is whatever the WAL and stolen pages got to. *)
+
+val begin_txn : ?id:int -> t -> int
+val write : t -> txn:int -> string -> int -> unit
+(** Logs (item, before, after) then applies in the pool; raises
+    {!Locked} when another transaction holds the item. *)
+
+val read : t -> string -> int
+(** Current value; absent items read 0. *)
+
+val commit : t -> txn:int -> unit
+(** Appends Commit and flushes the WAL — the commit point. *)
+
+val abort : t -> txn:int -> unit
+(** Undoes the transaction's writes newest-first, logging compensation
+    records, then appends Abort. *)
+
+val checkpoint : t -> unit
+(** Quiescent checkpoint: flush all pages, then log Checkpoint.  Raises
+    {!Active_transactions} when transactions are running. *)
+
+val lock_holder : t -> string -> int option
+val active_txns : t -> int list
+
+val items : t -> (string * int) list
+(** The committed-visible KV state, sorted, zero values omitted. *)
+
+val item_count : t -> int
+
+val save_table : t -> string -> Relational.Relation.t -> unit
+(** Persist a relation under a name (replacing any previous binding) and
+    checkpoint. *)
+
+val load_table : t -> string -> Relational.Relation.t
+(** Raises {!Unknown_table}. *)
+
+val table_names : t -> string list
+val table_info : t -> (string * Relational.Schema.t * int) list
+(** (name, schema, first page id) per catalog entry. *)
+
+val database : t -> Relational.Database.t
+(** Load every table — a {!Relational.Database} instance served from
+    disk through the buffer pool. *)
+
+val pool : t -> Buffer_pool.t
+val pager : t -> Pager.t
+val wal : t -> Wal.t
+val fault : t -> Fault.t
+
+val last_recovery : t -> Recovery.outcome option
+(** The outcome of the restart recovery this open performed, if the log
+    was non-empty. *)
+
+val wal_path : string -> string

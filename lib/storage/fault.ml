@@ -1,0 +1,23 @@
+exception Crash of string
+
+type t = { mutable budget : int option; mutable crashed_at : string option }
+
+let create () = { budget = None; crashed_at = None }
+
+let arm t n =
+  if n < 0 then invalid_arg "Fault.arm: negative budget";
+  t.budget <- Some n
+
+let disarm t = t.budget <- None
+let armed t = t.budget <> None
+let crashed_at t = t.crashed_at
+
+let io t ~at ~on_crash =
+  match t.budget with
+  | None -> ()
+  | Some n when n > 0 -> t.budget <- Some (n - 1)
+  | Some _ ->
+      t.budget <- None;
+      t.crashed_at <- Some at;
+      on_crash ();
+      raise (Crash at)

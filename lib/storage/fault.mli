@@ -1,0 +1,29 @@
+(** Crash injection for the storage engine.
+
+    Every durable I/O (WAL flush, page write, header write) consumes one
+    unit of an optional budget; when the budget is exhausted the I/O runs
+    its [on_crash] action (e.g. writing a torn prefix of a WAL flush) and
+    raises {!Crash}.  Tests iterate the budget over every I/O index of a
+    workload and assert the recovery invariant at each crash point. *)
+
+exception Crash of string
+(** The argument names the I/O that was killed, e.g. ["wal flush"]. *)
+
+type t
+
+val create : unit -> t
+(** Unarmed: all I/O proceeds normally. *)
+
+val arm : t -> int -> unit
+(** [arm t n]: the next [n] I/Os succeed, the one after crashes. *)
+
+val disarm : t -> unit
+val armed : t -> bool
+
+val crashed_at : t -> string option
+(** Where the injected crash fired, once it has. *)
+
+val io : t -> at:string -> on_crash:(unit -> unit) -> unit
+(** Account one I/O.  Raises {!Crash} (after running [on_crash]) when the
+    budget is exhausted; otherwise returns unit and the caller performs
+    the real I/O. *)

@@ -1,0 +1,257 @@
+(* Heap storage over the pager: page chains of variable-length records.
+
+   Three uses share the machinery:
+     - the item store (the transactional KV plane the WAL protects):
+       records are (item, i64 value), updated in place — the value field
+       is fixed-width, so an update never moves a record;
+     - table chains: one chain of tuple records per relation;
+     - the catalog: one chain of (name, schema, first-page) records
+       describing the tables.
+
+   All access goes through the buffer pool, so scans and point reads are
+   counted in its hit/miss statistics. *)
+
+let kind_items = 2
+let kind_table = 3
+let kind_catalog = 4
+
+let iter_chain pool ~first f =
+  let id = ref first in
+  while !id <> 0 do
+    let next =
+      Buffer_pool.with_page pool !id (fun page ->
+          List.iter (fun (slot, r) -> f !id slot r) (Page.records page);
+          Page.next page)
+    in
+    id := next
+  done
+
+(* A page chain with a remembered tail, so appends are O(1) in chain
+   length.  [on_first] persists the root of a chain created lazily (e.g.
+   into the pager header or the catalog). *)
+module Chain = struct
+  type t = {
+    pool : Buffer_pool.t;
+    kind : int;
+    mutable first : int;  (* 0 = not yet created *)
+    mutable tail : int;
+    on_first : int -> unit;
+  }
+
+  let make pool ~kind ~first ~on_first =
+    let tail = ref first in
+    (* find the real tail of an existing chain *)
+    let id = ref first in
+    while !id <> 0 do
+      tail := !id;
+      id := Buffer_pool.with_page pool !id Page.next
+    done;
+    { pool; kind; first; tail = !tail; on_first }
+
+  let fresh_page c =
+    let pager = Buffer_pool.pager c.pool in
+    let id = Pager.allocate pager ~kind:c.kind in
+    Buffer_pool.adopt c.pool id (Pager.read_page pager id);
+    id
+
+  let force c =
+    if c.first = 0 then begin
+      let id = fresh_page c in
+      c.first <- id;
+      c.tail <- id;
+      c.on_first id
+    end;
+    c.first
+
+  (* Append a record; returns (page, slot). *)
+  let append c record =
+    ignore (force c : int);
+    let inserted =
+      Buffer_pool.with_page c.pool c.tail (fun page ->
+          match Page.insert page record with
+          | slot ->
+              Buffer_pool.mark_dirty c.pool c.tail;
+              Some slot
+          | exception Page.Page_full -> None)
+    in
+    match inserted with
+    | Some slot -> (c.tail, slot)
+    | None ->
+        let id = fresh_page c in
+        Buffer_pool.with_page c.pool c.tail (fun page ->
+            Page.set_next page id;
+            Buffer_pool.mark_dirty c.pool c.tail);
+        let slot =
+          Buffer_pool.with_page c.pool id (fun page ->
+              let s = Page.insert page record in
+              Buffer_pool.mark_dirty c.pool id;
+              s)
+        in
+        c.tail <- id;
+        (id, slot)
+end
+
+(* --- the item store ----------------------------------------------------- *)
+
+module Items = struct
+  type loc = { page : int; slot : int }
+
+  type t = {
+    pool : Buffer_pool.t;
+    dir : (string, loc) Hashtbl.t;  (* item -> location, built at open *)
+    chain : Chain.t;
+  }
+
+  let encode item value =
+    let buf = Buffer.create (String.length item + 10) in
+    Buffer.add_uint16_le buf (String.length item);
+    Buffer.add_string buf item;
+    Buffer.add_int64_le buf (Int64.of_int value);
+    Buffer.contents buf
+
+  let decode r =
+    let len = String.get_uint16_le r 0 in
+    let item = String.sub r 2 len in
+    let value = Int64.to_int (String.get_int64_le r (2 + len)) in
+    (item, value)
+
+  let load pool =
+    let pager = Buffer_pool.pager pool in
+    let first = Pager.items_root pager in
+    let dir = Hashtbl.create 64 in
+    if first <> 0 then
+      iter_chain pool ~first (fun page slot r ->
+          let item, _ = decode r in
+          Hashtbl.replace dir item { page; slot });
+    let chain =
+      Chain.make pool ~kind:kind_items ~first ~on_first:(fun id ->
+          Pager.set_items_root pager id)
+    in
+    { pool; dir; chain }
+
+  let get t item =
+    match Hashtbl.find_opt t.dir item with
+    | None -> 0
+    | Some { page; slot } ->
+        Buffer_pool.with_page t.pool page (fun p ->
+            match Page.read_slot p slot with
+            | Some r -> snd (decode r)
+            | None -> 0)
+
+  (* The page-LSN test: apply the write unless the item's current page
+     already carries this LSN (then the logged effect is present).  New
+     items always apply. *)
+  let set t ~lsn item value =
+    let record = encode item value in
+    match Hashtbl.find_opt t.dir item with
+    | Some { page; slot } ->
+        Buffer_pool.with_page t.pool page (fun p ->
+            if Page.lsn p >= lsn then false
+            else begin
+              if not (Page.overwrite p slot record) then
+                invalid_arg "Items.set: record size changed";
+              Page.set_lsn p lsn;
+              Buffer_pool.mark_dirty t.pool page;
+              true
+            end)
+    | None ->
+        let page, slot = Chain.append t.chain record in
+        Buffer_pool.with_page t.pool page (fun p ->
+            Page.set_lsn p lsn;
+            Buffer_pool.mark_dirty t.pool page);
+        Hashtbl.replace t.dir item { page; slot };
+        true
+
+  let all t =
+    Hashtbl.fold (fun item _ acc -> item :: acc) t.dir []
+    |> List.sort String.compare
+    |> List.filter_map (fun item ->
+           match get t item with 0 -> None | v -> Some (item, v))
+
+  let count t = Hashtbl.length t.dir
+end
+
+(* --- relations ----------------------------------------------------------- *)
+
+let save_relation pool rel =
+  let chain =
+    Chain.make pool ~kind:kind_table ~first:0 ~on_first:(fun _ -> ())
+  in
+  Relational.Relation.iter
+    (fun tuple ->
+      ignore (Chain.append chain (Relational.Codec.tuple_to_string tuple)))
+    rel;
+  (* an empty relation still needs a chain for the catalog to point at *)
+  Chain.force chain
+
+let load_relation pool ~schema ~first =
+  let tuples = ref [] in
+  iter_chain pool ~first (fun _ _ r ->
+      tuples := Relational.Codec.tuple_of_string r :: !tuples);
+  Relational.Relation.of_tuples schema (List.rev !tuples)
+
+(* --- the catalog ---------------------------------------------------------- *)
+
+type table = { name : string; schema : Relational.Schema.t; first : int }
+
+let encode_table t =
+  let buf = Buffer.create 64 in
+  Buffer.add_uint16_le buf (String.length t.name);
+  Buffer.add_string buf t.name;
+  Relational.Codec.add_schema buf t.schema;
+  Buffer.add_int32_le buf (Int32.of_int t.first);
+  Buffer.contents buf
+
+let decode_table r =
+  let pos = ref 0 in
+  let len = String.get_uint16_le r !pos in
+  pos := !pos + 2;
+  let name = String.sub r !pos len in
+  pos := !pos + len;
+  let schema = Relational.Codec.read_schema r pos in
+  let first = Int32.to_int (String.get_int32_le r !pos) in
+  { name; schema; first }
+
+let catalog_chain pool =
+  let pager = Buffer_pool.pager pool in
+  Chain.make pool ~kind:kind_catalog ~first:(Pager.catalog_root pager)
+    ~on_first:(fun id -> Pager.set_catalog_root pager id)
+
+let catalog pool =
+  let first = Pager.catalog_root (Buffer_pool.pager pool) in
+  let out = ref [] in
+  if first <> 0 then
+    iter_chain pool ~first (fun _ _ r -> out := decode_table r :: !out);
+  List.rev !out
+
+let add_table pool table =
+  ignore (Chain.append (catalog_chain pool) (encode_table table))
+
+(* Replacing a table rewrites the whole catalog chain in place (the old
+   data chain's pages are leaked — no free list yet, see DESIGN.md). *)
+let replace_table pool table =
+  let existing = catalog pool in
+  if not (List.exists (fun t -> t.name = table.name) existing) then
+    add_table pool table
+  else begin
+    let tables =
+      List.map (fun t -> if t.name = table.name then table else t) existing
+    in
+    (* clear the existing catalog pages, keeping the chain links *)
+    let first = Pager.catalog_root (Buffer_pool.pager pool) in
+    let id = ref first in
+    while !id <> 0 do
+      let next =
+        Buffer_pool.with_page pool !id (fun page ->
+            let n = Page.next page in
+            let blank = Page.init ~kind:kind_catalog in
+            Page.set_next blank n;
+            Bytes.blit blank 0 page 0 Page.size;
+            Buffer_pool.mark_dirty pool !id;
+            n)
+      in
+      id := next
+    done;
+    let chain = catalog_chain pool in
+    List.iter (fun t -> ignore (Chain.append chain (encode_table t))) tables
+  end

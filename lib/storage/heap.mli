@@ -1,0 +1,55 @@
+(** Heap storage over the pager: page chains of variable-length records,
+    accessed through the buffer pool.
+
+    Hosts the three on-disk structures above the raw pages: the
+    transactional item store (the KV plane the WAL protects), per-table
+    tuple chains, and the table catalog. *)
+
+val kind_items : int
+val kind_table : int
+val kind_catalog : int
+(** Page kind tags, visible in [db status]. *)
+
+val iter_chain :
+  Buffer_pool.t -> first:int -> (int -> int -> string -> unit) -> unit
+(** [iter_chain pool ~first f] calls [f page slot record] for every live
+    record of the chain. *)
+
+(** The item store: a string-keyed map to int values (absent reads 0),
+    with an in-memory directory built at open and in-place updates whose
+    page-LSN discipline implements the ARIES redo test. *)
+module Items : sig
+  type t
+
+  val load : Buffer_pool.t -> t
+  (** Scan the item chain (root in the pager header) and build the
+      directory. *)
+
+  val get : t -> string -> int
+
+  val set : t -> lsn:int -> string -> int -> bool
+  (** Apply a logged write: [false] when the item's page LSN already
+      covers [lsn] (redo skip), [true] after applying and raising the
+      page LSN. *)
+
+  val all : t -> (string * int) list
+  (** Sorted; items whose current value is 0 are omitted (reading an
+      absent item yields 0, matching {!Transactions.Recovery.read}). *)
+
+  val count : t -> int
+end
+
+val save_relation : Buffer_pool.t -> Relational.Relation.t -> int
+(** Write the relation's tuples into a fresh chain; returns its first
+    page id. *)
+
+val load_relation :
+  Buffer_pool.t -> schema:Relational.Schema.t -> first:int -> Relational.Relation.t
+
+type table = { name : string; schema : Relational.Schema.t; first : int }
+
+val catalog : Buffer_pool.t -> table list
+val add_table : Buffer_pool.t -> table -> unit
+val replace_table : Buffer_pool.t -> table -> unit
+(** [replace_table] rewrites the catalog chain; the replaced table's data
+    pages are leaked (no free list yet — see DESIGN.md). *)

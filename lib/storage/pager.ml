@@ -1,0 +1,157 @@
+(* The pager: a fixed-size-page file with a header page (magic, version,
+   page count, chain roots) and CRC-checked data pages.  All I/O goes
+   through Unix file descriptors with explicit offsets; every write is a
+   fault-injection point.
+
+   header page (page 0):
+     0  u32  crc32 of bytes 4..size-1
+     4  8b   magic "DBMETA1\n"
+     12 u16  format version (1)
+     14 u32  page count (including the header page)
+     18 u32  catalog root page id (0 = none)
+     22 u32  items root page id (0 = none)
+     26 i64  wal lsn at the last clean close/checkpoint (informational) *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+let magic = "DBMETA1\n"
+let version = 1
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  fault : Fault.t;
+  header : Bytes.t;
+  mutable writes : int;
+  mutable reads : int;
+}
+
+(* --- low-level exact-offset I/O --------------------------------------- *)
+
+let really_pwrite fd ~off buf len =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd buf !written (len - !written)
+  done
+
+let really_pread fd ~off buf len =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let n = Unix.read fd buf !got (len - !got) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  !got
+
+(* --- header accessors -------------------------------------------------- *)
+
+let page_count t = Int32.to_int (Bytes.get_int32_le t.header 14)
+let set_page_count t n = Bytes.set_int32_le t.header 14 (Int32.of_int n)
+let catalog_root t = Int32.to_int (Bytes.get_int32_le t.header 18)
+let items_root t = Int32.to_int (Bytes.get_int32_le t.header 22)
+let flushed_lsn t = Int64.to_int (Bytes.get_int64_le t.header 26)
+
+let write_header t =
+  Fault.io t.fault ~at:"header write" ~on_crash:(fun () -> ());
+  Page.seal t.header;
+  really_pwrite t.fd ~off:0 t.header Page.size;
+  t.writes <- t.writes + 1
+
+let set_catalog_root t n =
+  Bytes.set_int32_le t.header 18 (Int32.of_int n);
+  write_header t
+
+let set_items_root t n =
+  Bytes.set_int32_le t.header 22 (Int32.of_int n);
+  write_header t
+
+let set_flushed_lsn t l = Bytes.set_int64_le t.header 26 (Int64.of_int l)
+
+(* --- open / create ----------------------------------------------------- *)
+
+let create ?(fault = Fault.create ()) path =
+  let fd =
+    Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let header = Bytes.make Page.size '\000' in
+  Bytes.blit_string magic 0 header 4 (String.length magic);
+  Bytes.set_uint16_le header 12 version;
+  let t = { path; fd; fault; header; writes = 0; reads = 0 } in
+  (try
+     set_page_count t 1;
+     write_header t
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  t
+
+let open_file ?(fault = Fault.create ()) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  try
+    let header = Bytes.make Page.size '\000' in
+    let got = really_pread fd ~off:0 header Page.size in
+    if got <> Page.size then corrupt "%s: truncated header page" path;
+    if not (Page.check header) then corrupt "%s: header page CRC mismatch" path;
+    if Bytes.sub_string header 4 (String.length magic) <> magic then
+      corrupt "%s: bad magic (not a dbmeta database)" path;
+    let v = Bytes.get_uint16_le header 12 in
+    if v <> version then
+      corrupt "%s: format version %d, expected %d" path v version;
+    { path; fd; fault; header; writes = 0; reads = 0 }
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let close t =
+  write_header t;
+  Unix.close t.fd
+
+let abandon t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* --- pages -------------------------------------------------------------- *)
+
+let check_id t id =
+  if id <= 0 || id >= page_count t then corrupt "%s: page id %d out of range" t.path id
+
+let read_page t id =
+  check_id t id;
+  let buf = Bytes.make Page.size '\000' in
+  let got = really_pread t.fd ~off:(id * Page.size) buf Page.size in
+  if got <> Page.size then corrupt "%s: page %d truncated" t.path id;
+  if not (Page.check buf) then corrupt "%s: page %d CRC mismatch" t.path id;
+  t.reads <- t.reads + 1;
+  buf
+
+let write_page t id page =
+  check_id t id;
+  Fault.io t.fault
+    ~at:(Printf.sprintf "page %d write" id)
+    ~on_crash:(fun () -> ());
+  Page.seal page;
+  really_pwrite t.fd ~off:(id * Page.size) page Page.size;
+  t.writes <- t.writes + 1
+
+let allocate t ~kind =
+  let id = page_count t in
+  set_page_count t (id + 1);
+  let page = Page.init ~kind in
+  (* order matters: the page must exist before the header admits it *)
+  Fault.io t.fault
+    ~at:(Printf.sprintf "page %d allocate" id)
+    ~on_crash:(fun () -> ());
+  Page.seal page;
+  really_pwrite t.fd ~off:(id * Page.size) page Page.size;
+  t.writes <- t.writes + 1;
+  write_header t;
+  id
+
+let sync t =
+  Fault.io t.fault ~at:"pager fsync" ~on_crash:(fun () -> ());
+  Unix.fsync t.fd
+
+let fault t = t.fault
+let path t = t.path
+let io_counts t = (t.reads, t.writes)

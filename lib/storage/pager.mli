@@ -1,0 +1,62 @@
+(** The pager: a file of fixed-size, CRC-checked pages behind a header
+    page carrying magic, format version, page count, and the chain roots
+    for the table catalog and the transactional item store.
+
+    Page id 0 is the header and is not directly readable; data pages are
+    allocated sequentially (no free list yet — see DESIGN.md).  Every
+    write and fsync is a {!Fault} injection point. *)
+
+exception Corrupt of string
+(** Bad magic, version mismatch, short read, CRC mismatch, or an
+    out-of-range page id. *)
+
+type t
+
+val create : ?fault:Fault.t -> string -> t
+(** Create (truncating any existing file) with an empty header. *)
+
+val open_file : ?fault:Fault.t -> string -> t
+(** Open and validate an existing database file; raises {!Corrupt}. *)
+
+val close : t -> unit
+(** Writes the header back and closes the descriptor. *)
+
+val abandon : t -> unit
+(** Close the descriptor without writing anything — the file is left
+    exactly as the simulated crash left it. *)
+
+val page_count : t -> int
+(** Including the header page. *)
+
+val allocate : t -> kind:int -> int
+(** Append a fresh formatted page; returns its id.  The page is written
+    before the header records the new count, so a crash between the two
+    leaves a consistent file. *)
+
+val read_page : t -> int -> Page.t
+(** Raises {!Corrupt} on CRC mismatch. *)
+
+val write_page : t -> int -> Page.t -> unit
+(** Seals (checksums) and writes the page. *)
+
+val sync : t -> unit
+(** fsync the file — a fault-injection point like every write. *)
+
+val catalog_root : t -> int
+val set_catalog_root : t -> int -> unit
+val items_root : t -> int
+val set_items_root : t -> int -> unit
+(** Chain roots persisted in the header (0 = absent); setters write the
+    header through. *)
+
+val flushed_lsn : t -> int
+val set_flushed_lsn : t -> int -> unit
+(** WAL position recorded at the last checkpoint (informational; the
+    in-memory value is persisted by the next header write). *)
+
+val fault : t -> Fault.t
+val path : t -> string
+
+val io_counts : t -> int * int
+(** (page reads, page writes) since open — observability for [db status]
+    and the storage bench. *)

@@ -1,0 +1,35 @@
+(** ARIES-lite restart recovery: analysis, redo from the last
+    (quiescent) checkpoint repeating history, then undo of losers in
+    reverse-LSN order with compensation logging.
+
+    The algorithm is store-agnostic: the engine supplies [read]/[write]
+    over its item pages and [log] appending to its WAL, so the same pass
+    structure is unit-testable against a plain hash table.  The
+    correctness target is {!Transactions.Recovery.committed_state}: after
+    recovery the store holds exactly the committed transactions' writes
+    in log order. *)
+
+type outcome = {
+  checkpoint_lsn : int option;
+  winners : int list;  (** committed in the surviving log *)
+  losers : int list;  (** begun, neither committed nor aborted *)
+  redo_applied : int;
+  redo_skipped : int;  (** writes the page-LSN test proved already present *)
+  undone : int;
+}
+
+val analyze : Wal.entry list -> int option * int list * int list
+(** (last checkpoint LSN, winners, losers). *)
+
+val run :
+  entries:Wal.entry list ->
+  read:(string -> int) ->
+  write:(lsn:int -> string -> int -> bool) ->
+  log:(Wal.record -> int) ->
+  outcome
+(** [write ~lsn item v] must apply the page-LSN test: return [false]
+    (skip) when the item's page already carries an LSN ≥ [lsn], [true]
+    after applying and raising the page LSN.  [log] appends a WAL record
+    and returns its LSN. *)
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,237 @@
+(* The binary write-ahead log.  Append-only file of CRC-framed records;
+   a record's LSN is its byte offset.  Appends are buffered in memory and
+   made durable by [flush] (group commit); an injected crash during flush
+   writes a torn prefix of the pending bytes, which the scanner must — and
+   does — tolerate, mirroring a real torn tail after a power cut.
+
+   record frame (little-endian):
+     u32 crc32 of the payload
+     u32 payload length
+     payload:
+       u8 kind (1 begin, 2 write, 3 commit, 4 abort, 5 checkpoint,
+                6 compensation write)
+       begin/commit/abort: u32 txn
+       write/compensation: u32 txn, u16 item length, item bytes,
+                           i64 before-image, i64 after-image
+       checkpoint: empty
+
+   The record constructors deliberately mirror the in-memory recovery
+   model [Transactions.Recovery.record]; [to_model]/[of_model] are the
+   bridge, round-trip tested in test_storage.ml. *)
+
+type record =
+  | Begin of int
+  | Write of { txn : int; item : string; before : int; after : int; compensation : bool }
+  | Commit of int
+  | Abort of int
+  | Checkpoint
+
+type entry = { lsn : int; record : record }
+
+exception Corrupt of string
+
+(* --- codec -------------------------------------------------------------- *)
+
+let payload_of_record r =
+  let buf = Buffer.create 32 in
+  (match r with
+  | Begin t ->
+      Buffer.add_uint8 buf 1;
+      Buffer.add_int32_le buf (Int32.of_int t)
+  | Write { txn; item; before; after; compensation } ->
+      Buffer.add_uint8 buf (if compensation then 6 else 2);
+      Buffer.add_int32_le buf (Int32.of_int txn);
+      if String.length item > 0xffff then invalid_arg "Wal: item name too long";
+      Buffer.add_uint16_le buf (String.length item);
+      Buffer.add_string buf item;
+      Buffer.add_int64_le buf (Int64.of_int before);
+      Buffer.add_int64_le buf (Int64.of_int after)
+  | Commit t ->
+      Buffer.add_uint8 buf 3;
+      Buffer.add_int32_le buf (Int32.of_int t)
+  | Abort t ->
+      Buffer.add_uint8 buf 4;
+      Buffer.add_int32_le buf (Int32.of_int t)
+  | Checkpoint -> Buffer.add_uint8 buf 5);
+  Buffer.contents buf
+
+let frame_of_record r =
+  let payload = payload_of_record r in
+  let buf = Buffer.create (String.length payload + 8) in
+  Buffer.add_int32_le buf (Int32.of_int (Support.Crc32.string payload));
+  Buffer.add_int32_le buf (Int32.of_int (String.length payload));
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let record_of_payload s =
+  let pos = ref 0 in
+  let u8 () =
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let u32 () =
+    let v = Int32.to_int (String.get_int32_le s !pos) land 0xFFFFFFFF in
+    pos := !pos + 4;
+    v
+  in
+  let i64 () =
+    let v = Int64.to_int (String.get_int64_le s !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let str () =
+    let len = String.get_uint16_le s !pos in
+    pos := !pos + 2;
+    let v = String.sub s !pos len in
+    pos := !pos + len;
+    v
+  in
+  try
+    match u8 () with
+    | 1 -> Begin (u32 ())
+    | (2 | 6) as k ->
+        let txn = u32 () in
+        let item = str () in
+        let before = i64 () in
+        let after = i64 () in
+        Write { txn; item; before; after; compensation = k = 6 }
+    | 3 -> Commit (u32 ())
+    | 4 -> Abort (u32 ())
+    | 5 -> Checkpoint
+    | k -> raise (Corrupt (Printf.sprintf "unknown record kind %d" k))
+  with Invalid_argument _ ->
+    raise (Corrupt "truncated record payload")
+
+(* Scan a log image, stopping (not failing) at the first frame that is
+   incomplete or fails its CRC — the torn tail.  Returns the entries and
+   the clean length. *)
+let scan image =
+  let n = String.length image in
+  let entries = ref [] in
+  let pos = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    if !pos + 8 > n then stop := true
+    else begin
+      let crc = Int32.to_int (String.get_int32_le image !pos) land 0xFFFFFFFF in
+      let len = Int32.to_int (String.get_int32_le image (!pos + 4)) land 0xFFFFFFFF in
+      if len > n - !pos - 8 then stop := true
+      else begin
+        let payload = String.sub image (!pos + 8) len in
+        if Support.Crc32.string payload <> crc then stop := true
+        else
+          match record_of_payload payload with
+          | record ->
+              entries := { lsn = !pos; record } :: !entries;
+              pos := !pos + 8 + len
+          | exception Corrupt _ -> stop := true
+      end
+    end
+  done;
+  (List.rev !entries, !pos)
+
+(* --- the log file ------------------------------------------------------- *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  fault : Fault.t;
+  pending : Buffer.t;  (* appended but not yet durable *)
+  mutable durable : int;  (* bytes on disk *)
+  mutable appends : int;
+  mutable flushes : int;
+}
+
+let really_write fd s pos len =
+  let written = ref 0 in
+  while !written < len do
+    written :=
+      !written
+      + Unix.write_substring fd s (pos + !written) (len - !written)
+  done
+
+let open_log ?(fault = Fault.create ()) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let image = Support.Io.read_file path in
+  let entries, clean = scan image in
+  (* drop the torn tail so new appends start on a clean frame boundary *)
+  if clean < String.length image then Unix.ftruncate fd clean;
+  ignore (Unix.lseek fd clean Unix.SEEK_SET);
+  ( {
+      path;
+      fd;
+      fault;
+      pending = Buffer.create 1024;
+      durable = clean;
+      appends = 0;
+      flushes = 0;
+    },
+    entries )
+
+let append t record =
+  let lsn = t.durable + Buffer.length t.pending in
+  Buffer.add_string t.pending (frame_of_record record);
+  t.appends <- t.appends + 1;
+  lsn
+
+let next_lsn t = t.durable + Buffer.length t.pending
+let durable_lsn t = t.durable
+
+let flush t =
+  if Buffer.length t.pending > 0 then begin
+    let data = Buffer.contents t.pending
+    and len = Buffer.length t.pending in
+    Fault.io t.fault ~at:"wal flush" ~on_crash:(fun () ->
+        (* the torn tail: half the pending bytes reach the platter *)
+        really_write t.fd data 0 (len / 2));
+    really_write t.fd data 0 len;
+    Unix.fsync t.fd;
+    t.durable <- t.durable + len;
+    Buffer.clear t.pending;
+    t.flushes <- t.flushes + 1
+  end
+
+let flush_to t lsn = if lsn >= t.durable then flush t
+
+let close t =
+  flush t;
+  Unix.close t.fd
+
+let abandon t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let stats t = (t.appends, t.flushes, t.durable)
+let path t = t.path
+
+let read_entries path =
+  if Sys.file_exists path then fst (scan (Support.Io.read_file path)) else []
+
+(* --- bridge to the in-memory recovery model ----------------------------- *)
+
+let to_model records =
+  List.filter_map
+    (function
+      | Begin t -> Some (Transactions.Recovery.Begin t)
+      | Write { txn; item; before; after; _ } ->
+          Some (Transactions.Recovery.Write (txn, item, before, after))
+      | Commit t -> Some (Transactions.Recovery.Commit t)
+      | Abort t -> Some (Transactions.Recovery.Abort t)
+      | Checkpoint -> None)
+    records
+
+let of_model = function
+  | Transactions.Recovery.Begin t -> Begin t
+  | Transactions.Recovery.Write (txn, item, before, after) ->
+      Write { txn; item; before; after; compensation = false }
+  | Transactions.Recovery.Commit t -> Commit t
+  | Transactions.Recovery.Abort t -> Abort t
+
+let record_to_string = function
+  | Begin t -> Printf.sprintf "begin(%d)" t
+  | Write { txn; item; before; after; compensation } ->
+      Printf.sprintf "%s(%d, %s, %d -> %d)"
+        (if compensation then "clr" else "write")
+        txn item before after
+  | Commit t -> Printf.sprintf "commit(%d)" t
+  | Abort t -> Printf.sprintf "abort(%d)" t
+  | Checkpoint -> "checkpoint"

@@ -1,0 +1,72 @@
+(** The binary write-ahead log: an append-only file of CRC-framed
+    records whose LSN is their byte offset.
+
+    Appends are buffered; {!flush} makes them durable with one write +
+    fsync (group commit).  An injected crash during flush leaves a torn
+    prefix of the pending bytes on disk, and the opening scan stops —
+    without failing — at the first incomplete or CRC-invalid frame,
+    exactly as recovery after a power cut must.
+
+    The record type deliberately mirrors {!Transactions.Recovery.record}
+    (the paper's §6 in-memory model); {!to_model}/{!of_model} are the
+    bridge, round-trip tested.  Compensation records ([compensation =
+    true]) are the undo writes logged during abort and recovery — the
+    ARIES CLR, minus the undo-next pointer. *)
+
+type record =
+  | Begin of int
+  | Write of { txn : int; item : string; before : int; after : int; compensation : bool }
+  | Commit of int
+  | Abort of int
+  | Checkpoint
+
+type entry = { lsn : int; record : record }
+
+exception Corrupt of string
+
+type t
+
+val open_log : ?fault:Fault.t -> string -> t * entry list
+(** Open (creating if needed), scan tolerantly, physically truncate any
+    torn tail, and return the surviving entries oldest-first. *)
+
+val append : t -> record -> int
+(** Buffer a record; returns its LSN.  Not durable until {!flush}. *)
+
+val flush : t -> unit
+(** Write + fsync everything pending — a fault-injection point. *)
+
+val flush_to : t -> int -> unit
+(** Ensure durability up to (and including) the given LSN — the
+    write-ahead barrier the buffer pool calls before a steal. *)
+
+val next_lsn : t -> int
+val durable_lsn : t -> int
+val close : t -> unit
+
+val abandon : t -> unit
+(** Close the descriptor without flushing — pending records are lost,
+    as in a crash. *)
+
+val stats : t -> int * int * int
+(** (appends, flushes, durable bytes). *)
+
+val path : t -> string
+
+val read_entries : string -> entry list
+(** Read-only tolerant scan of a log file (for [db status]). *)
+
+val scan : string -> entry list * int
+(** Tolerant scan of an in-memory log image; returns the entries and the
+    clean byte length (exposed for tests). *)
+
+val frame_of_record : record -> string
+(** The exact on-disk frame (exposed for tests). *)
+
+val to_model : record list -> Transactions.Recovery.log
+(** Checkpoints are dropped; compensation writes become ordinary model
+    writes (the model replays them like any other). *)
+
+val of_model : Transactions.Recovery.record -> record
+
+val record_to_string : record -> string

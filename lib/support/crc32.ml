@@ -1,0 +1,25 @@
+(* Table-driven CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) —
+   the checksum used by zip/png and by our page and WAL formats. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc b ~pos ~len =
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get b i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let bytes ?(pos = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  update 0 b ~pos ~len
+
+let string ?pos ?len s = bytes ?pos ?len (Bytes.unsafe_of_string s)

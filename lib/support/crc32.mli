@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3), as used by zip and png.  Detects torn pages and
+    corrupted WAL records in the storage engine. *)
+
+val bytes : ?pos:int -> ?len:int -> Bytes.t -> int
+(** Checksum of a byte range (whole buffer by default).  The result fits
+    in 32 bits. *)
+
+val string : ?pos:int -> ?len:int -> string -> int
+
+val update : int -> Bytes.t -> pos:int -> len:int -> int
+(** Incremental form: extend a previous checksum with more bytes. *)

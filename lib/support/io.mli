@@ -1,0 +1,11 @@
+(** Binary-safe whole-file IO.
+
+    Always opens in binary mode: page files and WALs are byte-exact, and
+    even text inputs (Datalog programs, CSVs, DIMACS) must not have their
+    line endings rewritten on non-Unix hosts. *)
+
+val read_file : string -> string
+(** Raises [Sys_error] when the file cannot be read. *)
+
+val write_file : string -> string -> unit
+(** Creates or truncates; raises [Sys_error] on failure. *)

@@ -1,0 +1,97 @@
+The dbmeta CLI: exit-code policy and the storage walkthrough.
+
+Exit 0 on success:
+
+  $ cat > path.dl <<'EOF'
+  > edge(1, 2). edge(2, 3).
+  > path(X, Y) :- edge(X, Y).
+  > path(X, Z) :- path(X, Y), edge(Y, Z).
+  > EOF
+  $ dbmeta datalog path.dl -q 'path(1, X)'
+  path(1, 2).
+  path(1, 3).
+
+Exit 2 on unparseable input:
+
+  $ dbmeta datalog path.dl -q 'path(1, X'
+  dbmeta: line 1, col 10: expected ',' or ')' in argument list
+  [2]
+
+Lint exits 1 when an error-severity diagnostic fires, and --format json
+is machine-readable:
+
+  $ cat > unsafe.dl <<'EOF'
+  > big(X, Y) :- edge(X, Y), not small(Z).
+  > EOF
+  $ dbmeta lint datalog unsafe.dl
+  error[DL001]: variable "Z" in a negated atom of "big(X, Y) :- edge(X, Y), not small(Z)." does not occur in a positive body atom
+    --> #0: big(X, Y) :- edge(X, Y), not small(Z).
+  warning[DL004]: predicate edge has no rules and no facts; it is always empty
+    --> #0
+  warning[DL004]: predicate small has no rules and no facts; it is always empty
+    --> #0
+  1 error(s), 2 warning(s), 0 info(s)
+  [1]
+  $ dbmeta lint datalog unsafe.dl --format json
+  [{"code":"DL001","severity":"error","message":"variable \"Z\" in a negated atom of \"big(X, Y) :- edge(X, Y), not small(Z).\" does not occur in a positive body atom","subject":"big(X, Y) :- edge(X, Y), not small(Z).","loc":0},{"code":"DL004","severity":"warning","message":"predicate edge has no rules and no facts; it is always empty","loc":0},{"code":"DL004","severity":"warning","message":"predicate small has no rules and no facts; it is always empty","loc":0}]
+  [1]
+
+The persistent storage engine: init, load a CSV table, query it back.
+
+  $ cat > students.csv <<'EOF'
+  > sid:int,sname:string,gpa:float
+  > 1,codd,4.0
+  > 2,ullman,3.5
+  > 3,papadimitriou,3.9
+  > EOF
+  $ dbmeta db init uni.db
+  created uni.db (1 pages, wal at uni.db.wal)
+  $ dbmeta db load uni.db -t students=students.csv
+  loaded students: 3 tuples
+  $ dbmeta db query uni.db 'project[sname](select[gpa >= 3.8](students))'
+  sname        
+  -------------
+  codd         
+  papadimitriou
+
+Transactional writes, a voluntary rollback, then a crash injected at the
+third durable I/O — the commit of txn 3 is already on the WAL, so
+recovery replays it:
+
+  $ dbmeta db set uni.db x=5 y=7
+  txn 1 committed: 2 write(s)
+  $ dbmeta db set uni.db x=99 --abort
+  txn 2 aborted (writes rolled back)
+  $ dbmeta db set uni.db z=1 --crash-after 3
+  txn 3 committed: 1 write(s)
+  simulated crash at: page 3 write
+  the database was left as the crash left it; run 'dbmeta db recover uni.db' (or any other db command) to repair it
+  $ dbmeta db recover uni.db
+  recovery: checkpoint=270 winners=[1,3] losers=[] redo=1 skipped=0 undone=0
+  items: 3, tables: 1
+  $ dbmeta db get uni.db x y z
+  x = 5
+  y = 7
+  z = 1
+
+A crash before the commit record reaches the log makes the transaction a
+loser; recovery undoes it:
+
+  $ dbmeta db set uni.db x=1000 --crash-after 2
+  simulated crash at: wal flush
+  the database was left as the crash left it; run 'dbmeta db recover uni.db' (or any other db command) to repair it
+  $ dbmeta db get uni.db x
+  x = 5
+
+Corrupt databases are a user-input error (exit 2), not a crash:
+
+  $ printf 'not a database' > junk.db
+  $ dbmeta db status junk.db
+  dbmeta: corrupt database: junk.db: truncated header page
+  [2]
+
+Unknown tables likewise:
+
+  $ dbmeta db query uni.db 'project[a](nope)'
+  dbmeta: unknown relation "nope"
+  [2]

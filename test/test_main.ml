@@ -13,6 +13,8 @@ let () =
       ("extensions", Test_extensions.suite);
       ("extensions2", Test_extensions2.suite);
       ("access-nested", Test_access_nested.suite);
+      ("access-edge", Test_access_edge.suite);
+      ("storage", Test_storage.suite);
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
     ]

@@ -1,0 +1,761 @@
+(* Tests for the persistent storage engine: CRC and codec round trips,
+   slotted pages, the pager, the buffer pool, the binary WAL (including
+   torn tails), ARIES-lite recovery, heap tables — and the acceptance
+   centerpiece: a crash-injection matrix that kills the engine at every
+   durable I/O of an interleaved workload (and during recovery itself)
+   and asserts the committed-state invariant of Transactions.Recovery
+   against the reopened database. *)
+
+module V = Relational.Value
+module R = Transactions.Recovery
+
+let tmp_counter = ref 0
+
+(* a fresh database path in a temp dir; the WAL lives beside it *)
+let fresh_path () =
+  incr tmp_counter;
+  let dir = Filename.get_temp_dir_name () in
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "dbmeta_test_%d_%d.db" (Unix.getpid ()) !tmp_counter)
+  in
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; Storage.Engine.wal_path path ];
+  path
+
+let cleanup path =
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; Storage.Engine.wal_path path ]
+
+(* --- crc32 ------------------------------------------------------------- *)
+
+let test_crc32_vectors () =
+  (* the standard check value for CRC-32/ISO-HDLC *)
+  Alcotest.(check int) "123456789" 0xCBF43926 (Support.Crc32.string "123456789");
+  Alcotest.(check int) "empty" 0 (Support.Crc32.string "");
+  Alcotest.(check bool) "differs" true
+    (Support.Crc32.string "hello" <> Support.Crc32.string "hellp")
+
+let test_crc32_incremental () =
+  let whole = Support.Crc32.string "database metatheory" in
+  let b = Bytes.of_string "database metatheory" in
+  let partial = Support.Crc32.update 0 b ~pos:0 ~len:8 in
+  Alcotest.(check bool) "prefix differs" true (partial <> whole);
+  Alcotest.(check int) "resumed"
+    whole
+    (Support.Crc32.update
+       (Support.Crc32.update 0 b ~pos:0 ~len:8)
+       b ~pos:8 ~len:(Bytes.length b - 8))
+
+(* --- codec ------------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let values =
+    [
+      V.Int 0; V.Int (-42); V.Int max_int; V.String ""; V.String "héllo,\"x\"\n";
+      V.Float 3.25; V.Float (-0.0); V.Bool true; V.Bool false;
+    ]
+  in
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 16 in
+      Relational.Codec.add_value buf v;
+      let got = Relational.Codec.read_value (Buffer.contents buf) (ref 0) in
+      Alcotest.(check bool) (V.to_literal v) true (V.equal v got))
+    values;
+  let tuple = [| V.Int 7; V.String "pods"; V.Float 1.5; V.Bool false |] in
+  let got =
+    Relational.Codec.tuple_of_string (Relational.Codec.tuple_to_string tuple)
+  in
+  Alcotest.(check bool) "tuple" true (Relational.Tuple.equal tuple got);
+  let schema =
+    Relational.Schema.make [ ("a", V.TInt); ("name", V.TString); ("ok", V.TBool) ]
+  in
+  let got =
+    Relational.Codec.schema_of_string (Relational.Codec.schema_to_string schema)
+  in
+  Alcotest.(check bool) "schema" true (Relational.Schema.equal schema got)
+
+let test_codec_corrupt () =
+  let corrupt s =
+    match Relational.Codec.tuple_of_string s with
+    | _ -> false
+    | exception Relational.Codec.Corrupt _ -> true
+  in
+  Alcotest.(check bool) "truncated" true (corrupt "\x02\x00\x00");
+  Alcotest.(check bool) "bad tag" true (corrupt "\x01\x00\x09zzzzzzzz");
+  let good = Relational.Codec.tuple_to_string [| V.Int 1 |] in
+  Alcotest.(check bool) "trailing" true (corrupt (good ^ "x"))
+
+(* --- slotted pages ------------------------------------------------------ *)
+
+let test_page_slots () =
+  let p = Storage.Page.init ~kind:3 in
+  let a = Storage.Page.insert p "alpha" in
+  let b = Storage.Page.insert p "beta" in
+  Alcotest.(check int) "slot ids" 1 (b - a);
+  Alcotest.(check (option string)) "read a" (Some "alpha") (Storage.Page.read_slot p a);
+  Storage.Page.delete_slot p a;
+  Alcotest.(check (option string)) "deleted" None (Storage.Page.read_slot p a);
+  Alcotest.(check (option string)) "b intact" (Some "beta") (Storage.Page.read_slot p b);
+  Alcotest.(check bool) "overwrite same len" true (Storage.Page.overwrite p b "BETA");
+  Alcotest.(check bool) "overwrite other len" false (Storage.Page.overwrite p b "longer");
+  Alcotest.(check (list (pair int string))) "records" [ (b, "BETA") ]
+    (Storage.Page.records p)
+
+let test_page_full () =
+  let p = Storage.Page.init ~kind:3 in
+  let big = String.make 1000 'x' in
+  let rec fill n = match Storage.Page.insert p big with
+    | _ -> fill (n + 1)
+    | exception Storage.Page.Page_full -> n
+  in
+  let n = fill 0 in
+  Alcotest.(check int) "four 1000-byte records fit a 4k page" 4 n;
+  Alcotest.(check bool) "small still fits" true
+    (match Storage.Page.insert p "tiny" with _ -> true)
+
+let test_page_lsn_monotone () =
+  let p = Storage.Page.init ~kind:2 in
+  Storage.Page.set_lsn p 100;
+  Storage.Page.set_lsn p 40;
+  Alcotest.(check int) "keeps max" 100 (Storage.Page.lsn p)
+
+let test_page_crc () =
+  let p = Storage.Page.init ~kind:3 in
+  ignore (Storage.Page.insert p "payload" : int);
+  Storage.Page.seal p;
+  Alcotest.(check bool) "sealed verifies" true (Storage.Page.check p);
+  Bytes.set p 100 'Z';
+  Alcotest.(check bool) "corruption detected" false (Storage.Page.check p)
+
+(* --- pager --------------------------------------------------------------- *)
+
+let test_pager_roundtrip () =
+  let path = fresh_path () in
+  let pager = Storage.Pager.create path in
+  let id = Storage.Pager.allocate pager ~kind:3 in
+  let page = Storage.Pager.read_page pager id in
+  ignore (Storage.Page.insert page "persistent" : int);
+  Storage.Pager.write_page pager id page;
+  Storage.Pager.set_catalog_root pager id;
+  Storage.Pager.close pager;
+  let pager = Storage.Pager.open_file path in
+  Alcotest.(check int) "page count" 2 (Storage.Pager.page_count pager);
+  Alcotest.(check int) "root" id (Storage.Pager.catalog_root pager);
+  let page = Storage.Pager.read_page pager id in
+  Alcotest.(check (option string)) "record" (Some "persistent")
+    (Storage.Page.read_slot page 0);
+  Storage.Pager.close pager;
+  cleanup path
+
+let test_pager_detects_corruption () =
+  let path = fresh_path () in
+  let pager = Storage.Pager.create path in
+  let id = Storage.Pager.allocate pager ~kind:3 in
+  Storage.Pager.close pager;
+  (* flip a byte in the middle of the data page *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd ((id * Storage.Page.size) + 2000) Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "X" 0 1);
+  Unix.close fd;
+  let pager = Storage.Pager.open_file path in
+  Alcotest.(check bool) "crc mismatch raised" true
+    (match Storage.Pager.read_page pager id with
+    | _ -> false
+    | exception Storage.Pager.Corrupt _ -> true);
+  Storage.Pager.close pager;
+  cleanup path
+
+let test_pager_rejects_garbage () =
+  let path = fresh_path () in
+  Support.Io.write_file path (String.make 8192 'j');
+  Alcotest.(check bool) "bad magic" true
+    (match Storage.Pager.open_file path with
+    | _ -> false
+    | exception Storage.Pager.Corrupt _ -> true);
+  cleanup path
+
+(* --- buffer pool ---------------------------------------------------------- *)
+
+let test_pool_counters_and_lru () =
+  let path = fresh_path () in
+  let pager = Storage.Pager.create path in
+  let ids = List.init 6 (fun _ -> Storage.Pager.allocate pager ~kind:3) in
+  let pool = Storage.Buffer_pool.create ~capacity:4 pager in
+  (* touch 4 pages: all misses *)
+  List.iteri
+    (fun i id -> if i < 4 then Storage.Buffer_pool.with_page pool id ignore)
+    ids;
+  let s = Storage.Buffer_pool.stats pool in
+  Alcotest.(check int) "misses" 4 s.Storage.Buffer_pool.misses;
+  Alcotest.(check int) "hits" 0 s.Storage.Buffer_pool.hits;
+  (* hit one of them *)
+  Storage.Buffer_pool.with_page pool (List.nth ids 3) ignore;
+  Alcotest.(check int) "one hit" 1 s.Storage.Buffer_pool.hits;
+  (* a 5th page evicts the LRU (the first touched) *)
+  Storage.Buffer_pool.with_page pool (List.nth ids 4) ignore;
+  Alcotest.(check int) "eviction" 1 s.Storage.Buffer_pool.evictions;
+  Storage.Buffer_pool.with_page pool (List.nth ids 0) ignore;
+  Alcotest.(check int) "reload miss" 6 s.Storage.Buffer_pool.misses;
+  Storage.Pager.close pager;
+  cleanup path
+
+let test_pool_dirty_flush_and_barrier () =
+  let path = fresh_path () in
+  let pager = Storage.Pager.create path in
+  let a = Storage.Pager.allocate pager ~kind:3 in
+  let b = Storage.Pager.allocate pager ~kind:3 in
+  let pool = Storage.Buffer_pool.create ~capacity:1 pager in
+  let barrier_calls = ref [] in
+  Storage.Buffer_pool.set_wal_barrier pool (fun lsn -> barrier_calls := lsn :: !barrier_calls);
+  Storage.Buffer_pool.with_page pool a (fun page ->
+      ignore (Storage.Page.insert page "dirty" : int);
+      Storage.Page.set_lsn page 77;
+      Storage.Buffer_pool.mark_dirty pool a);
+  (* fetching b evicts a, which must flush through the barrier *)
+  Storage.Buffer_pool.with_page pool b ignore;
+  Alcotest.(check (list int)) "barrier saw page lsn" [ 77 ] !barrier_calls;
+  let s = Storage.Buffer_pool.stats pool in
+  Alcotest.(check int) "flushes" 1 s.Storage.Buffer_pool.flushes;
+  (* the flushed page is durable *)
+  let page = Storage.Pager.read_page pager a in
+  Alcotest.(check (option string)) "stolen write on disk" (Some "dirty")
+    (Storage.Page.read_slot page 0);
+  Storage.Pager.close pager;
+  cleanup path
+
+let test_pool_exhausted () =
+  let path = fresh_path () in
+  let pager = Storage.Pager.create path in
+  let a = Storage.Pager.allocate pager ~kind:3 in
+  let b = Storage.Pager.allocate pager ~kind:3 in
+  let pool = Storage.Buffer_pool.create ~capacity:1 pager in
+  let page = Storage.Buffer_pool.fetch pool a in
+  ignore (page : Storage.Page.t);
+  Alcotest.(check bool) "all pinned" true
+    (match Storage.Buffer_pool.fetch pool b with
+    | _ -> false
+    | exception Storage.Buffer_pool.Pool_exhausted -> true);
+  Storage.Buffer_pool.unpin pool a;
+  Storage.Pager.close pager;
+  cleanup path
+
+(* --- WAL ------------------------------------------------------------------- *)
+
+let wal_records l = List.map (fun e -> e.Storage.Wal.record) l
+
+let test_wal_roundtrip () =
+  let path = fresh_path () in
+  let wal_file = Storage.Engine.wal_path path in
+  let wal, entries = Storage.Wal.open_log wal_file in
+  Alcotest.(check int) "fresh log empty" 0 (List.length entries);
+  let records =
+    [
+      Storage.Wal.Begin 1;
+      Storage.Wal.Write { txn = 1; item = "x"; before = 0; after = 5; compensation = false };
+      Storage.Wal.Commit 1;
+      Storage.Wal.Begin 2;
+      Storage.Wal.Write { txn = 2; item = "naïve/ключ"; before = 5; after = -7; compensation = true };
+      Storage.Wal.Abort 2;
+      Storage.Wal.Checkpoint;
+    ]
+  in
+  List.iter (fun r -> ignore (Storage.Wal.append wal r : int)) records;
+  Storage.Wal.flush wal;
+  Storage.Wal.close wal;
+  let _, entries = Storage.Wal.open_log wal_file in
+  Alcotest.(check int) "all back" (List.length records) (List.length entries);
+  Alcotest.(check bool) "equal" true (wal_records entries = records);
+  (* LSNs are strictly increasing byte offsets *)
+  let lsns = List.map (fun e -> e.Storage.Wal.lsn) entries in
+  Alcotest.(check bool) "lsns increase" true
+    (List.for_all2 ( < ) (List.filteri (fun i _ -> i < List.length lsns - 1) lsns)
+       (List.tl lsns));
+  cleanup path
+
+let test_wal_torn_tail () =
+  let path = fresh_path () in
+  let wal_file = Storage.Engine.wal_path path in
+  let wal, _ = Storage.Wal.open_log wal_file in
+  ignore (Storage.Wal.append wal (Storage.Wal.Begin 9) : int);
+  ignore (Storage.Wal.append wal (Storage.Wal.Commit 9) : int);
+  Storage.Wal.flush wal;
+  Storage.Wal.close wal;
+  (* append garbage, then half a valid frame: both must be tolerated *)
+  let image = Support.Io.read_file wal_file in
+  let frame = Storage.Wal.frame_of_record (Storage.Wal.Begin 10) in
+  let torn = String.sub frame 0 (String.length frame / 2) in
+  Support.Io.write_file wal_file (image ^ torn);
+  let wal, entries = Storage.Wal.open_log wal_file in
+  Alcotest.(check int) "clean prefix survives" 2 (List.length entries);
+  (* the torn tail was physically truncated; appending works again *)
+  ignore (Storage.Wal.append wal (Storage.Wal.Begin 11) : int);
+  Storage.Wal.flush wal;
+  Storage.Wal.close wal;
+  let _, entries = Storage.Wal.open_log wal_file in
+  Alcotest.(check bool) "resumed cleanly" true
+    (wal_records entries
+    = [ Storage.Wal.Begin 9; Storage.Wal.Commit 9; Storage.Wal.Begin 11 ]);
+  (* bit-flip in the middle: the scan stops at the flip, keeping the prefix *)
+  let image = Support.Io.read_file wal_file in
+  let flipped = Bytes.of_string image in
+  Bytes.set flipped (String.length image - 3) '\xff';
+  Support.Io.write_file wal_file (Bytes.to_string flipped);
+  let _, entries = Storage.Wal.open_log wal_file in
+  Alcotest.(check int) "flip truncates to prefix" 2 (List.length entries);
+  cleanup path
+
+(* the model bridge: random model logs survive the binary round trip *)
+let prop_wal_model_roundtrip =
+  let open QCheck2 in
+  let record_gen =
+    Gen.(
+      oneof
+        [
+          map (fun t -> R.Begin t) (int_range 1 9);
+          map (fun t -> R.Commit t) (int_range 1 9);
+          map (fun t -> R.Abort t) (int_range 1 9);
+          map3
+            (fun t i (b, a) -> R.Write (t, Printf.sprintf "it%d" i, b, a))
+            (int_range 1 9) (int_range 0 5)
+            (pair (int_range (-100) 100) (int_range (-100) 100));
+        ])
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"wal/model round trip"
+       (Gen.list_size (Gen.int_range 0 40) record_gen)
+       (fun model_log ->
+         let image =
+           String.concat ""
+             (List.map
+                (fun r -> Storage.Wal.frame_of_record (Storage.Wal.of_model r))
+                model_log)
+         in
+         let entries, clean = Storage.Wal.scan image in
+         clean = String.length image
+         && Storage.Wal.to_model (wal_records entries) = model_log))
+
+(* --- heap tables ------------------------------------------------------------ *)
+
+let students () =
+  Relational.Relation.of_list
+    (Relational.Schema.make
+       [ ("sid", V.TInt); ("sname", V.TString); ("gpa", V.TFloat); ("grad", V.TBool) ])
+    [
+      [ V.Int 1; V.String "codd"; V.Float 4.0; V.Bool true ];
+      [ V.Int 2; V.String "ullman, j."; V.Float 3.5; V.Bool false ];
+      [ V.Int 3; V.String "papadimitriou"; V.Float 3.9; V.Bool true ];
+    ]
+
+let test_heap_relation_roundtrip () =
+  let path = fresh_path () in
+  let eng = Storage.Engine.open_db path in
+  let rel = students () in
+  Storage.Engine.save_table eng "students" rel;
+  Storage.Engine.close eng;
+  let eng = Storage.Engine.open_db path in
+  let back = Storage.Engine.load_table eng "students" in
+  Alcotest.(check bool) "equal relation" true (Relational.Relation.equal rel back);
+  Alcotest.(check (list string)) "names" [ "students" ] (Storage.Engine.table_names eng);
+  Alcotest.(check bool) "unknown raises" true
+    (match Storage.Engine.load_table eng "nope" with
+    | _ -> false
+    | exception Storage.Engine.Unknown_table _ -> true);
+  Storage.Engine.close eng;
+  cleanup path
+
+let test_heap_many_pages () =
+  let path = fresh_path () in
+  let eng = Storage.Engine.open_db ~pool_size:4 path in
+  let big =
+    Relational.Relation.of_list
+      (Relational.Schema.make [ ("k", V.TInt); ("pad", V.TString) ])
+      (List.init 500 (fun i -> [ V.Int i; V.String (String.make 40 'p') ]))
+  in
+  Storage.Engine.save_table eng "big" big;
+  Storage.Engine.close eng;
+  let eng = Storage.Engine.open_db ~pool_size:4 path in
+  let back = Storage.Engine.load_table eng "big" in
+  Alcotest.(check int) "500 tuples" 500 (Relational.Relation.cardinality back);
+  Alcotest.(check bool) "multi-page chain" true
+    (Storage.Pager.page_count (Storage.Engine.pager eng) > 5);
+  Alcotest.(check bool) "pool stayed bounded" true
+    (Storage.Buffer_pool.resident (Storage.Engine.pool eng) <= 4);
+  Storage.Engine.close eng;
+  cleanup path
+
+let test_heap_replace_table () =
+  let path = fresh_path () in
+  let eng = Storage.Engine.open_db path in
+  Storage.Engine.save_table eng "t" (students ());
+  let small =
+    Relational.Relation.of_list
+      (Relational.Schema.make [ ("only", V.TInt) ])
+      [ [ V.Int 99 ] ]
+  in
+  Storage.Engine.save_table eng "t" small;
+  Storage.Engine.save_table eng "u" (students ());
+  Storage.Engine.close eng;
+  let eng = Storage.Engine.open_db path in
+  Alcotest.(check (list string)) "both tables" [ "t"; "u" ]
+    (List.sort String.compare (Storage.Engine.table_names eng));
+  Alcotest.(check bool) "t replaced" true
+    (Relational.Relation.equal small (Storage.Engine.load_table eng "t"));
+  Storage.Engine.close eng;
+  cleanup path
+
+(* --- engine transactions ------------------------------------------------------ *)
+
+let test_engine_commit_persists () =
+  let path = fresh_path () in
+  let eng = Storage.Engine.open_db path in
+  let t1 = Storage.Engine.begin_txn eng in
+  Storage.Engine.write eng ~txn:t1 "x" 5;
+  Storage.Engine.write eng ~txn:t1 "y" 7;
+  Storage.Engine.commit eng ~txn:t1;
+  Storage.Engine.close eng;
+  let eng = Storage.Engine.open_db path in
+  Alcotest.(check (list (pair string int))) "persisted" [ ("x", 5); ("y", 7) ]
+    (Storage.Engine.items eng);
+  Storage.Engine.close eng;
+  cleanup path
+
+let test_engine_abort_restores () =
+  let path = fresh_path () in
+  let eng = Storage.Engine.open_db path in
+  let t1 = Storage.Engine.begin_txn eng in
+  Storage.Engine.write eng ~txn:t1 "x" 5;
+  Storage.Engine.commit eng ~txn:t1;
+  let t2 = Storage.Engine.begin_txn eng in
+  Storage.Engine.write eng ~txn:t2 "x" 50;
+  Storage.Engine.write eng ~txn:t2 "z" 1;
+  Alcotest.(check int) "dirty read visible pre-abort" 50 (Storage.Engine.read eng "x");
+  Storage.Engine.abort eng ~txn:t2;
+  Alcotest.(check int) "x restored" 5 (Storage.Engine.read eng "x");
+  Alcotest.(check int) "z gone" 0 (Storage.Engine.read eng "z");
+  Storage.Engine.close eng;
+  let eng = Storage.Engine.open_db path in
+  Alcotest.(check (list (pair string int))) "only committed" [ ("x", 5) ]
+    (Storage.Engine.items eng);
+  Storage.Engine.close eng;
+  cleanup path
+
+let test_engine_strict_locks () =
+  let path = fresh_path () in
+  let eng = Storage.Engine.open_db path in
+  let t1 = Storage.Engine.begin_txn eng in
+  let t2 = Storage.Engine.begin_txn eng in
+  Storage.Engine.write eng ~txn:t1 "x" 1;
+  Alcotest.(check bool) "t2 blocked on x" true
+    (match Storage.Engine.write eng ~txn:t2 "x" 2 with
+    | () -> false
+    | exception Storage.Engine.Locked ("x", h) -> h = t1);
+  Storage.Engine.commit eng ~txn:t1;
+  Storage.Engine.write eng ~txn:t2 "x" 2;
+  Storage.Engine.commit eng ~txn:t2;
+  Alcotest.(check int) "last committer wins" 2 (Storage.Engine.read eng "x");
+  Storage.Engine.close eng;
+  cleanup path
+
+let test_engine_crash_loses_uncommitted () =
+  let path = fresh_path () in
+  let eng = Storage.Engine.open_db ~pool_size:2 path in
+  let t1 = Storage.Engine.begin_txn eng in
+  Storage.Engine.write eng ~txn:t1 "a" 1;
+  Storage.Engine.commit eng ~txn:t1;
+  let t2 = Storage.Engine.begin_txn eng in
+  (* long item names so the chain spans several pages and dirty
+     uncommitted pages get stolen (evicted) out of the 2-frame pool *)
+  for i = 0 to 59 do
+    Storage.Engine.write eng ~txn:t2
+      (Printf.sprintf "b%03d_%s" i (String.make 150 'x'))
+      (i * 10)
+  done;
+  let s = Storage.Buffer_pool.stats (Storage.Engine.pool eng) in
+  Alcotest.(check bool) "dirty pages were stolen" true
+    (s.Storage.Buffer_pool.evictions > 0);
+  (* uncommitted data must be undone even though some of it was stolen *)
+  Storage.Engine.crash eng;
+  let eng = Storage.Engine.open_db path in
+  Alcotest.(check (list (pair string int))) "losers rolled back" [ ("a", 1) ]
+    (Storage.Engine.items eng);
+  (match Storage.Engine.last_recovery eng with
+  | Some o ->
+      Alcotest.(check (list int)) "t2 is the loser" [ t2 ] o.Storage.Recovery.losers
+  | None -> Alcotest.fail "expected a recovery outcome");
+  Storage.Engine.close eng;
+  cleanup path
+
+(* --- the crash matrix ----------------------------------------------------------
+
+   The workload: four transactions over overlapping items, one of which
+   aborts voluntarily.  We run it under a seeded random interleaving
+   (per-item write locks, acquired in sorted order — the strict regime of
+   Transactions.Recovery.run_and_crash), with the fault budget set to k:
+   the k-th durable I/O crashes the engine, possibly mid-WAL-flush
+   (leaving a torn tail).  Reopening must then yield EXACTLY the
+   committed transactions' writes of the surviving log, in log order —
+   computed independently via Transactions.Recovery.committed_state over
+   the model image of that log. *)
+
+type fin = Fcommit | Fabort
+
+let matrix_specs =
+  [
+    (1, [ ("x", 11); ("y", 12); ("pad1", 100) ], Fcommit);
+    (2, [ ("y", 22); ("z", 23) ], Fcommit);
+    (3, [ ("x", 31); ("w", 32); ("pad2", 300) ], Fabort);
+    (4, [ ("z", 41); ("w", 42) ], Fcommit);
+  ]
+
+(* drive the workload against the engine; returns `Completed or `Crashed *)
+let run_workload ?crash_after ~seed ~pool_size path =
+  let rng = Support.Rng.create seed in
+  match Storage.Engine.open_db ~pool_size ?crash_after path with
+  | exception Storage.Fault.Crash _ -> `Crashed
+  | eng ->
+  let states = Hashtbl.create 8 in
+  List.iter
+    (fun (t, writes, fin) ->
+      let writes = List.sort (fun (a, _) (b, _) -> String.compare a b) writes in
+      Hashtbl.replace states t (`Not_started, writes, fin))
+    matrix_specs;
+  let txns = List.map (fun (t, _, _) -> t) matrix_specs in
+  let can_progress t =
+    match Hashtbl.find states t with
+    | `Done, _, _ -> false
+    | `Not_started, _, _ -> true
+    | `Running, [], _ -> true
+    | `Running, (item, _) :: _, _ -> (
+        match Storage.Engine.lock_holder eng item with
+        | Some holder -> holder = t
+        | None -> true)
+  in
+  let step t =
+    match Hashtbl.find states t with
+    | `Not_started, writes, fin ->
+        ignore (Storage.Engine.begin_txn ~id:t eng : int);
+        Hashtbl.replace states t (`Running, writes, fin)
+    | `Running, [], fin ->
+        (match fin with
+        | Fcommit -> Storage.Engine.commit eng ~txn:t
+        | Fabort -> Storage.Engine.abort eng ~txn:t);
+        Hashtbl.replace states t (`Done, [], fin)
+    | `Running, (item, v) :: rest, fin ->
+        Storage.Engine.write eng ~txn:t item v;
+        Hashtbl.replace states t (`Running, rest, fin)
+    | `Done, _, _ -> ()
+  in
+  try
+    let rec loop () =
+      let runnable = List.filter can_progress txns in
+      match runnable with
+      | [] -> ()
+      | _ ->
+          step (List.nth runnable (Support.Rng.int rng (List.length runnable)));
+          loop ()
+    in
+    loop ();
+    Storage.Engine.close eng;
+    `Completed
+  with Storage.Fault.Crash _ ->
+    Storage.Engine.crash eng;
+    `Crashed
+
+(* The invariant: the reopened database holds exactly the committed state
+   of the surviving log, as computed by the in-memory model. *)
+let check_committed_state ~what path =
+  let entries = Storage.Wal.read_entries (Storage.Engine.wal_path path) in
+  let model_log = Storage.Wal.to_model (wal_records entries) in
+  let expected =
+    R.committed_state model_log
+    |> List.filter (fun (_, v) -> v <> 0)
+    |> List.sort compare
+  in
+  let eng = Storage.Engine.open_db path in
+  let actual = Storage.Engine.items eng in
+  (match Storage.Engine.last_recovery eng with
+  | Some o ->
+      Alcotest.(check (list int))
+        (what ^ ": winners agree with model")
+        (R.winners model_log) o.Storage.Recovery.winners
+  | None -> ());
+  Storage.Engine.close eng;
+  Alcotest.(check (list (pair string int))) (what ^ ": committed state") expected actual
+
+let test_crash_matrix () =
+  let seed = 1995 in
+  let k = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let path = fresh_path () in
+    (match run_workload ~crash_after:!k ~seed ~pool_size:2 path with
+    | `Completed ->
+        (* budget never exhausted: the whole workload fits in k I/Os *)
+        continue := false
+    | `Crashed -> ());
+    check_committed_state ~what:(Printf.sprintf "crash at io %d" !k) path;
+    cleanup path;
+    incr k;
+    if !k > 500 then Alcotest.fail "crash matrix did not terminate"
+  done;
+  (* sanity: the matrix exercised a meaningful number of crash points *)
+  Alcotest.(check bool) "several crash points" true (!k > 10)
+
+let test_crash_during_recovery () =
+  let seed = 77 in
+  (* crash mid-workload at a point that leaves in-flight transactions *)
+  let first_crash = 9 in
+  let path = fresh_path () in
+  (match run_workload ~crash_after:first_crash ~seed ~pool_size:2 path with
+  | `Crashed -> ()
+  | `Completed -> Alcotest.fail "expected the workload to crash");
+  (* now crash recovery itself at every I/O until it survives *)
+  let k = ref 0 in
+  let recovered = ref false in
+  while not !recovered do
+    (match Storage.Engine.open_db ~crash_after:!k path with
+    | eng ->
+        (* the open (and its recovery) survived; close may still hit the
+           remaining fault budget — that is just one more crash *)
+        (try Storage.Engine.close eng
+         with Storage.Fault.Crash _ -> Storage.Engine.crash eng);
+        recovered := true
+    | exception Storage.Fault.Crash _ -> ());
+    incr k;
+    if !k > 200 then Alcotest.fail "recovery never survived"
+  done;
+  check_committed_state ~what:"after crashed recoveries" path;
+  Alcotest.(check bool) "recovery was crashed at least once" true (!k > 1);
+  cleanup path
+
+(* every interleaving seed, no crash: engine state = model committed state *)
+let prop_engine_matches_model_no_crash =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25 ~name:"engine = model on crash-free runs"
+       (QCheck2.Gen.int_range 0 100_000) (fun seed ->
+         let path = fresh_path () in
+         let r = run_workload ~seed ~pool_size:3 path in
+         let entries = Storage.Wal.read_entries (Storage.Engine.wal_path path) in
+         let model_log = Storage.Wal.to_model (wal_records entries) in
+         let expected =
+           R.committed_state model_log
+           |> List.filter (fun (_, v) -> v <> 0)
+           |> List.sort compare
+         in
+         let eng = Storage.Engine.open_db path in
+         let actual = Storage.Engine.items eng in
+         Storage.Engine.close eng;
+         cleanup path;
+         r = `Completed && actual = expected))
+
+(* --- recovery unit tests (algorithm against a plain hash table) -------------- *)
+
+let test_recovery_analysis () =
+  let entries, _ =
+    Storage.Wal.scan
+      (String.concat ""
+         (List.map Storage.Wal.frame_of_record
+            [
+              Storage.Wal.Begin 1;
+              Storage.Wal.Commit 1;
+              Storage.Wal.Checkpoint;
+              Storage.Wal.Begin 2;
+              Storage.Wal.Begin 3;
+              Storage.Wal.Abort 3;
+              Storage.Wal.Begin 4;
+              Storage.Wal.Commit 4;
+            ]))
+  in
+  let ckpt, winners, losers = Storage.Recovery.analyze entries in
+  Alcotest.(check bool) "found checkpoint" true (ckpt <> None);
+  Alcotest.(check (list int)) "winners" [ 1; 4 ] winners;
+  Alcotest.(check (list int)) "losers: begun, not ended" [ 2 ] losers
+
+let test_recovery_redo_undo_counts () =
+  let w txn item before after =
+    Storage.Wal.Write { txn; item; before; after; compensation = false }
+  in
+  let entries, _ =
+    Storage.Wal.scan
+      (String.concat ""
+         (List.map Storage.Wal.frame_of_record
+            [
+              Storage.Wal.Begin 1; w 1 "x" 0 5; Storage.Wal.Commit 1;
+              Storage.Wal.Begin 2; w 2 "x" 5 9; w 2 "y" 0 3;
+            ]))
+  in
+  let store : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+  (* (value, page-lsn) per item; everything starts cold, lsn -1 *)
+  let appended = ref [] in
+  let next = ref 10_000 in
+  let outcome =
+    Storage.Recovery.run ~entries
+      ~read:(fun item ->
+        match Hashtbl.find_opt store item with Some (v, _) -> v | None -> 0)
+      ~write:(fun ~lsn item v ->
+        match Hashtbl.find_opt store item with
+        | Some (_, l) when l >= lsn -> false
+        | _ ->
+            Hashtbl.replace store item (v, lsn);
+            true)
+      ~log:(fun r ->
+        appended := r :: !appended;
+        incr next;
+        !next)
+  in
+  Alcotest.(check (list int)) "winners" [ 1 ] outcome.Storage.Recovery.winners;
+  Alcotest.(check (list int)) "losers" [ 2 ] outcome.Storage.Recovery.losers;
+  Alcotest.(check int) "redo all three writes" 3 outcome.Storage.Recovery.redo_applied;
+  Alcotest.(check int) "undo both loser writes" 2 outcome.Storage.Recovery.undone;
+  Alcotest.(check int) "x back to committed" 5
+    (fst (Hashtbl.find store "x"));
+  Alcotest.(check int) "y back to absent" 0
+    (fst (Hashtbl.find store "y"));
+  (* two compensations + one abort were logged *)
+  let comps, aborts =
+    List.partition
+      (function Storage.Wal.Write { compensation = true; _ } -> true | _ -> false)
+      !appended
+  in
+  Alcotest.(check int) "compensations" 2 (List.length comps);
+  Alcotest.(check bool) "abort logged" true
+    (List.exists (function Storage.Wal.Abort 2 -> true | _ -> false) aborts)
+
+let suite =
+  [
+    Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+    Alcotest.test_case "crc32 incremental" `Quick test_crc32_incremental;
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec corrupt" `Quick test_codec_corrupt;
+    Alcotest.test_case "page slots" `Quick test_page_slots;
+    Alcotest.test_case "page full" `Quick test_page_full;
+    Alcotest.test_case "page lsn monotone" `Quick test_page_lsn_monotone;
+    Alcotest.test_case "page crc" `Quick test_page_crc;
+    Alcotest.test_case "pager roundtrip" `Quick test_pager_roundtrip;
+    Alcotest.test_case "pager detects corruption" `Quick test_pager_detects_corruption;
+    Alcotest.test_case "pager rejects garbage" `Quick test_pager_rejects_garbage;
+    Alcotest.test_case "pool counters and lru" `Quick test_pool_counters_and_lru;
+    Alcotest.test_case "pool dirty flush and wal barrier" `Quick
+      test_pool_dirty_flush_and_barrier;
+    Alcotest.test_case "pool exhausted" `Quick test_pool_exhausted;
+    Alcotest.test_case "wal roundtrip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal torn tail" `Quick test_wal_torn_tail;
+    prop_wal_model_roundtrip;
+    Alcotest.test_case "heap relation roundtrip" `Quick test_heap_relation_roundtrip;
+    Alcotest.test_case "heap many pages" `Quick test_heap_many_pages;
+    Alcotest.test_case "heap replace table" `Quick test_heap_replace_table;
+    Alcotest.test_case "engine commit persists" `Quick test_engine_commit_persists;
+    Alcotest.test_case "engine abort restores" `Quick test_engine_abort_restores;
+    Alcotest.test_case "engine strict locks" `Quick test_engine_strict_locks;
+    Alcotest.test_case "engine crash loses uncommitted" `Quick
+      test_engine_crash_loses_uncommitted;
+    Alcotest.test_case "recovery analysis" `Quick test_recovery_analysis;
+    Alcotest.test_case "recovery redo/undo counts" `Quick test_recovery_redo_undo_counts;
+    Alcotest.test_case "crash matrix" `Slow test_crash_matrix;
+    Alcotest.test_case "crash during recovery" `Quick test_crash_during_recovery;
+    prop_engine_matches_model_no_crash;
+  ]
