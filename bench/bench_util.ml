@@ -33,6 +33,11 @@ let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
    free and nothing is written. *)
 
 let json_mode = ref false
+
+(* Base seed for targets that average over random workloads; set by the
+   driver's --seed flag so a whole bench run is reproducible (and can be
+   re-rolled) from the command line. *)
+let seed = ref 0
 let recorded : (string * float * string) list ref = ref []
 
 let record ~metric ?(unit = "ms") value =

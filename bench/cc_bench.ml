@@ -26,15 +26,16 @@ let workloads =
   ]
 
 let run_one make params =
-  (* average over several seeds *)
-  let seeds = List.init 10 (fun k -> 42 + k) in
+  (* average over several seeds, offset by the driver's --seed *)
+  let seeds = List.init 10 (fun k -> 42 + !Bench_util.seed + k) in
   let acc = Array.make 5 0. in
   let serializable = ref true in
   List.iter
     (fun seed ->
       let rng = Support.Rng.create seed in
       let specs = T.Workload.generate rng params in
-      let stats = T.Simulation.run (make ()) specs in
+      let jitter = Support.Rng.create (seed lxor 0x5eed) in
+      let stats = T.Simulation.run ~rng:jitter (make ()) specs in
       acc.(0) <- acc.(0) +. float_of_int stats.T.Simulation.committed;
       acc.(1) <- acc.(1) +. float_of_int stats.T.Simulation.restarts;
       acc.(2) <- acc.(2) +. float_of_int stats.T.Simulation.deadlocks;

@@ -16,18 +16,21 @@ let targets =
     ("sat", "Cook & Fagin: SAT as common currency", Sat_bench.run);
     ("access", "access methods (B+tree, extendible hashing) + complex objects", Access_bench.run);
     ("storage", "persistent storage: pager, buffer pool, WAL, recovery", Storage_bench.run);
+    ("executor", "fault-tolerant executor: locking, retry, repair", Executor_bench.run);
     ("ablation", "design-choice ablations (optimizer, Yannakakis, DPLL)", Ablation.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 
 let usage () =
-  print_endline "usage: main.exe [--json] [target ...]";
+  print_endline "usage: main.exe [--json] [--seed N] [target ...]";
   print_endline "targets:";
   List.iter (fun (name, descr, _) -> Printf.printf "  %-10s %s\n" name descr) targets;
   print_endline "  all        everything (default)";
   print_endline "options:";
   print_endline
-    "  --json     also write each target's metrics to BENCH_<target>.json"
+    "  --json     also write each target's metrics to BENCH_<target>.json";
+  print_endline
+    "  --seed N   base seed for randomized workloads (default 0)"
 
 let run_target (name, _, run) =
   run ();
@@ -37,6 +40,18 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let json, args = List.partition (fun a -> a = "--json") args in
   if json <> [] then Bench_util.json_mode := true;
+  let rec take_seed = function
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s -> Bench_util.seed := s
+        | None ->
+            Printf.eprintf "--seed expects an integer, got %S\n" n;
+            exit 1);
+        take_seed rest
+    | a :: rest -> a :: take_seed rest
+    | [] -> []
+  in
+  let args = take_seed args in
   match args with
   | [] | [ "all" ] -> List.iter run_target targets
   | [ "help" ] | [ "--help" ] | [ "-h" ] -> usage ()

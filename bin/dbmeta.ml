@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let version = "1.2.0"
+let version = "1.3.0"
 
 let read_file = Support.Io.read_file
 
@@ -322,29 +322,56 @@ let sat_cmd =
 
 (* --- db: the persistent storage engine --------------------------------------- *)
 
-let with_db ?crash_after path f =
-  let crashed at =
-    Printf.printf "simulated crash at: %s\n" at;
-    Printf.printf
-      "the database was left as the crash left it; run 'dbmeta db recover \
-       %s' (or any other db command) to repair it\n"
-      path;
-    0
-  in
-  match Storage.Engine.open_db ?crash_after path with
-  | exception Storage.Fault.Crash at -> crashed at
+let crash_message path at =
+  Printf.printf "simulated crash at: %s\n" at;
+  Printf.printf
+    "the database was left as the crash left it; run 'dbmeta db recover \
+     %s' (or any other db command) to repair it\n"
+    path;
+  0
+
+let with_db ?crash_after ?faults path f =
+  let faults = Option.map Storage.Fault.spec_of_string faults in
+  match Storage.Engine.open_db ?crash_after ?faults path with
+  | exception Storage.Fault.Crash at -> crash_message path at
   | eng -> (
       match
         let code = f eng in
         Storage.Engine.close eng;
         code
       with
-      | code -> code
+      | code ->
+          if Storage.Engine.read_only eng then begin
+            Printf.printf
+              "engine degraded to read-only: %s; pending writes were \
+               dropped and will be resolved by restart recovery\n"
+              (Option.value ~default:"unflushable wal"
+                 (Storage.Engine.degraded_reason eng));
+            1
+          end
+          else code
       | exception Storage.Fault.Crash at ->
           Storage.Engine.crash eng;
-          crashed at)
+          crash_message path at
+      | exception Storage.Engine.Read_only reason ->
+          Storage.Engine.close eng;
+          Printf.printf
+            "engine degraded to read-only: %s; pending writes were \
+             dropped and will be resolved by restart recovery\n"
+            reason;
+          1)
+
+let report_repair eng =
+  match Storage.Engine.last_repair eng with
+  | Some { Storage.Engine.quarantined; replayed } ->
+      Printf.printf
+        "repair: quarantined %d corrupt page(s), rebuilt the item store \
+         from %d logged write(s)\n"
+        (List.length quarantined) replayed
+  | None -> ()
 
 let report_recovery eng =
+  report_repair eng;
   match Storage.Engine.last_recovery eng with
   | Some o -> Printf.printf "recovery: %s\n" (Storage.Recovery.outcome_to_string o)
   | None -> print_endline "recovery: log clean, nothing to do"
@@ -363,10 +390,10 @@ let db_init_run path force =
         wal;
       0)
 
-let db_load_run path tables crash_after =
+let db_load_run path tables crash_after faults =
   input_error_to_exit @@ fun () ->
   let db = load_tables tables in
-  with_db ?crash_after path (fun eng ->
+  with_db ?crash_after ?faults path (fun eng ->
       Relational.Database.fold
         (fun name rel () ->
           Storage.Engine.save_table eng name rel;
@@ -393,7 +420,7 @@ let db_query_run path text optimize =
       print_string (Relational.Relation.to_string (Relational.Eval.eval db expr));
       0)
 
-let db_set_run path assignments abort crash_after =
+let db_set_run path assignments abort crash_after faults =
   input_error_to_exit @@ fun () ->
   let parsed =
     List.map
@@ -410,7 +437,7 @@ let db_set_run path assignments abort crash_after =
         | None -> invalid_arg (Printf.sprintf "expected item=int, got %S" spec))
       assignments
   in
-  with_db ?crash_after path (fun eng ->
+  with_db ?crash_after ?faults path (fun eng ->
       let txn = Storage.Engine.begin_txn eng in
       List.iter (fun (item, v) -> Storage.Engine.write eng ~txn item v) parsed;
       if abort then begin
@@ -482,6 +509,83 @@ let db_recover_run path =
         (List.length (Storage.Engine.table_names eng));
       0)
 
+let db_exec_run path txns ops items write_ratio skew seed faults timeout verify =
+  input_error_to_exit @@ fun () ->
+  let spec = Option.map Storage.Fault.spec_of_string faults in
+  let params =
+    {
+      Transactions.Workload.txns;
+      ops_per_txn = ops;
+      items;
+      skew;
+      write_ratio;
+    }
+  in
+  let programs = Transactions.Workload.generate (Support.Rng.create seed) params in
+  Printf.printf
+    "workload: %d txns x %d ops over %d items (%.0f%% writes, skew %.1f), \
+     seed %d\n"
+    txns ops items (write_ratio *. 100.) skew seed;
+  (match spec with
+  | Some s -> Printf.printf "faults: %s\n" (Storage.Fault.spec_to_string s)
+  | None -> ());
+  match Storage.Engine.open_db ?faults:spec path with
+  | exception Storage.Fault.Crash at -> crash_message path at
+  | eng ->
+      let config =
+        { Storage.Executor.default_config with seed; lock_timeout = timeout }
+      in
+      let stats = Storage.Executor.run ~config eng programs in
+      if stats.Storage.Executor.crashed = None then (
+        try Storage.Engine.close eng
+        with Storage.Fault.Crash at ->
+          Storage.Engine.crash eng;
+          Printf.printf "simulated crash at close: %s\n" at);
+      Printf.printf
+        "committed %d/%d  restarts %d  deadlocks %d  timeouts %d  repairs \
+         %d  io-retries %d\n"
+        stats.Storage.Executor.committed txns stats.Storage.Executor.restarts
+        stats.Storage.Executor.deadlocks stats.Storage.Executor.timeouts
+        stats.Storage.Executor.repairs stats.Storage.Executor.io_retries;
+      Printf.printf "throughput: %.4f commits/step (%d steps, %d wasted ops)\n"
+        (Storage.Executor.throughput stats)
+        stats.Storage.Executor.steps stats.Storage.Executor.wasted_ops;
+      let code =
+        match stats.Storage.Executor.crashed with
+        | Some { Storage.Fault.site; io_index } ->
+            Printf.printf "simulated crash at: %s (io %d)\n" site io_index;
+            Printf.printf
+              "run 'dbmeta db recover %s' (or any other db command) to \
+               repair the database\n"
+              path;
+            0
+        | None ->
+            if stats.Storage.Executor.degraded then begin
+              Printf.printf
+                "engine degraded to read-only: %s; unresolved transactions \
+                 are in doubt and will be aborted by restart recovery\n"
+                (Option.value ~default:"unflushable wal"
+                   (Storage.Engine.degraded_reason eng));
+              1
+            end
+            else if stats.Storage.Executor.committed = txns then 0
+            else 1
+      in
+      if verify then
+        match Storage.Executor.model_divergence ~path with
+        | None ->
+            print_endline "model check: ok";
+            code
+        | Some (expected, actual) ->
+            let show kv =
+              String.concat ", "
+                (List.map (fun (i, v) -> Printf.sprintf "%s=%d" i v) kv)
+            in
+            Printf.printf "model check: DIVERGED\n  expected: %s\n  actual:   %s\n"
+              (show expected) (show actual);
+            1
+      else code
+
 let db_file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DB"
          ~doc:"Database file (its WAL lives alongside as DB.wal).")
@@ -491,6 +595,16 @@ let crash_after_arg =
          ~doc:"Fault injection: let $(docv) durable I/Os succeed, then \
                crash the engine mid-operation (a WAL flush crash leaves a \
                torn tail).  For demonstrating recovery.")
+
+let faults_arg =
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
+         ~doc:"Fault spec, comma-separated: $(b,crash=N) (crash budget), \
+               $(b,torn=P) / $(b,flip=P) / $(b,eio=P) (per-I/O \
+               probabilities of torn writes, bit flips, transient EIO; \
+               scope to sites containing a substring with \
+               $(b,kind\\@site=P), e.g. $(b,eio\\@read=0.3)), and \
+               $(b,seed=N) for the fault RNG.  Example: \
+               'crash=7,torn=0.1,eio\\@read=0.3,seed=42'.")
 
 let db_init_cmd =
   let force =
@@ -507,7 +621,7 @@ let db_load_cmd =
   in
   Cmd.v
     (Cmd.info "load" ~version ~doc:"Load CSV tables into the database")
-    Term.(const db_load_run $ db_file_arg $ tables $ crash_after_arg)
+    Term.(const db_load_run $ db_file_arg $ tables $ crash_after_arg $ faults_arg)
 
 let db_query_cmd =
   let text =
@@ -536,7 +650,8 @@ let db_set_cmd =
   Cmd.v
     (Cmd.info "set" ~version
        ~doc:"Write items transactionally (WAL-protected)")
-    Term.(const db_set_run $ db_file_arg $ assignments $ abort $ crash_after_arg)
+    Term.(const db_set_run $ db_file_arg $ assignments $ abort $ crash_after_arg
+          $ faults_arg)
 
 let db_get_cmd =
   let items =
@@ -559,6 +674,50 @@ let db_recover_cmd =
        ~doc:"Run restart recovery and report its outcome")
     Term.(const db_recover_run $ db_file_arg)
 
+let db_exec_cmd =
+  let txns =
+    Arg.(value & opt int 4 & info [ "txns" ] ~docv:"N"
+           ~doc:"Concurrent transactions in the workload.")
+  in
+  let ops =
+    Arg.(value & opt int 5 & info [ "ops" ] ~docv:"K"
+           ~doc:"Operations per transaction.")
+  in
+  let items =
+    Arg.(value & opt int 8 & info [ "items" ] ~docv:"M"
+           ~doc:"Database size (items x0 … x(M-1)); smaller = hotter.")
+  in
+  let write_ratio =
+    Arg.(value & opt float 0.5 & info [ "write-ratio" ] ~docv:"R"
+           ~doc:"Fraction of operations that are writes.")
+  in
+  let skew =
+    Arg.(value & opt float 0.5 & info [ "skew" ] ~docv:"Z"
+           ~doc:"Zipf access skew; 0 = uniform.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
+           ~doc:"Seed for the workload generator and the restart-backoff \
+                 jitter; every run is reproducible from it.")
+  in
+  let timeout =
+    Arg.(value & opt (some int) None & info [ "timeout" ] ~docv:"T"
+           ~doc:"Lock-wait timeout in scheduler rounds (deadlocks are \
+                 detected either way; this also bounds ordinary waits).")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"After the run, reopen the database and check its \
+                 committed state against the Transactions.Recovery model \
+                 of the surviving log.")
+  in
+  Cmd.v
+    (Cmd.info "exec" ~version
+       ~doc:"Run an interleaved transaction workload under locking, \
+             deadlock retry, and (optionally) injected faults")
+    Term.(const db_exec_run $ db_file_arg $ txns $ ops $ items $ write_ratio
+          $ skew $ seed $ faults_arg $ timeout $ verify)
+
 let db_cmd =
   let doc = "persistent storage: pager, buffer pool, WAL, recovery" in
   let man =
@@ -571,14 +730,20 @@ let db_cmd =
          runs ARIES-lite restart recovery (redo from the last checkpoint, \
          then undo of uncommitted transactions).  $(b,--crash-after) \
          injects a crash at the Nth durable I/O so the recovery path can \
-         be watched from the command line.";
+         be watched from the command line; $(b,--faults) widens the \
+         injection to torn writes, bit flips, and transient EIO under a \
+         seeded RNG.  Corrupt item-store pages are quarantined and \
+         rebuilt from the log; an unflushable WAL degrades the engine to \
+         read-only.  $(b,db exec) runs an interleaved workload under \
+         shared/exclusive locking with deadlock detection and \
+         victim retry.";
     ]
   in
   Cmd.group
     (Cmd.info "db" ~version ~doc ~man)
     [
       db_init_cmd; db_load_cmd; db_query_cmd; db_set_cmd; db_get_cmd;
-      db_status_cmd; db_recover_cmd;
+      db_status_cmd; db_recover_cmd; db_exec_cmd;
     ]
 
 (* --- lint ------------------------------------------------------------------------- *)

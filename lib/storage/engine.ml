@@ -11,27 +11,59 @@
 
    Opening a database always runs restart recovery over the surviving
    log; a database file abandoned mid-flight (or killed by Fault
-   injection) is repaired to exactly the committed transactions' writes. *)
+   injection) is repaired to exactly the committed transactions' writes.
+
+   Robustness (the fault taxonomy, see Fault):
+     quarantine-and-repair — a CRC-corrupt item-store page (torn write,
+       bit flip) is abandoned, not fatal: the item plane is rebuilt by
+       replaying every surviving WAL write record (the log is never
+       truncated, so the full history is available).  A page whose LSN
+       is newer than the surviving log's end betrays a lost log suffix
+       (a corrupted WAL frame truncates the opening scan) and is
+       quarantined the same way.
+     read-only degradation — a WAL flush whose fsync fails past its
+       retry budget means durability can no longer be promised: the
+       engine flips to read-only and refuses begin/write/commit with
+       [Read_only] instead of crashing.  Reads still work.
+     Table chains are not WAL-protected; a corrupt table page remains a
+       hard [Pager.Corrupt] (documented limitation). *)
+
+type repair = { quarantined : int list; replayed : int }
 
 type t = {
   pager : Pager.t;
   pool : Buffer_pool.t;
   wal : Wal.t;
-  items : Heap.Items.t;
+  mutable items : Heap.Items.t;
   fault : Fault.t;
   locks : (string, int) Hashtbl.t;
   active : (int, (string * int) list ref) Hashtbl.t;
       (* txn -> (item, before-image) newest first *)
   mutable next_txn : int;
   mutable last_recovery : Recovery.outcome option;
+  mutable read_only : bool;
+  mutable degraded_reason : string option;
+  mutable repairs : int;
+  mutable last_repair : repair option;
 }
 
 exception Locked of string * int
 exception No_such_transaction of int
 exception Active_transactions
 exception Unknown_table of string
+exception Read_only of string
 
 let wal_path path = path ^ ".wal"
+
+let degrade t site =
+  t.read_only <- true;
+  if t.degraded_reason = None then t.degraded_reason <- Some site
+
+let check_writable t =
+  if t.read_only then
+    match t.degraded_reason with
+    | Some site -> raise (Read_only (Printf.sprintf "wal unflushable at %s" site))
+    | None -> raise (Read_only "engine is read-only")
 
 let checkpoint_now t =
   (* order is the whole point: pages first, checkpoint record after, so
@@ -45,10 +77,61 @@ let checkpoint_now t =
 
 let checkpoint t =
   if Hashtbl.length t.active > 0 then raise Active_transactions;
-  checkpoint_now t
+  check_writable t;
+  try checkpoint_now t
+  with Fault.Io_error site ->
+    degrade t site;
+    raise (Read_only (Printf.sprintf "wal unflushable at %s" site))
 
-let open_db ?(pool_size = 64) ?crash_after path =
+(* --- quarantine and repair ----------------------------------------------- *)
+
+(* Rebuild the item plane from scratch by replaying every surviving WAL
+   write record with its LSN.  Sound because the log is never truncated:
+   it holds the full history since the database was created, and the
+   page-LSN test keeps the replay idempotent. *)
+let replay_items pool entries =
+  let items = Heap.Items.load pool in
+  let replayed = ref 0 in
+  List.iter
+    (fun { Wal.lsn; record } ->
+      match record with
+      | Wal.Write { item; after; _ } ->
+          ignore (Heap.Items.set items ~lsn item after : bool);
+          incr replayed
+      | _ -> ())
+    entries;
+  (items, !replayed)
+
+let note_repair t ~quarantined ~replayed =
+  Pager.forget_corrupt t.pager;
+  t.repairs <- t.repairs + 1;
+  t.last_repair <- Some { quarantined; replayed }
+
+(* Runtime repair: flush what we can (so the rebuilt plane reflects every
+   applied write), abandon the corrupt chain, and rebuild from the log on
+   disk.  Active transactions stay valid — their undo information is the
+   WAL itself plus the in-memory before-images. *)
+let repair_now t =
+  (try Wal.flush t.wal with Fault.Io_error site -> degrade t site);
+  let quarantined = Pager.corrupt_pages t.pager in
+  let entries = Wal.read_entries (Wal.path t.wal) in
+  Pager.set_items_root t.pager 0;
+  let items, replayed = replay_items t.pool entries in
+  t.items <- items;
+  note_repair t ~quarantined ~replayed
+
+(* Run an item-plane access, repairing once on a CRC failure. *)
+let with_repair t f =
+  try f ()
+  with Pager.Corrupt _ ->
+    repair_now t;
+    f ()
+
+(* --- open / close --------------------------------------------------------- *)
+
+let open_db ?(pool_size = 64) ?crash_after ?faults path =
   let fault = Fault.create () in
+  (match faults with Some spec -> Fault.configure fault spec | None -> ());
   (match crash_after with Some n -> Fault.arm fault n | None -> ());
   (* a zero-length file is a creation that crashed before its header
      write — treat it as fresh so such a database is still recoverable *)
@@ -66,8 +149,27 @@ let open_db ?(pool_size = 64) ?crash_after path =
   in
   let pool = Buffer_pool.create ~capacity:pool_size pager in
   Buffer_pool.set_wal_barrier pool (fun lsn -> Wal.flush_to wal lsn);
-  let items =
-    try Heap.Items.load pool
+  let items, first_repair =
+    try
+      let loaded =
+        match Heap.Items.load pool with
+        | items ->
+            (* pages newer than the surviving log betray a lost suffix *)
+            let horizon = Wal.durable_lsn wal in
+            let future =
+              List.filter_map
+                (fun (page, lsn) -> if lsn >= horizon && lsn > 0 then Some page else None)
+                (Heap.Items.page_lsns items)
+            in
+            if future = [] then Ok items else Error future
+        | exception Pager.Corrupt _ -> Error (Pager.corrupt_pages pager)
+      in
+      match loaded with
+      | Ok items -> (items, None)
+      | Error quarantined ->
+          Pager.set_items_root pager 0;
+          let items, replayed = replay_items pool entries in
+          (items, Some { quarantined; replayed })
     with e ->
       Wal.abandon wal;
       Pager.abandon pager;
@@ -84,8 +186,18 @@ let open_db ?(pool_size = 64) ?crash_after path =
       active = Hashtbl.create 16;
       next_txn = 1;
       last_recovery = None;
+      read_only = false;
+      degraded_reason = None;
+      repairs = 0;
+      last_repair = None;
     }
   in
+  (match first_repair with
+  | Some { quarantined; replayed } ->
+      Pager.forget_corrupt pager;
+      t.repairs <- 1;
+      t.last_repair <- Some { quarantined; replayed }
+  | None -> ());
   let max_txn =
     List.fold_left
       (fun m { Wal.record; _ } ->
@@ -98,14 +210,31 @@ let open_db ?(pool_size = 64) ?crash_after path =
   t.next_txn <- max_txn + 1;
   (try
      if entries <> [] then begin
-       let outcome =
-         Recovery.run ~entries
-           ~read:(fun item -> Heap.Items.get items item)
-           ~write:(fun ~lsn item v -> Heap.Items.set items ~lsn item v)
-           ~log:(fun r -> Wal.append wal r)
+       let rec run_recovery tries =
+         try
+           Recovery.run ~entries
+             ~read:(fun item -> Heap.Items.get t.items item)
+             ~write:(fun ~lsn item v -> Heap.Items.set t.items ~lsn item v)
+             ~log:(fun r -> Wal.append t.wal r)
+         with Pager.Corrupt _ when tries < 2 ->
+           (* a page corrupted by recovery's own (faulty) page writes:
+              quarantine, rebuild, and re-run — the replay is idempotent *)
+           let quarantined = Pager.corrupt_pages t.pager in
+           Pager.set_items_root t.pager 0;
+           let items, replayed = replay_items t.pool entries in
+           t.items <- items;
+           note_repair t ~quarantined ~replayed;
+           run_recovery (tries + 1)
        in
+       let outcome = run_recovery 0 in
        t.last_recovery <- Some outcome;
-       checkpoint_now t
+       (* the post-recovery checkpoint is an optimization: if the WAL (or
+          pager) reports persistent EIO, skip it — the log on disk still
+          covers everything, the appended undo records stay pending for
+          the next flush, and a WAL that keeps failing degrades the
+          engine to read-only at the first commit instead of making the
+          database unopenable *)
+       try checkpoint_now t with Fault.Io_error _ -> ()
      end
    with e ->
      (* a crash injected into recovery itself: release the descriptors so
@@ -115,14 +244,24 @@ let open_db ?(pool_size = 64) ?crash_after path =
      raise e);
   t
 
-let close t =
-  if Hashtbl.length t.active = 0 then checkpoint_now t;
-  Wal.close t.wal;
-  Pager.close t.pager
-
 let crash t =
   Wal.abandon t.wal;
   Pager.abandon t.pager
+
+let close t =
+  if t.read_only then
+    (* degraded: the WAL cannot be made durable, so a checkpoint or even
+       a final flush would lie — abandon, exactly as a crash would *)
+    crash t
+  else begin
+    (try if Hashtbl.length t.active = 0 then checkpoint_now t
+     with Fault.Io_error site -> degrade t site);
+    if t.read_only then crash t
+    else begin
+      Wal.close t.wal;
+      Pager.close t.pager
+    end
+  end
 
 (* --- transactions -------------------------------------------------------- *)
 
@@ -132,6 +271,7 @@ let writes_of t txn =
   | None -> raise (No_such_transaction txn)
 
 let begin_txn ?id t =
+  check_writable t;
   let id =
     match id with
     | Some i -> i
@@ -149,19 +289,25 @@ let begin_txn ?id t =
 
 let lock_holder t item = Hashtbl.find_opt t.locks item
 
-let read t item = Heap.Items.get t.items item
+let read t item = with_repair t (fun () -> Heap.Items.get t.items item)
 
 let write t ~txn item value =
+  check_writable t;
   let writes = writes_of t txn in
   (match Hashtbl.find_opt t.locks item with
   | Some holder when holder <> txn -> raise (Locked (item, holder))
   | _ -> Hashtbl.replace t.locks item txn);
-  let before = Heap.Items.get t.items item in
+  let before = with_repair t (fun () -> Heap.Items.get t.items item) in
   let lsn =
     Wal.append t.wal
       (Wal.Write { txn; item; before; after = value; compensation = false })
   in
-  ignore (Heap.Items.set t.items ~lsn item value : bool);
+  (match with_repair t (fun () -> Heap.Items.set t.items ~lsn item value) with
+  | (_ : bool) -> ()
+  | exception Fault.Io_error site ->
+      (* the steal barrier could not flush the log: durability is gone *)
+      degrade t site;
+      raise (Read_only (Printf.sprintf "wal unflushable at %s" site)));
   writes := (item, before) :: !writes
 
 let release_locks t txn =
@@ -173,43 +319,59 @@ let release_locks t txn =
   List.iter (Hashtbl.remove t.locks) mine
 
 let commit t ~txn =
+  check_writable t;
   ignore (writes_of t txn);
   ignore (Wal.append t.wal (Wal.Commit txn) : int);
   (* the commit point: the flush that makes the Commit record durable *)
-  Wal.flush t.wal;
+  (match Wal.flush t.wal with
+  | () -> ()
+  | exception Fault.Io_error site ->
+      (* the Commit record stays pending and is dropped by the degraded
+         close (abandon), so recovery treats the transaction as a loser:
+         in-doubt in this process, aborted after restart *)
+      degrade t site;
+      raise (Read_only (Printf.sprintf "wal unflushable at %s" site)));
   release_locks t txn;
   Hashtbl.remove t.active txn
 
 let abort t ~txn =
   let writes = writes_of t txn in
   (* undo newest-first, logging a compensation per undone write — these
-     are ordinary history for any later recovery (never re-undone) *)
-  List.iter
-    (fun (item, before) ->
-      let current = Heap.Items.get t.items item in
-      let lsn =
-        Wal.append t.wal
-          (Wal.Write
-             { txn; item; before = current; after = before; compensation = true })
-      in
-      ignore (Heap.Items.set t.items ~lsn item before : bool))
-    !writes;
-  ignore (Wal.append t.wal (Wal.Abort txn) : int);
-  Wal.flush t.wal;
+     are ordinary history for any later recovery (never re-undone).
+     In degraded mode this is best-effort: the CLRs cannot be flushed,
+     but restart recovery re-derives the same undo from the log. *)
+  (try
+     List.iter
+       (fun (item, before) ->
+         let current = with_repair t (fun () -> Heap.Items.get t.items item) in
+         let lsn =
+           Wal.append t.wal
+             (Wal.Write
+                { txn; item; before = current; after = before; compensation = true })
+         in
+         ignore (with_repair t (fun () -> Heap.Items.set t.items ~lsn item before) : bool))
+       !writes;
+     ignore (Wal.append t.wal (Wal.Abort txn) : int);
+     Wal.flush t.wal
+   with Fault.Io_error site -> degrade t site);
   release_locks t txn;
   Hashtbl.remove t.active txn
 
-let items t = Heap.Items.all t.items
+let items t = with_repair t (fun () -> Heap.Items.all t.items)
 let item_count t = Heap.Items.count t.items
 let active_txns t = Hashtbl.fold (fun k _ acc -> k :: acc) t.active [] |> List.sort Int.compare
 
 (* --- tables --------------------------------------------------------------- *)
 
 let save_table t name rel =
+  check_writable t;
   let first = Heap.save_relation t.pool rel in
   Heap.replace_table t.pool
     { Heap.name; schema = Relational.Relation.schema rel; first };
-  checkpoint_now t
+  try checkpoint_now t
+  with Fault.Io_error site ->
+    degrade t site;
+    raise (Read_only (Printf.sprintf "wal unflushable at %s" site))
 
 let table_info t =
   List.map (fun { Heap.name; schema; first } -> (name, schema, first)) (Heap.catalog t.pool)
@@ -236,3 +398,8 @@ let pager t = t.pager
 let wal t = t.wal
 let fault t = t.fault
 let last_recovery t = t.last_recovery
+let read_only t = t.read_only
+let degraded_reason t = t.degraded_reason
+let repairs t = t.repairs
+let last_repair t = t.last_repair
+let io_retries t = Pager.retries t.pager + Wal.retries t.wal

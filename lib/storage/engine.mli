@@ -9,9 +9,21 @@
     bytes.  Opening a database always runs restart recovery; the
     invariant (crash-matrix-tested) is that after a crash at any I/O the
     reopened store holds exactly the committed transactions' writes in
-    log order. *)
+    log order.
+
+    Fault tolerance (see {!Fault} for the taxonomy): CRC-corrupt
+    item-store pages are {e quarantined and repaired} by replaying the
+    full WAL (which is never truncated), transient I/O errors are
+    retried inside {!Pager}/{!Wal}, and a WAL that cannot be flushed
+    degrades the engine to {e read-only} ({!Read_only}) instead of
+    crashing.  Table chains are not WAL-protected; their corruption
+    stays a hard {!Pager.Corrupt}. *)
 
 type t
+
+type repair = { quarantined : int list; replayed : int }
+(** One quarantine-and-repair event: the page ids abandoned and the
+    number of WAL write records replayed to rebuild the item plane. *)
 
 exception Locked of string * int
 (** The item is write-locked by another transaction (strictness). *)
@@ -20,14 +32,25 @@ exception No_such_transaction of int
 exception Active_transactions
 exception Unknown_table of string
 
-val open_db : ?pool_size:int -> ?crash_after:int -> string -> t
+exception Read_only of string
+(** The engine has degraded to read-only (an unflushable WAL): writes,
+    commits, and new transactions are refused.  The payload names the
+    I/O site whose failure triggered the degradation. *)
+
+val open_db : ?pool_size:int -> ?crash_after:int -> ?faults:Fault.spec -> string -> t
 (** Open or create the database at [path] (the WAL lives at
     [path ^ ".wal"]).  [crash_after] arms fault injection: that many
     durable I/Os succeed, the next raises {!Fault.Crash} — including
-    I/Os issued by recovery itself. *)
+    I/Os issued by recovery itself.  [faults] installs a full fault
+    spec (crash budget, torn-write/bit-flip/EIO probabilities, RNG
+    seed); [crash_after] overrides its crash budget when both given.
+    A corrupt item-store page found during the open is quarantined and
+    the item plane rebuilt from the log before recovery runs. *)
 
 val close : t -> unit
-(** Clean shutdown: checkpoint (when quiescent) and close. *)
+(** Clean shutdown: checkpoint (when quiescent) and close.  A degraded
+    (read-only) engine abandons instead — its pending WAL bytes cannot
+    be made durable, and restart recovery repairs from the log. *)
 
 val crash : t -> unit
 (** Abandon without flushing anything — simulates the process dying.
@@ -36,13 +59,17 @@ val crash : t -> unit
 val begin_txn : ?id:int -> t -> int
 val write : t -> txn:int -> string -> int -> unit
 (** Logs (item, before, after) then applies in the pool; raises
-    {!Locked} when another transaction holds the item. *)
+    {!Locked} when another transaction holds the item, {!Read_only}
+    when the engine is degraded. *)
 
 val read : t -> string -> int
 (** Current value; absent items read 0. *)
 
 val commit : t -> txn:int -> unit
-(** Appends Commit and flushes the WAL — the commit point. *)
+(** Appends Commit and flushes the WAL — the commit point.  If the
+    flush fails past its retries the engine degrades and raises
+    {!Read_only}: the transaction is in doubt in this process and
+    resolved (aborted) by restart recovery. *)
 
 val abort : t -> txn:int -> unit
 (** Undoes the transaction's writes newest-first, logging compensation
@@ -83,5 +110,18 @@ val fault : t -> Fault.t
 val last_recovery : t -> Recovery.outcome option
 (** The outcome of the restart recovery this open performed, if the log
     was non-empty. *)
+
+val read_only : t -> bool
+val degraded_reason : t -> string option
+(** Why the engine degraded to read-only (the failing I/O site). *)
+
+val repairs : t -> int
+(** Quarantine-and-repair events since open (including one performed by
+    the open itself, if the on-disk item plane was corrupt). *)
+
+val last_repair : t -> repair option
+
+val io_retries : t -> int
+(** Transient-EIO retries (pager + WAL) that eventually succeeded. *)
 
 val wal_path : string -> string

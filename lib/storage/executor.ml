@@ -1,0 +1,204 @@
+(* Round-robin SS2PL executor over the engine; see the .mli for the
+   policy discussion.  The structure deliberately parallels
+   Transactions.Simulation.run so the two drivers can be compared. *)
+
+module Schedule = Transactions.Schedule
+
+type config = {
+  max_steps : int;
+  max_backoff : int;
+  lock_timeout : int option;
+  seed : int;
+}
+
+let default_config =
+  { max_steps = 200_000; max_backoff = 64; lock_timeout = None; seed = 0 }
+
+type stats = {
+  committed : int;
+  restarts : int;
+  deadlocks : int;
+  timeouts : int;
+  steps : int;
+  wasted_ops : int;
+  repairs : int;
+  io_retries : int;
+  degraded : bool;
+  crashed : Fault.crash_info option;
+}
+
+let throughput stats =
+  if stats.steps = 0 then 0.
+  else float_of_int stats.committed /. float_of_int stats.steps
+
+(* Simulation.break_deadlock keeps the highest incarnation (ties to the
+   lowest base); the victim of a pair is whichever would not survive.
+   (incarnation desc, base asc) is a total order, so folding this
+   pairwise choice over a cycle picks the same victim Simulation's
+   survivor scan implies. *)
+let victim_pref ~age a b =
+  let ia, ba = age a and ib, bb = age b in
+  if ia > ib || (ia = ib && ba < bb) then b else a
+
+type slot = {
+  base : int;
+  program : Schedule.action array;
+  mutable txn : int option;  (* engine transaction id, fresh per incarnation *)
+  mutable incarnation : int;
+  mutable pc : int;
+  mutable finished : bool;
+  mutable delay : int;  (* rounds to sit out after a restart (backoff) *)
+}
+
+let run ?(config = default_config) eng specs =
+  let rng = Support.Rng.create config.seed in
+  let slots =
+    Array.mapi
+      (fun i spec ->
+        {
+          base = i;
+          program = Array.of_list spec;
+          txn = None;
+          incarnation = 0;
+          pc = 0;
+          finished = false;
+          delay = 0;
+        })
+      specs
+  in
+  let by_txn = Hashtbl.create 16 in
+  let age txn =
+    match Hashtbl.find_opt by_txn txn with
+    | Some s -> (s.incarnation, s.base)
+    | None -> (0, txn)
+  in
+  let lm =
+    Lock_manager.create ?timeout:config.lock_timeout
+      ~victim_pref:(victim_pref ~age) ()
+  in
+  let steps = ref 0 in
+  let restarts = ref 0 in
+  let deadlocks = ref 0 in
+  let timeouts = ref 0 in
+  let wasted = ref 0 in
+  let committed = ref 0 in
+  let stopped = ref false in
+  (* unique written values make the log's committed projection sharp *)
+  let next_value = ref 0 in
+  let ensure_started slot =
+    match slot.txn with
+    | Some id -> id
+    | None ->
+        let id = Engine.begin_txn eng in
+        slot.txn <- Some id;
+        Hashtbl.replace by_txn id slot;
+        id
+  in
+  let retire slot id =
+    Lock_manager.release_all lm ~txn:id;
+    Hashtbl.remove by_txn id;
+    slot.txn <- None
+  in
+  let restart slot why =
+    (match slot.txn with
+    | Some id ->
+        Engine.abort eng ~txn:id;
+        retire slot id
+    | None -> ());
+    incr restarts;
+    (match why with
+    | `Deadlock -> incr deadlocks
+    | `Timeout -> incr timeouts);
+    wasted := !wasted + slot.pc;
+    slot.pc <- 0;
+    slot.incarnation <- slot.incarnation + 1;
+    (* bounded exponential backoff + seeded jitter, as Simulation does *)
+    let window = min config.max_backoff (1 lsl min 6 slot.incarnation) in
+    slot.delay <- 1 + Support.Rng.int rng window
+  in
+  let restart_txn victim why =
+    match Hashtbl.find_opt by_txn victim with
+    | Some slot -> restart slot why
+    | None -> ()  (* already gone (raced with its own restart) *)
+  in
+  let commit_slot slot id =
+    match Engine.commit eng ~txn:id with
+    | () ->
+        retire slot id;
+        slot.finished <- true;
+        incr committed
+    | exception Engine.Read_only _ ->
+        (* in doubt: leave the transaction active; restart recovery will
+           abort it.  Nothing more can commit — stop the run. *)
+        stopped := true
+  in
+  let attempt slot =
+    incr steps;
+    let id = ensure_started slot in
+    if slot.pc >= Array.length slot.program then commit_slot slot id
+    else
+      match slot.program.(slot.pc) with
+      | Schedule.Commit -> commit_slot slot id
+      | Schedule.Abort ->
+          Engine.abort eng ~txn:id;
+          retire slot id;
+          slot.finished <- true
+      | (Schedule.Read item | Schedule.Write item) as op -> (
+          let mode =
+            match op with
+            | Schedule.Read _ -> Lock_manager.Shared
+            | _ -> Lock_manager.Exclusive
+          in
+          match Lock_manager.acquire lm ~txn:id ~item mode with
+          | Lock_manager.Granted -> (
+              (match op with
+              | Schedule.Read _ -> ignore (Engine.read eng item : int)
+              | _ ->
+                  incr next_value;
+                  Engine.write eng ~txn:id item !next_value);
+              slot.pc <- slot.pc + 1)
+          | Lock_manager.Blocked -> ()
+          | Lock_manager.Deadlock { victim; _ } -> restart_txn victim `Deadlock)
+  in
+  let all_done () = Array.for_all (fun s -> s.finished) slots in
+  (try
+     while (not (all_done ())) && (not !stopped) && !steps < config.max_steps do
+       Array.iter
+         (fun slot ->
+           if (not slot.finished) && not !stopped then
+             if slot.delay > 0 then slot.delay <- slot.delay - 1
+             else
+               try attempt slot
+               with Engine.Read_only _ -> stopped := true)
+         slots;
+       if not !stopped then
+         List.iter (fun t -> restart_txn t `Timeout) (Lock_manager.tick lm)
+     done
+   with Fault.Crash _ -> Engine.crash eng);
+  {
+    committed = !committed;
+    restarts = !restarts;
+    deadlocks = !deadlocks;
+    timeouts = !timeouts;
+    steps = !steps;
+    wasted_ops = !wasted;
+    repairs = Engine.repairs eng;
+    io_retries = Engine.io_retries eng;
+    degraded = Engine.read_only eng;
+    crashed = Fault.crashed_at (Engine.fault eng);
+  }
+
+let model_divergence ~path =
+  let entries = Wal.read_entries (Engine.wal_path path) in
+  let model_log =
+    Wal.to_model (List.map (fun e -> e.Wal.record) entries)
+  in
+  let expected =
+    Transactions.Recovery.committed_state model_log
+    |> List.filter (fun (_, v) -> v <> 0)
+    |> List.sort compare
+  in
+  let eng = Engine.open_db path in
+  let actual = Engine.items eng in
+  Engine.close eng;
+  if expected = actual then None else Some (expected, actual)

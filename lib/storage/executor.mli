@@ -1,0 +1,68 @@
+(** The fault-tolerant concurrent transaction executor: runs interleaved
+    {!Transactions.Workload} programs against a persistent {!Engine}
+    under SS2PL — shared locks for reads, exclusive for writes, all held
+    to commit/abort via {!Lock_manager}.
+
+    The driver is the same single-threaded round-robin scheduler as
+    {!Transactions.Simulation}: each live transaction attempts one step
+    per round, blocked transactions re-issue their lock request, and
+    deadlock/timeout victims are aborted and restarted under a fresh
+    engine transaction id with bounded exponential backoff plus
+    deterministic (seeded) jitter.  The victim policy mirrors
+    [Simulation.break_deadlock]: prefer to keep the transaction with the
+    most restarts behind it (highest incarnation, ties to the lowest
+    program index) and abort the rest — {!victim_pref} is the pure
+    pairwise form, cross-checked against the simulation in the tests.
+
+    Faults: an injected crash ({!Fault.Crash}) abandons the engine and
+    is reported in the stats; an unflushable WAL degrades the engine to
+    read-only, the executor stops, and unresolved transactions are left
+    in doubt (restart recovery aborts them); CRC-corrupt pages are
+    repaired inside the engine without the executor noticing (beyond the
+    repair counter). *)
+
+type config = {
+  max_steps : int;  (** livelock bound on total operation attempts *)
+  max_backoff : int;  (** cap on the backoff window, in rounds *)
+  lock_timeout : int option;  (** lock-wait timeout in rounds, if any *)
+  seed : int;  (** jitter RNG seed *)
+}
+
+val default_config : config
+(** max_steps 200_000, max_backoff 64, lock_timeout None, seed 0. *)
+
+type stats = {
+  committed : int;
+  restarts : int;  (** victim aborts (deadlock + timeout) *)
+  deadlocks : int;  (** restarts caused by waits-for cycles *)
+  timeouts : int;  (** restarts caused by lock-wait timeout *)
+  steps : int;  (** operation attempts, a proxy for time *)
+  wasted_ops : int;  (** operations re-executed after restarts *)
+  repairs : int;  (** engine quarantine-and-repair events *)
+  io_retries : int;  (** transient-EIO retries that succeeded *)
+  degraded : bool;  (** the engine went read-only under the run *)
+  crashed : Fault.crash_info option;  (** an injected crash fired *)
+}
+
+val run : ?config:config -> Engine.t -> Transactions.Simulation.spec array -> stats
+(** Execute the programs to completion (or crash/degradation/step
+    bound).  Written values are drawn from a per-run counter so every
+    write is distinguishable in the log — which is what makes the
+    {!model_divergence} check sharp.  On {!Fault.Crash} the engine is
+    abandoned ({!Engine.crash}) before returning. *)
+
+val throughput : stats -> float
+(** committed / steps. *)
+
+val victim_pref :
+  age:(int -> int * int) -> int -> int -> int
+(** [victim_pref ~age a b] is the transaction to abort, where [age txn]
+    gives (incarnation, program index).  Mirrors
+    [Simulation.break_deadlock]'s survivor choice: the higher
+    incarnation survives, ties broken towards the lower index. *)
+
+val model_divergence : path:string -> ((string * int) list * (string * int) list) option
+(** Reopen the database at [path] (running recovery/repair) and compare
+    its committed items against {!Transactions.Recovery.committed_state}
+    of the surviving log's model image: [None] when they agree,
+    [Some (expected, actual)] otherwise.  The engine must be closed. *)

@@ -1,8 +1,122 @@
 exception Crash of string
+exception Io_error of string
 
-type t = { mutable budget : int option; mutable crashed_at : string option }
+type crash_info = { site : string; io_index : int }
 
-let create () = { budget = None; crashed_at = None }
+(* --- specs: the --faults mini-language ---------------------------------- *)
+
+type rule = { scope : string option; prob : float }
+
+type spec = {
+  crash_after : int option;
+  torn : rule list;
+  flip : rule list;
+  eio : rule list;
+  seed : int option;
+}
+
+let no_faults = { crash_after = None; torn = []; flip = []; eio = []; seed = None }
+
+let usage =
+  "expected a comma-separated fault spec: crash=N, seed=N, and/or \
+   torn|flip|eio[@site]=PROB (e.g. 'crash=7,torn=0.1,eio@read=0.3')"
+
+let spec_of_string s =
+  let fail () = invalid_arg (Printf.sprintf "%s; got %S" usage s) in
+  let parse_clause spec clause =
+    match String.index_opt clause '=' with
+    | None -> fail ()
+    | Some i -> (
+        let key = String.sub clause 0 i in
+        let v = String.sub clause (i + 1) (String.length clause - i - 1) in
+        let kind, scope =
+          match String.index_opt key '@' with
+          | None -> (key, None)
+          | Some j ->
+              let site = String.sub key (j + 1) (String.length key - j - 1) in
+              if site = "" then fail ();
+              (String.sub key 0 j, Some site)
+        in
+        let prob () =
+          match float_of_string_opt v with
+          | Some p when p >= 0. && p <= 1. -> p
+          | _ -> fail ()
+        in
+        let int () =
+          match int_of_string_opt v with Some n when n >= 0 -> n | _ -> fail ()
+        in
+        match kind with
+        | "crash" ->
+            if scope <> None then fail ();
+            { spec with crash_after = Some (int ()) }
+        | "seed" ->
+            if scope <> None then fail ();
+            { spec with seed = Some (int ()) }
+        | "torn" -> { spec with torn = spec.torn @ [ { scope; prob = prob () } ] }
+        | "flip" -> { spec with flip = spec.flip @ [ { scope; prob = prob () } ] }
+        | "eio" -> { spec with eio = spec.eio @ [ { scope; prob = prob () } ] }
+        | _ -> fail ())
+  in
+  String.split_on_char ',' s
+  |> List.filter (fun c -> String.trim c <> "")
+  |> List.map String.trim
+  |> List.fold_left parse_clause no_faults
+
+let spec_to_string spec =
+  let rules kind l =
+    List.map
+      (fun { scope; prob } ->
+        match scope with
+        | None -> Printf.sprintf "%s=%g" kind prob
+        | Some s -> Printf.sprintf "%s@%s=%g" kind s prob)
+      l
+  in
+  let clauses =
+    (match spec.crash_after with
+    | Some n -> [ Printf.sprintf "crash=%d" n ]
+    | None -> [])
+    @ rules "torn" spec.torn @ rules "flip" spec.flip @ rules "eio" spec.eio
+    @ (match spec.seed with Some n -> [ Printf.sprintf "seed=%d" n ] | None -> [])
+  in
+  String.concat "," clauses
+
+(* --- the injector -------------------------------------------------------- *)
+
+type counts = { torn : int; flips : int; eios : int }
+
+type t = {
+  mutable budget : int option;
+  mutable crashed : crash_info option;
+  mutable ios : int;
+  mutable rng : Support.Rng.t;
+  mutable torn_rules : rule list;
+  mutable flip_rules : rule list;
+  mutable eio_rules : rule list;
+  mutable torn_count : int;
+  mutable flip_count : int;
+  mutable eio_count : int;
+}
+
+let create () =
+  {
+    budget = None;
+    crashed = None;
+    ios = 0;
+    rng = Support.Rng.create 0;
+    torn_rules = [];
+    flip_rules = [];
+    eio_rules = [];
+    torn_count = 0;
+    flip_count = 0;
+    eio_count = 0;
+  }
+
+let configure t spec =
+  t.budget <- spec.crash_after;
+  t.torn_rules <- spec.torn;
+  t.flip_rules <- spec.flip;
+  t.eio_rules <- spec.eio;
+  t.rng <- Support.Rng.create (match spec.seed with Some s -> s | None -> 0)
 
 let arm t n =
   if n < 0 then invalid_arg "Fault.arm: negative budget";
@@ -10,14 +124,58 @@ let arm t n =
 
 let disarm t = t.budget <- None
 let armed t = t.budget <> None
-let crashed_at t = t.crashed_at
+let crashed_at t = t.crashed
+let io_index t = t.ios
 
 let io t ~at ~on_crash =
   match t.budget with
-  | None -> ()
-  | Some n when n > 0 -> t.budget <- Some (n - 1)
+  | None -> t.ios <- t.ios + 1
+  | Some n when n > 0 ->
+      t.budget <- Some (n - 1);
+      t.ios <- t.ios + 1
   | Some _ ->
       t.budget <- None;
-      t.crashed_at <- Some at;
+      (* the uniform payload: every site records where and when *)
+      t.crashed <- Some { site = at; io_index = t.ios };
       on_crash ();
       raise (Crash at)
+
+(* A site-scoped probability: the strongest matching rule wins. *)
+let prob rules ~at =
+  List.fold_left
+    (fun acc { scope; prob } ->
+      let matches =
+        match scope with
+        | None -> true
+        | Some s ->
+            let ls = String.length s and lat = String.length at in
+            let rec scan i =
+              i + ls <= lat && (String.sub at i ls = s || scan (i + 1))
+            in
+            scan 0
+      in
+      if matches then Float.max acc prob else acc)
+    0. rules
+
+let draw t rules ~at =
+  let p = prob rules ~at in
+  p > 0. && Support.Rng.float t.rng 1.0 < p
+
+let torn_write t ~at =
+  let fires = draw t t.torn_rules ~at in
+  if fires then t.torn_count <- t.torn_count + 1;
+  fires
+
+let bit_flip t ~at ~len =
+  if len > 0 && draw t t.flip_rules ~at then begin
+    t.flip_count <- t.flip_count + 1;
+    Some (Support.Rng.int t.rng (len * 8))
+  end
+  else None
+
+let transient t ~at =
+  let fires = draw t t.eio_rules ~at in
+  if fires then t.eio_count <- t.eio_count + 1;
+  fires
+
+let counts t = { torn = t.torn_count; flips = t.flip_count; eios = t.eio_count }

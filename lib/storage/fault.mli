@@ -1,29 +1,106 @@
-(** Crash injection for the storage engine.
+(** Fault injection for the storage engine: a taxonomy of disk failures.
 
-    Every durable I/O (WAL flush, page write, header write) consumes one
-    unit of an optional budget; when the budget is exhausted the I/O runs
-    its [on_crash] action (e.g. writing a torn prefix of a WAL flush) and
-    raises {!Crash}.  Tests iterate the budget over every I/O index of a
-    workload and assert the recovery invariant at each crash point. *)
+    Every durable I/O names its {e site} (e.g. ["wal flush"], ["page 3
+    write"], ["pager fsync"], ["page read"]) and consults this module
+    before touching the file.  Four fault kinds are modelled:
+
+    - {e crash} — the process dies at the [n]-th durable I/O (a budget,
+      as before).  Every site records a uniform {!crash_info} payload
+      and simulates its partial effect (a torn prefix for WAL flushes
+      and page writes; lost unsynced write-tails for a crashed fsync).
+    - {e torn write} — a page or WAL write silently loses its tail half
+      (power blip inside the drive); detected later by CRC.
+    - {e bit flip} — one random bit of the written image is corrupted
+      in flight; detected later by CRC.
+    - {e transient EIO} — a read or fsync fails with a retryable I/O
+      error; callers retry with bounded backoff and raise {!Io_error}
+      only when the budgeted retries are exhausted.
+
+    The probabilistic kinds fire per-site under a seeded RNG, so every
+    fault run is reproducible from its printed seed.  Specs are written
+    in a small language (see {!spec_of_string}):
+
+    {v crash=7,torn=0.1,flip@page=0.02,eio@read=0.3,seed=42 v}
+
+    where [kind@site=p] scopes the probability to sites containing the
+    substring [site], and an unscoped [kind=p] applies everywhere. *)
 
 exception Crash of string
 (** The argument names the I/O that was killed, e.g. ["wal flush"]. *)
+
+exception Io_error of string
+(** A transient I/O error that survived every retry (names the site). *)
+
+type crash_info = { site : string; io_index : int }
+(** The uniform payload recorded at the moment an injected crash fires:
+    which site, and how many durable I/Os had succeeded before it. *)
+
+(* --- specs: the --faults mini-language ---------------------------------- *)
+
+type rule = { scope : string option; prob : float }
+(** [scope = None] matches every site; [Some s] matches sites whose
+    name contains [s] as a substring. *)
+
+type spec = {
+  crash_after : int option;  (** crash budget: this many I/Os succeed *)
+  torn : rule list;
+  flip : rule list;
+  eio : rule list;
+  seed : int option;  (** RNG seed for the probabilistic draws *)
+}
+
+val no_faults : spec
+
+val spec_of_string : string -> spec
+(** Parse the mini-language; raises [Invalid_argument] with a usage
+    message on malformed input. *)
+
+val spec_to_string : spec -> string
+(** Round-trips through {!spec_of_string}. *)
+
+(* --- the injector -------------------------------------------------------- *)
 
 type t
 
 val create : unit -> t
 (** Unarmed: all I/O proceeds normally. *)
 
+val configure : t -> spec -> unit
+(** Install a spec (crash budget, probabilities, RNG seed). *)
+
 val arm : t -> int -> unit
-(** [arm t n]: the next [n] I/Os succeed, the one after crashes. *)
+(** [arm t n]: the next [n] I/Os succeed, the one after crashes.
+    Equivalent to configuring [{no_faults with crash_after = Some n}]
+    without touching the probabilistic rules. *)
 
 val disarm : t -> unit
 val armed : t -> bool
 
-val crashed_at : t -> string option
+val crashed_at : t -> crash_info option
 (** Where the injected crash fired, once it has. *)
 
 val io : t -> at:string -> on_crash:(unit -> unit) -> unit
-(** Account one I/O.  Raises {!Crash} (after running [on_crash]) when the
-    budget is exhausted; otherwise returns unit and the caller performs
-    the real I/O. *)
+(** Account one durable I/O against the crash budget.  When the budget
+    is exhausted: records the uniform {!crash_info} payload, runs
+    [on_crash] (the site's partial-effect simulation), and raises
+    {!Crash}.  Otherwise returns unit and the caller performs the real
+    I/O. *)
+
+val io_index : t -> int
+(** Durable I/Os accounted so far. *)
+
+val torn_write : t -> at:string -> bool
+(** Should this write lose its tail?  (Counted when it fires.) *)
+
+val bit_flip : t -> at:string -> len:int -> int option
+(** Should this [len]-byte image be corrupted?  [Some bit_index] when
+    the fault fires (the caller flips that bit in a copy). *)
+
+val transient : t -> at:string -> bool
+(** Should this read/fsync attempt fail with a transient error?  Each
+    retry draws afresh, so with p < 1 retries eventually succeed. *)
+
+type counts = { torn : int; flips : int; eios : int }
+
+val counts : t -> counts
+(** How many probabilistic faults actually fired. *)

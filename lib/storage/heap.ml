@@ -51,7 +51,15 @@ module Chain = struct
   let fresh_page c =
     let pager = Buffer_pool.pager c.pool in
     let id = Pager.allocate pager ~kind:c.kind in
-    Buffer_pool.adopt c.pool id (Pager.read_page pager id);
+    (* adopt the known-good in-memory image rather than reading back what
+       allocate just wrote: the disk copy may be torn or bit-flipped under
+       fault injection, and re-reading it would turn a write fault into an
+       instant CRC failure — including inside the repair rebuild itself.
+       Dirty-marking makes the next flush overwrite the suspect image. *)
+    let page = Page.init ~kind:c.kind in
+    Page.seal page;
+    Buffer_pool.adopt c.pool id page;
+    Buffer_pool.mark_dirty c.pool id;
     id
 
   let force c =
@@ -169,6 +177,22 @@ module Items = struct
            match get t item with 0 -> None | v -> Some (item, v))
 
   let count t = Hashtbl.length t.dir
+
+  (* (page id, page LSN) down the chain — the engine compares these
+     against the surviving log's end to spot stolen pages whose log
+     records were lost (a corrupted WAL frame truncates the scan). *)
+  let page_lsns t =
+    let out = ref [] in
+    let id = ref t.chain.Chain.first in
+    while !id <> 0 do
+      let next =
+        Buffer_pool.with_page t.pool !id (fun p ->
+            out := (!id, Page.lsn p) :: !out;
+            Page.next p)
+      in
+      id := next
+    done;
+    List.rev !out
 end
 
 (* --- relations ----------------------------------------------------------- *)

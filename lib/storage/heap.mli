@@ -37,6 +37,11 @@ module Items : sig
       absent item yields 0, matching {!Transactions.Recovery.read}). *)
 
   val count : t -> int
+
+  val page_lsns : t -> (int * int) list
+  (** (page id, page LSN) down the item chain, in chain order — the
+      engine compares these against the surviving log's end to spot
+      stolen pages whose log records were lost. *)
 end
 
 val save_relation : Buffer_pool.t -> Relational.Relation.t -> int

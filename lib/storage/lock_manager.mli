@@ -1,0 +1,78 @@
+(** A real lock manager for the executor: shared/exclusive modes, FIFO
+    wait queues per item, a waits-for graph with cycle detection, and
+    victim selection mirroring {!Transactions.Simulation}'s deadlock
+    policy so the two layers can be cross-checked.
+
+    The manager is passive bookkeeping: {!acquire} never blocks the
+    caller (the executor is a single-threaded round-robin scheduler, as
+    [Simulation] is); a request that cannot be granted is queued and the
+    caller re-issues it on its next turn.  Grant order is strictly FIFO
+    per item — a shared request queues behind an earlier exclusive
+    waiter even when it is compatible with the holders, preventing
+    writer starvation.  The one exception is the classic upgrade rule: a
+    sole holder of a shared lock upgrades to exclusive immediately.
+
+    Deadlocks: whenever a request blocks, the waits-for graph (edges
+    from each waiter to the conflicting holders and conflicting earlier
+    waiters of its item) is checked for a cycle; if one exists the
+    victim is chosen by folding [victim_pref] over the cycle.  The
+    manager only {e reports} the victim — the caller aborts it and then
+    calls {!release_all}.
+
+    Timeouts: the manager counts scheduler ticks ({!tick}); a request
+    waiting longer than [timeout] ticks is reported expired (lock-wait
+    timeout), the blunt fallback for deadlocks that cycle detection
+    already catches and for starvation that FIFO already prevents —
+    kept configurable because real systems keep both. *)
+
+type mode = Shared | Exclusive
+
+type outcome =
+  | Granted
+  | Blocked
+  | Deadlock of { victim : int; cycle : int list }
+      (** A waits-for cycle exists; [cycle] lists its transactions and
+          [victim] is the one [victim_pref] condemns.  The requester
+          stays queued unless it is itself the victim. *)
+
+type t
+
+val create : ?timeout:int -> ?victim_pref:(int -> int -> int) -> unit -> t
+(** [victim_pref a b] returns the transaction to abort if the choice is
+    between [a] and [b]; the default prefers the larger id (the
+    youngest, under sequential id assignment).  [timeout] is in
+    {!tick}s; omitted = no lock-wait timeout. *)
+
+val acquire : t -> txn:int -> item:string -> mode -> outcome
+(** Idempotent: re-issuing a queued request re-checks grantability (and
+    deadlock) without re-queueing.  A holder re-requesting a mode its
+    current lock covers gets [Granted] immediately. *)
+
+val release_all : t -> txn:int -> unit
+(** Drop every lock and queued request of [txn] (commit, abort, or
+    victim death), then grant whatever the departures unblocked. *)
+
+val tick : t -> int list
+(** Advance the wait clock; returns the transactions whose oldest
+    queued request has now waited longer than the configured timeout
+    (empty when no timeout is set).  The caller aborts them. *)
+
+val holders : t -> item:string -> (int * mode) list
+val waiters : t -> item:string -> (int * mode) list
+(** Queued requests in FIFO order. *)
+
+val holds : t -> txn:int -> item:string -> mode option
+
+val waits_for : t -> (int * int) list
+(** The current waits-for edges (waiter, holder-or-earlier-waiter),
+    deduplicated — exposed for the QCheck cross-check against
+    {!find_cycle}. *)
+
+val find_cycle : (int * int) list -> int list option
+(** Pure cycle finder over an edge list, exposed for property tests:
+    [Some [t1; ...; tn]] where each [ti] waits for [t(i+1)] and [tn]
+    waits for [t1]. *)
+
+val no_conflicts : t -> bool
+(** Invariant: for every item, the holders are one exclusive or all
+    shared, and no transaction holds an item twice. *)

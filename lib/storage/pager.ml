@@ -1,7 +1,23 @@
 (* The pager: a fixed-size-page file with a header page (magic, version,
    page count, chain roots) and CRC-checked data pages.  All I/O goes
-   through Unix file descriptors with explicit offsets; every write is a
-   fault-injection point.
+   through Unix file descriptors with explicit offsets; every write,
+   read, and fsync is a fault-injection point.
+
+   Fault discipline (see Fault):
+     - an injected crash during a data-page write leaves a torn prefix
+       (first half) of the page, like the WAL's torn-tail writer; the
+       header page is assumed sector-atomic (a real engine dual-buffers
+       it), so a crashed header write leaves the old header;
+     - an injected crash at "pager fsync" tears the tail half of a
+       random subset of the writes issued since the last successful
+       fsync — the writes the missing fsync failed to make durable;
+     - probabilistic torn writes and bit flips corrupt data pages
+       silently; they are detected by CRC on the next read, recorded in
+       [corrupt_pages], and repaired by the engine (quarantine + redo
+       from WAL);
+     - transient read/fsync EIO errors are retried with bounded
+       backoff; only an error that survives every retry escapes as
+       [Fault.Io_error].
 
    header page (page 0):
      0  u32  crc32 of bytes 4..size-1
@@ -17,6 +33,7 @@ exception Corrupt of string
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 let magic = "DBMETA1\n"
 let version = 1
+let max_retries = 8
 
 type t = {
   path : string;
@@ -25,6 +42,9 @@ type t = {
   header : Bytes.t;
   mutable writes : int;
   mutable reads : int;
+  mutable retried : int;  (* transient-EIO retries that eventually won *)
+  mutable unsynced : (int * int) list;  (* (offset, length) since last fsync *)
+  mutable corrupt_pages : int list;  (* CRC failures seen, newest first *)
 }
 
 (* --- low-level exact-offset I/O --------------------------------------- *)
@@ -55,6 +75,8 @@ let items_root t = Int32.to_int (Bytes.get_int32_le t.header 22)
 let flushed_lsn t = Int64.to_int (Bytes.get_int64_le t.header 26)
 
 let write_header t =
+  (* the header write is modelled as atomic (old header on a crash):
+     tearing it would lose the chain roots, which no log protects *)
   Fault.io t.fault ~at:"header write" ~on_crash:(fun () -> ());
   Page.seal t.header;
   really_pwrite t.fd ~off:0 t.header Page.size;
@@ -72,6 +94,19 @@ let set_flushed_lsn t l = Bytes.set_int64_le t.header 26 (Int64.of_int l)
 
 (* --- open / create ----------------------------------------------------- *)
 
+let make path fd fault header =
+  {
+    path;
+    fd;
+    fault;
+    header;
+    writes = 0;
+    reads = 0;
+    retried = 0;
+    unsynced = [];
+    corrupt_pages = [];
+  }
+
 let create ?(fault = Fault.create ()) path =
   let fd =
     Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
@@ -79,7 +114,7 @@ let create ?(fault = Fault.create ()) path =
   let header = Bytes.make Page.size '\000' in
   Bytes.blit_string magic 0 header 4 (String.length magic);
   Bytes.set_uint16_le header 12 version;
-  let t = { path; fd; fault; header; writes = 0; reads = 0 } in
+  let t = make path fd fault header in
   (try
      set_page_count t 1;
      write_header t
@@ -100,7 +135,7 @@ let open_file ?(fault = Fault.create ()) path =
     let v = Bytes.get_uint16_le header 12 in
     if v <> version then
       corrupt "%s: format version %d, expected %d" path v version;
-    { path; fd; fault; header; writes = 0; reads = 0 }
+    make path fd fault header
   with e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e
@@ -116,42 +151,97 @@ let abandon t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 let check_id t id =
   if id <= 0 || id >= page_count t then corrupt "%s: page id %d out of range" t.path id
 
+(* One transient-retry loop shared by reads and fsyncs: each attempt
+   draws afresh, so a sub-certain failure probability always yields
+   eventual success; a fault that survives every retry escapes. *)
+let with_transient_retries t ~at f =
+  let rec attempt n =
+    if Fault.transient t.fault ~at then
+      if n >= max_retries then raise (Fault.Io_error at)
+      else begin
+        t.retried <- t.retried + 1;
+        attempt (n + 1)
+      end
+    else f ()
+  in
+  attempt 0
+
 let read_page t id =
   check_id t id;
+  let at = Printf.sprintf "page %d read" id in
   let buf = Bytes.make Page.size '\000' in
-  let got = really_pread t.fd ~off:(id * Page.size) buf Page.size in
+  let got =
+    with_transient_retries t ~at (fun () ->
+        really_pread t.fd ~off:(id * Page.size) buf Page.size)
+  in
   if got <> Page.size then corrupt "%s: page %d truncated" t.path id;
-  if not (Page.check buf) then corrupt "%s: page %d CRC mismatch" t.path id;
+  if not (Page.check buf) then begin
+    t.corrupt_pages <- id :: t.corrupt_pages;
+    corrupt "%s: page %d CRC mismatch" t.path id
+  end;
   t.reads <- t.reads + 1;
   buf
 
+(* Write a sealed page image, injecting the probabilistic disk faults:
+   a torn write loses the tail half silently; a bit flip corrupts one
+   bit of the on-disk image (the in-memory page stays intact).  Both
+   are detected by CRC on the next read of the page. *)
+let write_image t ~at ~off page =
+  let image =
+    match Fault.bit_flip t.fault ~at ~len:Page.size with
+    | None -> page
+    | Some bit ->
+        let dirty = Bytes.copy page in
+        let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+        Bytes.set_uint8 dirty byte (Bytes.get_uint8 dirty byte lxor mask);
+        dirty
+  in
+  if Fault.torn_write t.fault ~at then
+    really_pwrite t.fd ~off image (Page.size / 2)
+  else really_pwrite t.fd ~off image Page.size;
+  t.unsynced <- (off, Page.size) :: t.unsynced;
+  t.writes <- t.writes + 1
+
 let write_page t id page =
   check_id t id;
-  Fault.io t.fault
-    ~at:(Printf.sprintf "page %d write" id)
-    ~on_crash:(fun () -> ());
+  let at = Printf.sprintf "page %d write" id in
   Page.seal page;
-  really_pwrite t.fd ~off:(id * Page.size) page Page.size;
-  t.writes <- t.writes + 1
+  (* a crash mid-write leaves a torn prefix of the new image *)
+  Fault.io t.fault ~at ~on_crash:(fun () ->
+      really_pwrite t.fd ~off:(id * Page.size) page (Page.size / 2));
+  write_image t ~at ~off:(id * Page.size) page
 
 let allocate t ~kind =
   let id = page_count t in
   set_page_count t (id + 1);
   let page = Page.init ~kind in
+  let at = Printf.sprintf "page %d allocate" id in
   (* order matters: the page must exist before the header admits it *)
-  Fault.io t.fault
-    ~at:(Printf.sprintf "page %d allocate" id)
-    ~on_crash:(fun () -> ());
   Page.seal page;
-  really_pwrite t.fd ~off:(id * Page.size) page Page.size;
-  t.writes <- t.writes + 1;
+  Fault.io t.fault ~at ~on_crash:(fun () ->
+      really_pwrite t.fd ~off:(id * Page.size) page (Page.size / 2));
+  write_image t ~at ~off:(id * Page.size) page;
   write_header t;
   id
 
 let sync t =
-  Fault.io t.fault ~at:"pager fsync" ~on_crash:(fun () -> ());
-  Unix.fsync t.fd
+  (* a crash at the fsync loses the durability of the writes since the
+     last sync: each such write keeps its head but may lose its tail
+     half — the classic partially-persisted page-cache state *)
+  Fault.io t.fault ~at:"pager fsync" ~on_crash:(fun () ->
+      List.iter
+        (fun (off, len) ->
+          if off > 0 && Fault.torn_write t.fault ~at:"pager fsync" then begin
+            let half = len / 2 in
+            really_pwrite t.fd ~off:(off + half) (Bytes.make half '\000') half
+          end)
+        t.unsynced);
+  with_transient_retries t ~at:"pager fsync" (fun () -> Unix.fsync t.fd);
+  t.unsynced <- []
 
 let fault t = t.fault
 let path t = t.path
 let io_counts t = (t.reads, t.writes)
+let retries t = t.retried
+let corrupt_pages t = List.sort_uniq Int.compare t.corrupt_pages
+let forget_corrupt t = t.corrupt_pages <- []

@@ -4,7 +4,11 @@
 
     Page id 0 is the header and is not directly readable; data pages are
     allocated sequentially (no free list yet — see DESIGN.md).  Every
-    write and fsync is a {!Fault} injection point. *)
+    write, read, and fsync is a {!Fault} injection point: crashes leave
+    torn prefixes (and a crashed fsync tears the tail of unsynced
+    writes), probabilistic torn writes/bit flips corrupt pages silently
+    until CRC catches them, and transient EIO faults are retried with a
+    bounded budget before escaping as {!Fault.Io_error}. *)
 
 exception Corrupt of string
 (** Bad magic, version mismatch, short read, CRC mismatch, or an
@@ -34,13 +38,19 @@ val allocate : t -> kind:int -> int
     leaves a consistent file. *)
 
 val read_page : t -> int -> Page.t
-(** Raises {!Corrupt} on CRC mismatch. *)
+(** Raises {!Corrupt} on CRC mismatch (the page id is also recorded in
+    {!corrupt_pages} so the engine can quarantine it); transient read
+    faults are retried, raising {!Fault.Io_error} only when every retry
+    fails. *)
 
 val write_page : t -> int -> Page.t -> unit
 (** Seals (checksums) and writes the page. *)
 
 val sync : t -> unit
-(** fsync the file — a fault-injection point like every write. *)
+(** fsync the file — a fault-injection point like every write.  An
+    injected crash here tears the tail half of a random subset of the
+    writes since the last successful sync (their durability is exactly
+    what the lost fsync would have bought). *)
 
 val catalog_root : t -> int
 val set_catalog_root : t -> int -> unit
@@ -60,3 +70,14 @@ val path : t -> string
 val io_counts : t -> int * int
 (** (page reads, page writes) since open — observability for [db status]
     and the storage bench. *)
+
+val retries : t -> int
+(** Transient-EIO retries that eventually succeeded. *)
+
+val corrupt_pages : t -> int list
+(** Page ids that failed their CRC since open (or since
+    {!forget_corrupt}), sorted, deduplicated — the engine's quarantine
+    list. *)
+
+val forget_corrupt : t -> unit
+(** Clear {!corrupt_pages} after a repair has rebuilt past them. *)

@@ -141,7 +141,10 @@ type t = {
   mutable durable : int;  (* bytes on disk *)
   mutable appends : int;
   mutable flushes : int;
+  mutable retried : int;  (* transient-EIO retries that eventually won *)
 }
+
+let max_retries = 8
 
 let really_write fd s pos len =
   let written = ref 0 in
@@ -166,6 +169,7 @@ let open_log ?(fault = Fault.create ()) path =
       durable = clean;
       appends = 0;
       flushes = 0;
+      retried = 0;
     },
     entries )
 
@@ -178,6 +182,21 @@ let append t record =
 let next_lsn t = t.durable + Buffer.length t.pending
 let durable_lsn t = t.durable
 
+(* Each retry draws afresh, so a sub-certain failure probability always
+   yields eventual success; a fault surviving every retry escapes as
+   [Fault.Io_error] — the engine then degrades to read-only. *)
+let with_transient_retries t ~at f =
+  let rec attempt n =
+    if Fault.transient t.fault ~at then
+      if n >= max_retries then raise (Fault.Io_error at)
+      else begin
+        t.retried <- t.retried + 1;
+        attempt (n + 1)
+      end
+    else f ()
+  in
+  attempt 0
+
 let flush t =
   if Buffer.length t.pending > 0 then begin
     let data = Buffer.contents t.pending
@@ -185,8 +204,39 @@ let flush t =
     Fault.io t.fault ~at:"wal flush" ~on_crash:(fun () ->
         (* the torn tail: half the pending bytes reach the platter *)
         really_write t.fd data 0 (len / 2));
-    really_write t.fd data 0 len;
-    Unix.fsync t.fd;
+    let data =
+      match Fault.bit_flip t.fault ~at:"wal flush" ~len with
+      | None -> data
+      | Some bit ->
+          (* one bit of the flushed image corrupted in flight: the frame
+             fails its CRC at the next open, truncating the log there —
+             stolen pages carrying lost-suffix LSNs are then quarantined
+             and rebuilt by the engine *)
+          let dirty = Bytes.of_string data in
+          let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+          Bytes.set_uint8 dirty byte (Bytes.get_uint8 dirty byte lxor mask);
+          Bytes.unsafe_to_string dirty
+    in
+    if Fault.torn_write t.fault ~at:"wal flush" then begin
+      (* a silent torn write: the tail half never reaches the platter.
+         The hole reads back as zeros, so the next open stops its scan
+         there and the log's suffix is lost. *)
+      really_write t.fd data 0 (len / 2);
+      ignore (Unix.lseek t.fd (t.durable + len) Unix.SEEK_SET)
+    end
+    else really_write t.fd data 0 len;
+    (match with_transient_retries t ~at:"wal fsync" (fun () -> Unix.fsync t.fd) with
+    | () -> ()
+    | exception (Fault.Io_error _ as e) ->
+        (* after a failed fsync the written bytes must be treated as
+           lost, not merely unconfirmed (the fsyncgate lesson): truncate
+           back to the durable prefix so the records we are about to
+           report as non-durable cannot silently resurface as winners at
+           the next open, and rewind so a later retry of the whole flush
+           rewrites in place instead of appending a duplicate image *)
+        Unix.ftruncate t.fd t.durable;
+        ignore (Unix.lseek t.fd t.durable Unix.SEEK_SET);
+        raise e);
     t.durable <- t.durable + len;
     Buffer.clear t.pending;
     t.flushes <- t.flushes + 1
@@ -201,6 +251,7 @@ let close t =
 let abandon t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let stats t = (t.appends, t.flushes, t.durable)
+let retries t = t.retried
 let path t = t.path
 
 let read_entries path =

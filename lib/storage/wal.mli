@@ -34,7 +34,12 @@ val append : t -> record -> int
 (** Buffer a record; returns its LSN.  Not durable until {!flush}. *)
 
 val flush : t -> unit
-(** Write + fsync everything pending — a fault-injection point. *)
+(** Write + fsync everything pending — a fault-injection point: an
+    injected crash tears the pending bytes' tail, probabilistic torn
+    writes/bit flips corrupt the flushed image silently (detected by the
+    next open's scan, which truncates the log there), and transient
+    fsync faults are retried with a bounded budget before escaping as
+    {!Fault.Io_error} (the engine then degrades to read-only). *)
 
 val flush_to : t -> int -> unit
 (** Ensure durability up to (and including) the given LSN — the
@@ -50,6 +55,9 @@ val abandon : t -> unit
 
 val stats : t -> int * int * int
 (** (appends, flushes, durable bytes). *)
+
+val retries : t -> int
+(** Transient-EIO retries that eventually succeeded. *)
 
 val path : t -> string
 

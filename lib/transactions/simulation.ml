@@ -32,7 +32,7 @@ type txn_state = {
   mutable delay : int;  (* rounds to sit out after a restart (backoff) *)
 }
 
-let run ?(max_steps = 200_000) (protocol : Protocol.t) specs =
+let run ?(max_steps = 200_000) ?rng (protocol : Protocol.t) specs =
   let states =
     Array.mapi
       (fun i spec ->
@@ -67,10 +67,16 @@ let run ?(max_steps = 200_000) (protocol : Protocol.t) specs =
     st.pc <- 0;
     st.blocked <- false;
     (* jittered exponential backoff: symmetric deterministic backoffs can
-       recreate the same deadlock cycle forever, so the jitter (a hash of
-       the transaction and its incarnation) breaks the symmetry *)
+       recreate the same deadlock cycle forever, so the jitter breaks the
+       symmetry.  With a seeded [rng] the jitter is reproducible from the
+       seed; without one it falls back to hashing the transaction and its
+       incarnation (deterministic per schedule, as before) *)
     let window = min 64 (1 lsl min 6 st.incarnation) in
-    let jitter = Hashtbl.hash (st.base, st.incarnation) mod window in
+    let jitter =
+      match rng with
+      | Some r -> Support.Rng.int r window
+      | None -> Hashtbl.hash (st.base, st.incarnation) mod window
+    in
     st.delay <- 1 + jitter;
     start st
   in

@@ -19,10 +19,12 @@ type stats = {
   history : Schedule.t;  (** as recorded by the protocol *)
 }
 
-val run : ?max_steps:int -> Protocol.t -> spec array -> stats
+val run : ?max_steps:int -> ?rng:Support.Rng.t -> Protocol.t -> spec array -> stats
 (** Round-robin driver.  When every live transaction is blocked, the
     youngest blocked one is aborted and restarted (deadlock victim).
-    [max_steps] (default 1_000_000) bounds livelock. *)
+    [max_steps] (default 1_000_000) bounds livelock.  [rng] seeds the
+    restart-backoff jitter, making runs reproducible from a seed;
+    without it the jitter hashes (transaction, incarnation) as before. *)
 
 val throughput : stats -> float
 (** committed / steps. *)

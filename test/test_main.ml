@@ -17,4 +17,5 @@ let () =
       ("storage", Test_storage.suite);
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
+      ("executor", Test_executor.suite);
     ]
