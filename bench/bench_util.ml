@@ -43,20 +43,51 @@ let recorded : (string * float * string) list ref = ref []
 let record ~metric ?(unit = "ms") value =
   recorded := (metric, value, unit) :: !recorded
 
+(* A target that wants its observability counters embedded in the JSON
+   dump installs a live registry here (see [fresh_registry]); everything
+   else inherits the shared noop and pays nothing. *)
+let registry : Obs.Registry.t ref = ref Obs.Registry.noop
+
+let fresh_registry () =
+  registry := Obs.Registry.create ();
+  !registry
+
+(* JSON numbers: [%g] would happily print [nan]/[inf], which are not
+   JSON; a metric that isn't a finite number serializes as null. *)
+let json_number x = if Float.is_finite x then Printf.sprintf "%g" x else "null"
+
 let flush_json target =
-  let metrics = List.rev !recorded in
+  (* stable order: sort by metric name (insertion order for duplicates)
+     so dumps from two runs diff cleanly *)
+  let metrics =
+    List.stable_sort
+      (fun (a, _, _) (b, _, _) -> String.compare a b)
+      (List.rev !recorded)
+  in
   recorded := [];
+  let reg = !registry in
+  registry := Obs.Registry.noop;
   if !json_mode then begin
     let buf = Buffer.create 256 in
-    Printf.bprintf buf "{\n  \"target\": %S,\n  \"metrics\": [" target;
+    Printf.bprintf buf "{\n  \"target\": %s,\n  \"metrics\": ["
+      (Obs.Json.quote target);
     List.iteri
       (fun i (metric, value, unit) ->
-        Printf.bprintf buf "%s\n    {\"metric\": %S, \"value\": %g, \"unit\": %S}"
+        Printf.bprintf buf "%s\n    {\"metric\": %s, \"value\": %s, \"unit\": %s}"
           (if i = 0 then "" else ",")
-          metric value unit)
+          (Obs.Json.quote metric) (json_number value) (Obs.Json.quote unit))
       metrics;
-    Buffer.add_string buf "\n  ]\n}\n";
+    Buffer.add_string buf "\n  ]";
+    if Obs.Registry.enabled reg then
+      (* [to_json] is a complete object with sorted keys; splice it in *)
+      Printf.bprintf buf ",\n  \"registry\": %s" (Obs.Registry.to_json reg);
+    Buffer.add_string buf "\n}\n";
+    let out = Buffer.contents buf in
+    (match Obs.Json.validate out with
+    | Ok _ -> ()
+    | Error e -> failwith (Printf.sprintf "BENCH_%s.json: emitter bug: %s" target e));
     let file = Printf.sprintf "BENCH_%s.json" target in
-    Support.Io.write_file file (Buffer.contents buf);
-    note "[json] wrote %s (%d metrics)" file (List.length metrics)
+    Support.Io.write_file file out;
+    note "[json] wrote %s (%d metrics%s)" file (List.length metrics)
+      (if Obs.Registry.enabled reg then ", + registry" else "")
   end

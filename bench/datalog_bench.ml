@@ -8,6 +8,7 @@ module D = Datalog
 
 let run () =
   Bench_util.header "Recursive query evaluation: naive vs semi-naive vs magic sets";
+  let metrics = Bench_util.fresh_registry () in
   Bench_util.note "Transitive closure of a chain (full evaluation):";
   let rows =
     List.map
@@ -19,7 +20,8 @@ let run () =
         in
         let (_, semi_stats), semi_ms =
           Bench_util.time_ms (fun () ->
-              D.Seminaive.eval_with_stats D.Workloads.transitive_closure edb)
+              D.Seminaive.eval_with_stats ~metrics
+                D.Workloads.transitive_closure edb)
         in
         Bench_util.record ~metric:(Printf.sprintf "tc_naive_n%d" n) naive_ms;
         Bench_util.record ~metric:(Printf.sprintf "tc_seminaive_n%d" n) semi_ms;

@@ -33,6 +33,7 @@ let relation n =
 
 let run () =
   Bench_util.header "Persistent storage: pager, buffer pool, WAL, recovery";
+  let metrics = Bench_util.fresh_registry () in
 
   (* --- sequential load --------------------------------------------------- *)
   Bench_util.note "Sequential table load (32-byte payloads, 4 KiB pages):";
@@ -85,7 +86,7 @@ let run () =
   let rows =
     List.map
       (fun pool_size ->
-        let eng = E.open_db ~pool_size path in
+        let eng = E.open_db ~pool_size ~metrics path in
         (* drop the pages the open itself touched, then read cold; the
            zipf sequence is drawn outside the timer *)
         Storage.Buffer_pool.drop_clean (E.pool eng);

@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let version = "1.3.0"
+let version = "1.4.0"
 
 let read_file = Support.Io.read_file
 
@@ -52,55 +52,94 @@ let load_tables tables =
                (Printf.sprintf "--table expects name=file.csv, got %S" spec)))
     Relational.Database.empty tables
 
+(* --- observability plumbing -------------------------------------------------- *)
+
+(* [--metrics] prints the registry to stderr after the command, so the
+   metrics block composes with (never corrupts) the command's stdout:
+   `dbmeta db exec db --metrics=json 2>metrics.json` just works. *)
+let metrics_arg =
+  Arg.(value
+       & opt ~vopt:(Some `Text)
+           (some (enum [ ("text", `Text); ("json", `Json) ]))
+           None
+       & info [ "metrics" ] ~docv:"FORMAT"
+           ~doc:"Collect runtime metrics and print the registry to stderr \
+                 after the command: $(b,--metrics) for a text table, \
+                 $(b,--metrics=json) for stable machine-readable JSON.  See \
+                 docs/OBSERVABILITY.md for the metric name catalogue.")
+
+let registry_of = function
+  | None -> Obs.Registry.noop
+  | Some _ -> Obs.Registry.create ()
+
+let dump_metrics fmt registry =
+  match fmt with
+  | None -> ()
+  | Some `Text -> prerr_string (Obs.Registry.to_text registry)
+  | Some `Json -> prerr_string (Obs.Registry.to_json registry)
+
 (* --- datalog run ----------------------------------------------------------- *)
 
-let datalog_run file query engine explain =
+let datalog_run file query engine explain metrics =
   input_error_to_exit @@ fun () ->
   let program = Datalog.Parser.parse_program (read_file file) in
   Datalog.Checks.check_safety program;
   let edb = Datalog.Facts.empty in
-  match query with
-  | None ->
-      let result =
-        match engine with
-        | `Naive -> Datalog.Naive.eval program edb
-        | `Seminaive | `Magic -> Datalog.Seminaive.eval program edb
-      in
-      let idb = Datalog.Ast.idb_predicates program in
-      List.iter
-        (fun pred ->
-          Datalog.Facts.Tuple_set.iter
-            (fun tup ->
-              Printf.printf "%s(%s).\n" pred
-                (String.concat ", "
-                   (Array.to_list
-                      (Array.map Relational.Value.to_literal tup))))
-            (Datalog.Facts.get result pred))
-        idb;
-      0
-  | Some q ->
-      let q = Datalog.Parser.parse_query q in
-      let answers =
-        match engine with
-        | `Naive -> Datalog.Naive.query program edb q
-        | `Seminaive -> Datalog.Seminaive.query program edb q
-        | `Magic -> Datalog.Magic.query program edb q
-      in
-      let provenance =
-        if explain then Some (snd (Datalog.Provenance.eval program edb))
-        else None
-      in
-      Datalog.Facts.Tuple_set.iter
-        (fun tup ->
-          Printf.printf "%s(%s).\n" q.Datalog.Ast.pred
-            (String.concat ", "
-               (Array.to_list (Array.map Relational.Value.to_literal tup)));
-          match provenance with
-          | Some store ->
-              print_string (Datalog.Provenance.explain store q.Datalog.Ast.pred tup)
-          | None -> ())
-        answers;
-      0
+  let registry = registry_of metrics in
+  (* the datalog.* instruments live in the semi-naive evaluator; --metrics
+     therefore reports empty counters under --engine=naive *)
+  let seminaive prog edb =
+    fst (Datalog.Seminaive.eval_with_stats ~metrics:registry prog edb)
+  in
+  let code =
+    match query with
+    | None ->
+        let result =
+          match engine with
+          | `Naive -> Datalog.Naive.eval program edb
+          | `Seminaive | `Magic -> seminaive program edb
+        in
+        let idb = Datalog.Ast.idb_predicates program in
+        List.iter
+          (fun pred ->
+            Datalog.Facts.Tuple_set.iter
+              (fun tup ->
+                Printf.printf "%s(%s).\n" pred
+                  (String.concat ", "
+                     (Array.to_list
+                        (Array.map Relational.Value.to_literal tup))))
+              (Datalog.Facts.get result pred))
+          idb;
+        0
+    | Some q ->
+        let q = Datalog.Parser.parse_query q in
+        let answers =
+          match engine with
+          | `Naive -> Datalog.Naive.query program edb q
+          | `Seminaive ->
+              Datalog.Naive.filter_by_query
+                (Datalog.Facts.get (seminaive program edb) q.Datalog.Ast.pred)
+                q
+          | `Magic -> Datalog.Magic.query program edb q
+        in
+        let provenance =
+          if explain then Some (snd (Datalog.Provenance.eval program edb))
+          else None
+        in
+        Datalog.Facts.Tuple_set.iter
+          (fun tup ->
+            Printf.printf "%s(%s).\n" q.Datalog.Ast.pred
+              (String.concat ", "
+                 (Array.to_list (Array.map Relational.Value.to_literal tup)));
+            match provenance with
+            | Some store ->
+                print_string (Datalog.Provenance.explain store q.Datalog.Ast.pred tup)
+            | None -> ())
+          answers;
+        0
+  in
+  dump_metrics metrics registry;
+  code
 
 let datalog_cmd =
   let file =
@@ -126,7 +165,7 @@ let datalog_cmd =
   in
   Cmd.v
     (Cmd.info "datalog" ~version ~doc:"Evaluate a Datalog program")
-    Term.(const datalog_run $ file $ query $ engine $ explain)
+    Term.(const datalog_run $ file $ query $ engine $ explain $ metrics_arg)
 
 (* --- query ------------------------------------------------------------------- *)
 
@@ -330,36 +369,41 @@ let crash_message path at =
     path;
   0
 
-let with_db ?crash_after ?faults path f =
+let with_db ?crash_after ?faults ?(metrics = None) path f =
   let faults = Option.map Storage.Fault.spec_of_string faults in
-  match Storage.Engine.open_db ?crash_after ?faults path with
-  | exception Storage.Fault.Crash at -> crash_message path at
-  | eng -> (
-      match
-        let code = f eng in
-        Storage.Engine.close eng;
-        code
-      with
-      | code ->
-          if Storage.Engine.read_only eng then begin
+  let registry = registry_of metrics in
+  let code =
+    match Storage.Engine.open_db ?crash_after ?faults ~metrics:registry path with
+    | exception Storage.Fault.Crash at -> crash_message path at
+    | eng -> (
+        match
+          let code = f eng in
+          Storage.Engine.close eng;
+          code
+        with
+        | code ->
+            if Storage.Engine.read_only eng then begin
+              Printf.printf
+                "engine degraded to read-only: %s; pending writes were \
+                 dropped and will be resolved by restart recovery\n"
+                (Option.value ~default:"unflushable wal"
+                   (Storage.Engine.degraded_reason eng));
+              1
+            end
+            else code
+        | exception Storage.Fault.Crash at ->
+            Storage.Engine.crash eng;
+            crash_message path at
+        | exception Storage.Engine.Read_only reason ->
+            Storage.Engine.close eng;
             Printf.printf
               "engine degraded to read-only: %s; pending writes were \
                dropped and will be resolved by restart recovery\n"
-              (Option.value ~default:"unflushable wal"
-                 (Storage.Engine.degraded_reason eng));
-            1
-          end
-          else code
-      | exception Storage.Fault.Crash at ->
-          Storage.Engine.crash eng;
-          crash_message path at
-      | exception Storage.Engine.Read_only reason ->
-          Storage.Engine.close eng;
-          Printf.printf
-            "engine degraded to read-only: %s; pending writes were \
-             dropped and will be resolved by restart recovery\n"
-            reason;
-          1)
+              reason;
+            1)
+  in
+  dump_metrics metrics registry;
+  code
 
 let report_repair eng =
   match Storage.Engine.last_repair eng with
@@ -390,10 +434,10 @@ let db_init_run path force =
         wal;
       0)
 
-let db_load_run path tables crash_after faults =
+let db_load_run path tables crash_after faults metrics =
   input_error_to_exit @@ fun () ->
   let db = load_tables tables in
-  with_db ?crash_after ?faults path (fun eng ->
+  with_db ?crash_after ?faults ~metrics path (fun eng ->
       Relational.Database.fold
         (fun name rel () ->
           Storage.Engine.save_table eng name rel;
@@ -402,9 +446,9 @@ let db_load_run path tables crash_after faults =
         db ();
       0)
 
-let db_query_run path text optimize =
+let db_query_run path text optimize metrics =
   input_error_to_exit @@ fun () ->
-  with_db path (fun eng ->
+  with_db ~metrics path (fun eng ->
       let db = Storage.Engine.database eng in
       let expr = Relational.Query_parser.parse text in
       let catalog = Relational.Algebra.catalog_of_database db in
@@ -509,9 +553,16 @@ let db_recover_run path =
         (List.length (Storage.Engine.table_names eng));
       0)
 
-let db_exec_run path txns ops items write_ratio skew seed faults timeout verify =
+let db_exec_run path txns ops items write_ratio skew seed faults timeout verify
+    metrics trace_file =
   input_error_to_exit @@ fun () ->
   let spec = Option.map Storage.Fault.spec_of_string faults in
+  let registry = registry_of metrics in
+  let trace =
+    match trace_file with
+    | None -> Obs.Trace.noop
+    | Some _ -> Obs.Trace.create ()
+  in
   let params =
     {
       Transactions.Workload.txns;
@@ -529,62 +580,75 @@ let db_exec_run path txns ops items write_ratio skew seed faults timeout verify 
   (match spec with
   | Some s -> Printf.printf "faults: %s\n" (Storage.Fault.spec_to_string s)
   | None -> ());
-  match Storage.Engine.open_db ?faults:spec path with
-  | exception Storage.Fault.Crash at -> crash_message path at
-  | eng ->
-      let config =
-        { Storage.Executor.default_config with seed; lock_timeout = timeout }
-      in
-      let stats = Storage.Executor.run ~config eng programs in
-      if stats.Storage.Executor.crashed = None then (
-        try Storage.Engine.close eng
-        with Storage.Fault.Crash at ->
-          Storage.Engine.crash eng;
-          Printf.printf "simulated crash at close: %s\n" at);
-      Printf.printf
-        "committed %d/%d  restarts %d  deadlocks %d  timeouts %d  repairs \
-         %d  io-retries %d\n"
-        stats.Storage.Executor.committed txns stats.Storage.Executor.restarts
-        stats.Storage.Executor.deadlocks stats.Storage.Executor.timeouts
-        stats.Storage.Executor.repairs stats.Storage.Executor.io_retries;
-      Printf.printf "throughput: %.4f commits/step (%d steps, %d wasted ops)\n"
-        (Storage.Executor.throughput stats)
-        stats.Storage.Executor.steps stats.Storage.Executor.wasted_ops;
-      let code =
-        match stats.Storage.Executor.crashed with
-        | Some { Storage.Fault.site; io_index } ->
-            Printf.printf "simulated crash at: %s (io %d)\n" site io_index;
-            Printf.printf
-              "run 'dbmeta db recover %s' (or any other db command) to \
-               repair the database\n"
-              path;
-            0
-        | None ->
-            if stats.Storage.Executor.degraded then begin
+  let code =
+    match Storage.Engine.open_db ?faults:spec ~metrics:registry ~trace path with
+    | exception Storage.Fault.Crash at -> crash_message path at
+    | eng ->
+        let config =
+          { Storage.Executor.default_config with seed; lock_timeout = timeout }
+        in
+        let stats = Storage.Executor.run ~config eng programs in
+        if stats.Storage.Executor.crashed = None then (
+          try Storage.Engine.close eng
+          with Storage.Fault.Crash at ->
+            Storage.Engine.crash eng;
+            Printf.printf "simulated crash at close: %s\n" at);
+        Printf.printf
+          "committed %d/%d  restarts %d  deadlocks %d  timeouts %d  repairs \
+           %d  io-retries %d\n"
+          stats.Storage.Executor.committed txns stats.Storage.Executor.restarts
+          stats.Storage.Executor.deadlocks stats.Storage.Executor.timeouts
+          stats.Storage.Executor.repairs stats.Storage.Executor.io_retries;
+        Printf.printf "throughput: %.4f commits/step (%d steps, %d wasted ops)\n"
+          (Storage.Executor.throughput stats)
+          stats.Storage.Executor.steps stats.Storage.Executor.wasted_ops;
+        let code =
+          match stats.Storage.Executor.crashed with
+          | Some { Storage.Fault.site; io_index } ->
+              Printf.printf "simulated crash at: %s (io %d)\n" site io_index;
               Printf.printf
-                "engine degraded to read-only: %s; unresolved transactions \
-                 are in doubt and will be aborted by restart recovery\n"
-                (Option.value ~default:"unflushable wal"
-                   (Storage.Engine.degraded_reason eng));
+                "run 'dbmeta db recover %s' (or any other db command) to \
+                 repair the database\n"
+                path;
+              0
+          | None ->
+              if stats.Storage.Executor.degraded then begin
+                Printf.printf
+                  "engine degraded to read-only: %s; unresolved transactions \
+                   are in doubt and will be aborted by restart recovery\n"
+                  (Option.value ~default:"unflushable wal"
+                     (Storage.Engine.degraded_reason eng));
+                1
+              end
+              else if stats.Storage.Executor.committed = txns then 0
+              else 1
+        in
+        if verify then
+          match Storage.Executor.model_divergence ~path with
+          | None ->
+              print_endline "model check: ok";
+              code
+          | Some (expected, actual) ->
+              let show kv =
+                String.concat ", "
+                  (List.map (fun (i, v) -> Printf.sprintf "%s=%d" i v) kv)
+              in
+              Printf.printf "model check: DIVERGED\n  expected: %s\n  actual:   %s\n"
+                (show expected) (show actual);
               1
-            end
-            else if stats.Storage.Executor.committed = txns then 0
-            else 1
-      in
-      if verify then
-        match Storage.Executor.model_divergence ~path with
-        | None ->
-            print_endline "model check: ok";
-            code
-        | Some (expected, actual) ->
-            let show kv =
-              String.concat ", "
-                (List.map (fun (i, v) -> Printf.sprintf "%s=%d" i v) kv)
-            in
-            Printf.printf "model check: DIVERGED\n  expected: %s\n  actual:   %s\n"
-              (show expected) (show actual);
-            1
-      else code
+        else code
+  in
+  (match trace_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Obs.Trace.to_chrome trace);
+      close_out oc;
+      Printf.eprintf "trace: %d span(s) written to %s (%d dropped)\n"
+        (List.length (Obs.Trace.events trace))
+        file (Obs.Trace.dropped trace));
+  dump_metrics metrics registry;
+  code
 
 let db_file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DB"
@@ -621,7 +685,8 @@ let db_load_cmd =
   in
   Cmd.v
     (Cmd.info "load" ~version ~doc:"Load CSV tables into the database")
-    Term.(const db_load_run $ db_file_arg $ tables $ crash_after_arg $ faults_arg)
+    Term.(const db_load_run $ db_file_arg $ tables $ crash_after_arg $ faults_arg
+          $ metrics_arg)
 
 let db_query_cmd =
   let text =
@@ -635,7 +700,7 @@ let db_query_cmd =
   Cmd.v
     (Cmd.info "query" ~version
        ~doc:"Evaluate a relational algebra query over stored tables")
-    Term.(const db_query_run $ db_file_arg $ text $ optimize)
+    Term.(const db_query_run $ db_file_arg $ text $ optimize $ metrics_arg)
 
 let db_set_cmd =
   let assignments =
@@ -711,12 +776,19 @@ let db_exec_cmd =
                  committed state against the Transactions.Recovery model \
                  of the surviving log.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record spans (WAL flushes, commits/aborts, transaction \
+                 incarnations per executor slot) and write them as Chrome \
+                 trace_event JSON to $(docv) — open it in about:tracing \
+                 or ui.perfetto.dev.")
+  in
   Cmd.v
     (Cmd.info "exec" ~version
        ~doc:"Run an interleaved transaction workload under locking, \
              deadlock retry, and (optionally) injected faults")
     Term.(const db_exec_run $ db_file_arg $ txns $ ops $ items $ write_ratio
-          $ skew $ seed $ faults_arg $ timeout $ verify)
+          $ skew $ seed $ faults_arg $ timeout $ verify $ metrics_arg $ trace)
 
 let db_cmd =
   let doc = "persistent storage: pager, buffer pool, WAL, recovery" in
@@ -860,6 +932,73 @@ let lint_schedule_cmd =
        ~doc:"Lint a transaction schedule (codes TX001-TX010)")
     Term.(const lint_schedule_run $ text $ format_arg)
 
+(* Register every runtime metric name on a fresh registry by exercising
+   each instrumented subsystem once.  Registration happens at component
+   construction (and, for the per-site fault counters, at first firing),
+   so a tiny deterministic workload covers the whole name set. *)
+let registered_metric_names () =
+  let registry = Obs.Registry.create () in
+  (* fault.*: per-site counters register lazily when a fault fires *)
+  let fault = Storage.Fault.create () in
+  Storage.Fault.set_metrics fault registry;
+  let rule = [ { Storage.Fault.scope = None; prob = 1.0 } ] in
+  Storage.Fault.configure fault
+    { Storage.Fault.no_faults with torn = rule; flip = rule; eio = rule };
+  ignore (Storage.Fault.torn_write fault ~at:"wal flush" : bool);
+  ignore (Storage.Fault.bit_flip fault ~at:"page 1 write" ~len:8 : int option);
+  ignore (Storage.Fault.transient fault ~at:"pager fsync" : bool);
+  Storage.Fault.arm fault 0;
+  (try Storage.Fault.io fault ~at:"wal flush" ~on_crash:(fun () -> ())
+   with Storage.Fault.Crash _ -> ());
+  (* pager/pool/wal/engine register at open; lock.*/exec.* at run *)
+  let path = Filename.temp_file "dbmeta-lint-metrics" ".db" in
+  Sys.remove path;
+  let eng = Storage.Engine.open_db ~metrics:registry path in
+  let programs =
+    Transactions.Workload.generate (Support.Rng.create 0)
+      {
+        Transactions.Workload.txns = 2;
+        ops_per_txn = 2;
+        items = 1;
+        skew = 0.;
+        write_ratio = 1.0;
+      }
+  in
+  let config =
+    { Storage.Executor.default_config with lock_timeout = Some 8 }
+  in
+  ignore (Storage.Executor.run ~config eng programs : Storage.Executor.stats);
+  Storage.Engine.close eng;
+  (try Sys.remove path with Sys_error _ -> ());
+  (try Sys.remove (Storage.Engine.wal_path path) with Sys_error _ -> ());
+  (* datalog.*: the semi-naive evaluator registers its instruments *)
+  let prog =
+    Datalog.Parser.parse_program
+      "e(1, 2). e(2, 3). p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z), e(Z, Y)."
+  in
+  ignore
+    (Datalog.Seminaive.eval_with_stats ~metrics:registry prog
+       Datalog.Facts.empty);
+  Obs.Registry.names registry
+
+let lint_metrics_run catalogue format =
+  input_error_to_exit @@ fun () ->
+  let registered = registered_metric_names () in
+  render_and_exit format
+    (Analysis.Obs_lint.lint ~registered ~catalogue_text:(read_file catalogue))
+
+let lint_metrics_cmd =
+  let catalogue =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CATALOGUE"
+           ~doc:"The metric catalogue to check, normally \
+                 docs/OBSERVABILITY.md.")
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~version
+       ~doc:"Check the runtime metric registry against the documented \
+             catalogue (codes OB001-OB002)")
+    Term.(const lint_metrics_run $ catalogue $ format_arg)
+
 let lint_cmd =
   let doc =
     "Static analysis over Datalog programs, algebra plans, and \
@@ -877,7 +1016,7 @@ let lint_cmd =
   in
   Cmd.group
     (Cmd.info "lint" ~version ~doc ~man)
-    [ lint_datalog_cmd; lint_query_cmd; lint_schedule_cmd ]
+    [ lint_datalog_cmd; lint_query_cmd; lint_schedule_cmd; lint_metrics_cmd ]
 
 (* --- main ------------------------------------------------------------------------- *)
 

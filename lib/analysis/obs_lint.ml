@@ -1,0 +1,137 @@
+(* The metric-catalogue lint: the single source of truth for metric
+   names is docs/OBSERVABILITY.md, and this pass keeps it honest in both
+   directions — every runtime-registered name must appear there (OB001),
+   and every catalogued name in a family the runtime knows must still be
+   registered (OB002, catching stale docs after a rename).
+
+   The catalogue side is parsed structurally: any backtick-quoted token
+   that looks like a dotted metric name counts as documented, and a
+   token whose last segment is [*] documents a whole family (the
+   fault-injection counters are per-site, so the catalogue lists
+   [fault.torn.*] rather than an open-ended site enumeration). *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_'
+
+(* A documented metric token: dotted, >= 2 segments, each segment of
+   name characters — except the last, which may be the glob [*]. *)
+let is_metric_token s =
+  match String.split_on_char '.' s with
+  | [] | [ _ ] -> false
+  | segments ->
+      let rec check = function
+        | [] -> true
+        | [ "*" ] -> true
+        | seg :: rest -> seg <> "" && String.for_all is_name_char seg && check rest
+      in
+      check segments
+
+(* Every `...` span in the text (markdown inline code). *)
+let backtick_tokens text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if text.[!i] = '`' then begin
+      match String.index_from_opt text (!i + 1) '`' with
+      | Some j ->
+          tokens := String.sub text (!i + 1) (j - !i - 1) :: !tokens;
+          i := j + 1
+      | None -> i := n
+    end
+    else incr i
+  done;
+  List.rev !tokens
+
+(* The catalogue file also documents span names in the same backtick
+   style; those are not metrics and must not trip OB002.  When the text
+   has a "Metric catalogue" level-2 heading, scanning is scoped to that
+   section (up to the next level-2 heading); otherwise the whole text is
+   the catalogue. *)
+let catalogue_section text =
+  let lines = String.split_on_char '\n' text in
+  let is_h2 line =
+    String.length line > 3
+    && String.sub line 0 3 = "## "
+  in
+  let is_catalogue_h2 line =
+    is_h2 line
+    && String.lowercase_ascii line = "## metric catalogue"
+  in
+  if not (List.exists is_catalogue_h2 lines) then text
+  else
+    let buf = Buffer.create (String.length text) in
+    let in_section = ref false in
+    List.iter
+      (fun line ->
+        if is_catalogue_h2 line then in_section := true
+        else if is_h2 line then in_section := false
+        else if !in_section then begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n'
+        end)
+      lines;
+    Buffer.contents buf
+
+let documented_names text =
+  List.filter is_metric_token (backtick_tokens (catalogue_section text))
+  |> List.sort_uniq String.compare
+
+let family name =
+  match String.index_opt name '.' with
+  | Some i -> Some (String.sub name 0 i)
+  | None -> None
+
+let lint ~registered ~catalogue_text =
+  let registered = List.sort_uniq String.compare registered in
+  let documented = documented_names catalogue_text in
+  let globs, exact =
+    List.partition
+      (fun d -> String.length d >= 2 && Filename.check_suffix d ".*")
+      documented
+  in
+  (* keep the trailing dot so [pool.*] covers [pool.hits], not [poolx] *)
+  let prefixes = List.map (fun g -> String.sub g 0 (String.length g - 1)) globs in
+  let covers name =
+    List.mem name exact
+    || List.exists
+         (fun p ->
+           String.length name > String.length p
+           && String.sub name 0 (String.length p) = p)
+         prefixes
+  in
+  let families =
+    List.sort_uniq String.compare (List.filter_map family registered)
+  in
+  let undocumented =
+    List.filter_map
+      (fun name ->
+        if covers name then None
+        else
+          Some
+            (Diagnostic.error ~subject:name "OB001"
+               (Printf.sprintf
+                  "metric %S is registered at runtime but missing from the \
+                   catalogue"
+                  name)))
+      registered
+  in
+  let stale =
+    List.filter_map
+      (fun name ->
+        if
+          (not (List.mem name registered))
+          && (match family name with
+             | Some f -> List.mem f families
+             | None -> false)
+        then
+          Some
+            (Diagnostic.warning ~subject:name "OB002"
+               (Printf.sprintf
+                  "catalogue documents %S but the runtime never registers it \
+                   (stale name?)"
+                  name))
+        else None)
+      exact
+  in
+  Diagnostic.sort (undocumented @ stale)

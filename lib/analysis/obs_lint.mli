@@ -1,0 +1,27 @@
+(** The metric-catalogue lint behind [dbmeta lint metrics]: checks the
+    runtime's registered metric names against the documented catalogue
+    (docs/OBSERVABILITY.md) in both directions.
+
+    Codes:
+    - {b OB001} (error) — a metric name registered at runtime does not
+      appear in the catalogue; the docs are incomplete.
+    - {b OB002} (warning) — the catalogue documents an exact name in a
+      metric family the runtime knows (same first dotted segment), but
+      the runtime never registers it; the docs are stale.
+
+    A catalogue entry is any backtick-quoted dotted token, e.g.
+    [`pool.hits`].  A trailing [*] segment documents a whole family —
+    [`fault.torn.*`] covers every per-site torn-write counter — since
+    per-site names are data-dependent and cannot be enumerated.  When
+    the text has a [## Metric catalogue] heading, only that section (up
+    to the next level-2 heading) is scanned, so span names documented
+    elsewhere in the file are not mistaken for metrics. *)
+
+val documented_names : string -> string list
+(** The metric names (and [family.*] globs) a catalogue text documents,
+    sorted and deduplicated — exposed for tests. *)
+
+val lint : registered:string list -> catalogue_text:string -> Diagnostic.t list
+(** [registered] is the name set from a fully-instrumented synthetic run
+    ({!Obs.Registry.names}); [catalogue_text] is the markdown catalogue.
+    Returns sorted diagnostics (errors first). *)

@@ -1,11 +1,28 @@
 module Tuple_set = Relational.Relation.Tuple_set
 
-let eval_with_stats prog edb =
+let eval_with_stats ?(metrics = Obs.Registry.noop) prog edb =
   Checks.check_safety prog;
   let strata = Checks.stratify prog in
   let edb = Facts.union edb (Facts.of_program_facts prog) in
   let iterations = ref 0 and derivations = ref 0 in
+  let counter = Obs.Registry.counter metrics in
+  let m_iterations =
+    counter ~unit:"rounds" ~help:"semi-naive evaluation rounds"
+      "datalog.iterations"
+  in
+  let m_derivations =
+    counter ~unit:"tuples" ~help:"tuples derived (before dedup)"
+      "datalog.derivations"
+  in
+  let m_strata =
+    counter ~unit:"strata" ~help:"strata evaluated" "datalog.strata"
+  in
+  let m_delta =
+    Obs.Registry.histogram metrics ~unit:"tuples"
+      ~help:"delta size per semi-naive round" "datalog.delta_size"
+  in
   let eval_stratum all rules =
+    Obs.Registry.Counter.incr m_strata;
     let rules = List.filter (fun r -> r.Ast.body <> []) rules in
     let recursive = Engine.stratum_preds rules in
     let is_recursive_pred p = List.mem p recursive in
@@ -29,6 +46,7 @@ let eval_with_stats prog edb =
       if Facts.is_empty delta then prev
       else begin
         incr iterations;
+        Obs.Histogram.observe m_delta (Facts.total delta);
         let full = Facts.union prev delta in
         let candidate =
           List.fold_left
@@ -67,6 +85,8 @@ let eval_with_stats prog edb =
     loop all delta
   in
   let result = List.fold_left eval_stratum edb strata in
+  Obs.Registry.Counter.add m_iterations !iterations;
+  Obs.Registry.Counter.add m_derivations !derivations;
   (result, { Naive.iterations = !iterations; derivations = !derivations })
 
 let eval prog edb = fst (eval_with_stats prog edb)

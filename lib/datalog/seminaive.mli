@@ -11,6 +11,11 @@ val eval : Ast.program -> Facts.t -> Facts.t
 (** Same contract as {!Naive.eval}; the two agree on every safe
     stratifiable program (property-tested). *)
 
-val eval_with_stats : Ast.program -> Facts.t -> Facts.t * Naive.stats
+val eval_with_stats :
+  ?metrics:Obs.Registry.t -> Ast.program -> Facts.t -> Facts.t * Naive.stats
+(** As {!eval}, also returning iteration/derivation counts.  [metrics]
+    (default {!Obs.Registry.noop}) receives the [datalog.*] instruments:
+    iteration/derivation/strata counters and the [datalog.delta_size]
+    histogram, one observation per semi-naive round. *)
 
 val query : Ast.program -> Facts.t -> Ast.query -> Facts.Tuple_set.t

@@ -1,0 +1,6 @@
+(* Wall-clock nanoseconds.  Unix.gettimeofday has microsecond resolution,
+   which is plenty for the latencies we histogram (fsync, flush, commit);
+   a monotonic source can be injected wherever a clock is taken as a
+   parameter (Trace.create, Histogram timers via Registry). *)
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))

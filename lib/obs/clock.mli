@@ -1,0 +1,6 @@
+(** The default time source for histogram timers and span tracing. *)
+
+val now_ns : unit -> int
+(** Wall-clock time in integer nanoseconds (microsecond resolution —
+    [Unix.gettimeofday] scaled).  Not monotonic across clock steps; the
+    recorders accept an injected clock where determinism matters. *)

@@ -1,0 +1,70 @@
+(* Log-scale histograms: power-of-two buckets over non-negative integer
+   samples (nanoseconds, counts, queue depths).  Bucket [0] holds {0, 1};
+   bucket [i >= 1] holds (2^(i-1), 2^i].  A reported percentile is the
+   upper bound of the bucket holding the rank, so it always bounds the
+   true sample quantile from above and is at most 2x it — the property
+   test_obs.ml checks. *)
+
+let buckets = 63
+
+type t = {
+  active : bool;  (* skip clock reads in [time] when false *)
+  clock : unit -> int;
+  counts : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable max_value : int;
+}
+
+let make ?(active = true) ?(clock = Clock.now_ns) () =
+  { active; clock; counts = Array.make buckets 0; count = 0; sum = 0; max_value = 0 }
+
+let bucket_index v =
+  if v <= 1 then 0
+  else begin
+    (* least i with v <= 2^i: the bit length of v - 1 *)
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    min (buckets - 1) (bits (v - 1) 0)
+  end
+
+let bucket_upper i = if i <= 0 then 1 else 1 lsl i
+
+let observe t v =
+  let v = max 0 v in
+  t.counts.(bucket_index v) <- t.counts.(bucket_index v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_value then t.max_value <- v
+
+let time t f =
+  if not t.active then f ()
+  else begin
+    let t0 = t.clock () in
+    match f () with
+    | result ->
+        observe t (t.clock () - t0);
+        result
+    | exception e ->
+        observe t (t.clock () - t0);
+        raise e
+  end
+
+let count t = t.count
+let sum t = t.sum
+let max_value t = t.max_value
+let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+let percentile t q =
+  if t.count = 0 then 0
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+    let rec walk i acc =
+      if i >= buckets then t.max_value
+      else begin
+        let acc = acc + t.counts.(i) in
+        if acc >= rank then min (bucket_upper i) t.max_value else walk (i + 1) acc
+      end
+    in
+    walk 0 0
+  end

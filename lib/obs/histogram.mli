@@ -1,0 +1,51 @@
+(** Log-scale histograms over non-negative integer samples (latencies in
+    nanoseconds, delta sizes, queue depths): power-of-two buckets, so 63
+    buckets cover the whole positive [int] range with bounded relative
+    error.  Bucket [0] holds [{0, 1}]; bucket [i >= 1] holds
+    [(2^(i-1), 2^i]].
+
+    Reported percentiles are bucket upper bounds: {!percentile} always
+    bounds the true sample quantile from above, and by the bucket
+    geometry is at most twice it — QCheck-tested in [test_obs.ml]. *)
+
+type t
+(** A mutable histogram: 63 power-of-two buckets plus running
+    count/sum/max.  Not thread-safe (nothing here is; the repo is
+    single-threaded). *)
+
+val make : ?active:bool -> ?clock:(unit -> int) -> unit -> t
+(** [active] (default true) gates the clock reads of {!time}: an
+    inactive histogram's timer runs its thunk without ever taking a
+    timestamp, which is what makes disabled registries ~free.  [clock]
+    defaults to {!Clock.now_ns}. *)
+
+val observe : t -> int -> unit
+(** Record one sample; negative samples clamp to 0. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its duration in clock units (ns under the
+    default clock), including when it raises.  When the histogram is
+    inactive this is just [f ()]. *)
+
+val count : t -> int
+(** Samples observed so far. *)
+
+val sum : t -> int
+(** Sum of all samples (exact, unlike the bucketed percentiles). *)
+
+val max_value : t -> int
+(** Largest sample observed (exact); [0] when empty. *)
+
+val mean : t -> float
+(** [sum / count] as a float; [0.] when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t q] for [q] in [[0, 1]] (clamped): the upper bound of
+    the bucket containing the [ceil (q * count)]-th smallest sample,
+    clipped to {!max_value}; [0] on an empty histogram. *)
+
+val bucket_index : int -> int
+(** The bucket a sample lands in — exposed for the unit tests. *)
+
+val bucket_upper : int -> int
+(** Inclusive upper bound of a bucket — exposed for the unit tests. *)

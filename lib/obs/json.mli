@@ -1,0 +1,40 @@
+(** Minimal JSON support for the observability layer: string escaping
+    for the renderers and a strict parser used to {e validate} the JSON
+    this repository emits (metrics dumps, traces, bench results).  It is
+    deliberately not a general JSON library — no streaming, no full
+    unicode decoding — just enough to prove our own output well-formed
+    and machine-readable. *)
+
+val escape : string -> string
+(** Escape a string for embedding inside a JSON string literal: quotes,
+    backslashes, and control characters (the common ones as [\n]-style
+    shorthands, the rest as [\u00XX]).  Does not add the surrounding
+    quotes — see {!quote}. *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes: a complete JSON
+    string literal. *)
+
+(** A parsed JSON document. *)
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!parse} with a position-annotated message. *)
+
+val parse : string -> t
+(** Parse a complete JSON document; raises {!Parse_error} on malformed
+    input or trailing garbage.  [\u] escapes above ASCII decode to ['?']
+    (our emitters never produce them). *)
+
+val member : string -> t -> t option
+(** [member key json] looks up [key] when [json] is an object; [None]
+    otherwise. *)
+
+val validate : string -> (t, string) result
+(** Exception-free {!parse}. *)

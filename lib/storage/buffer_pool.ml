@@ -17,24 +17,48 @@ type frame = {
   mutable stamp : int;
 }
 
+type metrics = {
+  m_hits : Obs.Registry.Counter.t;
+  m_misses : Obs.Registry.Counter.t;
+  m_evictions : Obs.Registry.Counter.t;
+  m_flushes : Obs.Registry.Counter.t;
+  m_resident : Obs.Registry.Gauge.t;
+}
+
+let make_metrics registry =
+  let counter = Obs.Registry.counter registry in
+  {
+    m_hits = counter ~unit:"fetches" ~help:"fetches served from the pool" "pool.hits";
+    m_misses =
+      counter ~unit:"fetches" ~help:"fetches that read from disk" "pool.misses";
+    m_evictions = counter ~unit:"pages" ~help:"frames evicted (LRU)" "pool.evictions";
+    m_flushes =
+      counter ~unit:"pages" ~help:"dirty frames written back" "pool.flushes";
+    m_resident =
+      Obs.Registry.gauge registry ~unit:"pages" ~help:"frames currently cached"
+        "pool.resident";
+  }
+
 type t = {
   pager : Pager.t;
   capacity : int;
   frames : (int, frame) Hashtbl.t;
   stats : stats;
+  metrics : metrics;
   mutable clock : int;
   mutable wal_barrier : int -> unit;
 }
 
 exception Pool_exhausted
 
-let create ?(capacity = 64) pager =
+let create ?(capacity = 64) ?(metrics = Obs.Registry.noop) pager =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
   {
     pager;
     capacity;
     frames = Hashtbl.create (2 * capacity);
     stats = { hits = 0; misses = 0; evictions = 0; flushes = 0 };
+    metrics = make_metrics metrics;
     clock = 0;
     wal_barrier = (fun _ -> ());
   }
@@ -53,7 +77,8 @@ let flush_frame t id frame =
     t.wal_barrier (Page.lsn frame.page);
     Pager.write_page t.pager id frame.page;
     frame.dirty <- false;
-    t.stats.flushes <- t.stats.flushes + 1
+    t.stats.flushes <- t.stats.flushes + 1;
+    Obs.Registry.Counter.incr t.metrics.m_flushes
   end
 
 let evict_one t =
@@ -72,22 +97,27 @@ let evict_one t =
   | Some (id, frame) ->
       flush_frame t id frame;
       Hashtbl.remove t.frames id;
-      t.stats.evictions <- t.stats.evictions + 1
+      t.stats.evictions <- t.stats.evictions + 1;
+      Obs.Registry.Counter.incr t.metrics.m_evictions;
+      Obs.Registry.Gauge.set t.metrics.m_resident (Hashtbl.length t.frames)
 
 let fetch t id =
   match Hashtbl.find_opt t.frames id with
   | Some frame ->
       t.stats.hits <- t.stats.hits + 1;
+      Obs.Registry.Counter.incr t.metrics.m_hits;
       frame.pins <- frame.pins + 1;
       touch t frame;
       frame.page
   | None ->
       t.stats.misses <- t.stats.misses + 1;
+      Obs.Registry.Counter.incr t.metrics.m_misses;
       if Hashtbl.length t.frames >= t.capacity then evict_one t;
       let page = Pager.read_page t.pager id in
       let frame = { page; dirty = false; pins = 1; stamp = 0 } in
       touch t frame;
       Hashtbl.replace t.frames id frame;
+      Obs.Registry.Gauge.set t.metrics.m_resident (Hashtbl.length t.frames);
       page
 
 let frame_exn t id what =
@@ -110,7 +140,8 @@ let adopt t id page =
   if Hashtbl.length t.frames >= t.capacity then evict_one t;
   let frame = { page; dirty = false; pins = 0; stamp = 0 } in
   touch t frame;
-  Hashtbl.replace t.frames id frame
+  Hashtbl.replace t.frames id frame;
+  Obs.Registry.Gauge.set t.metrics.m_resident (Hashtbl.length t.frames)
 
 let flush_page t id =
   match Hashtbl.find_opt t.frames id with
@@ -128,6 +159,7 @@ let drop_clean t =
       (fun id f acc -> if (not f.dirty) && f.pins = 0 then id :: acc else acc)
       t.frames []
   in
-  List.iter (Hashtbl.remove t.frames) victims
+  List.iter (Hashtbl.remove t.frames) victims;
+  Obs.Registry.Gauge.set t.metrics.m_resident (Hashtbl.length t.frames)
 
 let resident t = Hashtbl.length t.frames

@@ -7,6 +7,8 @@
     (the write-ahead rule).  Commit does not force pages ({e no-force});
     durability comes from the WAL alone. *)
 
+(** Legacy in-process counters (predates [lib/obs]); kept because tests
+    and the storage bench read them without wiring a registry. *)
 type stats = {
   mutable hits : int;
   mutable misses : int;
@@ -15,17 +17,22 @@ type stats = {
 }
 
 type t
+(** A pool: a bounded frame table over a {!Pager.t}. *)
 
 exception Pool_exhausted
 (** Every frame is pinned and a new page was requested. *)
 
-val create : ?capacity:int -> Pager.t -> t
-(** [capacity] frames (default 64). *)
+val create : ?capacity:int -> ?metrics:Obs.Registry.t -> Pager.t -> t
+(** [capacity] frames (default 64).  [metrics] receives the [pool.*]
+    instruments (hit/miss/eviction/flush counters and the
+    [pool.resident] gauge), mirroring the legacy {!stats} record;
+    defaults to {!Obs.Registry.noop}. *)
 
 val fetch : t -> int -> Page.t
 (** Pin and return the page, reading (and possibly evicting) on miss. *)
 
 val unpin : t -> int -> unit
+(** Drop one pin; the frame becomes evictable at zero pins. *)
 
 val with_page : t -> int -> (Page.t -> 'a) -> 'a
 (** Fetch, apply, unpin (exception-safe). *)
@@ -37,6 +44,9 @@ val adopt : t -> int -> Page.t -> unit
 (** Insert a freshly allocated page into the pool without re-reading it. *)
 
 val flush_page : t -> int -> unit
+(** Write back one dirty frame (after the WAL barrier); no-op if clean
+    or absent. *)
+
 val flush_all : t -> unit
 (** Write back dirty frames (in page-id order, for determinism). *)
 
@@ -49,6 +59,13 @@ val set_wal_barrier : t -> (int -> unit) -> unit
     written back; the engine points it at WAL flush. *)
 
 val stats : t -> stats
+(** The live legacy counters (mutated in place). *)
+
 val capacity : t -> int
+(** Frame budget this pool was created with. *)
+
 val resident : t -> int
+(** Frames currently cached (= the [pool.resident] gauge). *)
+
 val pager : t -> Pager.t
+(** The underlying pager. *)

@@ -30,12 +30,39 @@
 
 type repair = { quarantined : int list; replayed : int }
 
+type emetrics = {
+  m_begins : Obs.Registry.Counter.t;
+  m_commits : Obs.Registry.Counter.t;
+  m_aborts : Obs.Registry.Counter.t;
+  m_repairs : Obs.Registry.Counter.t;
+  m_degraded : Obs.Registry.Gauge.t;
+}
+
+let make_metrics registry =
+  let counter = Obs.Registry.counter registry in
+  {
+    m_begins = counter ~unit:"txns" ~help:"transactions begun" "engine.begins";
+    m_commits =
+      counter ~unit:"txns" ~help:"transactions committed (durable)"
+        "engine.commits";
+    m_aborts = counter ~unit:"txns" ~help:"transactions aborted" "engine.aborts";
+    m_repairs =
+      counter ~unit:"events" ~help:"quarantine-and-repair events"
+        "engine.repairs";
+    m_degraded =
+      Obs.Registry.gauge registry ~unit:"flag"
+        ~help:"1 once the engine degraded to read-only" "engine.degraded";
+  }
+
 type t = {
   pager : Pager.t;
   pool : Buffer_pool.t;
   wal : Wal.t;
   mutable items : Heap.Items.t;
   fault : Fault.t;
+  metrics : Obs.Registry.t;
+  emetrics : emetrics;
+  trace : Obs.Trace.t;
   locks : (string, int) Hashtbl.t;
   active : (int, (string * int) list ref) Hashtbl.t;
       (* txn -> (item, before-image) newest first *)
@@ -57,6 +84,7 @@ let wal_path path = path ^ ".wal"
 
 let degrade t site =
   t.read_only <- true;
+  Obs.Registry.Gauge.set t.emetrics.m_degraded 1;
   if t.degraded_reason = None then t.degraded_reason <- Some site
 
 let check_writable t =
@@ -66,14 +94,15 @@ let check_writable t =
     | None -> raise (Read_only "engine is read-only")
 
 let checkpoint_now t =
-  (* order is the whole point: pages first, checkpoint record after, so
-     redo may really start at the checkpoint *)
-  Wal.flush t.wal;
-  Buffer_pool.flush_all t.pool;
-  ignore (Wal.append t.wal Wal.Checkpoint : int);
-  Wal.flush t.wal;
-  Pager.set_flushed_lsn t.pager (Wal.durable_lsn t.wal);
-  Pager.sync t.pager
+  Obs.Trace.with_span t.trace "engine.checkpoint" (fun () ->
+      (* order is the whole point: pages first, checkpoint record after,
+         so redo may really start at the checkpoint *)
+      Wal.flush t.wal;
+      Buffer_pool.flush_all t.pool;
+      ignore (Wal.append t.wal Wal.Checkpoint : int);
+      Wal.flush t.wal;
+      Pager.set_flushed_lsn t.pager (Wal.durable_lsn t.wal);
+      Pager.sync t.pager)
 
 let checkpoint t =
   if Hashtbl.length t.active > 0 then raise Active_transactions;
@@ -105,6 +134,7 @@ let replay_items pool entries =
 let note_repair t ~quarantined ~replayed =
   Pager.forget_corrupt t.pager;
   t.repairs <- t.repairs + 1;
+  Obs.Registry.Counter.incr t.emetrics.m_repairs;
   t.last_repair <- Some { quarantined; replayed }
 
 (* Runtime repair: flush what we can (so the rebuilt plane reflects every
@@ -112,13 +142,14 @@ let note_repair t ~quarantined ~replayed =
    disk.  Active transactions stay valid — their undo information is the
    WAL itself plus the in-memory before-images. *)
 let repair_now t =
-  (try Wal.flush t.wal with Fault.Io_error site -> degrade t site);
-  let quarantined = Pager.corrupt_pages t.pager in
-  let entries = Wal.read_entries (Wal.path t.wal) in
-  Pager.set_items_root t.pager 0;
-  let items, replayed = replay_items t.pool entries in
-  t.items <- items;
-  note_repair t ~quarantined ~replayed
+  Obs.Trace.with_span t.trace "engine.repair" (fun () ->
+      (try Wal.flush t.wal with Fault.Io_error site -> degrade t site);
+      let quarantined = Pager.corrupt_pages t.pager in
+      let entries = Wal.read_entries (Wal.path t.wal) in
+      Pager.set_items_root t.pager 0;
+      let items, replayed = replay_items t.pool entries in
+      t.items <- items;
+      note_repair t ~quarantined ~replayed)
 
 (* Run an item-plane access, repairing once on a CRC failure. *)
 let with_repair t f =
@@ -129,8 +160,10 @@ let with_repair t f =
 
 (* --- open / close --------------------------------------------------------- *)
 
-let open_db ?(pool_size = 64) ?crash_after ?faults path =
+let open_db ?(pool_size = 64) ?crash_after ?faults
+    ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) path =
   let fault = Fault.create () in
+  Fault.set_metrics fault metrics;
   (match faults with Some spec -> Fault.configure fault spec | None -> ());
   (match crash_after with Some n -> Fault.arm fault n | None -> ());
   (* a zero-length file is a creation that crashed before its header
@@ -139,15 +172,16 @@ let open_db ?(pool_size = 64) ?crash_after ?faults path =
     (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size = 0
   in
   let pager =
-    if fresh then Pager.create ~fault path else Pager.open_file ~fault path
+    if fresh then Pager.create ~fault ~metrics path
+    else Pager.open_file ~fault ~metrics path
   in
   let wal, entries =
-    try Wal.open_log ~fault (wal_path path)
+    try Wal.open_log ~fault ~metrics ~trace (wal_path path)
     with e ->
       Pager.abandon pager;
       raise e
   in
-  let pool = Buffer_pool.create ~capacity:pool_size pager in
+  let pool = Buffer_pool.create ~capacity:pool_size ~metrics pager in
   Buffer_pool.set_wal_barrier pool (fun lsn -> Wal.flush_to wal lsn);
   let items, first_repair =
     try
@@ -182,6 +216,9 @@ let open_db ?(pool_size = 64) ?crash_after ?faults path =
       wal;
       items;
       fault;
+      metrics;
+      emetrics = make_metrics metrics;
+      trace;
       locks = Hashtbl.create 16;
       active = Hashtbl.create 16;
       next_txn = 1;
@@ -196,6 +233,7 @@ let open_db ?(pool_size = 64) ?crash_after ?faults path =
   | Some { quarantined; replayed } ->
       Pager.forget_corrupt pager;
       t.repairs <- 1;
+      Obs.Registry.Counter.incr t.emetrics.m_repairs;
       t.last_repair <- Some { quarantined; replayed }
   | None -> ());
   let max_txn =
@@ -226,7 +264,9 @@ let open_db ?(pool_size = 64) ?crash_after ?faults path =
            note_repair t ~quarantined ~replayed;
            run_recovery (tries + 1)
        in
-       let outcome = run_recovery 0 in
+       let outcome =
+         Obs.Trace.with_span trace "engine.recovery" (fun () -> run_recovery 0)
+       in
        t.last_recovery <- Some outcome;
        (* the post-recovery checkpoint is an optimization: if the WAL (or
           pager) reports persistent EIO, skip it — the log on disk still
@@ -285,6 +325,7 @@ let begin_txn ?id t =
   t.next_txn <- max t.next_txn (id + 1);
   ignore (Wal.append t.wal (Wal.Begin id) : int);
   Hashtbl.replace t.active id (ref []);
+  Obs.Registry.Counter.incr t.emetrics.m_begins;
   id
 
 let lock_holder t item = Hashtbl.find_opt t.locks item
@@ -321,18 +362,23 @@ let release_locks t txn =
 let commit t ~txn =
   check_writable t;
   ignore (writes_of t txn);
-  ignore (Wal.append t.wal (Wal.Commit txn) : int);
-  (* the commit point: the flush that makes the Commit record durable *)
-  (match Wal.flush t.wal with
-  | () -> ()
-  | exception Fault.Io_error site ->
-      (* the Commit record stays pending and is dropped by the degraded
-         close (abandon), so recovery treats the transaction as a loser:
-         in-doubt in this process, aborted after restart *)
-      degrade t site;
-      raise (Read_only (Printf.sprintf "wal unflushable at %s" site)));
+  Obs.Trace.with_span t.trace
+    ~args:[ ("txn", string_of_int txn) ]
+    "engine.commit"
+    (fun () ->
+      ignore (Wal.append t.wal (Wal.Commit txn) : int);
+      (* the commit point: the flush that makes the Commit record durable *)
+      match Wal.flush t.wal with
+      | () -> ()
+      | exception Fault.Io_error site ->
+          (* the Commit record stays pending and is dropped by the degraded
+             close (abandon), so recovery treats the transaction as a loser:
+             in-doubt in this process, aborted after restart *)
+          degrade t site;
+          raise (Read_only (Printf.sprintf "wal unflushable at %s" site)));
   release_locks t txn;
-  Hashtbl.remove t.active txn
+  Hashtbl.remove t.active txn;
+  Obs.Registry.Counter.incr t.emetrics.m_commits
 
 let abort t ~txn =
   let writes = writes_of t txn in
@@ -340,22 +386,27 @@ let abort t ~txn =
      are ordinary history for any later recovery (never re-undone).
      In degraded mode this is best-effort: the CLRs cannot be flushed,
      but restart recovery re-derives the same undo from the log. *)
-  (try
-     List.iter
-       (fun (item, before) ->
-         let current = with_repair t (fun () -> Heap.Items.get t.items item) in
-         let lsn =
-           Wal.append t.wal
-             (Wal.Write
-                { txn; item; before = current; after = before; compensation = true })
-         in
-         ignore (with_repair t (fun () -> Heap.Items.set t.items ~lsn item before) : bool))
-       !writes;
-     ignore (Wal.append t.wal (Wal.Abort txn) : int);
-     Wal.flush t.wal
-   with Fault.Io_error site -> degrade t site);
+  Obs.Trace.with_span t.trace
+    ~args:[ ("txn", string_of_int txn) ]
+    "engine.abort"
+    (fun () ->
+      try
+        List.iter
+          (fun (item, before) ->
+            let current = with_repair t (fun () -> Heap.Items.get t.items item) in
+            let lsn =
+              Wal.append t.wal
+                (Wal.Write
+                   { txn; item; before = current; after = before; compensation = true })
+            in
+            ignore (with_repair t (fun () -> Heap.Items.set t.items ~lsn item before) : bool))
+          !writes;
+        ignore (Wal.append t.wal (Wal.Abort txn) : int);
+        Wal.flush t.wal
+      with Fault.Io_error site -> degrade t site);
   release_locks t txn;
-  Hashtbl.remove t.active txn
+  Hashtbl.remove t.active txn;
+  Obs.Registry.Counter.incr t.emetrics.m_aborts
 
 let items t = with_repair t (fun () -> Heap.Items.all t.items)
 let item_count t = Heap.Items.count t.items
@@ -397,6 +448,8 @@ let pool t = t.pool
 let pager t = t.pager
 let wal t = t.wal
 let fault t = t.fault
+let metrics t = t.metrics
+let trace t = t.trace
 let last_recovery t = t.last_recovery
 let read_only t = t.read_only
 let degraded_reason t = t.degraded_reason

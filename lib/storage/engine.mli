@@ -20,6 +20,7 @@
     stays a hard {!Pager.Corrupt}. *)
 
 type t
+(** An open database handle. *)
 
 type repair = { quarantined : int list; replayed : int }
 (** One quarantine-and-repair event: the page ids abandoned and the
@@ -29,15 +30,22 @@ exception Locked of string * int
 (** The item is write-locked by another transaction (strictness). *)
 
 exception No_such_transaction of int
+(** The transaction id is not active. *)
+
 exception Active_transactions
+(** Raised by {!checkpoint} while transactions are running. *)
+
 exception Unknown_table of string
+(** No catalog entry under that name. *)
 
 exception Read_only of string
 (** The engine has degraded to read-only (an unflushable WAL): writes,
     commits, and new transactions are refused.  The payload names the
     I/O site whose failure triggered the degradation. *)
 
-val open_db : ?pool_size:int -> ?crash_after:int -> ?faults:Fault.spec -> string -> t
+val open_db :
+  ?pool_size:int -> ?crash_after:int -> ?faults:Fault.spec ->
+  ?metrics:Obs.Registry.t -> ?trace:Obs.Trace.t -> string -> t
 (** Open or create the database at [path] (the WAL lives at
     [path ^ ".wal"]).  [crash_after] arms fault injection: that many
     durable I/Os succeed, the next raises {!Fault.Crash} — including
@@ -45,7 +53,14 @@ val open_db : ?pool_size:int -> ?crash_after:int -> ?faults:Fault.spec -> string
     spec (crash budget, torn-write/bit-flip/EIO probabilities, RNG
     seed); [crash_after] overrides its crash budget when both given.
     A corrupt item-store page found during the open is quarantined and
-    the item plane rebuilt from the log before recovery runs. *)
+    the item plane rebuilt from the log before recovery runs.
+
+    [metrics] is threaded into every layer (pager, pool, WAL, fault
+    injector) and receives the engine's own [engine.*] instruments;
+    [trace] records [engine.recovery]/[engine.checkpoint]/
+    [engine.commit]/[engine.abort]/[engine.repair] and [wal.flush]
+    spans.  Both default to the shared no-ops, costing only integer
+    increments on the hot paths. *)
 
 val close : t -> unit
 (** Clean shutdown: checkpoint (when quiescent) and close.  A degraded
@@ -57,6 +72,8 @@ val crash : t -> unit
     The on-disk state is whatever the WAL and stolen pages got to. *)
 
 val begin_txn : ?id:int -> t -> int
+(** Start a transaction (fresh id unless [id] is given); logs Begin. *)
+
 val write : t -> txn:int -> string -> int -> unit
 (** Logs (item, before, after) then applies in the pool; raises
     {!Locked} when another transaction holds the item, {!Read_only}
@@ -80,12 +97,16 @@ val checkpoint : t -> unit
     {!Active_transactions} when transactions are running. *)
 
 val lock_holder : t -> string -> int option
+(** Which transaction write-locks the item, if any. *)
+
 val active_txns : t -> int list
+(** Ids of the currently running transactions, sorted. *)
 
 val items : t -> (string * int) list
 (** The committed-visible KV state, sorted, zero values omitted. *)
 
 val item_count : t -> int
+(** Number of nonzero committed items. *)
 
 val save_table : t -> string -> Relational.Relation.t -> unit
 (** Persist a relation under a name (replacing any previous binding) and
@@ -95,6 +116,8 @@ val load_table : t -> string -> Relational.Relation.t
 (** Raises {!Unknown_table}. *)
 
 val table_names : t -> string list
+(** Catalogued table names, sorted. *)
+
 val table_info : t -> (string * Relational.Schema.t * int) list
 (** (name, schema, first page id) per catalog entry. *)
 
@@ -103,15 +126,31 @@ val database : t -> Relational.Database.t
     disk through the buffer pool. *)
 
 val pool : t -> Buffer_pool.t
+(** The engine's buffer pool (tests and benches poke at it directly). *)
+
 val pager : t -> Pager.t
+(** The underlying pager. *)
+
 val wal : t -> Wal.t
+(** The write-ahead log handle. *)
+
 val fault : t -> Fault.t
+(** The fault injector every layer of this engine consults. *)
+
+val metrics : t -> Obs.Registry.t
+(** The registry passed to {!open_db} ({!Obs.Registry.noop} when none
+    was) — layers above the engine register their instruments here. *)
+
+val trace : t -> Obs.Trace.t
+(** The span recorder passed to {!open_db}. *)
 
 val last_recovery : t -> Recovery.outcome option
 (** The outcome of the restart recovery this open performed, if the log
     was non-empty. *)
 
 val read_only : t -> bool
+(** Has the engine degraded to read-only? *)
+
 val degraded_reason : t -> string option
 (** Why the engine degraded to read-only (the failing I/O site). *)
 
@@ -120,8 +159,11 @@ val repairs : t -> int
     the open itself, if the on-disk item plane was corrupt). *)
 
 val last_repair : t -> repair option
+(** Details of the most recent repair event. *)
 
 val io_retries : t -> int
 (** Transient-EIO retries (pager + WAL) that eventually succeeded. *)
 
 val wal_path : string -> string
+(** [wal_path db_path] is where {!open_db} keeps the log:
+    [db_path ^ ".wal"]. *)

@@ -48,10 +48,50 @@ type slot = {
   mutable pc : int;
   mutable finished : bool;
   mutable delay : int;  (* rounds to sit out after a restart (backoff) *)
+  mutable started_ns : int;  (* incarnation start, for the txn trace event *)
 }
 
 let run ?(config = default_config) eng specs =
   let rng = Support.Rng.create config.seed in
+  let metrics = Engine.metrics eng in
+  let trace = Engine.trace eng in
+  let counter = Obs.Registry.counter metrics in
+  let m_steps =
+    counter ~unit:"attempts" ~help:"operation attempts (scheduler steps)"
+      "exec.steps"
+  in
+  let m_restarts =
+    counter ~unit:"restarts" ~help:"victim aborts (deadlock + timeout)"
+      "exec.restarts"
+  in
+  let m_deadlocks =
+    counter ~unit:"restarts" ~help:"restarts caused by waits-for cycles"
+      "exec.deadlocks"
+  in
+  let m_timeouts =
+    counter ~unit:"restarts" ~help:"restarts caused by lock-wait timeout"
+      "exec.timeouts"
+  in
+  let m_wasted =
+    counter ~unit:"ops" ~help:"operations re-executed after restarts"
+      "exec.wasted_ops"
+  in
+  let m_backoff =
+    Obs.Registry.histogram metrics ~unit:"rounds"
+      ~help:"backoff drawn per restart" "exec.backoff_rounds"
+  in
+  let emit_txn slot id ~outcome =
+    let now = Obs.Trace.now trace in
+    Obs.Trace.emit trace ~tid:(slot.base + 1)
+      ~args:
+        [
+          ("txn", string_of_int id);
+          ("incarnation", string_of_int slot.incarnation);
+          ("outcome", outcome);
+        ]
+      ~name:"exec.txn" ~start_ns:slot.started_ns
+      ~dur_ns:(now - slot.started_ns) ()
+  in
   let slots =
     Array.mapi
       (fun i spec ->
@@ -63,6 +103,7 @@ let run ?(config = default_config) eng specs =
           pc = 0;
           finished = false;
           delay = 0;
+          started_ns = 0;
         })
       specs
   in
@@ -74,7 +115,7 @@ let run ?(config = default_config) eng specs =
   in
   let lm =
     Lock_manager.create ?timeout:config.lock_timeout
-      ~victim_pref:(victim_pref ~age) ()
+      ~victim_pref:(victim_pref ~age) ~metrics ()
   in
   let steps = ref 0 in
   let restarts = ref 0 in
@@ -91,6 +132,7 @@ let run ?(config = default_config) eng specs =
     | None ->
         let id = Engine.begin_txn eng in
         slot.txn <- Some id;
+        slot.started_ns <- Obs.Trace.now trace;
         Hashtbl.replace by_txn id slot;
         id
   in
@@ -102,19 +144,28 @@ let run ?(config = default_config) eng specs =
   let restart slot why =
     (match slot.txn with
     | Some id ->
+        emit_txn slot id
+          ~outcome:(match why with `Deadlock -> "deadlock" | `Timeout -> "timeout");
         Engine.abort eng ~txn:id;
         retire slot id
     | None -> ());
     incr restarts;
+    Obs.Registry.Counter.incr m_restarts;
     (match why with
-    | `Deadlock -> incr deadlocks
-    | `Timeout -> incr timeouts);
+    | `Deadlock ->
+        incr deadlocks;
+        Obs.Registry.Counter.incr m_deadlocks
+    | `Timeout ->
+        incr timeouts;
+        Obs.Registry.Counter.incr m_timeouts);
     wasted := !wasted + slot.pc;
+    Obs.Registry.Counter.add m_wasted slot.pc;
     slot.pc <- 0;
     slot.incarnation <- slot.incarnation + 1;
     (* bounded exponential backoff + seeded jitter, as Simulation does *)
     let window = min config.max_backoff (1 lsl min 6 slot.incarnation) in
-    slot.delay <- 1 + Support.Rng.int rng window
+    slot.delay <- 1 + Support.Rng.int rng window;
+    Obs.Histogram.observe m_backoff slot.delay
   in
   let restart_txn victim why =
     match Hashtbl.find_opt by_txn victim with
@@ -124,6 +175,7 @@ let run ?(config = default_config) eng specs =
   let commit_slot slot id =
     match Engine.commit eng ~txn:id with
     | () ->
+        emit_txn slot id ~outcome:"commit";
         retire slot id;
         slot.finished <- true;
         incr committed
@@ -134,12 +186,14 @@ let run ?(config = default_config) eng specs =
   in
   let attempt slot =
     incr steps;
+    Obs.Registry.Counter.incr m_steps;
     let id = ensure_started slot in
     if slot.pc >= Array.length slot.program then commit_slot slot id
     else
       match slot.program.(slot.pc) with
       | Schedule.Commit -> commit_slot slot id
       | Schedule.Abort ->
+          emit_txn slot id ~outcome:"abort";
           Engine.abort eng ~txn:id;
           retire slot id;
           slot.finished <- true

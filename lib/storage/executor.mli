@@ -21,6 +21,7 @@
     repaired inside the engine without the executor noticing (beyond the
     repair counter). *)
 
+(** Scheduler knobs; see {!default_config}. *)
 type config = {
   max_steps : int;  (** livelock bound on total operation attempts *)
   max_backoff : int;  (** cap on the backoff window, in rounds *)
@@ -49,7 +50,15 @@ val run : ?config:config -> Engine.t -> Transactions.Simulation.spec array -> st
     bound).  Written values are drawn from a per-run counter so every
     write is distinguishable in the log — which is what makes the
     {!model_divergence} check sharp.  On {!Fault.Crash} the engine is
-    abandoned ({!Engine.crash}) before returning. *)
+    abandoned ({!Engine.crash}) before returning.
+
+    Observability rides on the engine's registry and recorder
+    ({!Engine.metrics}/{!Engine.trace}): the run registers the [exec.*]
+    instruments (steps, restarts by cause, wasted ops, the
+    [exec.backoff_rounds] histogram), passes the registry to its
+    {!Lock_manager} (the [lock.*] instruments), and emits one [exec.txn]
+    trace event per transaction incarnation — lane [1 + slot index],
+    annotated with the engine txn id, incarnation, and outcome. *)
 
 val throughput : stats -> float
 (** committed / steps. *)

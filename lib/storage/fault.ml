@@ -95,6 +95,8 @@ type t = {
   mutable torn_count : int;
   mutable flip_count : int;
   mutable eio_count : int;
+  mutable registry : Obs.Registry.t;
+  fired : (string, Obs.Registry.Counter.t) Hashtbl.t;
 }
 
 let create () =
@@ -109,7 +111,47 @@ let create () =
     torn_count = 0;
     flip_count = 0;
     eio_count = 0;
+    registry = Obs.Registry.noop;
+    fired = Hashtbl.create 8;
   }
+
+let set_metrics t registry =
+  t.registry <- registry;
+  Hashtbl.reset t.fired
+
+(* Site names carry page ids ("page 12 write"); metric names must form a
+   closed set, so digit runs normalize to "N" and spaces to "_" — the
+   catalogue documents the per-kind families as [fault.<kind>.*]. *)
+let normalize_site at =
+  let buf = Buffer.create (String.length at) in
+  let in_digits = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+          if not !in_digits then Buffer.add_char buf 'N';
+          in_digits := true
+      | c ->
+          in_digits := false;
+          Buffer.add_char buf (if c = ' ' then '_' else c))
+    at;
+  Buffer.contents buf
+
+let fired t kind ~at =
+  let name = Printf.sprintf "fault.%s.%s" kind (normalize_site at) in
+  let counter =
+    match Hashtbl.find_opt t.fired name with
+    | Some c -> c
+    | None ->
+        let c =
+          Obs.Registry.counter t.registry ~unit:"events"
+            ~help:(Printf.sprintf "injected %s faults fired at this site" kind)
+            name
+        in
+        Hashtbl.add t.fired name c;
+        c
+  in
+  Obs.Registry.Counter.incr counter
 
 let configure t spec =
   t.budget <- spec.crash_after;
@@ -137,6 +179,7 @@ let io t ~at ~on_crash =
       t.budget <- None;
       (* the uniform payload: every site records where and when *)
       t.crashed <- Some { site = at; io_index = t.ios };
+      fired t "crash" ~at;
       on_crash ();
       raise (Crash at)
 
@@ -163,19 +206,26 @@ let draw t rules ~at =
 
 let torn_write t ~at =
   let fires = draw t t.torn_rules ~at in
-  if fires then t.torn_count <- t.torn_count + 1;
+  if fires then begin
+    t.torn_count <- t.torn_count + 1;
+    fired t "torn" ~at
+  end;
   fires
 
 let bit_flip t ~at ~len =
   if len > 0 && draw t t.flip_rules ~at then begin
     t.flip_count <- t.flip_count + 1;
+    fired t "flip" ~at;
     Some (Support.Rng.int t.rng (len * 8))
   end
   else None
 
 let transient t ~at =
   let fires = draw t t.eio_rules ~at in
-  if fires then t.eio_count <- t.eio_count + 1;
+  if fires then begin
+    t.eio_count <- t.eio_count + 1;
+    fired t "eio" ~at
+  end;
   fires
 
 let counts t = { torn = t.torn_count; flips = t.flip_count; eios = t.eio_count }

@@ -50,6 +50,7 @@ type spec = {
 }
 
 val no_faults : spec
+(** The empty spec: no crash budget, no probabilistic rules. *)
 
 val spec_of_string : string -> spec
 (** Parse the mini-language; raises [Invalid_argument] with a usage
@@ -61,9 +62,19 @@ val spec_to_string : spec -> string
 (* --- the injector -------------------------------------------------------- *)
 
 type t
+(** The injector: crash budget, per-kind rules, seeded RNG, and firing
+    counts. *)
 
 val create : unit -> t
 (** Unarmed: all I/O proceeds normally. *)
+
+val set_metrics : t -> Obs.Registry.t -> unit
+(** Route per-site firing counters into [registry].  Each fault that
+    fires bumps a lazily registered counter named
+    [fault.<kind>.<site>], where [<kind>] is [crash]/[torn]/[flip]/[eio]
+    and [<site>] is the I/O site normalized to a closed name set
+    (spaces become [_], digit runs become [N]: ["page 12 write"] yields
+    [fault.torn.page_N_write]).  Defaults to {!Obs.Registry.noop}. *)
 
 val configure : t -> spec -> unit
 (** Install a spec (crash budget, probabilities, RNG seed). *)
@@ -74,7 +85,10 @@ val arm : t -> int -> unit
     without touching the probabilistic rules. *)
 
 val disarm : t -> unit
+(** Cancel the crash budget (probabilistic rules stay installed). *)
+
 val armed : t -> bool
+(** Is a crash budget currently installed? *)
 
 val crashed_at : t -> crash_info option
 (** Where the injected crash fired, once it has. *)
@@ -101,6 +115,8 @@ val transient : t -> at:string -> bool
     retry draws afresh, so with p < 1 retries eventually succeed. *)
 
 type counts = { torn : int; flips : int; eios : int }
+(** Aggregate firing totals (the per-site split lives in the metric
+    registry; see {!set_metrics}). *)
 
 val counts : t -> counts
 (** How many probabilistic faults actually fired. *)

@@ -6,9 +6,13 @@
     tuple chains, and the table catalog. *)
 
 val kind_items : int
+(** Page kind tag of item-store pages, visible in [db status]. *)
+
 val kind_table : int
+(** Page kind tag of table tuple-chain pages. *)
+
 val kind_catalog : int
-(** Page kind tags, visible in [db status]. *)
+(** Page kind tag of catalog pages. *)
 
 val iter_chain :
   Buffer_pool.t -> first:int -> (int -> int -> string -> unit) -> unit
@@ -52,9 +56,15 @@ val load_relation :
   Buffer_pool.t -> schema:Relational.Schema.t -> first:int -> Relational.Relation.t
 
 type table = { name : string; schema : Relational.Schema.t; first : int }
+(** One catalog entry: table name, schema, and its chain's first page. *)
 
 val catalog : Buffer_pool.t -> table list
+(** All catalog entries, in catalog-chain order. *)
+
 val add_table : Buffer_pool.t -> table -> unit
+(** Append an entry to the catalog chain (no uniqueness check — see
+    {!replace_table}). *)
+
 val replace_table : Buffer_pool.t -> table -> unit
 (** [replace_table] rewrites the catalog chain; the replaced table's data
     pages are leaked (no free list yet — see DESIGN.md). *)

@@ -16,15 +16,60 @@ type item_state = {
   mutable waiting : request list;  (* FIFO: head is next in line *)
 }
 
+type metrics = {
+  m_requests : Obs.Registry.Counter.t;
+  m_grants : Obs.Registry.Counter.t;
+  m_blocks : Obs.Registry.Counter.t;
+  m_deadlocks : Obs.Registry.Counter.t;
+  m_timeouts : Obs.Registry.Counter.t;
+  m_wait_rounds : Obs.Histogram.t;
+  m_queue_depth : Obs.Histogram.t;
+  m_waiting : Obs.Registry.Gauge.t;
+}
+
+let make_metrics registry =
+  let counter = Obs.Registry.counter registry in
+  let histogram = Obs.Registry.histogram registry in
+  {
+    m_requests =
+      counter ~unit:"requests" ~help:"acquire calls (including re-issues)"
+        "lock.requests";
+    m_grants = counter ~unit:"requests" ~help:"requests granted" "lock.grants";
+    m_blocks =
+      counter ~unit:"requests" ~help:"requests left waiting" "lock.blocks";
+    m_deadlocks =
+      counter ~unit:"cycles" ~help:"waits-for cycles detected" "lock.deadlocks";
+    m_timeouts =
+      counter ~unit:"requests" ~help:"lock waits expired by timeout"
+        "lock.timeouts";
+    m_wait_rounds =
+      histogram ~unit:"ticks" ~help:"scheduler ticks a request waited before grant"
+        "lock.wait_rounds";
+    m_queue_depth =
+      histogram ~unit:"requests" ~help:"item queue depth seen at enqueue"
+        "lock.queue_depth";
+    m_waiting =
+      Obs.Registry.gauge registry ~unit:"requests"
+        ~help:"requests currently queued" "lock.waiting";
+  }
+
 type t = {
   table : (string, item_state) Hashtbl.t;
   timeout : int option;
   victim_pref : int -> int -> int;
+  metrics : metrics;
   mutable clock : int;
 }
 
-let create ?timeout ?(victim_pref = fun a b -> if a > b then a else b) () =
-  { table = Hashtbl.create 64; timeout; victim_pref; clock = 0 }
+let create ?timeout ?(victim_pref = fun a b -> if a > b then a else b)
+    ?(metrics = Obs.Registry.noop) () =
+  {
+    table = Hashtbl.create 64;
+    timeout;
+    victim_pref;
+    metrics = make_metrics metrics;
+    clock = 0;
+  }
 
 let state t item =
   match Hashtbl.find_opt t.table item with
@@ -56,12 +101,14 @@ let install st r =
 
 (* Grant from the head of the queue while the head is grantable — FIFO,
    so one blocked exclusive waiter blocks everything behind it. *)
-let rec drain st =
+let rec drain t st =
   match st.waiting with
   | r :: rest when grantable st r ->
       st.waiting <- rest;
       install st r;
-      drain st
+      Obs.Histogram.observe t.metrics.m_wait_rounds (t.clock - r.since);
+      Obs.Registry.Gauge.add t.metrics.m_waiting (-1);
+      drain t st
   | _ -> ()
 
 (* --- the waits-for graph ------------------------------------------------- *)
@@ -128,8 +175,13 @@ let choose_victim t cycle =
 (* --- the public operations ------------------------------------------------ *)
 
 let acquire t ~txn ~item mode =
+  Obs.Registry.Counter.incr t.metrics.m_requests;
+  let granted () =
+    Obs.Registry.Counter.incr t.metrics.m_grants;
+    Granted
+  in
   let st = state t item in
-  if covered st ~txn mode then Granted
+  if covered st ~txn mode then granted ()
   else begin
     let r =
       match List.find_opt (fun r -> r.txn = txn) st.waiting with
@@ -137,6 +189,9 @@ let acquire t ~txn ~item mode =
       | None ->
           let r = { txn; mode; since = t.clock } in
           st.waiting <- st.waiting @ [ r ];
+          Obs.Registry.Gauge.add t.metrics.m_waiting 1;
+          Obs.Histogram.observe t.metrics.m_queue_depth
+            (List.length st.waiting);
           r
     in
     (* the upgrade exception: a sole holder upgrading S->X jumps the
@@ -147,18 +202,25 @@ let acquire t ~txn ~item mode =
       && List.for_all (fun (h, _) -> h = txn) st.holders
     in
     if sole_upgrade then begin
-      st.waiting <- List.filter (fun w -> w.txn <> txn) st.waiting;
+      if List.exists (fun w -> w.txn = txn) st.waiting then begin
+        st.waiting <- List.filter (fun w -> w.txn <> txn) st.waiting;
+        Obs.Registry.Gauge.add t.metrics.m_waiting (-1)
+      end;
       install st { r with mode = Exclusive };
-      drain st;
-      Granted
+      drain t st;
+      granted ()
     end
     else begin
-      drain st;
-      if covered st ~txn mode then Granted
+      drain t st;
+      if covered st ~txn mode then granted ()
       else
         match find_cycle (waits_for t) with
-        | Some cycle -> Deadlock { victim = choose_victim t cycle; cycle }
-        | None -> Blocked
+        | Some cycle ->
+            Obs.Registry.Counter.incr t.metrics.m_deadlocks;
+            Deadlock { victim = choose_victim t cycle; cycle }
+        | None ->
+            Obs.Registry.Counter.incr t.metrics.m_blocks;
+            Blocked
     end
   end
 
@@ -166,8 +228,12 @@ let release_all t ~txn =
   Hashtbl.iter
     (fun _ st ->
       st.holders <- List.remove_assoc txn st.holders;
+      let before = List.length st.waiting in
       st.waiting <- List.filter (fun r -> r.txn <> txn) st.waiting;
-      drain st)
+      let removed = before - List.length st.waiting in
+      if removed > 0 then
+        Obs.Registry.Gauge.add t.metrics.m_waiting (-removed);
+      drain t st)
     t.table
 
 let tick t =
@@ -175,14 +241,18 @@ let tick t =
   match t.timeout with
   | None -> []
   | Some limit ->
-      Hashtbl.fold
-        (fun _ st acc ->
-          List.fold_left
-            (fun acc r ->
-              if t.clock - r.since > limit then r.txn :: acc else acc)
-            acc st.waiting)
-        t.table []
-      |> List.sort_uniq Int.compare
+      let expired =
+        Hashtbl.fold
+          (fun _ st acc ->
+            List.fold_left
+              (fun acc r ->
+                if t.clock - r.since > limit then r.txn :: acc else acc)
+              acc st.waiting)
+          t.table []
+        |> List.sort_uniq Int.compare
+      in
+      Obs.Registry.Counter.add t.metrics.m_timeouts (List.length expired);
+      expired
 
 let holders t ~item =
   match Hashtbl.find_opt t.table item with Some st -> st.holders | None -> []

@@ -26,6 +26,7 @@
     kept configurable because real systems keep both. *)
 
 type mode = Shared | Exclusive
+(** Lock modes: any number of shared holders, or one exclusive. *)
 
 type outcome =
   | Granted
@@ -36,12 +37,22 @@ type outcome =
           stays queued unless it is itself the victim. *)
 
 type t
+(** A lock table: holders and FIFO wait queues per item, plus the wait
+    clock. *)
 
-val create : ?timeout:int -> ?victim_pref:(int -> int -> int) -> unit -> t
+val create :
+  ?timeout:int -> ?victim_pref:(int -> int -> int) ->
+  ?metrics:Obs.Registry.t -> unit -> t
 (** [victim_pref a b] returns the transaction to abort if the choice is
     between [a] and [b]; the default prefers the larger id (the
     youngest, under sequential id assignment).  [timeout] is in
-    {!tick}s; omitted = no lock-wait timeout. *)
+    {!tick}s; omitted = no lock-wait timeout.
+
+    [metrics] receives the [lock.*] instruments: request/grant/block/
+    deadlock/timeout counters, the [lock.wait_rounds] histogram (ticks a
+    request waited before its grant), the [lock.queue_depth] histogram
+    (item queue depth seen at enqueue), and the [lock.waiting] gauge.
+    Defaults to {!Obs.Registry.noop}. *)
 
 val acquire : t -> txn:int -> item:string -> mode -> outcome
 (** Idempotent: re-issuing a queued request re-checks grantability (and
@@ -58,10 +69,13 @@ val tick : t -> int list
     (empty when no timeout is set).  The caller aborts them. *)
 
 val holders : t -> item:string -> (int * mode) list
+(** Current lock holders of the item (granted, not queued). *)
+
 val waiters : t -> item:string -> (int * mode) list
 (** Queued requests in FIFO order. *)
 
 val holds : t -> txn:int -> item:string -> mode option
+(** The mode [txn] currently holds on [item], if any. *)
 
 val waits_for : t -> (int * int) list
 (** The current waits-for edges (waiter, holder-or-earlier-waiter),

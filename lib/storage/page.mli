@@ -16,8 +16,11 @@ val init : kind:int -> t
 (** A fresh, formatted, empty page. *)
 
 val kind : t -> int
+(** The page kind tag it was {!init}ialized with (see {!Heap}). *)
 
 val lsn : t -> int
+(** The stored page LSN; see {!set_lsn}. *)
+
 val set_lsn : t -> int -> unit
 (** Page LSN: the newest logged update applied to this page.  [set_lsn]
     is monotone (keeps the max), which is what the ARIES redo test
@@ -28,7 +31,10 @@ val set_next : t -> int -> unit
 (** Chain link to the next page id; 0 means end of chain. *)
 
 val nslots : t -> int
+(** Slot-directory size, dead slots included. *)
+
 val free_space : t -> int
+(** Bytes left between the record heap and the slot directory. *)
 
 val insert : t -> string -> int
 (** Appends a record, returns its slot id.  Raises {!Page_full} when the
@@ -43,6 +49,7 @@ val overwrite : t -> int -> string -> bool
     otherwise — callers then delete + reinsert). *)
 
 val delete_slot : t -> int -> unit
+(** Mark the slot dead (its index stays allocated). *)
 
 val records : t -> (int * string) list
 (** Live records with their slot ids, in slot order. *)

@@ -35,11 +35,34 @@ let magic = "DBMETA1\n"
 let version = 1
 let max_retries = 8
 
+type metrics = {
+  m_reads : Obs.Registry.Counter.t;
+  m_writes : Obs.Registry.Counter.t;
+  m_crc_failures : Obs.Registry.Counter.t;
+  m_retries : Obs.Registry.Counter.t;
+  m_syncs : Obs.Registry.Counter.t;
+}
+
+let make_metrics registry =
+  let counter = Obs.Registry.counter registry in
+  {
+    m_reads = counter ~help:"data pages read (CRC-verified)" "pager.reads";
+    m_writes = counter ~help:"pages written (header + data)" "pager.writes";
+    m_crc_failures =
+      counter ~unit:"pages" ~help:"page reads that failed their CRC"
+        "pager.crc_failures";
+    m_retries =
+      counter ~help:"transient-EIO retries that eventually succeeded"
+        "pager.io_retries";
+    m_syncs = counter ~help:"successful pager fsyncs" "pager.syncs";
+  }
+
 type t = {
   path : string;
   fd : Unix.file_descr;
   fault : Fault.t;
   header : Bytes.t;
+  metrics : metrics;
   mutable writes : int;
   mutable reads : int;
   mutable retried : int;  (* transient-EIO retries that eventually won *)
@@ -80,7 +103,8 @@ let write_header t =
   Fault.io t.fault ~at:"header write" ~on_crash:(fun () -> ());
   Page.seal t.header;
   really_pwrite t.fd ~off:0 t.header Page.size;
-  t.writes <- t.writes + 1
+  t.writes <- t.writes + 1;
+  Obs.Registry.Counter.incr t.metrics.m_writes
 
 let set_catalog_root t n =
   Bytes.set_int32_le t.header 18 (Int32.of_int n);
@@ -94,12 +118,13 @@ let set_flushed_lsn t l = Bytes.set_int64_le t.header 26 (Int64.of_int l)
 
 (* --- open / create ----------------------------------------------------- *)
 
-let make path fd fault header =
+let make path fd fault metrics header =
   {
     path;
     fd;
     fault;
     header;
+    metrics;
     writes = 0;
     reads = 0;
     retried = 0;
@@ -107,14 +132,15 @@ let make path fd fault header =
     corrupt_pages = [];
   }
 
-let create ?(fault = Fault.create ()) path =
+let create ?(fault = Fault.create ()) ?(metrics = Obs.Registry.noop) path =
+  let metrics = make_metrics metrics in
   let fd =
     Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
   in
   let header = Bytes.make Page.size '\000' in
   Bytes.blit_string magic 0 header 4 (String.length magic);
   Bytes.set_uint16_le header 12 version;
-  let t = make path fd fault header in
+  let t = make path fd fault metrics header in
   (try
      set_page_count t 1;
      write_header t
@@ -123,7 +149,8 @@ let create ?(fault = Fault.create ()) path =
      raise e);
   t
 
-let open_file ?(fault = Fault.create ()) path =
+let open_file ?(fault = Fault.create ()) ?(metrics = Obs.Registry.noop) path =
+  let metrics = make_metrics metrics in
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
   try
     let header = Bytes.make Page.size '\000' in
@@ -135,7 +162,7 @@ let open_file ?(fault = Fault.create ()) path =
     let v = Bytes.get_uint16_le header 12 in
     if v <> version then
       corrupt "%s: format version %d, expected %d" path v version;
-    make path fd fault header
+    make path fd fault metrics header
   with e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e
@@ -160,6 +187,7 @@ let with_transient_retries t ~at f =
       if n >= max_retries then raise (Fault.Io_error at)
       else begin
         t.retried <- t.retried + 1;
+        Obs.Registry.Counter.incr t.metrics.m_retries;
         attempt (n + 1)
       end
     else f ()
@@ -177,9 +205,11 @@ let read_page t id =
   if got <> Page.size then corrupt "%s: page %d truncated" t.path id;
   if not (Page.check buf) then begin
     t.corrupt_pages <- id :: t.corrupt_pages;
+    Obs.Registry.Counter.incr t.metrics.m_crc_failures;
     corrupt "%s: page %d CRC mismatch" t.path id
   end;
   t.reads <- t.reads + 1;
+  Obs.Registry.Counter.incr t.metrics.m_reads;
   buf
 
 (* Write a sealed page image, injecting the probabilistic disk faults:
@@ -200,7 +230,8 @@ let write_image t ~at ~off page =
     really_pwrite t.fd ~off image (Page.size / 2)
   else really_pwrite t.fd ~off image Page.size;
   t.unsynced <- (off, Page.size) :: t.unsynced;
-  t.writes <- t.writes + 1
+  t.writes <- t.writes + 1;
+  Obs.Registry.Counter.incr t.metrics.m_writes
 
 let write_page t id page =
   check_id t id;
@@ -237,6 +268,7 @@ let sync t =
           end)
         t.unsynced);
   with_transient_retries t ~at:"pager fsync" (fun () -> Unix.fsync t.fd);
+  Obs.Registry.Counter.incr t.metrics.m_syncs;
   t.unsynced <- []
 
 let fault t = t.fault

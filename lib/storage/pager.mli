@@ -16,11 +16,14 @@ exception Corrupt of string
 
 type t
 
-val create : ?fault:Fault.t -> string -> t
-(** Create (truncating any existing file) with an empty header. *)
+val create : ?fault:Fault.t -> ?metrics:Obs.Registry.t -> string -> t
+(** Create (truncating any existing file) with an empty header.
+    [metrics] receives the [pager.*] counters (reads, writes,
+    crc_failures, io_retries, syncs); defaults to {!Obs.Registry.noop}. *)
 
-val open_file : ?fault:Fault.t -> string -> t
-(** Open and validate an existing database file; raises {!Corrupt}. *)
+val open_file : ?fault:Fault.t -> ?metrics:Obs.Registry.t -> string -> t
+(** Open and validate an existing database file; raises {!Corrupt}.
+    [metrics] as for {!create}. *)
 
 val close : t -> unit
 (** Writes the header back and closes the descriptor. *)
@@ -53,11 +56,16 @@ val sync : t -> unit
     what the lost fsync would have bought). *)
 
 val catalog_root : t -> int
+(** First page of the catalog chain, from the header (0 = absent). *)
+
 val set_catalog_root : t -> int -> unit
+(** Record the catalog root and write the header through. *)
+
 val items_root : t -> int
+(** First page of the item-store chain, from the header (0 = absent). *)
+
 val set_items_root : t -> int -> unit
-(** Chain roots persisted in the header (0 = absent); setters write the
-    header through. *)
+(** Record the item-store root and write the header through. *)
 
 val flushed_lsn : t -> int
 val set_flushed_lsn : t -> int -> unit
@@ -65,7 +73,10 @@ val set_flushed_lsn : t -> int -> unit
     in-memory value is persisted by the next header write). *)
 
 val fault : t -> Fault.t
+(** The injector consulted on every read/write/fsync. *)
+
 val path : t -> string
+(** The database file path this pager was opened on. *)
 
 val io_counts : t -> int * int
 (** (page reads, page writes) since open — observability for [db status]

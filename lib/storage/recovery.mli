@@ -9,6 +9,8 @@
     recovery the store holds exactly the committed transactions' writes
     in log order. *)
 
+(** What one restart recovery did — surfaced by [db status] and
+    {!Engine.last_recovery}. *)
 type outcome = {
   checkpoint_lsn : int option;
   winners : int list;  (** committed in the surviving log *)

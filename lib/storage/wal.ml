@@ -133,10 +133,45 @@ let scan image =
 
 (* --- the log file ------------------------------------------------------- *)
 
+type metrics = {
+  m_appends : Obs.Registry.Counter.t;
+  m_append_bytes : Obs.Registry.Counter.t;
+  m_flushes : Obs.Registry.Counter.t;
+  m_flush_bytes : Obs.Registry.Counter.t;
+  m_retries : Obs.Registry.Counter.t;
+  m_fsync_ns : Obs.Histogram.t;
+  m_flush_ns : Obs.Histogram.t;
+}
+
+let make_metrics registry =
+  let counter = Obs.Registry.counter registry in
+  {
+    m_appends = counter ~unit:"records" ~help:"records appended" "wal.appends";
+    m_append_bytes =
+      counter ~unit:"bytes" ~help:"framed bytes appended" "wal.append_bytes";
+    m_flushes =
+      counter ~unit:"flushes" ~help:"group-commit flushes made durable"
+        "wal.flushes";
+    m_flush_bytes =
+      counter ~unit:"bytes" ~help:"bytes made durable by flushes"
+        "wal.flush_bytes";
+    m_retries =
+      counter ~help:"transient-EIO retries that eventually succeeded"
+        "wal.io_retries";
+    m_fsync_ns =
+      Obs.Registry.histogram registry ~help:"fsync latency per flush"
+        "wal.fsync_ns";
+    m_flush_ns =
+      Obs.Registry.histogram registry
+        ~help:"whole-flush latency (write + fsync)" "wal.flush_ns";
+  }
+
 type t = {
   path : string;
   fd : Unix.file_descr;
   fault : Fault.t;
+  metrics : metrics;
+  trace : Obs.Trace.t;
   pending : Buffer.t;  (* appended but not yet durable *)
   mutable durable : int;  (* bytes on disk *)
   mutable appends : int;
@@ -154,7 +189,9 @@ let really_write fd s pos len =
       + Unix.write_substring fd s (pos + !written) (len - !written)
   done
 
-let open_log ?(fault = Fault.create ()) path =
+let open_log ?(fault = Fault.create ()) ?(metrics = Obs.Registry.noop)
+    ?(trace = Obs.Trace.noop) path =
+  let metrics = make_metrics metrics in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let image = Support.Io.read_file path in
   let entries, clean = scan image in
@@ -165,6 +202,8 @@ let open_log ?(fault = Fault.create ()) path =
       path;
       fd;
       fault;
+      metrics;
+      trace;
       pending = Buffer.create 1024;
       durable = clean;
       appends = 0;
@@ -175,8 +214,11 @@ let open_log ?(fault = Fault.create ()) path =
 
 let append t record =
   let lsn = t.durable + Buffer.length t.pending in
-  Buffer.add_string t.pending (frame_of_record record);
+  let frame = frame_of_record record in
+  Buffer.add_string t.pending frame;
   t.appends <- t.appends + 1;
+  Obs.Registry.Counter.incr t.metrics.m_appends;
+  Obs.Registry.Counter.add t.metrics.m_append_bytes (String.length frame);
   lsn
 
 let next_lsn t = t.durable + Buffer.length t.pending
@@ -191,14 +233,15 @@ let with_transient_retries t ~at f =
       if n >= max_retries then raise (Fault.Io_error at)
       else begin
         t.retried <- t.retried + 1;
+        Obs.Registry.Counter.incr t.metrics.m_retries;
         attempt (n + 1)
       end
     else f ()
   in
   attempt 0
 
-let flush t =
-  if Buffer.length t.pending > 0 then begin
+let flush_body t =
+  begin
     let data = Buffer.contents t.pending
     and len = Buffer.length t.pending in
     Fault.io t.fault ~at:"wal flush" ~on_crash:(fun () ->
@@ -225,7 +268,10 @@ let flush t =
       ignore (Unix.lseek t.fd (t.durable + len) Unix.SEEK_SET)
     end
     else really_write t.fd data 0 len;
-    (match with_transient_retries t ~at:"wal fsync" (fun () -> Unix.fsync t.fd) with
+    (match
+       Obs.Histogram.time t.metrics.m_fsync_ns (fun () ->
+           with_transient_retries t ~at:"wal fsync" (fun () -> Unix.fsync t.fd))
+     with
     | () -> ()
     | exception (Fault.Io_error _ as e) ->
         (* after a failed fsync the written bytes must be treated as
@@ -239,8 +285,16 @@ let flush t =
         raise e);
     t.durable <- t.durable + len;
     Buffer.clear t.pending;
-    t.flushes <- t.flushes + 1
+    t.flushes <- t.flushes + 1;
+    Obs.Registry.Counter.incr t.metrics.m_flushes;
+    Obs.Registry.Counter.add t.metrics.m_flush_bytes len
   end
+
+let flush t =
+  if Buffer.length t.pending > 0 then
+    let bytes = string_of_int (Buffer.length t.pending) in
+    Obs.Trace.with_span t.trace ~args:[ ("bytes", bytes) ] "wal.flush"
+      (fun () -> Obs.Histogram.time t.metrics.m_flush_ns (fun () -> flush_body t))
 
 let flush_to t lsn = if lsn >= t.durable then flush t
 

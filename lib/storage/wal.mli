@@ -13,6 +13,8 @@
     true]) are the undo writes logged during abort and recovery — the
     ARIES CLR, minus the undo-next pointer. *)
 
+(** The logged record kinds, mirroring
+    {!Transactions.Recovery.record} plus [Checkpoint]. *)
 type record =
   | Begin of int
   | Write of { txn : int; item : string; before : int; after : int; compensation : bool }
@@ -21,14 +23,26 @@ type record =
   | Checkpoint
 
 type entry = { lsn : int; record : record }
+(** A scanned record with its LSN (byte offset in the file). *)
 
 exception Corrupt of string
+(** A structurally impossible log (raised by strict internal checks;
+    the tolerant scans stop at damage instead of raising). *)
 
 type t
+(** An open log: file descriptor, pending append buffer, and durable
+    watermark. *)
 
-val open_log : ?fault:Fault.t -> string -> t * entry list
+val open_log :
+  ?fault:Fault.t -> ?metrics:Obs.Registry.t -> ?trace:Obs.Trace.t ->
+  string -> t * entry list
 (** Open (creating if needed), scan tolerantly, physically truncate any
-    torn tail, and return the surviving entries oldest-first. *)
+    torn tail, and return the surviving entries oldest-first.
+
+    [metrics] receives the [wal.*] instruments (append/flush counters
+    and byte totals, [wal.fsync_ns]/[wal.flush_ns] latency histograms);
+    [trace] records a [wal.flush] span per durable flush.  Both default
+    to the shared no-ops. *)
 
 val append : t -> record -> int
 (** Buffer a record; returns its LSN.  Not durable until {!flush}. *)
@@ -46,8 +60,13 @@ val flush_to : t -> int -> unit
     write-ahead barrier the buffer pool calls before a steal. *)
 
 val next_lsn : t -> int
+(** The LSN the next {!append} will get. *)
+
 val durable_lsn : t -> int
+(** Everything below this byte offset has been fsynced. *)
+
 val close : t -> unit
+(** Flush whatever is pending, then close the descriptor. *)
 
 val abandon : t -> unit
 (** Close the descriptor without flushing — pending records are lost,
@@ -60,6 +79,7 @@ val retries : t -> int
 (** Transient-EIO retries that eventually succeeded. *)
 
 val path : t -> string
+(** The log file path. *)
 
 val read_entries : string -> entry list
 (** Read-only tolerant scan of a log file (for [db status]). *)
@@ -76,5 +96,7 @@ val to_model : record list -> Transactions.Recovery.log
     writes (the model replays them like any other). *)
 
 val of_model : Transactions.Recovery.record -> record
+(** The inverse bridge; model records never carry [Checkpoint]. *)
 
 val record_to_string : record -> string
+(** One-line rendering for [db status] and the tests. *)

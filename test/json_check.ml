@@ -1,0 +1,47 @@
+(* Validate JSON on stdin with the same parser the repo uses to prove
+   its own output well-formed (Obs.Json) — the cram tests pipe the CLI's
+   --metrics and --trace output through this.  With --chrome, also
+   checks the Chrome trace_event shape: a traceEvents array of complete
+   ("X") events carrying name/ts/dur/pid/tid. *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let () =
+  let chrome = Array.length Sys.argv > 1 && Sys.argv.(1) = "--chrome" in
+  match Obs.Json.validate (read_all stdin) with
+  | Error e ->
+      prerr_endline e;
+      exit 1
+  | Ok json ->
+      if not chrome then print_endline "valid json"
+      else (
+        match Obs.Json.member "traceEvents" json with
+        | Some (Obs.Json.Arr events) ->
+            let complete e =
+              match
+                ( Obs.Json.member "ph" e, Obs.Json.member "name" e,
+                  Obs.Json.member "ts" e, Obs.Json.member "dur" e,
+                  Obs.Json.member "pid" e, Obs.Json.member "tid" e )
+              with
+              | ( Some (Obs.Json.Str "X"), Some (Obs.Json.Str _),
+                  Some (Obs.Json.Num _), Some (Obs.Json.Num _),
+                  Some (Obs.Json.Num _), Some (Obs.Json.Num _) ) ->
+                  true
+              | _ -> false
+            in
+            if List.for_all complete events then
+              Printf.printf "valid chrome trace (%d events)\n"
+                (List.length events)
+            else (
+              prerr_endline "malformed trace event";
+              exit 1)
+        | _ ->
+            prerr_endline "missing traceEvents array";
+            exit 1)

@@ -1,0 +1,74 @@
+The observability surface of the CLI: --metrics dumps the registry to
+stderr (text or JSON), --trace writes a Chrome trace_event file, and
+the metric catalogue in docs/OBSERVABILITY.md is linted against the
+runtime registry.  json_check.exe validates with Obs.Json, the repo's
+own strict parser.
+
+The text dump goes to stderr and names every wal.* instrument, so a
+contended run shows where durability time went:
+
+  $ dbmeta db exec --txns=8 quiet.db --metrics 2>&1 >/dev/null \
+  >   | awk '{print $2}' | grep '^wal\.'
+  wal.append_bytes
+  wal.appends
+  wal.flush_bytes
+  wal.flush_ns
+  wal.flushes
+  wal.fsync_ns
+  wal.io_retries
+
+The lock-wait and fsync instruments record nonzero activity (8 txns
+over the default 8 hot items always contend, and every commit forces
+the WAL):
+
+  $ dbmeta db exec --txns=8 contended.db --metrics 2>&1 >/dev/null \
+  >   | awk '$2 == "lock.wait_rounds" || $2 == "wal.fsync_ns" {print $2, ($4 > 0 ? "nonzero" : "ZERO")}'
+  lock.wait_rounds nonzero
+  wal.fsync_ns nonzero
+
+--metrics=json parses under the strict parser:
+
+  $ dbmeta db exec --txns=4 --metrics=json json.db 2>metrics.json >/dev/null
+  $ ./json_check.exe < metrics.json
+  valid json
+
+So does the datalog evaluator's dump:
+
+  $ cat > path.dl <<'EOF'
+  > edge(1, 2). edge(2, 3).
+  > path(X, Y) :- edge(X, Y).
+  > path(X, Z) :- path(X, Y), edge(Y, Z).
+  > EOF
+  $ dbmeta datalog --engine=seminaive --metrics=json path.dl 2>dl.json >/dev/null
+  $ ./json_check.exe < dl.json
+  valid json
+
+And db load / db query take the flag too:
+
+  $ cat > r.csv <<'EOF'
+  > a:int
+  > 1
+  > 2
+  > EOF
+  $ dbmeta db init obs.db >/dev/null
+  $ dbmeta db load obs.db -t r=r.csv --metrics=json 2>load.json >/dev/null
+  $ ./json_check.exe < load.json
+  valid json
+  $ dbmeta db query obs.db 'project[a](r)' --metrics=json 2>query.json >/dev/null
+  $ ./json_check.exe < query.json
+  valid json
+
+--trace writes a well-formed Chrome trace (complete "X" events with
+name/ts/dur/pid/tid), openable in about:tracing or Perfetto:
+
+  $ dbmeta db exec --txns=4 --trace=trace.json traced.db >/dev/null
+  trace: 17 span(s) written to trace.json (0 dropped)
+  $ ./json_check.exe --chrome < trace.json
+  valid chrome trace (17 events)
+
+The catalogue lint: every runtime-registered metric name must appear in
+docs/OBSERVABILITY.md (and no documented name in a known family may
+have gone stale):
+
+  $ dbmeta lint metrics ../docs/OBSERVABILITY.md
+  no diagnostics

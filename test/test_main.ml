@@ -18,4 +18,5 @@ let () =
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
       ("executor", Test_executor.suite);
+      ("obs", Test_obs.suite);
     ]

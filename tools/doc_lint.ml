@@ -1,0 +1,135 @@
+(* A documentation gate that works without odoc installed: every
+   *top-level* declaration in the given .mli files must carry a doc
+   comment, either immediately before it or after its signature (the
+   odoc convention used in this repository).  Items nested inside module
+   signatures (indented lines) are covered by their module's doc and are
+   not checked individually.
+
+   This is a heuristic line scanner, not a parser; it understands just
+   enough of the ocamlformat output this repo commits: declarations
+   start in column 0 with [val]/[type]/[module]/[exception], and a doc
+   comment is one whose opener has a second star.
+
+   Usage: doc_lint.exe FILE.mli ...; exits 1 listing undocumented items. *)
+
+type line_kind =
+  | Decl of string (* a column-0 declaration; payload is the item name *)
+  | Doc_start (* a line opening a doc comment *)
+  | Comment (* a line opening a plain comment *)
+  | Blank
+  | Other (* continuation lines, nested items, comment bodies *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix)
+     = suffix
+
+let item_name line =
+  (* second word, stripped of trailing [:] *)
+  match String.split_on_char ' ' line with
+  | _ :: name :: _ ->
+      let name =
+        match String.index_opt name ':' with
+        | Some i -> String.sub name 0 i
+        | None -> name
+      in
+      if name = "" then "_" else name
+  | _ -> "_"
+
+let classify line =
+  let trimmed = String.trim line in
+  if trimmed = "" then Blank
+  else if starts_with "(**" trimmed then Doc_start
+  else if starts_with "(*" trimmed then Comment
+  else if
+    List.exists
+      (fun kw -> starts_with kw line)
+      [ "val "; "type "; "module "; "exception "; "external " ]
+  then Decl (item_name line)
+  else Other
+
+let read_lines file =
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Array.of_list (List.rev !lines)
+
+let check file =
+  let lines = read_lines file in
+  let kinds = Array.map classify lines in
+  let n = Array.length lines in
+  (* the opening line of the comment whose text ends at line [j]: walk
+     back to the nearest line that starts a comment *)
+  let rec comment_opener j =
+    if j < 0 then None
+    else
+      match kinds.(j) with
+      | Doc_start -> Some Doc_start
+      | Comment -> Some Comment
+      | Other -> comment_opener (j - 1)
+      | Decl _ | Blank -> None
+  in
+  let rec prev_nonblank j =
+    if j >= 0 && kinds.(j) = Blank then prev_nonblank (j - 1) else j
+  in
+  let doc_before i =
+    let j = prev_nonblank (i - 1) in
+    j >= 0
+    &&
+    match kinds.(j) with
+    | Doc_start -> true
+    | Other when ends_with "*)" (String.trim lines.(j)) ->
+        comment_opener j = Some Doc_start
+    | _ -> false
+  in
+  (* scan forward over the declaration's continuation lines; documented
+     iff a doc comment starts before the first blank line / next item *)
+  let doc_after i =
+    let rec fwd j =
+      j < n
+      &&
+      match kinds.(j) with
+      | Doc_start -> true
+      | Other -> fwd (j + 1)
+      | Decl _ | Blank | Comment -> false
+    in
+    fwd (i + 1)
+  in
+  let errors = ref [] in
+  Array.iteri
+    (fun i kind ->
+      match kind with
+      | Decl name ->
+          if not (doc_before i || doc_after i) then
+            errors := (i + 1, name) :: !errors
+      | _ -> ())
+    kinds;
+  List.rev !errors
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: doc_lint.exe FILE.mli ...";
+    exit 2
+  end;
+  let total = ref 0 in
+  List.iter
+    (fun file ->
+      List.iter
+        (fun (line, name) ->
+          incr total;
+          Printf.printf "%s:%d: undocumented public item %s\n" file line name)
+        (check file))
+    files;
+  if !total > 0 then begin
+    Printf.printf "%d undocumented public item(s)\n" !total;
+    exit 1
+  end
