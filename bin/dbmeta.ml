@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let version = "1.4.0"
+let version = "1.5.0"
 
 let read_file = Support.Io.read_file
 
@@ -405,6 +405,23 @@ let with_db ?crash_after ?faults ?(metrics = None) path f =
   dump_metrics metrics registry;
   code
 
+(* [--verify-wal]: run the offline WL passes over the log as it sits on
+   disk and fold any errors into the exit code — the dynamic layer
+   closing the loop with `dbmeta lint wal`. *)
+let wal_audit path code =
+  let report = Storage.Wal.report_file (Storage.Engine.wal_path path) in
+  let diags = Analysis.Wal_lint.lint report in
+  if diags = [] then begin
+    Printf.printf "wal audit: clean (%d record(s), %d byte(s))\n"
+      (List.length report.Storage.Wal.records)
+      report.Storage.Wal.total_bytes;
+    code
+  end
+  else begin
+    print_string (Analysis.Diagnostic.list_to_text diags);
+    max code (Analysis.Diagnostic.exit_code diags)
+  end
+
 let report_repair eng =
   match Storage.Engine.last_repair eng with
   | Some { Storage.Engine.quarantined; replayed } ->
@@ -512,15 +529,18 @@ let db_get_run path items =
 let db_status_run path =
   input_error_to_exit @@ fun () ->
   (* the raw log, inspected before recovery rewrites it *)
-  let raw_entries = Storage.Wal.read_entries (Storage.Engine.wal_path path) in
+  let raw = Storage.Wal.report_file (Storage.Engine.wal_path path) in
   with_db path (fun eng ->
       let pager = Storage.Engine.pager eng in
       Printf.printf "file: %s (format v1, %d pages of %d bytes)\n" path
         (Storage.Pager.page_count pager)
         Storage.Page.size;
       report_recovery eng;
-      Printf.printf "wal: %d surviving record(s) before open\n"
-        (List.length raw_entries);
+      Printf.printf "wal: %d surviving record(s) before open%s\n"
+        (List.length raw.Storage.Wal.records)
+        (let torn = raw.Storage.Wal.total_bytes - raw.Storage.Wal.clean_bytes in
+         if torn = 0 then ""
+         else Printf.sprintf ", %d torn tail byte(s)" torn);
       Printf.printf "items: %d\n" (Storage.Engine.item_count eng);
       let tables = Storage.Engine.table_info eng in
       Printf.printf "tables: %d\n" (List.length tables);
@@ -544,17 +564,20 @@ let db_status_run path =
         hits misses;
       0)
 
-let db_recover_run path =
+let db_recover_run path verify_wal =
   input_error_to_exit @@ fun () ->
-  with_db path (fun eng ->
-      report_recovery eng;
-      Printf.printf "items: %d, tables: %d\n"
-        (Storage.Engine.item_count eng)
-        (List.length (Storage.Engine.table_names eng));
-      0)
+  let code =
+    with_db path (fun eng ->
+        report_recovery eng;
+        Printf.printf "items: %d, tables: %d\n"
+          (Storage.Engine.item_count eng)
+          (List.length (Storage.Engine.table_names eng));
+        0)
+  in
+  if verify_wal then wal_audit path code else code
 
 let db_exec_run path txns ops items write_ratio skew seed faults timeout verify
-    metrics trace_file =
+    verify_wal metrics trace_file =
   input_error_to_exit @@ fun () ->
   let spec = Option.map Storage.Fault.spec_of_string faults in
   let registry = registry_of metrics in
@@ -638,6 +661,7 @@ let db_exec_run path txns ops items write_ratio skew seed faults timeout verify
               1
         else code
   in
+  let code = if verify_wal then wal_audit path code else code in
   (match trace_file with
   | None -> ()
   | Some file ->
@@ -734,10 +758,17 @@ let db_status_cmd =
     Term.(const db_status_run $ db_file_arg)
 
 let db_recover_cmd =
+  let verify_wal =
+    Arg.(value & flag & info [ "verify-wal" ]
+           ~doc:"After recovery, audit the rewritten log with the offline \
+                 WAL verifier (codes WL001-WL010, same passes as \
+                 $(b,dbmeta lint wal)) and fold any errors into the exit \
+                 code.")
+  in
   Cmd.v
     (Cmd.info "recover" ~version
        ~doc:"Run restart recovery and report its outcome")
-    Term.(const db_recover_run $ db_file_arg)
+    Term.(const db_recover_run $ db_file_arg $ verify_wal)
 
 let db_exec_cmd =
   let txns =
@@ -776,6 +807,13 @@ let db_exec_cmd =
                  committed state against the Transactions.Recovery model \
                  of the surviving log.")
   in
+  let verify_wal =
+    Arg.(value & flag & info [ "verify-wal" ]
+           ~doc:"After the run, audit the on-disk log with the offline \
+                 WAL verifier (codes WL001-WL010, same passes as \
+                 $(b,dbmeta lint wal)) and fold any errors into the exit \
+                 code.")
+  in
   let trace =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Record spans (WAL flushes, commits/aborts, transaction \
@@ -788,7 +826,8 @@ let db_exec_cmd =
        ~doc:"Run an interleaved transaction workload under locking, \
              deadlock retry, and (optionally) injected faults")
     Term.(const db_exec_run $ db_file_arg $ txns $ ops $ items $ write_ratio
-          $ skew $ seed $ faults_arg $ timeout $ verify $ metrics_arg $ trace)
+          $ skew $ seed $ faults_arg $ timeout $ verify $ verify_wal
+          $ metrics_arg $ trace)
 
 let db_cmd =
   let doc = "persistent storage: pager, buffer pool, WAL, recovery" in
@@ -822,21 +861,27 @@ let db_cmd =
 
 let format_arg =
   Arg.(value
-       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & opt
+           (enum
+              [ ("text", Analysis.Pass.Text); ("json", Analysis.Pass.Json) ])
+           Analysis.Pass.Text
        & info [ "format" ] ~docv:"FORMAT"
            ~doc:"Output format: text or json.")
 
-let render_and_exit format diags =
-  (match format with
-  | `Text -> print_string (Analysis.Diagnostic.list_to_text diags)
-  | `Json -> print_string (Analysis.Diagnostic.list_to_json diags));
-  Analysis.Diagnostic.exit_code diags
+(* Every lint subcommand parses its artifact, then goes through this one
+   driver — rendering and exit-code policy live in Analysis.Pass, so
+   text/JSON/exit behaviour cannot drift between subcommands. *)
+let drive format passes input =
+  let output, code = Analysis.Pass.drive ~format passes input in
+  print_string output;
+  code
 
 let lint_datalog_run file query format =
   input_error_to_exit @@ fun () ->
   let program = Datalog.Parser.parse_program (read_file file) in
   let query = Option.map Datalog.Parser.parse_query query in
-  render_and_exit format (Analysis.Datalog_lint.lint ?query program)
+  drive format Analysis.Datalog_lint.passes
+    { Analysis.Datalog_lint.program; query }
 
 let lint_datalog_cmd =
   let file =
@@ -895,7 +940,8 @@ let lint_query_run text tables schemas format =
     | None -> Analysis.Relational_lint.catalog_of_database db name
   in
   let plan = Relational.Query_parser.parse text in
-  render_and_exit format (Analysis.Relational_lint.lint ~catalog plan)
+  drive format Analysis.Relational_lint.passes
+    { Analysis.Relational_lint.catalog; plan }
 
 let lint_query_cmd =
   let text =
@@ -916,21 +962,35 @@ let lint_query_cmd =
        ~doc:"Lint a relational algebra plan (codes RA001-RA006)")
     Term.(const lint_query_run $ text $ tables $ schemas $ format_arg)
 
-let lint_schedule_run text format =
+let lint_schedule_run text file format =
   input_error_to_exit @@ fun () ->
-  render_and_exit format (Analysis.Transaction_lint.lint_string text)
+  let text =
+    match (text, file) with
+    | Some t, None -> t
+    | None, Some f -> String.trim (read_file f)
+    | Some _, Some _ ->
+        invalid_arg "give either a SCHEDULE argument or --file, not both"
+    | None, None -> invalid_arg "expected a SCHEDULE argument or --file"
+  in
+  drive format Analysis.Concurrency_lint.schedule_passes
+    (Transactions.Locked_schedule.of_string text)
 
 let lint_schedule_cmd =
   let text =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCHEDULE"
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SCHEDULE"
            ~doc:"History, e.g. 'r1(x) w2(x) c1 c2'; lock-annotated \
                  histories ('sl1(x) r1(x) u1(x) ...') additionally get \
-                 the lock-discipline passes.")
+                 the lock-discipline and concurrency-prediction passes.")
+  in
+  let file =
+    Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE"
+           ~doc:"Read the schedule from $(docv) instead of the command \
+                 line (whitespace-separated tokens, newlines allowed).")
   in
   Cmd.v
     (Cmd.info "schedule" ~version
-       ~doc:"Lint a transaction schedule (codes TX001-TX010)")
-    Term.(const lint_schedule_run $ text $ format_arg)
+       ~doc:"Lint a transaction schedule (codes TX001-TX010, CC001-CC006)")
+    Term.(const lint_schedule_run $ text $ file $ format_arg)
 
 (* Register every runtime metric name on a fresh registry by exercising
    each instrumented subsystem once.  Registration happens at component
@@ -984,8 +1044,8 @@ let registered_metric_names () =
 let lint_metrics_run catalogue format =
   input_error_to_exit @@ fun () ->
   let registered = registered_metric_names () in
-  render_and_exit format
-    (Analysis.Obs_lint.lint ~registered ~catalogue_text:(read_file catalogue))
+  drive format Analysis.Obs_lint.passes
+    { Analysis.Obs_lint.registered; catalogue_text = read_file catalogue }
 
 let lint_metrics_cmd =
   let catalogue =
@@ -999,24 +1059,46 @@ let lint_metrics_cmd =
              catalogue (codes OB001-OB002)")
     Term.(const lint_metrics_run $ catalogue $ format_arg)
 
+let lint_wal_run file format =
+  input_error_to_exit @@ fun () ->
+  drive format Analysis.Wal_lint.passes (Storage.Wal.report_file file)
+
+let lint_wal_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"WAL"
+           ~doc:"Binary write-ahead log to verify, normally DB.wal.  The \
+                 file is opened read-only — a survivor log left by a \
+                 crashed process is inspected as-is, never repaired.")
+  in
+  Cmd.v
+    (Cmd.info "wal" ~version
+       ~doc:"Verify a binary write-ahead log offline (codes WL001-WL010)")
+    Term.(const lint_wal_run $ file $ format_arg)
+
 let lint_cmd =
   let doc =
-    "Static analysis over Datalog programs, algebra plans, and \
-     transaction schedules"
+    "Static analysis over Datalog programs, algebra plans, transaction \
+     schedules, write-ahead logs, and the metric catalogue"
   in
   let man =
     [
       `S Manpage.s_description;
       `P
         "Runs the relevant pass suite and prints severity-graded \
-         diagnostics (error, warning, info) with stable codes.  Exits 0 \
-         when no errors were found, 1 when at least one error-severity \
-         diagnostic was reported, and 2 when the input does not parse.";
+         diagnostics (error, warning, info) with stable codes.  Every \
+         subcommand ($(b,datalog), $(b,query), $(b,schedule), $(b,wal), \
+         $(b,metrics)) goes through the same driver and exit-code \
+         policy: exits 0 when no errors were found, 1 when at least one \
+         error-severity diagnostic was reported, and 2 when the input \
+         does not parse.";
     ]
   in
   Cmd.group
     (Cmd.info "lint" ~version ~doc ~man)
-    [ lint_datalog_cmd; lint_query_cmd; lint_schedule_cmd; lint_metrics_cmd ]
+    [
+      lint_datalog_cmd; lint_query_cmd; lint_schedule_cmd; lint_wal_cmd;
+      lint_metrics_cmd;
+    ]
 
 (* --- main ------------------------------------------------------------------------- *)
 

@@ -1,0 +1,408 @@
+(* Concurrency prediction over lock-annotated schedules: an Eraser-style
+   lockset race detector and a GoodLock-style lock-order graph.  Both
+   are *predictive* — they flag interleavings 2PL could drive into a
+   race or a deadlock even when the observed schedule happens to execute
+   cleanly — which is what makes them strictly stronger than the
+   observational TX passes they ride alongside ([schedule_passes] is the
+   full pipeline `dbmeta lint schedule` drives).
+
+   Like the TX lock-discipline passes, everything here is gated on the
+   schedule actually carrying lock operations: a plain r/w/c/a history
+   has no locksets to analyse. *)
+
+module S = Transactions.Schedule
+module Ls = Transactions.Locked_schedule
+module Locks = Transactions.Locks
+
+type input = Ls.t
+
+(* Shared trace simulation: for every data access, the set of (lock,
+   mode) pairs its transaction held at that moment; for every lock
+   acquisition, the set of locks already held (the GoodLock edge).
+   Termination releases everything, as strict 2PL does. *)
+type access = {
+  a_txn : S.txn;
+  a_item : S.item;
+  a_write : bool;
+  a_pos : int;
+  a_held : (S.item * Locks.mode) list;
+}
+
+type acquisition = {
+  q_txn : S.txn;
+  q_item : S.item;
+  q_mode : Locks.mode;
+  q_pos : int;
+  q_held : (S.item * Locks.mode) list;  (* held before this acquisition *)
+}
+
+let simulate (sched : input) =
+  let held : (S.txn, (S.item * Locks.mode) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let held_of t =
+    match Hashtbl.find_opt held t with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace held t r;
+        r
+  in
+  let accesses = ref [] and acquisitions = ref [] in
+  List.iteri
+    (fun i (o : Ls.op) ->
+      let h = held_of o.Ls.txn in
+      match o.Ls.action with
+      | Ls.Lock (mode, item) ->
+          acquisitions :=
+            {
+              q_txn = o.Ls.txn;
+              q_item = item;
+              q_mode = mode;
+              q_pos = i;
+              q_held = !h;
+            }
+            :: !acquisitions;
+          (* an exclusive request upgrades a shared hold *)
+          let others = List.remove_assoc item !h in
+          let effective =
+            match (List.assoc_opt item !h, mode) with
+            | Some Locks.Exclusive, _ -> Locks.Exclusive
+            | _, m -> m
+          in
+          h := (item, effective) :: others
+      | Ls.Unlock item -> h := List.remove_assoc item !h
+      | Ls.Op (S.Read item) ->
+          accesses :=
+            {
+              a_txn = o.Ls.txn;
+              a_item = item;
+              a_write = false;
+              a_pos = i;
+              a_held = !h;
+            }
+            :: !accesses
+      | Ls.Op (S.Write item) ->
+          accesses :=
+            {
+              a_txn = o.Ls.txn;
+              a_item = item;
+              a_write = true;
+              a_pos = i;
+              a_held = !h;
+            }
+            :: !accesses
+      | Ls.Op (S.Commit | S.Abort) -> h := [])
+    sched;
+  (List.rev !accesses, List.rev !acquisitions)
+
+let intersect sets =
+  match sets with
+  | [] -> []
+  | first :: rest ->
+      List.filter (fun x -> List.for_all (List.mem x) rest) first
+
+let items_of_accesses accs =
+  List.sort_uniq String.compare (List.map (fun a -> a.a_item) accs)
+
+(* CC001/CC002/CC003 — the Eraser lockset discipline, per item: over all
+   conflicting accesses the common lockset must stay non-empty (CC001),
+   must protect the writes in exclusive mode (CC002), and when the
+   convention is a guard lock other than the item itself we say so
+   (CC003, informational). *)
+let lockset_pass (sched : input) =
+  if not (Ls.has_lock_ops sched) then []
+  else begin
+    let accesses, _ = simulate sched in
+    List.concat_map
+      (fun item ->
+        let accs = List.filter (fun a -> a.a_item = item) accesses in
+        let txns = List.sort_uniq Int.compare (List.map (fun a -> a.a_txn) accs) in
+        let writers =
+          List.sort_uniq Int.compare
+            (List.filter_map
+               (fun a -> if a.a_write then Some a.a_txn else None)
+               accs)
+        in
+        let conflicting =
+          List.length txns >= 2
+          && List.exists
+               (fun a ->
+                 List.exists
+                   (fun a' ->
+                     a.a_txn <> a'.a_txn && (a.a_write || a'.a_write))
+                   accs)
+               accs
+        in
+        if not conflicting then []
+        else begin
+          let locksets =
+            List.map (fun a -> List.map fst a.a_held) accs
+          in
+          let common = intersect locksets in
+          let txns_s =
+            String.concat ", " (List.map string_of_int txns)
+          in
+          if common = [] then
+            [
+              Diagnostic.error
+                ~subject:
+                  (Printf.sprintf "transactions {%s} access %s" txns_s item)
+                "CC001"
+                (Printf.sprintf
+                   "lockset race: %s is accessed by transactions {%s} with \
+                    at least one write, but no lock is held across every \
+                    access — the accesses are unordered"
+                   item txns_s);
+            ]
+          else begin
+            let exclusive_at_writes =
+              intersect
+                (List.filter_map
+                   (fun a ->
+                     if a.a_write then
+                       Some
+                         (List.filter_map
+                            (fun (l, m) ->
+                              if m = Locks.Exclusive then Some l else None)
+                            a.a_held)
+                     else None)
+                   accs)
+            in
+            let insufficient =
+              writers <> [] && exclusive_at_writes = []
+            in
+            let guard =
+              if List.mem item common then []
+              else
+                [
+                  Diagnostic.info
+                    ~subject:
+                      (Printf.sprintf "common lockset: {%s}"
+                         (String.concat ", "
+                            (List.sort String.compare common)))
+                    "CC003"
+                    (Printf.sprintf
+                       "guard-lock convention: %s is consistently protected \
+                        by a lock other than its own (%s)"
+                       item
+                       (String.concat ", " (List.sort String.compare common)));
+                ]
+            in
+            (if insufficient then
+               [
+                 Diagnostic.warning
+                   ~subject:
+                     (Printf.sprintf "common lockset: {%s}"
+                        (String.concat ", " (List.sort String.compare common)))
+                   "CC002"
+                   (Printf.sprintf
+                      "insufficient lock mode: %s is written, but no lock in \
+                       the common lockset is held exclusively at every \
+                       write — shared holders can interleave"
+                      item);
+               ]
+             else [])
+            @ guard
+          end
+        end)
+      (items_of_accesses accesses)
+  end
+
+(* Strongly connected components by pairwise reachability — lock-order
+   graphs are tiny (a handful of locks). *)
+let components nodes edges =
+  let reaches a b =
+    let rec go seen frontier =
+      match frontier with
+      | [] -> false
+      | x :: rest ->
+          if x = b then true
+          else if List.mem x seen then go seen rest
+          else
+            go (x :: seen)
+              (List.filter_map
+                 (fun (s, d) -> if s = x then Some d else None)
+                 edges
+              @ rest)
+    in
+    go [] (List.filter_map (fun (s, d) -> if s = a then Some d else None) edges)
+  in
+  let comps =
+    List.map
+      (fun v ->
+        List.filter (fun w -> v = w || (reaches v w && reaches w v)) nodes)
+      nodes
+  in
+  List.sort_uniq compare (List.filter (fun c -> List.length c >= 2) comps)
+
+(* CC004/CC005 — the GoodLock lock-order graph: an edge a -> b whenever
+   some transaction acquires b while holding a.  A cycle reached by two
+   or more transactions predicts a deadlock even if this particular
+   interleaving ran serially (strictly stronger than watching waits).
+   The classic refinement: when every edge of the cycle was taken while
+   holding a common *gate* lock, the gate serializes the contenders and
+   the reversal cannot actually deadlock (CC005, informational). *)
+let lock_order_pass (sched : input) =
+  if not (Ls.has_lock_ops sched) then []
+  else begin
+    let _, acquisitions = simulate sched in
+    let edges =
+      List.concat_map
+        (fun q ->
+          List.filter_map
+            (fun (l, _) ->
+              if l = q.q_item then None
+              else Some (l, q.q_item, q.q_txn, List.map fst q.q_held))
+            q.q_held)
+        acquisitions
+    in
+    let nodes =
+      List.sort_uniq String.compare
+        (List.concat_map (fun (a, b, _, _) -> [ a; b ]) edges)
+    in
+    let graph =
+      List.sort_uniq compare (List.map (fun (a, b, _, _) -> (a, b)) edges)
+    in
+    List.filter_map
+      (fun comp ->
+        let in_comp = List.filter
+            (fun (a, b, _, _) -> List.mem a comp && List.mem b comp)
+            edges
+        in
+        let txns =
+          List.sort_uniq Int.compare (List.map (fun (_, _, t, _) -> t) in_comp)
+        in
+        if List.length txns < 2 then None
+        else begin
+          let locks = List.sort String.compare comp in
+          let gate =
+            intersect
+              (List.map
+                 (fun (_, _, _, held) ->
+                   List.filter (fun l -> not (List.mem l comp)) held)
+                 in_comp)
+          in
+          let locks_s = String.concat ", " locks in
+          let txns_s = String.concat ", " (List.map string_of_int txns) in
+          if gate <> [] then
+            Some
+              (Diagnostic.info
+                 ~subject:
+                   (Printf.sprintf "gate lock(s): %s"
+                      (String.concat ", " (List.sort String.compare gate)))
+                 "CC005"
+                 (Printf.sprintf
+                    "gated lock-order reversal: transactions {%s} acquire \
+                     {%s} in opposite orders, but every acquisition holds a \
+                     common gate lock — the reversal cannot deadlock"
+                    txns_s locks_s))
+          else
+            Some
+              (Diagnostic.warning
+                 ~subject:(Printf.sprintf "locks involved: %s" locks_s)
+                 "CC004"
+                 (Printf.sprintf
+                    "lock-order cycle: transactions {%s} acquire {%s} in \
+                     opposite orders while holding one another's locks — \
+                     some interleaving of this program deadlocks"
+                    txns_s locks_s))
+        end)
+      (components nodes graph)
+  end
+
+(* CC006 — the upgrade deadlock: two transactions hold the same item
+   shared at the same time and both later upgrade to exclusive.  Neither
+   upgrade can be granted before the other's shared lock goes away, and
+   under 2PL neither will release first: a guaranteed deadlock that
+   waits-for detection only catches once it has already happened. *)
+let upgrade_pass (sched : input) =
+  if not (Ls.has_lock_ops sched) then []
+  else begin
+    let _, acquisitions = simulate sched in
+    let upgrades =
+      List.filter
+        (fun q ->
+          q.q_mode = Locks.Exclusive
+          && List.assoc_opt q.q_item q.q_held = Some Locks.Shared)
+        acquisitions
+    in
+    (* shared holders of q's item at q's position, other than q's txn *)
+    let holders_at q =
+      let held : (S.txn, (S.item * Locks.mode) list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let held_of t =
+        match Hashtbl.find_opt held t with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.replace held t r;
+            r
+      in
+      List.iteri
+        (fun i (o : Ls.op) ->
+          if i < q.q_pos then
+            let h = held_of o.Ls.txn in
+            match o.Ls.action with
+            | Ls.Lock (mode, item) ->
+                let others = List.remove_assoc item !h in
+                let effective =
+                  match (List.assoc_opt item !h, mode) with
+                  | Some Locks.Exclusive, _ -> Locks.Exclusive
+                  | _, m -> m
+                in
+                h := (item, effective) :: others
+            | Ls.Unlock item -> h := List.remove_assoc item !h
+            | Ls.Op (S.Commit | S.Abort) -> h := []
+            | Ls.Op _ -> ())
+        sched;
+      Hashtbl.fold
+        (fun t h acc ->
+          if t <> q.q_txn && List.assoc_opt q.q_item !h = Some Locks.Shared
+          then t :: acc
+          else acc)
+        held []
+    in
+    let pairs = ref [] in
+    List.iter
+      (fun q ->
+        List.iter
+          (fun other ->
+            if
+              List.exists
+                (fun q' -> q'.q_txn = other && q'.q_item = q.q_item)
+                upgrades
+            then begin
+              let pair =
+                (min q.q_txn other, max q.q_txn other, q.q_item)
+              in
+              if not (List.mem pair !pairs) then pairs := pair :: !pairs
+            end)
+          (holders_at q))
+      upgrades;
+    List.rev_map
+      (fun (t1, t2, item) ->
+        Diagnostic.error
+          ~subject:(Printf.sprintf "sl%d(%s) and sl%d(%s)" t1 item t2 item)
+          "CC006"
+          (Printf.sprintf
+             "upgrade deadlock: transactions %d and %d hold %s shared \
+              simultaneously and both upgrade to exclusive — neither \
+              upgrade can ever be granted"
+             t1 t2 item))
+      !pairs
+  end
+
+let passes : input Pass.t list =
+  [
+    Pass.make "lockset-race" lockset_pass;
+    Pass.make "lock-order-graph" lock_order_pass;
+    Pass.make "upgrade-deadlock" upgrade_pass;
+  ]
+
+let schedule_passes : input Pass.t list = Transaction_lint.passes @ passes
+
+let lint sched = Pass.run_all passes sched
+
+let lint_string text = lint (Ls.of_string text)

@@ -1,0 +1,49 @@
+(** Predictive concurrency analysis over lock-annotated schedules
+    ({!Transactions.Locked_schedule}): an Eraser-style lockset race
+    detector and a GoodLock-style lock-order graph.  Both passes reason
+    about what {e other} interleavings of the same program could do, so
+    they fire on schedules that happen to execute cleanly — strictly
+    stronger than the observational TX passes, which they subsume as
+    stages of {!schedule_passes} (the pipeline behind
+    [dbmeta lint schedule]).
+
+    Diagnostic codes:
+    - [CC001] (error) lockset race — an item with conflicting accesses
+      from two or more transactions and an empty common lockset; no lock
+      orders the accesses
+    - [CC002] (warning) insufficient lock mode — the common lockset is
+      non-empty, but no lock in it is held exclusively at every write;
+      shared holders can interleave
+    - [CC003] (info) guard-lock convention — the accesses are
+      consistently protected, but by a lock other than the item itself
+    - [CC004] (warning) lock-order cycle — two or more transactions
+      acquire the same locks in opposite orders while holding one
+      another's locks; some interleaving deadlocks (GoodLock)
+    - [CC005] (info) gated lock-order reversal — a lock-order cycle
+      whose every acquisition holds a common gate lock; the gate
+      serializes the contenders and the reversal cannot deadlock
+    - [CC006] (error) upgrade deadlock — two transactions hold the same
+      item shared simultaneously and both upgrade to exclusive; neither
+      grant can ever be made
+
+    Like the TX lock-discipline passes, every pass here is silent on
+    schedules without explicit lock operations. *)
+
+type input = Transactions.Locked_schedule.t
+(** A parsed schedule; schedules without lock operations are skipped by
+    every CC pass. *)
+
+val passes : input Pass.t list
+(** The CC passes alone. *)
+
+val schedule_passes : input Pass.t list
+(** {!Transaction_lint.passes} followed by {!passes} — everything
+    [dbmeta lint schedule] runs, through one {!Pass.drive}. *)
+
+val lint : input -> Diagnostic.t list
+(** Runs the CC passes only (the TX passes are separate; use
+    {!schedule_passes} with {!Pass.run_all} for the full pipeline). *)
+
+val lint_string : string -> Diagnostic.t list
+(** Parses with {!Transactions.Locked_schedule.of_string}; raises
+    [Invalid_argument] on malformed input. *)

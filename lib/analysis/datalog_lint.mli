@@ -17,8 +17,11 @@ type input = {
   program : Datalog.Ast.program;
   query : Datalog.Ast.query option;
 }
+(** What the passes see: the program plus the optional query that
+    enables reachability-based analyses. *)
 
 val passes : input Pass.t list
+(** The DL pass suite, for {!Pass.run_all} / {!Pass.drive}. *)
 
 val lint : ?query:Datalog.Ast.query -> Datalog.Ast.program -> Diagnostic.t list
 (** Runs every pass and returns the sorted diagnostics. *)

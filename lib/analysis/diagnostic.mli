@@ -8,6 +8,7 @@
     round-trips through {!list_of_json}. *)
 
 type severity = Error | Warning | Info
+(** Errors fail the lint (exit 1); warnings and infos do not. *)
 
 type t = {
   code : string;
@@ -16,18 +17,27 @@ type t = {
   subject : string option;
   loc : int option;
 }
+(** One finding: stable code, severity, message, and the optional
+    offending fragment and position. *)
 
 val make :
   ?subject:string -> ?loc:int -> code:string -> severity:severity -> string -> t
+(** The general constructor behind {!error}/{!warning}/{!info}. *)
 
 val error : ?subject:string -> ?loc:int -> string -> string -> t
 (** [error code message]. *)
 
 val warning : ?subject:string -> ?loc:int -> string -> string -> t
+(** [warning code message]. *)
+
 val info : ?subject:string -> ?loc:int -> string -> string -> t
+(** [info code message]. *)
 
 val severity_to_string : severity -> string
+(** ["error"], ["warning"], or ["info"]. *)
+
 val severity_of_string : string -> severity option
+(** Inverse of {!severity_to_string}. *)
 
 val compare : t -> t -> int
 (** Errors first, then warnings, then infos; ties broken by code, then
@@ -36,6 +46,7 @@ val compare : t -> t -> int
 val sort : t list -> t list
 
 val has_errors : t list -> bool
+(** Whether any diagnostic is error-severity. *)
 
 val exit_code : t list -> int
 (** Exit-code policy: 1 when any [Error] is present, 0 otherwise
@@ -48,6 +59,8 @@ val list_to_text : t list -> string
 val summary : t list -> string
 
 val to_json : t -> string
+(** One diagnostic as a JSON object. *)
+
 val list_to_json : t list -> string
 (** A JSON array of objects with fields [code], [severity], [message],
     and optional [subject], [loc]. *)

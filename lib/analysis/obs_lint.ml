@@ -82,7 +82,9 @@ let family name =
   | Some i -> Some (String.sub name 0 i)
   | None -> None
 
-let lint ~registered ~catalogue_text =
+type input = { registered : string list; catalogue_text : string }
+
+let run_lint { registered; catalogue_text } =
   let registered = List.sort_uniq String.compare registered in
   let documented = documented_names catalogue_text in
   let globs, exact =
@@ -135,3 +137,8 @@ let lint ~registered ~catalogue_text =
       exact
   in
   Diagnostic.sort (undocumented @ stale)
+
+let passes = [ Pass.make "metric-catalogue" run_lint ]
+
+let lint ~registered ~catalogue_text =
+  Pass.run_all passes { registered; catalogue_text }

@@ -21,7 +21,13 @@ val documented_names : string -> string list
 (** The metric names (and [family.*] globs) a catalogue text documents,
     sorted and deduplicated — exposed for tests. *)
 
-val lint : registered:string list -> catalogue_text:string -> Diagnostic.t list
+type input = { registered : string list; catalogue_text : string }
 (** [registered] is the name set from a fully-instrumented synthetic run
-    ({!Obs.Registry.names}); [catalogue_text] is the markdown catalogue.
-    Returns sorted diagnostics (errors first). *)
+    ({!Obs.Registry.names}); [catalogue_text] is the markdown catalogue. *)
+
+val passes : input Pass.t list
+(** The suite [dbmeta lint metrics] drives through {!Pass.drive} — the
+    same pipeline as every other lint subcommand. *)
+
+val lint : registered:string list -> catalogue_text:string -> Diagnostic.t list
+(** Runs {!passes}; returns sorted diagnostics (errors first). *)

@@ -17,3 +17,17 @@ let run_one pass artifact =
 
 let run_all passes artifact =
   Diagnostic.sort (List.concat_map (fun p -> run_one p artifact) passes)
+
+(* One rendering + exit-code policy for every lint subcommand: the CLI
+   front-ends parse their artifact, then hand it here. *)
+
+type format = Text | Json
+
+let render format diags =
+  match format with
+  | Text -> Diagnostic.list_to_text diags
+  | Json -> Diagnostic.list_to_json diags
+
+let drive ~format passes artifact =
+  let diags = run_all passes artifact in
+  (render format diags, Diagnostic.exit_code diags)

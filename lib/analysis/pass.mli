@@ -3,9 +3,13 @@
     same artifact, with the results merged and severity-sorted. *)
 
 type 'a t
+(** A named analysis pass over artifacts of type ['a]. *)
 
 val make : string -> ('a -> Diagnostic.t list) -> 'a t
+(** [make name f] wraps an analysis function as a pass. *)
+
 val name : 'a t -> string
+(** The pass name (used in [LINT99] crash diagnostics). *)
 
 val run_one : 'a t -> 'a -> Diagnostic.t list
 (** Runs one pass; a raised exception becomes a single [LINT99] error
@@ -13,3 +17,16 @@ val run_one : 'a t -> 'a -> Diagnostic.t list
 
 val run_all : 'a t list -> 'a -> Diagnostic.t list
 (** Runs every pass and returns the sorted union of their diagnostics. *)
+
+type format = Text | Json
+(** The two renderings every lint subcommand offers. *)
+
+val render : format -> Diagnostic.t list -> string
+(** {!Diagnostic.list_to_text} or {!Diagnostic.list_to_json}. *)
+
+val drive : format:format -> 'a t list -> 'a -> string * int
+(** The one driver behind every [dbmeta lint] subcommand: run the suite,
+    render in the requested format, and return the output together with
+    the {!Diagnostic.exit_code} (1 when any error-severity diagnostic
+    fired, 0 otherwise).  Keeping text/JSON/exit behaviour here — not in
+    each CLI front-end — is what makes the subcommands uniform. *)

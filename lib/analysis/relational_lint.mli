@@ -21,6 +21,8 @@ type input = {
   catalog : string -> Relational.Schema.t option;
   plan : Relational.Algebra.t;
 }
+(** What the passes see: the plan plus the catalog resolving its leaf
+    relations. *)
 
 val infer :
   (string -> Relational.Schema.t option) ->
@@ -30,14 +32,18 @@ val infer :
     plus every typing diagnostic found along the way. *)
 
 val passes : input Pass.t list
+(** The RA pass suite, for {!Pass.run_all} / {!Pass.drive}. *)
 
 val lint :
   catalog:(string -> Relational.Schema.t option) ->
   Relational.Algebra.t ->
   Diagnostic.t list
+(** Runs every pass and returns the sorted diagnostics. *)
 
 val catalog_of_database :
   Relational.Database.t -> string -> Relational.Schema.t option
+(** A catalog backed by a loaded database's table schemas. *)
 
 val catalog_of_alist :
   (string * Relational.Schema.t) list -> string -> Relational.Schema.t option
+(** A catalog backed by an explicit name/schema list. *)

@@ -24,10 +24,15 @@
       opposite orders by a cycle of transactions *)
 
 type input = Transactions.Locked_schedule.t
+(** A parsed schedule; plain (lock-free) histories skip the
+    lock-discipline passes. *)
 
 val passes : input Pass.t list
+(** The TX pass suite, for {!Pass.run_all} / {!Pass.drive} (see also
+    {!Concurrency_lint.schedule_passes}). *)
 
 val lint : input -> Diagnostic.t list
+(** Runs every pass and returns the sorted diagnostics. *)
 
 val lint_string : string -> Diagnostic.t list
 (** Parses with {!Transactions.Locked_schedule.of_string}; raises

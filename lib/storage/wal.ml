@@ -131,6 +131,69 @@ let scan image =
   done;
   (List.rev !entries, !pos)
 
+(* --- read-only scanning: the offline verifier's view --------------------- *)
+
+type resync = { resync_at : int; resync_records : entry list }
+
+type report = {
+  records : entry list;
+  clean_bytes : int;
+  total_bytes : int;
+  resync : resync option;
+}
+
+(* Is there a whole, CRC-valid, decodable frame at [pos]? *)
+let valid_frame_at image pos =
+  let n = String.length image in
+  if pos + 8 > n then false
+  else begin
+    let crc = Int32.to_int (String.get_int32_le image pos) land 0xFFFFFFFF in
+    let len = Int32.to_int (String.get_int32_le image (pos + 4)) land 0xFFFFFFFF in
+    if len > n - pos - 8 then false
+    else begin
+      let payload = String.sub image (pos + 8) len in
+      Support.Crc32.string payload = crc
+      && match record_of_payload payload with
+         | (_ : record) -> true
+         | exception Corrupt _ -> false
+    end
+  end
+
+(* After the scan stops at damage, slide forward byte by byte looking for
+   a point where valid frames resume.  A torn tail (partial frame, zeros,
+   nothing after) never resyncs; a frame corrupted mid-log — with intact
+   appends after it — does, and that distinction is exactly what
+   separates tolerated crash damage from silent data loss. *)
+let find_resync image clean =
+  let n = String.length image in
+  let rec search pos =
+    if pos + 8 > n then None
+    else if valid_frame_at image pos then begin
+      let entries, _ = scan (String.sub image pos (n - pos)) in
+      let entries =
+        List.map (fun e -> { e with lsn = e.lsn + pos }) entries
+      in
+      Some { resync_at = pos; resync_records = entries }
+    end
+    else search (pos + 1)
+  in
+  search (clean + 1)
+
+let scan_report image =
+  let records, clean_bytes = scan image in
+  let total_bytes = String.length image in
+  let resync =
+    if clean_bytes < total_bytes then find_resync image clean_bytes else None
+  in
+  { records; clean_bytes; total_bytes; resync }
+
+let report_file path =
+  if Sys.file_exists path then scan_report (Support.Io.read_file path)
+  else { records = []; clean_bytes = 0; total_bytes = 0; resync = None }
+
+let fold_file path ~init ~f =
+  List.fold_left f init (report_file path).records
+
 (* --- the log file ------------------------------------------------------- *)
 
 type metrics = {
@@ -177,6 +240,7 @@ type t = {
   mutable appends : int;
   mutable flushes : int;
   mutable retried : int;  (* transient-EIO retries that eventually won *)
+  truncated : int;  (* torn-tail bytes dropped by the opening scan *)
 }
 
 let max_retries = 8
@@ -209,6 +273,7 @@ let open_log ?(fault = Fault.create ()) ?(metrics = Obs.Registry.noop)
       appends = 0;
       flushes = 0;
       retried = 0;
+      truncated = String.length image - clean;
     },
     entries )
 
@@ -306,6 +371,7 @@ let abandon t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let stats t = (t.appends, t.flushes, t.durable)
 let retries t = t.retried
+let truncated_at_open t = t.truncated
 let path t = t.path
 
 let read_entries path =

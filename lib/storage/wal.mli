@@ -37,12 +37,18 @@ val open_log :
   ?fault:Fault.t -> ?metrics:Obs.Registry.t -> ?trace:Obs.Trace.t ->
   string -> t * entry list
 (** Open (creating if needed), scan tolerantly, physically truncate any
-    torn tail, and return the surviving entries oldest-first.
+    torn tail, and return the surviving entries oldest-first.  The count
+    of truncated tail bytes is reported by {!truncated_at_open} rather
+    than silently dropped.
 
     [metrics] receives the [wal.*] instruments (append/flush counters
     and byte totals, [wal.fsync_ns]/[wal.flush_ns] latency histograms);
     [trace] records a [wal.flush] span per durable flush.  Both default
     to the shared no-ops. *)
+
+val truncated_at_open : t -> int
+(** Torn-tail bytes the opening scan found after the last valid frame
+    and physically truncated (0 when the log was clean). *)
 
 val append : t -> record -> int
 (** Buffer a record; returns its LSN.  Not durable until {!flush}. *)
@@ -87,6 +93,37 @@ val read_entries : string -> entry list
 val scan : string -> entry list * int
 (** Tolerant scan of an in-memory log image; returns the entries and the
     clean byte length (exposed for tests). *)
+
+type resync = { resync_at : int; resync_records : entry list }
+(** Where valid frames resume after mid-log damage, and what they decode
+    to.  A torn tail never resyncs (partial frame, zeros, end of file);
+    a frame corrupted {e between} intact appends does — the frames after
+    it are real history that the tolerant open would silently discard. *)
+
+type report = {
+  records : entry list;  (** the valid prefix, oldest-first *)
+  clean_bytes : int;  (** length of the valid prefix *)
+  total_bytes : int;  (** length of the whole image/file *)
+  resync : resync option;
+      (** present only when damage is followed by decodable frames *)
+}
+(** Everything a read-only scan can say about a log image: the surviving
+    records, how much of the file they cover, and — when the file is
+    longer — whether the damage looks like a tolerated torn tail or like
+    mid-log corruption.  This is the input to {!Analysis.Wal_lint}. *)
+
+val scan_report : string -> report
+(** Full tolerant scan of an in-memory log image, with damage
+    classification (byte-by-byte resync search after the valid prefix). *)
+
+val report_file : string -> report
+(** {!scan_report} over a file, opened read-only — safe to run against a
+    log owned by a crashed (or even live) process.  A missing file
+    yields the empty report. *)
+
+val fold_file : string -> init:'a -> f:('a -> entry -> 'a) -> 'a
+(** Fold over the valid prefix of a log file without ever holding a
+    writable descriptor (the offline verifier's iteration API). *)
 
 val frame_of_record : record -> string
 (** The exact on-disk frame (exposed for tests). *)

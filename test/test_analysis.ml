@@ -252,6 +252,199 @@ let test_tx_clean_schedule () =
   check_clean "serial locked schedule"
     (tx_lint "xl1(x) w1(x) c1 sl2(x) r2(x) c2")
 
+(* --- wal verifier ----------------------------------------------------------- *)
+
+module W = Storage.Wal
+
+let wbegin t = W.Begin t
+let wcommit t = W.Commit t
+let wabort t = W.Abort t
+
+let wwrite ?(compensation = false) txn item before after =
+  W.Write { txn; item; before; after; compensation }
+
+let image records = String.concat "" (List.map W.frame_of_record records)
+
+(* lint a log image exactly as `dbmeta lint wal` would a file *)
+let wal_lint records = A.Wal_lint.lint (W.scan_report (image records))
+
+let committed_txn ?(txn = 1) ?(item = "x") ?(before = 0) ?(after = 7) () =
+  [ wbegin txn; wwrite txn item before after; wcommit txn ]
+
+let test_wl001_non_monotone_lsn () =
+  check_code "lsn goes backwards" "WL001"
+    (A.Wal_lint.lint_entries
+       [
+         { W.lsn = 40; record = wbegin 1 };
+         { W.lsn = 12; record = wcommit 1 };
+       ]);
+  check_no_code "scanned image is monotone" "WL001"
+    (wal_lint (committed_txn ()))
+
+let test_wl002_overlapping_frames () =
+  check_code "frame starts inside its predecessor" "WL002"
+    (A.Wal_lint.lint_entries
+       [
+         { W.lsn = 0; record = wbegin 1 };
+         { W.lsn = 5; record = wcommit 1 };
+       ]);
+  check_no_code "scanned image is dense" "WL002" (wal_lint (committed_txn ()))
+
+let test_wl003_op_without_begin () =
+  check_code "write without begin" "WL003"
+    (wal_lint [ wwrite 1 "x" 0 7; wcommit 1 ]);
+  check_code "commit without begin" "WL003" (wal_lint [ wcommit 9 ]);
+  check_no_code "bracketed txn" "WL003" (wal_lint (committed_txn ()))
+
+let test_wl004_duplicate_begin () =
+  check_code "begin twice" "WL004"
+    (wal_lint [ wbegin 1; wbegin 1; wcommit 1 ]);
+  check_code "write after commit" "WL004"
+    (wal_lint (committed_txn () @ [ wwrite 1 "x" 7 9 ]));
+  check_code "commit then abort" "WL004"
+    (wal_lint (committed_txn () @ [ wabort 1 ]));
+  check_no_code "id reuse never happens in engine logs" "WL004"
+    (wal_lint (committed_txn ~txn:1 () @ committed_txn ~txn:2 ~before:7 ()))
+
+let test_wl005_stray_compensation () =
+  check_code "CLR with no forward write" "WL005"
+    (wal_lint [ wbegin 1; wwrite ~compensation:true 1 "x" 7 0; wabort 1 ]);
+  check_code "compensated txn commits" "WL005"
+    (wal_lint
+       [
+         wbegin 1; wwrite 1 "x" 0 7; wwrite ~compensation:true 1 "x" 7 0;
+         wcommit 1;
+       ]);
+  check_no_code "rollback episode" "WL005"
+    (wal_lint
+       [
+         wbegin 1; wwrite 1 "x" 0 7; wwrite ~compensation:true 1 "x" 7 0;
+         wabort 1;
+       ])
+
+let test_wl006_checkpoint_not_quiescent () =
+  check_code "checkpoint with a live txn" "WL006"
+    (wal_lint [ wbegin 1; W.Checkpoint; wcommit 1 ]);
+  check_no_code "quiescent checkpoint" "WL006"
+    (wal_lint (committed_txn () @ [ W.Checkpoint ]))
+
+let test_wl007_torn_tail () =
+  let torn = image (committed_txn ()) ^ "\x01\x02\x03" in
+  let diags = A.Wal_lint.lint (W.scan_report torn) in
+  check_code "trailing garbage is a torn tail" "WL007" diags;
+  check_no_code "not mid-log corruption" "WL008" diags;
+  Alcotest.(check int) "torn tail is only a warning" 0 (D.exit_code diags);
+  check_no_code "clean log has no tail" "WL007" (wal_lint (committed_txn ()))
+
+let test_wl008_midlog_corruption () =
+  let img = image (committed_txn ~txn:1 () @ committed_txn ~txn:2 ~before:7 ()) in
+  let corrupt = Bytes.of_string img in
+  (* smash a payload byte of the very first frame: the scan stops at 0,
+     but every later frame is intact and the resync search finds them *)
+  Bytes.set corrupt 9 '\xff';
+  let diags = A.Wal_lint.lint (W.scan_report (Bytes.to_string corrupt)) in
+  check_code "damage followed by intact frames" "WL008" diags;
+  check_no_code "not a torn tail" "WL007" diags;
+  Alcotest.(check int) "mid-log corruption is an error" 1 (D.exit_code diags)
+
+let test_wl009_live_at_end () =
+  let diags = wal_lint [ wbegin 1; wwrite 1 "x" 0 7 ] in
+  check_code "loser-to-be is reported" "WL009" diags;
+  Alcotest.(check int) "live txn is only info" 0 (D.exit_code diags);
+  check_no_code "terminated txn" "WL009" (wal_lint (committed_txn ()))
+
+let test_wl010_before_image_chain () =
+  check_code "before-image contradicts last after-image" "WL010"
+    (wal_lint
+       (committed_txn ~txn:1 ~after:5 ()
+       @ [ wbegin 2; wwrite 2 "x" 0 9; wcommit 2 ]));
+  check_no_code "chained before-images" "WL010"
+    (wal_lint
+       (committed_txn ~txn:1 ~after:5 ()
+       @ [ wbegin 2; wwrite 2 "x" 5 9; wcommit 2 ]));
+  (* the chain survives a rollback: the CLR restores the old value *)
+  check_no_code "chain through an abort episode" "WL010"
+    (wal_lint
+       (committed_txn ~txn:1 ~after:5 ()
+       @ [
+           wbegin 2; wwrite 2 "x" 5 9; wwrite ~compensation:true 2 "x" 9 5;
+           wabort 2; wbegin 3; wwrite 3 "x" 5 1; wcommit 3;
+         ]))
+
+let test_wal_empty_log_is_clean () =
+  check_clean "empty log" (A.Wal_lint.lint (W.scan_report ""))
+
+(* --- concurrency prediction ------------------------------------------------- *)
+
+let cc_lint = A.Concurrency_lint.lint_string
+
+let test_cc001_lockset_race () =
+  check_code "disjoint locksets on a shared item" "CC001"
+    (cc_lint "xl1(a) w1(x) u1(a) c1 xl2(b) w2(x) u2(b) c2");
+  check_no_code "item's own lock held" "CC001"
+    (cc_lint "xl1(x) w1(x) c1 xl2(x) w2(x) c2");
+  check_no_code "single-txn access never races" "CC001"
+    (cc_lint "xl1(a) w1(x) w1(x) c1");
+  (* plain schedules carry no lock info: every CC pass stays silent *)
+  check_clean "no lock ops, no CC lint" (cc_lint "w1(x) w2(x) c1 c2")
+
+let test_cc002_insufficient_mode () =
+  let diags = cc_lint "sl1(g) w1(x) u1(g) c1 sl2(g) w2(x) u2(g) c2" in
+  check_code "guard held only shared at writes" "CC002" diags;
+  check_no_code "a common lock exists, so no race" "CC001" diags;
+  check_no_code "exclusive guard is enough" "CC002"
+    (cc_lint "xl1(g) w1(x) u1(g) c1 xl2(g) w2(x) u2(g) c2")
+
+let test_cc003_guard_lock () =
+  check_code "protected by a different lock" "CC003"
+    (cc_lint "xl1(g) w1(x) u1(g) c1 xl2(g) w2(x) u2(g) c2");
+  check_no_code "protected by the item's own lock" "CC003"
+    (cc_lint "xl1(x) w1(x) c1 xl2(x) w2(x) c2")
+
+let serial_deadlock = "xl1(x) xl1(y) w1(x) w1(y) c1 xl2(y) xl2(x) w2(y) w2(x) c2"
+
+let test_cc004_lock_order_cycle () =
+  let diags = cc_lint serial_deadlock in
+  check_code "opposite acquisition orders" "CC004" diags;
+  Alcotest.(check int) "prediction is a warning, not an error" 0
+    (D.exit_code diags);
+  check_no_code "same order everywhere" "CC004"
+    (cc_lint "xl1(x) xl1(y) w1(x) c1 xl2(x) xl2(y) w2(y) c2");
+  check_no_code "one txn alone cannot deadlock" "CC004"
+    (cc_lint "xl1(x) xl1(y) w1(x) u1(y) u1(x) xl1(y) xl1(x) w1(y) c1")
+
+let test_cc004_subsumes_tx010 () =
+  (* the observational pass needs an interleaved witness; the predictive
+     pass fires even on this serial execution of the same program *)
+  check_no_code "TX010 is silent on the serial schedule" "TX010"
+    (tx_lint serial_deadlock);
+  check_code "CC004 predicts from the serial schedule" "CC004"
+    (cc_lint serial_deadlock)
+
+let test_cc005_gate_lock () =
+  let gated =
+    "xl1(g) xl1(x) xl1(y) w1(x) w1(y) c1 xl2(g) xl2(y) xl2(x) w2(y) w2(x) c2"
+  in
+  let diags = cc_lint gated in
+  check_code "gate lock demotes the cycle" "CC005" diags;
+  check_no_code "no CC004 when gated" "CC004" diags;
+  check_code "ungated cycle stays a warning" "CC004" (cc_lint serial_deadlock)
+
+let test_cc006_upgrade_deadlock () =
+  let diags = cc_lint "sl1(x) sl2(x) r1(x) r2(x) xl1(x) xl2(x) w1(x) w2(x) c1 c2" in
+  check_code "simultaneous upgrades" "CC006" diags;
+  Alcotest.(check int) "a certain deadlock is an error" 1 (D.exit_code diags);
+  check_no_code "serial upgrades never overlap" "CC006"
+    (cc_lint "sl1(x) r1(x) xl1(x) w1(x) c1 sl2(x) r2(x) xl2(x) w2(x) c2")
+
+let test_cc_clean_schedule () =
+  check_clean "well-locked serial schedule"
+    (cc_lint "xl1(x) w1(x) c1 sl2(x) r2(x) c2");
+  check_clean "full pipeline on the same schedule"
+    (A.Pass.run_all A.Concurrency_lint.schedule_passes
+       (Transactions.Locked_schedule.of_string
+          "xl1(x) w1(x) c1 sl2(x) r2(x) c2"))
+
 (* --- diagnostics infrastructure -------------------------------------------- *)
 
 let test_json_roundtrip () =
@@ -325,6 +518,26 @@ let suite =
     Alcotest.test_case "TX009 lock leak" `Quick test_tx009_lock_leak;
     Alcotest.test_case "TX010 potential deadlock" `Quick test_tx010_potential_deadlock;
     Alcotest.test_case "transactions clean" `Quick test_tx_clean_schedule;
+    Alcotest.test_case "WL001 non-monotone lsn" `Quick test_wl001_non_monotone_lsn;
+    Alcotest.test_case "WL002 overlapping frames" `Quick test_wl002_overlapping_frames;
+    Alcotest.test_case "WL003 op without begin" `Quick test_wl003_op_without_begin;
+    Alcotest.test_case "WL004 duplicate begin" `Quick test_wl004_duplicate_begin;
+    Alcotest.test_case "WL005 stray compensation" `Quick test_wl005_stray_compensation;
+    Alcotest.test_case "WL006 checkpoint not quiescent" `Quick
+      test_wl006_checkpoint_not_quiescent;
+    Alcotest.test_case "WL007 torn tail" `Quick test_wl007_torn_tail;
+    Alcotest.test_case "WL008 mid-log corruption" `Quick test_wl008_midlog_corruption;
+    Alcotest.test_case "WL009 live at end" `Quick test_wl009_live_at_end;
+    Alcotest.test_case "WL010 before-image chain" `Quick test_wl010_before_image_chain;
+    Alcotest.test_case "WAL empty log clean" `Quick test_wal_empty_log_is_clean;
+    Alcotest.test_case "CC001 lockset race" `Quick test_cc001_lockset_race;
+    Alcotest.test_case "CC002 insufficient mode" `Quick test_cc002_insufficient_mode;
+    Alcotest.test_case "CC003 guard lock" `Quick test_cc003_guard_lock;
+    Alcotest.test_case "CC004 lock-order cycle" `Quick test_cc004_lock_order_cycle;
+    Alcotest.test_case "CC004 subsumes TX010" `Quick test_cc004_subsumes_tx010;
+    Alcotest.test_case "CC005 gate lock" `Quick test_cc005_gate_lock;
+    Alcotest.test_case "CC006 upgrade deadlock" `Quick test_cc006_upgrade_deadlock;
+    Alcotest.test_case "concurrency clean" `Quick test_cc_clean_schedule;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json roundtrip real" `Quick test_json_roundtrip_real;
     Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;

@@ -652,6 +652,173 @@ let prop_engine_matches_model_no_crash =
          cleanup path;
          r = `Completed && actual = expected))
 
+(* --- offline WAL verifier: the engine-correctness contract -------------------
+
+   Wal_lint's claim is that its errors are protocol violations the engine
+   can never commit: any log the engine produces — including survivor
+   logs left by injected crashes — lints with zero errors, while a single
+   mutated byte in the durable prefix always draws at least one
+   diagnostic. *)
+
+let wal_lint_errors path =
+  List.filter Analysis.Diagnostic.(fun d -> d.severity = Error)
+    (Analysis.Wal_lint.lint_file (Storage.Engine.wal_path path))
+
+let show_diags diags =
+  String.concat "; "
+    (List.map (fun d -> d.Analysis.Diagnostic.code) diags)
+
+(* crash-anywhere: the raw survivor log, as the crash left it, is
+   error-free (torn tails and live losers are warnings/infos) *)
+let prop_survivor_log_lints_clean =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40 ~name:"survivor wal lints with zero errors"
+       QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 40))
+       (fun (seed, crash_after) ->
+         let path = fresh_path () in
+         ignore (run_workload ~crash_after ~seed ~pool_size:3 path
+                 : [ `Completed | `Crashed ]);
+         let errors = wal_lint_errors path in
+         cleanup path;
+         if errors <> [] then
+           QCheck2.Test.fail_reportf "survivor log has errors: %s"
+             (show_diags errors)
+         else true))
+
+(* silent-fault sweep: torn writes and bit flips can leave genuine
+   mid-log corruption (a WL008 *true* positive), so the contract is
+   stated after recovery has repaired the log: reopen, then lint *)
+let prop_recovered_log_lints_clean =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30 ~name:"recovered wal lints with zero errors"
+       (QCheck2.Gen.int_range 0 100_000) (fun seed ->
+         let specs =
+           [| ""; "torn=0.05"; "flip=0.05"; "crash=9,torn=0.04";
+              "torn=0.03,flip=0.03,eio=0.08" |]
+         in
+         let spec0 = specs.(seed mod Array.length specs) in
+         let spec =
+           if spec0 = "" then "" else Printf.sprintf "%s,seed=%d" spec0 seed
+         in
+         let path = fresh_path () in
+         let faults = Storage.Fault.spec_of_string spec in
+         let programs =
+           Transactions.Workload.generate (Support.Rng.create seed)
+             {
+               Transactions.Workload.txns = 4;
+               ops_per_txn = 5;
+               items = 6;
+               skew = 0.5;
+               write_ratio = 0.6;
+             }
+         in
+         (match Storage.Engine.open_db ~pool_size:4 ~faults path with
+         | eng ->
+             let config = { Storage.Executor.default_config with seed } in
+             let stats = Storage.Executor.run ~config eng programs in
+             if stats.Storage.Executor.crashed = None then (
+               try Storage.Engine.close eng
+               with Storage.Fault.Crash _ -> Storage.Engine.crash eng)
+         | exception Storage.Fault.Crash _ -> ());
+         (* restart recovery truncates damage and resolves the losers *)
+         (match Storage.Engine.open_db path with
+         | eng -> Storage.Engine.close eng
+         | exception Storage.Fault.Crash _ -> assert false);
+         let errors = wal_lint_errors path in
+         cleanup path;
+         if errors <> [] then
+           QCheck2.Test.fail_reportf "recovered log has errors: %s"
+             (show_diags errors)
+         else true))
+
+(* tamper detection: CRC framing means no single-byte mutation of the
+   durable prefix escapes the verifier *)
+let prop_mutated_byte_is_detected =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"one mutated wal byte draws a diagnostic"
+       QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 1_000_000))
+       (fun (seed, pos_seed) ->
+         let path = fresh_path () in
+         (match run_workload ~seed ~pool_size:3 path with
+         | `Completed -> ()
+         | `Crashed -> assert false);
+         let wal = Storage.Engine.wal_path path in
+         let clean = Analysis.Wal_lint.lint_file wal in
+         let image =
+           let ic = open_in_bin wal in
+           let n = in_channel_length ic in
+           let s = really_input_string ic n in
+           close_in ic;
+           s
+         in
+         let pos = pos_seed mod String.length image in
+         let mutated = Bytes.of_string image in
+         Bytes.set mutated pos
+           (Char.chr (Char.code image.[pos] lxor 0x40));
+         let diags = Analysis.Wal_lint.lint (Storage.Wal.scan_report (Bytes.to_string mutated)) in
+         cleanup path;
+         if clean <> [] then
+           QCheck2.Test.fail_reportf "log not clean before mutation: %s"
+             (show_diags clean)
+         else if diags = [] then
+           QCheck2.Test.fail_reportf "mutation at byte %d went undetected" pos
+         else true))
+
+let test_wal_truncated_at_open () =
+  let path = fresh_path () in
+  let wal = Storage.Engine.wal_path path in
+  let eng = Storage.Engine.open_db path in
+  let txn = Storage.Engine.begin_txn eng in
+  Storage.Engine.write eng ~txn "x" 7;
+  Storage.Engine.commit eng ~txn;
+  Storage.Engine.close eng;
+  (* simulate a torn append *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 wal in
+  output_string oc "\x01\x02\x03\x04\x05";
+  close_out oc;
+  let before = Storage.Wal.report_file wal in
+  Alcotest.(check int) "scan sees the torn bytes" 5
+    (before.Storage.Wal.total_bytes - before.Storage.Wal.clean_bytes);
+  Alcotest.(check bool) "a torn tail never resyncs" true
+    (before.Storage.Wal.resync = None);
+  let log, _ = Storage.Wal.open_log wal in
+  Alcotest.(check int) "open reports the truncated tail" 5
+    (Storage.Wal.truncated_at_open log);
+  Storage.Wal.close log;
+  let after = Storage.Wal.report_file wal in
+  Alcotest.(check int) "open physically truncated the tail" 0
+    (after.Storage.Wal.total_bytes - after.Storage.Wal.clean_bytes);
+  let log2, _ = Storage.Wal.open_log wal in
+  Alcotest.(check int) "clean log truncates nothing" 0
+    (Storage.Wal.truncated_at_open log2);
+  Storage.Wal.close log2;
+  cleanup path
+
+let test_scan_report_resync_classification () =
+  let frame r = Storage.Wal.frame_of_record r in
+  let f1 = frame (Storage.Wal.Begin 1) in
+  let f2 = frame (Storage.Wal.Commit 1) in
+  (* mid-log corruption: smash the first frame, the second survives *)
+  let img = Bytes.of_string (f1 ^ f2) in
+  Bytes.set img 9 '\xff';
+  let r = Storage.Wal.scan_report (Bytes.to_string img) in
+  Alcotest.(check int) "valid prefix ends at the damage" 0
+    r.Storage.Wal.clean_bytes;
+  (match r.Storage.Wal.resync with
+  | Some { Storage.Wal.resync_at; resync_records } ->
+      Alcotest.(check int) "resync at the second frame" (String.length f1)
+        resync_at;
+      Alcotest.(check int) "one record decodes after resync" 1
+        (List.length resync_records)
+  | None -> Alcotest.fail "expected a resync after mid-log damage");
+  (* torn tail: trailing garbage after intact frames never resyncs *)
+  let torn = Storage.Wal.scan_report (f1 ^ f2 ^ "\x00\x00\x00") in
+  Alcotest.(check int) "intact prefix survives"
+    (String.length f1 + String.length f2)
+    torn.Storage.Wal.clean_bytes;
+  Alcotest.(check bool) "no resync in a torn tail" true
+    (torn.Storage.Wal.resync = None)
+
 (* --- recovery unit tests (algorithm against a plain hash table) -------------- *)
 
 let test_recovery_analysis () =
@@ -758,4 +925,10 @@ let suite =
     Alcotest.test_case "crash matrix" `Slow test_crash_matrix;
     Alcotest.test_case "crash during recovery" `Quick test_crash_during_recovery;
     prop_engine_matches_model_no_crash;
+    Alcotest.test_case "wal truncated_at_open" `Quick test_wal_truncated_at_open;
+    Alcotest.test_case "wal resync classification" `Quick
+      test_scan_report_resync_classification;
+    prop_survivor_log_lints_clean;
+    prop_recovered_log_lints_clean;
+    prop_mutated_byte_is_detected;
   ]
