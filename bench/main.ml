@@ -17,6 +17,7 @@ let targets =
     ("access", "access methods (B+tree, extendible hashing) + complex objects", Access_bench.run);
     ("storage", "persistent storage: pager, buffer pool, WAL, recovery", Storage_bench.run);
     ("executor", "fault-tolerant executor: locking, retry, repair", Executor_bench.run);
+    ("planner", "cost-based planner: access paths, join algorithms, overhead", Planner_bench.run);
     ("ablation", "design-choice ablations (optimizer, Yannakakis, DPLL)", Ablation.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]

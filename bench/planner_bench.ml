@@ -1,0 +1,165 @@
+(* The physical planner measured along its three axes: access-path
+   payoff (indexed point lookup vs forced full scan vs the legacy
+   materialize-and-eval path), the hash-vs-merge join crossover as
+   input size grows, and the planning overhead itself.  Every run works
+   on throwaway files in the temp directory. *)
+
+module E = Storage.Engine
+module A = Relational.Algebra
+module P = Planner.Physical
+open Relational.Value
+
+let fresh_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dbmeta_planner_bench_%d_%d.db" (Unix.getpid ()) !n)
+    in
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ path; E.wal_path path ];
+    path
+
+let cleanup path =
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; E.wal_path path ]
+
+(* n rows, [key] unique, [grp] with [n / 8] distinct values *)
+let table ?(prefix = "k") n =
+  Relational.Relation.of_list
+    (Relational.Schema.make
+       [ ("k", TInt); (prefix ^ "payload", TString) ])
+    (List.init n (fun i ->
+         [ Int i; String (Printf.sprintf "%s%06d" prefix i) ]))
+
+let repeat k f =
+  for _ = 1 to k do
+    ignore (f () : Relational.Relation.t)
+  done
+
+let run () =
+  Bench_util.header
+    "Physical planner: access paths, join algorithms, planning overhead";
+  let metrics = Bench_util.fresh_registry () in
+
+  (* --- point query: index vs full scan vs legacy ------------------------- *)
+  let n = 20_000 in
+  let reps = 50 in
+  Bench_util.note
+    "Point query select[k = %d] over %d rows, %d repetitions:" (n / 2) n reps;
+  let path = fresh_path () in
+  let eng = E.open_db ~metrics path in
+  E.save_table eng "r"
+    (Relational.Relation.of_list
+       (Relational.Schema.make [ ("k", TInt); ("payload", TString) ])
+       (List.init n (fun i -> [ Int i; String (Printf.sprintf "p%06d" i) ])));
+  ignore (Planner.Stats.analyze eng [ "r" ] : Planner.Stats.t);
+  let idx = Planner.Indexes.load eng in
+  Planner.Indexes.create eng idx
+    { Planner.Indexes.table = "r"; attr = "k"; kind = Btree };
+  let ctx = Planner.Plan.make eng in
+  let q = A.Select (A.Cmp (A.Eq, A.Attr "k", A.Const (Int (n / 2))), A.Rel "r") in
+  let indexed = Planner.Plan.plan ctx q in
+  (* first run builds the in-memory index; keep it out of the timing *)
+  ignore (Planner.Exec.run ctx indexed : Relational.Relation.t);
+  let full =
+    (* the same selection with the access path pinned to a heap scan *)
+    let scan = P.make (P.Scan { table = "r"; access = P.Full; pages = 0 }) (Planner.Plan.catalog ctx "r") in
+    P.make (P.Filter (A.Cmp (A.Eq, A.Attr "k", A.Const (Int (n / 2))), scan)) scan.P.schema
+  in
+  let t_index =
+    Bench_util.timed (fun () -> repeat reps (fun () -> Planner.Exec.run ctx indexed))
+  in
+  let t_full =
+    Bench_util.timed (fun () -> repeat reps (fun () -> Planner.Exec.run ctx full))
+  in
+  let t_legacy =
+    Bench_util.timed (fun () ->
+        repeat reps (fun () -> Relational.Eval.eval (E.database eng) q))
+  in
+  E.close eng;
+  cleanup path;
+  Bench_util.record ~metric:"point_index_ms" t_index;
+  Bench_util.record ~metric:"point_fullscan_ms" t_full;
+  Bench_util.record ~metric:"point_legacy_ms" t_legacy;
+  Bench_util.note "  index point lookup  %s ms" (Bench_util.ms t_index);
+  Bench_util.note "  forced full scan    %s ms  (%sx)" (Bench_util.ms t_full)
+    (Bench_util.f1 (t_full /. Float.max 0.001 t_index));
+  Bench_util.note "  legacy eval path    %s ms  (%sx)" (Bench_util.ms t_legacy)
+    (Bench_util.f1 (t_legacy /. Float.max 0.001 t_index));
+
+  (* --- join algorithms: hash vs merge over index order ------------------- *)
+  Bench_util.note "";
+  Bench_util.note
+    "1:1 equi-join, hash join vs merge join over B+tree-ordered scans:";
+  List.iter
+    (fun size ->
+      let path = fresh_path () in
+      let eng = E.open_db path in
+      E.save_table eng "a" (table ~prefix:"a" size);
+      E.save_table eng "b" (table ~prefix:"b" size);
+      ignore (Planner.Stats.analyze eng [ "a"; "b" ] : Planner.Stats.t);
+      let idx = Planner.Indexes.load eng in
+      List.iter
+        (fun t ->
+          Planner.Indexes.create eng idx
+            { Planner.Indexes.table = t; attr = "k"; kind = Btree })
+        [ "a"; "b" ];
+      let join = A.Project ([ "k" ], A.Join (A.Rel "a", A.Rel "b")) in
+      let time force =
+        let ctx =
+          Planner.Plan.make
+            ~config:{ Planner.Plan.default_config with force_join = force }
+            eng
+        in
+        let plan = Planner.Plan.plan ctx join in
+        ignore (Planner.Exec.run ctx plan : Relational.Relation.t);
+        Bench_util.timed (fun () ->
+            ignore (Planner.Exec.run ctx plan : Relational.Relation.t))
+      in
+      let t_hash = time Planner.Plan.Force_hash in
+      let t_merge = time Planner.Plan.Force_merge in
+      E.close eng;
+      cleanup path;
+      Bench_util.record ~metric:(Printf.sprintf "join_hash_%d" size) t_hash;
+      Bench_util.record ~metric:(Printf.sprintf "join_merge_%d" size) t_merge;
+      Bench_util.note "  %6d x %6d rows: hash %s ms, merge %s ms  (%s wins)"
+        size size (Bench_util.ms t_hash) (Bench_util.ms t_merge)
+        (if t_hash <= t_merge then "hash" else "merge"))
+    [ 500; 2_000; 8_000 ];
+
+  (* --- planning overhead ------------------------------------------------- *)
+  Bench_util.note "";
+  let path = fresh_path () in
+  let eng = E.open_db path in
+  List.iter
+    (fun t -> E.save_table eng t (table ~prefix:t 64))
+    [ "a"; "b"; "c" ];
+  ignore (Planner.Stats.analyze eng [ "a"; "b"; "c" ] : Planner.Stats.t);
+  let ctx = Planner.Plan.make eng in
+  let q =
+    A.Project
+      ( [ "k" ],
+        A.Select
+          ( A.Cmp (A.Ge, A.Attr "k", A.Const (Int 10)),
+            A.Join (A.Join (A.Rel "a", A.Rel "b"), A.Rel "c") ) )
+  in
+  let plans = 1_000 in
+  let t_plan =
+    Bench_util.timed (fun () ->
+        for _ = 1 to plans do
+          ignore (Planner.Plan.plan ctx q : P.t)
+        done)
+  in
+  E.close eng;
+  cleanup path;
+  let us = t_plan *. 1000.0 /. float_of_int plans in
+  Bench_util.record ~metric:"plan_overhead_us" ~unit:"us" us;
+  Bench_util.note
+    "Planning a filtered 3-way join: %s us per plan (%d plans in %s ms)"
+    (Bench_util.f2 us) plans (Bench_util.ms t_plan);
+  ignore metrics

@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let version = "1.5.0"
+let version = "1.6.0"
 
 let read_file = Support.Io.read_file
 
@@ -36,6 +36,7 @@ let input_error_to_exit f =
       fail (Printf.sprintf "corrupt database: %s" msg)
   | Storage.Engine.Unknown_table name ->
       fail (Printf.sprintf "no table %S in the database" name)
+  | Planner.Indexes.Index_error msg -> fail msg
   | Sys_error msg -> fail msg
 
 let load_tables tables =
@@ -455,31 +456,78 @@ let db_load_run path tables crash_after faults metrics =
   input_error_to_exit @@ fun () ->
   let db = load_tables tables in
   with_db ?crash_after ?faults ~metrics path (fun eng ->
-      Relational.Database.fold
-        (fun name rel () ->
-          Storage.Engine.save_table eng name rel;
-          Printf.printf "loaded %s: %d tuples\n" name
-            (Relational.Relation.cardinality rel))
-        db ();
+      let names =
+        Relational.Database.fold
+          (fun name rel acc ->
+            Storage.Engine.save_table eng name rel;
+            Printf.printf "loaded %s: %d tuples\n" name
+              (Relational.Relation.cardinality rel);
+            name :: acc)
+          db []
+      in
+      (* refresh the planner's statistics for what was just loaded *)
+      if names <> [] then
+        ignore (Planner.Stats.analyze eng names : Planner.Stats.t);
       0)
 
-let db_query_run path text optimize metrics =
+(* The default query path goes through the cost-based planner and the
+   Volcano executor — tuples stream off heap pages and indexes, no table
+   is materialized up front.  [--no-plan] keeps the pre-planner
+   evaluator (materialize everything, Eval.eval) for comparison; the two
+   print byte-identical results because the planner path realigns its
+   output to the query's own schema. *)
+let db_query_run path text no_plan no_optimize optimize explain metrics =
   input_error_to_exit @@ fun () ->
   with_db ~metrics path (fun eng ->
-      let db = Storage.Engine.database eng in
       let expr = Relational.Query_parser.parse text in
-      let catalog = Relational.Algebra.catalog_of_database db in
-      let expr =
+      if no_plan then begin
+        let db = Storage.Engine.database eng in
+        let catalog = Relational.Algebra.catalog_of_database db in
+        let expr =
+          if optimize then
+            Relational.Optimizer.optimize catalog
+              (Relational.Optimizer.stats_of_database db)
+              expr
+          else expr
+        in
         if optimize then
-          Relational.Optimizer.optimize catalog
-            (Relational.Optimizer.stats_of_database db)
-            expr
-        else expr
-      in
-      if optimize then
-        Printf.printf "plan: %s\n" (Relational.Algebra.to_string expr);
-      print_string (Relational.Relation.to_string (Relational.Eval.eval db expr));
-      0)
+          Printf.printf "plan: %s\n" (Relational.Algebra.to_string expr);
+        print_string
+          (Relational.Relation.to_string (Relational.Eval.eval db expr));
+        0
+      end
+      else begin
+        let config =
+          { Planner.Plan.default_config with optimize = not no_optimize }
+        in
+        let ctx = Planner.Plan.make ~config eng in
+        (* the query's own schema fixes the output column order, whatever
+           shape the rewrites leave the plan in *)
+        let schema =
+          Relational.Algebra.schema_of (Planner.Plan.catalog ctx) expr
+        in
+        let plan = Planner.Plan.plan ctx expr in
+        match explain with
+        | Some `Text ->
+            print_string (Planner.Physical.to_text plan);
+            0
+        | Some `Json ->
+            print_endline (Planner.Physical.to_json plan);
+            0
+        | None ->
+            if optimize then
+              Printf.printf "plan: %s\n"
+                (Relational.Algebra.to_string
+                   (Relational.Optimizer.optimize (Planner.Plan.catalog ctx)
+                      (Planner.Stats.row_stats (Planner.Plan.stats ctx))
+                      expr));
+            let result = Planner.Exec.run ctx plan in
+            print_string
+              (Relational.Relation.to_string
+                 (Relational.Relation.project result
+                    (Relational.Schema.attributes schema)));
+            0
+      end)
 
 let db_set_run path assignments abort crash_after faults =
   input_error_to_exit @@ fun () ->
@@ -717,14 +765,120 @@ let db_query_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
            ~doc:"Algebra expression over the stored tables.")
   in
+  let no_plan =
+    Arg.(value & flag & info [ "no-plan" ]
+           ~doc:"Bypass the physical planner: materialize every table and \
+                 run the logical evaluator (the pre-planner path, kept for \
+                 comparison).")
+  in
+  let no_optimize =
+    Arg.(value & flag & info [ "no-optimize" ]
+           ~doc:"Compile the query as written, skipping the logical \
+                 rewrite pipeline (access-path selection still applies).")
+  in
   let optimize =
     Arg.(value & flag & info [ "O"; "optimize" ]
-           ~doc:"Run the optimizer and print the chosen plan.")
+           ~doc:"Print the logically optimized plan before the results.")
+  in
+  let explain =
+    Arg.(value
+         & opt ~vopt:(Some `Text)
+             (some (enum [ ("text", `Text); ("json", `Json) ]))
+             None
+         & info [ "explain" ] ~docv:"FORMAT"
+             ~doc:"Print the chosen physical plan with cost estimates \
+                   instead of executing: $(b,--explain) for an indented \
+                   tree, $(b,--explain=json) for machine-readable JSON.")
   in
   Cmd.v
     (Cmd.info "query" ~version
-       ~doc:"Evaluate a relational algebra query over stored tables")
-    Term.(const db_query_run $ db_file_arg $ text $ optimize $ metrics_arg)
+       ~doc:"Evaluate a relational algebra query over stored tables \
+             through the cost-based planner")
+    Term.(const db_query_run $ db_file_arg $ text $ no_plan $ no_optimize
+          $ optimize $ explain $ metrics_arg)
+
+(* --- db index: the secondary-index catalog ----------------------------------- *)
+
+let index_kind_arg =
+  Arg.(value
+       & opt
+           (enum
+              [ ("btree", Planner.Indexes.Btree); ("hash", Planner.Indexes.Hash) ])
+           Planner.Indexes.Btree
+       & info [ "kind" ] ~docv:"KIND"
+           ~doc:"Index structure: $(b,btree) (point lookups, range and \
+                 ordered scans) or $(b,hash) (point lookups only).")
+
+let db_index_table_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"TABLE"
+         ~doc:"The indexed table.")
+
+let db_index_attr_arg =
+  Arg.(required & pos 2 (some string) None & info [] ~docv:"COLUMN"
+         ~doc:"The indexed column.")
+
+let db_index_create_run path table attr kind =
+  input_error_to_exit @@ fun () ->
+  with_db path (fun eng ->
+      let idx = Planner.Indexes.load eng in
+      Planner.Indexes.create eng idx { Planner.Indexes.table; attr; kind };
+      (* fresh statistics, so the cost model prices the new access path
+         off current cardinalities *)
+      ignore (Planner.Stats.analyze eng [ table ] : Planner.Stats.t);
+      Printf.printf "created %s index on %s(%s)\n"
+        (Planner.Indexes.kind_to_string kind)
+        table attr;
+      0)
+
+let db_index_drop_run path table attr kind =
+  input_error_to_exit @@ fun () ->
+  with_db path (fun eng ->
+      let idx = Planner.Indexes.load eng in
+      Planner.Indexes.drop eng idx { Planner.Indexes.table; attr; kind };
+      Printf.printf "dropped %s index on %s(%s)\n"
+        (Planner.Indexes.kind_to_string kind)
+        table attr;
+      0)
+
+let db_index_list_run path =
+  input_error_to_exit @@ fun () ->
+  with_db path (fun eng ->
+      (match Planner.Indexes.defs (Planner.Indexes.load eng) with
+      | [] -> print_endline "no indexes"
+      | defs ->
+          List.iter
+            (fun d ->
+              Printf.printf "%s(%s) %s\n" d.Planner.Indexes.table
+                d.Planner.Indexes.attr
+                (Planner.Indexes.kind_to_string d.Planner.Indexes.kind))
+            defs);
+      0)
+
+let db_index_cmd =
+  let create =
+    Cmd.v
+      (Cmd.info "create" ~version
+         ~doc:"Register a secondary index and refresh the table's \
+               statistics")
+      Term.(const db_index_create_run $ db_file_arg $ db_index_table_arg
+            $ db_index_attr_arg $ index_kind_arg)
+  in
+  let drop =
+    Cmd.v
+      (Cmd.info "drop" ~version ~doc:"Remove a secondary index")
+      Term.(const db_index_drop_run $ db_file_arg $ db_index_table_arg
+            $ db_index_attr_arg $ index_kind_arg)
+  in
+  let list =
+    Cmd.v
+      (Cmd.info "list" ~version ~doc:"List the registered indexes")
+      Term.(const db_index_list_run $ db_file_arg)
+  in
+  Cmd.group
+    (Cmd.info "index" ~version
+       ~doc:"Manage the secondary-index catalog the planner chooses \
+             access paths from")
+    [ create; drop; list ]
 
 let db_set_cmd =
   let assignments =
@@ -853,8 +1007,8 @@ let db_cmd =
   Cmd.group
     (Cmd.info "db" ~version ~doc ~man)
     [
-      db_init_cmd; db_load_cmd; db_query_cmd; db_set_cmd; db_get_cmd;
-      db_status_cmd; db_recover_cmd; db_exec_cmd;
+      db_init_cmd; db_load_cmd; db_query_cmd; db_index_cmd; db_set_cmd;
+      db_get_cmd; db_status_cmd; db_recover_cmd; db_exec_cmd;
     ]
 
 (* --- lint ------------------------------------------------------------------------- *)
@@ -930,8 +1084,16 @@ let parse_schema_spec spec =
       if name = "" || pairs = [] then fail ();
       (name, Relational.Schema.make pairs)
 
-let lint_query_run text tables schemas format =
+let lint_query_run text file tables schemas format =
   input_error_to_exit @@ fun () ->
+  let text =
+    match (text, file) with
+    | Some t, None -> t
+    | None, Some f -> String.trim (read_file f)
+    | Some _, Some _ ->
+        invalid_arg "give either a QUERY argument or --file, not both"
+    | None, None -> invalid_arg "expected a QUERY argument or --file"
+  in
   let db = load_tables tables in
   let inline = List.map parse_schema_spec schemas in
   let catalog name =
@@ -945,8 +1107,13 @@ let lint_query_run text tables schemas format =
 
 let lint_query_cmd =
   let text =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY"
            ~doc:"Algebra expression to analyze.")
+  in
+  let file =
+    Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE"
+           ~doc:"Read the query from $(docv) instead of the command line \
+                 (one expression, whitespace and newlines allowed).")
   in
   let tables =
     Arg.(value & opt_all string [] & info [ "t"; "table" ] ~docv:"NAME=FILE"
@@ -960,7 +1127,47 @@ let lint_query_cmd =
   Cmd.v
     (Cmd.info "query" ~version
        ~doc:"Lint a relational algebra plan (codes RA001-RA006)")
-    Term.(const lint_query_run $ text $ tables $ schemas $ format_arg)
+    Term.(const lint_query_run $ text $ file $ tables $ schemas $ format_arg)
+
+(* --- lint plan: the physical-plan suite --------------------------------------- *)
+
+(* The plan is compiled AND executed before linting: PL003 (estimate
+   divergence) needs the actual row counts only a run can fill in.  The
+   other passes would work on the unexecuted plan, but one uniform
+   artifact keeps the subcommand simple. *)
+let lint_plan_run path text no_optimize format =
+  input_error_to_exit @@ fun () ->
+  with_db path (fun eng ->
+      let expr = Relational.Query_parser.parse text in
+      let config =
+        { Planner.Plan.default_config with optimize = not no_optimize }
+      in
+      let ctx = Planner.Plan.make ~config eng in
+      let plan = Planner.Plan.plan ctx expr in
+      ignore (Planner.Exec.run ctx plan : Relational.Relation.t);
+      drive format Analysis.Plan_lint.passes
+        {
+          Analysis.Plan_lint.plan;
+          indexes = Planner.Indexes.defs (Planner.Plan.indexes ctx);
+        })
+
+let lint_plan_cmd =
+  let text =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Algebra expression to plan, execute, and analyze against \
+                 the stored tables.")
+  in
+  let no_optimize =
+    Arg.(value & flag & info [ "no-optimize" ]
+           ~doc:"Lint the query as written, skipping the logical rewrite \
+                 pipeline — unpushed selections over indexed tables then \
+                 surface as PL001.")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~version
+       ~doc:"Lint a physical query plan against a database (codes \
+             PL001-PL004)")
+    Term.(const lint_plan_run $ db_file_arg $ text $ no_optimize $ format_arg)
 
 let lint_schedule_run text file format =
   input_error_to_exit @@ fun () ->
@@ -1028,6 +1235,8 @@ let registered_metric_names () =
     { Storage.Executor.default_config with lock_timeout = Some 8 }
   in
   ignore (Storage.Executor.run ~config eng programs : Storage.Executor.stats);
+  (* plan.*: the planner registers its counters at context creation *)
+  ignore (Planner.Plan.make eng : Planner.Plan.ctx);
   Storage.Engine.close eng;
   (try Sys.remove path with Sys_error _ -> ());
   (try Sys.remove (Storage.Engine.wal_path path) with Sys_error _ -> ());
@@ -1086,8 +1295,8 @@ let lint_cmd =
       `P
         "Runs the relevant pass suite and prints severity-graded \
          diagnostics (error, warning, info) with stable codes.  Every \
-         subcommand ($(b,datalog), $(b,query), $(b,schedule), $(b,wal), \
-         $(b,metrics)) goes through the same driver and exit-code \
+         subcommand ($(b,datalog), $(b,query), $(b,plan), $(b,schedule), \
+         $(b,wal), $(b,metrics)) goes through the same driver and exit-code \
          policy: exits 0 when no errors were found, 1 when at least one \
          error-severity diagnostic was reported, and 2 when the input \
          does not parse.";
@@ -1096,8 +1305,8 @@ let lint_cmd =
   Cmd.group
     (Cmd.info "lint" ~version ~doc ~man)
     [
-      lint_datalog_cmd; lint_query_cmd; lint_schedule_cmd; lint_wal_cmd;
-      lint_metrics_cmd;
+      lint_datalog_cmd; lint_query_cmd; lint_plan_cmd; lint_schedule_cmd;
+      lint_wal_cmd; lint_metrics_cmd;
     ]
 
 (* --- main ------------------------------------------------------------------------- *)

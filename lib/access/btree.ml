@@ -182,8 +182,38 @@ let range t ~lo ~hi =
       in
       List.rev (walk (find_leaf t.root lo) [])
 
+let rec leftmost_leaf = function
+  | Leaf l -> l
+  | Node n -> leftmost_leaf (List.hd n.kids)
+
+let fold_range ?lo ?hi f t init =
+  match t.key_type with
+  | None -> init
+  | Some _ ->
+      let start =
+        match lo with
+        | Some key -> find_leaf t.root key
+        | None -> leftmost_leaf t.root
+      in
+      let rec walk leaf acc =
+        let acc, past =
+          List.fold_left
+            (fun (acc, past) (k, ps) ->
+              if past then (acc, past)
+              else if (match lo with Some l -> V.compare k l < 0 | None -> false)
+              then (acc, false)
+              else if (match hi with Some h -> V.compare k h > 0 | None -> false)
+              then (acc, true)
+              else (f k ps acc, false))
+            (acc, false) leaf.items
+        in
+        if past then acc
+        else match leaf.next with Some next -> walk next acc | None -> acc
+      in
+      walk start init
+
 let iter f t =
-  let rec leftmost = function Leaf l -> l | Node n -> leftmost (List.hd n.kids) in
+  let leftmost = leftmost_leaf in
   let rec walk leaf =
     List.iter (fun (k, ps) -> f k ps) leaf.items;
     match leaf.next with Some next -> walk next | None -> ()

@@ -35,6 +35,15 @@ val range :
   (Relational.Value.t * 'p list) list
 (** Keys in [\[lo, hi\]] in order, via the leaf chain. *)
 
+val fold_range :
+  ?lo:Relational.Value.t -> ?hi:Relational.Value.t ->
+  (Relational.Value.t -> 'p list -> 'a -> 'a) -> 'p t -> 'a -> 'a
+(** Fold over keys in [\[lo, hi\]] in order, either bound optional (an
+    absent bound is open: the walk starts at the leftmost leaf / runs to
+    the end of the leaf chain).  The half-open forms are what the
+    planner's index range scans compile [a >= c] / [a <= c] conjuncts
+    into. *)
+
 val iter : (Relational.Value.t -> 'p list -> unit) -> 'p t -> unit
 (** In key order. *)
 

@@ -1,0 +1,41 @@
+(** The planner's cost model: {!Relational.Optimizer.estimate}'s
+    textbook cardinality arithmetic extended with I/O terms priced off
+    the buffer pool.  Costs are dimensionless work units — only their
+    order matters — with constants chosen so the classic trade-offs come
+    out right: point probes beat sequential scans once a table outgrows
+    a couple of pages, chains that fit in the pool are charged the
+    cached page rate, and a hash join whose build side outgrows its
+    memory budget pays modeled spill passes that let a merge join over
+    index-ordered inputs take over. *)
+
+type params = {
+  pool_pages : int;  (** buffer pool capacity, from the open engine *)
+  page_io : float;  (** reading a page not expected to be resident *)
+  page_cached : float;  (** reading a page when the chain fits the pool *)
+  cpu_tuple : float;  (** producing/copying one tuple *)
+  cpu_cmp : float;  (** one comparison (filters, sorts, merge) *)
+  cpu_hash : float;  (** hashing one tuple (build or probe) *)
+  probe_btree : float;  (** one B+tree descent *)
+  probe_hash : float;  (** one hash-directory lookup *)
+  hash_mem_tuples : int;  (** build rows before a hash join is modeled
+                              as spilling *)
+  sort_mem_tuples : int;  (** rows before a sort is modeled as (and the
+                              executor actually starts) spilling runs *)
+  tuples_per_page : float;  (** fallback rows-per-page when a table has
+                                no statistics *)
+  range_selectivity : float;  (** fraction a range predicate keeps *)
+  conjunct_selectivity : float;  (** fraction one conjunct keeps
+                                     (matches [Optimizer.estimate]) *)
+  default_distinct : int;  (** join-key domain when no statistics
+                               resolve the attribute *)
+}
+(** The tunable constants; see {!default} for the values used by the
+    CLI. *)
+
+val default : pool_pages:int -> params
+(** The stock parameters for an engine whose buffer pool holds
+    [pool_pages] frames. *)
+
+val annotate : params -> Stats.t -> Physical.t -> unit
+(** Fill every node's [est_rows]/[est_cost] annotations bottom-up.
+    Idempotent; the planner re-annotates each candidate it considers. *)

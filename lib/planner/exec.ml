@@ -1,0 +1,427 @@
+(* The Volcano-style pull executor: every operator is a cursor with
+   next/close, composed bottom-up from the physical plan.  Pipelined
+   operators (scan, filter, project, the probe side of a hash join, the
+   merge of a merge join) hold no more than a page or a group of tuples;
+   blocking operators (sort, hash-join build, set operations, division)
+   materialize exactly their own input.
+
+   Internally streams are bag-valued; set semantics are restored when
+   the root materializes into a Relation (whose tuple set dedups), which
+   matches Eval.eval because every logical operator here is either
+   duplicate-agnostic or materializes through Relation ops.
+
+   Sorts past the spill threshold write sorted runs to temporary files
+   (Codec-framed records) and merge them k-way — counted in the
+   plan.spills counter. *)
+
+module R = Relational
+module A = R.Algebra
+module P = Physical
+
+type cursor = {
+  next : unit -> R.Tuple.t option;
+  close : unit -> unit;
+}
+
+let drain c =
+  let out = ref [] in
+  let rec loop () =
+    match c.next () with
+    | Some t ->
+        out := t :: !out;
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  List.rev !out
+
+let of_list tuples =
+  let rest = ref tuples in
+  {
+    next =
+      (fun () ->
+        match !rest with
+        | [] -> None
+        | t :: tl ->
+            rest := tl;
+            Some t);
+    close = ignore;
+  }
+
+(* Positions of [attrs] within [schema]. *)
+let positions schema attrs =
+  Array.of_list (List.map (R.Schema.index_of schema) attrs)
+
+let key_compare a b = R.Tuple.compare a b
+
+(* --- sort spill ---------------------------------------------------------- *)
+
+let write_run tuples =
+  let path = Filename.temp_file "dbmeta_sort" ".run" in
+  let oc = open_out_bin path in
+  List.iter
+    (fun t ->
+      let s = R.Codec.tuple_to_string t in
+      let b = Bytes.create 4 in
+      Bytes.set_int32_le b 0 (Int32.of_int (String.length s));
+      output_bytes oc b;
+      output_string oc s)
+    tuples;
+  close_out oc;
+  path
+
+let run_reader path =
+  let ic = open_in_bin path in
+  let next () =
+    match really_input_string ic 4 with
+    | len_s ->
+        let len = Int32.to_int (String.get_int32_le len_s 0) in
+        Some (R.Codec.tuple_of_string (really_input_string ic len))
+    | exception End_of_file -> None
+  in
+  let close () =
+    close_in_noerr ic;
+    (try Sys.remove path with Sys_error _ -> ())
+  in
+  (next, close)
+
+let external_sort ~spills ~chunk cmp tuples =
+  let rec chunks acc = function
+    | [] -> List.rev acc
+    | rest ->
+        let taken, rest =
+          let rec take k acc = function
+            | xs when k = 0 -> (List.rev acc, xs)
+            | [] -> (List.rev acc, [])
+            | x :: tl -> take (k - 1) (x :: acc) tl
+          in
+          take chunk [] rest
+        in
+        chunks (taken :: acc) rest
+  in
+  let runs =
+    List.map
+      (fun c ->
+        Obs.Registry.Counter.incr spills;
+        write_run (List.stable_sort cmp c))
+      (chunks [] tuples)
+  in
+  let readers = List.map run_reader runs in
+  let heads =
+    ref
+      (List.filter_map
+         (fun (next, close) ->
+           match next () with
+           | Some t -> Some (ref t, next, close)
+           | None ->
+               close ();
+               None)
+         readers)
+  in
+  let next () =
+    match !heads with
+    | [] -> None
+    | first :: rest ->
+        let best =
+          List.fold_left
+            (fun best ((t, _, _) as cand) ->
+              let bt, _, _ = best in
+              if cmp !t !bt < 0 then cand else best)
+            first rest
+        in
+        let t, bnext, bclose = best in
+        let out = !t in
+        (match bnext () with
+        | Some t' -> t := t'
+        | None ->
+            bclose ();
+            heads := List.filter (fun (_, n, _) -> n != bnext) !heads);
+        Some out
+  in
+  let close () = List.iter (fun (_, _, c) -> c ()) !heads in
+  { next; close }
+
+let sorted_cursor ctx on input_schema inner =
+  let pos = positions input_schema on in
+  let cmp a b = key_compare (R.Tuple.project a pos) (R.Tuple.project b pos) in
+  let tuples = drain inner in
+  inner.close ();
+  let threshold = Plan.sort_spill ctx in
+  if List.length tuples <= threshold then
+    of_list (List.stable_sort cmp tuples)
+  else
+    external_sort
+      ~spills:(Plan.instruments ctx).Plan.i_spills
+      ~chunk:threshold cmp tuples
+
+(* --- scans --------------------------------------------------------------- *)
+
+let heap_scan ctx table =
+  let eng = Plan.engine ctx in
+  let first =
+    match
+      List.find_opt (fun (n, _, _) -> n = table) (Storage.Engine.table_info eng)
+    with
+    | Some (_, _, first) -> first
+    | None -> raise (R.Database.Unknown_relation table)
+  in
+  let pool = Storage.Engine.pool eng in
+  let page = ref first in
+  let queue = ref [] in
+  let rec next () =
+    match !queue with
+    | r :: rest ->
+        queue := rest;
+        Some (R.Codec.tuple_of_string r)
+    | [] ->
+        if !page = 0 then None
+        else begin
+          let records, nxt = Storage.Heap.page_records pool !page in
+          page := nxt;
+          queue := records;
+          next ()
+        end
+  in
+  { next; close = ignore }
+
+let index_scan ctx table access =
+  let eng = Plan.engine ctx in
+  let idx = Plan.indexes ctx in
+  match access with
+  | P.Point { attr; key; via = Indexes.Hash } ->
+      of_list (Access.Hash_index.find (Indexes.hash eng idx ~table ~attr) key)
+  | P.Point { attr; key; via = Indexes.Btree } ->
+      of_list (Access.Btree.find (Indexes.btree eng idx ~table ~attr) key)
+  | P.Range { attr; lo; hi } ->
+      let t = Indexes.btree eng idx ~table ~attr in
+      of_list
+        (List.rev
+           (Access.Btree.fold_range ?lo ?hi
+              (fun _ payloads acc -> List.rev_append payloads acc)
+              t []))
+  | P.Ordered attr ->
+      let t = Indexes.btree eng idx ~table ~attr in
+      of_list
+        (List.rev
+           (Access.Btree.fold_range
+              (fun _ payloads acc -> List.rev_append payloads acc)
+              t []))
+  | P.Full -> heap_scan ctx table
+
+(* --- joins --------------------------------------------------------------- *)
+
+(* Output assembly in logical order: left tuple ++ right-minus-shared,
+   regardless of which side the hash join builds on. *)
+let join_assembly left_schema right_schema on =
+  let lkey = positions left_schema on in
+  let rkey = positions right_schema on in
+  let rrest =
+    positions right_schema
+      (List.filter
+         (fun a -> not (List.mem a on))
+         (R.Schema.attributes right_schema))
+  in
+  let combine l r = R.Tuple.concat l (R.Tuple.project r rrest) in
+  (lkey, rkey, combine)
+
+let hash_join_cursor left_c right_c left_schema right_schema on build_left =
+  let lkey, rkey, combine = join_assembly left_schema right_schema on in
+  let build_c, probe_c = if build_left then (left_c, right_c) else (right_c, left_c) in
+  let build_key, probe_key = if build_left then (lkey, rkey) else (rkey, lkey) in
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun t -> Hashtbl.add table (R.Tuple.project t build_key) t)
+    (drain build_c);
+  build_c.close ();
+  let pending = ref [] in
+  let rec next () =
+    match !pending with
+    | out :: rest ->
+        pending := rest;
+        Some out
+    | [] -> (
+        match probe_c.next () with
+        | None -> None
+        | Some probe ->
+            let matches =
+              Hashtbl.find_all table (R.Tuple.project probe probe_key)
+            in
+            pending :=
+              List.rev_map
+                (fun built ->
+                  if build_left then combine built probe
+                  else combine probe built)
+                matches;
+            next ())
+  in
+  { next; close = probe_c.close }
+
+(* Group a key-sorted cursor into (key, tuples) runs. *)
+let grouped key_pos c =
+  let lookahead = ref (c.next ()) in
+  fun () ->
+    match !lookahead with
+    | None -> None
+    | Some first ->
+        let key = R.Tuple.project first key_pos in
+        let group = ref [ first ] in
+        let rec gather () =
+          match c.next () with
+          | Some t when key_compare (R.Tuple.project t key_pos) key = 0 ->
+              group := t :: !group;
+              gather ()
+          | la ->
+              lookahead := la;
+              ()
+        in
+        gather ();
+        Some (key, List.rev !group)
+
+let merge_join_cursor left_c right_c left_schema right_schema on =
+  let lkey, rkey, combine = join_assembly left_schema right_schema on in
+  let lgroups = grouped lkey left_c in
+  let rgroups = grouped rkey right_c in
+  let lcur = ref (lgroups ()) in
+  let rcur = ref (rgroups ()) in
+  let pending = ref [] in
+  let rec next () =
+    match !pending with
+    | out :: rest ->
+        pending := rest;
+        Some out
+    | [] -> (
+        match (!lcur, !rcur) with
+        | None, _ | _, None -> None
+        | Some (lk, lts), Some (rk, rts) ->
+            let c = key_compare lk rk in
+            if c < 0 then begin
+              lcur := lgroups ();
+              next ()
+            end
+            else if c > 0 then begin
+              rcur := rgroups ();
+              next ()
+            end
+            else begin
+              pending :=
+                List.concat_map
+                  (fun l -> List.map (fun r -> combine l r) rts)
+                  lts;
+              lcur := lgroups ();
+              rcur := rgroups ();
+              next ()
+            end)
+  in
+  let close () =
+    left_c.close ();
+    right_c.close ()
+  in
+  { next; close }
+
+(* --- the operator dispatch ----------------------------------------------- *)
+
+let rec open_plain ctx (p : P.t) : cursor =
+  match p.P.node with
+  | P.Scan { table; access; _ } -> index_scan ctx table access
+  | P.Filter (pred, child) ->
+      let c = open_cursor ctx child in
+      let rec next () =
+        match c.next () with
+        | None -> None
+        | Some t ->
+            if A.eval_predicate child.P.schema pred t then Some t else next ()
+      in
+      { next; close = c.close }
+  | P.Project (attrs, child) ->
+      let c = open_cursor ctx child in
+      let pos = positions child.P.schema attrs in
+      {
+        next =
+          (fun () ->
+            match c.next () with
+            | Some t -> Some (R.Tuple.project t pos)
+            | None -> None);
+        close = c.close;
+      }
+  | P.Rename_op (_, child) ->
+      (* renaming changes the schema, not the tuples *)
+      open_cursor ctx child
+  | P.Hash_join { left; right; on; build_left } ->
+      hash_join_cursor (open_cursor ctx left) (open_cursor ctx right)
+        left.P.schema right.P.schema on build_left
+  | P.Merge_join { left; right; on } ->
+      merge_join_cursor (open_cursor ctx left) (open_cursor ctx right)
+        left.P.schema right.P.schema on
+  | P.Nested_product (a, b) ->
+      let ca = open_cursor ctx a in
+      let inner = Array.of_list (drain (open_cursor ctx b)) in
+      let outer = ref None in
+      let i = ref 0 in
+      let rec next () =
+        match !outer with
+        | Some t when !i < Array.length inner ->
+            let out = R.Tuple.concat t inner.(!i) in
+            incr i;
+            Some out
+        | _ -> (
+            match ca.next () with
+            | None -> None
+            | Some t ->
+                outer := Some t;
+                i := 0;
+                if Array.length inner = 0 then None else next ())
+      in
+      { next; close = ca.close }
+  | P.Sort { on; input } ->
+      sorted_cursor ctx on input.P.schema (open_cursor ctx input)
+  | P.Union_op (a, b) | P.Inter_op (a, b) | P.Diff_op (a, b)
+  | P.Divide_op (a, b) ->
+      let ra = materialize ctx a and rb = materialize ctx b in
+      let result =
+        match p.P.node with
+        | P.Union_op _ -> R.Relation.union ra rb
+        | P.Inter_op _ -> R.Relation.inter ra rb
+        | P.Diff_op _ -> R.Relation.diff ra rb
+        | _ -> R.Relation.divide ra rb
+      in
+      (* realign to this node's schema (set ops adopt the left operand's
+         column order, which is exactly [p.schema]; divide preserves the
+         dividend's order) *)
+      of_list (R.Relation.to_list (R.Relation.project result (R.Schema.attributes p.P.schema)))
+  | P.Const bindings -> of_list [ R.Tuple.make (List.map snd bindings) ]
+
+(* Wrap a node's cursor so emitted rows are counted into its actual_rows
+   annotation and the per-operator plan.rows.<op> counter. *)
+and open_cursor ctx (p : P.t) : cursor =
+  let inner = open_plain ctx p in
+  p.P.meta.P.actual_rows <- 0;
+  let rows =
+    Obs.Registry.counter
+      (Storage.Engine.metrics (Plan.engine ctx))
+      ~unit:"tuples" ~help:"rows emitted by this operator kind"
+      ("plan.rows." ^ P.operator_name p)
+  in
+  {
+    next =
+      (fun () ->
+        match inner.next () with
+        | Some t ->
+            p.P.meta.P.actual_rows <- p.P.meta.P.actual_rows + 1;
+            Obs.Registry.Counter.incr rows;
+            Some t
+        | None -> None);
+    close = inner.close;
+  }
+
+and materialize ctx (p : P.t) =
+  let c = open_cursor ctx p in
+  let tuples = drain c in
+  c.close ();
+  R.Relation.of_tuples p.P.schema tuples
+
+let run ctx plan =
+  Obs.Registry.Counter.incr (Plan.instruments ctx).Plan.i_executions;
+  Obs.Trace.with_span
+    (Storage.Engine.trace (Plan.engine ctx))
+    "plan.execute"
+    (fun () -> materialize ctx plan)

@@ -1,0 +1,30 @@
+(** The Volcano-style pull executor: runs a physical plan against the
+    storage engine, cursor by cursor, without materializing whole
+    tables.  Pipelined operators (scans, filters, projections, the
+    probe side of a hash join, the merge of a merge join) hold at most a
+    heap page or a key group; blocking operators (sort, hash-join
+    build, set operations, division) materialize exactly their own
+    input.  Sorts past the configured threshold spill Codec-framed
+    sorted runs to temporary files and merge them k-way, counted in
+    [plan.spills].
+
+    Executing fills every node's [actual_rows] annotation (what PL003
+    compares against the estimates) and bumps the [plan.rows.<op>]
+    counters; the whole run is a [plan.execute] span. *)
+
+type cursor = {
+  next : unit -> Relational.Tuple.t option;
+  close : unit -> unit;
+}
+(** One open operator: pull the next tuple, or release resources
+    (temporary sort runs, underlying cursors). *)
+
+val open_cursor : Plan.ctx -> Physical.t -> cursor
+(** Open a plan as a cursor tree (resets the node's [actual_rows] to 0
+    and counts every emitted row).  Most callers want {!run}. *)
+
+val run : Plan.ctx -> Physical.t -> Relational.Relation.t
+(** Execute a plan to a relation (set semantics restored at this final
+    materialization, matching {!Relational.Eval.eval} on the logical
+    plan — property-tested).  The relation's schema is the plan root's
+    schema. *)

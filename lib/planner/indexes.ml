@@ -1,0 +1,143 @@
+(* The secondary-index catalog: which (table, column) pairs carry a
+   B+tree or hash index.  Definitions persist in the reserved catalog
+   table "__indexes"; the index structures themselves are in-memory
+   (lib/access has no paged variant yet) and are rebuilt lazily, once
+   per context, from the heap — an honest trade documented in
+   docs/PLANNER.md. *)
+
+module R = Relational
+
+type kind = Btree | Hash
+type def = { table : string; attr : string; kind : kind }
+
+type built =
+  | Built_btree of R.Tuple.t Access.Btree.t
+  | Built_hash of R.Tuple.t Access.Hash_index.t
+
+type t = {
+  mutable defs : def list; (* sorted by (table, attr, kind) *)
+  cache : (string * string * kind, built) Hashtbl.t;
+}
+
+exception Index_error of string
+
+let catalog_table = "__indexes"
+let kind_to_string = function Btree -> "btree" | Hash -> "hash"
+
+let kind_of_string = function
+  | "btree" -> Some Btree
+  | "hash" -> Some Hash
+  | _ -> None
+
+let schema =
+  R.Schema.make
+    [
+      ("tbl", R.Value.TString);
+      ("attr", R.Value.TString);
+      ("kind", R.Value.TString);
+    ]
+
+let compare_def a b =
+  match String.compare a.table b.table with
+  | 0 -> (
+      match String.compare a.attr b.attr with
+      | 0 -> compare (kind_to_string a.kind) (kind_to_string b.kind)
+      | c -> c)
+  | c -> c
+
+let defs t = t.defs
+let on t ~table ~attr =
+  List.filter (fun d -> d.table = table && d.attr = attr) t.defs
+
+let of_defs defs =
+  { defs = List.sort_uniq compare_def defs; cache = Hashtbl.create 8 }
+
+let to_relation defs =
+  R.Relation.of_list schema
+    (List.map
+       (fun d ->
+         [
+           R.Value.String d.table;
+           R.Value.String d.attr;
+           R.Value.String (kind_to_string d.kind);
+         ])
+       defs)
+
+let of_relation rel =
+  let sch = R.Relation.schema rel in
+  let pos a = R.Schema.index_of sch a in
+  let ptbl = pos "tbl" and pattr = pos "attr" and pkind = pos "kind" in
+  let as_string = function R.Value.String s -> s | v -> R.Value.to_string v in
+  R.Relation.fold
+    (fun tup acc ->
+      match kind_of_string (as_string tup.(pkind)) with
+      | Some kind ->
+          { table = as_string tup.(ptbl); attr = as_string tup.(pattr); kind }
+          :: acc
+      | None -> acc)
+    rel []
+  |> of_defs
+
+let load eng =
+  match Storage.Engine.load_table eng catalog_table with
+  | rel -> of_relation rel
+  | exception Storage.Engine.Unknown_table _ -> of_defs []
+
+let save eng t = Storage.Engine.save_table eng catalog_table (to_relation t.defs)
+
+let create eng t d =
+  (match
+     List.find_opt (fun (n, _, _) -> n = d.table) (Storage.Engine.table_info eng)
+   with
+  | None -> raise (Index_error (Printf.sprintf "unknown table %S" d.table))
+  | Some (_, sch, _) ->
+      if not (R.Schema.mem sch d.attr) then
+        raise
+          (Index_error
+             (Printf.sprintf "table %s has no column %S" d.table d.attr)));
+  if List.exists (fun e -> compare_def e d = 0) t.defs then
+    raise
+      (Index_error
+         (Printf.sprintf "%s index on %s(%s) already exists"
+            (kind_to_string d.kind) d.table d.attr));
+  t.defs <- List.sort compare_def (d :: t.defs);
+  save eng t
+
+let drop eng t d =
+  if not (List.exists (fun e -> compare_def e d = 0) t.defs) then
+    raise
+      (Index_error
+         (Printf.sprintf "no %s index on %s(%s)" (kind_to_string d.kind)
+            d.table d.attr));
+  t.defs <- List.filter (fun e -> compare_def e d <> 0) t.defs;
+  Hashtbl.remove t.cache (d.table, d.attr, d.kind);
+  save eng t
+
+let build eng t d =
+  match Hashtbl.find_opt t.cache (d.table, d.attr, d.kind) with
+  | Some b -> b
+  | None ->
+      let rel = Storage.Engine.load_table eng d.table in
+      let b =
+        match d.kind with
+        | Btree -> Built_btree (Access.Btree.index_relation rel d.attr)
+        | Hash ->
+            let h = Access.Hash_index.create () in
+            let pos = R.Schema.index_of (R.Relation.schema rel) d.attr in
+            R.Relation.iter
+              (fun tup -> Access.Hash_index.insert h tup.(pos) tup)
+              rel;
+            Built_hash h
+      in
+      Hashtbl.replace t.cache (d.table, d.attr, d.kind) b;
+      b
+
+let btree eng t ~table ~attr =
+  match build eng t { table; attr; kind = Btree } with
+  | Built_btree b -> b
+  | Built_hash _ -> assert false
+
+let hash eng t ~table ~attr =
+  match build eng t { table; attr; kind = Hash } with
+  | Built_hash h -> h
+  | Built_btree _ -> assert false

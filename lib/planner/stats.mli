@@ -1,0 +1,50 @@
+(** Per-table statistics for the cost-based planner, in the System R
+    tradition: row count, heap page count, and a per-column
+    distinct-value count, collected by one scan ([ANALYZE]) and persisted
+    in the reserved catalog table ["__stats"] so later sessions plan
+    without touching the data.  [db load] and [db index create] refresh
+    them; a table loaded by an older binary simply has no entry and
+    falls back to page-based defaults in {!Cost}. *)
+
+type column = { attr : string; distinct : int }
+(** One column's statistics: its name and the number of distinct values
+    observed (the denominator of the equality-selectivity estimate
+    [rows / distinct]). *)
+
+type table = { rows : int; pages : int; columns : column list }
+(** One table's statistics: tuple count, heap chain length in pages (the
+    I/O a sequential scan pays), and per-column distinct counts. *)
+
+type t = (string * table) list
+(** Statistics for a set of tables, sorted by table name. *)
+
+val stats_table : string
+(** The reserved catalog table the statistics persist in (["__stats"]);
+    hidden from enumeration by {!Storage.Engine.reserved}. *)
+
+val find : t -> string -> table option
+(** Statistics for one table, if collected. *)
+
+val distinct : table -> string -> int option
+(** Distinct-value count of one column, if known. *)
+
+val collect : Storage.Engine.t -> string -> table
+(** Scan one table and compute its statistics (does not persist).
+    Raises {!Storage.Engine.Unknown_table}. *)
+
+val analyze : Storage.Engine.t -> string list -> t
+(** [analyze eng names] collects fresh statistics for [names], merges
+    them with whatever was persisted for other tables, saves the result
+    into {!stats_table}, and returns it.  Recorded as a [plan.analyze]
+    span on the engine's trace. *)
+
+val load : Storage.Engine.t -> t
+(** The persisted statistics ([[]] when none were ever collected). *)
+
+val save : Storage.Engine.t -> t -> unit
+(** Persist statistics into {!stats_table}, replacing the previous
+    snapshot. *)
+
+val row_stats : t -> Relational.Optimizer.stats
+(** Adapt to the logical optimizer's cardinality interface: a table's
+    row count, or 100 for tables without statistics. *)

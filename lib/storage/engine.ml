@@ -414,6 +414,17 @@ let active_txns t = Hashtbl.fold (fun k _ acc -> k :: acc) t.active [] |> List.s
 
 (* --- tables --------------------------------------------------------------- *)
 
+(* Tables whose names start with "__" are reserved for engine-internal
+   state (planner statistics, index definitions).  They live in the same
+   catalog but are hidden from the public enumeration APIs so [db status]
+   and [database] keep showing only user data; [save_table]/[load_table]
+   still address them by exact name. *)
+let reserved name =
+  String.length name >= 2 && name.[0] = '_' && name.[1] = '_'
+
+let public_catalog pool =
+  List.filter (fun tb -> not (reserved tb.Heap.name)) (Heap.catalog pool)
+
 let save_table t name rel =
   check_writable t;
   let first = Heap.save_relation t.pool rel in
@@ -425,7 +436,7 @@ let save_table t name rel =
     raise (Read_only (Printf.sprintf "wal unflushable at %s" site))
 
 let table_info t =
-  List.map (fun { Heap.name; schema; first } -> (name, schema, first)) (Heap.catalog t.pool)
+  List.map (fun { Heap.name; schema; first } -> (name, schema, first)) (public_catalog t.pool)
 
 let load_table t name =
   match List.find_opt (fun tb -> tb.Heap.name = name) (Heap.catalog t.pool) with
@@ -434,13 +445,13 @@ let load_table t name =
   | None -> raise (Unknown_table name)
 
 let table_names t =
-  List.map (fun tb -> tb.Heap.name) (Heap.catalog t.pool)
+  List.map (fun tb -> tb.Heap.name) (public_catalog t.pool)
 
 let database t =
   List.fold_left
     (fun db { Heap.name; schema; first } ->
       Relational.Database.add db name (Heap.load_relation t.pool ~schema ~first))
-    Relational.Database.empty (Heap.catalog t.pool)
+    Relational.Database.empty (public_catalog t.pool)
 
 (* --- observability ---------------------------------------------------------- *)
 

@@ -113,17 +113,27 @@ val save_table : t -> string -> Relational.Relation.t -> unit
     checkpoint. *)
 
 val load_table : t -> string -> Relational.Relation.t
-(** Raises {!Unknown_table}. *)
+(** Raises {!Unknown_table}.  Unlike the enumeration APIs below this
+    also resolves {!reserved} names, which is how the planner reaches
+    its bookkeeping tables. *)
+
+val reserved : string -> bool
+(** Whether a table name is reserved for engine-internal state (a
+    ["__"] prefix — planner statistics, index definitions).  Reserved
+    tables are stored in the ordinary catalog but hidden from
+    {!table_names}, {!table_info}, and {!database}. *)
 
 val table_names : t -> string list
-(** Catalogued table names, sorted. *)
+(** Catalogued table names in catalog order, {!reserved} names
+    omitted. *)
 
 val table_info : t -> (string * Relational.Schema.t * int) list
-(** (name, schema, first page id) per catalog entry. *)
+(** (name, schema, first page id) per catalog entry, {!reserved} names
+    omitted. *)
 
 val database : t -> Relational.Database.t
-(** Load every table — a {!Relational.Database} instance served from
-    disk through the buffer pool. *)
+(** Load every public table — a {!Relational.Database} instance served
+    from disk through the buffer pool. *)
 
 val pool : t -> Buffer_pool.t
 (** The engine's buffer pool (tests and benches poke at it directly). *)

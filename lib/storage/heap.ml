@@ -26,6 +26,18 @@ let iter_chain pool ~first f =
     id := next
   done
 
+let page_records pool id =
+  Buffer_pool.with_page pool id (fun page ->
+      (List.map snd (Page.records page), Page.next page))
+
+let chain_pages pool ~first =
+  let n = ref 0 and id = ref first in
+  while !id <> 0 do
+    incr n;
+    id := Buffer_pool.with_page pool !id Page.next
+  done;
+  !n
+
 (* A page chain with a remembered tail, so appends are O(1) in chain
    length.  [on_first] persists the root of a chain created lazily (e.g.
    into the pager header or the catalog). *)

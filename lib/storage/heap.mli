@@ -19,6 +19,17 @@ val iter_chain :
 (** [iter_chain pool ~first f] calls [f page slot record] for every live
     record of the chain. *)
 
+val page_records : Buffer_pool.t -> int -> string list * int
+(** [page_records pool id] returns one chain page's live records in slot
+    order together with the next page id (0 at the end of the chain) —
+    the unit a pull-based scan cursor consumes, holding at most one page
+    of the chain in working memory at a time. *)
+
+val chain_pages : Buffer_pool.t -> first:int -> int
+(** Number of pages in the chain rooted at [first] (0 when [first] is 0)
+    — the I/O footprint a sequential scan pays, feeding the planner's
+    cost model. *)
+
 (** The item store: a string-keyed map to int values (absent reads 0),
     with an in-memory directory built at open and in-place updates whose
     page-LSN discipline implements the ARIES redo test. *)

@@ -66,11 +66,11 @@ pass finds its work already done):
   txn 2 aborted (writes rolled back)
   $ dbmeta db set uni.db z=1 --crash-after 3
   txn 3 committed: 1 write(s)
-  simulated crash at: page 3 write
+  simulated crash at: page 4 write
   the database was left as the crash left it; run 'dbmeta db recover uni.db' (or any other db command) to repair it
   $ dbmeta db recover uni.db
   repair: quarantined 1 corrupt page(s), rebuilt the item store from 5 logged write(s)
-  recovery: checkpoint=270 winners=[1,3] losers=[] redo=0 skipped=1 undone=0
+  recovery: checkpoint=279 winners=[1,3] losers=[] redo=0 skipped=1 undone=0
   items: 3, tables: 1
   $ dbmeta db get uni.db x y z
   x = 5

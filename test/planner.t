@@ -1,0 +1,116 @@
+The physical planner from the command line: load tables, register
+indexes, watch EXPLAIN switch access paths, and lint the plans.
+
+  $ cat > students.csv <<'EOF'
+  > sid:int,sname:string,year:int
+  > 1,alice,1
+  > 2,bob,2
+  > 3,carol,2
+  > 4,dave,3
+  > 5,erin,1
+  > EOF
+  $ cat > enrolled.csv <<'EOF'
+  > sid:int,cid:string,grade:int
+  > 1,db,95
+  > 2,db,80
+  > 3,th,99
+  > 4,db,70
+  > 5,th,85
+  > EOF
+  $ dbmeta db init uni.db
+  created uni.db (1 pages, wal at uni.db.wal)
+  $ dbmeta db load uni.db -t students=students.csv -t enrolled=enrolled.csv
+  loaded enrolled: 5 tuples
+  loaded students: 5 tuples
+
+Without an index every access path is a sequential scan:
+
+  $ dbmeta db query uni.db 'select[sid = 2](students)' --explain
+  filter[sid = 2]  (est_rows=1.5 cost=0.3)
+    seq scan students  (est_rows=5.0 cost=0.2)
+
+Register a B+tree index and the planner switches to a point lookup:
+
+  $ dbmeta db index create uni.db students sid
+  created btree index on students(sid)
+  $ dbmeta db index list uni.db
+  students(sid) btree
+  $ dbmeta db query uni.db 'select[sid = 2](students)' --explain
+  index point scan students via btree(sid = 2)  (est_rows=1.0 cost=0.1)
+  $ dbmeta db query uni.db 'select[sid = 2](students)'
+  sid  sname  year
+  ---  -----  ----
+  2    bob    2   
+
+Inequality bounds compile to a range scan over the same index:
+
+  $ dbmeta db index create uni.db enrolled grade
+  created btree index on enrolled(grade)
+  $ dbmeta db query uni.db 'select[grade >= 85](enrolled)' --explain
+  index range scan enrolled via btree(grade in [85, +inf])  (est_rows=1.5 cost=0.1)
+
+The JSON rendering parses under the repo's strict parser:
+
+  $ dbmeta db query uni.db 'project[sname](students join enrolled)' --explain=json | ./json_check.exe
+  valid json
+
+Planned and legacy paths agree:
+
+  $ dbmeta db query uni.db 'project[sname](select[grade >= 85](students join enrolled))' > planned.out
+  $ dbmeta db query uni.db 'project[sname](select[grade >= 85](students join enrolled))' --no-plan > legacy.out
+  $ diff planned.out legacy.out && cat planned.out
+  sname
+  -----
+  alice
+  carol
+  erin 
+
+A clean plan lints clean (the plan is executed first, so estimate
+divergence would be caught too):
+
+  $ dbmeta lint plan uni.db 'project[sname](select[grade >= 85](students join enrolled))'
+  no diagnostics
+
+PL001: with the rewrites off, the selection stays above the join and the
+indexed table below is read by a full scan:
+
+  $ dbmeta lint plan uni.db 'select[sid = 2](students join enrolled)' --no-optimize
+  warning[PL001]: full scan of students although an index on "sid" could serve the enclosing filter
+    --> #2: seq scan students
+  0 error(s), 1 warning(s), 0 info(s)
+
+PL002: a genuine cartesian product is an error (exit 1):
+
+  $ dbmeta lint plan uni.db 'project[sname](students) times project[cid](enrolled)'
+  error[PL002]: cartesian product: (sname:string) x (cid:string) share no join attribute
+    --> #0: nested loop product
+  1 error(s), 0 warning(s), 0 info(s)
+  [1]
+
+PL003: skewed data breaks the uniformity assumption — 200 of 210 rows
+share one key, so the point estimate (rows/distinct) is ~10x under:
+
+  $ { echo "k:int,v:int"
+  >   for i in $(seq 1 200); do echo "1,$i"; done
+  >   for i in $(seq 2 11); do echo "$i,0"; done
+  > } > skewed.csv
+  $ dbmeta db init skew.db > /dev/null
+  $ dbmeta db load skew.db -t skewed=skewed.csv
+  loaded skewed: 210 tuples
+  $ dbmeta db index create skew.db skewed k
+  created btree index on skewed(k)
+  $ dbmeta lint plan skew.db 'select[k = 1](skewed)'
+  warning[PL003]: estimated 19.1 rows but produced 200 (off by 10x): statistics may be stale
+    --> #0: index point scan skewed via btree(k = 1)
+  0 error(s), 1 warning(s), 0 info(s)
+
+Dropping the index falls back to the sequential scan:
+
+  $ dbmeta db index drop uni.db students sid
+  dropped btree index on students(sid)
+  $ dbmeta db query uni.db 'select[sid = 2](students)' --explain
+  filter[sid = 2]  (est_rows=1.5 cost=0.3)
+    seq scan students  (est_rows=5.0 cost=0.2)
+  $ dbmeta db index drop uni.db students sid
+  dbmeta: no btree index on students(sid)
+  [2]

@@ -15,6 +15,7 @@ let () =
       ("access-nested", Test_access_nested.suite);
       ("access-edge", Test_access_edge.suite);
       ("storage", Test_storage.suite);
+      ("planner", Test_planner.suite);
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
       ("executor", Test_executor.suite);

@@ -368,6 +368,23 @@ let prop_push_selections_equivalence =
       let after = R.Eval.eval db (R.Optimizer.push_selections catalog q) in
       R.Relation.equal before after)
 
+let prop_order_joins_equivalence =
+  property 100 "order_joins preserves semantics" seed_gen (fun seed ->
+      let db, q = random_db_and_query seed in
+      let catalog = A.catalog_of_database db in
+      let stats = R.Optimizer.stats_of_database db in
+      let before = R.Eval.eval db q in
+      let after = R.Eval.eval db (R.Optimizer.order_joins catalog stats q) in
+      R.Relation.equal before after)
+
+let prop_prune_projections_equivalence =
+  property 100 "prune_projections preserves semantics" seed_gen (fun seed ->
+      let db, q = random_db_and_query seed in
+      let catalog = A.catalog_of_database db in
+      let before = R.Eval.eval db q in
+      let after = R.Eval.eval db (R.Optimizer.prune_projections catalog q) in
+      R.Relation.equal before after)
+
 let prop_csv_roundtrip =
   property 50 "csv roundtrip on random relations" seed_gen (fun seed ->
       let rng = Support.Rng.create seed in
@@ -452,6 +469,8 @@ let suite =
     prop_generated_queries_well_typed;
     prop_optimizer_equivalence;
     prop_push_selections_equivalence;
+    prop_order_joins_equivalence;
+    prop_prune_projections_equivalence;
     prop_csv_roundtrip;
     prop_join_commutes;
     prop_union_idempotent;
