@@ -18,6 +18,7 @@ let targets =
     ("storage", "persistent storage: pager, buffer pool, WAL, recovery", Storage_bench.run);
     ("executor", "fault-tolerant executor: locking, retry, repair", Executor_bench.run);
     ("planner", "cost-based planner: access paths, join algorithms, overhead", Planner_bench.run);
+    ("dist", "sharded 2PC: latency vs shards, message loss, resolution", Dist_bench.run);
     ("ablation", "design-choice ablations (optimizer, Yannakakis, DPLL)", Ablation.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]

@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let version = "1.6.0"
+let version = "1.7.0"
 
 let read_file = Support.Io.read_file
 
@@ -370,6 +370,14 @@ let crash_message path at =
     path;
   0
 
+let dist_crash_message path shards at =
+  Printf.printf "simulated crash at: %s\n" at;
+  Printf.printf
+    "the shards were left as the crash left them; run 'dbmeta db recover \
+     %s --shards=%d' to resolve in-doubt transactions and repair them\n"
+    path shards;
+  0
+
 let with_db ?crash_after ?faults ?(metrics = None) path f =
   let faults = Option.map Storage.Fault.spec_of_string faults in
   let registry = registry_of metrics in
@@ -409,11 +417,11 @@ let with_db ?crash_after ?faults ?(metrics = None) path f =
 (* [--verify-wal]: run the offline WL passes over the log as it sits on
    disk and fold any errors into the exit code — the dynamic layer
    closing the loop with `dbmeta lint wal`. *)
-let wal_audit path code =
+let wal_audit ?(label = "wal audit") path code =
   let report = Storage.Wal.report_file (Storage.Engine.wal_path path) in
   let diags = Analysis.Wal_lint.lint report in
   if diags = [] then begin
-    Printf.printf "wal audit: clean (%d record(s), %d byte(s))\n"
+    Printf.printf "%s: clean (%d record(s), %d byte(s))\n" label
       (List.length report.Storage.Wal.records)
       report.Storage.Wal.total_bytes;
     code
@@ -612,20 +620,164 @@ let db_status_run path =
         hits misses;
       0)
 
-let db_recover_run path verify_wal =
+(* Sharded recovery is auto-detected: a dist base has no file of its
+   own, only BASE.shardK files, so probing them cannot misfire on a
+   single-node database. *)
+let db_recover_run path verify_wal shards metrics =
   input_error_to_exit @@ fun () ->
-  let code =
-    with_db path (fun eng ->
-        report_recovery eng;
-        Printf.printf "items: %d, tables: %d\n"
-          (Storage.Engine.item_count eng)
-          (List.length (Storage.Engine.table_names eng));
-        0)
+  let shards =
+    match shards with
+    | Some n when n <= 0 ->
+        invalid_arg (Printf.sprintf "--shards must be positive, got %d" n)
+    | Some _ as n -> n
+    | None ->
+        let n = Distributed.Coordinator.discover path in
+        if n > 0 then Some n else None
   in
-  if verify_wal then wal_audit path code else code
+  match shards with
+  | None ->
+      let code =
+        with_db ~metrics path (fun eng ->
+            report_recovery eng;
+            Printf.printf "items: %d, tables: %d\n"
+              (Storage.Engine.item_count eng)
+              (List.length (Storage.Engine.table_names eng));
+            0)
+      in
+      if verify_wal then wal_audit path code else code
+  | Some n ->
+      let registry = registry_of metrics in
+      let coord =
+        Distributed.Coordinator.open_dist ~shards:n ~metrics:registry path
+      in
+      let completed, presumed = Distributed.Coordinator.resolved coord in
+      Printf.printf
+        "resolution: %d in-doubt transaction(s) — %d completed from the \
+         coordinator's decision, %d presumed aborted\n"
+        (completed + presumed) completed presumed;
+      List.iteri
+        (fun k o ->
+          Printf.printf "shard %d recovery: %s\n" k
+            (match o with
+            | Some o -> Storage.Recovery.outcome_to_string o
+            | None -> "log clean, nothing to do"))
+        (Distributed.Coordinator.recoveries coord);
+      Printf.printf "items: %d across %d shard(s)\n"
+        (List.length (Distributed.Coordinator.items coord))
+        n;
+      Distributed.Coordinator.close coord;
+      let code =
+        if verify_wal then
+          List.fold_left
+            (fun code k ->
+              wal_audit
+                ~label:(Printf.sprintf "shard %d wal audit" k)
+                (Distributed.Coordinator.shard_path path k)
+                code)
+            0 (List.init n Fun.id)
+        else 0
+      in
+      dump_metrics metrics registry;
+      code
 
-let db_exec_run path txns ops items write_ratio skew seed faults timeout verify
-    verify_wal metrics trace_file =
+(* The sharded variant of [db exec]: same workload generator, but the
+   programs run against a 2PC coordinator over N engines instead of one.
+   Returns the exit code; printing mirrors the single-node path so the
+   two reports read side by side. *)
+let db_exec_dist path n ~txns ~seed spec crash_after timeout verify verify_wal
+    registry trace programs =
+  if n <= 0 then
+    invalid_arg (Printf.sprintf "--shards must be positive, got %d" n);
+  match
+    Distributed.Coordinator.open_dist ~shards:n ?faults:spec ?crash_after
+      ~metrics:registry ~trace path
+  with
+  | exception Storage.Fault.Crash at -> dist_crash_message path n at
+  | coord ->
+      let completed, presumed = Distributed.Coordinator.resolved coord in
+      if completed + presumed > 0 then
+        Printf.printf
+          "resolution: %d in-doubt transaction(s) — %d completed, %d \
+           presumed aborted\n"
+          (completed + presumed) completed presumed;
+      let config =
+        { Distributed.Executor.default_config with seed; lock_timeout = timeout }
+      in
+      let stats = Distributed.Executor.run ~config coord programs in
+      if stats.Distributed.Executor.crashed = None then (
+        try Distributed.Coordinator.close coord
+        with Storage.Fault.Crash at ->
+          Distributed.Coordinator.crash coord;
+          Printf.printf "simulated crash at close: %s\n" at);
+      Printf.printf
+        "committed %d/%d  restarts %d  deadlocks %d  timeouts %d  \
+         commit-aborts %d\n"
+        stats.Distributed.Executor.committed txns
+        stats.Distributed.Executor.restarts
+        stats.Distributed.Executor.deadlocks
+        stats.Distributed.Executor.timeouts
+        stats.Distributed.Executor.commit_aborts;
+      Printf.printf
+        "throughput: %.4f commits/step (%d steps, %d wasted ops, %d net \
+         ticks)\n"
+        (Distributed.Executor.throughput stats)
+        stats.Distributed.Executor.steps
+        stats.Distributed.Executor.wasted_ops
+        (Distributed.Coordinator.net_ticks coord);
+      if stats.Distributed.Executor.stranded > 0 then
+        Printf.printf
+          "stranded: %d decision(s) undelivered; their locks stay held and \
+           restart recovery will complete them\n"
+          stats.Distributed.Executor.stranded;
+      let code =
+        match stats.Distributed.Executor.crashed with
+        | Some { Storage.Fault.site; io_index } ->
+            Printf.printf "simulated crash at: %s (io %d)\n" site io_index;
+            Printf.printf
+              "run 'dbmeta db recover %s --shards=%d' to resolve in-doubt \
+               transactions and repair the shards\n"
+              path n;
+            0
+        | None ->
+            if stats.Distributed.Executor.degraded then begin
+              Printf.printf
+                "coordinator or shard degraded to read-only; unresolved \
+                 transactions are in doubt and will be settled by restart \
+                 recovery\n";
+              1
+            end
+            else if stats.Distributed.Executor.committed = txns then 0
+            else 1
+      in
+      let code =
+        if verify then
+          match Distributed.Coordinator.model_divergence ~path with
+          | None ->
+              print_endline "model check: ok";
+              code
+          | Some (expected, actual) ->
+              let show kv =
+                String.concat ", "
+                  (List.map (fun (i, v) -> Printf.sprintf "%s=%d" i v) kv)
+              in
+              Printf.printf
+                "model check: DIVERGED\n  expected: %s\n  actual:   %s\n"
+                (show expected) (show actual);
+              1
+        else code
+      in
+      if verify_wal then
+        List.fold_left
+          (fun code k ->
+            wal_audit
+              ~label:(Printf.sprintf "shard %d wal audit" k)
+              (Distributed.Coordinator.shard_path path k)
+              code)
+          code (List.init n Fun.id)
+      else code
+
+let db_exec_run path shards txns ops items write_ratio skew seed faults
+    crash_after timeout verify verify_wal metrics trace_file =
   input_error_to_exit @@ fun () ->
   let spec = Option.map Storage.Fault.spec_of_string faults in
   let registry = registry_of metrics in
@@ -652,7 +804,15 @@ let db_exec_run path txns ops items write_ratio skew seed faults timeout verify
   | Some s -> Printf.printf "faults: %s\n" (Storage.Fault.spec_to_string s)
   | None -> ());
   let code =
-    match Storage.Engine.open_db ?faults:spec ~metrics:registry ~trace path with
+    match shards with
+    | Some n ->
+        db_exec_dist path n ~txns ~seed spec crash_after timeout verify
+          verify_wal registry trace programs
+    | None -> (
+    match
+      Storage.Engine.open_db ?crash_after ?faults:spec ~metrics:registry
+        ~trace path
+    with
     | exception Storage.Fault.Crash at -> crash_message path at
     | eng ->
         let config =
@@ -694,6 +854,7 @@ let db_exec_run path txns ops items write_ratio skew seed faults timeout verify
               else if stats.Storage.Executor.committed = txns then 0
               else 1
         in
+        let code =
         if verify then
           match Storage.Executor.model_divergence ~path with
           | None ->
@@ -708,8 +869,9 @@ let db_exec_run path txns ops items write_ratio skew seed faults timeout verify
                 (show expected) (show actual);
               1
         else code
+        in
+        if verify_wal then wal_audit path code else code)
   in
-  let code = if verify_wal then wal_audit path code else code in
   (match trace_file with
   | None -> ()
   | Some file ->
@@ -736,10 +898,13 @@ let faults_arg =
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
          ~doc:"Fault spec, comma-separated: $(b,crash=N) (crash budget), \
                $(b,torn=P) / $(b,flip=P) / $(b,eio=P) (per-I/O \
-               probabilities of torn writes, bit flips, transient EIO; \
-               scope to sites containing a substring with \
-               $(b,kind\\@site=P), e.g. $(b,eio\\@read=0.3)), and \
-               $(b,seed=N) for the fault RNG.  Example: \
+               probabilities of torn writes, bit flips, transient EIO), \
+               $(b,drop=P) / $(b,delay=P) / $(b,part=P) (per-message \
+               probabilities of dropped, late, and partitioned 2PC \
+               messages, for $(b,db exec --shards)), and $(b,seed=N) for \
+               the fault RNG.  Any kind scopes to sites containing a \
+               substring with $(b,kind\\@site=P), e.g. \
+               $(b,eio\\@read=0.3) or $(b,part\\@commit=0.5).  Example: \
                'crash=7,torn=0.1,eio\\@read=0.3,seed=42'.")
 
 let db_init_cmd =
@@ -911,18 +1076,27 @@ let db_status_cmd =
        ~doc:"Show pages, tables, items, WAL and buffer-pool state")
     Term.(const db_status_run $ db_file_arg)
 
+let shards_arg =
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+         ~doc:"Operate on the sharded database rooted at DB: $(docv) \
+               independent engines at DB.shardN under a two-phase-commit \
+               coordinator whose log lives at DB.2pc.")
+
 let db_recover_cmd =
   let verify_wal =
     Arg.(value & flag & info [ "verify-wal" ]
            ~doc:"After recovery, audit the rewritten log with the offline \
                  WAL verifier (codes WL001-WL010, same passes as \
                  $(b,dbmeta lint wal)) and fold any errors into the exit \
-                 code.")
+                 code; on a sharded database, every shard log is audited.")
   in
   Cmd.v
     (Cmd.info "recover" ~version
-       ~doc:"Run restart recovery and report its outcome")
-    Term.(const db_recover_run $ db_file_arg $ verify_wal)
+       ~doc:"Run restart recovery (on a sharded database: the 2PC \
+             termination protocol, then every shard's recovery) and \
+             report its outcome")
+    Term.(const db_recover_run $ db_file_arg $ verify_wal $ shards_arg
+          $ metrics_arg)
 
 let db_exec_cmd =
   let txns =
@@ -978,10 +1152,12 @@ let db_exec_cmd =
   Cmd.v
     (Cmd.info "exec" ~version
        ~doc:"Run an interleaved transaction workload under locking, \
-             deadlock retry, and (optionally) injected faults")
-    Term.(const db_exec_run $ db_file_arg $ txns $ ops $ items $ write_ratio
-          $ skew $ seed $ faults_arg $ timeout $ verify $ verify_wal
-          $ metrics_arg $ trace)
+             deadlock retry, and (optionally) injected faults; with \
+             $(b,--shards) the workload runs against a sharded database \
+             under two-phase commit")
+    Term.(const db_exec_run $ db_file_arg $ shards_arg $ txns $ ops $ items
+          $ write_ratio $ skew $ seed $ faults_arg $ crash_after_arg $ timeout
+          $ verify $ verify_wal $ metrics_arg $ trace)
 
 let db_cmd =
   let doc = "persistent storage: pager, buffer pool, WAL, recovery" in
@@ -1240,6 +1416,20 @@ let registered_metric_names () =
   Storage.Engine.close eng;
   (try Sys.remove path with Sys_error _ -> ());
   (try Sys.remove (Storage.Engine.wal_path path) with Sys_error _ -> ());
+  (* 2pc.*: the coordinator and its message layer register at open *)
+  let base = Filename.temp_file "dbmeta-lint-metrics" ".dist" in
+  Sys.remove base;
+  let coord =
+    Distributed.Coordinator.open_dist ~shards:1 ~metrics:registry base
+  in
+  Distributed.Coordinator.close coord;
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    [
+      Distributed.Coordinator.coord_path base;
+      Distributed.Coordinator.shard_path base 0;
+      Storage.Engine.wal_path (Distributed.Coordinator.shard_path base 0);
+    ];
   (* datalog.*: the semi-naive evaluator registers its instruments *)
   let prog =
     Datalog.Parser.parse_program
@@ -1284,10 +1474,34 @@ let lint_wal_cmd =
        ~doc:"Verify a binary write-ahead log offline (codes WL001-WL010)")
     Term.(const lint_wal_run $ file $ format_arg)
 
+let lint_commit_run base format =
+  input_error_to_exit @@ fun () ->
+  if Distributed.Coordinator.discover base = 0 then
+    invalid_arg
+      (Printf.sprintf "no shard files for %S (expected %s, %s, ...)" base
+         (Distributed.Coordinator.shard_path base 0)
+         (Distributed.Coordinator.shard_path base 1));
+  drive format Analysis.Commit_lint.passes (Analysis.Commit_lint.of_base base)
+
+let lint_commit_cmd =
+  let base =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE"
+           ~doc:"Sharded database base path: the coordinator log at \
+                 BASE.2pc and every shard log BASE.shardK.wal are scanned \
+                 read-only — the survivor files of a crashed run are \
+                 inspected as-is, never repaired.")
+  in
+  Cmd.v
+    (Cmd.info "commit" ~version
+       ~doc:"Verify a two-phase-commit coordinator log against its shard \
+             WALs (codes 2C001-2C006)")
+    Term.(const lint_commit_run $ base $ format_arg)
+
 let lint_cmd =
   let doc =
     "Static analysis over Datalog programs, algebra plans, transaction \
-     schedules, write-ahead logs, and the metric catalogue"
+     schedules, write-ahead logs, commit protocols, and the metric \
+     catalogue"
   in
   let man =
     [
@@ -1296,17 +1510,17 @@ let lint_cmd =
         "Runs the relevant pass suite and prints severity-graded \
          diagnostics (error, warning, info) with stable codes.  Every \
          subcommand ($(b,datalog), $(b,query), $(b,plan), $(b,schedule), \
-         $(b,wal), $(b,metrics)) goes through the same driver and exit-code \
-         policy: exits 0 when no errors were found, 1 when at least one \
-         error-severity diagnostic was reported, and 2 when the input \
-         does not parse.";
+         $(b,wal), $(b,commit), $(b,metrics)) goes through the same driver \
+         and exit-code policy: exits 0 when no errors were found, 1 when \
+         at least one error-severity diagnostic was reported, and 2 when \
+         the input does not parse.";
     ]
   in
   Cmd.group
     (Cmd.info "lint" ~version ~doc ~man)
     [
       lint_datalog_cmd; lint_query_cmd; lint_plan_cmd; lint_schedule_cmd;
-      lint_wal_cmd; lint_metrics_cmd;
+      lint_wal_cmd; lint_commit_cmd; lint_metrics_cmd;
     ]
 
 (* --- main ------------------------------------------------------------------------- *)

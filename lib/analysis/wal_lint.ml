@@ -130,6 +130,9 @@ let bracket_pass (r : input) =
       | Wal.Abort t ->
           if require_live i entry t "aborts" then
             Hashtbl.replace state t Aborted
+      | Wal.Prepare t ->
+          (* a prepared txn is still live: only a Commit/Abort ends it *)
+          ignore (require_live i entry t "prepares" : bool)
       | Wal.Checkpoint -> ())
     r.Wal.records;
   let live =
@@ -195,7 +198,7 @@ let checkpoint_pass (r : input) =
       match entry.Wal.record with
       | Wal.Begin t -> Hashtbl.replace live t ()
       | Wal.Commit t | Wal.Abort t -> Hashtbl.remove live t
-      | Wal.Write _ -> ()
+      | Wal.Write _ | Wal.Prepare _ -> ()
       | Wal.Checkpoint ->
           if Hashtbl.length live > 0 then
             let txns =

@@ -1,0 +1,183 @@
+(* The coordinator's write-ahead log: 2PC protocol records in the same
+   CRC frames as Storage.Wal (u32 crc | u32 len | payload), with its own
+   payload codec.  Presumed abort dictates the force discipline:
+
+     - only Decide(commit) must be forced before any COMMIT message goes
+       out (the commit point);
+     - Begin/Vote records ride along in the same flush — prefix
+       durability of the frame stream means a surviving Decide implies
+       its earlier Votes survived too;
+     - Decide(abort) and Forget need never be forced: a transaction the
+       log says nothing about is presumed aborted.
+
+   An injected crash during flush leaves a torn prefix, exactly as the
+   storage WAL does, and the tolerant scan stops there. *)
+
+module Wal = Storage.Wal
+module Fault = Storage.Fault
+
+type decision = Commit | Abort
+
+type record =
+  | Begin of { txn : int; shards : int list }
+  | Vote of { txn : int; shard : int; yes : bool }
+  | Decide of { txn : int; decision : decision }
+  | Forget of int
+
+type entry = { off : int; record : record }
+
+exception Corrupt of string
+
+(* --- codec: u8 kind (1 begin, 2 vote, 3 decide, 4 forget) --------------- *)
+
+let payload_of_record r =
+  let buf = Buffer.create 16 in
+  (match r with
+  | Begin { txn; shards } ->
+      Buffer.add_uint8 buf 1;
+      Buffer.add_int32_le buf (Int32.of_int txn);
+      if List.length shards > 0xffff then invalid_arg "Coord_log: too many shards";
+      Buffer.add_uint16_le buf (List.length shards);
+      List.iter (fun k -> Buffer.add_uint16_le buf k) shards
+  | Vote { txn; shard; yes } ->
+      Buffer.add_uint8 buf 2;
+      Buffer.add_int32_le buf (Int32.of_int txn);
+      Buffer.add_uint16_le buf shard;
+      Buffer.add_uint8 buf (if yes then 1 else 0)
+  | Decide { txn; decision } ->
+      Buffer.add_uint8 buf 3;
+      Buffer.add_int32_le buf (Int32.of_int txn);
+      Buffer.add_uint8 buf (match decision with Commit -> 1 | Abort -> 0)
+  | Forget txn ->
+      Buffer.add_uint8 buf 4;
+      Buffer.add_int32_le buf (Int32.of_int txn));
+  Buffer.contents buf
+
+let record_of_payload s =
+  let pos = ref 0 in
+  let u8 () =
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let v = String.get_uint16_le s !pos in
+    pos := !pos + 2;
+    v
+  in
+  let u32 () =
+    let v = Int32.to_int (String.get_int32_le s !pos) land 0xFFFFFFFF in
+    pos := !pos + 4;
+    v
+  in
+  try
+    match u8 () with
+    | 1 ->
+        let txn = u32 () in
+        let n = u16 () in
+        Begin { txn; shards = List.init n (fun _ -> u16 ()) }
+    | 2 ->
+        let txn = u32 () in
+        let shard = u16 () in
+        Vote { txn; shard; yes = u8 () = 1 }
+    | 3 ->
+        let txn = u32 () in
+        Decide { txn; decision = (if u8 () = 1 then Commit else Abort) }
+    | 4 -> Forget (u32 ())
+    | k -> raise (Corrupt (Printf.sprintf "unknown coordinator record kind %d" k))
+  with Invalid_argument _ -> raise (Corrupt "truncated coordinator record")
+
+let decision_to_string = function Commit -> "commit" | Abort -> "abort"
+
+let record_to_string = function
+  | Begin { txn; shards } ->
+      Printf.sprintf "begin(%d, shards=[%s])" txn
+        (String.concat "," (List.map string_of_int shards))
+  | Vote { txn; shard; yes } ->
+      Printf.sprintf "vote(%d, shard %d, %s)" txn shard (if yes then "yes" else "no")
+  | Decide { txn; decision } ->
+      Printf.sprintf "decide(%d, %s)" txn (decision_to_string decision)
+  | Forget txn -> Printf.sprintf "forget(%d)" txn
+
+(* Decode the tolerant frame scan, stopping at the first payload the
+   codec rejects — damage past the valid prefix is a torn tail. *)
+let entries_of_frames frames =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (off, payload) :: rest -> (
+        match record_of_payload payload with
+        | record -> go ({ off; record } :: acc) rest
+        | exception Corrupt _ -> List.rev acc)
+  in
+  go [] frames
+
+let read_file path = entries_of_frames (fst (Wal.frames_of_file path))
+
+(* --- the log file, mirroring Storage.Wal's flush discipline -------------- *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  fault : Fault.t;
+  pending : Buffer.t;
+  mutable durable : int;
+}
+
+let max_retries = 8
+
+let really_write fd s pos len =
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write_substring fd s (pos + !written) (len - !written)
+  done
+
+let open_log ?(fault = Fault.create ()) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let frames, clean = Wal.frames_of_file path in
+  let entries = entries_of_frames frames in
+  (* like the storage WAL: the clean prefix ends at the last frame whose
+     payload decodes, so appends resume on a frame boundary *)
+  let clean =
+    match List.rev entries with
+    | [] -> if entries = [] && frames <> [] then 0 else clean
+    | { off; record } :: _ ->
+        if List.length entries = List.length frames then clean
+        else off + 8 + String.length (payload_of_record record)
+  in
+  if clean < (Unix.fstat fd).Unix.st_size then Unix.ftruncate fd clean;
+  ignore (Unix.lseek fd clean Unix.SEEK_SET : int);
+  ({ path; fd; fault; pending = Buffer.create 256; durable = clean }, entries)
+
+let append t record = Buffer.add_string t.pending (Wal.frame (payload_of_record record))
+
+let flush t =
+  if Buffer.length t.pending > 0 then begin
+    let data = Buffer.contents t.pending and len = Buffer.length t.pending in
+    Fault.io t.fault ~at:"coord flush" ~on_crash:(fun () ->
+        (* the torn tail: half the pending bytes reach the platter *)
+        really_write t.fd data 0 (len / 2));
+    really_write t.fd data 0 len;
+    (let rec fsync n =
+       if Fault.transient t.fault ~at:"coord fsync" then
+         if n >= max_retries then begin
+           (* fsyncgate: written-but-unsynced bytes are lost, not merely
+              unconfirmed — truncate back so they cannot resurface *)
+           Unix.ftruncate t.fd t.durable;
+           ignore (Unix.lseek t.fd t.durable Unix.SEEK_SET : int);
+           raise (Fault.Io_error "coord fsync")
+         end
+         else fsync (n + 1)
+       else Unix.fsync t.fd
+     in
+     fsync 0);
+    t.durable <- t.durable + len;
+    Buffer.clear t.pending
+  end
+
+let close t =
+  flush t;
+  Unix.close t.fd
+
+let abandon t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let durable_bytes t = t.durable
+let path t = t.path

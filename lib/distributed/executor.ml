@@ -1,0 +1,271 @@
+(* The distributed workload driver: Storage.Executor's round-robin
+   SS2PL scheduler, re-targeted at a Coordinator.  One top-level lock
+   manager serializes the whole item space (items are globally named,
+   so cross-shard conflicts are real conflicts); commit goes through
+   the 2PC protocol and can therefore come back [Aborted] — a decided
+   abort restarts the slot like a deadlock victim would.
+
+   Stranded decisions interact with strictness: a transaction whose
+   decision has not reached every shard keeps its top-level locks (the
+   ISSUE's "prepared states held under the existing lock manager"), so
+   no later transaction can touch its items until a [nudge] delivers
+   the decision.  The scheduler nudges once per round and releases
+   deferred locks as transactions unstrand. *)
+
+module Schedule = Transactions.Schedule
+module Engine = Storage.Engine
+module Fault = Storage.Fault
+module Lock_manager = Storage.Lock_manager
+
+type config = {
+  max_steps : int;
+  max_backoff : int;
+  lock_timeout : int option;
+  seed : int;
+}
+
+let default_config =
+  { max_steps = 200_000; max_backoff = 64; lock_timeout = None; seed = 0 }
+
+type stats = {
+  committed : int;
+  restarts : int;
+  deadlocks : int;
+  timeouts : int;
+  commit_aborts : int;  (* 2PC decided abort; the slot retried *)
+  steps : int;
+  wasted_ops : int;
+  stranded : int;  (* decisions still undelivered when the run ended *)
+  resolved : int;  (* in-doubt txns resolved by the opening recovery *)
+  degraded : bool;
+  crashed : Fault.crash_info option;
+}
+
+let throughput stats =
+  if stats.steps = 0 then 0.
+  else float_of_int stats.committed /. float_of_int stats.steps
+
+type slot = {
+  base : int;
+  program : Schedule.action array;
+  mutable txn : int option;
+  mutable incarnation : int;
+  mutable pc : int;
+  mutable finished : bool;
+  mutable delay : int;
+}
+
+let run ?(config = default_config) coord specs =
+  let rng = Support.Rng.create config.seed in
+  let metrics = Engine.metrics (Coordinator.shard coord 0) in
+  let counter = Obs.Registry.counter metrics in
+  let m_steps =
+    counter ~unit:"attempts" ~help:"operation attempts (scheduler steps)"
+      "exec.steps"
+  in
+  let m_restarts =
+    counter ~unit:"restarts" ~help:"victim aborts (deadlock + timeout)"
+      "exec.restarts"
+  in
+  let m_deadlocks =
+    counter ~unit:"restarts" ~help:"restarts caused by waits-for cycles"
+      "exec.deadlocks"
+  in
+  let m_timeouts =
+    counter ~unit:"restarts" ~help:"restarts caused by lock-wait timeout"
+      "exec.timeouts"
+  in
+  let m_wasted =
+    counter ~unit:"ops" ~help:"operations re-executed after restarts"
+      "exec.wasted_ops"
+  in
+  let m_backoff =
+    Obs.Registry.histogram metrics ~unit:"rounds"
+      ~help:"backoff drawn per restart" "exec.backoff_rounds"
+  in
+  let slots =
+    Array.mapi
+      (fun i spec ->
+        {
+          base = i;
+          program = Array.of_list spec;
+          txn = None;
+          incarnation = 0;
+          pc = 0;
+          finished = false;
+          delay = 0;
+        })
+      specs
+  in
+  let by_txn = Hashtbl.create 16 in
+  let age txn =
+    match Hashtbl.find_opt by_txn txn with
+    | Some s -> (s.incarnation, s.base)
+    | None -> (0, txn)
+  in
+  let lm =
+    Lock_manager.create ?timeout:config.lock_timeout
+      ~victim_pref:(Storage.Executor.victim_pref ~age)
+      ~metrics ()
+  in
+  let steps = ref 0 in
+  let restarts = ref 0 in
+  let deadlocks = ref 0 in
+  let timeouts = ref 0 in
+  let commit_aborts = ref 0 in
+  let wasted = ref 0 in
+  let committed = ref 0 in
+  let stopped = ref false in
+  let next_value = ref 0 in
+  (* txns whose decision is stranded: their top-level locks are released
+     only once every shard has the decision *)
+  let deferred = ref [] in
+  let release_when_unstranded txn =
+    if Coordinator.is_stranded coord txn then deferred := txn :: !deferred
+    else Lock_manager.release_all lm ~txn
+  in
+  let drain_deferred () =
+    deferred :=
+      List.filter
+        (fun txn ->
+          if Coordinator.is_stranded coord txn then true
+          else begin
+            Lock_manager.release_all lm ~txn;
+            false
+          end)
+        !deferred
+  in
+  let ensure_started slot =
+    match slot.txn with
+    | Some id -> id
+    | None ->
+        let id = Coordinator.begin_txn coord in
+        slot.txn <- Some id;
+        Hashtbl.replace by_txn id slot;
+        id
+  in
+  let retire slot id =
+    release_when_unstranded id;
+    Hashtbl.remove by_txn id;
+    slot.txn <- None
+  in
+  let backoff slot =
+    slot.pc <- 0;
+    slot.incarnation <- slot.incarnation + 1;
+    let window = min config.max_backoff (1 lsl min 6 slot.incarnation) in
+    slot.delay <- 1 + Support.Rng.int rng window;
+    Obs.Histogram.observe m_backoff slot.delay
+  in
+  let restart slot why =
+    (match slot.txn with
+    | Some id ->
+        Coordinator.abort coord ~txn:id;
+        retire slot id
+    | None -> ());
+    incr restarts;
+    Obs.Registry.Counter.incr m_restarts;
+    (match why with
+    | `Deadlock ->
+        incr deadlocks;
+        Obs.Registry.Counter.incr m_deadlocks
+    | `Timeout ->
+        incr timeouts;
+        Obs.Registry.Counter.incr m_timeouts);
+    wasted := !wasted + slot.pc;
+    Obs.Registry.Counter.add m_wasted slot.pc;
+    backoff slot
+  in
+  let restart_txn victim why =
+    match Hashtbl.find_opt by_txn victim with
+    | Some slot -> restart slot why
+    | None -> ()
+  in
+  let commit_slot slot id =
+    match Coordinator.commit coord ~txn:id with
+    | Coordinator.Committed ->
+        retire slot id;
+        slot.finished <- true;
+        incr committed
+    | Coordinator.Aborted _ ->
+        (* a decided abort: the work is undone (or stranded pending an
+           undo); retry the whole program after backoff *)
+        incr commit_aborts;
+        incr restarts;
+        Obs.Registry.Counter.incr m_restarts;
+        wasted := !wasted + slot.pc;
+        Obs.Registry.Counter.add m_wasted slot.pc;
+        retire slot id;
+        backoff slot
+    | exception Engine.Read_only _ -> stopped := true
+  in
+  let attempt slot =
+    incr steps;
+    Obs.Registry.Counter.incr m_steps;
+    let id = ensure_started slot in
+    if slot.pc >= Array.length slot.program then commit_slot slot id
+    else
+      match slot.program.(slot.pc) with
+      | Schedule.Commit -> commit_slot slot id
+      | Schedule.Abort ->
+          Coordinator.abort coord ~txn:id;
+          retire slot id;
+          slot.finished <- true
+      | (Schedule.Read item | Schedule.Write item) as op -> (
+          let mode =
+            match op with
+            | Schedule.Read _ -> Lock_manager.Shared
+            | _ -> Lock_manager.Exclusive
+          in
+          match Lock_manager.acquire lm ~txn:id ~item mode with
+          | Lock_manager.Granted -> (
+              match
+                match op with
+                | Schedule.Read _ -> ignore (Coordinator.read coord item : int)
+                | _ ->
+                    incr next_value;
+                    Coordinator.write coord ~txn:id item !next_value
+              with
+              | () -> slot.pc <- slot.pc + 1
+              | exception Engine.Locked _ ->
+                  (* the shard-level lock belongs to a stranded txn the
+                     top-level manager no longer tracks: nudge and retry *)
+                  Coordinator.nudge coord)
+          | Lock_manager.Blocked -> ()
+          | Lock_manager.Deadlock { victim; _ } -> restart_txn victim `Deadlock)
+  in
+  let all_done () = Array.for_all (fun s -> s.finished) slots in
+  (try
+     while (not (all_done ())) && (not !stopped) && !steps < config.max_steps do
+       Array.iter
+         (fun slot ->
+           if (not slot.finished) && not !stopped then
+             if slot.delay > 0 then slot.delay <- slot.delay - 1
+             else
+               try attempt slot with Engine.Read_only _ -> stopped := true)
+         slots;
+       if not !stopped then begin
+         Coordinator.nudge coord;
+         drain_deferred ();
+         List.iter (fun txn -> restart_txn txn `Timeout) (Lock_manager.tick lm)
+       end
+     done;
+     (* give undelivered decisions a final chance before the run ends *)
+     if not !stopped then begin
+       Coordinator.nudge coord;
+       drain_deferred ()
+     end
+   with Fault.Crash _ -> Coordinator.crash coord);
+  let resolved_commit, resolved_abort = Coordinator.resolved coord in
+  {
+    committed = !committed;
+    restarts = !restarts;
+    deadlocks = !deadlocks;
+    timeouts = !timeouts;
+    commit_aborts = !commit_aborts;
+    steps = !steps;
+    wasted_ops = !wasted;
+    stranded = List.length (Coordinator.stranded_txns coord);
+    resolved = resolved_commit + resolved_abort;
+    degraded = Coordinator.degraded coord;
+    crashed = Fault.crashed_at (Coordinator.fault coord);
+  }

@@ -1,0 +1,47 @@
+(** The distributed workload driver: {!Storage.Executor}'s round-robin
+    SS2PL scheduler re-targeted at a {!Coordinator}.
+
+    One top-level {!Storage.Lock_manager} serializes the global item
+    space; commit runs the 2PC protocol and can come back
+    [Aborted] — a decided abort restarts the slot with the same
+    bounded-exponential-backoff policy as a deadlock victim.  A
+    transaction whose decision is stranded keeps its top-level locks
+    until a nudge delivers the decision to every shard. *)
+
+(** The scheduler's knobs, mirroring {!Storage.Executor.config}. *)
+type config = {
+  max_steps : int;  (** scheduler-step bound (total partitions stall) *)
+  max_backoff : int;  (** backoff window cap, in rounds *)
+  lock_timeout : int option;  (** lock-wait timeout, in ticks *)
+  seed : int;  (** jitter RNG seed *)
+}
+
+val default_config : config
+(** [max_steps = 200_000; max_backoff = 64; lock_timeout = None;
+    seed = 0]. *)
+
+type stats = {
+  committed : int;  (** programs that reached [Committed] *)
+  restarts : int;  (** victim aborts + decided-abort retries *)
+  deadlocks : int;  (** restarts from waits-for cycles *)
+  timeouts : int;  (** restarts from lock-wait timeouts *)
+  commit_aborts : int;  (** 2PC decided aborts (lost messages, vetos) *)
+  steps : int;  (** scheduler steps taken *)
+  wasted_ops : int;  (** operations re-executed after restarts *)
+  stranded : int;  (** decisions still undelivered at the end *)
+  resolved : int;  (** in-doubt txns the opening recovery resolved *)
+  degraded : bool;  (** coordinator log or some shard went read-only *)
+  crashed : Storage.Fault.crash_info option;
+      (** where the injected crash fired, if one did *)
+}
+
+val throughput : stats -> float
+(** Commits per scheduler step. *)
+
+val run :
+  ?config:config -> Coordinator.t ->
+  Transactions.Schedule.action list array -> stats
+(** Drive one program per slot to completion (or crash, degradation,
+    or the step bound).  An injected {!Storage.Fault.Crash} abandons
+    the coordinator and every shard, exactly as the process dying
+    would; the on-disk state is whatever the WALs got to. *)

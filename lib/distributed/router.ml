@@ -1,0 +1,20 @@
+(* Hash partitioning: FNV-1a over the item name, reduced mod the shard
+   count.  Stable across runs and processes — the same item always lands
+   on the same shard, which is what lets restart recovery re-route a
+   surviving workload without a placement catalog. *)
+
+let fnv_offset = 0x811c9dc5
+let fnv_prime = 0x01000193
+
+let hash item =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * fnv_prime land 0xFFFFFFFF)
+    item;
+  !h
+
+let shard_of ~shards item =
+  if shards <= 0 then invalid_arg "Router.shard_of: shard count must be positive";
+  hash item mod shards

@@ -1,0 +1,12 @@
+(** Hash partitioning of items across shards.
+
+    The placement function is pure and stable (FNV-1a mod N), so there
+    is no placement catalog to recover: any process that knows the
+    shard count can re-derive where every item lives. *)
+
+val hash : string -> int
+(** 32-bit FNV-1a of the item name (exposed for tests). *)
+
+val shard_of : shards:int -> string -> int
+(** Which shard owns this item, in [0 .. shards-1].  Raises
+    [Invalid_argument] when [shards <= 0]. *)

@@ -66,6 +66,8 @@ type t = {
   locks : (string, int) Hashtbl.t;
   active : (int, (string * int) list ref) Hashtbl.t;
       (* txn -> (item, before-image) newest first *)
+  prepared : (int, unit) Hashtbl.t;
+      (* active txns whose Prepare record is durable (2PC participants) *)
   mutable next_txn : int;
   mutable last_recovery : Recovery.outcome option;
   mutable read_only : bool;
@@ -160,10 +162,19 @@ let with_repair t f =
 
 (* --- open / close --------------------------------------------------------- *)
 
-let open_db ?(pool_size = 64) ?crash_after ?faults
+let open_db ?(pool_size = 64) ?crash_after ?faults ?fault
     ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) path =
-  let fault = Fault.create () in
-  Fault.set_metrics fault metrics;
+  (* [?fault] shares one injector (and so one crash budget / RNG stream)
+     across several engines — how the distributed layer makes "crash at
+     the N-th I/O anywhere in the system" a single budget *)
+  let fault =
+    match fault with
+    | Some f -> f
+    | None ->
+        let f = Fault.create () in
+        Fault.set_metrics f metrics;
+        f
+  in
   (match faults with Some spec -> Fault.configure fault spec | None -> ());
   (match crash_after with Some n -> Fault.arm fault n | None -> ());
   (* a zero-length file is a creation that crashed before its header
@@ -221,6 +232,7 @@ let open_db ?(pool_size = 64) ?crash_after ?faults
       trace;
       locks = Hashtbl.create 16;
       active = Hashtbl.create 16;
+      prepared = Hashtbl.create 4;
       next_txn = 1;
       last_recovery = None;
       read_only = false;
@@ -240,7 +252,7 @@ let open_db ?(pool_size = 64) ?crash_after ?faults
     List.fold_left
       (fun m { Wal.record; _ } ->
         match record with
-        | Wal.Begin x | Wal.Commit x | Wal.Abort x -> max m x
+        | Wal.Begin x | Wal.Commit x | Wal.Abort x | Wal.Prepare x -> max m x
         | Wal.Write { txn; _ } -> max m txn
         | Wal.Checkpoint -> m)
       0 entries
@@ -335,6 +347,10 @@ let read t item = with_repair t (fun () -> Heap.Items.get t.items item)
 let write t ~txn item value =
   check_writable t;
   let writes = writes_of t txn in
+  if Hashtbl.mem t.prepared txn then
+    invalid_arg
+      (Printf.sprintf "Engine.write: txn %d is prepared and awaiting its \
+                       commit decision" txn);
   (match Hashtbl.find_opt t.locks item with
   | Some holder when holder <> txn -> raise (Locked (item, holder))
   | _ -> Hashtbl.replace t.locks item txn);
@@ -359,6 +375,27 @@ let release_locks t txn =
   in
   List.iter (Hashtbl.remove t.locks) mine
 
+(* The participant side of two-phase commit: force the txn's writes and
+   a Prepare record to disk, then hold everything (locks, undo info)
+   until the coordinator's decision arrives — possibly only after a
+   restart, via the termination protocol.  Idempotent, because the
+   coordinator retries lost PREPARE messages. *)
+let prepare t ~txn =
+  check_writable t;
+  ignore (writes_of t txn);
+  if not (Hashtbl.mem t.prepared txn) then begin
+    ignore (Wal.append t.wal (Wal.Prepare txn) : int);
+    match Wal.flush t.wal with
+    | () -> Hashtbl.replace t.prepared txn ()
+    | exception Fault.Io_error site ->
+        (* the vote cannot be made durable: this shard must vote no *)
+        degrade t site;
+        raise (Read_only (Printf.sprintf "wal unflushable at %s" site))
+  end
+
+let prepared_txns t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.prepared [] |> List.sort Int.compare
+
 let commit t ~txn =
   check_writable t;
   ignore (writes_of t txn);
@@ -378,6 +415,7 @@ let commit t ~txn =
           raise (Read_only (Printf.sprintf "wal unflushable at %s" site)));
   release_locks t txn;
   Hashtbl.remove t.active txn;
+  Hashtbl.remove t.prepared txn;
   Obs.Registry.Counter.incr t.emetrics.m_commits
 
 let abort t ~txn =
@@ -406,6 +444,7 @@ let abort t ~txn =
       with Fault.Io_error site -> degrade t site);
   release_locks t txn;
   Hashtbl.remove t.active txn;
+  Hashtbl.remove t.prepared txn;
   Obs.Registry.Counter.incr t.emetrics.m_aborts
 
 let items t = with_repair t (fun () -> Heap.Items.all t.items)

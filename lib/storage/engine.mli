@@ -45,6 +45,7 @@ exception Read_only of string
 
 val open_db :
   ?pool_size:int -> ?crash_after:int -> ?faults:Fault.spec ->
+  ?fault:Fault.t ->
   ?metrics:Obs.Registry.t -> ?trace:Obs.Trace.t -> string -> t
 (** Open or create the database at [path] (the WAL lives at
     [path ^ ".wal"]).  [crash_after] arms fault injection: that many
@@ -52,6 +53,11 @@ val open_db :
     I/Os issued by recovery itself.  [faults] installs a full fault
     spec (crash budget, torn-write/bit-flip/EIO probabilities, RNG
     seed); [crash_after] overrides its crash budget when both given.
+    [fault] supplies the injector itself instead of creating one —
+    several engines sharing one injector share one crash budget and
+    one RNG stream, which is how the distributed layer crashes "the
+    whole process" at its N-th durable I/O regardless of which shard
+    (or the coordinator log) issues it.
     A corrupt item-store page found during the open is quarantined and
     the item plane rebuilt from the log before recovery runs.
 
@@ -77,10 +83,25 @@ val begin_txn : ?id:int -> t -> int
 val write : t -> txn:int -> string -> int -> unit
 (** Logs (item, before, after) then applies in the pool; raises
     {!Locked} when another transaction holds the item, {!Read_only}
-    when the engine is degraded. *)
+    when the engine is degraded, and [Invalid_argument] when the
+    transaction has already prepared (a prepared participant may only
+    await its decision). *)
 
 val read : t -> string -> int
 (** Current value; absent items read 0. *)
+
+val prepare : t -> txn:int -> unit
+(** The participant side of two-phase commit: append [Prepare] and
+    flush, making the transaction's writes and its yes-vote durable.
+    The transaction stays active — locks held, undo info kept — until
+    {!commit} or {!abort} delivers the coordinator's decision, possibly
+    only after a restart (the termination protocol).  Idempotent (the
+    coordinator retries lost PREPARE messages); raises {!Read_only}
+    when the vote cannot be made durable, in which case the shard must
+    vote no. *)
+
+val prepared_txns : t -> int list
+(** Active transactions whose [Prepare] is durable, sorted. *)
 
 val commit : t -> txn:int -> unit
 (** Appends Commit and flushes the WAL — the commit point.  If the

@@ -12,20 +12,35 @@ type spec = {
   torn : rule list;
   flip : rule list;
   eio : rule list;
+  drop : rule list;
+  delay : rule list;
+  part : rule list;
   seed : int option;
 }
 
-let no_faults = { crash_after = None; torn = []; flip = []; eio = []; seed = None }
+let no_faults =
+  {
+    crash_after = None;
+    torn = [];
+    flip = [];
+    eio = [];
+    drop = [];
+    delay = [];
+    part = [];
+    seed = None;
+  }
 
-let usage =
-  "expected a comma-separated fault spec: crash=N, seed=N, and/or \
-   torn|flip|eio[@site]=PROB (e.g. 'crash=7,torn=0.1,eio@read=0.3')"
+let grammar =
+  "the grammar is crash=N, seed=N, torn|flip|eio[@site]=PROB, \
+   drop|delay|part[@site]=PROB"
 
 let spec_of_string s =
-  let fail () = invalid_arg (Printf.sprintf "%s; got %S" usage s) in
+  let fail fmt =
+    Printf.ksprintf (fun msg -> invalid_arg (msg ^ "; " ^ grammar)) fmt
+  in
   let parse_clause spec clause =
     match String.index_opt clause '=' with
-    | None -> fail ()
+    | None -> fail "fault clause %S has no '='" clause
     | Some i -> (
         let key = String.sub clause 0 i in
         let v = String.sub clause (i + 1) (String.length clause - i - 1) in
@@ -34,28 +49,42 @@ let spec_of_string s =
           | None -> (key, None)
           | Some j ->
               let site = String.sub key (j + 1) (String.length key - j - 1) in
-              if site = "" then fail ();
+              if site = "" then fail "empty @site in fault clause %S" clause;
               (String.sub key 0 j, Some site)
         in
         let prob () =
           match float_of_string_opt v with
           | Some p when p >= 0. && p <= 1. -> p
-          | _ -> fail ()
+          | _ ->
+              fail "fault clause %S needs a probability in [0,1], got %S" clause
+                v
         in
         let int () =
-          match int_of_string_opt v with Some n when n >= 0 -> n | _ -> fail ()
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> n
+          | _ ->
+              fail "fault clause %S needs a nonnegative integer, got %S" clause
+                v
         in
+        let unscoped () =
+          if scope <> None then
+            fail "fault kind %S takes no @site scope (clause %S)" kind clause
+        in
+        let rule () = { scope; prob = prob () } in
         match kind with
         | "crash" ->
-            if scope <> None then fail ();
+            unscoped ();
             { spec with crash_after = Some (int ()) }
         | "seed" ->
-            if scope <> None then fail ();
+            unscoped ();
             { spec with seed = Some (int ()) }
-        | "torn" -> { spec with torn = spec.torn @ [ { scope; prob = prob () } ] }
-        | "flip" -> { spec with flip = spec.flip @ [ { scope; prob = prob () } ] }
-        | "eio" -> { spec with eio = spec.eio @ [ { scope; prob = prob () } ] }
-        | _ -> fail ())
+        | "torn" -> { spec with torn = spec.torn @ [ rule () ] }
+        | "flip" -> { spec with flip = spec.flip @ [ rule () ] }
+        | "eio" -> { spec with eio = spec.eio @ [ rule () ] }
+        | "drop" -> { spec with drop = spec.drop @ [ rule () ] }
+        | "delay" -> { spec with delay = spec.delay @ [ rule () ] }
+        | "part" -> { spec with part = spec.part @ [ rule () ] }
+        | _ -> fail "unknown fault kind %S in clause %S" kind clause)
   in
   String.split_on_char ',' s
   |> List.filter (fun c -> String.trim c <> "")
@@ -76,13 +105,22 @@ let spec_to_string spec =
     | Some n -> [ Printf.sprintf "crash=%d" n ]
     | None -> [])
     @ rules "torn" spec.torn @ rules "flip" spec.flip @ rules "eio" spec.eio
+    @ rules "drop" spec.drop @ rules "delay" spec.delay
+    @ rules "part" spec.part
     @ (match spec.seed with Some n -> [ Printf.sprintf "seed=%d" n ] | None -> [])
   in
   String.concat "," clauses
 
 (* --- the injector -------------------------------------------------------- *)
 
-type counts = { torn : int; flips : int; eios : int }
+type counts = {
+  torn : int;
+  flips : int;
+  eios : int;
+  drops : int;
+  delays : int;
+  parts : int;
+}
 
 type t = {
   mutable budget : int option;
@@ -92,9 +130,15 @@ type t = {
   mutable torn_rules : rule list;
   mutable flip_rules : rule list;
   mutable eio_rules : rule list;
+  mutable drop_rules : rule list;
+  mutable delay_rules : rule list;
+  mutable part_rules : rule list;
   mutable torn_count : int;
   mutable flip_count : int;
   mutable eio_count : int;
+  mutable drop_count : int;
+  mutable delay_count : int;
+  mutable part_count : int;
   mutable registry : Obs.Registry.t;
   fired : (string, Obs.Registry.Counter.t) Hashtbl.t;
 }
@@ -108,9 +152,15 @@ let create () =
     torn_rules = [];
     flip_rules = [];
     eio_rules = [];
+    drop_rules = [];
+    delay_rules = [];
+    part_rules = [];
     torn_count = 0;
     flip_count = 0;
     eio_count = 0;
+    drop_count = 0;
+    delay_count = 0;
+    part_count = 0;
     registry = Obs.Registry.noop;
     fired = Hashtbl.create 8;
   }
@@ -158,6 +208,9 @@ let configure t spec =
   t.torn_rules <- spec.torn;
   t.flip_rules <- spec.flip;
   t.eio_rules <- spec.eio;
+  t.drop_rules <- spec.drop;
+  t.delay_rules <- spec.delay;
+  t.part_rules <- spec.part;
   t.rng <- Support.Rng.create (match spec.seed with Some s -> s | None -> 0)
 
 let arm t n =
@@ -228,4 +281,40 @@ let transient t ~at =
   end;
   fires
 
-let counts t = { torn = t.torn_count; flips = t.flip_count; eios = t.eio_count }
+(* --- the message-fault family (distributed commit) ----------------------- *)
+
+let dropped t ~at =
+  let fires = draw t t.drop_rules ~at in
+  if fires then begin
+    t.drop_count <- t.drop_count + 1;
+    fired t "drop" ~at
+  end;
+  fires
+
+let delay_ticks t ~at ~max =
+  if max > 0 && draw t t.delay_rules ~at then begin
+    t.delay_count <- t.delay_count + 1;
+    fired t "delay" ~at;
+    Some (1 + Support.Rng.int t.rng max)
+  end
+  else None
+
+let partitioned t ~at =
+  let fires = draw t t.part_rules ~at in
+  if fires then begin
+    t.part_count <- t.part_count + 1;
+    fired t "part" ~at
+  end;
+  fires
+
+let flip_coin t = Support.Rng.int t.rng 2 = 0
+
+let counts t =
+  {
+    torn = t.torn_count;
+    flips = t.flip_count;
+    eios = t.eio_count;
+    drops = t.drop_count;
+    delays = t.delay_count;
+    parts = t.part_count;
+  }

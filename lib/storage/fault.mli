@@ -16,11 +16,23 @@
       error; callers retry with bounded backoff and raise {!Io_error}
       only when the budgeted retries are exhausted.
 
+    Three further kinds model the {e network} between a commit
+    coordinator and its shards (sites are message names such as
+    ["prepare shard 0"]):
+
+    - {e drop} — the message is lost before the receiver sees it.
+    - {e delay} — delivery is late by a drawn number of scheduler
+      ticks; past the caller's timeout the response is discarded even
+      though the receiver processed the request.
+    - {e part} — the link is partitioned: either direction may be the
+      one that is down, so the sender cannot tell whether the receiver
+      acted.
+
     The probabilistic kinds fire per-site under a seeded RNG, so every
     fault run is reproducible from its printed seed.  Specs are written
     in a small language (see {!spec_of_string}):
 
-    {v crash=7,torn=0.1,flip@page=0.02,eio@read=0.3,seed=42 v}
+    {v crash=7,torn=0.1,flip@page=0.02,drop@prepare=0.3,seed=42 v}
 
     where [kind@site=p] scopes the probability to sites containing the
     substring [site], and an unscoped [kind=p] applies everywhere. *)
@@ -46,6 +58,9 @@ type spec = {
   torn : rule list;
   flip : rule list;
   eio : rule list;
+  drop : rule list;  (** message loss (request never delivered) *)
+  delay : rule list;  (** late delivery, may exceed the sender's timeout *)
+  part : rule list;  (** link partition: loss in an unknown direction *)
   seed : int option;  (** RNG seed for the probabilistic draws *)
 }
 
@@ -53,8 +68,9 @@ val no_faults : spec
 (** The empty spec: no crash budget, no probabilistic rules. *)
 
 val spec_of_string : string -> spec
-(** Parse the mini-language; raises [Invalid_argument] with a usage
-    message on malformed input. *)
+(** Parse the mini-language; raises [Invalid_argument] on malformed
+    input with a message that names the offending clause (and the bad
+    token within it) followed by the accepted grammar. *)
 
 val spec_to_string : spec -> string
 (** Round-trips through {!spec_of_string}. *)
@@ -114,7 +130,32 @@ val transient : t -> at:string -> bool
 (** Should this read/fsync attempt fail with a transient error?  Each
     retry draws afresh, so with p < 1 retries eventually succeed. *)
 
-type counts = { torn : int; flips : int; eios : int }
+val dropped : t -> at:string -> bool
+(** Should this message be lost before the receiver sees it?  Each
+    send attempt draws afresh.  (Counted when it fires.) *)
+
+val delay_ticks : t -> at:string -> max:int -> int option
+(** Should this message be delivered late?  [Some d] draws a delay of
+    [d] scheduler ticks in [1..max]; the caller compares [d] against
+    its timeout.  (Counted when it fires.) *)
+
+val partitioned : t -> at:string -> bool
+(** Is the link carrying this message partitioned?  The sender learns
+    nothing about whether the receiver acted; pair with {!flip_coin}
+    to decide which direction was down. *)
+
+val flip_coin : t -> bool
+(** A fair draw from the injector's seeded RNG, for tie-breaks such as
+    the direction of a partition loss. *)
+
+type counts = {
+  torn : int;
+  flips : int;
+  eios : int;
+  drops : int;
+  delays : int;
+  parts : int;
+}
 (** Aggregate firing totals (the per-site split lives in the metric
     registry; see {!set_metrics}). *)
 

@@ -46,6 +46,10 @@ let analyze entries =
           committed := t :: !committed;
           ended := t :: !ended
       | Wal.Abort t -> ended := t :: !ended
+      (* presumed abort: a surviving Prepare alone leaves the txn live,
+         hence a loser; the distributed termination protocol appends a
+         Commit before recovery when the coordinator decided commit *)
+      | Wal.Prepare _ -> ()
       | Wal.Write _ -> ())
     entries;
   let uniq l = List.sort_uniq Int.compare l in

@@ -9,8 +9,8 @@
      u32 payload length
      payload:
        u8 kind (1 begin, 2 write, 3 commit, 4 abort, 5 checkpoint,
-                6 compensation write)
-       begin/commit/abort: u32 txn
+                6 compensation write, 7 prepare)
+       begin/commit/abort/prepare: u32 txn
        write/compensation: u32 txn, u16 item length, item bytes,
                            i64 before-image, i64 after-image
        checkpoint: empty
@@ -25,6 +25,7 @@ type record =
   | Commit of int
   | Abort of int
   | Checkpoint
+  | Prepare of int
 
 type entry = { lsn : int; record : record }
 
@@ -52,16 +53,54 @@ let payload_of_record r =
   | Abort t ->
       Buffer.add_uint8 buf 4;
       Buffer.add_int32_le buf (Int32.of_int t)
-  | Checkpoint -> Buffer.add_uint8 buf 5);
+  | Checkpoint -> Buffer.add_uint8 buf 5
+  | Prepare t ->
+      Buffer.add_uint8 buf 7;
+      Buffer.add_int32_le buf (Int32.of_int t));
   Buffer.contents buf
 
-let frame_of_record r =
-  let payload = payload_of_record r in
+(* The framing layer is payload-agnostic: the coordinator log of
+   lib/distributed reuses [frame]/[scan_frames] with its own payloads. *)
+let frame payload =
   let buf = Buffer.create (String.length payload + 8) in
   Buffer.add_int32_le buf (Int32.of_int (Support.Crc32.string payload));
   Buffer.add_int32_le buf (Int32.of_int (String.length payload));
   Buffer.add_string buf payload;
   Buffer.contents buf
+
+let frame_of_record r = frame (payload_of_record r)
+
+(* Tolerant payload-level scan: stop (not fail) at the first incomplete
+   or CRC-invalid frame.  Returns (offset, payload) pairs and the clean
+   byte length. *)
+let scan_frames image =
+  let n = String.length image in
+  let frames = ref [] in
+  let pos = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    if !pos + 8 > n then stop := true
+    else begin
+      let crc = Int32.to_int (String.get_int32_le image !pos) land 0xFFFFFFFF in
+      let len =
+        Int32.to_int (String.get_int32_le image (!pos + 4)) land 0xFFFFFFFF
+      in
+      if len > n - !pos - 8 then stop := true
+      else begin
+        let payload = String.sub image (!pos + 8) len in
+        if Support.Crc32.string payload <> crc then stop := true
+        else begin
+          frames := (!pos, payload) :: !frames;
+          pos := !pos + 8 + len
+        end
+      end
+    end
+  done;
+  (List.rev !frames, !pos)
+
+let frames_of_file path =
+  if Sys.file_exists path then scan_frames (Support.Io.read_file path)
+  else ([], 0)
 
 let record_of_payload s =
   let pos = ref 0 in
@@ -99,6 +138,7 @@ let record_of_payload s =
     | 3 -> Commit (u32 ())
     | 4 -> Abort (u32 ())
     | 5 -> Checkpoint
+    | 7 -> Prepare (u32 ())
     | k -> raise (Corrupt (Printf.sprintf "unknown record kind %d" k))
   with Invalid_argument _ ->
     raise (Corrupt "truncated record payload")
@@ -387,6 +427,10 @@ let to_model records =
           Some (Transactions.Recovery.Write (txn, item, before, after))
       | Commit t -> Some (Transactions.Recovery.Commit t)
       | Abort t -> Some (Transactions.Recovery.Abort t)
+      (* A prepared-but-undecided txn is still a loser in the model:
+         presumed abort.  The distributed model check adds synthetic
+         commits for txns whose coordinator DECIDE survived. *)
+      | Prepare _ -> None
       | Checkpoint -> None)
     records
 
@@ -406,3 +450,4 @@ let record_to_string = function
   | Commit t -> Printf.sprintf "commit(%d)" t
   | Abort t -> Printf.sprintf "abort(%d)" t
   | Checkpoint -> "checkpoint"
+  | Prepare t -> Printf.sprintf "prepare(%d)" t

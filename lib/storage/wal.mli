@@ -14,13 +14,18 @@
     ARIES CLR, minus the undo-next pointer. *)
 
 (** The logged record kinds, mirroring
-    {!Transactions.Recovery.record} plus [Checkpoint]. *)
+    {!Transactions.Recovery.record} plus [Checkpoint] and [Prepare] —
+    the durable vote of a two-phase-commit participant: the txn's
+    writes and its [Prepare] are on disk before the shard votes yes,
+    so a surviving [Prepare] marks an in-doubt transaction that
+    restart recovery must resolve against the coordinator log. *)
 type record =
   | Begin of int
   | Write of { txn : int; item : string; before : int; after : int; compensation : bool }
   | Commit of int
   | Abort of int
   | Checkpoint
+  | Prepare of int
 
 type entry = { lsn : int; record : record }
 (** A scanned record with its LSN (byte offset in the file). *)
@@ -126,11 +131,28 @@ val fold_file : string -> init:'a -> f:('a -> entry -> 'a) -> 'a
     writable descriptor (the offline verifier's iteration API). *)
 
 val frame_of_record : record -> string
-(** The exact on-disk frame (exposed for tests). *)
+(** The exact on-disk frame (exposed for tests and the offline
+    termination protocol, which appends decided commits to a shard log
+    without opening the engine). *)
+
+val frame : string -> string
+(** CRC-frame an arbitrary payload ([u32 crc | u32 len | payload]) —
+    the generic framing layer the coordinator log reuses with its own
+    record payloads. *)
+
+val scan_frames : string -> (int * string) list * int
+(** Tolerant payload-level scan of a framed image: [(offset, payload)]
+    pairs up to the first incomplete or CRC-invalid frame, plus the
+    clean byte length.  The inverse of repeated {!frame}. *)
+
+val frames_of_file : string -> (int * string) list * int
+(** {!scan_frames} over a file; a missing file yields [([], 0)]. *)
 
 val to_model : record list -> Transactions.Recovery.log
-(** Checkpoints are dropped; compensation writes become ordinary model
-    writes (the model replays them like any other). *)
+(** Checkpoints are dropped, as are prepares — a prepared-but-undecided
+    transaction is still a loser (presumed abort); compensation writes
+    become ordinary model writes (the model replays them like any
+    other). *)
 
 val of_model : Transactions.Recovery.record -> record
 (** The inverse bridge; model records never carry [Checkpoint]. *)

@@ -158,5 +158,11 @@ The in-doubt transactions resolve as losers at the next restart:
 Malformed fault specs are a usage error:
 
   $ dbmeta db exec sick.db --faults 'nope'
-  dbmeta: expected a comma-separated fault spec: crash=N, seed=N, and/or torn|flip|eio[@site]=PROB (e.g. 'crash=7,torn=0.1,eio@read=0.3'); got "nope"
+  dbmeta: fault clause "nope" has no '='; the grammar is crash=N, seed=N, torn|flip|eio[@site]=PROB, drop|delay|part[@site]=PROB
+  [2]
+
+The error names the offending token, whatever the failure mode:
+
+  $ dbmeta db exec sick.db --faults 'drop=maybe'
+  dbmeta: fault clause "drop=maybe" needs a probability in [0,1], got "maybe"; the grammar is crash=N, seed=N, torn|flip|eio[@site]=PROB, drop|delay|part[@site]=PROB
   [2]

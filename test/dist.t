@@ -1,0 +1,105 @@
+Sharded atomic commit from the command line: --shards=N partitions the
+item space by hash across N engines and runs every multi-shard
+transaction through a two-phase-commit coordinator whose log lives at
+DB.2pc.  The model check folds every shard's surviving log (plus the
+coordinator's decisions) through the Transactions.Recovery model.
+
+  $ dbmeta db exec dist.db --shards=2 --txns 6 --ops 4 --items 12 --seed 3 --verify --verify-wal
+  workload: 6 txns x 4 ops over 12 items (50% writes, skew 0.5), seed 3
+  committed 6/6  restarts 1  deadlocks 1  timeouts 0  commit-aborts 0
+  throughput: 0.0690 commits/step (87 steps, 3 wasted ops, 13 net ticks)
+  model check: ok
+  shard 0 wal audit: clean (11 record(s), 171 byte(s))
+  shard 1 wal audit: clean (31 record(s), 631 byte(s))
+
+A sharded database is a family of files — no dist.db itself, one
+engine (and WAL) per shard, and the coordinator log:
+
+  $ ls dist.db* | sort
+  dist.db.2pc
+  dist.db.shard0
+  dist.db.shard0.wal
+  dist.db.shard1
+  dist.db.shard1.wal
+
+Each shard is an ordinary single-node database; the usual commands
+work on it directly:
+
+  $ dbmeta db status dist.db.shard0 | head -2
+  file: dist.db.shard0 (format v1, 2 pages of 4096 bytes)
+  recovery: checkpoint=162 winners=[6,7] losers=[] redo=0 skipped=0 undone=0
+
+Crashing the coordinator mid-protocol (--crash-after counts every
+durable I/O, the coordinator log's included) leaves transactions
+prepared on some shards — in doubt until the termination protocol
+reads the coordinator's log:
+
+  $ dbmeta db exec crash.db --shards=2 --txns 8 --ops 5 --items 10 --seed 5 --crash-after 25
+  workload: 8 txns x 5 ops over 10 items (50% writes, skew 0.5), seed 5
+  committed 5/8  restarts 6  deadlocks 6  timeouts 0  commit-aborts 0
+  throughput: 0.0360 commits/step (139 steps, 17 wasted ops, 15 net ticks)
+  simulated crash at: coord flush (io 25)
+  run 'dbmeta db recover crash.db --shards=2' to resolve in-doubt transactions and repair the shards
+
+The survivor logs are inspectable offline.  The commit lint
+cross-checks the coordinator log against every shard WAL — in-doubt
+transactions are warnings (2C002), never errors; an error would mean
+lost or contradictory decisions:
+
+  $ dbmeta lint commit crash.db
+  warning[2C002]: shard 0 leaves transaction 14 prepared (in doubt) — no surviving decision; restart recovery will presume abort
+    --> shard 0: prepare(14)
+  warning[2C002]: shard 1 leaves transaction 14 prepared (in doubt) — no surviving decision; restart recovery will presume abort
+    --> shard 1: prepare(14)
+  0 error(s), 2 warning(s), 0 info(s)
+
+Recovery runs the termination protocol before opening the shards: a
+prepared transaction whose Decide(commit) survived is completed, the
+rest are presumed aborted:
+
+  $ dbmeta db recover crash.db --verify-wal
+  resolution: 2 in-doubt transaction(s) — 0 completed from the coordinator's decision, 2 presumed aborted
+  shard 0 recovery: checkpoint=none winners=[2,3,8,11] losers=[14] redo=13 skipped=0 undone=2
+  shard 1 recovery: checkpoint=none winners=[7,8,11] losers=[14] redo=4 skipped=0 undone=1
+  items: 6 across 2 shard(s)
+  shard 0 wal audit: clean (34 record(s), 734 byte(s))
+  shard 1 wal audit: clean (18 record(s), 326 byte(s))
+
+  $ dbmeta lint commit crash.db
+  no diagnostics
+
+Message-level faults: drop every COMMIT message to shard 1, so the
+decision is durable but undeliverable — the transactions strand (their
+locks stay held) and the run exits 1:
+
+  $ dbmeta db exec part.db --shards=2 --txns 5 --ops 4 --items 8 --seed 7 --faults 'drop@commit shard 1=1,seed=2'
+  workload: 5 txns x 4 ops over 8 items (50% writes, skew 0.5), seed 7
+  faults: drop@commit shard 1=1,seed=2
+  committed 2/5  restarts 0  deadlocks 0  timeouts 0  commit-aborts 0
+  throughput: 0.0000 commits/step (200002 steps, 0 wasted ops, 1066749 net ticks)
+  stranded: 2 decision(s) undelivered; their locks stay held and restart recovery will complete them
+  [1]
+
+  $ dbmeta lint commit part.db
+  warning[2C002]: shard 1 leaves transaction 1 prepared (in doubt) — the coordinator decided commit; restart resolution will complete it
+    --> shard 1: prepare(1)
+  warning[2C002]: shard 1 leaves transaction 2 prepared (in doubt) — the coordinator decided commit; restart resolution will complete it
+    --> shard 1: prepare(2)
+  0 error(s), 2 warning(s), 0 info(s)
+
+Restart delivers the stranded commits from the coordinator's log:
+
+  $ dbmeta db recover part.db
+  resolution: 2 in-doubt transaction(s) — 2 completed from the coordinator's decision, 0 presumed aborted
+  shard 0 recovery: checkpoint=144 winners=[1,2] losers=[] redo=0 skipped=0 undone=0
+  shard 1 recovery: checkpoint=none winners=[1,2] losers=[] redo=2 skipped=0 undone=0
+  items: 4 across 2 shard(s)
+
+  $ dbmeta lint commit part.db
+  no diagnostics
+
+The lint is a usage error on a base with no shard files:
+
+  $ dbmeta lint commit nowhere.db
+  dbmeta: no shard files for "nowhere.db" (expected nowhere.db.shard0, nowhere.db.shard1, ...)
+  [2]

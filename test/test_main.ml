@@ -19,5 +19,6 @@ let () =
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
       ("executor", Test_executor.suite);
+      ("distributed", Test_distributed.suite);
       ("obs", Test_obs.suite);
     ]
