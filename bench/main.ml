@@ -19,6 +19,7 @@ let targets =
     ("executor", "fault-tolerant executor: locking, retry, repair", Executor_bench.run);
     ("planner", "cost-based planner: access paths, join algorithms, overhead", Planner_bench.run);
     ("dist", "sharded 2PC: latency vs shards, message loss, resolution", Dist_bench.run);
+    ("repl", "replication: commit latency, catch-up, failover", Repl_bench.run);
     ("ablation", "design-choice ablations (optimizer, Yannakakis, DPLL)", Ablation.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]

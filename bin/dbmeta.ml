@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let version = "1.7.0"
+let version = "1.8.0"
 
 let read_file = Support.Io.read_file
 
@@ -618,6 +618,34 @@ let db_status_run path =
         (Storage.Buffer_pool.resident (Storage.Engine.pool eng))
         (Storage.Buffer_pool.capacity (Storage.Engine.pool eng))
         hits misses;
+      (* a replica family beside this file means the db is one node of a
+         replication group: report its role from the descriptor *)
+      (match Replication.Repl_meta.load_group path with
+      | None -> ()
+      | Some g ->
+          let module M = Replication.Repl_meta in
+          let clean k =
+            (Storage.Wal.report_file
+               (Storage.Engine.wal_path (M.node_path path k)))
+              .Storage.Wal.clean_bytes
+          in
+          let p = clean g.M.primary in
+          let worst =
+            List.fold_left
+              (fun acc k ->
+                if k = g.M.primary then acc
+                else max acc (p - min p (clean k)))
+              0
+              (List.init g.M.nodes Fun.id)
+          in
+          Printf.printf
+            "replication: %s of %d node(s), epoch %d, sync=%s, worst lag \
+             %d byte(s)\n"
+            (if g.M.primary = 0 then "primary"
+             else Printf.sprintf "replica (primary: node %d)" g.M.primary)
+            g.M.nodes g.M.epoch
+            (M.sync_mode_to_string g.M.sync)
+            worst);
       0)
 
 (* Sharded recovery is auto-detected: a dist base has no file of its
@@ -776,8 +804,96 @@ let db_exec_dist path n ~txns ~seed spec crash_after timeout verify verify_wal
           code (List.init n Fun.id)
       else code
 
-let db_exec_run path shards txns ops items write_ratio skew seed faults
-    crash_after timeout verify verify_wal metrics trace_file =
+(* The replicated variant of [db exec]: the workload runs sequentially
+   against a primary that ships its WAL to N replicas after every
+   commit.  Sequential on purpose — replication is about durability and
+   failover, not concurrency, and a deterministic txn-at-a-time driver
+   keeps acked/local-only counts reproducible from the seed. *)
+let db_exec_repl path n sync ~txns spec crash_after verify_wal registry trace
+    programs =
+  if n <= 0 then
+    invalid_arg (Printf.sprintf "--replicas must be positive, got %d" n);
+  let module G = Replication.Group in
+  match
+    G.open_group ~replicas:n ~sync ?faults:spec ?crash_after ~metrics:registry
+      ~trace path
+  with
+  | exception Storage.Fault.Crash at ->
+      Printf.printf "simulated crash at: %s\n" at;
+      Printf.printf
+        "the group was left as the crash left it; run 'dbmeta db repl \
+         status %s' to inspect it, 'dbmeta lint repl %s' to audit it, or \
+         reopen with 'dbmeta db exec --replicas=%d %s' to heal the \
+         replicas\n"
+        path path n path;
+      0
+  | g ->
+      Printf.printf "replication: %d node(s), sync=%s, epoch %d\n"
+        (G.node_count g)
+        (Replication.Repl_meta.sync_mode_to_string (G.sync_mode g))
+        (G.epoch g);
+      let acked = ref 0 and local = ref 0 and value = ref 0 in
+      let crashed = ref None and fenced = ref None in
+      (try
+         Array.iter
+           (fun prog ->
+             let txn = G.begin_txn g in
+             List.iter
+               (function
+                 | Transactions.Schedule.Read item ->
+                     ignore (G.read g item : int)
+                 | Transactions.Schedule.Write item ->
+                     incr value;
+                     G.write g ~txn item !value
+                 | Transactions.Schedule.Commit | Transactions.Schedule.Abort
+                   -> ())
+               prog;
+             match G.commit g ~txn with
+             | G.Acked -> incr acked
+             | G.Local_only -> incr local)
+           programs;
+         G.close g
+       with
+      | Storage.Fault.Crash at ->
+          G.crash g;
+          crashed := Some at
+      | G.Fenced e ->
+          G.crash g;
+          fenced := Some e);
+      Printf.printf "committed %d/%d  acked %d  local-only %d\n"
+        (!acked + !local) txns !acked !local;
+      Printf.printf "worst lag %d byte(s), %d net tick(s)\n" (G.lag g)
+        (G.net_ticks g);
+      let code =
+        match (!crashed, !fenced) with
+        | Some at, _ ->
+            Printf.printf "simulated crash at: %s\n" at;
+            Printf.printf
+              "run 'dbmeta db exec --replicas=%d %s' again to heal, or \
+               'dbmeta db failover %s' to promote a replica\n"
+              n path path;
+            0
+        | None, Some e ->
+            Printf.printf
+              "primary fenced by epoch %d: a failover promoted another \
+               node; this primary stopped accepting writes\n"
+              e;
+            1
+        | None, None -> if !acked + !local = txns then 0 else 1
+      in
+      if verify_wal then
+        List.fold_left
+          (fun code k ->
+            wal_audit
+              ~label:(Printf.sprintf "node %d wal audit" k)
+              (Replication.Repl_meta.node_path path k)
+              code)
+          code
+          (List.init (G.node_count g) Fun.id)
+      else code
+
+let db_exec_run path shards replicas sync_mode txns ops items write_ratio skew
+    seed faults crash_after timeout verify verify_wal metrics trace_file =
   input_error_to_exit @@ fun () ->
   let spec = Option.map Storage.Fault.spec_of_string faults in
   let registry = registry_of metrics in
@@ -804,11 +920,16 @@ let db_exec_run path shards txns ops items write_ratio skew seed faults
   | Some s -> Printf.printf "faults: %s\n" (Storage.Fault.spec_to_string s)
   | None -> ());
   let code =
-    match shards with
-    | Some n ->
+    match (shards, replicas) with
+    | Some _, Some _ ->
+        invalid_arg "--shards and --replicas are mutually exclusive"
+    | Some n, None ->
         db_exec_dist path n ~txns ~seed spec crash_after timeout verify
           verify_wal registry trace programs
-    | None -> (
+    | None, Some n ->
+        db_exec_repl path n sync_mode ~txns spec crash_after verify_wal
+          registry trace programs
+    | None, None -> (
     match
       Storage.Engine.open_db ?crash_after ?faults:spec ~metrics:registry
         ~trace path
@@ -900,12 +1021,14 @@ let faults_arg =
                $(b,torn=P) / $(b,flip=P) / $(b,eio=P) (per-I/O \
                probabilities of torn writes, bit flips, transient EIO), \
                $(b,drop=P) / $(b,delay=P) / $(b,part=P) (per-message \
-               probabilities of dropped, late, and partitioned 2PC \
-               messages, for $(b,db exec --shards)), and $(b,seed=N) for \
-               the fault RNG.  Any kind scopes to sites containing a \
-               substring with $(b,kind\\@site=P), e.g. \
-               $(b,eio\\@read=0.3) or $(b,part\\@commit=0.5).  Example: \
-               'crash=7,torn=0.1,eio\\@read=0.3,seed=42'.")
+               probabilities of dropped, late, and partitioned messages — \
+               2PC exchanges under $(b,db exec --shards), WAL shipping \
+               under $(b,db exec --replicas)), and $(b,seed=N) for the \
+               fault RNG.  Any kind scopes to sites containing a \
+               substring with $(b,kind@site=P), e.g. $(b,eio@read=0.3) \
+               or $(b,drop@ship=1).  Example: \
+               'crash=7,torn=0.1,eio@read=0.3,seed=42'.  The full \
+               mini-language is docs/FAULTS.md.")
 
 let db_init_cmd =
   let force =
@@ -1082,6 +1205,131 @@ let shards_arg =
                independent engines at DB.shardN under a two-phase-commit \
                coordinator whose log lives at DB.2pc.")
 
+let replicas_arg =
+  Arg.(value & opt (some int) None & info [ "replicas" ] ~docv:"N"
+         ~doc:"Replicate the database at DB to $(docv) replica copies at \
+               DB.r1 … DB.rN: the primary ships its WAL after every \
+               commit, and replicas apply it through continuous redo.  \
+               The group descriptor lives at DB.repl, the quorum-ack \
+               journal at DB.acks.")
+
+let sync_mode_arg =
+  Arg.(value
+       & opt
+           (enum
+              [ ("quorum", Replication.Repl_meta.Quorum);
+                ("async", Replication.Repl_meta.Async) ])
+           Replication.Repl_meta.Quorum
+       & info [ "sync-mode" ] ~docv:"MODE"
+           ~doc:"Commit acknowledgement mode for $(b,--replicas): \
+                 $(b,quorum) acks a commit only after a majority of nodes \
+                 hold its bytes (journaled durably first), $(b,async) \
+                 acks after local durability and ships best-effort.")
+
+(* --- db failover / db repl status: replication-group operations ------- *)
+
+let db_failover_run path metrics =
+  input_error_to_exit @@ fun () ->
+  let registry = registry_of metrics in
+  let g = Replication.Group.open_group ~metrics:registry path in
+  let old = Replication.Group.primary_id g in
+  let winner = Replication.Group.failover g in
+  Printf.printf
+    "failover: node %d promoted to primary (epoch %d); node %d rejoins \
+     as a replica\n"
+    winner
+    (Replication.Group.epoch g)
+    old;
+  Replication.Group.catch_up g;
+  Printf.printf "replicas healed; worst lag %d byte(s)\n"
+    (Replication.Group.lag g);
+  Replication.Group.close g;
+  dump_metrics metrics registry;
+  0
+
+let db_failover_cmd =
+  Cmd.v
+    (Cmd.info "failover" ~version
+       ~doc:"Promote the most-advanced eligible replica to primary: crash \
+             the old primary, bump the fencing epoch, and heal the \
+             remaining nodes (including the deposed primary, which \
+             rejoins as a replica)")
+    Term.(const db_failover_run $ db_file_arg $ metrics_arg)
+
+(* The whole report is computed from files — descriptor, node stamps,
+   ack journal, and read-only WAL scans — so it works on the survivors
+   of a crashed or fenced group without touching them. *)
+let db_repl_status_run path =
+  input_error_to_exit @@ fun () ->
+  let module M = Replication.Repl_meta in
+  let group = M.load_group path in
+  let nodes =
+    match group with Some g -> g.M.nodes | None -> M.discover path
+  in
+  if nodes < 2 then
+    invalid_arg
+      (Printf.sprintf
+         "no replication group at %S (expected a descriptor at %s or \
+          replica files %s, ...)"
+         path (M.group_path path) (M.node_path path 1));
+  let primary_id = match group with Some g -> g.M.primary | None -> 0 in
+  (match group with
+  | Some g ->
+      Printf.printf "group: %d node(s), sync=%s, epoch %d, primary node %d\n"
+        g.M.nodes
+        (M.sync_mode_to_string g.M.sync)
+        g.M.epoch g.M.primary
+  | None ->
+      Printf.printf "group: %d node(s), no descriptor (assuming node 0 \
+                     primary)\n"
+        nodes);
+  let clean k =
+    (Storage.Wal.report_file
+       (Storage.Engine.wal_path (M.node_path path k)))
+      .Storage.Wal.clean_bytes
+  in
+  let primary_clean = clean primary_id in
+  for k = 0 to nodes - 1 do
+    let stamp = M.load_node (M.node_path path k) in
+    let epoch_s, snap =
+      match stamp with
+      | Some (e, s) -> (string_of_int e, s)
+      | None -> ("unstamped", 0)
+    in
+    if k = primary_id then
+      Printf.printf "node %d: primary, epoch %s, %d byte(s) durable\n" k
+        epoch_s primary_clean
+    else
+      let c = clean k in
+      Printf.printf
+        "node %d: replica, epoch %s, %d/%d byte(s) (lag %d), snapshot @ %d\n"
+        k epoch_s c primary_clean
+        (primary_clean - min primary_clean c)
+        snap
+  done;
+  (match M.load_acks path with
+  | [] -> print_endline "acks: none journaled"
+  | acks ->
+      let last = List.nth acks (List.length acks - 1) in
+      Printf.printf
+        "acks: %d journaled (last: txn %d @ %d, epoch %d)\n"
+        (List.length acks) last.M.txn last.M.lsn last.M.ack_epoch);
+  0
+
+let db_repl_cmd =
+  let status =
+    Cmd.v
+      (Cmd.info "status" ~version
+         ~doc:"Report a replication group's role, epoch, per-node lag, \
+               and ack journal from its files alone (works on the \
+               survivors of a crash)")
+      Term.(const db_repl_status_run $ db_file_arg)
+  in
+  Cmd.group
+    (Cmd.info "repl" ~version
+       ~doc:"Inspect a WAL-shipping replication group")
+    [ status ]
+
 let db_recover_cmd =
   let verify_wal =
     Arg.(value & flag & info [ "verify-wal" ]
@@ -1154,10 +1402,12 @@ let db_exec_cmd =
        ~doc:"Run an interleaved transaction workload under locking, \
              deadlock retry, and (optionally) injected faults; with \
              $(b,--shards) the workload runs against a sharded database \
-             under two-phase commit")
-    Term.(const db_exec_run $ db_file_arg $ shards_arg $ txns $ ops $ items
-          $ write_ratio $ skew $ seed $ faults_arg $ crash_after_arg $ timeout
-          $ verify $ verify_wal $ metrics_arg $ trace)
+             under two-phase commit, with $(b,--replicas) against a \
+             WAL-shipping replication group")
+    Term.(const db_exec_run $ db_file_arg $ shards_arg $ replicas_arg
+          $ sync_mode_arg $ txns $ ops $ items $ write_ratio $ skew $ seed
+          $ faults_arg $ crash_after_arg $ timeout $ verify $ verify_wal
+          $ metrics_arg $ trace)
 
 let db_cmd =
   let doc = "persistent storage: pager, buffer pool, WAL, recovery" in
@@ -1184,7 +1434,8 @@ let db_cmd =
     (Cmd.info "db" ~version ~doc ~man)
     [
       db_init_cmd; db_load_cmd; db_query_cmd; db_index_cmd; db_set_cmd;
-      db_get_cmd; db_status_cmd; db_recover_cmd; db_exec_cmd;
+      db_get_cmd; db_status_cmd; db_recover_cmd; db_exec_cmd; db_failover_cmd;
+      db_repl_cmd;
     ]
 
 (* --- lint ------------------------------------------------------------------------- *)
@@ -1430,6 +1681,24 @@ let registered_metric_names () =
       Distributed.Coordinator.shard_path base 0;
       Storage.Engine.wal_path (Distributed.Coordinator.shard_path base 0);
     ];
+  (* repl.*: the group, its replicas, and its shipping channel register
+     at open; one commit exercises the quorum path *)
+  let rbase = Filename.temp_file "dbmeta-lint-metrics" ".repl" in
+  Sys.remove rbase;
+  let grp = Replication.Group.open_group ~replicas:1 ~metrics:registry rbase in
+  let txn = Replication.Group.begin_txn grp in
+  Replication.Group.write grp ~txn "x" 1;
+  ignore (Replication.Group.commit grp ~txn : Replication.Group.outcome);
+  Replication.Group.close grp;
+  List.iter
+    (fun f -> try Sys.remove f with Sys_error _ -> ())
+    (Replication.Repl_meta.group_path rbase
+     :: Replication.Repl_meta.acks_path rbase
+     :: List.concat_map
+          (fun k ->
+            let p = Replication.Repl_meta.node_path rbase k in
+            [ p; Storage.Engine.wal_path p; Replication.Repl_meta.epoch_path p ])
+          [ 0; 1 ]);
   (* datalog.*: the semi-naive evaluator registers its instruments *)
   let prog =
     Datalog.Parser.parse_program
@@ -1497,11 +1766,43 @@ let lint_commit_cmd =
              WALs (codes 2C001-2C006)")
     Term.(const lint_commit_run $ base $ format_arg)
 
+let lint_repl_run base format =
+  input_error_to_exit @@ fun () ->
+  if
+    Replication.Repl_meta.load_group base = None
+    && Replication.Repl_meta.discover base < 2
+  then
+    invalid_arg
+      (Printf.sprintf
+         "no replication files for %S (expected a descriptor at %s or \
+          replica files %s, ...)"
+         base
+         (Replication.Repl_meta.group_path base)
+         (Replication.Repl_meta.node_path base 1));
+  drive format Analysis.Replication_lint.passes
+    (Analysis.Replication_lint.of_base base)
+
+let lint_repl_cmd =
+  let base =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE"
+           ~doc:"Replication group base path: the descriptor at \
+                 BASE.repl, the ack journal BASE.acks, and every node's \
+                 WAL and epoch stamp are scanned read-only — the \
+                 survivor files of a crashed or failed-over group are \
+                 inspected as-is, never repaired.")
+  in
+  Cmd.v
+    (Cmd.info "repl" ~version
+       ~doc:"Verify a replication group's cross-log agreement: diverged \
+             replicas, stale-epoch writes, acked-but-lost commits, and \
+             snapshot/log-tail gaps (codes RP001-RP004)")
+    Term.(const lint_repl_run $ base $ format_arg)
+
 let lint_cmd =
   let doc =
     "Static analysis over Datalog programs, algebra plans, transaction \
-     schedules, write-ahead logs, commit protocols, and the metric \
-     catalogue"
+     schedules, write-ahead logs, commit and replication protocols, and \
+     the metric catalogue"
   in
   let man =
     [
@@ -1520,7 +1821,7 @@ let lint_cmd =
     (Cmd.info "lint" ~version ~doc ~man)
     [
       lint_datalog_cmd; lint_query_cmd; lint_plan_cmd; lint_schedule_cmd;
-      lint_wal_cmd; lint_commit_cmd; lint_metrics_cmd;
+      lint_wal_cmd; lint_commit_cmd; lint_repl_cmd; lint_metrics_cmd;
     ]
 
 (* --- main ------------------------------------------------------------------------- *)

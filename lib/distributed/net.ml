@@ -39,25 +39,26 @@ type t = {
 
 type 'a reply = Reply of 'a | Lost of { processed : bool }
 
-let create ?(metrics = Obs.Registry.noop) ~fault ~seed config =
+let create ?(metrics = Obs.Registry.noop) ?(prefix = "2pc") ~fault ~seed config =
   let counter = Obs.Registry.counter metrics in
+  let name suffix = prefix ^ "." ^ suffix in
   {
     fault;
     config;
     rng = Support.Rng.create seed;
     ticks = 0;
     m_msgs =
-      counter ~unit:"msgs" ~help:"message exchanges attempted" "2pc.msgs";
+      counter ~unit:"msgs" ~help:"message exchanges attempted" (name "msgs");
     m_retries =
       counter ~unit:"msgs" ~help:"message attempts retried after a loss"
-        "2pc.msg_retries";
+        (name "msg_retries");
     m_lost =
       counter ~unit:"msgs"
         ~help:"exchanges lost (dropped, partitioned, or over-delayed)"
-        "2pc.msg_lost";
+        (name "msg_lost");
     h_backoff =
       Obs.Registry.histogram metrics ~unit:"ticks"
-        ~help:"backoff drawn per message retry" "2pc.backoff_ticks";
+        ~help:"backoff drawn per message retry" (name "backoff_ticks");
   }
 
 let ticks t = t.ticks

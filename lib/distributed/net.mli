@@ -27,9 +27,13 @@ type t
 type 'a reply = Reply of 'a | Lost of { processed : bool }
 
 val create :
-  ?metrics:Obs.Registry.t -> fault:Storage.Fault.t -> seed:int -> config -> t
+  ?metrics:Obs.Registry.t -> ?prefix:string -> fault:Storage.Fault.t ->
+  seed:int -> config -> t
 (** A channel drawing its faults from [fault] and its backoff jitter
-    from a fresh RNG seeded with [seed]. *)
+    from a fresh RNG seeded with [seed].  [prefix] names the channel's
+    instruments ([<prefix>.msgs] etc.); it defaults to ["2pc"], and the
+    replication layer passes ["repl"] so the two message planes stay
+    separately observable. *)
 
 val once : t -> site:string -> (unit -> 'a) -> 'a reply
 (** One send attempt, no retries — the coordinator's cheap re-delivery

@@ -1,0 +1,133 @@
+(* Durable replication metadata.  Every file here is a sequence of
+   CRC-framed text payloads (Storage.Wal.frame), so the same tolerant
+   scanner that reads WALs reads these: a torn tail is dropped, never
+   fatal.  The descriptor and node stamps are replaced atomically
+   (temp + rename); the ack journal is append-only like a log. *)
+
+module Wal = Storage.Wal
+module Fault = Storage.Fault
+
+type sync_mode = Quorum | Async
+
+let sync_mode_to_string = function Quorum -> "quorum" | Async -> "async"
+
+let sync_mode_of_string = function
+  | "quorum" -> Some Quorum
+  | "async" -> Some Async
+  | _ -> None
+
+type group = { epoch : int; primary : int; nodes : int; sync : sync_mode }
+
+let node_path base k = if k = 0 then base else Printf.sprintf "%s.r%d" base k
+let group_path base = base ^ ".repl"
+let acks_path base = base ^ ".acks"
+let epoch_path node = node ^ ".node"
+
+(* Atomic replace: frame the payload, write + fsync a temp file, rename
+   over the target.  A crash before the rename leaves the old file; the
+   fault injector accounts the write as one durable I/O. *)
+let replace_file ?fault ~site path payload =
+  let frame = Wal.frame payload in
+  let tmp = path ^ ".tmp" in
+  (match fault with
+  | Some f ->
+      Fault.io f ~at:site ~on_crash:(fun () ->
+          (* the temp write dies; the published file is untouched *)
+          if Sys.file_exists tmp then Sys.remove tmp)
+  | None -> ());
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let n = Unix.write_substring fd frame 0 (String.length frame) in
+  assert (n = String.length frame);
+  Unix.fsync fd;
+  Unix.close fd;
+  Sys.rename tmp path
+
+let first_payload path =
+  match Wal.frames_of_file path with (_, p) :: _, _ -> Some p | [], _ -> None
+
+let save_group ?fault base g =
+  replace_file ?fault ~site:"repl group write" (group_path base)
+    (Printf.sprintf "%d %d %d %s" g.epoch g.primary g.nodes
+       (sync_mode_to_string g.sync))
+
+let load_group base =
+  match first_payload (group_path base) with
+  | None -> None
+  | Some p -> (
+      match String.split_on_char ' ' p with
+      | [ e; pr; n; s ] -> (
+          match
+            ( int_of_string_opt e,
+              int_of_string_opt pr,
+              int_of_string_opt n,
+              sync_mode_of_string s )
+          with
+          | Some epoch, Some primary, Some nodes, Some sync ->
+              Some { epoch; primary; nodes; sync }
+          | _ -> None)
+      | _ -> None)
+
+let discover base =
+  match load_group base with
+  | Some g -> g.nodes
+  | None ->
+      if not (Sys.file_exists base) then 0
+      else begin
+        let k = ref 1 in
+        while Sys.file_exists (node_path base !k) do
+          incr k
+        done;
+        !k
+      end
+
+let save_node ?fault node ~epoch ~snapshot_lsn =
+  replace_file ?fault ~site:"repl node write" (epoch_path node)
+    (Printf.sprintf "%d %d" epoch snapshot_lsn)
+
+let load_node node =
+  match first_payload (epoch_path node) with
+  | None -> None
+  | Some p -> (
+      match String.split_on_char ' ' p with
+      | [ e; s ] -> (
+          match (int_of_string_opt e, int_of_string_opt s) with
+          | Some epoch, Some snap -> Some (epoch, snap)
+          | _ -> None)
+      | _ -> None)
+
+type ack = { txn : int; lsn : int; ack_epoch : int }
+
+let append_ack ?fault base a =
+  let path = acks_path base in
+  let frame =
+    Wal.frame (Printf.sprintf "%d %d %d" a.txn a.lsn a.ack_epoch)
+  in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  let len = Unix.lseek fd 0 Unix.SEEK_END in
+  (match fault with
+  | Some f ->
+      Fault.io f ~at:"ack journal append" ~on_crash:(fun () ->
+          (* torn append: half the frame reaches the disk *)
+          let half = String.length frame / 2 in
+          ignore (Unix.write_substring fd frame 0 half : int);
+          Unix.ftruncate fd (len + half);
+          Unix.close fd)
+  | None -> ());
+  let n = Unix.write_substring fd frame 0 (String.length frame) in
+  assert (n = String.length frame);
+  Unix.fsync fd;
+  Unix.close fd
+
+let load_acks base =
+  let frames, _ = Wal.frames_of_file (acks_path base) in
+  List.filter_map
+    (fun (_, p) ->
+      match String.split_on_char ' ' p with
+      | [ t; l; e ] -> (
+          match
+            (int_of_string_opt t, int_of_string_opt l, int_of_string_opt e)
+          with
+          | Some txn, Some lsn, Some ack_epoch -> Some { txn; lsn; ack_epoch }
+          | _ -> None)
+      | _ -> None)
+    frames

@@ -1,0 +1,204 @@
+(* A replica is a byte-accurate WAL tail plus continuous redo.  The
+   file layout is exactly a single-node database's (db at [path], log
+   at [path.wal]) so that promotion is just Storage.Engine.open_db;
+   what this module adds is the streaming side: append shipped chunks
+   at their primary offsets, refuse stale epochs, and keep an
+   in-memory committed view current record by record. *)
+
+module Wal = Storage.Wal
+module Fault = Storage.Fault
+module Engine = Storage.Engine
+
+type t = {
+  path : string;
+  wal_file : string;
+  node_id : int;
+  fault : Fault.t;
+  mutable epoch : int;
+  mutable snapshot_lsn : int;
+  mutable wal_len : int;  (* durable clean bytes — the replica's LSN *)
+  mutable commits : int;
+  pending : (int, (string * int) list) Hashtbl.t;  (* txn -> rev writes *)
+  state : (string, int) Hashtbl.t;
+  m_commits : Obs.Registry.Counter.t;
+  m_stale : Obs.Registry.Counter.t;
+}
+
+type receipt = Acked of int | Stale_epoch | Gap of int | Snapshot_needed
+
+(* One record through the redo loop: buffer writes per transaction,
+   publish them at Commit, discard at Abort — the same winners-only
+   discipline as restart recovery, applied continuously. *)
+let apply t record =
+  match record with
+  | Wal.Begin txn -> Hashtbl.replace t.pending txn []
+  | Wal.Write { txn; item; after; _ } ->
+      let writes =
+        match Hashtbl.find_opt t.pending txn with Some l -> l | None -> []
+      in
+      Hashtbl.replace t.pending txn ((item, after) :: writes)
+  | Wal.Commit txn ->
+      (match Hashtbl.find_opt t.pending txn with
+      | Some writes ->
+          List.iter
+            (fun (item, v) -> Hashtbl.replace t.state item v)
+            (List.rev writes)
+      | None -> ());
+      Hashtbl.remove t.pending txn;
+      t.commits <- t.commits + 1;
+      Obs.Registry.Counter.incr t.m_commits
+  | Wal.Abort txn -> Hashtbl.remove t.pending txn
+  | Wal.Checkpoint | Wal.Prepare _ -> ()
+
+let replay t entries =
+  Hashtbl.reset t.pending;
+  Hashtbl.reset t.state;
+  t.commits <- 0;
+  List.iter (fun { Wal.record; _ } -> apply t record) entries
+
+let attach ?(metrics = Obs.Registry.noop) ~fault ~node_id ~epoch path =
+  let counter = Obs.Registry.counter metrics in
+  let wal_file = Engine.wal_path path in
+  let t =
+    {
+      path;
+      wal_file;
+      node_id;
+      fault;
+      epoch;
+      snapshot_lsn = 0;
+      wal_len = 0;
+      commits = 0;
+      pending = Hashtbl.create 16;
+      state = Hashtbl.create 64;
+      m_commits =
+        counter ~unit:"txns" ~help:"transactions applied by replica redo"
+          "repl.apply_commits";
+      m_stale =
+        counter ~unit:"msgs" ~help:"stale-epoch chunks refused (fencing)"
+          "repl.stale_rejects";
+    }
+  in
+  (match Repl_meta.load_node path with
+  | Some (e, snap) ->
+      t.epoch <- e;
+      t.snapshot_lsn <- snap
+  | None -> Repl_meta.save_node ~fault path ~epoch ~snapshot_lsn:0);
+  let report = Wal.report_file wal_file in
+  if report.Wal.total_bytes > report.Wal.clean_bytes then begin
+    (* a crashed append left a torn tail; drop it like open_log does *)
+    let fd = Unix.openfile wal_file [ Unix.O_WRONLY ] 0o644 in
+    Unix.ftruncate fd report.Wal.clean_bytes;
+    Unix.close fd
+  end;
+  t.wal_len <- report.Wal.clean_bytes;
+  replay t report.Wal.records;
+  t
+
+(* Append [chunk] at byte offset [t.wal_len], fault-injected: an
+   injected crash writes only half the chunk (a torn shipment, healed
+   by the torn-tail truncation of the next attach). *)
+let append_bytes t chunk =
+  let site = Printf.sprintf "replica %d wal append" t.node_id in
+  let fd =
+    Unix.openfile t.wal_file [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  in
+  Unix.ftruncate fd t.wal_len;
+  ignore (Unix.lseek fd t.wal_len Unix.SEEK_SET : int);
+  Fault.io t.fault ~at:site ~on_crash:(fun () ->
+      let half = String.length chunk / 2 in
+      ignore (Unix.write_substring fd chunk 0 half : int);
+      Unix.close fd);
+  let n = Unix.write_substring fd chunk 0 (String.length chunk) in
+  assert (n = String.length chunk);
+  Unix.fsync fd;
+  Unix.close fd
+
+let adopt_epoch t epoch =
+  if epoch > t.epoch then begin
+    t.epoch <- epoch;
+    Repl_meta.save_node ~fault:t.fault t.path ~epoch
+      ~snapshot_lsn:t.snapshot_lsn
+  end
+
+let receive t ~epoch ~start ~chunk =
+  if epoch < t.epoch then begin
+    Obs.Registry.Counter.incr t.m_stale;
+    Stale_epoch
+  end
+  else begin
+    adopt_epoch t epoch;
+    if start > t.wal_len then Gap t.wal_len
+    else begin
+      let skip = t.wal_len - start in
+      if skip >= String.length chunk then Acked t.wal_len
+      else begin
+        let fresh = String.sub chunk skip (String.length chunk - skip) in
+        let entries, clean = Wal.scan fresh in
+        if
+          List.exists
+            (fun { Wal.record; _ } -> record = Wal.Checkpoint)
+            entries
+        then Snapshot_needed
+        else begin
+          append_bytes t fresh;
+          List.iter (fun { Wal.record; _ } -> apply t record) entries;
+          t.wal_len <- t.wal_len + clean;
+          Acked t.wal_len
+        end
+      end
+    end
+  end
+
+let write_db_image t db_image =
+  match db_image with
+  | Some image ->
+      let fd =
+        Unix.openfile t.path
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+          0o644
+      in
+      let n = Unix.write_substring fd image 0 (String.length image) in
+      assert (n = String.length image);
+      Unix.fsync fd;
+      Unix.close fd
+  | None -> if Sys.file_exists t.path then Sys.remove t.path
+
+(* The snapshot install is modeled atomic: one fault point before any
+   mutation, then page image, log prefix, and epoch stamp land
+   together.  A real system would order page ship / log ship / stamp
+   publish behind a recovery marker; collapsing that ladder keeps the
+   crash model one-budget without opening a window where the log
+   claims pages the node never received (the RP004 gap). *)
+let install_snapshot t ~epoch ~db_image ~wal_image ~snapshot_lsn =
+  Fault.io t.fault
+    ~at:(Printf.sprintf "replica %d snapshot" t.node_id)
+    ~on_crash:(fun () -> ());
+  write_db_image t db_image;
+  let fd =
+    Unix.openfile t.wal_file
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  let n = Unix.write_substring fd wal_image 0 (String.length wal_image) in
+  assert (n = String.length wal_image);
+  Unix.fsync fd;
+  Unix.close fd;
+  t.epoch <- max t.epoch epoch;
+  t.snapshot_lsn <- snapshot_lsn;
+  Repl_meta.save_node ~fault:t.fault t.path ~epoch:t.epoch ~snapshot_lsn;
+  let entries, clean = Wal.scan wal_image in
+  t.wal_len <- clean;
+  replay t entries
+
+let durable_lsn t = t.wal_len
+let epoch t = t.epoch
+let snapshot_lsn t = t.snapshot_lsn
+let node_id t = t.node_id
+let path t = t.path
+
+let state t =
+  Hashtbl.fold (fun k v acc -> if v = 0 then acc else (k, v) :: acc) t.state []
+  |> List.sort compare
+
+let applied_commits t = t.commits

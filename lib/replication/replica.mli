@@ -1,0 +1,85 @@
+(** One replica node: a verbatim byte copy of the primary's WAL plus a
+    continuous-redo apply loop over it.
+
+    The replica's log is {e physically} identical to a prefix of the
+    primary's — shipped chunks are appended at their exact primary byte
+    offsets, so the replica's durable LSN is directly comparable to the
+    primary's and "caught up" is byte equality, not a protocol state.
+    Each appended record flows through the same redo discipline as
+    restart recovery: writes buffer per transaction and apply at Commit
+    (so an uncommitted or aborted transaction is never visible), which
+    keeps the replica's view exactly
+    {!Transactions.Recovery.committed_state} of its log prefix at all
+    times.  Promotion needs no special machinery: opening a
+    {!Storage.Engine} over the replica's files {e is} the promotion,
+    because its snapshot db image plus verbatim log prefix are
+    indistinguishable from a crashed primary's. *)
+
+type t
+(** An attached replica: its files, durable watermark, epoch, and the
+    in-memory redo state. *)
+
+type receipt =
+  | Acked of int  (** appended and applied; the new durable byte offset *)
+  | Stale_epoch  (** sender's epoch is behind ours — write fenced off *)
+  | Gap of int  (** chunk starts past our tail; resend from this offset *)
+  | Snapshot_needed
+      (** the chunk carries a Checkpoint, which may only arrive through
+          the atomic snapshot path — streaming it would let a crash
+          leave the log claiming pages the node never received (the
+          RP004 gap) *)
+(** What a replica answers to one shipped chunk. *)
+
+val attach :
+  ?metrics:Obs.Registry.t -> fault:Storage.Fault.t -> node_id:int ->
+  epoch:int -> string -> t
+(** Attach to (or create) the replica files at a node path: truncate
+    any torn WAL tail, replay the surviving prefix through redo, and
+    load the node's durable epoch stamp ([epoch] seeds a stamp-less
+    node).  Registers the [repl.apply_commits] / [repl.stale_rejects]
+    counters on [metrics]. *)
+
+val receive : t -> epoch:int -> start:int -> chunk:string -> receipt
+(** Apply one shipped chunk of primary WAL bytes beginning at primary
+    offset [start].  Chunks from a lower epoch are refused
+    ([Stale_epoch] — the fencing check); a higher epoch is adopted
+    durably first.  Overlap with already-held bytes is skipped
+    (retries are idempotent); a chunk starting past the tail answers
+    [Gap].  The append is fault-injected (site ["replica K wal
+    append"]) — an injected crash tears the chunk's tail exactly like
+    a crashed WAL flush. *)
+
+val install_snapshot :
+  t -> epoch:int -> db_image:string option -> wal_image:string ->
+  snapshot_lsn:int -> unit
+(** Full catch-up: replace the replica's database file with the shipped
+    page image (remove it when the primary has none yet), replace its
+    WAL with the shipped prefix, stamp epoch + snapshot watermark, and
+    rebuild the redo state.  This is the page-ship path — used for
+    fresh nodes, diverged nodes (a deposed primary rejoining), and
+    chunks that contain a Checkpoint (whose redo-start contract needs
+    the db image that accompanied it). *)
+
+val durable_lsn : t -> int
+(** Byte length of the verbatim WAL prefix this replica holds. *)
+
+val epoch : t -> int
+(** The node's durable fencing epoch. *)
+
+val snapshot_lsn : t -> int
+(** The watermark of the last installed db snapshot (0 when the node
+    has only ever streamed the log). *)
+
+val node_id : t -> int
+(** The node's id within its group. *)
+
+val path : t -> string
+(** The node path (db file; WAL at [.wal], stamp at [.node]). *)
+
+val state : t -> (string * int) list
+(** The committed-visible KV state of the applied prefix, sorted,
+    zero values omitted — directly comparable to
+    {!Storage.Engine.items}. *)
+
+val applied_commits : t -> int
+(** Transactions applied by the redo loop since attach. *)

@@ -1,0 +1,45 @@
+The README's "Quickstart" transcript, replayed verbatim.  If this test
+fails, the manual and the binary disagree: fix the code or fix
+README.md, but keep the two identical — the command lines and expected
+output below must match the README's ```console block byte for byte.
+
+  $ cat > students.csv <<'EOF'
+  > sid:int,sname:string,gpa:float
+  > 1,codd,4.0
+  > 2,ullman,3.5
+  > 3,papadimitriou,3.9
+  > EOF
+  $ dbmeta db init uni.db
+  created uni.db (1 pages, wal at uni.db.wal)
+  $ dbmeta db load uni.db -t students=students.csv
+  loaded students: 3 tuples
+  $ dbmeta db query uni.db 'project[sname](select[gpa >= 3.8](students))'
+  sname        
+  -------------
+  codd         
+  papadimitriou
+  $ dbmeta db init repl.db
+  created repl.db (1 pages, wal at repl.db.wal)
+  $ dbmeta db exec repl.db --replicas=2 --txns 4 --seed 1
+  workload: 4 txns x 5 ops over 8 items (50% writes, skew 0.5), seed 1
+  replication: 3 node(s), sync=quorum, epoch 1
+  committed 4/4  acked 4  local-only 0
+  worst lag 0 byte(s), 12 net tick(s)
+  $ dbmeta db failover repl.db
+  failover: node 1 promoted to primary (epoch 2); node 0 rejoins as a replica
+  replicas healed; worst lag 0 byte(s)
+  $ dbmeta lint repl repl.db
+  no diagnostics
+
+Past the README transcript: the post-failover group keeps serving
+quorum commits under the bumped epoch, and the status surfaces agree.
+
+  $ dbmeta db exec repl.db --replicas=2 --txns 2 --seed 2
+  workload: 2 txns x 5 ops over 8 items (50% writes, skew 0.5), seed 2
+  replication: 3 node(s), sync=quorum, epoch 2
+  committed 2/2  acked 2  local-only 0
+  worst lag 0 byte(s), 8 net tick(s)
+  $ dbmeta db repl status repl.db | head -1
+  group: 3 node(s), sync=quorum, epoch 2, primary node 1
+  $ dbmeta lint repl repl.db
+  no diagnostics

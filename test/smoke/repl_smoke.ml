@@ -1,0 +1,123 @@
+(* Fast replication fault-matrix smoke for @check: a reduced sweep of
+   {sync modes} x {message loss, crashes, crash+loss} over a
+   WAL-shipping group, each cell healed by a faultless reopen and then
+   checked three ways — every acked commit present on the primary,
+   every node's WAL through the offline verifier, and the survivor
+   files through the replication lint.  A reduced version of the
+   QCheck sweep in test/test_replication.ml. *)
+
+module G = Replication.Group
+module M = Replication.Repl_meta
+module E = Storage.Engine
+module F = Storage.Fault
+module W = Storage.Wal
+module D = Analysis.Diagnostic
+
+let failures = ref 0
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL: %s\n%!" s)
+    fmt
+
+let fresh_base =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repl_smoke_%d_%d.db" (Unix.getpid ()) !n)
+
+let cleanup base =
+  let rm p = if Sys.file_exists p then Sys.remove p in
+  rm (M.group_path base);
+  rm (M.acks_path base);
+  for k = 0 to 3 do
+    let p = M.node_path base k in
+    rm p;
+    rm (E.wal_path p);
+    rm (M.epoch_path p)
+  done
+
+let errors diags = List.filter (fun d -> d.D.severity = D.Error) diags
+
+let run_cell ~what ~sync ~spec ~failover =
+  let base = fresh_base () in
+  let acked = ref [] in
+  (* phase 1: a faulted run over 2 replicas; record what was promised *)
+  (match
+     G.open_group ~replicas:2 ~sync ~faults:(F.spec_of_string spec) base
+   with
+  | exception F.Crash _ -> ()
+  | g -> (
+      try
+        for t = 1 to 6 do
+          let txn = G.begin_txn g in
+          G.write g ~txn (Printf.sprintf "x%d" (t mod 4)) t;
+          match G.commit g ~txn with
+          | G.Acked when sync = M.Quorum -> acked := txn :: !acked
+          | G.Acked | G.Local_only -> ()
+        done;
+        G.close g
+      with F.Crash _ -> ( try G.crash g with _ -> ())));
+  (* phase 2: heal faultlessly, optionally fail over, and audit *)
+  (match G.open_group base with
+  | exception e ->
+      fail "%s: healing reopen raised %s" what (Printexc.to_string e)
+  | g ->
+      if failover then ignore (G.failover g : int);
+      G.catch_up g;
+      let committed =
+        List.filter_map
+          (fun { W.record; _ } ->
+            match record with W.Commit t -> Some t | _ -> None)
+          (W.read_entries (E.wal_path (M.node_path base (G.primary_id g))))
+      in
+      List.iter
+        (fun txn ->
+          if not (List.mem txn committed) then
+            fail "%s: acked txn %d lost" what txn)
+        !acked;
+      G.close g;
+      let d = match M.load_group base with Some d -> d.M.nodes | None -> 0 in
+      for k = 0 to d - 1 do
+        let wal = E.wal_path (M.node_path base k) in
+        match errors (Analysis.Wal_lint.lint_file wal) with
+        | [] -> ()
+        | e :: _ -> fail "%s: node %d wal lint: %s %s" what k e.D.code e.D.message
+      done;
+      (match errors (Analysis.Replication_lint.lint_base base) with
+      | [] -> ()
+      | e :: _ -> fail "%s: repl lint: %s %s" what e.D.code e.D.message));
+  cleanup base
+
+let () =
+  let cells =
+    [
+      ("quorum clean", M.Quorum, "", false);
+      ("quorum drop 30%", M.Quorum, "drop=0.3", false);
+      ("quorum crash 15", M.Quorum, "crash=15", false);
+      ("quorum crash 25 + drop", M.Quorum, "crash=25,drop=0.2", true);
+      ("quorum partition 20%", M.Quorum, "part=0.2", true);
+      ("async drop 40%", M.Async, "drop=0.4", false);
+      ("async crash 20", M.Async, "crash=20", true);
+    ]
+  in
+  List.iteri
+    (fun i (what, sync, spec, failover) ->
+      let spec =
+        if spec = "" then "" else Printf.sprintf "%s,seed=%d" spec (100 + i)
+      in
+      run_cell ~what ~sync ~spec ~failover)
+    cells;
+  if !failures = 0 then
+    say "repl smoke: %d cell(s) converged, acked commits kept, lints clean"
+      (List.length cells)
+  else begin
+    say "repl smoke: %d failure(s)" !failures;
+    exit 1
+  end

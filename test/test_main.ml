@@ -20,5 +20,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("executor", Test_executor.suite);
       ("distributed", Test_distributed.suite);
+      ("replication", Test_replication.suite);
       ("obs", Test_obs.suite);
     ]

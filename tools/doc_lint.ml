@@ -10,7 +10,16 @@
    start in column 0 with [val]/[type]/[module]/[exception], and a doc
    comment is one whose opener has a second star.
 
-   Usage: doc_lint.exe FILE.mli ...; exits 1 listing undocumented items. *)
+   A second mode keeps the manual honest about the CLI: given a dump of
+   every subcommand's --help output and the markdown manual, it checks
+   the two agree — every [--flag] a document mentions must exist in the
+   help dump (no stale or misspelled flags), and every flag the help
+   dump advertises must be mentioned in at least one document (no
+   undocumented surface).
+
+   Usage: doc_lint.exe FILE.mli ...
+          doc_lint.exe --flags HELP_DUMP.txt DOC.md ...
+   Exits 1 listing undocumented items / stale flags. *)
 
 type line_kind =
   | Decl of string (* a column-0 declaration; payload is the item name *)
@@ -114,22 +123,99 @@ let check file =
     kinds;
   List.rev !errors
 
-let () =
-  let files = List.tl (Array.to_list Sys.argv) in
-  if files = [] then begin
-    prerr_endline "usage: doc_lint.exe FILE.mli ...";
-    exit 2
-  end;
+(* --- stale-flag mode ------------------------------------------------- *)
+
+let is_flag_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+(* every [--long-flag] token on a line, left to right; a "--" must not
+   be glued to a preceding word (rules out sentence dashes) and must be
+   followed by a letter (rules out markdown rules and bare "--") *)
+let flags_on_line line =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + 2 < n do
+    if
+      line.[!i] = '-'
+      && line.[!i + 1] = '-'
+      && (line.[!i + 2] >= 'a' && line.[!i + 2] <= 'z')
+      && (!i = 0 || not (is_flag_char line.[!i - 1]))
+    then begin
+      let j = ref (!i + 2) in
+      while !j < n && is_flag_char line.[!j] do
+        incr j
+      done;
+      out := String.sub line !i (!j - !i) :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !out
+
+(* meta-flags that appear in every cmdliner help page and in this
+   checker's own usage line; not part of the surface worth documenting *)
+let boring = [ "--help"; "--version"; "--flags" ]
+
+let check_flags help_dump docs =
+  let advertised = Hashtbl.create 64 in
+  Array.iter
+    (fun line ->
+      List.iter
+        (fun f -> if not (List.mem f boring) then Hashtbl.replace advertised f ())
+        (flags_on_line line))
+    (read_lines help_dump);
+  let mentioned = Hashtbl.create 64 in
   let total = ref 0 in
   List.iter
-    (fun file ->
-      List.iter
-        (fun (line, name) ->
-          incr total;
-          Printf.printf "%s:%d: undocumented public item %s\n" file line name)
-        (check file))
-    files;
+    (fun doc ->
+      Array.iteri
+        (fun i line ->
+          List.iter
+            (fun f ->
+              if not (List.mem f boring) then
+                if Hashtbl.mem advertised f then Hashtbl.replace mentioned f ()
+                else begin
+                  incr total;
+                  Printf.printf
+                    "%s:%d: stale flag %s (not in any --help output)\n" doc
+                    (i + 1) f
+                end)
+            (flags_on_line line))
+        (read_lines doc))
+    docs;
+  Hashtbl.iter
+    (fun f () ->
+      if not (Hashtbl.mem mentioned f) then begin
+        incr total;
+        Printf.printf "%s: flag %s is advertised by --help but no document mentions it\n"
+          help_dump f
+      end)
+    advertised;
   if !total > 0 then begin
-    Printf.printf "%d undocumented public item(s)\n" !total;
+    Printf.printf "%d stale/undocumented flag(s)\n" !total;
     exit 1
   end
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [] | [ "--flags" ] | [ "--flags"; _ ] ->
+      prerr_endline "usage: doc_lint.exe FILE.mli ...";
+      prerr_endline "       doc_lint.exe --flags HELP_DUMP.txt DOC.md ...";
+      exit 2
+  | "--flags" :: help_dump :: docs -> check_flags help_dump docs
+  | files ->
+      let total = ref 0 in
+      List.iter
+        (fun file ->
+          List.iter
+            (fun (line, name) ->
+              incr total;
+              Printf.printf "%s:%d: undocumented public item %s\n" file line
+                name)
+            (check file))
+        files;
+      if !total > 0 then begin
+        Printf.printf "%d undocumented public item(s)\n" !total;
+        exit 1
+      end
