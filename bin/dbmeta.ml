@@ -3,7 +3,7 @@
 
 open Cmdliner
 
-let version = "1.8.0"
+let version = "1.9.0"
 
 let read_file = Support.Io.read_file
 
@@ -484,7 +484,8 @@ let db_load_run path tables crash_after faults metrics =
    evaluator (materialize everything, Eval.eval) for comparison; the two
    print byte-identical results because the planner path realigns its
    output to the query's own schema. *)
-let db_query_run path text no_plan no_optimize optimize explain metrics =
+let db_query_run path text no_plan no_optimize no_semantic optimize certify
+    explain metrics =
   input_error_to_exit @@ fun () ->
   with_db ~metrics path (fun eng ->
       let expr = Relational.Query_parser.parse text in
@@ -506,7 +507,11 @@ let db_query_run path text no_plan no_optimize optimize explain metrics =
       end
       else begin
         let config =
-          { Planner.Plan.default_config with optimize = not no_optimize }
+          {
+            Planner.Plan.default_config with
+            optimize = not no_optimize;
+            semantic = not no_semantic;
+          }
         in
         let ctx = Planner.Plan.make ~config eng in
         (* the query's own schema fixes the output column order, whatever
@@ -515,6 +520,30 @@ let db_query_run path text no_plan no_optimize optimize explain metrics =
           Relational.Algebra.schema_of (Planner.Plan.catalog ctx) expr
         in
         let plan = Planner.Plan.plan ctx expr in
+        let certify_code =
+          if not certify then 0
+          else begin
+            let report = Planner.Certify.certify ctx expr plan in
+            List.iter
+              (fun (s : Planner.Certify.stage) ->
+                Printf.printf "certify: %s %s\n" s.Planner.Certify.name
+                  (Planner.Certify.verdict_to_string s.Planner.Certify.verdict))
+              report;
+            let diags = Analysis.Semantic_lint.of_certify report in
+            let errors =
+              List.filter
+                (fun d -> Analysis.Diagnostic.exit_code [ d ] = 1)
+                diags
+            in
+            if errors <> [] then begin
+              print_string (Analysis.Diagnostic.list_to_text errors);
+              1
+            end
+            else 0
+          end
+        in
+        if certify_code <> 0 then certify_code
+        else
         match explain with
         | Some `Text ->
             print_string (Planner.Physical.to_text plan);
@@ -1064,6 +1093,20 @@ let db_query_cmd =
            ~doc:"Compile the query as written, skipping the logical \
                  rewrite pipeline (access-path selection still applies).")
   in
+  let no_semantic =
+    Arg.(value & flag & info [ "no-semantic" ]
+           ~doc:"Skip chase-based join elimination (the semantic rewrite \
+                 that drops joins provable redundant under the recorded \
+                 key dependencies).")
+  in
+  let certify =
+    Arg.(value & flag & info [ "certify" ]
+           ~doc:"Translation-validate the plan: replay every rewrite \
+                 stage and the physical plan's logical shadow, proving \
+                 each step equivalent by conjunctive-query containment \
+                 under the recorded dependencies.  A refuted stage prints \
+                 an SQ101/SQ102 error and exits 1 without executing.")
+  in
   let optimize =
     Arg.(value & flag & info [ "O"; "optimize" ]
            ~doc:"Print the logically optimized plan before the results.")
@@ -1083,7 +1126,7 @@ let db_query_cmd =
        ~doc:"Evaluate a relational algebra query over stored tables \
              through the cost-based planner")
     Term.(const db_query_run $ db_file_arg $ text $ no_plan $ no_optimize
-          $ optimize $ explain $ metrics_arg)
+          $ no_semantic $ optimize $ certify $ explain $ metrics_arg)
 
 (* --- db index: the secondary-index catalog ----------------------------------- *)
 
@@ -1461,7 +1504,8 @@ let lint_datalog_run file query format =
   input_error_to_exit @@ fun () ->
   let program = Datalog.Parser.parse_program (read_file file) in
   let query = Option.map Datalog.Parser.parse_query query in
-  drive format Analysis.Datalog_lint.passes
+  drive format
+    (Analysis.Datalog_lint.passes @ Analysis.Semantic_lint.datalog_passes)
     { Analysis.Datalog_lint.program; query }
 
 let lint_datalog_cmd =
@@ -1476,7 +1520,7 @@ let lint_datalog_cmd =
   in
   Cmd.v
     (Cmd.info "datalog" ~version
-       ~doc:"Lint a Datalog program (codes DL001-DL008)")
+       ~doc:"Lint a Datalog program (codes DL001-DL008, SQ006-SQ008)")
     Term.(const lint_datalog_run $ file $ query $ format_arg)
 
 (* name=a:int,b:string — a schema for a relation that has no CSV backing *)
@@ -1511,7 +1555,7 @@ let parse_schema_spec spec =
       if name = "" || pairs = [] then fail ();
       (name, Relational.Schema.make pairs)
 
-let lint_query_run text file tables schemas format =
+let lint_query_run text file tables schemas fd_specs format =
   input_error_to_exit @@ fun () ->
   let text =
     match (text, file) with
@@ -1528,9 +1572,27 @@ let lint_query_run text file tables schemas format =
     | Some s -> Some s
     | None -> Analysis.Relational_lint.catalog_of_database db name
   in
+  let fds =
+    List.map
+      (fun spec ->
+        match Analysis.Semantic_lint.fd_of_spec ~catalog spec with
+        | Ok fd -> fd
+        | Error msg -> invalid_arg msg)
+      fd_specs
+  in
   let plan = Relational.Query_parser.parse text in
-  drive format Analysis.Relational_lint.passes
-    { Analysis.Relational_lint.catalog; plan }
+  (* the RA suite and the semantic SQ suite share one drive: the RA
+     passes just ignore the dependencies *)
+  let ra_passes =
+    List.map
+      (Analysis.Pass.adapt
+         (fun { Analysis.Semantic_lint.catalog; plan; _ } ->
+           { Analysis.Relational_lint.catalog; plan }))
+      Analysis.Relational_lint.passes
+  in
+  drive format
+    (ra_passes @ Analysis.Semantic_lint.passes)
+    { Analysis.Semantic_lint.catalog; fds; plan }
 
 let lint_query_cmd =
   let text =
@@ -1551,10 +1613,18 @@ let lint_query_cmd =
            ~doc:"Declare a relation schema inline, e.g. \
                  'edge=src:int,dst:int' (repeatable; no data needed).")
   in
+  let fds =
+    Arg.(value & opt_all string [] & info [ "fd" ] ~docv:"SPEC"
+           ~doc:"Declare a functional dependency for the chase-based \
+                 passes, e.g. 'students: sid -> sname year' (repeatable; \
+                 attributes must exist in the relation's schema).")
+  in
   Cmd.v
     (Cmd.info "query" ~version
-       ~doc:"Lint a relational algebra plan (codes RA001-RA006)")
-    Term.(const lint_query_run $ text $ file $ tables $ schemas $ format_arg)
+       ~doc:"Lint a relational algebra plan (codes RA001-RA006, \
+             SQ001-SQ005)")
+    Term.(const lint_query_run $ text $ file $ tables $ schemas $ fds
+          $ format_arg)
 
 (* --- lint plan: the physical-plan suite --------------------------------------- *)
 

@@ -3,6 +3,7 @@ type 'a t = { name : string; run : 'a -> Diagnostic.t list }
 let make name run = { name; run }
 
 let name p = p.name
+let adapt f p = { name = p.name; run = (fun artifact -> p.run (f artifact)) }
 
 (* A crashing pass must not take the whole pipeline down: surface the
    crash as its own error diagnostic and keep running the other passes. *)

@@ -11,6 +11,11 @@ val make : string -> ('a -> Diagnostic.t list) -> 'a t
 val name : 'a t -> string
 (** The pass name (used in [LINT99] crash diagnostics). *)
 
+val adapt : ('b -> 'a) -> 'a t -> 'b t
+(** [adapt f p] runs [p] on [f artifact] — the contravariant map that
+    lets suites over different artifact types share one {!drive} (the
+    SQ passes widen the RA input with dependencies this way). *)
+
 val run_one : 'a t -> 'a -> Diagnostic.t list
 (** Runs one pass; a raised exception becomes a single [LINT99] error
     diagnostic instead of aborting the pipeline. *)

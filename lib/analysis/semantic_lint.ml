@@ -1,0 +1,613 @@
+(* Semantic query analysis: the lint passes that use the metatheory
+   itself — Chandra–Merlin containment, tableau minimization, the chase
+   under functional dependencies — rather than syntax.  SQ001–SQ005 work
+   on relational algebra, SQ006–SQ008 on Datalog programs, and the
+   SQ100-series renders Planner.Certify's translation-validation
+   verdicts as diagnostics. *)
+
+module A = Relational.Algebra
+module Schema = Relational.Schema
+module Value = Relational.Value
+module Ast = Datalog.Ast
+module C = Datalog.Containment
+module I = Datalog.Interop
+module Magic = Datalog.Magic
+
+type input = {
+  catalog : string -> Schema.t option;
+  fds : C.fd list;
+  plan : A.t;
+}
+
+let subject e = A.to_string e
+
+(* The semantic passes need the raising catalog the Interop translators
+   take; unknown relations surface as RA001 from the typing pass, so
+   here the exception just silences the pass for that subtree. *)
+let raising catalog name =
+  match catalog name with Some s -> s | None -> raise Exit
+
+let children = function
+  | A.Rel _ | A.Singleton _ -> []
+  | A.Select (_, e) | A.Project (_, e) | A.Rename (_, e) -> [ e ]
+  | A.Product (a, b)
+  | A.Join (a, b)
+  | A.Union (a, b)
+  | A.Inter (a, b)
+  | A.Diff (a, b)
+  | A.Divide (a, b) ->
+      [ a; b ]
+
+let peel_selections e =
+  let rec go acc = function
+    | A.Select (p, i) -> go (A.conjuncts p @ acc) i
+    | i -> (acc, i)
+  in
+  go [] e
+
+(* SQ001 — a selection no tuple can satisfy, found by interval analysis
+   of its conjuncts: a literal [false], a false constant comparison, a
+   strict comparison of an attribute with itself, or per-attribute
+   constant constraints (equalities, bounds, disequalities) that
+   contradict each other. *)
+let contradictions conjs =
+  let flip = function
+    | A.Lt -> A.Gt
+    | A.Le -> A.Ge
+    | A.Gt -> A.Lt
+    | A.Ge -> A.Le
+    | (A.Eq | A.Ne) as c -> c
+  in
+  let direct =
+    List.filter_map
+      (fun c ->
+        match c with
+        | A.False -> Some "literal false"
+        | A.Cmp (cmp, A.Const u, A.Const v) ->
+            let d = Value.compare u v in
+            let holds =
+              match cmp with
+              | A.Eq -> d = 0
+              | A.Ne -> d <> 0
+              | A.Lt -> d < 0
+              | A.Le -> d <= 0
+              | A.Gt -> d > 0
+              | A.Ge -> d >= 0
+            in
+            if holds then None
+            else Some ("constant comparison is false: " ^ A.predicate_to_string c)
+        | A.Cmp ((A.Lt | A.Gt | A.Ne), A.Attr a, A.Attr b) when a = b ->
+            Some ("attribute compared against itself: " ^ A.predicate_to_string c)
+        | _ -> None)
+      conjs
+  in
+  (* per-attribute constant constraints, attribute normalized left *)
+  let constraints =
+    List.filter_map
+      (fun c ->
+        match c with
+        | A.Cmp (cmp, A.Attr a, A.Const v) -> Some (a, cmp, v)
+        | A.Cmp (cmp, A.Const v, A.Attr a) -> Some (a, flip cmp, v)
+        | _ -> None)
+      conjs
+  in
+  let attrs =
+    List.sort_uniq compare (List.map (fun (a, _, _) -> a) constraints)
+  in
+  let per_attr a =
+    let mine = List.filter (fun (a', _, _) -> a' = a) constraints in
+    let eqs = List.filter_map (fun (_, c, v) -> if c = A.Eq then Some v else None) mine in
+    let nes = List.filter_map (fun (_, c, v) -> if c = A.Ne then Some v else None) mine in
+    let lo =
+      (* tightest lower bound, (value, strict) *)
+      List.fold_left
+        (fun acc (_, c, v) ->
+          let cand =
+            match c with
+            | A.Gt -> Some (v, true)
+            | A.Ge -> Some (v, false)
+            | _ -> None
+          in
+          match (acc, cand) with
+          | None, c -> c
+          | c, None -> c
+          | Some (v', s'), Some (v, s) ->
+              let d = Value.compare v v' in
+              if d > 0 || (d = 0 && s) then Some (v, s) else Some (v', s'))
+        None mine
+    in
+    let hi =
+      List.fold_left
+        (fun acc (_, c, v) ->
+          let cand =
+            match c with
+            | A.Lt -> Some (v, true)
+            | A.Le -> Some (v, false)
+            | _ -> None
+          in
+          match (acc, cand) with
+          | None, c -> c
+          | c, None -> c
+          | Some (v', s'), Some (v, s) ->
+              let d = Value.compare v v' in
+              if d < 0 || (d = 0 && s) then Some (v, s) else Some (v', s'))
+        None mine
+    in
+    let contradiction_for_eq v =
+      if List.exists (fun v' -> Value.compare v v' <> 0) eqs then
+        Some (Printf.sprintf "%s equals two distinct constants" a)
+      else if List.exists (fun v' -> Value.compare v v' = 0) nes then
+        Some (Printf.sprintf "%s both equals and differs from %s" a (Value.to_string v))
+      else
+        let below =
+          match lo with
+          | Some (l, strict) ->
+              let d = Value.compare v l in
+              d < 0 || (d = 0 && strict)
+          | None -> false
+        in
+        let above =
+          match hi with
+          | Some (h, strict) ->
+              let d = Value.compare v h in
+              d > 0 || (d = 0 && strict)
+          | None -> false
+        in
+        if below || above then
+          Some (Printf.sprintf "%s = %s violates its bounds" a (Value.to_string v))
+        else None
+    in
+    match eqs with
+    | v :: _ -> contradiction_for_eq v
+    | [] -> (
+        match (lo, hi) with
+        | Some (l, sl), Some (h, sh) ->
+            let d = Value.compare l h in
+            if d > 0 || (d = 0 && (sl || sh)) then
+              Some (Printf.sprintf "bounds on %s exclude every value" a)
+            else None
+        | _ -> None)
+  in
+  direct @ List.filter_map per_attr attrs
+
+let unsatisfiable_selection_pass { plan; _ } =
+  let rec walk expr =
+    match expr with
+    | A.Select _ ->
+        let conjs, core = peel_selections expr in
+        List.map
+          (fun why ->
+            Diagnostic.warning ~subject:(subject expr) "SQ001"
+              ("selection is unsatisfiable: " ^ why))
+          (contradictions conjs)
+        @ walk core
+    | _ -> List.concat_map walk (children expr)
+  in
+  walk plan
+
+(* The maximal conjunctive regions of a plan: translate top-down and
+   recurse past the operators outside the SPJ fragment. *)
+type region =
+  | Cq of A.t * (string * Ast.term) list * Ast.atom list
+  | Empty of A.t * string
+
+let regions catalog plan =
+  let rcat = raising catalog in
+  let rec go expr =
+    match (try Some (I.spj_of_algebra rcat expr) with _ -> None) with
+    | Some (I.Spj { binding; body }) -> [ Cq (expr, binding, body) ]
+    | Some (I.Spj_empty why) -> [ Empty (expr, why) ]
+    | Some (I.Spj_outside _) | None -> List.concat_map go (children expr)
+  in
+  go plan
+
+(* SQ002 — empty under the dependencies: the translation itself proves
+   emptiness (conflicting constants), a comparison pseudo-atom is
+   self-contradictory, or the chase under the supplied fds derives a
+   constant clash (possibly surfacing a comparison contradiction). *)
+let empty_under_fds_pass { catalog; fds; plan } =
+  List.filter_map
+    (function
+      | Empty (e, why) ->
+          Some
+            (Diagnostic.warning ~subject:(subject e) "SQ002"
+               ("provably empty: " ^ why))
+      | Cq (e, binding, body) -> (
+          match I.comparison_contradiction body with
+          | Some why ->
+              Some
+                (Diagnostic.warning ~subject:(subject e) "SQ002"
+                   ("provably empty: contradictory comparison " ^ why))
+          | None -> (
+              match C.chase_opt fds (I.canonical_cq binding body) with
+              | None ->
+                  Some
+                    (Diagnostic.warning ~subject:(subject e) "SQ002"
+                       "provably empty under the dependencies: the chase \
+                        equates two distinct constants")
+              | Some chased -> (
+                  match I.comparison_contradiction chased.C.body with
+                  | Some why ->
+                      Some
+                        (Diagnostic.warning ~subject:(subject e) "SQ002"
+                           ("provably empty under the dependencies: the \
+                             chase forces contradictory comparison " ^ why))
+                  | None -> None))))
+    (regions catalog plan)
+
+let real_atoms body = List.filter (fun a -> not (I.is_comparison_atom a)) body
+
+(* SQ003 — redundant joins: the CQ core (chase under the dependencies,
+   then tableau minimization) uses strictly fewer relation atoms than
+   the query joins. *)
+let redundant_join_pass { catalog; fds; plan } =
+  List.filter_map
+    (function
+      | Empty _ -> None
+      | Cq (e, binding, body) ->
+          let before = List.length (real_atoms body) in
+          if before < 2 then None
+          else (
+            match C.chase_opt fds (I.canonical_cq binding body) with
+            | None -> None (* SQ002's finding, not a join issue *)
+            | Some chased ->
+                let core = C.minimize chased in
+                let after = List.length (real_atoms core.C.body) in
+                if after < before then
+                  Some
+                    (Diagnostic.warning ~subject:(subject e) "SQ003"
+                       (Printf.sprintf
+                          "%d of %d joined relation occurrences are \
+                           redundant: the query's core under the \
+                           dependencies needs only %d"
+                          (before - after) before after))
+                else None))
+    (regions catalog plan)
+
+(* SQ004 — set-operation arms related by containment: the union arm that
+   adds nothing, the intersection that equals one arm, the difference
+   that is provably empty. *)
+let contained_arm_pass { catalog; fds; plan } =
+  let rcat = raising catalog in
+  let arm e =
+    match (try Some (I.spj_of_algebra rcat e) with _ -> None) with
+    | Some (I.Spj { binding; body }) ->
+        Some (I.saturate (I.canonical_cq binding body))
+    | _ -> None
+  in
+  let rec walk expr =
+    let here =
+      match expr with
+      | A.Union (a, b) | A.Inter (a, b) | A.Diff (a, b) -> (
+          match (arm a, arm b) with
+          | Some qa, Some qb -> (
+              let op =
+                match expr with
+                | A.Union _ -> `Union
+                | A.Inter _ -> `Inter
+                | _ -> `Diff
+              in
+              let warn msg =
+                [ Diagnostic.warning ~subject:(subject expr) "SQ004" msg ]
+              in
+              let a_in_b = C.contained_under fds qa qb in
+              let b_in_a = C.contained_under fds qb qa in
+              match (op, a_in_b, b_in_a) with
+              | _, true, true ->
+                  warn "both arms are equivalent: the set operation is redundant"
+              | `Union, true, false ->
+                  warn "left union arm is contained in the right: it adds nothing"
+              | `Union, false, true ->
+                  warn "right union arm is contained in the left: it adds nothing"
+              | `Inter, true, false ->
+                  warn "left arm is contained in the right: the intersection \
+                        equals the left arm"
+              | `Inter, false, true ->
+                  warn "right arm is contained in the left: the intersection \
+                        equals the right arm"
+              | `Diff, true, false ->
+                  warn "the minuend is contained in the subtrahend: the \
+                        difference is provably empty"
+              | _ -> [])
+          | _ -> [])
+      | _ -> []
+    in
+    here @ List.concat_map walk (children expr)
+  in
+  walk plan
+
+(* SQ005 — a cartesian product bridged by an equality selection between
+   the two sides: renaming one column turns it into a natural join the
+   planner can use hash/merge algorithms on. *)
+let product_join_pass { catalog; plan; _ } =
+  let rcat = raising catalog in
+  let schema_of e = try Some (A.schema_of rcat e) with _ -> None in
+  let rec walk expr =
+    let here =
+      match expr with
+      | A.Select _ -> (
+          let conjs, core = peel_selections expr in
+          match core with
+          | A.Product (a, b) -> (
+              match (schema_of a, schema_of b) with
+              | Some sa, Some sb ->
+                  List.filter_map
+                    (fun c ->
+                      match c with
+                      | A.Cmp (A.Eq, A.Attr x, A.Attr y)
+                        when (Schema.mem sa x && Schema.mem sb y)
+                             || (Schema.mem sb x && Schema.mem sa y) ->
+                          Some
+                            (Diagnostic.info ~subject:(subject expr) "SQ005"
+                               (Printf.sprintf
+                                  "cartesian product bridged by %s = %s: a \
+                                   rename turns it into a natural join"
+                                  x y))
+                      | _ -> None)
+                    conjs
+              | _ -> [])
+          | _ -> [])
+      | _ -> []
+    in
+    here @ List.concat_map walk (children expr)
+  in
+  walk plan
+
+let passes : input Pass.t list =
+  [
+    Pass.make "unsatisfiable-selection" unsatisfiable_selection_pass;
+    Pass.make "empty-under-dependencies" empty_under_fds_pass;
+    Pass.make "redundant-join" redundant_join_pass;
+    Pass.make "contained-arm" contained_arm_pass;
+    Pass.make "product-bridged-by-equality" product_join_pass;
+  ]
+
+let lint ~catalog ?(fds = []) plan =
+  Pass.run_all passes { catalog; fds; plan }
+
+(* ------------------------------------------------------------------ *)
+(* Datalog-side passes, over Datalog_lint's artifact.                  *)
+
+let rule_subject r = Ast.rule_to_string r
+
+let cq_of_rule_opt r = try Some (C.of_rule r) with _ -> None
+
+let is_fact r = r.Ast.body = []
+
+(* SQ006 — bounded recursion: every directly-recursive rule of a
+   predicate is contained (as a CQ, the predicate treated as plain data)
+   in some non-recursive rule of the same predicate.  Then the least
+   model without the recursive rules already satisfies them — the
+   recursion derives nothing. *)
+let bounded_recursion_pass { Datalog_lint.program; _ } =
+  let heads =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun r -> if is_fact r then None else Some (Ast.head_pred r))
+         program)
+  in
+  List.concat_map
+    (fun p ->
+      let rules =
+        List.filter (fun r -> (not (is_fact r)) && Ast.head_pred r = p) program
+      in
+      let recursive, base =
+        List.partition (fun r -> List.mem p (Ast.body_preds r)) rules
+      in
+      if recursive = [] || base = [] then []
+      else
+        let base_cqs = List.filter_map cq_of_rule_opt base in
+        let subsumed r =
+          match cq_of_rule_opt r with
+          | None -> false
+          | Some rcq -> List.exists (fun bcq -> C.contained rcq bcq) base_cqs
+        in
+        if List.for_all subsumed recursive then
+          [
+            Diagnostic.info ~subject:p "SQ006"
+              (Printf.sprintf
+                 "recursion on %s is bounded: every recursive rule is \
+                  contained in a non-recursive rule of %s"
+                 p p);
+          ]
+        else [])
+    heads
+
+(* SQ007 — dead rules.  (1) A rule with a positive body atom over a
+   predicate that is provably empty: defined in the program (so not
+   database-backed), no facts, and every defining rule itself dead —
+   computed as an emptiness fixpoint.  (2) When a query is supplied and
+   its predicate feeds nothing else, a rule whose head constants cannot
+   unify with the query's constants. *)
+let dead_rule_pass { Datalog_lint.program; query } =
+  let idb = Ast.idb_predicates program in
+  let nonempty = Hashtbl.create 16 in
+  let mark p = if not (Hashtbl.mem nonempty p) then Hashtbl.add nonempty p () in
+  (* database-backed (non-IDB) predicates may hold facts at run time *)
+  List.iter
+    (fun r -> List.iter (fun p -> if not (List.mem p idb) then mark p) (Ast.body_preds r))
+    program;
+  List.iter (fun r -> if is_fact r then mark (Ast.head_pred r)) program;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        if
+          (not (Hashtbl.mem nonempty (Ast.head_pred r)))
+          && List.for_all (fun p -> Hashtbl.mem nonempty p) (Ast.body_preds r)
+        then begin
+          mark (Ast.head_pred r);
+          changed := true
+        end)
+      program
+  done;
+  let empty_body =
+    List.concat
+      (List.mapi
+         (fun i r ->
+           match
+             List.find_opt (fun p -> not (Hashtbl.mem nonempty p)) (Ast.body_preds r)
+           with
+           | Some p when not (is_fact r) ->
+               [
+                 Diagnostic.warning ~subject:(rule_subject r) ~loc:i "SQ007"
+                   (Printf.sprintf
+                      "rule can never fire: predicate %s is provably empty" p);
+               ]
+           | _ -> [])
+         program)
+  in
+  let query_mismatch =
+    match query with
+    | None -> []
+    | Some q ->
+        let consumed_elsewhere =
+          List.exists (fun r -> List.mem q.Ast.pred (Ast.body_preds r)) program
+        in
+        if consumed_elsewhere then []
+        else
+          List.concat
+            (List.mapi
+               (fun i r ->
+                 if
+                   Ast.head_pred r = q.Ast.pred
+                   && List.length r.Ast.head.Ast.args = List.length q.Ast.args
+                   && List.exists2
+                        (fun qa ha ->
+                          match (qa, ha) with
+                          | Ast.Const u, Ast.Const v -> not (Value.equal u v)
+                          | _ -> false)
+                        q.Ast.args r.Ast.head.Ast.args
+                 then
+                   [
+                     Diagnostic.warning ~subject:(rule_subject r) ~loc:i "SQ007"
+                       (Printf.sprintf
+                          "rule cannot contribute to query %s (binding \
+                           pattern %s): head constants disagree"
+                          (Ast.atom_to_string q)
+                          (Magic.adornment_to_string (Magic.adornment_of_query q)));
+                   ]
+                 else [])
+               program)
+  in
+  empty_body @ query_mismatch
+
+(* SQ008 — a rule body atom that tableau minimization proves redundant:
+   the rule is equivalent with the atom dropped. *)
+let redundant_atom_pass { Datalog_lint.program; _ } =
+  List.concat
+    (List.mapi
+       (fun i r ->
+         if is_fact r then []
+         else
+           match cq_of_rule_opt r with
+           | None -> []
+           | Some cq ->
+               if List.length cq.C.body < 2 then []
+               else
+                 let core = C.minimize cq in
+                 let dropped = List.length cq.C.body - List.length core.C.body in
+                 if dropped > 0 then
+                   [
+                     Diagnostic.info ~subject:(rule_subject r) ~loc:i "SQ008"
+                       (Printf.sprintf
+                          "%d redundant body atom(s): the rule is equivalent \
+                           to %s"
+                          dropped
+                          (Ast.rule_to_string (C.to_rule (Ast.head_pred r) core)));
+                   ]
+                 else [])
+       program)
+
+let datalog_passes : Datalog_lint.input Pass.t list =
+  [
+    Pass.make "bounded-recursion" bounded_recursion_pass;
+    Pass.make "dead-rule" dead_rule_pass;
+    Pass.make "redundant-body-atom" redundant_atom_pass;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Certifier verdicts as diagnostics.                                  *)
+
+let of_certify report =
+  List.concat_map
+    (fun (s : Planner.Certify.stage) ->
+      match s.Planner.Certify.verdict with
+      | Planner.Certify.Equivalent -> []
+      | Planner.Certify.Refuted why ->
+          let code =
+            if s.Planner.Certify.name = "physical_shadow" then "SQ102"
+            else "SQ101"
+          in
+          [
+            Diagnostic.error ~subject:s.Planner.Certify.name code
+              ("rewrite stage is not equivalence-preserving: " ^ why);
+          ]
+      | Planner.Certify.Skipped why ->
+          [
+            Diagnostic.info ~subject:s.Planner.Certify.name "SQ103"
+              ("stage not certified: " ^ why);
+          ])
+    report
+
+(* ------------------------------------------------------------------ *)
+(* "table: a b -> c d" dependency specs, for the CLI's --fd flag.      *)
+
+let fd_of_spec ~catalog spec =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.index_opt spec ':' with
+  | None -> fail "--fd %S: expected \"table: lhs... -> rhs...\"" spec
+  | Some i -> (
+      let table = String.trim (String.sub spec 0 i) in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let split_arrow s =
+        let needle = "->" in
+        let n = String.length s in
+        let rec find j =
+          if j + 2 > n then None
+          else if String.sub s j 2 = needle then Some j
+          else find (j + 1)
+        in
+        match find 0 with
+        | None -> None
+        | Some j ->
+            Some (String.sub s 0 j, String.sub s (j + 2) (n - j - 2))
+      in
+      match split_arrow rest with
+      | None -> fail "--fd %S: missing \"->\"" spec
+      | Some (lhs, rhs) -> (
+          match catalog table with
+          | None -> fail "--fd %S: unknown table %S" spec table
+          | Some schema -> (
+              let attrs = Schema.attributes schema in
+              let words s =
+                List.filter (fun w -> w <> "")
+                  (String.split_on_char ' '
+                     (String.map (function '\t' | ',' -> ' ' | c -> c) s))
+              in
+              let position a =
+                let rec go i = function
+                  | [] -> None
+                  | a' :: _ when a' = a -> Some i
+                  | _ :: tl -> go (i + 1) tl
+                in
+                go 0 attrs
+              in
+              let resolve side =
+                let rec go acc = function
+                  | [] -> Ok (List.rev acc)
+                  | a :: tl -> (
+                      match position a with
+                      | Some i -> go (i :: acc) tl
+                      | None ->
+                          fail "--fd %S: %S is not a column of %S" spec a table)
+                in
+                go [] (words side)
+              in
+              match (resolve lhs, resolve rhs) with
+              | Ok [], _ -> fail "--fd %S: empty left-hand side" spec
+              | _, Ok [] -> fail "--fd %S: empty right-hand side" spec
+              | Ok l, Ok r ->
+                  Ok { C.fd_pred = table; fd_lhs = l; fd_rhs = r }
+              | (Error _ as e), _ | _, (Error _ as e) -> e)))

@@ -1,0 +1,67 @@
+(** Semantic query analysis — the lint passes that apply the paper's
+    metatheory (Chandra–Merlin containment, tableau minimization, the
+    chase under functional dependencies) to queries, Datalog programs,
+    and the planner's own rewrites.
+
+    Relational codes (over algebra plans):
+    - [SQ001] (warning) unsatisfiable selection — contradictory constant
+      constraints found by interval analysis of the conjuncts
+    - [SQ002] (warning) query provably empty — conflicting constants
+      after join unification, a self-contradictory comparison, or a
+      chase failure under the supplied dependencies
+    - [SQ003] (warning) redundant join — the CQ core (chase + tableau
+      minimization) needs strictly fewer relation occurrences
+    - [SQ004] (warning) set-operation arms related by containment — a
+      union arm that adds nothing, an intersection equal to one arm, a
+      difference that is provably empty
+    - [SQ005] (info) cartesian product bridged by an equality selection
+      — a rename away from a natural join
+
+    Datalog codes (over {!Datalog_lint.input}, alongside the DL suite):
+    - [SQ006] (info) bounded recursion — every directly-recursive rule
+      of a predicate is contained in a non-recursive rule of it
+    - [SQ007] (warning) dead rule — a positive body atom over a
+      provably-empty predicate, or (given a query whose predicate feeds
+      nothing else) a head whose constants cannot unify with the query's
+    - [SQ008] (info) redundant body atom — tableau minimization drops it
+
+    Certifier codes (from {!Planner.Certify} reports):
+    - [SQ101] (error) a logical rewrite stage refuted
+    - [SQ102] (error) the physical plan's logical shadow refuted
+    - [SQ103] (info) a stage outside the certifiable fragment, skipped *)
+
+type input = {
+  catalog : string -> Relational.Schema.t option;
+  fds : Datalog.Containment.fd list;
+  plan : Relational.Algebra.t;
+}
+(** What the relational passes see: {!Relational_lint.input} widened
+    with the functional dependencies to chase under (possibly empty —
+    containment and minimization still apply). *)
+
+val passes : input Pass.t list
+(** The SQ001–SQ005 suite, for {!Pass.run_all} / {!Pass.drive}.  Use
+    {!Pass.adapt} to run it in one drive with the RA passes. *)
+
+val lint :
+  catalog:(string -> Relational.Schema.t option) ->
+  ?fds:Datalog.Containment.fd list ->
+  Relational.Algebra.t ->
+  Diagnostic.t list
+(** Runs the relational suite and returns the sorted diagnostics. *)
+
+val datalog_passes : Datalog_lint.input Pass.t list
+(** The SQ006–SQ008 suite, over the same artifact as
+    {!Datalog_lint.passes} so the two concatenate. *)
+
+val of_certify : Planner.Certify.report -> Diagnostic.t list
+(** The certifier's verdicts as diagnostics: refuted stages are SQ101
+    (SQ102 for the physical shadow) errors, skipped stages SQ103 info,
+    equivalent stages silent. *)
+
+val fd_of_spec :
+  catalog:(string -> Relational.Schema.t option) ->
+  string ->
+  (Datalog.Containment.fd, string) result
+(** Parses a ["table: a b -> c d"] dependency spec (the CLI's [--fd]
+    flag) against the catalog into a positional dependency. *)

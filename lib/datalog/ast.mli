@@ -4,8 +4,10 @@
     the {!Interop} module bridges to the typed relational model. *)
 
 type term = Var of string | Const of Relational.Value.t
+(** A variable or a constant value. *)
 
 type atom = { pred : string; args : term list }
+(** A predicate applied to terms, e.g. [edge(X, 2)]. *)
 
 type literal =
   | Pos of atom
@@ -17,6 +19,7 @@ type literal =
 type rule = { head : atom; body : literal list }
 
 type program = rule list
+(** A program is its rules, in source order; facts are bodyless rules. *)
 
 type query = atom
 (** A query is an atom, e.g. [path(1, X)]: constants restrict, variables
@@ -35,13 +38,22 @@ val is_positive : literal -> bool
 val is_comparison : literal -> bool
 
 val term_vars : term -> string list
+(** The variable of a [Var], nothing for a [Const]. *)
+
 val atom_vars : atom -> string list
+(** Variables of the atom's arguments, sorted, without duplicates. *)
+
 val literal_vars : literal -> string list
+(** Variables of the literal, sorted, without duplicates. *)
+
 val rule_vars : rule -> string list
-(** Each sorted, without duplicates. *)
+(** Variables of head and body, sorted, without duplicates. *)
 
 val head_pred : rule -> string
+(** The predicate the rule defines. *)
+
 val body_preds : rule -> string list
+(** Predicates of the body's atoms (positive and negative), in order. *)
 
 val idb_predicates : program -> string list
 (** Predicates occurring in some head, sorted. *)
@@ -57,9 +69,22 @@ val rename_rule_apart : rule -> suffix:string -> rule
 (** Renames every variable of the rule by appending [suffix]. *)
 
 val term_to_string : term -> string
+(** Source rendering of one term. *)
+
 val atom_to_string : atom -> string
+(** Source rendering of one atom, e.g. ["edge(X, 2)"]. *)
+
 val literal_to_string : literal -> string
+(** Source rendering of one literal (["not p(X)"] for negation). *)
+
 val rule_to_string : rule -> string
+(** Source rendering of one rule, trailing period included. *)
+
 val program_to_string : program -> string
+(** Source rendering of the whole program, one rule per line. *)
+
 val pp_rule : Format.formatter -> rule -> unit
+(** {!rule_to_string}, as a formatter printer. *)
+
 val pp_program : Format.formatter -> program -> unit
+(** {!program_to_string}, as a formatter printer. *)

@@ -2,7 +2,10 @@
     stratifiability, plus the predicate dependency graph they share. *)
 
 exception Unsafe_rule of string
+
 exception Not_stratifiable of string
+(** Raised by {!check_stratifiable} when negation sits on a recursive
+    cycle. *)
 
 val check_safety : Ast.program -> unit
 (** Every rule must be range-restricted: each head variable and each

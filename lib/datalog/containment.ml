@@ -100,3 +100,108 @@ let minimize cq =
     attempt 0
   in
   { cq with body = shrink cq.body }
+
+(* --- the chase on conjunctive queries ----------------------------------- *)
+
+type fd = { fd_pred : string; fd_lhs : int list; fd_rhs : int list }
+
+exception Unsatisfiable of string
+
+let subst_cq from_ to_ cq =
+  let fix t = if t = from_ then to_ else t in
+  {
+    head = List.map fix cq.head;
+    body =
+      List.map
+        (fun a -> { a with Ast.args = List.map fix a.Ast.args })
+        cq.body;
+  }
+
+(* One applicable egd: two atoms of [fd.fd_pred] that agree on every lhs
+   position but differ at some rhs position.  Returns the pair of terms
+   the dependency forces equal. *)
+let chase_step fds cq =
+  let atoms = Array.of_list cq.body in
+  let n = Array.length atoms in
+  let found = ref None in
+  (try
+     List.iter
+       (fun fd ->
+         for i = 0 to n - 1 do
+           for j = i + 1 to n - 1 do
+             let a = atoms.(i) and b = atoms.(j) in
+             if a.Ast.pred = fd.fd_pred && b.Ast.pred = fd.fd_pred then begin
+               let agree =
+                 List.for_all
+                   (fun k ->
+                     match
+                       (List.nth_opt a.Ast.args k, List.nth_opt b.Ast.args k)
+                     with
+                     | Some x, Some y -> x = y
+                     | _ -> false)
+                   fd.fd_lhs
+               in
+               if agree then
+                 List.iter
+                   (fun k ->
+                     match
+                       (List.nth_opt a.Ast.args k, List.nth_opt b.Ast.args k)
+                     with
+                     | Some x, Some y when x <> y ->
+                         found := Some (x, y);
+                         raise Exit
+                     | _ -> ())
+                   fd.fd_rhs
+             end
+           done
+         done)
+       fds
+   with Exit -> ());
+  !found
+
+let chase fds cq =
+  let rec fix cq =
+    match chase_step fds cq with
+    | None -> cq
+    | Some (x, y) -> (
+        match (x, y) with
+        | Ast.Var _, t -> fix (subst_cq x t cq)
+        | t, Ast.Var _ -> fix (subst_cq y t cq)
+        | Ast.Const a, Ast.Const b ->
+            raise
+              (Unsatisfiable
+                 (Printf.sprintf
+                    "a functional dependency forces %s = %s"
+                    (Relational.Value.to_string a)
+                    (Relational.Value.to_string b))))
+  in
+  let chased = fix cq in
+  (* equating terms can make atoms identical; keep one of each *)
+  let seen = Hashtbl.create 8 in
+  {
+    chased with
+    body =
+      List.filter
+        (fun a ->
+          if Hashtbl.mem seen a then false
+          else begin
+            Hashtbl.add seen a ();
+            true
+          end)
+        chased.body;
+  }
+
+let chase_opt fds cq = try Some (chase fds cq) with Unsatisfiable _ -> None
+
+let contained_under fds q1 q2 =
+  match chase_opt fds q1 with
+  | None -> true (* Q1 is empty on every instance satisfying the fds *)
+  | Some c1 -> contained c1 q2
+
+let equivalent_under fds q1 q2 =
+  match (chase_opt fds q1, chase_opt fds q2) with
+  | None, None -> true
+  | None, Some _ | Some _, None -> false
+  | Some c1, Some c2 -> contained c1 q2 && contained c2 q1
+
+let minimize_under fds cq = minimize (chase fds cq)

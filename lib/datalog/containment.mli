@@ -31,3 +31,37 @@ val equivalent : cq -> cq -> bool
 val minimize : cq -> cq
 (** The core: a minimal equivalent subquery, computed by repeatedly
     dropping redundant atoms (folding the query onto itself). *)
+
+type fd = { fd_pred : string; fd_lhs : int list; fd_rhs : int list }
+(** A functional dependency on a predicate, by argument position: in any
+    admissible instance, two [fd_pred] facts agreeing on every [fd_lhs]
+    position agree on every [fd_rhs] position. *)
+
+exception Unsatisfiable of string
+(** Raised by {!chase} when a dependency forces two distinct constants
+    equal — the query is empty on every instance satisfying the fds. *)
+
+val chase : fd list -> cq -> cq
+(** The chase with equality-generating dependencies: while two body atoms
+    agree on a dependency's lhs positions but differ at an rhs position,
+    equate the offending terms (substituting through body and head).
+    Terminates (each step removes a term), deduplicates collapsed atoms,
+    and raises {!Unsatisfiable} on a constant clash.  The result is
+    equivalent to the input on every instance satisfying [fds]. *)
+
+val chase_opt : fd list -> cq -> cq option
+(** {!chase}, with [None] instead of {!Unsatisfiable}. *)
+
+val contained_under : fd list -> cq -> cq -> bool
+(** [contained_under fds q1 q2] decides Q1 ⊆ Q2 over instances satisfying
+    [fds]: a homomorphism from q2 into the chased q1 (or q1 chases to a
+    contradiction). *)
+
+val equivalent_under : fd list -> cq -> cq -> bool
+(** Containment both ways, under the dependencies. *)
+
+val minimize_under : fd list -> cq -> cq
+(** Chase, then minimize: the core of the query under the dependencies.
+    Unlike {!minimize}, the result is only guaranteed equivalent on
+    instances satisfying [fds] — exactly what chase-based join
+    elimination needs.  Raises {!Unsatisfiable} as {!chase} does. *)

@@ -8,8 +8,10 @@
     full relations or deltas per body position. *)
 
 module Tuple_set = Relational.Relation.Tuple_set
+(** The tuple sets rules match against. *)
 
 type env = (string * Relational.Value.t) list
+(** A partial variable assignment, built up left-to-right. *)
 
 val match_tuple : Ast.term list -> Relational.Tuple.t -> env -> env option
 (** Unify an argument pattern against one tuple under an environment. *)

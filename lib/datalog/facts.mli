@@ -5,18 +5,33 @@
 module Tuple_set = Relational.Relation.Tuple_set
 
 type t
+(** An immutable predicate-to-tuple-set map. *)
 
 val empty : t
+(** No facts at all. *)
+
 val is_empty : t -> bool
+(** Whether no predicate holds any tuple. *)
+
 val add : t -> string -> Relational.Tuple.t -> t
+(** Adds one tuple to a predicate (a set: re-adding is a no-op). *)
+
 val add_list : t -> string -> Relational.Value.t list list -> t
+(** Adds every value list as a tuple of the predicate. *)
+
 val get : t -> string -> Tuple_set.t
 (** Empty set for unknown predicates. *)
 
 val mem : t -> string -> Relational.Tuple.t -> bool
 val set : t -> string -> Tuple_set.t -> t
+(** Replaces a predicate's tuples wholesale. *)
+
 val preds : t -> string list
+(** Predicates holding at least one tuple, sorted. *)
+
 val cardinality : t -> string -> int
+(** Number of tuples of one predicate. *)
+
 val total : t -> int
 (** Total number of facts across all predicates. *)
 
@@ -27,6 +42,8 @@ val diff_new : t -> t -> t
 
 val equal : t -> t -> bool
 val fold : (string -> Tuple_set.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over predicates in sorted name order. *)
+
 val of_program_facts : Ast.program -> t
 (** Extracts the ground facts (empty-body, constant-head rules) of a
     program.  Raises [Invalid_argument] on a non-ground fact. *)

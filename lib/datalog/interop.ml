@@ -167,3 +167,313 @@ let cq_of_algebra catalog expr =
       let attrs = R.Schema.attributes (R.Algebra.schema_of catalog expr) in
       let head = List.map (fun a -> List.assoc a binding) attrs in
       Some { Containment.head; body = atoms }
+
+(* --- the richer SPJ translation behind the semantic analyses ------------- *)
+
+(* Non-equality comparisons ride along as pseudo-atoms over reserved
+   predicates, normalized to < / <= / <> with Gt/Ge flipped.  They are
+   uninterpreted by the homomorphism test, which keeps every containment
+   verdict sound (if conservative). *)
+let pseudo_lt = "$lt"
+let pseudo_le = "$le"
+let pseudo_ne = "$ne"
+
+let is_comparison_atom a =
+  String.length a.Ast.pred > 0 && a.Ast.pred.[0] = '$'
+
+(* Truth of a comparison atom decidable without an instance: both sides
+   constant, or literally the same term. *)
+let comparison_truth pred tl tr =
+  match (tl, tr) with
+  | Ast.Const a, Ast.Const b ->
+      let c = R.Value.compare a b in
+      if pred = pseudo_lt then Some (c < 0)
+      else if pred = pseudo_le then Some (c <= 0)
+      else if pred = pseudo_ne then Some (c <> 0)
+      else None
+  | _ -> if tl = tr then Some (pred = pseudo_le) else None
+
+let comparison_contradiction atoms =
+  List.find_map
+    (fun a ->
+      match a.Ast.args with
+      | [ x; y ] when is_comparison_atom a -> (
+          match comparison_truth a.Ast.pred x y with
+          | Some false -> Some (Ast.atom_to_string a)
+          | _ -> None)
+      | _ -> None)
+    atoms
+
+type spj =
+  | Spj of { body : Ast.atom list; binding : (string * Ast.term) list }
+  | Spj_empty of string
+  | Spj_outside of string
+
+exception Spj_empty_exn of string
+exception Spj_outside_exn of string
+
+let spj_of_algebra catalog expr =
+  let module A = R.Algebra in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "V%d" !counter
+  in
+  let subst from_ to_ (atoms, binding) =
+    let fix t = if t = from_ then to_ else t in
+    ( List.map (fun at -> { at with Ast.args = List.map fix at.Ast.args }) atoms,
+      List.map (fun (a, t) -> (a, fix t)) binding )
+  in
+  let add_cmp pred tl tr (atoms, binding) =
+    match comparison_truth pred tl tr with
+    | Some true -> (atoms, binding)
+    | Some false ->
+        raise
+          (Spj_empty_exn
+             (Printf.sprintf "comparison %s is never satisfied"
+                (Ast.atom_to_string (Ast.atom pred [ tl; tr ]))))
+    | None -> (atoms @ [ Ast.atom pred [ tl; tr ] ], binding)
+  in
+  let rec go expr =
+    match expr with
+    | A.Rel name ->
+        let attrs = R.Schema.attributes (catalog name) in
+        let binding = List.map (fun a -> (a, Ast.Var (fresh ()))) attrs in
+        ([ Ast.atom name (List.map snd binding) ], binding)
+    | A.Singleton bindings ->
+        ([], List.map (fun (a, v) -> (a, Ast.Const v)) bindings)
+    | A.Project (attrs, e) ->
+        let atoms, binding = go e in
+        (atoms, List.filter (fun (a, _) -> List.mem a attrs) binding)
+    | A.Rename (mapping, e) ->
+        let atoms, binding = go e in
+        ( atoms,
+          List.map
+            (fun (a, t) ->
+              match List.assoc_opt a mapping with
+              | Some b -> (b, t)
+              | None -> (a, t))
+            binding )
+    | A.Select (p, e) ->
+        let acc = go e in
+        let rec literals = function
+          | A.True -> []
+          | A.False ->
+              raise (Spj_empty_exn "selection predicate is the constant false")
+          | A.And (a, b) -> literals a @ literals b
+          | A.Cmp (c, l, r) -> [ (c, l, r) ]
+          | A.Or _ -> raise (Spj_outside_exn "disjunctive selection")
+          | A.Not _ -> raise (Spj_outside_exn "negated selection")
+        in
+        List.fold_left
+          (fun (atoms, binding) (c, l, r) ->
+            let term_of = function
+              | A.Attr a -> (
+                  match List.assoc_opt a binding with
+                  | Some t -> t
+                  | None ->
+                      raise
+                        (Spj_outside_exn
+                           (Printf.sprintf "unknown attribute %s" a)))
+              | A.Const v -> Ast.Const v
+            in
+            let tl = term_of l and tr = term_of r in
+            match c with
+            | A.Eq -> (
+                match (tl, tr) with
+                | Ast.Const a, Ast.Const b ->
+                    if R.Value.equal a b then (atoms, binding)
+                    else
+                      raise
+                        (Spj_empty_exn
+                           (Printf.sprintf "selection requires %s = %s"
+                              (R.Value.to_string a) (R.Value.to_string b)))
+                | (Ast.Var _ as v), t -> subst v t (atoms, binding)
+                | t, (Ast.Var _ as v) -> subst v t (atoms, binding))
+            | A.Ne -> add_cmp pseudo_ne tl tr (atoms, binding)
+            | A.Lt -> add_cmp pseudo_lt tl tr (atoms, binding)
+            | A.Gt -> add_cmp pseudo_lt tr tl (atoms, binding)
+            | A.Le -> add_cmp pseudo_le tl tr (atoms, binding)
+            | A.Ge -> add_cmp pseudo_le tr tl (atoms, binding))
+          acc (literals p)
+    | A.Product (a, b) | A.Join (a, b) ->
+        let atoms_a, bind_a = go a in
+        let atoms_b, bind_b = go b in
+        let merged_atoms = ref (atoms_a @ atoms_b) in
+        let ba = ref bind_a and bb = ref bind_b in
+        let substitute from_ to_ =
+          let fix t = if t = from_ then to_ else t in
+          merged_atoms :=
+            List.map
+              (fun at -> { at with Ast.args = List.map fix at.Ast.args })
+              !merged_atoms;
+          ba := List.map (fun (a, t) -> (a, fix t)) !ba;
+          bb := List.map (fun (a, t) -> (a, fix t)) !bb
+        in
+        (* natural join: re-resolve both sides' current terms per shared
+           attribute so chained unifications compose *)
+        List.iter
+          (fun (attr, _) ->
+            match List.assoc_opt attr !ba with
+            | None -> ()
+            | Some ta -> (
+                let tb = List.assoc attr !bb in
+                if ta <> tb then
+                  match (ta, tb) with
+                  | Ast.Const x, Ast.Const y ->
+                      if not (R.Value.equal x y) then
+                        raise
+                          (Spj_empty_exn
+                             (Printf.sprintf
+                                "join requires %s = %s on attribute %s"
+                                (R.Value.to_string x) (R.Value.to_string y)
+                                attr))
+                  | (Ast.Var _ as v), t -> substitute v t
+                  | t, (Ast.Var _ as v) -> substitute v t))
+          bind_b;
+        ( !merged_atoms,
+          !ba
+          @ List.filter (fun (a, _) -> not (List.mem_assoc a !ba)) !bb )
+    | A.Union _ -> raise (Spj_outside_exn "union")
+    | A.Inter _ -> raise (Spj_outside_exn "intersection")
+    | A.Diff _ -> raise (Spj_outside_exn "difference")
+    | A.Divide _ -> raise (Spj_outside_exn "division")
+  in
+  try
+    let body, binding = go expr in
+    Spj { body; binding }
+  with
+  | Spj_empty_exn reason -> Spj_empty reason
+  | Spj_outside_exn reason -> Spj_outside reason
+
+let canonical_cq binding body =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) binding in
+  { Containment.head = List.map snd sorted; body }
+
+let saturate cq =
+  let extra =
+    List.concat_map
+      (fun a ->
+        match (a.Ast.pred, a.Ast.args) with
+        | p, [ x; y ] when p = pseudo_lt ->
+            [
+              Ast.atom pseudo_le [ x; y ];
+              Ast.atom pseudo_ne [ x; y ];
+              Ast.atom pseudo_ne [ y; x ];
+            ]
+        | p, [ x; y ] when p = pseudo_ne -> [ Ast.atom pseudo_ne [ y; x ] ]
+        | _ -> [])
+      cq.Containment.body
+  in
+  let seen = Hashtbl.create 8 in
+  {
+    cq with
+    Containment.body =
+      List.filter
+        (fun a ->
+          if Hashtbl.mem seen a then false
+          else begin
+            Hashtbl.add seen a ();
+            true
+          end)
+        (cq.Containment.body @ extra);
+  }
+
+let algebra_of_cq catalog ~out body =
+  let module A = R.Algebra in
+  let rels, cmps = List.partition (fun a -> not (is_comparison_atom a)) body in
+  match rels with
+  | [] ->
+      let consts =
+        List.map
+          (fun (a, t) ->
+            match t with Ast.Const v -> Some (a, v) | Ast.Var _ -> None)
+          out
+      in
+      if cmps = [] && out <> [] && List.for_all Option.is_some consts then
+        Some (A.Singleton (List.map Option.get consts))
+      else None
+  | _ -> (
+      try
+        let cols = ref [] in
+        let parts =
+          List.mapi
+            (fun i atom ->
+              let schema = catalog atom.Ast.pred in
+              let attrs = R.Schema.attributes schema in
+              if List.length attrs <> List.length atom.Ast.args then raise Exit;
+              let mapping =
+                List.map2
+                  (fun a t ->
+                    let col = Printf.sprintf "#%d.%s" i a in
+                    cols := !cols @ [ (t, col) ];
+                    (a, col))
+                  attrs atom.Ast.args
+              in
+              A.Rename (mapping, A.Rel atom.Ast.pred))
+            rels
+        in
+        let core =
+          List.fold_left
+            (fun acc p -> A.Product (acc, p))
+            (List.hd parts) (List.tl parts)
+        in
+        (* equate repeated variables, pin constants *)
+        let first = Hashtbl.create 8 in
+        let eqs =
+          List.filter_map
+            (fun (t, c) ->
+              match t with
+              | Ast.Const v -> Some (A.Cmp (A.Eq, A.Attr c, A.Const v))
+              | Ast.Var _ -> (
+                  match Hashtbl.find_opt first t with
+                  | None ->
+                      Hashtbl.add first t c;
+                      None
+                  | Some c0 -> Some (A.Cmp (A.Eq, A.Attr c0, A.Attr c))))
+            !cols
+        in
+        let operand = function
+          | Ast.Const v -> A.Const v
+          | Ast.Var _ as t -> (
+              match Hashtbl.find_opt first t with
+              | Some c -> A.Attr c
+              | None -> raise Exit)
+        in
+        let cmp_conj =
+          List.map
+            (fun a ->
+              match (a.Ast.pred, a.Ast.args) with
+              | p, [ x; y ] when p = pseudo_lt ->
+                  A.Cmp (A.Lt, operand x, operand y)
+              | p, [ x; y ] when p = pseudo_le ->
+                  A.Cmp (A.Le, operand x, operand y)
+              | p, [ x; y ] when p = pseudo_ne ->
+                  A.Cmp (A.Ne, operand x, operand y)
+              | _ -> raise Exit)
+            cmps
+        in
+        let constrained =
+          match eqs @ cmp_conj with
+          | [] -> core
+          | cs -> A.Select (A.conjoin cs, core)
+        in
+        (* realize the head: a distinct source column per output attribute *)
+        let used = Hashtbl.create 8 in
+        let pick t =
+          let candidate =
+            List.find_map
+              (fun (t', c) ->
+                if t' = t && not (Hashtbl.mem used c) then Some c else None)
+              !cols
+          in
+          match candidate with
+          | Some c ->
+              Hashtbl.add used c ();
+              c
+          | None -> raise Exit
+        in
+        let assignment = List.map (fun (attr, t) -> (pick t, attr)) out in
+        let renamed = A.Rename (assignment, constrained) in
+        Some (A.Project (List.map snd assignment, renamed))
+      with Exit | R.Schema.Schema_error _ | Not_found -> None)

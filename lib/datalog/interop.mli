@@ -18,3 +18,57 @@ val cq_of_algebra :
 (** Conjunctive queries correspond to select-project-join algebra; returns
     [None] for expressions outside that fragment (union, difference,
     negation, division, non-equality selections). *)
+
+(** The richer translation behind the semantic lint and the plan
+    certifier.  [Spj] carries the body atoms plus the binding of each
+    output attribute to its term; non-equality comparisons ride along as
+    pseudo-atoms over the reserved predicates [$lt]/[$le]/[$ne]
+    (normalized orientation), uninterpreted by the homomorphism test —
+    which keeps every containment verdict sound, if conservative.
+    [Spj_empty] is a query provably empty on every instance (conflicting
+    constants); [Spj_outside] is one outside the select-project-join-
+    rename fragment, with the offending operator named. *)
+type spj =
+  | Spj of { body : Ast.atom list; binding : (string * Ast.term) list }
+  | Spj_empty of string
+  | Spj_outside of string
+
+val spj_of_algebra : Relational.Algebra.catalog -> Relational.Algebra.t -> spj
+(** Unlike {!cq_of_algebra} this supports [Singleton], distinguishes
+    provably-empty from non-conjunctive, and admits non-equality
+    selections (as pseudo-atoms).  May raise the catalog's exception on
+    unknown relations — type-check first. *)
+
+val is_comparison_atom : Ast.atom -> bool
+(** Whether an atom is one of the comparison pseudo-atoms. *)
+
+val comparison_contradiction : Ast.atom list -> string option
+(** The first comparison pseudo-atom that is unsatisfiable on its own
+    (both sides constant and false, or a strict/inequality comparison of
+    a term with itself), rendered for a diagnostic. *)
+
+val canonical_cq :
+  (string * Ast.term) list -> Ast.atom list -> Containment.cq
+(** [canonical_cq binding body] builds a CQ whose head lists the bound
+    terms in sorted attribute-name order — the canonical form that makes
+    two SPJ expressions comparable even after rewrites permute their
+    output columns. *)
+
+val saturate : Containment.cq -> Containment.cq
+(** Close the comparison pseudo-atoms under the implications the
+    homomorphism test cannot see ([x < y] entails [x <= y] and [x <> y];
+    [<>] is symmetric), deduplicating.  Saturating both sides before a
+    containment check avoids refuting rewrites that only weaken a strict
+    bound into an implied non-strict one. *)
+
+val algebra_of_cq :
+  Relational.Algebra.catalog ->
+  out:(string * Ast.term) list ->
+  Ast.atom list ->
+  Relational.Algebra.t option
+(** Back-translation for chase-based join elimination: realize a CQ body
+    (relation atoms plus comparison pseudo-atoms) with output attributes
+    [out] (in order) as rename→product→select→rename→project.  [None]
+    when the body cannot be realized — e.g. an output attribute whose
+    term has no remaining dedicated column (the algebra cannot duplicate
+    a column), or a variable living only in comparisons. *)

@@ -21,6 +21,8 @@ val adornment_to_string : adornment -> string
 
 val adorned_name : string -> adornment -> string
 val magic_name : string -> adornment -> string
+(** The adorned / magic predicate names, e.g. ["path_bf"] and
+    ["m_path_bf"]. *)
 
 val adornment_of_query : Ast.query -> adornment
 (** Constants are bound; repeated variables after their first occurrence

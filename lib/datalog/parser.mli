@@ -19,5 +19,7 @@ exception Parse_error of string
 
 val parse_program : string -> Ast.program
 val parse_rule : string -> Ast.rule
+(** One rule or fact, trailing period optional. *)
+
 val parse_query : string -> Ast.query
 (** Accepts ["p(1, X)"], with an optional ["?-"] prefix and ["."] suffix. *)

@@ -36,6 +36,7 @@ val proof_of : t -> string -> Relational.Tuple.t -> proof option
 
 val proof_depth : proof -> int
 val proof_size : proof -> int
+(** Nodes in the proof tree (how many rule applications and leaves). *)
 
 val explain : t -> string -> Relational.Tuple.t -> string
 (** Pretty proof tree, or a note that the fact is EDB / underivable. *)

@@ -6,6 +6,7 @@
     lossless-join testing for decompositions, and implication testing for
     FDs and MVDs. *)
 
+(** Tableau entries. *)
 type symbol =
   | Dist of string  (** distinguished variable a_A, one per attribute *)
   | Sub of int  (** subscripted (nondistinguished) variable b_i *)

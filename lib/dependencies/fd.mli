@@ -6,8 +6,11 @@
     module is the inference engine those tools are built on. *)
 
 type t = { lhs : Attrs.t; rhs : Attrs.t }
+(** The dependency X -> Y. *)
 
 val make : Attrs.t -> Attrs.t -> t
+(** [make lhs rhs] is the dependency lhs -> rhs. *)
+
 val of_string : string -> t
 (** ["AB -> C"] (also accepts ["AB->C"]). *)
 
@@ -16,7 +19,11 @@ val set_of_string : string -> t list
 
 val to_string : t -> string
 val set_to_string : t list -> string
+(** Semicolon-separated rendering, inverse of {!set_of_string}. *)
+
 val equal : t -> t -> bool
+(** Same lhs and rhs as attribute sets. *)
+
 val is_trivial : t -> bool
 (** rhs ⊆ lhs (Armstrong reflexivity gives exactly these). *)
 
@@ -41,7 +48,10 @@ val implies : t list -> t -> bool
 val equivalent_sets : t list -> t list -> bool
 
 val is_superkey : Attrs.t -> universe:Attrs.t -> t list -> bool
+(** X⁺ covers the universe. *)
+
 val is_candidate_key : Attrs.t -> universe:Attrs.t -> t list -> bool
+(** A superkey no proper subset of which is one. *)
 
 val candidate_keys : universe:Attrs.t -> t list -> Attrs.t list
 (** All candidate keys, smallest first.  Exponential in the number of

@@ -4,11 +4,14 @@
 type t = { lhs : Attrs.t; rhs : Attrs.t }
 
 val make : Attrs.t -> Attrs.t -> t
+(** [make lhs rhs] is the dependency lhs ->> rhs. *)
+
 val of_string : string -> t
 (** ["A ->> BC"]. *)
 
 val to_string : t -> string
 val equal : t -> t -> bool
+(** Same lhs and rhs as attribute sets. *)
 
 val is_trivial : t -> universe:Attrs.t -> bool
 (** X →→ Y is trivial when Y ⊆ X or X ∪ Y = U. *)

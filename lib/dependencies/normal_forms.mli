@@ -8,11 +8,13 @@
     synthesis. *)
 
 type scheme = { name : string; attrs : Attrs.t; fds : Fd.t list }
+(** A relation scheme: its attribute universe and the FDs that hold. *)
 
 type violation = {
   fd : Fd.t;
   reason : string;  (** human-readable explanation *)
 }
+(** One normal-form violation: the offending dependency and why. *)
 
 val is_2nf : scheme -> bool
 val violations_2nf : scheme -> violation list

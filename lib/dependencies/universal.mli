@@ -9,6 +9,9 @@
     Yannakakis' reducer. *)
 
 exception Not_acyclic
+(** The scheme has no join tree (GYO reduction leaves residue), so the
+    universal-relation window is not defined here. *)
+
 exception Not_connected of string
 (** The requested attributes span disconnected parts of the scheme (their
     window would be a cross product; the interface refuses, as classical

@@ -1,0 +1,46 @@
+(** Translation validation for the planner.
+
+    Rather than trusting the optimizer, [certify] replays every rewrite
+    stage {!Plan.plan} ran — selection push-down, join ordering,
+    projection pruning, chase-based join elimination — plus the physical
+    plan's logical shadow, and proves each step equivalent to its
+    predecessor: both sides become conjunctive queries (comparisons as
+    uninterpreted pseudo-atoms) and {!Datalog.Containment.equivalent_under}
+    decides, chasing under the statistics-recorded key dependencies.
+
+    The prover is sound.  [Equivalent] is a proof.  [Refuted] is a
+    counterexample on the pure conjunctive fragment, where the
+    Chandra–Merlin test is complete — a refuted stage means the rewrite
+    is buggy, surfaced as an SQ101/SQ102 diagnostic by
+    [Analysis.Semantic_lint.of_certify].  A step the fragment cannot
+    settle is [Skipped], never silently passed. *)
+
+(** One stage's outcome.  [Refuted]/[Skipped] carry a reason. *)
+type verdict = Equivalent | Refuted of string | Skipped of string
+
+type stage = { name : string; verdict : verdict }
+(** A certified rewrite stage: [push_selections], [order_joins],
+    [prune_projections], [join_elimination], or [physical_shadow]. *)
+
+type report = stage list
+(** Stages in pipeline order. *)
+
+val ok : report -> bool
+(** No stage was refuted ([Skipped] stages do not fail a report). *)
+
+val verdict_to_string : verdict -> string
+(** ["equivalent"], ["refuted: <why>"] or ["skipped: <why>"]. *)
+
+val shadow : Physical.t -> Relational.Algebra.t
+(** The logical reading of a physical plan: index access paths become
+    the selections they absorbed (a range scan its inclusive bounds —
+    strict residuals shadow separately as filters), sort is identity,
+    joins forget their algorithm. *)
+
+val certify :
+  Plan.ctx -> Relational.Algebra.t -> Physical.t -> report
+(** [certify ctx expr physical] validates the pipeline that produced
+    [physical] from [expr] under [ctx]'s configuration, bumping the
+    [certify.*] counters under a [plan.certify] span.  Deterministic:
+    replaying the stages on the same context reproduces exactly the
+    plans {!Plan.plan} built. *)

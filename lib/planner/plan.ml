@@ -14,11 +14,13 @@ type join_force = Auto | Force_hash | Force_merge
 
 type config = {
   optimize : bool;
+  semantic : bool;
   force_join : join_force;
   sort_spill : int option;
 }
 
-let default_config = { optimize = true; force_join = Auto; sort_spill = None }
+let default_config =
+  { optimize = true; semantic = true; force_join = Auto; sort_spill = None }
 
 type instruments = {
   i_queries : Obs.Registry.Counter.t;
@@ -26,6 +28,10 @@ type instruments = {
   i_index_scans : Obs.Registry.Counter.t;
   i_full_scans : Obs.Registry.Counter.t;
   i_spills : Obs.Registry.Counter.t;
+  i_join_eliminations : Obs.Registry.Counter.t;
+  i_certify_stages : Obs.Registry.Counter.t;
+  i_certify_skipped : Obs.Registry.Counter.t;
+  i_certify_failures : Obs.Registry.Counter.t;
 }
 
 type ctx = {
@@ -52,6 +58,19 @@ let make_instruments registry =
     i_spills =
       counter ~unit:"runs" ~help:"sort runs spilled to temporary files"
         "plan.spills";
+    i_join_eliminations =
+      counter ~unit:"joins" ~help:"joins dropped by chase-based elimination"
+        "semantic.join_eliminations";
+    i_certify_stages =
+      counter ~unit:"stages" ~help:"rewrite stages checked by the certifier"
+        "certify.stages";
+    i_certify_skipped =
+      counter ~unit:"stages"
+        ~help:"certifier stages outside the conjunctive fragment"
+        "certify.skipped";
+    i_certify_failures =
+      counter ~unit:"stages" ~help:"rewrite stages the certifier refuted"
+        "certify.failures";
   }
 
 let make ?(config = default_config) eng =
@@ -318,6 +337,19 @@ let plan ctx expr =
             (Stats.row_stats ctx.stats)
             expr)
     else expr
+  in
+  let logical =
+    if ctx.config.semantic then
+      Obs.Trace.with_span (Storage.Engine.trace ctx.eng) "plan.semantic"
+        (fun () ->
+          let fds = Semantic.fds_of_stats (catalog ctx) ctx.stats in
+          let rewritten, dropped =
+            Semantic.eliminate_joins (catalog ctx) fds logical
+          in
+          if dropped > 0 then
+            Obs.Registry.Counter.add ctx.ins.i_join_eliminations dropped;
+          rewritten)
+    else logical
   in
   let physical = compile ctx logical in
   annotate ctx physical;

@@ -16,6 +16,11 @@ type config = {
       (** run the logical rewrite pipeline before compiling (default);
           [false] compiles the query as written — access-path selection
           still happens, which is what makes PL001 demonstrable *)
+  semantic : bool;
+      (** run {!Semantic.eliminate_joins} after the syntactic rewrites
+          (default): joins the chase proves redundant under the
+          statistics-recorded key dependencies are dropped before
+          physical compilation *)
   force_join : join_force;
   sort_spill : int option;
       (** executor sort-spill threshold in tuples; [None] uses the cost
@@ -24,7 +29,8 @@ type config = {
 (** Planner configuration. *)
 
 val default_config : config
-(** [{ optimize = true; force_join = Auto; sort_spill = None }]. *)
+(** [{ optimize = true; semantic = true; force_join = Auto;
+    sort_spill = None }]. *)
 
 type instruments = {
   i_queries : Obs.Registry.Counter.t;
@@ -32,9 +38,14 @@ type instruments = {
   i_index_scans : Obs.Registry.Counter.t;
   i_full_scans : Obs.Registry.Counter.t;
   i_spills : Obs.Registry.Counter.t;
+  i_join_eliminations : Obs.Registry.Counter.t;
+  i_certify_stages : Obs.Registry.Counter.t;
+  i_certify_skipped : Obs.Registry.Counter.t;
+  i_certify_failures : Obs.Registry.Counter.t;
 }
-(** The [plan.*] counters, registered on the engine's metric registry
-    when the context is created (see docs/OBSERVABILITY.md). *)
+(** The [plan.*], [semantic.*] and [certify.*] counters, registered on
+    the engine's metric registry when the context is created (see
+    docs/OBSERVABILITY.md). *)
 
 type ctx
 (** A planning context: engine handle, catalog/statistics/index
@@ -71,7 +82,8 @@ val catalog : ctx -> Relational.Algebra.catalog
     exception the CLI maps to exit 2). *)
 
 val plan : ctx -> Relational.Algebra.t -> Physical.t
-(** Type-check, optionally rewrite ([plan.optimize] span), compile with
+(** Type-check, optionally rewrite ([plan.optimize] span), run
+    chase-based join elimination ([plan.semantic] span), compile with
     access-path and join-algorithm selection, and annotate with
     estimates.  Raises {!Relational.Algebra.Type_error} /
     {!Relational.Database.Unknown_relation} on ill-typed input. *)

@@ -1,0 +1,116 @@
+Chase-based semantic analysis from the command line: the SQ lint
+diagnostics over the shipped exemplar queries, join elimination showing
+up in EXPLAIN, and the translation-validating plan certifier.
+
+The shipped exemplars each draw their diagnostic (warnings, exit 0).
+A contradictory selection is unsatisfiable and therefore provably empty:
+
+  $ dbmeta lint query --file ../examples/queries/semantic/unsatisfiable.raq \
+  >   -s 'students=sid:int,sname:string,year:int'
+  warning[SQ001]: selection is unsatisfiable: year equals two distinct constants
+    --> select[(year = 1 and year = 2)](students)
+  warning[SQ002]: provably empty: selection requires 1 = 2
+    --> select[(year = 1 and year = 2)](students)
+  0 error(s), 2 warning(s), 0 info(s)
+
+A union arm contained in the other adds nothing:
+
+  $ dbmeta lint query --file ../examples/queries/semantic/contained_union.raq \
+  >   -s 'students=sid:int,sname:string,year:int'
+  warning[SQ004]: left union arm is contained in the right: it adds nothing
+    --> (select[year = 3](students) U students)
+  0 error(s), 1 warning(s), 0 info(s)
+
+A self-join on a key is redundant — but only under the declared
+functional dependency (both copies reach the output, so plain
+Chandra-Merlin minimization cannot fold them); without --fd the lint
+stays quiet on it:
+
+  $ dbmeta lint query --file ../examples/queries/semantic/redundant_join.raq \
+  >   -s 'students=sid:int,sname:string,year:int' \
+  >   --fd 'students: sid -> sname year'
+  warning[SQ003]: 1 of 2 joined relation occurrences are redundant: the query's core under the dependencies needs only 1
+    --> project[sid,sname,s2]((students |x| rename[sname->s2,year->y2](students)))
+  0 error(s), 1 warning(s), 0 info(s)
+
+  $ dbmeta lint query --file ../examples/queries/semantic/redundant_join.raq \
+  >   -s 'students=sid:int,sname:string,year:int'
+  no diagnostics
+
+A malformed --fd is a usage error:
+
+  $ dbmeta lint query 'students' -s 'students=sid:int' --fd 'nonsense'
+  dbmeta: --fd "nonsense": expected "table: lhs... -> rhs..."
+  [2]
+
+The planner puts the same chase to work. Load a table whose statistics
+prove sid is a key (distinct = rows):
+
+  $ cat > students.csv <<'EOF'
+  > sid:int,sname:string,year:int
+  > 1,alice,1
+  > 2,bob,2
+  > 3,carol,2
+  > EOF
+  $ dbmeta db init uni.db
+  created uni.db (1 pages, wal at uni.db.wal)
+  $ dbmeta db load uni.db -t students=students.csv
+  loaded students: 3 tuples
+
+The key-redundant self-join collapses to a single scan:
+
+  $ dbmeta db query uni.db 'project[sid, sname](students join rename[sname -> s2, year -> y2](students))' --explain
+  project[sid, sname]  (est_rows=3.0 cost=0.3)
+    rename[#0.sid -> sid, #0.sname -> sname]  (est_rows=3.0 cost=0.3)
+      rename[sid -> #0.sid, sname -> #0.sname, year -> #0.year]  (est_rows=3.0 cost=0.3)
+        seq scan students  (est_rows=3.0 cost=0.2)
+
+  $ dbmeta db query uni.db 'project[sid, sname](students join rename[sname -> s2, year -> y2](students))'
+  sid  sname
+  ---  -----
+  1    alice
+  2    bob  
+  3    carol
+
+--no-semantic turns the rewrite off and the join comes back:
+
+  $ dbmeta db query uni.db 'project[sid, sname](students join rename[sname -> s2, year -> y2](students))' --explain --no-semantic
+  project[sid, sname]  (est_rows=0.9 cost=0.7)
+    hash join on (sid) build=left  (est_rows=0.9 cost=0.7)
+      project[sid, sname]  (est_rows=3.0 cost=0.3)
+        seq scan students  (est_rows=3.0 cost=0.2)
+      project[sid]  (est_rows=3.0 cost=0.3)
+        rename[sname -> s2, year -> y2]  (est_rows=3.0 cost=0.3)
+          seq scan students  (est_rows=3.0 cost=0.2)
+
+--certify replays every rewrite stage and proves the physical plan's
+logical shadow equivalent, then runs the query as usual:
+
+  $ dbmeta db query uni.db 'project[sid, sname](students join rename[sname -> s2, year -> y2](students))' --certify
+  certify: push_selections equivalent
+  certify: order_joins equivalent
+  certify: prune_projections equivalent
+  certify: join_elimination equivalent
+  certify: physical_shadow equivalent
+  sid  sname
+  ---  -----
+  1    alice
+  2    bob  
+  3    carol
+
+Operators outside the conjunctive fragment (union, difference) are
+compared structurally after the same normalization the optimizer
+applies, so set-operation queries certify too; stages the prover can
+show neither way are reported as skipped (SQ103), never refuted:
+
+  $ dbmeta db query uni.db 'project[sid](select[year = 1](students)) union project[sid](select[year = 2](students))' --certify
+  certify: push_selections equivalent
+  certify: order_joins equivalent
+  certify: prune_projections equivalent
+  certify: join_elimination equivalent
+  certify: physical_shadow equivalent
+  sid
+  ---
+  1  
+  2  
+  3  

@@ -445,6 +445,153 @@ let test_cc_clean_schedule () =
        (Transactions.Locked_schedule.of_string
           "xl1(x) w1(x) c1 sl2(x) r2(x) c2"))
 
+(* --- semantic passes (chase-based, SQ) ------------------------------------- *)
+
+let sq_catalog =
+  A.Relational_lint.catalog_of_alist
+    [
+      ( "students",
+        schema
+          [
+            ("sid", Relational.Value.TInt);
+            ("sname", Relational.Value.TString);
+            ("year", Relational.Value.TInt);
+          ] );
+      ( "enrolled",
+        schema
+          [
+            ("sid", Relational.Value.TInt);
+            ("cid", Relational.Value.TString);
+            ("grade", Relational.Value.TInt);
+          ] );
+    ]
+
+let sq_fd spec =
+  match A.Semantic_lint.fd_of_spec ~catalog:sq_catalog spec with
+  | Ok fd -> fd
+  | Error e -> failwith e
+
+let sq_lint ?(fds = []) text =
+  A.Semantic_lint.lint ~catalog:sq_catalog ~fds
+    (Relational.Query_parser.parse text)
+
+let sq_dl ?query src =
+  A.Pass.run_all A.Semantic_lint.datalog_passes
+    { A.Datalog_lint.program = parse src; query }
+
+let test_sq001_unsatisfiable_selection () =
+  check_code "equals two constants" "SQ001"
+    (sq_lint "select[year = 1 and year = 2](students)");
+  check_code "empty interval" "SQ001"
+    (sq_lint "select[year > 3 and year < 2](students)");
+  check_no_code "satisfiable conjunction" "SQ001"
+    (sq_lint "select[year >= 1 and year <= 3](students)")
+
+let test_sq002_provably_empty () =
+  check_code "contradictory constants" "SQ002"
+    (sq_lint "select[sid = 1 and sid = 2](students)");
+  check_no_code "plain selection" "SQ002" (sq_lint "select[sid = 1](students)")
+
+let test_sq003_redundant_join () =
+  (* foldable by plain Chandra-Merlin minimization: the second copy's
+     attributes never reach the output *)
+  check_code "self-join, core needs one copy" "SQ003"
+    (sq_lint "project[sid](students join students)");
+  (* both copies reach the output: only the key FD folds them *)
+  let q =
+    "project[sid, sname, s2](students join rename[sname -> s2, year -> \
+     y2](students))"
+  in
+  check_no_code "no FD, both copies needed" "SQ003" (sq_lint q);
+  check_code "key FD makes the copy redundant" "SQ003"
+    (sq_lint ~fds:[ sq_fd "students: sid -> sname year" ] q);
+  check_no_code "genuine join is not redundant" "SQ003"
+    (sq_lint "project[sname, grade](students join enrolled)")
+
+let test_sq004_contained_arm () =
+  check_code "union arm adds nothing" "SQ004"
+    (sq_lint "select[year = 3](students) union students");
+  check_code "difference provably empty" "SQ004"
+    (sq_lint "select[year = 3](students) minus students");
+  check_no_code "incomparable arms" "SQ004"
+    (sq_lint "select[year = 1](students) union select[year = 2](students)")
+
+let test_sq005_bridged_product () =
+  let renamed = "rename[sid -> sid2, cid -> c2, grade -> g2](enrolled)" in
+  check_code "equality bridges the product" "SQ005"
+    (sq_lint (Printf.sprintf "select[sid = sid2](students times %s)" renamed));
+  check_no_code "bare product (RA004's business)" "SQ005"
+    (sq_lint (Printf.sprintf "students times %s" renamed))
+
+let test_sq006_bounded_recursion () =
+  check_code "recursive rule contained in base rule" "SQ006"
+    (sq_dl "p(X) :- e(X).\np(X) :- p(X), e(X).");
+  check_no_code "genuine recursion" "SQ006"
+    (sq_dl "p(X) :- e(X).\np(Y) :- p(X), f(X, Y).")
+
+let test_sq007_dead_rule () =
+  let diags = sq_dl "empty(X) :- empty(X).\nq(X) :- empty(X)." in
+  check_code "reads a provably-empty predicate" "SQ007" diags;
+  Alcotest.(check int) "both the cycle and its reader flagged" 2
+    (List.length (List.filter (fun d -> d.D.code = "SQ007") diags));
+  check_code "head constants cannot unify with the query" "SQ007"
+    (sq_dl ~query:(pquery "ans(1, X)") "ans(2, X) :- e(X).");
+  check_no_code "facts make it nonempty" "SQ007"
+    (sq_dl "e(1).\nq(X) :- e(X).");
+  check_no_code "database-backed predicates may be nonempty" "SQ007"
+    (sq_dl "q(X) :- e(X).")
+
+let test_sq008_redundant_body_atom () =
+  check_code "foldable second atom" "SQ008"
+    (sq_dl "p(X) :- e(X, Y), e(X, Z).");
+  check_no_code "single atom" "SQ008" (sq_dl "p(X) :- e(X, Y).");
+  check_no_code "both atoms constrained" "SQ008"
+    (sq_dl "p(X, Y, Z) :- e(X, Y), e(X, Z).")
+
+let test_sq10x_certifier_bridge () =
+  let module C = Planner.Certify in
+  let report =
+    [
+      { C.name = "push_selections"; verdict = C.Equivalent };
+      { C.name = "order_joins"; verdict = C.Refuted "cores differ" };
+      { C.name = "physical_shadow"; verdict = C.Refuted "attrs differ" };
+      { C.name = "join_elimination"; verdict = C.Skipped "not conjunctive" };
+    ]
+  in
+  let diags = A.Semantic_lint.of_certify report in
+  check_code "refuted logical stage" "SQ101" diags;
+  check_code "refuted physical shadow" "SQ102" diags;
+  check_code "skipped stage" "SQ103" diags;
+  Alcotest.(check int) "refutations fail the run" 1 (D.exit_code diags);
+  check_clean "all-equivalent report is silent"
+    (A.Semantic_lint.of_certify
+       [ { C.name = "push_selections"; verdict = C.Equivalent } ]);
+  Alcotest.(check int) "skipped alone passes" 0
+    (D.exit_code
+       (A.Semantic_lint.of_certify
+          [ { C.name = "order_joins"; verdict = C.Skipped "union" } ]))
+
+let test_sq_fd_spec_parsing () =
+  (match A.Semantic_lint.fd_of_spec ~catalog:sq_catalog "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed spec accepted");
+  (match A.Semantic_lint.fd_of_spec ~catalog:sq_catalog "students: zzz -> sname" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown attribute accepted");
+  (match A.Semantic_lint.fd_of_spec ~catalog:sq_catalog "nope: a -> b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown table accepted");
+  match A.Semantic_lint.fd_of_spec ~catalog:sq_catalog "students: sid -> sname year" with
+  | Ok fd ->
+      Alcotest.(check string) "predicate" "students" fd.Datalog.Containment.fd_pred;
+      Alcotest.(check (list int)) "lhs positions" [ 0 ] fd.Datalog.Containment.fd_lhs;
+      Alcotest.(check (list int)) "rhs positions" [ 1; 2 ] fd.Datalog.Containment.fd_rhs
+  | Error e -> Alcotest.fail e
+
+let test_sq_clean_plan () =
+  check_clean "honest query draws no SQ diagnostics"
+    (sq_lint "project[sname](select[grade >= 90](students join enrolled))")
+
 (* --- diagnostics infrastructure -------------------------------------------- *)
 
 let test_json_roundtrip () =
@@ -538,6 +685,21 @@ let suite =
     Alcotest.test_case "CC005 gate lock" `Quick test_cc005_gate_lock;
     Alcotest.test_case "CC006 upgrade deadlock" `Quick test_cc006_upgrade_deadlock;
     Alcotest.test_case "concurrency clean" `Quick test_cc_clean_schedule;
+    Alcotest.test_case "SQ001 unsatisfiable selection" `Quick
+      test_sq001_unsatisfiable_selection;
+    Alcotest.test_case "SQ002 provably empty" `Quick test_sq002_provably_empty;
+    Alcotest.test_case "SQ003 redundant join" `Quick test_sq003_redundant_join;
+    Alcotest.test_case "SQ004 contained arm" `Quick test_sq004_contained_arm;
+    Alcotest.test_case "SQ005 bridged product" `Quick test_sq005_bridged_product;
+    Alcotest.test_case "SQ006 bounded recursion" `Quick
+      test_sq006_bounded_recursion;
+    Alcotest.test_case "SQ007 dead rule" `Quick test_sq007_dead_rule;
+    Alcotest.test_case "SQ008 redundant body atom" `Quick
+      test_sq008_redundant_body_atom;
+    Alcotest.test_case "SQ101-103 certifier bridge" `Quick
+      test_sq10x_certifier_bridge;
+    Alcotest.test_case "fd spec parsing" `Quick test_sq_fd_spec_parsing;
+    Alcotest.test_case "semantic clean" `Quick test_sq_clean_plan;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json roundtrip real" `Quick test_json_roundtrip_real;
     Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;

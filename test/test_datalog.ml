@@ -520,6 +520,61 @@ let prop_containment_minimize_sound =
            D.Containment.equivalent q m
            && List.length m.D.Containment.body <= List.length body))
 
+(* a random CQ over the binary [edge] predicate whose head variable is
+   guaranteed bound: the first atom always mentions X *)
+let random_edge_cq rng =
+  let vars = [| "X"; "Y"; "Z"; "W" |] in
+  let n_atoms = 1 + Support.Rng.int rng 3 in
+  let first =
+    D.Ast.atom "edge" [ D.Ast.Var "X"; D.Ast.Var (Support.Rng.pick rng vars) ]
+  in
+  let rest =
+    List.init n_atoms (fun _ ->
+        D.Ast.atom "edge"
+          [
+            D.Ast.Var (Support.Rng.pick rng vars);
+            D.Ast.Var (Support.Rng.pick rng vars);
+          ])
+  in
+  { D.Containment.head = [ D.Ast.Var "X" ]; body = first :: rest }
+
+let answers cq edb =
+  let rule = D.Containment.to_rule "prop_ans" cq in
+  D.Facts.get (D.Seminaive.eval [ rule ] edb) "prop_ans"
+
+(* Not just equivalent as syntax: the minimized query computes the same
+   relation on concrete data. *)
+let prop_minimize_preserves_answers =
+  property 40 "minimize preserves answers on random facts" seed_gen
+    (fun seed ->
+      let rng = Support.Rng.create seed in
+      let q = random_edge_cq rng in
+      let edb = D.Workloads.random_graph rng ~nodes:5 ~edges:8 in
+      Ts.equal (answers q edb) (answers (D.Containment.minimize q) edb))
+
+(* Chase-aware minimization may drop more atoms than plain Chandra-Merlin;
+   that is only sound on instances satisfying the dependency, so feed it
+   functional graphs: edge(i, f(i)) satisfies edge: #0 -> #1. *)
+let prop_minimize_under_preserves_answers =
+  property 40 "minimize_under preserves answers on FD-satisfying facts"
+    seed_gen (fun seed ->
+      let rng = Support.Rng.create seed in
+      let q = random_edge_cq rng in
+      let fd =
+        {
+          D.Containment.fd_pred = "edge";
+          fd_lhs = [ 0 ];
+          fd_rhs = [ 1 ];
+        }
+      in
+      let edb =
+        D.Facts.add_list D.Facts.empty "edge"
+          (List.init 5 (fun i -> [ Int i; Int (Support.Rng.int rng 5) ]))
+      in
+      let m = D.Containment.minimize_under [ fd ] q in
+      List.length m.D.Containment.body <= List.length q.D.Containment.body
+      && Ts.equal (answers q edb) (answers m edb))
+
 let suite =
   [
     Alcotest.test_case "parse basic" `Quick test_parse_basic;
@@ -582,4 +637,6 @@ let suite =
     prop_tc_variants_agree;
     prop_parser_roundtrip;
     prop_containment_minimize_sound;
+    prop_minimize_preserves_answers;
+    prop_minimize_under_preserves_answers;
   ]
